@@ -1,0 +1,575 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (DAC'18, §4), plus the ablations called out in DESIGN.md
+   and Bechamel micro-benchmarks of the hot kernels.
+
+   Instance sizes are scaled relative to the paper (pure-OCaml B&B vs.
+   CPLEX on a workstation; see DESIGN.md §2): the claims under test are
+   the *shapes* — who wins, by what order of magnitude, where the
+   K*-tradeoff bends — not absolute numbers.
+
+   Run with:   dune exec bench/main.exe            (all sections)
+               dune exec bench/main.exe -- table3  (one section)
+   Sections: table1 table2 table3 table4 figures ablations micro *)
+
+open Archex
+
+let section_enabled name =
+  let args = Array.to_list Sys.argv in
+  match List.tl args with [] -> true | l -> List.mem name l
+
+let hr () = Format.printf "@."
+
+let header title =
+  Format.printf "@.==== %s ====@.@." title
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let status_str out = Milp.Status.mip_status_to_string out.Solve.status
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: data-collection WSN under three objectives                 *)
+(* ------------------------------------------------------------------ *)
+
+let dc_params = Scenarios.default_data_collection
+
+let dc_options =
+  { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.03 }
+
+let table1_kstar = 6
+
+let table1 () =
+  header "Table 1: data collection WSN, objective sweep";
+  Format.printf
+    "(template: %d sensors + 1 sink + %d relay candidates; 2 disjoint routes per sensor;@."
+    dc_params.Scenarios.dc_sensors
+    (fst dc_params.Scenarios.dc_relay_grid * snd dc_params.Scenarios.dc_relay_grid);
+  Format.printf " SNR >= %g dB; lifetime >= %g y; K* = %d.  Paper: 136-node template, K* = 10.)@.@."
+    dc_params.Scenarios.dc_min_snr_db dc_params.Scenarios.dc_min_lifetime_years table1_kstar;
+  Format.printf "%-10s | %7s | %6s | %12s | %8s | %s@." "Objective" "# Nodes" "$ cost"
+    "Lifetime (y)" "Time (s)" "status";
+  Format.printf "-----------+---------+--------+--------------+----------+-------@.";
+  let solved = ref [] in
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective dc_params with
+      | Error e -> Format.printf "%-10s | scenario error: %s@." name e
+      | Ok inst -> (
+          match time (fun () -> Solve.run ~options:dc_options inst (Solve.approx ~kstar:table1_kstar ())) with
+          | Ok out, dt -> (
+              match out.Solve.solution with
+              | Some sol ->
+                  Format.printf "%-10s | %7d | %6.0f | %12.2f | %8.1f | %s@." name
+                    sol.Solution.node_count sol.Solution.dollar_cost
+                    (Solution.avg_lifetime_years inst sol) dt (status_str out);
+                  (match Solution.check inst sol with
+                  | Ok () -> ()
+                  | Error errs ->
+                      List.iter (fun e -> Format.printf "  VALIDATION: %s@." e) errs);
+                  solved := (name, inst, sol) :: !solved
+              | None -> Format.printf "%-10s | no solution (%s)@." name (status_str out))
+          | (Error e, _) -> Format.printf "%-10s | encode error: %s@." name e))
+    [
+      ("$ cost", Objective.dollar);
+      ("Energy", Objective.energy);
+      ("$+Energy", Objective.combine Objective.dollar Objective.energy);
+    ];
+  hr ();
+  List.rev !solved
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: localization network under three objectives                *)
+(* ------------------------------------------------------------------ *)
+
+let loc_params = Scenarios.default_localization
+
+let loc_options =
+  { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 60.; rel_gap = 0.02 }
+
+let loc_kstar = 8
+
+(* Pure DSOD does not constrain node count; an epsilon of dollar cost
+   breaks ties (see DESIGN.md). *)
+let dsod_objective = [ (1., Objective.Dsod); (0.2, Objective.Dollar_cost) ]
+
+let table2 () =
+  header "Table 2: localization network, objective sweep";
+  Format.printf
+    "(%d anchor candidates, %d evaluation points; >= %d anchors per point at RSS >= %g dBm;@."
+    (fst loc_params.Scenarios.loc_anchor_grid * snd loc_params.Scenarios.loc_anchor_grid)
+    (fst loc_params.Scenarios.loc_eval_grid * snd loc_params.Scenarios.loc_eval_grid)
+    loc_params.Scenarios.loc_min_anchors loc_params.Scenarios.loc_min_rss_dbm;
+  Format.printf " localization pruning K* = %d.  Paper: 150 candidates, 135 points, K* = 20.)@.@."
+    loc_kstar;
+  Format.printf "%-8s | %7s | %6s | %9s | %8s | %s@." "Obj." "# Nodes" "$ cost" "Reachable"
+    "Time (s)" "status";
+  Format.printf "---------+---------+--------+-----------+----------+-------@.";
+  let solved = ref [] in
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.localization ~objective loc_params with
+      | Error e -> Format.printf "%-8s | scenario error: %s@." name e
+      | Ok inst -> (
+          match
+            time (fun () -> Solve.run ~options:loc_options inst (Solve.approx ~loc_kstar ()))
+          with
+          | Ok out, dt -> (
+              match out.Solve.solution with
+              | Some sol ->
+                  Format.printf "%-8s | %7d | %6.0f | %9.2f | %8.1f | %s@." name
+                    sol.Solution.node_count sol.Solution.dollar_cost (Solution.avg_reachable sol)
+                    dt (status_str out);
+                  (match Solution.check inst sol with
+                  | Ok () -> ()
+                  | Error errs ->
+                      List.iter (fun e -> Format.printf "  VALIDATION: %s@." e) errs);
+                  solved := (name, inst, sol) :: !solved
+              | None -> Format.printf "%-8s | no solution (%s)@." name (status_str out))
+          | (Error e, _) -> Format.printf "%-8s | encode error: %s@." name e))
+    [ ("$ cost", Objective.dollar); ("DSOD", dsod_objective);
+      ("$+DSOD", (1., Objective.Dollar_cost) :: dsod_objective) ];
+  hr ();
+  List.rev !solved
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: scalability, full enumeration vs Algorithm 1               *)
+(* ------------------------------------------------------------------ *)
+
+(* Above this template size the full encoding is estimated analytically
+   instead of being materialized (the paper does the same for its large
+   rows, marked "~"). *)
+let full_build_limit = 60
+
+let estimate_full inst =
+  (* Per path replica over |E| edge binaries: |E| vars; constraints:
+     flow (n) + in/out degree (2n) + hop bounds; plus (1d) pairs |E| per
+     replica pair, plus shared rows: LQ + 2 links per edge + sizing. *)
+  let e = Netgraph.Digraph.nedges inst.Instance.graph in
+  let n = Template.nnodes inst.Instance.template in
+  let paths = Requirements.total_path_count inst.Instance.requirements in
+  let disjoint_pairs =
+    List.fold_left
+      (fun acc (r : Requirements.route) ->
+        acc + (r.Requirements.replicas * (r.Requirements.replicas - 1) / 2))
+      0 inst.Instance.requirements.Requirements.routes
+  in
+  let sizing_vars =
+    Array.to_list (Template.nodes inst.Instance.template)
+    |> List.fold_left
+         (fun acc (node : Template.node) ->
+           acc
+           + List.length
+               (Components.Library.with_role inst.Instance.library node.Template.role))
+         0
+  in
+  let vars = (paths * e) + e + n + sizing_vars in
+  (* Rows: flow balance + degree caps per path; replica disjointness;
+     per-edge usage linking (one row per path-variable term plus the
+     upper bound, the dominant term); LQ + endpoint rows per edge;
+     sizing/fixed rows. *)
+  let cons =
+    (paths * 3 * n) + (disjoint_pairs * e) + (e * (paths + 1)) + (e * 3) + (2 * n)
+  in
+  (vars, cons)
+
+let table3_sizes =
+  [
+    (14, 4, true);
+    (20, 6, true);
+    (30, 10, true);
+    (45, 15, false);
+    (60, 20, false);
+    (90, 30, false);
+    (120, 40, false);
+  ]
+
+let table3 () =
+  header "Table 3: problem size and time, full enumeration vs approximate encoding (K* = 6)";
+  Format.printf
+    "(single route per end device, SNR >= 20 dB, dollar objective; full encodings above %d@."
+    full_build_limit;
+  Format.printf " nodes are estimated analytically, as in the paper's '~' rows; full solves@.";
+  Format.printf " are capped at 90 s -> TO.  Paper range: 50..500 nodes, 8-h timeout.)@.@.";
+  Format.printf "%5s %7s | %17s | %17s | %12s | %12s@." "nodes" "routed" "full vars/cons"
+    "approx vars/cons" "full time" "approx time";
+  Format.printf "--------------+-------------------+-------------------+--------------+-------------@.";
+  let full_options =
+    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 0.03 }
+  in
+  let approx_options =
+    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.02 }
+  in
+  List.iter
+    (fun (total, routed, solve_full) ->
+      match Scenarios.scaled_data_collection ~total_nodes:total ~end_devices:routed () with
+      | Error e -> Format.printf "%5d %7d | scenario error: %s@." total routed e
+      | Ok inst ->
+          let fv, fc, estimated =
+            if total <= full_build_limit then begin
+              match Solve.encode_size inst Solve.Full_enum with
+              | Ok (v, c) -> (v, c, "")
+              | Error _ -> (0, 0, "?")
+            end
+            else begin
+              let v, c = estimate_full inst in
+              (v, c, "~")
+            end
+          in
+          let av, ac =
+            match Solve.encode_size inst (Solve.approx ~kstar:6 ()) with
+            | Ok (v, c) -> (v, c)
+            | Error _ -> (0, 0)
+          in
+          let full_time =
+            if not solve_full then "TO"
+            else begin
+              match
+                time (fun () -> Solve.run ~options:full_options inst Solve.Full_enum)
+              with
+              | Ok { Solve.status = Milp.Status.Mip_optimal; _ }, dt -> Printf.sprintf "%.1f s" dt
+              | Ok { Solve.solution = Some _; _ }, _ -> "TO*"
+              | Ok _, _ -> "TO"
+              | Error _, _ -> "gen-fail"
+            end
+          in
+          let approx_time =
+            match time (fun () -> Solve.run ~options:approx_options inst (Solve.approx ~kstar:6 ())) with
+            | Ok { Solve.solution = Some _; _ }, dt -> Printf.sprintf "%.1f s" dt
+            | Ok _, _ -> "TO"
+            | Error e, _ -> "gen-fail: " ^ e
+          in
+          Format.printf "%5d %7d | %s%7d / %-8d | %7d / %-8d | %12s | %12s@." total routed
+            estimated fv fc av ac full_time approx_time)
+    table3_sizes;
+  Format.printf "@.(TO* = timed out with an incumbent; ratios of the vars/cons columns are the@.";
+  Format.printf " paper's headline orders-of-magnitude reduction.)@.";
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: cost and time vs K*                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  header "Table 4: solution cost and solver time vs K*";
+  Format.printf
+    "(T1: small template; T2: larger template; 'opt' = exhaustive enumeration on T1 only,@.";
+  Format.printf " as in the paper, where T2's exact solve timed out.  Each K* run inherits the@.";
+  Format.printf " previous cost as a cutoff — sound because single-replica candidate pools nest.)@.@.";
+  let t1 = Scenarios.scaled_data_collection ~total_nodes:18 ~end_devices:5 ~replicas:1 () in
+  let t2 = Scenarios.scaled_data_collection ~total_nodes:28 ~end_devices:8 ~replicas:1 () in
+  let schedule = Kstar.default_schedule in
+  let base_options =
+    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 1e-4 }
+  in
+  let run_row name inst_result with_opt =
+    match inst_result with
+    | Error e -> Format.printf "%s: scenario error %s@." name e
+    | Ok inst ->
+        Format.printf "%-3s %-8s |" name "Cost ($)";
+        let times = ref [] in
+        let best = ref nan in
+        List.iter
+          (fun kstar ->
+            let options = { base_options with Milp.Branch_bound.cutoff = !best } in
+            match
+              time (fun () -> Solve.run ~options inst (Solve.Approx { kstar; loc_kstar = kstar }))
+            with
+            | Ok { Solve.solution = Some sol; _ }, dt ->
+                best := sol.Solution.dollar_cost;
+                Format.printf " %8.0f" !best;
+                times := dt :: !times
+            | Ok _, dt ->
+                (* No improvement over the inherited cutoff. *)
+                if Float.is_nan !best then Format.printf " %8s" "-"
+                else Format.printf " %8.0f" !best;
+                times := dt :: !times
+            | Error _, dt ->
+                Format.printf " %8s" "-";
+                times := dt :: !times)
+          schedule;
+        (if with_opt then begin
+           let options = { base_options with Milp.Branch_bound.cutoff = !best } in
+           match time (fun () -> Solve.run ~options inst Solve.Full_enum) with
+           | Ok { Solve.solution = Some sol; status = Milp.Status.Mip_optimal; _ }, dt ->
+               Format.printf " | %8.0f" sol.Solution.dollar_cost;
+               times := dt :: !times
+           | Ok { Solve.status = Milp.Status.Mip_unknown; _ }, dt
+             when not (Float.is_nan !best) ->
+               (* Exhausted under the cutoff: K*'s best is already optimal. *)
+               Format.printf " | %8.0f" !best;
+               times := dt :: !times
+           | Ok _, dt ->
+               Format.printf " | %8s" "TO";
+               times := dt :: !times
+           | Error _, dt ->
+               Format.printf " | %8s" "-";
+               times := dt :: !times
+         end
+         else Format.printf " | %8s" "TO");
+        Format.printf "@.%-3s %-8s |" name "Time (s)";
+        List.iter (fun dt -> Format.printf " %8.1f" dt) (List.rev !times);
+        Format.printf "@."
+  in
+  Format.printf "%-12s |" "";
+  List.iter (fun k -> Format.printf " %8s" (Printf.sprintf "K*=%d" k)) schedule;
+  Format.printf " | %8s@." "opt";
+  Format.printf "-------------+----------------------------------------------+---------@.";
+  run_row "T1" t1 true;
+  run_row "T2" t2 false;
+  Format.printf
+    "@.(Expected shape: cost non-increasing in K*, approaching 'opt'; time growing with K*.)@.";
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1a-1c                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let node_style (n : Template.node) used =
+  match (n.Template.role, used) with
+  | Components.Component.Sensor, _ ->
+      { Geometry.Svg.default_style with fill = "#2a2"; stroke = "#161" }
+  | Components.Component.Sink, _ ->
+      { Geometry.Svg.default_style with fill = "#c22"; stroke = "#611" }
+  | (Components.Component.Relay | Components.Component.Anchor), true ->
+      { Geometry.Svg.default_style with fill = "#26c"; stroke = "#136" }
+  | (Components.Component.Relay | Components.Component.Anchor), false ->
+      { Geometry.Svg.default_style with fill = "none"; stroke = "#999" }
+
+let plan_of inst =
+  match inst.Instance.channel with
+  | Radio.Channel.Multi_wall { plan; _ } -> Some plan
+  | Radio.Channel.Free_space _ | Radio.Channel.Log_distance _
+  | Radio.Channel.Itu_indoor _ | Radio.Channel.Shadowed _ -> None
+
+let scene_of inst =
+  let w, h =
+    match plan_of inst with
+    | Some p -> (Geometry.Floorplan.width p, Geometry.Floorplan.height p)
+    | None -> (100., 100.)
+  in
+  let sc = Geometry.Svg.scene ~width:w ~height:h in
+  (match plan_of inst with Some p -> Geometry.Svg.add_floorplan sc p | None -> ());
+  sc
+
+let draw_nodes sc inst used_pred =
+  Array.iteri
+    (fun i n ->
+      Geometry.Svg.add sc
+        (Geometry.Svg.Circle (n.Template.loc, 0.5, node_style n (used_pred i))))
+    (Template.nodes inst.Instance.template)
+
+let figure1a inst =
+  let sc = scene_of inst in
+  draw_nodes sc inst (fun _ -> false);
+  Geometry.Svg.write_file "fig1a.svg" sc;
+  Format.printf "wrote fig1a.svg (template: sensors, sink, relay candidates)@."
+
+let figure1b inst (sol : Solution.t) =
+  let sc = scene_of inst in
+  List.iter
+    (fun (i, j) ->
+      let a = (Template.node inst.Instance.template i).Template.loc in
+      let b = (Template.node inst.Instance.template j).Template.loc in
+      Geometry.Svg.add sc
+        (Geometry.Svg.Line
+           ( Geometry.Segment.make a b,
+             { Geometry.Svg.default_style with stroke = "#2266cc"; stroke_width = 1.5 } )))
+    sol.Solution.active_edges;
+  draw_nodes sc inst (fun i -> List.mem i sol.Solution.used_nodes);
+  Geometry.Svg.write_file "fig1b.svg" sc;
+  Format.printf "wrote fig1b.svg (synthesized data-collection topology)@."
+
+let figure1c inst (sol : Solution.t) =
+  let sc = scene_of inst in
+  (match inst.Instance.requirements.Requirements.localization with
+  | Some loc ->
+      Array.iter
+        (fun pt ->
+          Geometry.Svg.add sc
+            (Geometry.Svg.Circle
+               (pt, 0.25, { Geometry.Svg.default_style with stroke = "#888"; fill = "#ccc" })))
+        loc.Requirements.eval_points
+  | None -> ());
+  draw_nodes sc inst (fun i -> List.mem i sol.Solution.used_nodes);
+  Geometry.Svg.write_file "fig1c.svg" sc;
+  Format.printf "wrote fig1c.svg (evaluation points + synthesized anchor placement)@."
+
+let figures dc_solved loc_solved =
+  header "Figures 1a-1c";
+  (match dc_solved with
+  | (_, inst, sol) :: _ ->
+      figure1a inst;
+      figure1b inst sol
+  | [] -> Format.printf "no data-collection solution available for fig1a/b@.");
+  (match loc_solved with
+  | (_, inst, sol) :: _ -> figure1c inst sol
+  | [] -> Format.printf "no localization solution available for fig1c@.");
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations";
+  (* (a) presolve on/off. *)
+  (match Scenarios.scaled_data_collection ~total_nodes:25 ~end_devices:8 ~replicas:2 () with
+  | Error e -> Format.printf "presolve ablation: scenario error %s@." e
+  | Ok inst ->
+      Format.printf "presolve ablation (25 nodes, 8 sensors, 2 replicas):@.";
+      List.iter
+        (fun (name, presolve) ->
+          let options =
+            { Milp.Branch_bound.default_options with
+              Milp.Branch_bound.time_limit = 60.; rel_gap = 0.01; presolve }
+          in
+          match time (fun () -> Solve.run ~options inst (Solve.approx ~kstar:6 ())) with
+          | Ok out, dt ->
+              Format.printf "  %-12s %s in %.2f s, %d B&B nodes, %d LP iterations@." name
+                (status_str out) dt out.Solve.mip.Milp.Branch_bound.nodes
+                out.Solve.mip.Milp.Branch_bound.lp_iterations
+          | Error e, _ -> Format.printf "  %-12s error: %s@." name e)
+        [ ("with", true); ("without", false) ]);
+  (* (b) diving heuristic on/off. *)
+  (match Scenarios.localization Scenarios.default_localization with
+  | Error e -> Format.printf "diving ablation: scenario error %s@." e
+  | Ok inst ->
+      Format.printf "@.diving-heuristic ablation (localization, $ objective, 30 s cap):@.";
+      List.iter
+        (fun (name, rounding_heuristic) ->
+          let options =
+            { Milp.Branch_bound.default_options with
+              Milp.Branch_bound.time_limit = 30.; rel_gap = 0.02; rounding_heuristic }
+          in
+          match time (fun () -> Solve.run ~options inst (Solve.approx ~loc_kstar:8 ())) with
+          | Ok out, dt ->
+              let inc =
+                match out.Solve.solution with
+                | Some s -> Printf.sprintf "$%.0f" s.Solution.dollar_cost
+                | None -> "none"
+              in
+              Format.printf "  %-12s incumbent %-6s (%s) in %.1f s@." name inc (status_str out) dt
+          | Error e, _ -> Format.printf "  %-12s error: %s@." name e)
+        [ ("with", true); ("without", false) ]);
+  (* (c) Algorithm 1's disconnect loop: does the pool still contain the
+     required number of disjoint replicas without it?  We measure the
+     disjoint capacity of plain Yen pools vs Algorithm 1 pools. *)
+  (match Scenarios.data_collection { dc_params with Scenarios.dc_replicas = 3 } with
+  | Error e -> Format.printf "disconnect ablation: scenario error %s@." e
+  | Ok inst ->
+      Format.printf "@.disconnect-loop ablation (3 disjoint replicas required, K* = 6):@.";
+      (match Path_gen.generate ~kstar:6 inst with
+      | Error e -> Format.printf "  with disconnect: %s@." e
+      | Ok { pools; _ } ->
+          let capacity pool =
+            let rec greedy chosen = function
+              | [] -> List.length chosen
+              | p :: rest ->
+                  if List.for_all (Netgraph.Path.edge_disjoint p) chosen then
+                    greedy (p :: chosen) rest
+                  else greedy chosen rest
+            in
+            greedy [] pool
+          in
+          let ok =
+            List.for_all (fun p -> capacity p.Path_gen.pool >= 3) pools
+          in
+          Format.printf "  with disconnect loop: all %d pools provide >= 3 disjoint paths: %b@."
+            (List.length pools) ok);
+      (* plain Yen: k_shortest without the disconnection rounds. *)
+      let short = ref 0 and total = ref 0 in
+      List.iter
+        (fun (r : Requirements.route) ->
+          incr total;
+          let paths =
+            List.map snd
+              (Netgraph.Yen.k_shortest inst.Instance.graph ~src:r.Requirements.src
+                 ~dst:r.Requirements.dst ~k:6)
+          in
+          let rec greedy chosen = function
+            | [] -> List.length chosen
+            | p :: rest ->
+                if List.for_all (Netgraph.Path.edge_disjoint p) chosen then
+                  greedy (p :: chosen) rest
+                else greedy chosen rest
+          in
+          if greedy [] paths < 3 then incr short)
+        inst.Instance.requirements.Requirements.routes;
+      Format.printf "  plain Yen (no disconnect): %d/%d pools fall short of 3 disjoint paths@."
+        !short !total);
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let inst =
+    match Scenarios.scaled_data_collection ~total_nodes:40 ~end_devices:12 () with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  let g = inst.Instance.graph in
+  let yen_test =
+    Test.make ~name:"yen-k10-40nodes"
+      (Staged.stage (fun () ->
+           ignore (Netgraph.Yen.k_shortest g ~src:0 ~dst:12 ~k:10)))
+  in
+  let plan = Geometry.Building.office ~width:60. ~height:35. ~rooms_x:4 ~rooms_y:3 () in
+  let model = Radio.Channel.multi_wall_2_4ghz plan in
+  let p1 = Geometry.Point.make 2. 2. and p2 = Geometry.Point.make 55. 30. in
+  let pl_test =
+    Test.make ~name:"multiwall-path-loss"
+      (Staged.stage (fun () -> ignore (Radio.Channel.path_loss model p1 p2)))
+  in
+  let encode_test =
+    Test.make ~name:"approx-encode-40nodes"
+      (Staged.stage (fun () -> ignore (Solve.encode_size inst (Solve.approx ~kstar:6 ()))))
+  in
+  let lp =
+    let enc = Result.get_ok (Approx_encoding.encode ~kstar:6 inst) in
+    Encode_common.model enc.Approx_encoding.ctx
+  in
+  let prob = Milp.Simplex.of_model lp in
+  let n = Milp.Model.nvars lp in
+  let lb = Array.init n (Milp.Model.var_lb lp) and ub = Array.init n (Milp.Model.var_ub lp) in
+  let simplex_test =
+    Test.make ~name:"simplex-root-lp"
+      (Staged.stage (fun () -> ignore (Milp.Simplex.solve prob ~lb ~ub)))
+  in
+  let benchmark test =
+    let metric = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+    let raw = Benchmark.all cfg [ metric ] test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) metric
+        raw
+    in
+    Hashtbl.iter
+      (fun name ols ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Format.printf "  %-24s %12.1f ns/run@." name est
+        | Some _ | None -> Format.printf "  %-24s (no estimate)@." name)
+      results
+  in
+  List.iter benchmark [ yen_test; pl_test; encode_test; simplex_test ];
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf "ArchEx reproduction bench harness (paper: Kirov et al., DAC 2018)@.";
+  let dc_solved = if section_enabled "table1" then table1 () else [] in
+  let loc_solved = if section_enabled "table2" then table2 () else [] in
+  if section_enabled "table3" then table3 ();
+  if section_enabled "table4" then table4 ();
+  if section_enabled "figures" then figures dc_solved loc_solved;
+  if section_enabled "ablations" then ablations ();
+  if section_enabled "micro" then micro ();
+  Format.printf "done.@."

@@ -1,0 +1,256 @@
+(* Command-line front-end, mirroring the paper's tool inputs: a problem
+   description (pattern spec), a component library (text format) and a
+   floor plan (SVG).  Compiles everything into a MILP, solves it with
+   the chosen path-encoding strategy, reports the synthesized
+   architecture, and optionally emits a result SVG and the LP file. *)
+
+let role_of_class cls =
+  (* Circle classes in the floor-plan SVG: "sensor", "relay", "sink",
+     "anchor" place template nodes; "eval" marks evaluation points. *)
+  Components.Component.role_of_name cls
+
+let template_of_svg (parsed : Geometry.Svg.parsed) =
+  let counters = Hashtbl.create 4 in
+  let next role =
+    let c = Option.value ~default:0 (Hashtbl.find_opt counters role) in
+    Hashtbl.replace counters role (c + 1);
+    c
+  in
+  let nodes, evals =
+    List.fold_left
+      (fun (nodes, evals) (cls, loc) ->
+        if String.lowercase_ascii cls = "eval" then (nodes, loc :: evals)
+        else
+          match role_of_class cls with
+          | Some role ->
+              let name =
+                Printf.sprintf "%s%d" (Components.Component.role_name role) (next cls)
+              in
+              let fixed =
+                match role with
+                | Components.Component.Sensor | Components.Component.Sink -> true
+                | Components.Component.Relay | Components.Component.Anchor -> false
+              in
+              ({ Archex.Template.name; role; loc; fixed } :: nodes, evals)
+          | None -> (nodes, evals))
+      ([], []) parsed.Geometry.Svg.nodes
+  in
+  (Archex.Template.create (List.rev nodes), Array.of_list (List.rev evals))
+
+let get_setting settings key =
+  List.assoc_opt key settings
+
+let num_setting settings key default =
+  match get_setting settings key with
+  | Some (Spec.Ast.Num f) -> f
+  | Some _ | None -> default
+
+let main spec_file library_file plan_file kstar loc_kstar full time_limit gap out_svg out_lp
+    verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let ( let* ) = Result.bind in
+  let result =
+    let* ast = Spec.Parser.parse_file spec_file in
+    let* library =
+      match library_file with
+      | Some f -> Components.Parser.parse_file f
+      | None -> Ok Components.Library.builtin
+    in
+    let* parsed = Geometry.Svg.parse_file plan_file in
+    let template, evals = template_of_svg parsed in
+    if Archex.Template.nnodes template = 0 then Error "floor plan contains no nodes"
+    else
+      let* elab =
+        Spec.Elaborate.elaborate
+          ~eval_points:(if Array.length evals = 0 then [||] else evals)
+          ~template ast
+      in
+      let settings = elab.Spec.Elaborate.settings in
+      let modulation =
+        match get_setting settings "modulation" with
+        | Some (Spec.Ast.Ident m) | Some (Spec.Ast.Str m) ->
+            Option.value ~default:Radio.Modulation.Qpsk (Radio.Modulation.of_name m)
+        | Some (Spec.Ast.Num _) | None -> Radio.Modulation.Qpsk
+      in
+      let protocol =
+        Energy.Tdma.make
+          ~slots_per_frame:(int_of_float (num_setting settings "slots_per_frame" 16.))
+          ~slot_s:(num_setting settings "slot_ms" 1. /. 1000.)
+          ~packet_bytes:(int_of_float (num_setting settings "packet_bytes" 50.))
+          ~report_period_s:(num_setting settings "report_period_s" 30.)
+          ()
+      in
+      let battery =
+        {
+          Energy.Lifetime.voltage_v = num_setting settings "battery_v" 3.0;
+          capacity_mah = num_setting settings "battery_mah" 1500.;
+        }
+      in
+      let* inst =
+        Archex.Instance.create
+          ~noise_dbm:(num_setting settings "noise_dbm" (-100.))
+          ~modulation ~protocol ~battery ~template ~library
+          ~channel:(Radio.Channel.multi_wall_2_4ghz parsed.Geometry.Svg.plan)
+          ~requirements:elab.Spec.Elaborate.requirements
+          ~objective:elab.Spec.Elaborate.objective ()
+      in
+      let strategy =
+        if full then Archex.Solve.Full_enum
+        else
+          Archex.Solve.Approx
+            {
+              kstar = int_of_float (num_setting settings "kstar" (float_of_int kstar));
+              loc_kstar = int_of_float (num_setting settings "loc_kstar" (float_of_int loc_kstar));
+            }
+      in
+      let options =
+        {
+          Milp.Branch_bound.default_options with
+          Milp.Branch_bound.time_limit;
+          rel_gap = gap;
+          log = verbose;
+        }
+      in
+      let* out = Archex.Solve.run ~options inst strategy in
+      Ok (inst, out)
+  in
+  match result with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok (inst, out) -> (
+      Format.printf "encoding: %d variables, %d constraints (%.2f s)@."
+        out.Archex.Solve.stats.Archex.Solve.nvars out.Archex.Solve.stats.Archex.Solve.nconstrs
+        out.Archex.Solve.stats.Archex.Solve.encode_time_s;
+      Format.printf "solve: %s in %.2f s (%d nodes, %d simplex iterations)@."
+        (Milp.Status.mip_status_to_string out.Archex.Solve.status)
+        out.Archex.Solve.stats.Archex.Solve.solve_time_s
+        out.Archex.Solve.mip.Milp.Branch_bound.nodes
+        out.Archex.Solve.mip.Milp.Branch_bound.lp_iterations;
+      (match out_lp with
+      | Some path ->
+          Milp.Lp_format.to_file path out.Archex.Solve.model;
+          Format.printf "LP model written to %s@." path
+      | None -> ());
+      match out.Archex.Solve.solution with
+      | None ->
+          Format.printf "no solution found@.";
+          2
+      | Some sol ->
+          Format.printf "@.%a@." (Archex.Solution.pp_summary inst) sol;
+          Format.printf "@.Component mapping:@.";
+          List.iter
+            (fun (i, c) ->
+              Format.printf "  %-10s -> %s@."
+                (Archex.Template.node inst.Archex.Instance.template i).Archex.Template.name
+                c.Components.Component.name)
+            sol.Archex.Solution.devices;
+          Format.printf "@.Routes:@.";
+          List.iter
+            (fun rr ->
+              Format.printf "  %d.%d: %a@." rr.Archex.Solution.rr_req
+                rr.Archex.Solution.rr_replica Netgraph.Path.pp rr.Archex.Solution.rr_path)
+            sol.Archex.Solution.routes;
+          (match Archex.Solution.check inst sol with
+          | Ok () -> Format.printf "@.validation: all requirements hold@."
+          | Error errs ->
+              Format.printf "@.validation FAILED:@.";
+              List.iter (Format.printf "  %s@.") errs);
+          (match out_svg with
+          | Some path ->
+              let template = inst.Archex.Instance.template in
+              let plan =
+                match inst.Archex.Instance.channel with
+                | Radio.Channel.Multi_wall { plan; _ } -> Some plan
+                | Radio.Channel.Free_space _ | Radio.Channel.Log_distance _
+  | Radio.Channel.Itu_indoor _ | Radio.Channel.Shadowed _ -> None
+              in
+              let w = match plan with Some p -> Geometry.Floorplan.width p | None -> 100. in
+              let h = match plan with Some p -> Geometry.Floorplan.height p | None -> 100. in
+              let sc = Geometry.Svg.scene ~width:w ~height:h in
+              Option.iter (Geometry.Svg.add_floorplan sc) plan;
+              List.iter
+                (fun (i, j) ->
+                  let a = (Archex.Template.node template i).Archex.Template.loc in
+                  let b = (Archex.Template.node template j).Archex.Template.loc in
+                  Geometry.Svg.add sc
+                    (Geometry.Svg.Line
+                       ( Geometry.Segment.make a b,
+                         {
+                           Geometry.Svg.default_style with
+                           stroke = "#2266cc";
+                           stroke_width = 1.5;
+                         } )))
+                sol.Archex.Solution.active_edges;
+              Array.iteri
+                (fun i (n : Archex.Template.node) ->
+                  let used = List.mem i sol.Archex.Solution.used_nodes in
+                  let fill =
+                    match (n.Archex.Template.role, used) with
+                    | Components.Component.Sensor, _ -> "#2a2"
+                    | Components.Component.Sink, _ -> "#c22"
+                    | _, true -> "#26c"
+                    | _, false -> "none"
+                  in
+                  Geometry.Svg.add sc
+                    (Geometry.Svg.Circle
+                       ( n.Archex.Template.loc,
+                         0.5,
+                         { Geometry.Svg.default_style with fill; stroke = "#333" } )))
+                (Archex.Template.nodes template);
+              Geometry.Svg.write_file path sc;
+              Format.printf "topology written to %s@." path
+          | None -> ());
+          0)
+
+open Cmdliner
+
+let spec_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"Pattern specification file.")
+
+let library_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "l"; "library" ] ~docv:"FILE" ~doc:"Component library (default: built-in).")
+
+let plan_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "p"; "plan" ] ~docv:"SVG" ~doc:"Floor plan SVG with walls and node circles.")
+
+let kstar =
+  Arg.(value & opt int 10 & info [ "k"; "kstar" ] ~doc:"Candidate paths per route (Algorithm 1).")
+
+let loc_kstar =
+  Arg.(value & opt int 20 & info [ "loc-kstar" ] ~doc:"Candidate anchors per evaluation point.")
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Use exhaustive path enumeration instead of Algorithm 1.")
+
+let time_limit =
+  Arg.(value & opt float 120. & info [ "t"; "time-limit" ] ~doc:"MILP time limit in seconds.")
+
+let gap = Arg.(value & opt float 1e-4 & info [ "gap" ] ~doc:"Relative MIP gap.")
+
+let out_svg =
+  Arg.(value & opt (some string) None & info [ "o"; "out-svg" ] ~doc:"Write the topology SVG here.")
+
+let out_lp =
+  Arg.(value & opt (some string) None & info [ "out-lp" ] ~doc:"Export the MILP in CPLEX LP format.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress logging.")
+
+let cmd =
+  let doc = "optimized selection of wireless network topologies and components" in
+  Cmd.v
+    (Cmd.info "archex" ~doc)
+    Term.(
+      const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
+      $ gap $ out_svg $ out_lp $ verbose)
+
+let () = exit (Cmd.eval' cmd)

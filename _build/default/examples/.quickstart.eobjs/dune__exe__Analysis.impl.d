@@ -1,0 +1,1 @@
+examples/analysis.ml: Archex Format List Milp

@@ -1,0 +1,1 @@
+examples/data_collection.ml: Archex Array Components Format Geometry List Milp Option Radio Sys Unix

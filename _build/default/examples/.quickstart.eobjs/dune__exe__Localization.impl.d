@@ -1,0 +1,1 @@
+examples/localization.ml: Archex Array Format Geometry List Milp Radio Unix

@@ -1,0 +1,1 @@
+examples/localization.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Archex Components Format Geometry List Netgraph Option Radio

@@ -1,0 +1,1 @@
+examples/scalability.ml: Archex Format Milp Printf Unix

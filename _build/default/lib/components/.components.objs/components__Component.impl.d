@@ -1,0 +1,1 @@
+lib/components/component.ml: Format String

@@ -1,0 +1,1 @@
+lib/components/component.mli: Format

@@ -1,0 +1,1 @@
+lib/components/library.ml: Component Format Hashtbl List

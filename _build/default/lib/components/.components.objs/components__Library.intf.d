@@ -1,0 +1,1 @@
+lib/components/library.mli: Component Format

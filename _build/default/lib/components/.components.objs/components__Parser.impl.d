@@ -1,0 +1,1 @@
+lib/components/parser.ml: Buffer Component In_channel Library List Printf String

@@ -1,0 +1,1 @@
+lib/components/parser.mli: Library

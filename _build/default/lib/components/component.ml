@@ -1,0 +1,59 @@
+type role = Sensor | Relay | Sink | Anchor
+
+let role_name = function
+  | Sensor -> "sensor"
+  | Relay -> "relay"
+  | Sink -> "sink"
+  | Anchor -> "anchor"
+
+let role_of_name s =
+  match String.lowercase_ascii s with
+  | "sensor" -> Some Sensor
+  | "relay" -> Some Relay
+  | "sink" | "base" | "base-station" -> Some Sink
+  | "anchor" -> Some Anchor
+  | _ -> None
+
+type t = {
+  name : string;
+  role : role;
+  cost : float;
+  tx_power_dbm : float;
+  antenna_gain_dbi : float;
+  sensitivity_dbm : float;
+  radio_tx_ma : float;
+  radio_rx_ma : float;
+  active_ma : float;
+  sleep_ua : float;
+  bit_rate_kbps : float;
+}
+
+let make ~name ~role ~cost ?(tx_power_dbm = 0.) ?(antenna_gain_dbi = 0.)
+    ?(sensitivity_dbm = -97.) ?(radio_tx_ma = 29.) ?(radio_rx_ma = 24.) ?(active_ma = 6.)
+    ?(sleep_ua = 1.0) ?(bit_rate_kbps = 250.) () =
+  {
+    name;
+    role;
+    cost;
+    tx_power_dbm;
+    antenna_gain_dbi;
+    sensitivity_dbm;
+    radio_tx_ma;
+    radio_rx_ma;
+    active_ma;
+    sleep_ua;
+    bit_rate_kbps;
+  }
+
+let validate c =
+  if c.name = "" then Error "component with empty name"
+  else if c.cost < 0. then Error (c.name ^ ": negative cost")
+  else if c.radio_tx_ma < 0. || c.radio_rx_ma < 0. || c.active_ma < 0. || c.sleep_ua < 0. then
+    Error (c.name ^ ": negative current")
+  else if c.bit_rate_kbps <= 0. then Error (c.name ^ ": non-positive bit rate")
+  else if c.sensitivity_dbm >= 0. then Error (c.name ^ ": sensitivity must be negative dBm")
+  else Ok ()
+
+let pp ppf c =
+  Format.fprintf ppf "%s(%s, $%g, %g dBm, %g dBi)" c.name (role_name c.role) c.cost
+    c.tx_power_dbm c.antenna_gain_dbi

@@ -1,0 +1,55 @@
+(** Library components (devices) and their attributes.
+
+    A component is a concrete device that can realize a template node:
+    a sensor, relay, sink (base station) or localization anchor.  Its
+    attributes drive every constraint family of the paper: cost (the
+    objective), TX power and antenna gain (link quality), current draws
+    (energy/lifetime). *)
+
+type role =
+  | Sensor  (** End device generating data. *)
+  | Relay  (** Forwarding-only router. *)
+  | Sink  (** Base station collecting data. *)
+  | Anchor  (** Fixed reference node of a localization system. *)
+
+val role_name : role -> string
+
+val role_of_name : string -> role option
+
+type t = {
+  name : string;
+  role : role;
+  cost : float;  (** Dollars. *)
+  tx_power_dbm : float;
+  antenna_gain_dbi : float;
+  sensitivity_dbm : float;  (** Minimum decodable RSS. *)
+  radio_tx_ma : float;  (** Radio current while transmitting. *)
+  radio_rx_ma : float;  (** Radio current while receiving. *)
+  active_ma : float;  (** MCU + sensors while awake (non-radio). *)
+  sleep_ua : float;  (** Sleep current, microamps. *)
+  bit_rate_kbps : float;
+}
+
+val make :
+  name:string ->
+  role:role ->
+  cost:float ->
+  ?tx_power_dbm:float ->
+  ?antenna_gain_dbi:float ->
+  ?sensitivity_dbm:float ->
+  ?radio_tx_ma:float ->
+  ?radio_rx_ma:float ->
+  ?active_ma:float ->
+  ?sleep_ua:float ->
+  ?bit_rate_kbps:float ->
+  unit ->
+  t
+(** Defaults model a CC2530-class 2.4 GHz transceiver: 0 dBm TX, 0 dBi
+    antenna, -97 dBm sensitivity, 29/24 mA TX/RX, 6 mA active, 1 µA
+    sleep, 250 kbps. *)
+
+val validate : t -> (unit, string) result
+(** Sanity checks: non-negative cost and currents, positive bit rate,
+    sensitivity below 0 dBm. *)
+
+val pp : Format.formatter -> t -> unit

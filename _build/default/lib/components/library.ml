@@ -1,0 +1,78 @@
+type t = { items : Component.t list }
+
+let of_list comps =
+  let seen = Hashtbl.create 16 in
+  let rec check = function
+    | [] -> Ok { items = comps }
+    | (c : Component.t) :: rest -> (
+        match Component.validate c with
+        | Error e -> Error e
+        | Ok () ->
+            if Hashtbl.mem seen c.Component.name then
+              Error ("duplicate component name: " ^ c.Component.name)
+            else begin
+              Hashtbl.add seen c.Component.name ();
+              check rest
+            end)
+  in
+  check comps
+
+let of_list_exn comps =
+  match of_list comps with Ok t -> t | Error e -> invalid_arg ("Library.of_list_exn: " ^ e)
+
+let components t = t.items
+
+let size t = List.length t.items
+
+let find t name = List.find_opt (fun (c : Component.t) -> c.Component.name = name) t.items
+
+let find_exn t name =
+  match find t name with Some c -> c | None -> raise Not_found
+
+let with_role t role = List.filter (fun (c : Component.t) -> c.Component.role = role) t.items
+
+let cheapest t role =
+  match with_role t role with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun (best : Component.t) (c : Component.t) ->
+             if c.Component.cost < best.Component.cost then c else best)
+           first rest)
+
+let pp ppf t =
+  Format.fprintf ppf "library(%d components)" (size t)
+
+let builtin =
+  let mk = Component.make in
+  of_list_exn
+    [
+      (* Sensors: the device itself is free (owned); options cost. *)
+      mk ~name:"sensor-std" ~role:Component.Sensor ~cost:0. ~tx_power_dbm:0. ();
+      mk ~name:"sensor-hp" ~role:Component.Sensor ~cost:4. ~tx_power_dbm:4.5 ~radio_tx_ma:34. ();
+      mk ~name:"sensor-ant" ~role:Component.Sensor ~cost:9. ~tx_power_dbm:4.5
+        ~antenna_gain_dbi:3. ~radio_tx_ma:34. ();
+      (* Relays: routing devices purchased per deployment. *)
+      mk ~name:"relay-basic" ~role:Component.Relay ~cost:15. ~tx_power_dbm:0. ();
+      mk ~name:"relay-power" ~role:Component.Relay ~cost:22. ~tx_power_dbm:4.5 ~radio_tx_ma:34.
+        ();
+      mk ~name:"relay-ant" ~role:Component.Relay ~cost:30. ~tx_power_dbm:4.5
+        ~antenna_gain_dbi:3. ~radio_tx_ma:34. ();
+      mk ~name:"relay-amp" ~role:Component.Relay ~cost:46. ~tx_power_dbm:10.
+        ~antenna_gain_dbi:3. ~radio_tx_ma:80. ~sensitivity_dbm:(-100.) ();
+      (* Low-power variants: pricier silicon, smaller currents. *)
+      mk ~name:"relay-lp" ~role:Component.Relay ~cost:34. ~tx_power_dbm:0. ~radio_tx_ma:21.
+        ~radio_rx_ma:18. ~active_ma:3.5 ~sleep_ua:0.4 ();
+      mk ~name:"relay-lp-ant" ~role:Component.Relay ~cost:52. ~tx_power_dbm:4.5
+        ~antenna_gain_dbi:3. ~radio_tx_ma:25. ~radio_rx_ma:18. ~active_ma:3.5 ~sleep_ua:0.4 ();
+      (* Sink: one per network, mains powered in practice. *)
+      mk ~name:"sink-std" ~role:Component.Sink ~cost:80. ~tx_power_dbm:4.5
+        ~antenna_gain_dbi:3. ~radio_tx_ma:34. ();
+      (* Localization anchors. *)
+      mk ~name:"anchor-basic" ~role:Component.Anchor ~cost:35. ~tx_power_dbm:0. ();
+      mk ~name:"anchor-power" ~role:Component.Anchor ~cost:45. ~tx_power_dbm:4.5
+        ~radio_tx_ma:34. ();
+      mk ~name:"anchor-ant" ~role:Component.Anchor ~cost:55. ~tx_power_dbm:4.5
+        ~antenna_gain_dbi:3. ~radio_tx_ma:34. ();
+    ]

@@ -1,0 +1,41 @@
+(** Component libraries: named collections of devices.
+
+    The mapping problem associates every used template node with one
+    device drawn from the library entries whose role matches the node's
+    role (paper §2, "component sizing"). *)
+
+type t
+
+val of_list : Component.t list -> (t, string) result
+(** Build a library; fails on duplicate names or invalid components. *)
+
+val of_list_exn : Component.t list -> t
+(** @raise Invalid_argument on the same conditions. *)
+
+val components : t -> Component.t list
+(** In insertion order. *)
+
+val size : t -> int
+
+val find : t -> string -> Component.t option
+
+val find_exn : t -> string -> Component.t
+(** @raise Not_found *)
+
+val with_role : t -> Component.role -> Component.t list
+(** Devices implementing a role, in insertion order. *)
+
+val cheapest : t -> Component.role -> Component.t option
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Built-in reference library}
+
+    Modelled on commercial 2.4 GHz Zigbee parts (TI CC2530/CC2591
+    class): per role, variants trading dollar cost against TX power,
+    external antenna gain, and low-power current profiles.  Sensors
+    have zero dollar cost, as in the paper's data-collection example
+    (their purchase is not part of the optimization), but antenna/power
+    options on sensors carry a small incremental cost. *)
+
+val builtin : t

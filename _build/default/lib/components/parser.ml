@@ -1,0 +1,127 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+type partial = {
+  mutable role : Component.role option;
+  mutable cost : float option;
+  mutable fields : (string * float) list;
+}
+
+let finish name lineno p =
+  match (p.role, p.cost) with
+  | None, _ -> Error (Printf.sprintf "line %d: component %s has no role" lineno name)
+  | _, None -> Error (Printf.sprintf "line %d: component %s has no cost" lineno name)
+  | Some role, Some cost ->
+      let f key default =
+        match List.assoc_opt key p.fields with Some v -> v | None -> default
+      in
+      Ok
+        (Component.make ~name ~role ~cost
+           ~tx_power_dbm:(f "tx_power_dbm" 0.)
+           ~antenna_gain_dbi:(f "antenna_gain_dbi" 0.)
+           ~sensitivity_dbm:(f "sensitivity_dbm" (-97.))
+           ~radio_tx_ma:(f "radio_tx_ma" 29.)
+           ~radio_rx_ma:(f "radio_rx_ma" 24.)
+           ~active_ma:(f "active_ma" 6.)
+           ~sleep_ua:(f "sleep_ua" 1.)
+           ~bit_rate_kbps:(f "bit_rate_kbps" 250.)
+           ())
+
+let known_keys =
+  [
+    "tx_power_dbm";
+    "antenna_gain_dbi";
+    "sensitivity_dbm";
+    "radio_tx_ma";
+    "radio_rx_ma";
+    "active_ma";
+    "sleep_ua";
+    "bit_rate_kbps";
+  ]
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let comps = ref [] in
+  let current = ref None (* (name, start line, partial) *) in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      if !error = None then begin
+        let line = String.trim (strip_comment raw) in
+        if line = "" then ()
+        else
+          match !current with
+          | None -> (
+              match String.split_on_char ' ' line with
+              | [ "component"; name; "{" ] ->
+                  current := Some (name, lineno, { role = None; cost = None; fields = [] })
+              | _ -> fail (Printf.sprintf "line %d: expected 'component <name> {'" lineno))
+          | Some (name, start, p) ->
+              if line = "}" then begin
+                match finish name start p with
+                | Ok c ->
+                    comps := c :: !comps;
+                    current := None
+                | Error e -> fail e
+              end
+              else begin
+                match String.index_opt line '=' with
+                | None -> fail (Printf.sprintf "line %d: expected 'key = value' or '}'" lineno)
+                | Some eq ->
+                    let key = String.trim (String.sub line 0 eq) in
+                    let value =
+                      String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+                    in
+                    if key = "role" then begin
+                      match Component.role_of_name value with
+                      | Some r -> p.role <- Some r
+                      | None -> fail (Printf.sprintf "line %d: unknown role %S" lineno value)
+                    end
+                    else begin
+                      match float_of_string_opt value with
+                      | None ->
+                          fail (Printf.sprintf "line %d: bad numeric value %S" lineno value)
+                      | Some v ->
+                          if key = "cost" then p.cost <- Some v
+                          else if List.mem key known_keys then
+                            p.fields <- (key, v) :: p.fields
+                          else fail (Printf.sprintf "line %d: unknown key %S" lineno key)
+                    end
+              end
+      end)
+    lines;
+  match (!error, !current) with
+  | Some e, _ -> Error e
+  | None, Some (name, start, _) ->
+      Error (Printf.sprintf "line %d: component %s not closed" start name)
+  | None, None -> Library.of_list (List.rev !comps)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error e -> Error e
+
+let to_string lib =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (c : Component.t) ->
+      Buffer.add_string buf (Printf.sprintf "component %s {\n" c.Component.name);
+      Buffer.add_string buf
+        (Printf.sprintf "  role = %s\n" (Component.role_name c.Component.role));
+      let field k v = Buffer.add_string buf (Printf.sprintf "  %s = %.12g\n" k v) in
+      field "cost" c.Component.cost;
+      field "tx_power_dbm" c.Component.tx_power_dbm;
+      field "antenna_gain_dbi" c.Component.antenna_gain_dbi;
+      field "sensitivity_dbm" c.Component.sensitivity_dbm;
+      field "radio_tx_ma" c.Component.radio_tx_ma;
+      field "radio_rx_ma" c.Component.radio_rx_ma;
+      field "active_ma" c.Component.active_ma;
+      field "sleep_ua" c.Component.sleep_ua;
+      field "bit_rate_kbps" c.Component.bit_rate_kbps;
+      Buffer.add_string buf "}\n")
+    (Library.components lib);
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Text format for component libraries.
+
+    The paper's tool reads the component library as a text file; this
+    is our equivalent format:
+
+    {v
+    # comment
+    component relay-basic {
+      role = relay
+      cost = 15
+      tx_power_dbm = 0
+      antenna_gain_dbi = 0
+      sensitivity_dbm = -97
+      radio_tx_ma = 29
+      radio_rx_ma = 24
+      active_ma = 6
+      sleep_ua = 1
+      bit_rate_kbps = 250
+    }
+    v}
+
+    [role] and [cost] are mandatory; other keys default as in
+    {!Component.make}.  Errors carry 1-based line numbers. *)
+
+val parse : string -> (Library.t, string) result
+
+val parse_file : string -> (Library.t, string) result
+
+val to_string : Library.t -> string
+(** Render a library back to the text format ([parse (to_string l)]
+    round-trips). *)

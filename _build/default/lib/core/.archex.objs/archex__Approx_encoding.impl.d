@@ -1,0 +1,1 @@
+lib/core/approx_encoding.ml: Array Encode_common Hashtbl List Milp Netgraph Option Path_gen Printf

@@ -1,0 +1,1 @@
+lib/core/approx_encoding.mli: Encode_common Instance Netgraph Path_gen

@@ -1,0 +1,1 @@
+lib/core/encode_common.ml: Array Components Energy Float Geometry Hashtbl Instance Int List Milp Netgraph Objective Printf Radio Requirements Template

@@ -1,0 +1,1 @@
+lib/core/encode_common.mli: Components Instance Milp

@@ -1,0 +1,1 @@
+lib/core/full_encoding.ml: Array Encode_common Hashtbl Instance List Milp Netgraph Option Printf Requirements Template

@@ -1,0 +1,1 @@
+lib/core/full_encoding.mli: Encode_common Instance

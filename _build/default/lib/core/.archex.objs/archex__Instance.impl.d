@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Components Energy Float Fun Hashtbl Int List Netgraph Objective Option Radio Requirements String Template

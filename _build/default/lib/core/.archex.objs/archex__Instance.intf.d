@@ -1,0 +1,1 @@
+lib/core/instance.mli: Components Energy Netgraph Objective Radio Requirements Template

@@ -1,0 +1,1 @@
+lib/core/kstar.ml: Float List Milp Option Solution Solve

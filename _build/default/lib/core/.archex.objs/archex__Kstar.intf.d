@@ -1,0 +1,1 @@
+lib/core/kstar.mli: Instance Milp Solution Solve

@@ -1,0 +1,1 @@
+lib/core/objective.ml: Format List

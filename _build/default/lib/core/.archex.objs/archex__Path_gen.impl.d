@@ -1,0 +1,1 @@
+lib/core/path_gen.ml: Array Components Float Hashtbl Instance List Netgraph Option Printf Radio Requirements Template

@@ -1,0 +1,1 @@
+lib/core/path_gen.mli: Instance Netgraph Stdlib

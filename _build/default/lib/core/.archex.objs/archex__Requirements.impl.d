@@ -1,0 +1,1 @@
+lib/core/requirements.ml: Array Format Geometry List Printf

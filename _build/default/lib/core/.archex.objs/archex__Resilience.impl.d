@@ -1,0 +1,1 @@
+lib/core/resilience.ml: Float Format Instance List Netgraph Printf Requirements Solution String Template

@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Array Components Float Fun Geometry Instance Int List Objective Option Printf Radio Requirements Template

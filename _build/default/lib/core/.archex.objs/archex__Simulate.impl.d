@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Components Energy Float Hashtbl Instance List Netgraph Option Printf Radio Random Requirements Solution Template

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Approx_encoding Array Components Encode_common Energy Float Format Full_encoding Hashtbl Instance List Milp Netgraph Option Printf Radio Requirements Template

@@ -1,0 +1,1 @@
+lib/core/solution.mli: Approx_encoding Components Format Full_encoding Instance Milp Netgraph

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Approx_encoding Encode_common Full_encoding Milp Solution Unix

@@ -1,0 +1,1 @@
+lib/core/template.ml: Array Components Format Geometry Hashtbl List Netgraph

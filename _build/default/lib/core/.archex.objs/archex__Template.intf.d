@@ -1,0 +1,1 @@
+lib/core/template.mli: Components Format Geometry Netgraph

@@ -1,0 +1,104 @@
+module Lin = Milp.Lin
+module Model = Milp.Model
+module Path = Netgraph.Path
+
+type route_selection = {
+  req_index : int;
+  src : int;
+  dst : int;
+  pool : Path.t array;
+  slots : int array array;
+}
+
+type t = {
+  ctx : Encode_common.t;
+  selections : route_selection list;
+  generation : Path_gen.result;
+}
+
+let encode ?(kstar = 10) ?(loc_kstar = 20) inst =
+  match Path_gen.generate ~kstar inst with
+  | Error e -> Error e
+  | Ok generation ->
+      let ctx = Encode_common.create inst in
+      let model = Encode_common.model ctx in
+      (* Global per-edge usage accumulator across all routes. *)
+      let usage : (int * int, Lin.t) Hashtbl.t = Hashtbl.create 256 in
+      let bump_edge (i, j) term =
+        let cur = Option.value ~default:Lin.zero (Hashtbl.find_opt usage (i, j)) in
+        Hashtbl.replace usage (i, j) (Lin.add cur term)
+      in
+      let selections =
+        List.map
+          (fun (p : Path_gen.route_pool) ->
+            let pool = Array.of_list p.Path_gen.pool in
+            let nk = Array.length pool in
+            let slots =
+              Array.init p.Path_gen.replicas (fun r ->
+                  Array.init nk (fun k ->
+                      Model.add_binary model
+                        (Printf.sprintf "sel_r%d_rep%d_c%d" p.Path_gen.req_index r k)))
+            in
+            (* One candidate per replica slot. *)
+            Array.iteri
+              (fun r svars ->
+                let sum = Lin.of_list (Array.to_list (Array.map (fun v -> (1., v)) svars)) in
+                Model.add_constr model
+                  ~name:(Printf.sprintf "one_path_r%d_rep%d" p.Path_gen.req_index r)
+                  sum Model.Eq 1.)
+              slots;
+            (* (1d): replicas must be pairwise link-disjoint — exclude
+               edge-sharing candidate pairs across slots. *)
+            for r1 = 0 to p.Path_gen.replicas - 1 do
+              for r2 = r1 + 1 to p.Path_gen.replicas - 1 do
+                for k1 = 0 to nk - 1 do
+                  for k2 = 0 to nk - 1 do
+                    if not (Path.edge_disjoint pool.(k1) pool.(k2)) then
+                      Model.add_constr model
+                        (Lin.of_list [ (1., slots.(r1).(k1)); (1., slots.(r2).(k2)) ])
+                        Model.Le 1.
+                  done
+                done
+              done
+            done;
+            (* Symmetry breaking: slot r picks a lower candidate index
+               than slot r+1 (valid because slots are interchangeable
+               and disjointness forbids re-picking a candidate). *)
+            for r = 0 to p.Path_gen.replicas - 2 do
+              let rank svars =
+                Lin.of_list
+                  (Array.to_list (Array.mapi (fun k v -> (float_of_int k, v)) svars))
+              in
+              Model.add_constr model
+                (Lin.add_const (Lin.sub (rank slots.(r)) (rank slots.(r + 1))) 1.)
+                Model.Le 0.
+            done;
+            (* Edge usage terms. *)
+            Array.iteri
+              (fun _r svars ->
+                Array.iteri
+                  (fun k v ->
+                    List.iter (fun e -> bump_edge e (Lin.var v)) (Path.edges pool.(k)))
+                  svars)
+              slots;
+            {
+              req_index = p.Path_gen.req_index;
+              src = p.Path_gen.src;
+              dst = p.Path_gen.dst;
+              pool;
+              slots;
+            })
+          generation.Path_gen.pools
+      in
+      (* Tie usage to shared edge binaries (creates LQ rows) and feed
+         the energy accounting. *)
+      Hashtbl.iter
+        (fun (i, j) expr ->
+          Encode_common.add_edge_usage ctx i j expr;
+          Encode_common.constrain_used_edge ctx i j expr)
+        usage;
+      (* Localization pruning (paper §4.2). *)
+      Encode_common.set_localization_candidates ctx
+        (Path_gen.localization_candidates inst ~kstar:loc_kstar);
+      Encode_common.finalize ctx;
+      Ok { ctx; selections; generation }

@@ -1,0 +1,34 @@
+(** The compact path encoding built from Algorithm 1 candidate pools
+    (paper §3).
+
+    Every required route replica gets one selection binary per candidate
+    path in its pair's pool ("NewCons": exactly one candidate is chosen
+    per replica).  Edge binaries exist only for links appearing in some
+    candidate, so the routing constraints (1a)–(1c) are omitted — path
+    validity is guaranteed by construction — and the link-quality and
+    energy constraints range over candidate edges only.  Disjointness
+    (1d) becomes pairwise exclusion of edge-sharing candidates assigned
+    to different replicas; a symmetry-breaking order on replica slots
+    trims the branch & bound tree. *)
+
+type route_selection = {
+  req_index : int;
+  src : int;
+  dst : int;
+  pool : Netgraph.Path.t array;  (** Candidate paths of this pair. *)
+  slots : int array array;
+      (** [slots.(r).(k)] is the selection binary of candidate [k] for
+          replica [r]. *)
+}
+
+type t = {
+  ctx : Encode_common.t;
+  selections : route_selection list;
+  generation : Path_gen.result;
+}
+
+val encode : ?kstar:int -> ?loc_kstar:int -> Instance.t -> (t, string) result
+(** Build the complete MILP.  [kstar] is Algorithm 1's [K*] for routes
+    (default 10); [loc_kstar] prunes localization reachability pairs
+    (default 20, paper §4.2).  The model inside the returned context is
+    finalized and ready to solve. *)

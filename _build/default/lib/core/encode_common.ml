@@ -1,0 +1,330 @@
+module Lin = Milp.Lin
+module Model = Milp.Model
+
+type t = {
+  inst : Instance.t;
+  model : Model.t;
+  node_use : int array;
+  sizing : (Components.Component.t * int) list array;
+  edges : (int * int, int) Hashtbl.t;
+  tx_usage : Lin.t array;  (* per node: # path crossings leaving the node *)
+  rx_usage : Lin.t array;
+  mutable loc_candidates : (int * int list) list;
+  mutable reach : ((int * int) * int) list;
+  mutable finalized : bool;
+}
+
+let model ctx = ctx.model
+
+let instance ctx = ctx.inst
+
+let node_use_var ctx i = ctx.node_use.(i)
+
+let sizing_vars ctx i = ctx.sizing.(i)
+
+let edge_vars ctx = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.edges []
+
+let rss_floor_dbm ctx = ctx.inst.Instance.noise_dbm +. Instance.min_snr_db ctx.inst
+
+(* Net antenna/TX contribution of the device selected at a node. *)
+let tx_gain_expr ctx i =
+  List.fold_left
+    (fun acc ((c : Components.Component.t), v) ->
+      Lin.add_term acc (c.Components.Component.tx_power_dbm +. c.Components.Component.antenna_gain_dbi) v)
+    Lin.zero ctx.sizing.(i)
+
+let gain_expr ctx i =
+  List.fold_left
+    (fun acc ((c : Components.Component.t), v) ->
+      Lin.add_term acc c.Components.Component.antenna_gain_dbi v)
+    Lin.zero ctx.sizing.(i)
+
+let rss_expr ctx i j =
+  let pl = ctx.inst.Instance.pl.(i).(j) in
+  Lin.add_const (Lin.add (tx_gain_expr ctx i) (gain_expr ctx j)) (-.pl)
+
+let create inst =
+  let template = inst.Instance.template in
+  let n = Template.nnodes template in
+  let model = Model.create ~name:"archex" () in
+  let node_use =
+    Array.init n (fun i ->
+        Model.add_binary model (Printf.sprintf "use_%s" (Template.node template i).Template.name))
+  in
+  let sizing =
+    Array.init n (fun i ->
+        List.map
+          (fun (_, c) ->
+            let v =
+              Model.add_binary model
+                (Printf.sprintf "map_%s_%s" c.Components.Component.name
+                   (Template.node template i).Template.name)
+            in
+            (c, v))
+          (Instance.devices_for inst i))
+  in
+  (* Exactly one device on a used node, none otherwise: Σ_l m_li = α_i.
+     Fixed nodes are pinned used. *)
+  for i = 0 to n - 1 do
+    let sum = Lin.of_list (List.map (fun (_, v) -> (1., v)) sizing.(i)) in
+    Model.add_constr model ~name:(Printf.sprintf "sizing_%d" i)
+      (Lin.sub sum (Lin.var node_use.(i)))
+      Model.Eq 0.;
+    if (Template.node template i).Template.fixed then
+      Model.add_constr model
+        ~name:(Printf.sprintf "fixed_%d" i)
+        (Lin.var node_use.(i))
+        Model.Eq 1.
+  done;
+  {
+    inst;
+    model;
+    node_use;
+    sizing;
+    edges = Hashtbl.create 64;
+    tx_usage = Array.make n Lin.zero;
+    rx_usage = Array.make n Lin.zero;
+    loc_candidates = [];
+    reach = [];
+    finalized = false;
+  }
+
+(* Big-M for the link-quality row: with e_ij = 0 the row must be slack
+   for any sizing, including "no device" (all m = 0, RSS = -PL). *)
+let lq_big_m ctx i j floor =
+  let pl = ctx.inst.Instance.pl.(i).(j) in
+  let worst = -.pl in
+  Float.max 1. (floor -. worst +. 1.)
+
+let edge_var ctx i j =
+  match Hashtbl.find_opt ctx.edges (i, j) with
+  | Some v -> v
+  | None ->
+      if not (Netgraph.Digraph.mem_edge ctx.inst.Instance.graph i j) then
+        invalid_arg (Printf.sprintf "Encode_common.edge_var: (%d, %d) is not a candidate link" i j);
+      let v = Model.add_binary ctx.model (Printf.sprintf "e_%d_%d" i j) in
+      Hashtbl.add ctx.edges (i, j) v;
+      (* An active link needs both endpoints deployed. *)
+      Model.add_constr ctx.model
+        ~name:(Printf.sprintf "e_src_%d_%d" i j)
+        (Lin.sub (Lin.var v) (Lin.var ctx.node_use.(i)))
+        Model.Le 0.;
+      Model.add_constr ctx.model
+        ~name:(Printf.sprintf "e_dst_%d_%d" i j)
+        (Lin.sub (Lin.var v) (Lin.var ctx.node_use.(j)))
+        Model.Le 0.;
+      (* Link quality (2b), linearized: RSS_ij >= floor - M (1 - e). *)
+      let floor = rss_floor_dbm ctx in
+      let m = lq_big_m ctx i j floor in
+      Model.add_constr ctx.model
+        ~name:(Printf.sprintf "lq_%d_%d" i j)
+        (Lin.sub (rss_expr ctx i j) (Lin.term m v))
+        Model.Ge (floor -. m);
+      v
+
+let add_edge_usage ctx i j expr =
+  ctx.tx_usage.(i) <- Lin.add ctx.tx_usage.(i) expr;
+  ctx.rx_usage.(j) <- Lin.add ctx.rx_usage.(j) expr
+
+let constrain_used_edge ctx i j expr =
+  let e = edge_var ctx i j in
+  (* e >= every binary term of the usage expression… *)
+  Lin.iter
+    (fun v c ->
+      if c > 0. then
+        Model.add_constr ctx.model
+          (Lin.sub (Lin.var e) (Lin.var v))
+          Model.Ge 0.)
+    expr;
+  (* …and e <= total usage, so links no path selects stay off. *)
+  Model.add_constr ctx.model (Lin.sub (Lin.var e) expr) Model.Le 0.
+
+let set_localization_candidates ctx cands = ctx.loc_candidates <- cands
+
+let localization_candidates ctx = ctx.loc_candidates
+
+let reach_vars ctx = ctx.reach
+
+(* ---------------- energy and lifetime ---------------- *)
+
+let needs_energy ctx =
+  ctx.inst.Instance.requirements.Requirements.min_lifetime_years <> None
+  || List.exists (fun (_, c) -> c = Objective.Energy) ctx.inst.Instance.objective
+
+(* Per-node charge expression (mA·s per reporting period), linear in the
+   auxiliary products w = m * usage (see DESIGN.md, linearization). *)
+let node_charge_expr ctx i =
+  let inst = ctx.inst in
+  let proto = inst.Instance.protocol in
+  let period = proto.Energy.Tdma.report_period_s in
+  let slot = proto.Energy.Tdma.slot_s in
+  let bits = Energy.Tdma.packet_bits proto in
+  let etx = Instance.etx_bound inst in
+  let route_cap = float_of_int (Int.max 1 (Requirements.total_path_count inst.Instance.requirements)) in
+  let charge = ref Lin.zero in
+  List.iter
+    (fun ((c : Components.Component.t), mv) ->
+      let airtime = float_of_int bits /. (c.Components.Component.bit_rate_kbps *. 1000.) in
+      let sleep_ma = c.Components.Component.sleep_ua /. 1000. in
+      (* Auxiliary products w = m_li * usage_i, one per direction. *)
+      let product name usage =
+        if Lin.is_constant usage then Lin.scale (Lin.constant usage) (Lin.var mv)
+        else begin
+          let w =
+            Model.add_var ctx.model ~lb:0. ~ub:route_cap
+              (Printf.sprintf "w%s_%d_%s" name i c.Components.Component.name)
+          in
+          Model.add_constr ctx.model
+            (Lin.sub (Lin.var w) (Lin.term route_cap mv))
+            Model.Le 0.;
+          Model.add_constr ctx.model (Lin.sub (Lin.var w) usage) Model.Le 0.;
+          (* w >= usage - R (1 - m): tight when the device is selected. *)
+          Model.add_constr ctx.model
+            (Lin.add_const
+               (Lin.sub (Lin.sub (Lin.var w) usage) (Lin.term route_cap mv))
+               route_cap)
+            Model.Ge 0.;
+          Lin.var w
+        end
+      in
+      let wtx = product "tx" ctx.tx_usage.(i) in
+      let wrx = product "rx" ctx.rx_usage.(i) in
+      (* Radio + awake-slot active draw minus the sleep current the
+         awake time displaces, per TX/RX event… *)
+      let tx_coef =
+        (etx *. airtime *. c.Components.Component.radio_tx_ma)
+        +. (slot *. c.Components.Component.active_ma)
+        -. (slot *. sleep_ma)
+      in
+      let rx_coef =
+        (etx *. airtime *. c.Components.Component.radio_rx_ma)
+        +. (slot *. c.Components.Component.active_ma)
+        -. (slot *. sleep_ma)
+      in
+      (* …plus baseline sleep for the whole period when this device is
+         the one deployed. *)
+      charge :=
+        Lin.add !charge
+          (Lin.sum
+             [ Lin.scale tx_coef wtx; Lin.scale rx_coef wrx; Lin.term (sleep_ma *. period) mv ]))
+    ctx.sizing.(i);
+  !charge
+
+let add_energy ctx =
+  let inst = ctx.inst in
+  let n = Template.nnodes inst.Instance.template in
+  let period = inst.Instance.protocol.Energy.Tdma.report_period_s in
+  let charges = Array.init n (fun i -> node_charge_expr ctx i) in
+  (match inst.Instance.requirements.Requirements.min_lifetime_years with
+  | None -> ()
+  | Some years ->
+      (* (3a): battery / avg-current >= L*  ⇔  charge-per-period bounded. *)
+      let budget =
+        inst.Instance.battery.Energy.Lifetime.capacity_mah *. 3600. *. period
+        /. (years *. Energy.Lifetime.seconds_per_year)
+      in
+      Array.iteri
+        (fun i q ->
+          (* Base stations are mains-powered: the lifetime requirement
+             applies to battery nodes only. *)
+          let role = (Template.node inst.Instance.template i).Template.role in
+          if role <> Components.Component.Sink then
+            Model.add_constr ctx.model ~name:(Printf.sprintf "lifetime_%d" i) q Model.Le budget)
+        charges);
+  charges
+
+(* ---------------- localization ---------------- *)
+
+let eval_path_loss ctx anchor eval_pt =
+  let loc = (Template.node ctx.inst.Instance.template anchor).Template.loc in
+  Radio.Channel.path_loss ctx.inst.Instance.channel loc eval_pt
+
+let add_localization ctx =
+  match ctx.inst.Instance.requirements.Requirements.localization with
+  | None -> ()
+  | Some loc ->
+      let anchors =
+        Template.find_role ctx.inst.Instance.template Components.Component.Anchor
+      in
+      let floor = loc.Requirements.loc_min_rss_dbm in
+      let candidates_for j =
+        match List.assoc_opt j ctx.loc_candidates with
+        | Some l -> l
+        | None -> anchors
+      in
+      Array.iteri
+        (fun j pt ->
+          let cands = candidates_for j in
+          let cover = ref Lin.zero in
+          List.iter
+            (fun i ->
+              let pl = eval_path_loss ctx i pt in
+              let r = Model.add_binary ctx.model (Printf.sprintf "reach_%d_%d" i j) in
+              ctx.reach <- ((i, j), r) :: ctx.reach;
+              (* (4a): r ⇒ α_i ∧ RSS >= floor. *)
+              Model.add_constr ctx.model
+                (Lin.sub (Lin.var r) (Lin.var ctx.node_use.(i)))
+                Model.Le 0.;
+              let worst = -.pl in
+              let m = Float.max 1. (floor -. worst +. 1.) in
+              let rss = Lin.add_const (tx_gain_expr ctx i) (-.pl) in
+              Model.add_constr ctx.model
+                ~name:(Printf.sprintf "locq_%d_%d" i j)
+                (Lin.sub rss (Lin.term m r))
+                Model.Ge (floor -. m);
+              cover := Lin.add_term !cover 1. r)
+            cands;
+          (* (4b): every test point covered by >= N anchors. *)
+          Model.add_constr ctx.model
+            ~name:(Printf.sprintf "cover_%d" j)
+            !cover Model.Ge
+            (float_of_int loc.Requirements.min_anchors))
+        loc.Requirements.eval_points
+
+(* ---------------- objective ---------------- *)
+
+let dollar_expr ctx =
+  let acc = ref Lin.zero in
+  Array.iter
+    (fun svars ->
+      List.iter
+        (fun ((c : Components.Component.t), v) ->
+          acc := Lin.add_term !acc c.Components.Component.cost v)
+        svars)
+    ctx.sizing;
+  !acc
+
+let node_count_expr ctx =
+  Array.fold_left (fun acc v -> Lin.add_term acc 1. v) Lin.zero ctx.node_use
+
+let dsod_expr ctx =
+  match ctx.inst.Instance.requirements.Requirements.localization with
+  | None -> Lin.zero
+  | Some loc ->
+      List.fold_left
+        (fun acc ((i, j), r) ->
+          let anchor_loc = (Template.node ctx.inst.Instance.template i).Template.loc in
+          let d = Geometry.Point.dist anchor_loc loc.Requirements.eval_points.(j) in
+          Lin.add_term acc d r)
+        Lin.zero ctx.reach
+
+let finalize ctx =
+  if ctx.finalized then invalid_arg "Encode_common.finalize: already finalized";
+  ctx.finalized <- true;
+  let charges = if needs_energy ctx then add_energy ctx else [||] in
+  add_localization ctx;
+  let period = ctx.inst.Instance.protocol.Energy.Tdma.report_period_s in
+  let concern_expr = function
+    | Objective.Dollar_cost -> dollar_expr ctx
+    | Objective.Node_count -> node_count_expr ctx
+    | Objective.Dsod -> dsod_expr ctx
+    | Objective.Energy ->
+        (* Average network current in µA: Σ_i q_i / T * 1000. *)
+        Lin.scale (1000. /. period) (Array.fold_left Lin.add Lin.zero charges)
+  in
+  let obj =
+    List.fold_left
+      (fun acc (w, c) -> Lin.add acc (Lin.scale w (concern_expr c)))
+      Lin.zero ctx.inst.Instance.objective
+  in
+  Model.set_objective ctx.model Model.Minimize obj

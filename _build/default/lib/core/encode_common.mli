@@ -1,0 +1,70 @@
+(** Shared encoding machinery for both path-encoding strategies.
+
+    A context owns the MILP model plus the variables that do not depend
+    on the path-encoding strategy: node-use binaries [α_i], sizing
+    binaries [m_{l,i}] (paper §2, mapping constraints), and shared edge
+    binaries [e_{ij}] with their link-quality big-M constraints
+    (2a)–(2b).  Strategies contribute edge-usage expressions (how many
+    required paths cross each link), and {!finalize} then emits the
+    energy/lifetime constraints (3a)–(3b), localization constraints
+    (4a)–(4b) and the objective. *)
+
+type t
+
+val create : Instance.t -> t
+
+val model : t -> Milp.Model.t
+
+val instance : t -> Instance.t
+
+val node_use_var : t -> int -> int
+(** [α_i]: 1 iff template node [i] is used. *)
+
+val sizing_vars : t -> int -> (Components.Component.t * int) list
+(** Sizing binaries of node [i], one per compatible library device. *)
+
+val edge_var : t -> int -> int -> int
+(** [e_{ij}], created on first request.  Creation also adds
+    [e <= α_i], [e <= α_j] and the link-quality constraint for the
+    link.  @raise Invalid_argument if [(i, j)] is not a candidate link
+    of the instance graph. *)
+
+val edge_vars : t -> ((int * int) * int) list
+(** All edge binaries created so far. *)
+
+val rss_expr : t -> int -> int -> Milp.Lin.t
+(** Linear RSS expression of link [i -> j] (equation (2a)):
+    [-PL_ij + Σ_l m_li (tx_l + g_l) + Σ_l m_lj g_l]. *)
+
+val rss_floor_dbm : t -> float
+(** The RSS threshold every used link must meet:
+    [noise + Instance.min_snr_db]. *)
+
+val add_edge_usage : t -> int -> int -> Milp.Lin.t -> unit
+(** [add_edge_usage ctx i j expr] declares that [expr] (a 0/1-or-more
+    integer-valued expression over strategy variables) counts the
+    required paths crossing link [i -> j].  Feeds the TX accounting of
+    node [i] and the RX accounting of node [j]. *)
+
+val constrain_used_edge : t -> int -> int -> Milp.Lin.t -> unit
+(** Couple a strategy-level usage expression to the shared edge binary:
+    adds [e_{ij} >= expr / bound] style lower bounds ([e >= s] for each
+    binary term) plus [e_{ij} <= expr] so unused links stay off. *)
+
+val finalize : t -> unit
+(** Emit energy, lifetime, localization and objective rows.  Call once,
+    after the strategy added all routing structure. *)
+
+val localization_candidates : t -> (int * int list) list
+(** For each evaluation-point index, the anchor node indices considered
+    by the localization constraints.  Before {!finalize} configures
+    them, this is empty; strategies set it via
+    {!set_localization_candidates}. *)
+
+val set_localization_candidates : t -> (int * int list) list -> unit
+(** [(eval_index, anchors)] pairs; unset points default to all anchors
+    at finalize time. *)
+
+val reach_vars : t -> ((int * int) * int) list
+(** Localization reachability binaries [(anchor, eval_index), r_var]
+    created by {!finalize}. *)

@@ -1,0 +1,99 @@
+module Lin = Milp.Lin
+module Model = Milp.Model
+
+type path_vars = {
+  req_index : int;
+  replica : int;
+  edge_of_var : ((int * int) * int) list;
+}
+
+type t = { ctx : Encode_common.t; paths : path_vars list }
+
+let encode inst =
+  let ctx = Encode_common.create inst in
+  let model = Encode_common.model ctx in
+  let graph = inst.Instance.graph in
+  let n = Template.nnodes inst.Instance.template in
+  let all_edges = Netgraph.Digraph.edges graph in
+  let usage : (int * int, Lin.t) Hashtbl.t = Hashtbl.create 256 in
+  let bump_edge key term =
+    let cur = Option.value ~default:Lin.zero (Hashtbl.find_opt usage key) in
+    Hashtbl.replace usage key (Lin.add cur term)
+  in
+  let paths = ref [] in
+  List.iteri
+    (fun req_index (r : Requirements.route) ->
+      let replicas =
+        Array.init r.Requirements.replicas (fun replica ->
+            (* One binary per candidate link for this path replica. *)
+            let vars =
+              List.map
+                (fun (i, j, _) ->
+                  let v =
+                    Model.add_binary model
+                      (Printf.sprintf "a_r%d_rep%d_%d_%d" req_index replica i j)
+                  in
+                  bump_edge (i, j) (Lin.var v);
+                  ((i, j), v))
+                all_edges
+            in
+            (* (1a): flow balance at every node. *)
+            for node = 0 to n - 1 do
+              let out_flow =
+                Lin.of_list
+                  (List.filter_map
+                     (fun ((i, _), v) -> if i = node then Some (1., v) else None)
+                     vars)
+              in
+              let in_flow =
+                Lin.of_list
+                  (List.filter_map
+                     (fun ((_, j), v) -> if j = node then Some (1., v) else None)
+                     vars)
+              in
+              let z =
+                if node = r.Requirements.src then 1.
+                else if node = r.Requirements.dst then -1.
+                else 0.
+              in
+              Model.add_constr model
+                ~name:(Printf.sprintf "flow_r%d_rep%d_n%d" req_index replica node)
+                (Lin.sub out_flow in_flow) Model.Eq z;
+              (* (1c): at most one successor and one predecessor. *)
+              Model.add_constr model out_flow Model.Le 1.;
+              Model.add_constr model in_flow Model.Le 1.
+            done;
+            (* (1e): hop bounds, including any latency-induced bound. *)
+            List.iter
+              (fun { Requirements.hop_sense; hops } ->
+                let total = Lin.of_list (List.map (fun (_, v) -> (1., v)) vars) in
+                let sense =
+                  match hop_sense with `Le -> Model.Le | `Ge -> Model.Ge | `Eq -> Model.Eq
+                in
+                Model.add_constr model total sense (float_of_int hops))
+              (Instance.effective_hop_bounds inst r);
+            vars)
+      in
+      (* (1d): replicas are pairwise link-disjoint. *)
+      for r1 = 0 to Array.length replicas - 1 do
+        for r2 = r1 + 1 to Array.length replicas - 1 do
+          List.iter2
+            (fun (e1, v1) (e2, v2) ->
+              assert (e1 = e2);
+              Model.add_constr model (Lin.of_list [ (1., v1); (1., v2) ]) Model.Le 1.)
+            replicas.(r1) replicas.(r2)
+        done
+      done;
+      Array.iteri
+        (fun replica vars ->
+          paths := { req_index; replica; edge_of_var = vars } :: !paths)
+        replicas)
+    inst.Instance.requirements.Requirements.routes;
+  (* (1b) + LQ rows via the shared helper, plus energy accounting. *)
+  Hashtbl.iter
+    (fun (i, j) expr ->
+      Encode_common.add_edge_usage ctx i j expr;
+      Encode_common.constrain_used_edge ctx i j expr)
+    usage;
+  Encode_common.finalize ctx;
+  { ctx; paths = List.rev !paths }

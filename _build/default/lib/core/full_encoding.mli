@@ -1,0 +1,21 @@
+(** Exhaustive path encoding (paper §2, constraints (1a)–(1e)).
+
+    Every required path replica gets one binary per candidate link of
+    the template — the [n²]-variable encoding the paper uses as the
+    exact baseline.  Flow-balance (1a), edge implication (1b, emitted
+    through {!Encode_common.constrain_used_edge}), loop-freedom (1c),
+    replica disjointness (1d) and hop bounds (1e) are generated
+    explicitly.  This encoding explores all topologies but its size
+    explodes with the template, which is exactly the paper's motivation
+    for Algorithm 1. *)
+
+type path_vars = {
+  req_index : int;
+  replica : int;
+  edge_of_var : ((int * int) * int) list;  (** [(i, j), a^ρ_ij)]. *)
+}
+
+type t = { ctx : Encode_common.t; paths : path_vars list }
+
+val encode : Instance.t -> t
+(** Build the complete MILP (finalized, ready to solve). *)

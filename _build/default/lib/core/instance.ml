@@ -1,0 +1,97 @@
+type t = {
+  template : Template.t;
+  library : Components.Library.t;
+  channel : Radio.Channel.t;
+  protocol : Energy.Tdma.t;
+  battery : Energy.Lifetime.battery;
+  noise_dbm : float;
+  modulation : Radio.Modulation.t;
+  requirements : Requirements.t;
+  objective : Objective.t;
+  pl : float array array;
+  graph : Netgraph.Digraph.t;
+}
+
+let roles_present template =
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun (n : Template.node) -> Hashtbl.replace seen n.Template.role ())
+    (Template.nodes template);
+  Hashtbl.fold (fun r () acc -> r :: acc) seen []
+
+let create ?(noise_dbm = -100.) ?(modulation = Radio.Modulation.Qpsk)
+    ?(protocol = Energy.Tdma.make ()) ?(battery = Energy.Lifetime.default_battery)
+    ?max_path_loss ~template ~library ~channel ~requirements ~objective () =
+  match Requirements.validate requirements ~nnodes:(Template.nnodes template) with
+  | Error e -> Error ("invalid requirements: " ^ e)
+  | Ok () ->
+      let missing =
+        List.filter
+          (fun role -> Components.Library.with_role library role = [])
+          (roles_present template)
+      in
+      if missing <> [] then
+        Error
+          ("library has no device for role(s): "
+          ^ String.concat ", " (List.map Components.Component.role_name missing))
+      else if objective = [] then Error "empty objective"
+      else begin
+        let pl = Radio.Channel.path_loss_matrix channel (Template.locations template) in
+        let graph = Template.candidate_links ?max_path_loss template ~pl in
+        Ok
+          {
+            template;
+            library;
+            channel;
+            protocol;
+            battery;
+            noise_dbm;
+            modulation;
+            requirements;
+            objective;
+            pl;
+            graph;
+          }
+      end
+
+let create_exn ?noise_dbm ?modulation ?protocol ?battery ?max_path_loss ~template ~library
+    ~channel ~requirements ~objective () =
+  match
+    create ?noise_dbm ?modulation ?protocol ?battery ?max_path_loss ~template ~library ~channel
+      ~requirements ~objective ()
+  with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Instance.create: " ^ e)
+
+let min_snr_db t =
+  let r = t.requirements in
+  let candidates =
+    List.filter_map Fun.id
+      [
+        r.Requirements.min_snr_db;
+        Option.map (fun rss -> rss -. t.noise_dbm) r.Requirements.min_rss_dbm;
+        Option.map (fun ber -> Radio.Modulation.snr_for_ber t.modulation ber) r.Requirements.max_ber;
+      ]
+  in
+  List.fold_left Float.max 0. candidates
+
+let etx_bound t =
+  let snr = min_snr_db t in
+  Radio.Link_budget.etx ~modulation:t.modulation
+    ~packet_bits:(Energy.Tdma.packet_bits t.protocol)
+    ~snr_db:snr ()
+
+let effective_hop_bounds t (r : Requirements.route) =
+  match r.Requirements.max_latency_s with
+  | None -> r.Requirements.hop_bounds
+  | Some latency ->
+      let sf = Energy.Tdma.superframe_s t.protocol in
+      let hops = int_of_float (Float.floor (latency /. sf)) in
+      { Requirements.hop_sense = `Le; hops = Int.max 1 hops } :: r.Requirements.hop_bounds
+
+let devices_for t i =
+  let role = (Template.node t.template i).Template.role in
+  let all = Components.Library.components t.library in
+  List.filteri (fun _ _ -> true) all
+  |> List.mapi (fun idx c -> (idx, c))
+  |> List.filter (fun (_, (c : Components.Component.t)) -> c.Components.Component.role = role)

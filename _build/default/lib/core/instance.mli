@@ -1,0 +1,75 @@
+(** A complete exploration-problem instance: template + library +
+    physics + requirements + objective.
+
+    Derived data (the all-pairs path-loss matrix and the candidate-link
+    graph) is computed once at construction and shared by both the full
+    and the approximate encodings. *)
+
+type t = {
+  template : Template.t;
+  library : Components.Library.t;
+  channel : Radio.Channel.t;
+  protocol : Energy.Tdma.t;
+  battery : Energy.Lifetime.battery;
+  noise_dbm : float;  (** Background noise + interference floor. *)
+  modulation : Radio.Modulation.t;
+  requirements : Requirements.t;
+  objective : Objective.t;
+  (* Derived: *)
+  pl : float array array;  (** All-pairs path loss over template nodes. *)
+  graph : Netgraph.Digraph.t;  (** Candidate links, weight = path loss. *)
+}
+
+val create :
+  ?noise_dbm:float ->
+  ?modulation:Radio.Modulation.t ->
+  ?protocol:Energy.Tdma.t ->
+  ?battery:Energy.Lifetime.battery ->
+  ?max_path_loss:float ->
+  template:Template.t ->
+  library:Components.Library.t ->
+  channel:Radio.Channel.t ->
+  requirements:Requirements.t ->
+  objective:Objective.t ->
+  unit ->
+  (t, string) result
+(** Defaults: noise -100 dBm, QPSK, the paper's TDMA parameters, two AA
+    batteries.  Validates requirements against the template and checks
+    the library offers at least one device per role present. *)
+
+val create_exn :
+  ?noise_dbm:float ->
+  ?modulation:Radio.Modulation.t ->
+  ?protocol:Energy.Tdma.t ->
+  ?battery:Energy.Lifetime.battery ->
+  ?max_path_loss:float ->
+  template:Template.t ->
+  library:Components.Library.t ->
+  channel:Radio.Channel.t ->
+  requirements:Requirements.t ->
+  objective:Objective.t ->
+  unit ->
+  t
+(** @raise Invalid_argument on validation failure. *)
+
+val min_snr_db : t -> float
+(** The effective SNR floor implied by the requirements: the maximum of
+    the explicit [min_snr_db], the SNR of [min_rss_dbm] over the noise
+    floor, and the SNR implied by [max_ber] through the modulation
+    curve.  Falls back to 0 dB when no link-quality requirement is
+    given (an undecodable link is never useful). *)
+
+val etx_bound : t -> float
+(** Conservative expected-transmissions bound used to linearize the
+    energy constraints: the ETX at the effective SNR floor.  Every link
+    admitted by the link-quality constraints has ETX at most this. *)
+
+val effective_hop_bounds : t -> Requirements.route -> Requirements.hop_bound list
+(** The route's explicit hop bounds plus the bound induced by its
+    latency deadline: under the collision-free TDMA schedule a packet
+    advances one hop per superframe, so
+    [hops <= floor (latency / superframe)]. *)
+
+val devices_for : t -> int -> (int * Components.Component.t) list
+(** Library entries (with their library index) whose role matches
+    template node [i]. *)

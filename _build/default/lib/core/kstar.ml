@@ -1,0 +1,52 @@
+type step = { kstar : int; outcome : Solve.outcome; objective : float option }
+
+type result = {
+  steps : step list;
+  best : (int * Solution.t) option;
+  stopped_because : [ `Time_threshold | `No_improvement | `Schedule_exhausted ];
+}
+
+let default_schedule = [ 1; 3; 5; 10; 20 ]
+
+let search ?(schedule = default_schedule) ?(time_threshold_s = 60.) ?(min_improvement = 0.005)
+    ?options inst =
+  let steps = ref [] in
+  let best = ref None in
+  let prev_obj = ref None in
+  let stopped = ref `Schedule_exhausted in
+  let rec go = function
+    | [] -> ()
+    | kstar :: rest -> (
+        match Solve.run ?options inst (Solve.Approx { kstar; loc_kstar = kstar }) with
+        | Error _ ->
+            (* Pool generation failed for this K*; try a larger one. *)
+            go rest
+        | Ok outcome ->
+            let objective =
+              Option.map (fun _ -> outcome.Solve.mip.Milp.Branch_bound.objective)
+                outcome.Solve.solution
+            in
+            steps := { kstar; outcome; objective } :: !steps;
+            (match (outcome.Solve.solution, !best) with
+            | Some sol, None -> best := Some (kstar, sol)
+            | Some sol, Some (_, prev)
+              when outcome.Solve.mip.Milp.Branch_bound.objective
+                   < prev.Solution.mip.Milp.Branch_bound.objective -. 1e-9 ->
+                best := Some (kstar, sol)
+            | _ -> ());
+            if outcome.Solve.stats.Solve.solve_time_s > time_threshold_s then
+              stopped := `Time_threshold
+            else begin
+              let improved =
+                match (objective, !prev_obj) with
+                | Some now, Some before ->
+                    before -. now > min_improvement *. Float.max 1e-9 (Float.abs before)
+                | Some _, None -> true
+                | None, _ -> true
+              in
+              (match objective with Some o -> prev_obj := Some o | None -> ());
+              if improved then go rest else stopped := `No_improvement
+            end)
+  in
+  go schedule;
+  { steps = List.rev !steps; best = !best; stopped_because = !stopped }

@@ -1,0 +1,38 @@
+(** Systematic selection of [K*] (paper §4.3).
+
+    "K* can be systematically selected by a search algorithm that
+    generates multiple topologies for different values of K* and
+    terminates once the execution time becomes higher than a predefined
+    threshold or there is no further improvement in the objective."
+
+    The search walks an increasing [K*] schedule, re-encoding and
+    re-solving the instance each time, and stops on timeout, lack of
+    improvement, or schedule exhaustion. *)
+
+type step = {
+  kstar : int;
+  outcome : Solve.outcome;
+  objective : float option;  (** Incumbent objective if one was found. *)
+}
+
+type result = {
+  steps : step list;  (** In schedule order. *)
+  best : (int * Solution.t) option;  (** Best [K*] and its solution. *)
+  stopped_because : [ `Time_threshold | `No_improvement | `Schedule_exhausted ];
+}
+
+val default_schedule : int list
+(** [1; 3; 5; 10; 20] — the paper's Table 4 sweep. *)
+
+val search :
+  ?schedule:int list ->
+  ?time_threshold_s:float ->
+  ?min_improvement:float ->
+  ?options:Milp.Branch_bound.options ->
+  Instance.t ->
+  result
+(** [search inst] runs the schedule.  Stops early when a solve exceeds
+    [time_threshold_s] (default 60 s) or when the objective improves by
+    less than [min_improvement] (relative, default 0.5%) over the
+    previous step.  Encoding failures for a given [K*] are recorded as
+    steps without objective and skipped. *)

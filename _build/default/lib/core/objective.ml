@@ -1,0 +1,23 @@
+type concern = Dollar_cost | Energy | Node_count | Dsod
+
+type t = (float * concern) list
+
+let dollar = [ (1., Dollar_cost) ]
+
+let energy = [ (1., Energy) ]
+
+let dsod = [ (1., Dsod) ]
+
+let combine a b = List.map (fun (w, c) -> (0.5 *. w, c)) (a @ b)
+
+let concern_name = function
+  | Dollar_cost -> "$ cost"
+  | Energy -> "energy"
+  | Node_count -> "#nodes"
+  | Dsod -> "DSOD"
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+    (fun ppf (w, c) -> Format.fprintf ppf "%g*%s" w (concern_name c))
+    ppf t

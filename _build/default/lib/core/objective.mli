@@ -1,0 +1,33 @@
+(** Objective functions: weighted combinations of design concerns
+    (paper §2, "Cost function").
+
+    Concern values are normalized inside the encoder so that the weights
+    are unitless user knobs, as in the paper's "equally weighted
+    combination" experiments. *)
+
+type concern =
+  | Dollar_cost  (** Sum of selected component costs. *)
+  | Energy  (** Total network charge per reporting period (mA·s). *)
+  | Node_count  (** Number of used nodes. *)
+  | Dsod
+      (** Localization accuracy proxy (Redondi & Amaldi's linearized
+          Cramér–Rao surrogate): sum over test points of the distances
+          to the anchors that cover them — favouring placements whose
+          covering anchors are close to the points they range. *)
+
+type t = (float * concern) list
+(** Weighted sum, e.g. [[ (1., Dollar_cost) ]] or
+    [[ (0.5, Dollar_cost); (0.5, Energy) ]]. *)
+
+val dollar : t
+
+val energy : t
+
+val dsod : t
+
+val combine : t -> t -> t
+(** Equal-weight combination of two objectives (each rescaled by 1/2). *)
+
+val concern_name : concern -> string
+
+val pp : Format.formatter -> t -> unit

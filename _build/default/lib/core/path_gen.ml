@@ -1,0 +1,185 @@
+module Digraph = Netgraph.Digraph
+module Path = Netgraph.Path
+module Yen = Netgraph.Yen
+
+type route_pool = {
+  req_index : int;
+  src : int;
+  dst : int;
+  replicas : int;
+  pool : Path.t list;
+}
+
+type result = { pools : route_pool list; dropped_edges : int }
+
+let best_device_contribution inst i =
+  List.fold_left
+    (fun acc (_, (c : Components.Component.t)) ->
+      Float.max acc
+        (c.Components.Component.tx_power_dbm +. c.Components.Component.antenna_gain_dbi))
+    0. (Instance.devices_for inst i)
+
+let best_rx_gain inst j =
+  List.fold_left
+    (fun acc (_, (c : Components.Component.t)) ->
+      Float.max acc c.Components.Component.antenna_gain_dbi)
+    0. (Instance.devices_for inst j)
+
+let best_case_rss inst i j =
+  -.inst.Instance.pl.(i).(j) +. best_device_contribution inst i +. best_rx_gain inst j
+
+(* Drop links that no component sizing can lift above the LQ floor
+   (working copy; the instance graph is left untouched). *)
+let lq_filtered_graph inst =
+  let floor = inst.Instance.noise_dbm +. Instance.min_snr_db inst in
+  let g = Digraph.copy inst.Instance.graph in
+  let dropped = ref 0 in
+  Digraph.iter_edges
+    (fun i j _ ->
+      if best_case_rss inst i j < floor then begin
+        Digraph.set_weight g i j infinity;
+        incr dropped
+      end)
+    g;
+  (g, !dropped)
+
+let satisfies_hops bounds p =
+  let h = Path.length p in
+  List.for_all
+    (fun { Requirements.hop_sense; hops } ->
+      match hop_sense with `Le -> h <= hops | `Ge -> h >= hops | `Eq -> h = hops)
+    bounds
+
+(* The pool member sharing the most edges with the rest of the pool —
+   the "minimally disjoint" path of Algorithm 1. *)
+let most_shared_path pool =
+  match pool with
+  | [] -> None
+  | [ p ] -> Some p
+  | _ ->
+      let counts = Hashtbl.create 64 in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun e ->
+              Hashtbl.replace counts e (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
+            (Path.edges p))
+        pool;
+      let sharing p =
+        List.fold_left
+          (fun acc e -> acc + Option.value ~default:1 (Hashtbl.find_opt counts e) - 1)
+          0 (Path.edges p)
+      in
+      let best =
+        List.fold_left
+          (fun (bp, bs) p ->
+            let s = sharing p in
+            if s > bs then (p, s) else (bp, bs))
+          (List.hd pool, sharing (List.hd pool))
+          (List.tl pool)
+      in
+      Some (fst best)
+
+let disconnect g p =
+  List.iter (fun (u, v) -> if Digraph.mem_edge g u v then Digraph.set_weight g u v infinity) (Path.edges p)
+
+(* Greedy check that the pool admits [n] mutually edge-disjoint members
+   (the construction guarantees it; we verify to fail fast). *)
+let disjoint_capacity pool =
+  let rec go chosen = function
+    | [] -> List.length chosen
+    | p :: rest ->
+        if List.for_all (fun q -> Path.edge_disjoint p q) chosen then go (p :: chosen) rest
+        else go chosen rest
+  in
+  go [] pool
+
+let generate ?(kstar = 10) inst =
+  if kstar < 1 then invalid_arg "Path_gen.generate: kstar < 1";
+  let base, dropped = lq_filtered_graph inst in
+  let routes = inst.Instance.requirements.Requirements.routes in
+  let rec per_route acc idx = function
+    | [] -> Ok (List.rev acc)
+    | (r : Requirements.route) :: rest -> (
+        let nrep = r.Requirements.replicas in
+        let k = (kstar + nrep - 1) / nrep in
+        (* BalanceDive: nrep rounds of k candidates, nrep * k >= kstar. *)
+        let work = Digraph.copy base in
+        let pool = ref [] in
+        for _ = 1 to nrep do
+          let found =
+            Yen.k_shortest work ~src:r.Requirements.src ~dst:r.Requirements.dst ~k
+          in
+          let bounds = Instance.effective_hop_bounds inst r in
+          let fresh =
+            List.filter_map
+              (fun (_, p) ->
+                if satisfies_hops bounds p && not (List.mem p !pool) then Some p else None)
+              found
+          in
+          pool := !pool @ fresh;
+          match most_shared_path !pool with
+          | Some p -> disconnect work p
+          | None -> ()
+        done;
+        match !pool with
+        | [] ->
+            Error
+              (Printf.sprintf "route %d (%d -> %d): no feasible candidate path" idx
+                 r.Requirements.src r.Requirements.dst)
+        | pool_paths ->
+            if disjoint_capacity pool_paths < nrep then
+              (* Distinguish a pool-construction shortfall from a graph
+                 that cannot support the replication at all (Menger). *)
+              let graph_cap =
+                Netgraph.Maxflow.edge_disjoint_capacity base ~src:r.Requirements.src
+                  ~dst:r.Requirements.dst
+              in
+              Error
+                (Printf.sprintf
+                   "route %d (%d -> %d): pool provides %d disjoint paths, %d required%s" idx
+                   r.Requirements.src r.Requirements.dst (disjoint_capacity pool_paths) nrep
+                   (if graph_cap < nrep then
+                      Printf.sprintf
+                        " (the filtered graph itself supports at most %d disjoint paths)"
+                        graph_cap
+                    else " (try a larger K*)"))
+            else
+              per_route
+                ({
+                   req_index = idx;
+                   src = r.Requirements.src;
+                   dst = r.Requirements.dst;
+                   replicas = nrep;
+                   pool = pool_paths;
+                 }
+                :: acc)
+                (idx + 1) rest)
+  in
+  match per_route [] 0 routes with
+  | Ok pools -> Ok { pools; dropped_edges = dropped }
+  | Error e -> Error e
+
+let localization_candidates inst ~kstar =
+  match inst.Instance.requirements.Requirements.localization with
+  | None -> []
+  | Some loc ->
+      let anchors = Template.find_role inst.Instance.template Components.Component.Anchor in
+      let channel = inst.Instance.channel in
+      Array.to_list
+        (Array.mapi
+           (fun j pt ->
+             let scored =
+               List.map
+                 (fun i ->
+                   let a = (Template.node inst.Instance.template i).Template.loc in
+                   (Radio.Channel.path_loss channel a pt, i))
+                 anchors
+             in
+             let sorted = List.sort compare scored in
+             let rec take n = function
+               | [] -> []
+               | (_, i) :: rest -> if n = 0 then [] else i :: take (n - 1) rest
+             in
+             (j, take kstar sorted))
+           loc.Requirements.eval_points)

@@ -1,0 +1,50 @@
+(** Algorithm 1: approximate path encoding by Yen-based pruning.
+
+    For every required source/destination pair the algorithm proposes a
+    pool of [K*] promising candidate paths instead of enumerating all
+    paths:
+
+    {ol
+    {- [ForkReplicas]/[BalanceDive]: split [K*] into [N_rep] rounds of
+       [K = ceil (K* / N_rep)] candidates, [N_rep] being the number of
+       disjoint path replicas the requirements demand;}
+    {- each round runs Yen's K-shortest-path routine on the working
+       path-loss weights;}
+    {- [DisconnectMinDisjointPath]: after each round, the candidate
+       sharing the most edges with the other candidates is disconnected
+       (its edges' weights set to +inf) so the next round produces at
+       least one path disjoint from it — guaranteeing the pool contains
+       [N_rep] mutually disjoint members;}
+    {- links that cannot meet the link-quality floor under any component
+       sizing are dropped up front.}}
+
+    Hop-bound requirements filter the candidate pools directly. *)
+
+type route_pool = {
+  req_index : int;  (** Index into [Requirements.routes]. *)
+  src : int;
+  dst : int;
+  replicas : int;
+  pool : Netgraph.Path.t list;
+      (** Candidate paths, de-duplicated, best (lowest loss) first. *)
+}
+
+type result = {
+  pools : route_pool list;
+  dropped_edges : int;  (** Links removed by the LQ pre-filter. *)
+}
+
+val best_case_rss : Instance.t -> int -> int -> float
+(** Highest achievable RSS of a link over all admissible sizings of its
+    endpoints (used by the LQ pre-filter). *)
+
+val generate : ?kstar:int -> Instance.t -> (result, string) Stdlib.result
+(** Run Algorithm 1 with [kstar] (default 10, the paper's Table 1/3
+    setting).  Fails if some required pair has no feasible candidate
+    (e.g. disconnected after the LQ filter) or if a pool cannot supply
+    the demanded number of disjoint replicas. *)
+
+val localization_candidates : Instance.t -> kstar:int -> (int * int list) list
+(** Approximate pruning for the localization constraints: for each
+    evaluation point, the [kstar] anchor candidates with the smallest
+    path loss to it (paper §4.2 uses [K* = 20]). *)

@@ -1,0 +1,86 @@
+type hop_bound = { hop_sense : [ `Le | `Ge | `Eq ]; hops : int }
+
+type route = {
+  src : int;
+  dst : int;
+  replicas : int;
+  hop_bounds : hop_bound list;
+  max_latency_s : float option;
+}
+
+type localization = {
+  min_anchors : int;
+  loc_min_rss_dbm : float;
+  eval_points : Geometry.Point.t array;
+}
+
+type t = {
+  routes : route list;
+  min_rss_dbm : float option;
+  min_snr_db : float option;
+  max_ber : float option;
+  min_lifetime_years : float option;
+  localization : localization option;
+}
+
+let empty =
+  {
+    routes = [];
+    min_rss_dbm = None;
+    min_snr_db = None;
+    max_ber = None;
+    min_lifetime_years = None;
+    localization = None;
+  }
+
+let add_route ?(replicas = 1) ?(hop_bounds = []) ?max_latency_s t ~src ~dst =
+  { t with routes = t.routes @ [ { src; dst; replicas; hop_bounds; max_latency_s } ] }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let validate t ~nnodes =
+  let check_route r =
+    if r.src < 0 || r.src >= nnodes then Error (Printf.sprintf "route src %d out of range" r.src)
+    else if r.dst < 0 || r.dst >= nnodes then
+      Error (Printf.sprintf "route dst %d out of range" r.dst)
+    else if r.src = r.dst then Error "route with identical endpoints"
+    else if r.replicas < 1 then Error "route with replicas < 1"
+    else if List.exists (fun h -> h.hops < 1) r.hop_bounds then Error "hop bound < 1"
+    else
+      match r.max_latency_s with
+      | Some l when l <= 0. -> Error "non-positive latency bound"
+      | Some _ | None -> Ok ()
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | r :: rest -> ( match check_route r with Ok () -> check_all rest | Error e -> Error e)
+  in
+  let* () = check_all t.routes in
+  let* () =
+    match t.max_ber with
+    | Some b when b <= 0. || b >= 0.5 -> Error "max_ber outside (0, 0.5)"
+    | _ -> Ok ()
+  in
+  let* () =
+    match t.min_lifetime_years with
+    | Some y when y <= 0. -> Error "non-positive lifetime requirement"
+    | _ -> Ok ()
+  in
+  match t.localization with
+  | Some l ->
+      if l.min_anchors < 1 then Error "min_anchors < 1"
+      else if Array.length l.eval_points = 0 then Error "localization without eval points"
+      else Ok ()
+  | None -> Ok ()
+
+let total_path_count t = List.fold_left (fun acc r -> acc + r.replicas) 0 t.routes
+
+let pp ppf t =
+  Format.fprintf ppf "requirements(%d routes/%d paths%s%s%s%s)" (List.length t.routes)
+    (total_path_count t)
+    (match t.min_rss_dbm with Some v -> Printf.sprintf ", rss>=%g" v | None -> "")
+    (match t.min_snr_db with Some v -> Printf.sprintf ", snr>=%g" v | None -> "")
+    (match t.min_lifetime_years with Some v -> Printf.sprintf ", life>=%gy" v | None -> "")
+    (match t.localization with
+    | Some l -> Printf.sprintf ", loc(N=%d, %d pts)" l.min_anchors (Array.length l.eval_points)
+    | None -> "")

@@ -1,0 +1,55 @@
+(** Typed system requirements (the elaborated form of the pattern
+    specification).
+
+    Node references are template indices; {!Spec.Elaborate} (in the
+    [spec] library) produces the same structure from the textual
+    pattern language, and scenario builders construct it directly. *)
+
+type hop_bound = { hop_sense : [ `Le | `Ge | `Eq ]; hops : int }
+
+type route = {
+  src : int;  (** Template index of the source. *)
+  dst : int;  (** Template index of the destination. *)
+  replicas : int;  (** Required number of mutually disjoint paths (>= 1). *)
+  hop_bounds : hop_bound list;  (** Constraint (1e), possibly several. *)
+  max_latency_s : float option;
+      (** End-to-end delivery deadline; under TDMA a packet advances one
+          hop per superframe, so this induces a hop upper bound (see
+          {!Instance.effective_hop_bounds}). *)
+}
+
+type localization = {
+  min_anchors : int;  (** Constraint (4b): N. *)
+  loc_min_rss_dbm : float;  (** RSS threshold of (4a). *)
+  eval_points : Geometry.Point.t array;  (** The mobile-node test grid. *)
+}
+
+type t = {
+  routes : route list;
+  min_rss_dbm : float option;  (** Constraint (2b) on every used link. *)
+  min_snr_db : float option;  (** SNR variant of (2b). *)
+  max_ber : float option;  (** BER variant, translated via the modulation. *)
+  min_lifetime_years : float option;  (** Constraint (3a). *)
+  localization : localization option;
+}
+
+val empty : t
+
+val add_route :
+  ?replicas:int ->
+  ?hop_bounds:hop_bound list ->
+  ?max_latency_s:float ->
+  t ->
+  src:int ->
+  dst:int ->
+  t
+(** Append a route requirement ([has_path] pattern; [replicas > 1] is
+    the [disjoint_links] pattern). *)
+
+val validate : t -> nnodes:int -> (unit, string) result
+(** Check index ranges, replica counts, thresholds. *)
+
+val total_path_count : t -> int
+(** Sum of replicas over all routes, i.e. |Q+| in Algorithm 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Post-synthesis fault-resiliency analysis.
+
+    The paper motivates disjoint path replicas as "resiliency to network
+    faults"; this module quantifies it on a synthesized solution: for
+    every single-node (or single-link) failure, which sensors keep at
+    least one intact route to their destination? *)
+
+type fault = Node_failure of int | Link_failure of int * int
+
+type report = {
+  fault : fault;
+  surviving_routes : int;  (** Routes with at least one intact replica. *)
+  total_routes : int;
+  lost_sources : int list;  (** Template indices of disconnected sources. *)
+}
+
+val route_survives : Solution.t -> req:int -> fault -> bool
+(** Does requirement [req] keep at least one replica that avoids the
+    failed element?  (The destination failing kills every replica;
+    a failed source does too.) *)
+
+val single_node_faults : Instance.t -> Solution.t -> report list
+(** One report per used non-fixed node (relay/anchor failures; fixed
+    sensors and sinks are not candidate faults — losing the base
+    station trivially loses everything). *)
+
+val single_link_faults : Instance.t -> Solution.t -> report list
+(** One report per active link. *)
+
+val worst_case_survival : report list -> float
+(** Minimum fraction of surviving routes over all faults in the list
+    ([1.0] for an empty list). *)
+
+val pp_report : Format.formatter -> report -> unit

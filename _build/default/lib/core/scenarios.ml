@@ -1,0 +1,203 @@
+module Point = Geometry.Point
+module Comp = Components.Component
+
+type data_collection_params = {
+  dc_width : float;
+  dc_height : float;
+  dc_rooms_x : int;
+  dc_rooms_y : int;
+  dc_sensors : int;
+  dc_relay_grid : int * int;
+  dc_replicas : int;
+  dc_sensor_placement : [ `Rooms | `Perimeter ];
+  dc_min_snr_db : float;
+  dc_min_lifetime_years : float;
+  dc_seed : int;
+}
+
+let default_data_collection =
+  {
+    dc_width = 55.;
+    dc_height = 30.;
+    dc_rooms_x = 4;
+    dc_rooms_y = 3;
+    dc_sensors = 10;
+    dc_relay_grid = (5, 3);
+    dc_replicas = 2;
+    dc_sensor_placement = `Rooms;
+    dc_min_snr_db = 20.;
+    dc_min_lifetime_years = 5.;
+    dc_seed = 42;
+  }
+
+(* Deterministic jitter so sensors are not exactly at room centres. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let perimeter_positions p =
+  (* Evenly spaced along the outer walls, inset by 1.5 m. *)
+  let inset = 1.5 in
+  let w = p.dc_width -. (2. *. inset) and h = p.dc_height -. (2. *. inset) in
+  let perimeter = 2. *. (w +. h) in
+  List.init p.dc_sensors (fun i ->
+      let t = float_of_int i /. float_of_int p.dc_sensors *. perimeter in
+      let x, y =
+        if t < w then (t, 0.)
+        else if t < w +. h then (w, t -. w)
+        else if t < (2. *. w) +. h then ((2. *. w) +. h -. t, h)
+        else (0., perimeter -. t)
+      in
+      Point.make (inset +. x) (inset +. y))
+
+let sensor_positions p =
+  let rand = lcg p.dc_seed in
+  let centers =
+    Geometry.Building.room_centers ~width:p.dc_width ~height:p.dc_height ~rooms_x:p.dc_rooms_x
+      ~rooms_y:p.dc_rooms_y
+  in
+  let ncenters = List.length centers in
+  let arr = Array.of_list centers in
+  List.init p.dc_sensors (fun i ->
+      let c = arr.(i mod ncenters) in
+      let jx = (rand () -. 0.5) *. 4. and jy = (rand () -. 0.5) *. 4. in
+      Point.make
+        (clamp 1. (p.dc_width -. 1.) (c.Point.x +. jx))
+        (clamp 1. (p.dc_height -. 1.) (c.Point.y +. jy)))
+
+let data_collection ?(objective = Objective.dollar) p =
+  let place =
+    match p.dc_sensor_placement with
+    | `Rooms -> sensor_positions
+    | `Perimeter -> perimeter_positions
+  in
+  let plan =
+    Geometry.Building.office ~seed:p.dc_seed ~width:p.dc_width ~height:p.dc_height
+      ~rooms_x:p.dc_rooms_x ~rooms_y:p.dc_rooms_y ()
+  in
+  let sensors = place p in
+  let sink_loc = Point.make (p.dc_width /. 2.) (p.dc_height /. 2.) in
+  let gx, gy = p.dc_relay_grid in
+  let relays = Geometry.Building.candidate_grid plan ~nx:gx ~ny:gy in
+  let nodes =
+    List.mapi
+      (fun i loc -> { Template.name = Printf.sprintf "s%d" i; role = Comp.Sensor; loc; fixed = true })
+      sensors
+    @ [ { Template.name = "sink"; role = Comp.Sink; loc = sink_loc; fixed = true } ]
+    @ List.mapi
+        (fun i loc ->
+          { Template.name = Printf.sprintf "r%d" i; role = Comp.Relay; loc; fixed = false })
+        relays
+  in
+  let template = Template.create nodes in
+  let sink_idx = Option.get (Template.index_of template "sink") in
+  let requirements =
+    List.fold_left
+      (fun acc i ->
+        let src = Option.get (Template.index_of template (Printf.sprintf "s%d" i)) in
+        Requirements.add_route ~replicas:p.dc_replicas acc ~src ~dst:sink_idx)
+      Requirements.empty
+      (List.init p.dc_sensors Fun.id)
+  in
+  let requirements =
+    {
+      requirements with
+      Requirements.min_snr_db = Some p.dc_min_snr_db;
+      min_lifetime_years =
+        (if p.dc_min_lifetime_years > 0. then Some p.dc_min_lifetime_years else None);
+    }
+  in
+  Instance.create ~template ~library:Components.Library.builtin
+    ~channel:(Radio.Channel.multi_wall_2_4ghz plan)
+    ~requirements ~objective ()
+
+type localization_params = {
+  loc_width : float;
+  loc_height : float;
+  loc_rooms_x : int;
+  loc_rooms_y : int;
+  loc_anchor_grid : int * int;
+  loc_eval_grid : int * int;
+  loc_min_anchors : int;
+  loc_min_rss_dbm : float;
+  loc_seed : int;
+}
+
+let default_localization =
+  {
+    loc_width = 60.;
+    loc_height = 35.;
+    loc_rooms_x = 4;
+    loc_rooms_y = 3;
+    loc_anchor_grid = (5, 4);
+    loc_eval_grid = (6, 5);
+    loc_min_anchors = 3;
+    loc_min_rss_dbm = -80.;
+    loc_seed = 42;
+  }
+
+let localization ?(objective = Objective.dollar) p =
+  let plan =
+    Geometry.Building.office ~seed:p.loc_seed ~width:p.loc_width ~height:p.loc_height
+      ~rooms_x:p.loc_rooms_x ~rooms_y:p.loc_rooms_y ()
+  in
+  let ax, ay = p.loc_anchor_grid in
+  let anchors = Geometry.Building.candidate_grid plan ~nx:ax ~ny:ay in
+  let ex, ey = p.loc_eval_grid in
+  let evals = Geometry.Building.candidate_grid plan ~nx:ex ~ny:ey in
+  let nodes =
+    List.mapi
+      (fun i loc ->
+        { Template.name = Printf.sprintf "a%d" i; role = Comp.Anchor; loc; fixed = false })
+      anchors
+  in
+  let template = Template.create nodes in
+  let requirements =
+    {
+      Requirements.empty with
+      Requirements.localization =
+        Some
+          {
+            Requirements.min_anchors = p.loc_min_anchors;
+            loc_min_rss_dbm = p.loc_min_rss_dbm;
+            eval_points = Array.of_list evals;
+          };
+    }
+  in
+  Instance.create ~template ~library:Components.Library.builtin
+    ~channel:(Radio.Channel.multi_wall_2_4ghz plan)
+    ~requirements ~objective ()
+
+let scaled_data_collection ~total_nodes ~end_devices ?(replicas = 1) ?(seed = 42) () =
+  if end_devices < 1 then invalid_arg "scaled_data_collection: no end devices";
+  if total_nodes < end_devices + 2 then
+    invalid_arg "scaled_data_collection: total_nodes too small";
+  let relays = total_nodes - end_devices - 1 in
+  (* Relay grid as square as possible; floor area grows with the node
+     count so densities stay realistic. *)
+  let gx = Int.max 2 (int_of_float (Float.ceil (Float.sqrt (float_of_int relays)))) in
+  let gy = Int.max 1 ((relays + gx - 1) / gx) in
+  (* Cells are sized so that most sensors cannot reach the sink in one
+     hop within the link-quality budget: routing through relays (and
+     hence the candidate-path pool) actually matters. *)
+  let width = 20. *. float_of_int gx and height = 16. *. float_of_int gy in
+  let p =
+    {
+      dc_width = width;
+      dc_height = height;
+      dc_rooms_x = Int.max 2 (gx / 2);
+      dc_rooms_y = Int.max 2 (gy / 2);
+      dc_sensors = end_devices;
+      dc_relay_grid = (gx, gy);
+      dc_replicas = replicas;
+      dc_sensor_placement = `Perimeter;
+      dc_min_snr_db = 20.;
+      dc_min_lifetime_years = 0.;
+      dc_seed = seed;
+    }
+  in
+  data_collection p

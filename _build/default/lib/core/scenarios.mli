@@ -1,0 +1,66 @@
+(** Ready-made experiment scenarios mirroring the paper's two design
+    examples (§4.1 data collection, §4.2 localization), parameterized
+    by size.
+
+    Instance sizes are scaled relative to the paper (which used CPLEX
+    on a workstation); the shapes of the templates — fixed sensors in
+    rooms, one sink, a grid of relay candidates inside a multi-room
+    office floor — follow §4.  See DESIGN.md §2 for the substitution
+    notes. *)
+
+type data_collection_params = {
+  dc_width : float;  (** Floor width, metres (paper plan: 80). *)
+  dc_height : float;  (** Floor height (paper plan: 45). *)
+  dc_rooms_x : int;
+  dc_rooms_y : int;
+  dc_sensors : int;  (** Number of fixed sensors (paper: 35). *)
+  dc_relay_grid : int * int;  (** Relay candidate grid (paper: ~100 candidates). *)
+  dc_replicas : int;  (** Disjoint routes per sensor (paper: 2). *)
+  dc_sensor_placement : [ `Rooms | `Perimeter ];
+      (** [`Rooms]: jittered room centres; [`Perimeter]: evenly spaced
+          along the outer walls (forces multi-hop routing, used by the
+          scalability templates). *)
+  dc_min_snr_db : float;  (** Paper: 20 dB. *)
+  dc_min_lifetime_years : float;  (** Paper: 5 y. *)
+  dc_seed : int;
+}
+
+val default_data_collection : data_collection_params
+(** A laptop-scale instance: 60 m x 35 m, 4x3 rooms, 12 sensors, 6x4
+    relay grid (~37 nodes total), 2 disjoint routes per sensor. *)
+
+val data_collection :
+  ?objective:Objective.t -> data_collection_params -> (Instance.t, string) result
+(** Build the data-collection instance (default objective: dollar
+    cost).  Sensors are placed round-robin in room centres (jittered
+    deterministically by [dc_seed]), the sink in the middle of the
+    floor, relay candidates on the grid. *)
+
+type localization_params = {
+  loc_width : float;
+  loc_height : float;
+  loc_rooms_x : int;
+  loc_rooms_y : int;
+  loc_anchor_grid : int * int;  (** Anchor candidate positions (paper: 150). *)
+  loc_eval_grid : int * int;  (** Evaluation points (paper: 135). *)
+  loc_min_anchors : int;  (** Paper: 3. *)
+  loc_min_rss_dbm : float;  (** Paper: -80 dBm. *)
+  loc_seed : int;
+}
+
+val default_localization : localization_params
+(** Laptop-scale: 5x4 anchor candidates, 6x5 evaluation points. *)
+
+val localization :
+  ?objective:Objective.t -> localization_params -> (Instance.t, string) result
+(** Build the localization instance (default objective: dollar cost).
+    The network is star-shaped: no routes, only coverage constraints. *)
+
+val scaled_data_collection :
+  total_nodes:int -> end_devices:int -> ?replicas:int -> ?seed:int -> unit ->
+  (Instance.t, string) result
+(** The Table 3/4 template family: given a target total node count and
+    number of routed end devices, derive a floor size and relay grid
+    with roughly that many nodes.  Uses single routes
+    ([replicas = 1]) by default, SNR >= 20 dB, no lifetime bound (as in
+    the scalability study the objective is dollar cost). *)

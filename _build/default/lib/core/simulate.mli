@@ -1,0 +1,47 @@
+(** Monte-Carlo validation of a synthesized architecture.
+
+    The paper lists "combination of our methods with simulation" as
+    future work and positions the optimizer as providing system-level
+    bounds that reduce the simulations needed.  This module closes that
+    loop in the small: it replays the synthesized routes packet by
+    packet against the stochastic link model (per-attempt success drawn
+    from the packet-success-rate of each hop), and reports empirical
+    delivery ratios, per-node charge and lifetime — which can then be
+    compared against the MILP's analytical guarantees
+    (conservative ETX bound, lifetime floor). *)
+
+type params = {
+  periods : int;  (** Reporting periods to simulate. *)
+  max_retries : int;  (** Per-hop attempts before the packet is dropped. *)
+  seed : int;
+}
+
+val default_params : params
+(** 1000 periods, 8 retries, seed 7. *)
+
+type node_stats = {
+  ns_node : int;
+  ns_tx_attempts : int;
+  ns_rx_packets : int;
+  ns_charge_mas : float;  (** Simulated charge over the whole run. *)
+  ns_lifetime_years : float;  (** Battery / simulated average current. *)
+}
+
+type t = {
+  delivered : int;
+  generated : int;
+  delivery_ratio : float;
+  mean_attempts_per_hop : float;  (** Empirical ETX across all hops. *)
+  node_stats : node_stats list;  (** Per used node. *)
+  min_lifetime_years : float;  (** Over battery (non-sink) nodes. *)
+}
+
+val run : ?params:params -> Instance.t -> Solution.t -> t
+(** Simulate periodic data collection over the solution's routes.
+    Deterministic for a fixed [seed]. *)
+
+val check_against_guarantees : Instance.t -> Solution.t -> t -> (unit, string list) result
+(** The optimizer's bounds must be conservative: empirical ETX at most
+    the encoder's {!Instance.etx_bound} (within sampling noise), and
+    simulated lifetime at least the required minimum (when one was
+    specified).  Violations indicate an encoder/model bug. *)

@@ -1,0 +1,53 @@
+(** Typed solutions extracted from a solved MILP, with physics-level
+    metrics recomputed from first principles (not from solver values) —
+    the paper's "correctness guarantees" are checked against the radio
+    and energy models, not just against the encoding. *)
+
+type route_result = {
+  rr_req : int;  (** Requirement (route) index. *)
+  rr_replica : int;
+  rr_path : Netgraph.Path.t;
+}
+
+type t = {
+  mip : Milp.Branch_bound.result;
+  used_nodes : int list;  (** Template indices, ascending. *)
+  devices : (int * Components.Component.t) list;  (** Node -> device. *)
+  active_edges : (int * int) list;
+  routes : route_result list;
+  dollar_cost : float;
+  node_count : int;
+  avg_current_ma : (int * float) list;  (** Per used node. *)
+  lifetimes_years : (int * float) list;  (** Per used node. *)
+  reachable_counts : int array;
+      (** Localization: per evaluation point, # used anchors whose
+          recomputed RSS meets the threshold. *)
+}
+
+val device_of : t -> int -> Components.Component.t option
+
+val avg_lifetime_years : ?exclude_sinks:bool -> Instance.t -> t -> float
+(** Mean lifetime over used battery nodes ([exclude_sinks] defaults to
+    [true]: base stations are mains-powered). *)
+
+val min_lifetime_years : ?exclude_sinks:bool -> Instance.t -> t -> float
+
+val avg_reachable : t -> float
+(** Mean of [reachable_counts] (0 when no localization requirement). *)
+
+val total_avg_current_ma : t -> float
+
+val of_approx : Approx_encoding.t -> Milp.Branch_bound.result -> t
+(** Extract from a solved approximate encoding.
+    @raise Invalid_argument if the result carries no solution. *)
+
+val of_full : Full_encoding.t -> Milp.Branch_bound.result -> t
+(** Extract from a solved full encoding. *)
+
+val check : Instance.t -> t -> (unit, string list) result
+(** Independent validation: route well-formedness and endpoints,
+    replica disjointness, per-link RSS floor, lifetime requirement,
+    localization coverage, sizing consistency.  Returns all violations
+    found. *)
+
+val pp_summary : Instance.t -> Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type strategy = Full_enum | Approx of { kstar : int; loc_kstar : int }
+
+let approx ?(kstar = 10) ?(loc_kstar = 20) () = Approx { kstar; loc_kstar }
+
+type stats = { nvars : int; nconstrs : int; encode_time_s : float; solve_time_s : float }
+
+type outcome = {
+  solution : Solution.t option;
+  status : Milp.Status.mip_status;
+  stats : stats;
+  mip : Milp.Branch_bound.result;
+  model : Milp.Model.t;
+}
+
+type encoding = E_full of Full_encoding.t | E_approx of Approx_encoding.t
+
+let ctx_of = function
+  | E_full e -> e.Full_encoding.ctx
+  | E_approx e -> e.Approx_encoding.ctx
+
+let encode inst = function
+  | Full_enum -> Ok (E_full (Full_encoding.encode inst))
+  | Approx { kstar; loc_kstar } -> (
+      match Approx_encoding.encode ~kstar ~loc_kstar inst with
+      | Ok e -> Ok (E_approx e)
+      | Error e -> Error e)
+
+let encode_size inst strategy =
+  match encode inst strategy with
+  | Error e -> Error e
+  | Ok enc ->
+      let m = Encode_common.model (ctx_of enc) in
+      Ok (Milp.Model.nvars m, Milp.Model.nconstrs m)
+
+let run ?(options = Milp.Branch_bound.default_options) inst strategy =
+  let t0 = Unix.gettimeofday () in
+  match encode inst strategy with
+  | Error e -> Error e
+  | Ok enc ->
+      let t1 = Unix.gettimeofday () in
+      let model = Encode_common.model (ctx_of enc) in
+      let mip = Milp.Branch_bound.solve ~options model in
+      let t2 = Unix.gettimeofday () in
+      let solution =
+        match mip.Milp.Branch_bound.solution with
+        | None -> None
+        | Some _ -> (
+            match enc with
+            | E_full e -> Some (Solution.of_full e mip)
+            | E_approx e -> Some (Solution.of_approx e mip))
+      in
+      Ok
+        {
+          solution;
+          status = mip.Milp.Branch_bound.status;
+          stats =
+            {
+              nvars = Milp.Model.nvars model;
+              nconstrs = Milp.Model.nconstrs model;
+              encode_time_s = t1 -. t0;
+              solve_time_s = t2 -. t1;
+            };
+          mip;
+          model;
+        }
+
+let run_exn ?options inst strategy =
+  match run ?options inst strategy with
+  | Error e -> failwith ("Solve.run_exn: encoding failed: " ^ e)
+  | Ok { solution = None; status; _ } ->
+      failwith
+        ("Solve.run_exn: no solution (" ^ Milp.Status.mip_status_to_string status ^ ")")
+  | Ok { solution = Some s; _ } -> s

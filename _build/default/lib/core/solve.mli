@@ -1,0 +1,45 @@
+(** End-to-end driver: encode an instance with either path strategy,
+    run the MILP solver, extract and validate the solution. *)
+
+type strategy =
+  | Full_enum  (** Exhaustive encoding (paper §2). *)
+  | Approx of { kstar : int; loc_kstar : int }
+      (** Algorithm 1 with [K*] route candidates and [loc_kstar]
+          localization candidates per test point. *)
+
+val approx : ?kstar:int -> ?loc_kstar:int -> unit -> strategy
+(** [Approx] with defaults [kstar = 10], [loc_kstar = 20]. *)
+
+type stats = {
+  nvars : int;
+  nconstrs : int;
+  encode_time_s : float;
+  solve_time_s : float;
+}
+
+type outcome = {
+  solution : Solution.t option;  (** Present when an incumbent exists. *)
+  status : Milp.Status.mip_status;
+  stats : stats;
+  mip : Milp.Branch_bound.result;
+  model : Milp.Model.t;  (** The solved model (e.g. for LP export). *)
+}
+
+val encode_size : Instance.t -> strategy -> (int * int, string) result
+(** [(nvars, nconstrs)] of the encoding without solving — the
+    problem-size comparison of the paper's Table 3. *)
+
+val run :
+  ?options:Milp.Branch_bound.options ->
+  Instance.t ->
+  strategy ->
+  (outcome, string) result
+(** Encode and solve.  [options] default to
+    {!Milp.Branch_bound.default_options}.  Returns [Error] when the
+    encoding itself fails (e.g. Algorithm 1 finds no candidates) and
+    [Ok] with [solution = None] when the MILP is infeasible or hit its
+    limits without an incumbent. *)
+
+val run_exn :
+  ?options:Milp.Branch_bound.options -> Instance.t -> strategy -> Solution.t
+(** @raise Failure when no solution is produced. *)

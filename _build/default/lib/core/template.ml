@@ -1,0 +1,75 @@
+type node = {
+  name : string;
+  role : Components.Component.role;
+  loc : Geometry.Point.t;
+  fixed : bool;
+}
+
+type t = { nodes : node array; by_name : (string, int) Hashtbl.t }
+
+let create node_list =
+  let nodes = Array.of_list node_list in
+  let by_name = Hashtbl.create (Array.length nodes) in
+  Array.iteri
+    (fun i n ->
+      if n.name = "" then invalid_arg "Template.create: empty node name";
+      if Hashtbl.mem by_name n.name then
+        invalid_arg ("Template.create: duplicate node name " ^ n.name);
+      Hashtbl.add by_name n.name i)
+    nodes;
+  { nodes; by_name }
+
+let nnodes t = Array.length t.nodes
+
+let node t i = t.nodes.(i)
+
+let nodes t = t.nodes
+
+let index_of t name = Hashtbl.find_opt t.by_name name
+
+let find_role t role =
+  let acc = ref [] in
+  for i = Array.length t.nodes - 1 downto 0 do
+    if t.nodes.(i).role = role then acc := i :: !acc
+  done;
+  !acc
+
+let fixed_indices t =
+  let acc = ref [] in
+  for i = Array.length t.nodes - 1 downto 0 do
+    if t.nodes.(i).fixed then acc := i :: !acc
+  done;
+  !acc
+
+let locations t = Array.map (fun n -> n.loc) t.nodes
+
+(* Role-based link filtering: data flows from sensors through relays
+   (and anchors, which can also route in mixed deployments) into sinks.
+   A sensor only transmits; a sink only receives. *)
+let link_allowed (src : node) (dst : node) =
+  let open Components.Component in
+  match (src.role, dst.role) with
+  | _, Sensor -> false
+  | Sink, _ -> false
+  | (Sensor | Relay | Anchor), (Relay | Anchor | Sink) -> true
+
+let candidate_links ?(max_path_loss = 130.) t ~pl =
+  let n = nnodes t in
+  if Array.length pl <> n then invalid_arg "Template.candidate_links: pl size mismatch";
+  let g = Netgraph.Digraph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && link_allowed t.nodes.(i) t.nodes.(j) && pl.(i).(j) <= max_path_loss then
+        Netgraph.Digraph.add_edge g ~w:pl.(i).(j) i j
+    done
+  done;
+  g
+
+let pp ppf t =
+  let count role = List.length (find_role t role) in
+  Format.fprintf ppf "template(%d nodes: %d sensors, %d relays, %d sinks, %d anchors)"
+    (nnodes t)
+    (count Components.Component.Sensor)
+    (count Components.Component.Relay)
+    (count Components.Component.Sink)
+    (count Components.Component.Anchor)

@@ -1,0 +1,52 @@
+(** Network templates: the fixed node set with configurable links
+    (paper §2).
+
+    A template assigns every candidate node a name, a role, a location
+    on the floor plan, and a [fixed] flag (fixed nodes — e.g. the
+    sensors and the base station of the data-collection example — must
+    appear in every configuration; non-fixed nodes are candidate
+    locations the optimizer may or may not use). *)
+
+type node = {
+  name : string;
+  role : Components.Component.role;
+  loc : Geometry.Point.t;
+  fixed : bool;
+}
+
+type t
+
+val create : node list -> t
+(** @raise Invalid_argument on duplicate or empty node names. *)
+
+val nnodes : t -> int
+
+val node : t -> int -> node
+(** Node by index (0-based). *)
+
+val nodes : t -> node array
+
+val index_of : t -> string -> int option
+(** Index of a node by name. *)
+
+val find_role : t -> Components.Component.role -> int list
+(** Indices of all nodes with a role, ascending. *)
+
+val fixed_indices : t -> int list
+
+val locations : t -> Geometry.Point.t array
+
+val candidate_links :
+  ?max_path_loss:float ->
+  t ->
+  pl:float array array ->
+  Netgraph.Digraph.t
+(** Directed candidate-link graph over template nodes, edge weight =
+    path loss.  Links with loss above [max_path_loss] (default: the
+    best-case link budget would still be below any plausible
+    sensitivity, 130 dB) are omitted; sensors never act as routers, so
+    edges into a sensor are only created from nowhere — concretely,
+    sensor nodes get outgoing edges but no incoming ones, and sink
+    nodes get incoming edges but no outgoing ones. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/energy/csma.ml: Components Lifetime List

@@ -1,0 +1,1 @@
+lib/energy/csma.mli: Components Lifetime

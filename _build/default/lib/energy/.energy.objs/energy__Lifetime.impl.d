@@ -1,0 +1,1 @@
+lib/energy/lifetime.ml: Components Float List Tdma

@@ -1,0 +1,1 @@
+lib/energy/lifetime.mli: Components Tdma

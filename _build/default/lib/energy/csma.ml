@@ -1,0 +1,43 @@
+type t = {
+  cca_s : float;
+  mean_backoff_s : float;
+  idle_listen_fraction : float;
+  collision_probability : float;
+}
+
+let make ?(cca_s = 128e-6) ?(mean_backoff_s = 1.2e-3) ?(idle_listen_fraction = 0.005)
+    ?(collision_probability = 0.05) () =
+  if idle_listen_fraction < 0. || idle_listen_fraction > 1. then
+    invalid_arg "Csma.make: idle_listen_fraction outside [0, 1]";
+  if collision_probability < 0. || collision_probability >= 1. then
+    invalid_arg "Csma.make: collision_probability outside [0, 1)";
+  if cca_s < 0. || mean_backoff_s < 0. then invalid_arg "Csma.make: negative duration";
+  { cca_s; mean_backoff_s; idle_listen_fraction; collision_probability }
+
+let attempts t ~etx = etx /. (1. -. t.collision_probability)
+
+let tx_charge_mas t (c : Components.Component.t) ~etx ~airtime_s =
+  let n = attempts t ~etx in
+  let listen = (t.cca_s +. t.mean_backoff_s) *. c.Components.Component.radio_rx_ma in
+  let send = airtime_s *. c.Components.Component.radio_tx_ma in
+  n *. (listen +. send)
+
+let rx_charge_mas t (c : Components.Component.t) ~etx ~airtime_s =
+  attempts t ~etx *. airtime_s *. c.Components.Component.radio_rx_ma
+
+let node_charge_per_period_mas t (c : Components.Component.t) ~period_s ~tx_links ~rx_links =
+  let radio =
+    List.fold_left
+      (fun acc (l : Lifetime.link_tx) ->
+        acc +. tx_charge_mas t c ~etx:l.Lifetime.etx ~airtime_s:l.Lifetime.airtime_s)
+      0. tx_links
+    +. List.fold_left
+         (fun acc (l : Lifetime.link_tx) ->
+           acc +. rx_charge_mas t c ~etx:l.Lifetime.etx ~airtime_s:l.Lifetime.airtime_s)
+         0. rx_links
+  in
+  let idle = t.idle_listen_fraction *. period_s *. c.Components.Component.radio_rx_ma in
+  let sleep =
+    (1. -. t.idle_listen_fraction) *. period_s *. (c.Components.Component.sleep_ua /. 1000.)
+  in
+  radio +. idle +. sleep

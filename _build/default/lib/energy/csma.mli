@@ -1,0 +1,49 @@
+(** Contention-based (CSMA/CA) protocol energy model.
+
+    The paper notes that "similar constraints can be used to compute
+    [the energy] for contention-based protocols"; this module provides
+    that model: unslotted CSMA/CA in the style of IEEE 802.15.4, where
+    each transmission attempt pays clear-channel assessment (CCA) and a
+    random backoff, collisions add retries on top of the channel-error
+    retries, and nodes must idle-listen instead of sleeping on a
+    schedule. *)
+
+type t = {
+  cca_s : float;  (** Clear-channel assessment duration per attempt. *)
+  mean_backoff_s : float;  (** Average random backoff per attempt. *)
+  idle_listen_fraction : float;
+      (** Fraction of the period the radio listens for traffic
+          (low-power-listening duty cycle), in [0, 1]. *)
+  collision_probability : float;  (** Per-attempt collision probability. *)
+}
+
+val make :
+  ?cca_s:float ->
+  ?mean_backoff_s:float ->
+  ?idle_listen_fraction:float ->
+  ?collision_probability:float ->
+  unit ->
+  t
+(** Defaults: 128 µs CCA, 1.2 ms mean backoff (802.15.4 BE=3), 0.5%%
+    idle-listening duty cycle, 5%% collisions.
+    @raise Invalid_argument on out-of-range probabilities. *)
+
+val attempts : t -> etx:float -> float
+(** Expected transmission attempts including collisions:
+    [etx / (1 - p_coll)]. *)
+
+val tx_charge_mas : t -> Components.Component.t -> etx:float -> airtime_s:float -> float
+(** Charge to push one packet through a link: attempts × (backoff CCA
+    listening at RX current + payload at TX current). *)
+
+val node_charge_per_period_mas :
+  t ->
+  Components.Component.t ->
+  period_s:float ->
+  tx_links:Lifetime.link_tx list ->
+  rx_links:Lifetime.link_tx list ->
+  float
+(** Like {!Lifetime.node_charge_per_period_mas} but under CSMA: adds
+    idle listening at the RX current for the configured duty cycle and
+    collision-inflated retransmissions.  Always at least the TDMA charge
+    for the same traffic. *)

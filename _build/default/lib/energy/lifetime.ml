@@ -1,0 +1,31 @@
+type battery = { voltage_v : float; capacity_mah : float }
+
+let default_battery = { voltage_v = 3.0; capacity_mah = 1500. }
+
+type link_tx = { etx : float; airtime_s : float }
+
+let seconds_per_year = 365.25 *. 24. *. 3600.
+
+let tx_charge_mas (c : Components.Component.t) l = l.etx *. l.airtime_s *. c.Components.Component.radio_tx_ma
+
+let rx_charge_mas (c : Components.Component.t) l = l.etx *. l.airtime_s *. c.Components.Component.radio_rx_ma
+
+let node_charge_per_period_mas (c : Components.Component.t) (proto : Tdma.t) ~tx_links ~rx_links =
+  let radio =
+    List.fold_left (fun acc l -> acc +. tx_charge_mas c l) 0. tx_links
+    +. List.fold_left (fun acc l -> acc +. rx_charge_mas c l) 0. rx_links
+  in
+  let awake_slots = List.length tx_links + List.length rx_links in
+  let awake_s = float_of_int awake_slots *. proto.Tdma.slot_s in
+  let active = c.Components.Component.active_ma *. awake_s in
+  let sleep_s = Float.max 0. (proto.Tdma.report_period_s -. awake_s) in
+  let sleep = c.Components.Component.sleep_ua /. 1000. *. sleep_s in
+  radio +. active +. sleep
+
+let lifetime_s b ~avg_current_ma =
+  if avg_current_ma <= 0. then infinity else b.capacity_mah *. 3600. /. avg_current_ma
+
+let lifetime_years c proto b ~tx_links ~rx_links =
+  let q = node_charge_per_period_mas c proto ~tx_links ~rx_links in
+  let avg_ma = q /. proto.Tdma.report_period_s in
+  lifetime_s b ~avg_current_ma:avg_ma /. seconds_per_year

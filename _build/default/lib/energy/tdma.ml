@@ -1,0 +1,26 @@
+type t = {
+  slots_per_frame : int;
+  slot_s : float;
+  packet_bytes : int;
+  report_period_s : float;
+}
+
+let make ?(slots_per_frame = 16) ?(slot_s = 1e-3) ?(packet_bytes = 50)
+    ?(report_period_s = 30.) () =
+  if slots_per_frame <= 0 then invalid_arg "Tdma.make: slots_per_frame <= 0";
+  if slot_s <= 0. then invalid_arg "Tdma.make: slot_s <= 0";
+  if packet_bytes <= 0 then invalid_arg "Tdma.make: packet_bytes <= 0";
+  if report_period_s <= 0. then invalid_arg "Tdma.make: report_period_s <= 0";
+  { slots_per_frame; slot_s; packet_bytes; report_period_s }
+
+let superframe_s t = float_of_int t.slots_per_frame *. t.slot_s
+
+let packet_bits t = 8 * t.packet_bytes
+
+let packet_airtime_s t ~bit_rate_kbps =
+  if bit_rate_kbps <= 0. then invalid_arg "Tdma.packet_airtime_s: non-positive bit rate";
+  float_of_int (packet_bits t) /. (bit_rate_kbps *. 1000.)
+
+let pp ppf t =
+  Format.fprintf ppf "tdma(%d slots x %gms, %dB packets, period %gs)" t.slots_per_frame
+    (t.slot_s *. 1000.) t.packet_bytes t.report_period_s

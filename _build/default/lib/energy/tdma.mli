@@ -1,0 +1,35 @@
+(** Collision-free TDMA protocol model (paper §2, energy constraints).
+
+    Nodes wake only in dedicated slots for sending/receiving; a
+    superframe has [n] slots of [slot_s] seconds each.  Application
+    traffic is periodic: each sensor generates one packet every
+    [report_period_s] seconds, which travels along its route, costing
+    one TX slot and one RX slot per hop per period. *)
+
+type t = {
+  slots_per_frame : int;
+  slot_s : float;  (** Slot duration in seconds. *)
+  packet_bytes : int;
+  report_period_s : float;  (** Data-generation period of every sensor. *)
+}
+
+val make :
+  ?slots_per_frame:int ->
+  ?slot_s:float ->
+  ?packet_bytes:int ->
+  ?report_period_s:float ->
+  unit ->
+  t
+(** Defaults mirror the paper's data-collection example: 16 slots of
+    1 ms, 50-byte packets, 30 s reporting period.
+    @raise Invalid_argument on non-positive values. *)
+
+val superframe_s : t -> float
+(** [slots_per_frame * slot_s]. *)
+
+val packet_bits : t -> int
+
+val packet_airtime_s : t -> bit_rate_kbps:float -> float
+(** Time on air of one packet at the given rate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/geometry/building.ml: Floorplan List Point Segment

@@ -1,0 +1,1 @@
+lib/geometry/building.mli: Floorplan Point

@@ -1,0 +1,1 @@
+lib/geometry/floorplan.ml: Format List Point Segment String

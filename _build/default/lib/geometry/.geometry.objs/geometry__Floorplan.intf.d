@@ -1,0 +1,1 @@
+lib/geometry/floorplan.mli: Format Point Segment

@@ -1,0 +1,1 @@
+lib/geometry/svg.ml: Buffer Floorplan In_channel List Out_channel Point Printf Result Segment String

@@ -1,0 +1,1 @@
+lib/geometry/svg.mli: Floorplan Point Segment

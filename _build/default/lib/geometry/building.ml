@@ -1,0 +1,127 @@
+(* Small deterministic LCG so the generated plans do not depend on the
+   global Random state. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
+
+let wall material a b = { Floorplan.seg = Segment.make a b; material }
+
+(* A partition from [a] to [b] with a door gap of [door] metres placed
+   at fraction [frac] of its length: two wall segments. *)
+let partition_with_door material a b ~door ~frac =
+  let len = Point.dist a b in
+  if door >= len then []
+  else begin
+    let usable = len -. door in
+    let start = frac *. usable in
+    let t0 = start /. len and t1 = (start +. door) /. len in
+    let p0 = Point.lerp a b t0 and p1 = Point.lerp a b t1 in
+    [ wall material a p0; wall material p1 b ]
+  end
+
+let office ?(seed = 42) ?(door_width = 1.2) ?(outer = Floorplan.Concrete)
+    ?(inner = Floorplan.Drywall) ~width ~height ~rooms_x ~rooms_y () =
+  if rooms_x <= 0 || rooms_y <= 0 then invalid_arg "Building.office: non-positive room count";
+  let rand = lcg seed in
+  let p = Point.make in
+  let outer_walls =
+    [
+      wall outer (p 0. 0.) (p width 0.);
+      wall outer (p width 0.) (p width height);
+      wall outer (p width height) (p 0. height);
+      wall outer (p 0. height) (p 0. 0.);
+    ]
+  in
+  let cell_w = width /. float_of_int rooms_x in
+  let cell_h = height /. float_of_int rooms_y in
+  let inner_walls = ref [] in
+  (* Vertical partitions between horizontally adjacent rooms. *)
+  for i = 1 to rooms_x - 1 do
+    for j = 0 to rooms_y - 1 do
+      let x = float_of_int i *. cell_w in
+      let y0 = float_of_int j *. cell_h and y1 = float_of_int (j + 1) *. cell_h in
+      let frac = 0.15 +. (0.7 *. rand ()) in
+      inner_walls :=
+        partition_with_door inner (p x y0) (p x y1) ~door:door_width ~frac @ !inner_walls
+    done
+  done;
+  (* Horizontal partitions between vertically adjacent rooms. *)
+  for j = 1 to rooms_y - 1 do
+    for i = 0 to rooms_x - 1 do
+      let y = float_of_int j *. cell_h in
+      let x0 = float_of_int i *. cell_w and x1 = float_of_int (i + 1) *. cell_w in
+      let frac = 0.15 +. (0.7 *. rand ()) in
+      inner_walls :=
+        partition_with_door inner (p x0 y) (p x1 y) ~door:door_width ~frac @ !inner_walls
+    done
+  done;
+  Floorplan.create ~width ~height (outer_walls @ List.rev !inner_walls)
+
+let corridor ?(seed = 42) ?(door_width = 1.2) ?(corridor_width = 2.4)
+    ?(outer = Floorplan.Concrete) ?(inner = Floorplan.Drywall) ~width ~height ~rooms_per_side ()
+    =
+  if rooms_per_side <= 0 then invalid_arg "Building.corridor: non-positive room count";
+  if corridor_width >= height then invalid_arg "Building.corridor: corridor wider than building";
+  let rand = lcg seed in
+  let p = Point.make in
+  let outer_walls =
+    [
+      wall outer (p 0. 0.) (p width 0.);
+      wall outer (p width 0.) (p width height);
+      wall outer (p width height) (p 0. height);
+      wall outer (p 0. height) (p 0. 0.);
+    ]
+  in
+  let y_lo = (height -. corridor_width) /. 2. in
+  let y_hi = y_lo +. corridor_width in
+  let room_w = width /. float_of_int rooms_per_side in
+  let walls = ref [] in
+  (* Corridor walls with a door per office. *)
+  for i = 0 to rooms_per_side - 1 do
+    let x0 = float_of_int i *. room_w and x1 = float_of_int (i + 1) *. room_w in
+    let frac_s = 0.2 +. (0.6 *. rand ()) and frac_n = 0.2 +. (0.6 *. rand ()) in
+    walls :=
+      partition_with_door inner (p x0 y_lo) (p x1 y_lo) ~door:door_width ~frac:frac_s
+      @ partition_with_door inner (p x0 y_hi) (p x1 y_hi) ~door:door_width ~frac:frac_n
+      @ !walls
+  done;
+  (* Party walls between adjacent offices (full-height, no doors). *)
+  for i = 1 to rooms_per_side - 1 do
+    let x = float_of_int i *. room_w in
+    walls :=
+      wall inner (p x 0.) (p x y_lo) :: wall inner (p x y_hi) (p x height) :: !walls
+  done;
+  Floorplan.create ~width ~height (outer_walls @ List.rev !walls)
+
+let corridor_room_centers ~width ~height ~rooms_per_side ?(corridor_width = 2.4) () =
+  let room_w = width /. float_of_int rooms_per_side in
+  let y_lo = (height -. corridor_width) /. 2. in
+  let south = y_lo /. 2. and north = height -. (y_lo /. 2.) in
+  List.init rooms_per_side (fun i -> Point.make ((float_of_int i +. 0.5) *. room_w) south)
+  @ List.init rooms_per_side (fun i -> Point.make ((float_of_int i +. 0.5) *. room_w) north)
+
+let candidate_grid fp ~nx ~ny =
+  if nx <= 0 || ny <= 0 then invalid_arg "Building.candidate_grid: non-positive grid";
+  let w = Floorplan.width fp and h = Floorplan.height fp in
+  let dx = w /. float_of_int nx and dy = h /. float_of_int ny in
+  let pts = ref [] in
+  for j = ny - 1 downto 0 do
+    for i = nx - 1 downto 0 do
+      let x = (float_of_int i +. 0.5) *. dx and y = (float_of_int j +. 0.5) *. dy in
+      pts := Point.make x y :: !pts
+    done
+  done;
+  !pts
+
+let room_centers ~width ~height ~rooms_x ~rooms_y =
+  let cw = width /. float_of_int rooms_x and ch = height /. float_of_int rooms_y in
+  let pts = ref [] in
+  for j = rooms_y - 1 downto 0 do
+    for i = rooms_x - 1 downto 0 do
+      pts :=
+        Point.make ((float_of_int i +. 0.5) *. cw) ((float_of_int j +. 0.5) *. ch) :: !pts
+    done
+  done;
+  !pts

@@ -1,0 +1,57 @@
+(** Synthetic office-building generator.
+
+    The paper evaluates on the floor plan of a real building (an SVG
+    input).  We generate a deterministic synthetic equivalent: a
+    rectangular floor ringed by concrete outer walls and partitioned
+    into a grid of rooms by drywall partitions, each partition carrying
+    a door gap (signals through an open door cross no wall).  The
+    generator is seeded so experiments are reproducible. *)
+
+val office :
+  ?seed:int ->
+  ?door_width:float ->
+  ?outer:Floorplan.material ->
+  ?inner:Floorplan.material ->
+  width:float ->
+  height:float ->
+  rooms_x:int ->
+  rooms_y:int ->
+  unit ->
+  Floorplan.t
+(** [office ~width ~height ~rooms_x ~rooms_y ()] builds the plan.
+    Defaults: [seed = 42], [door_width = 1.2] m, concrete outer walls,
+    drywall partitions.
+    @raise Invalid_argument on non-positive room counts. *)
+
+val corridor :
+  ?seed:int ->
+  ?door_width:float ->
+  ?corridor_width:float ->
+  ?outer:Floorplan.material ->
+  ?inner:Floorplan.material ->
+  width:float ->
+  height:float ->
+  rooms_per_side:int ->
+  unit ->
+  Floorplan.t
+(** A corridor building: a central east-west corridor with
+    [rooms_per_side] offices on each side, each office opening onto the
+    corridor through a door.  The common shape of the hotel/hospital
+    deployments in the indoor-positioning literature the paper cites.
+    Defaults: corridor 2.4 m wide, doors 1.2 m, concrete shell, drywall
+    partitions.
+    @raise Invalid_argument on non-positive room counts or a corridor
+    wider than the building. *)
+
+val corridor_room_centers :
+  width:float -> height:float -> rooms_per_side:int -> ?corridor_width:float -> unit -> Point.t list
+(** Center of every office of the corresponding {!corridor} plan, south
+    side first, then north, west to east. *)
+
+val candidate_grid : Floorplan.t -> nx:int -> ny:int -> Point.t list
+(** [nx * ny] interior points on a regular grid (candidate device or
+    evaluation locations), inset by half a cell from the boundary,
+    ordered row-major bottom-to-top. *)
+
+val room_centers : width:float -> height:float -> rooms_x:int -> rooms_y:int -> Point.t list
+(** Center point of every room of the corresponding {!office} plan. *)

@@ -1,0 +1,63 @@
+type material =
+  | Drywall
+  | Wood
+  | Glass
+  | Brick
+  | Concrete
+  | Custom of string * float
+
+let attenuation_db = function
+  | Drywall -> 3.0
+  | Wood -> 4.0
+  | Glass -> 2.0
+  | Brick -> 8.0
+  | Concrete -> 12.0
+  | Custom (_, db) -> db
+
+let material_name = function
+  | Drywall -> "drywall"
+  | Wood -> "wood"
+  | Glass -> "glass"
+  | Brick -> "brick"
+  | Concrete -> "concrete"
+  | Custom (name, _) -> name
+
+let material_of_name ?(attenuation = 5.0) name =
+  match String.lowercase_ascii name with
+  | "drywall" -> Drywall
+  | "wood" -> Wood
+  | "glass" -> Glass
+  | "brick" -> Brick
+  | "concrete" -> Concrete
+  | other -> Custom (other, attenuation)
+
+type wall = { seg : Segment.t; material : material }
+
+type t = { fp_width : float; fp_height : float; fp_walls : wall list }
+
+let create ~width ~height walls =
+  if width <= 0. || height <= 0. then invalid_arg "Floorplan.create: non-positive dimensions";
+  { fp_width = width; fp_height = height; fp_walls = walls }
+
+let width fp = fp.fp_width
+
+let height fp = fp.fp_height
+
+let walls fp = fp.fp_walls
+
+let nwalls fp = List.length fp.fp_walls
+
+let add_wall fp w = { fp with fp_walls = w :: fp.fp_walls }
+
+let contains fp p =
+  p.Point.x >= 0. && p.Point.x <= fp.fp_width && p.Point.y >= 0. && p.Point.y <= fp.fp_height
+
+let crossings fp p q =
+  let link = Segment.make p q in
+  List.filter (fun w -> Segment.intersects_proper link w.seg) fp.fp_walls
+
+let wall_attenuation fp p q =
+  List.fold_left (fun acc w -> acc +. attenuation_db w.material) 0. (crossings fp p q)
+
+let pp ppf fp =
+  Format.fprintf ppf "floorplan %gx%g m, %d walls" fp.fp_width fp.fp_height (nwalls fp)

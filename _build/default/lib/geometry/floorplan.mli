@@ -1,0 +1,54 @@
+(** Floor plans: a rectangular deployment area with attenuating walls.
+
+    The multi-wall path-loss model (paper §2, "Link quality
+    constraints") adds a per-wall attenuation term for every wall the
+    direct transmitter→receiver segment crosses; this module supplies
+    the crossing count weighted by wall material. *)
+
+type material =
+  | Drywall
+  | Wood
+  | Glass
+  | Brick
+  | Concrete
+  | Custom of string * float  (** Name and attenuation in dB. *)
+
+val attenuation_db : material -> float
+(** Per-crossing attenuation.  Defaults (literature values for 2.4 GHz):
+    drywall 3 dB, wood 4 dB, glass 2 dB, brick 8 dB, concrete 12 dB. *)
+
+val material_name : material -> string
+
+val material_of_name : ?attenuation:float -> string -> material
+(** Case-insensitive lookup; unknown names become [Custom] with
+    [attenuation] (default 5 dB). *)
+
+type wall = { seg : Segment.t; material : material }
+
+type t
+(** An immutable floor plan. *)
+
+val create : width:float -> height:float -> wall list -> t
+(** [create ~width ~height walls]; dimensions in metres.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val width : t -> float
+
+val height : t -> float
+
+val walls : t -> wall list
+
+val nwalls : t -> int
+
+val add_wall : t -> wall -> t
+
+val contains : t -> Point.t -> bool
+(** Point within the area rectangle (inclusive). *)
+
+val crossings : t -> Point.t -> Point.t -> wall list
+(** Walls properly crossed by the open segment [p -> q]. *)
+
+val wall_attenuation : t -> Point.t -> Point.t -> float
+(** Total crossing attenuation in dB along the direct path. *)
+
+val pp : Format.formatter -> t -> unit

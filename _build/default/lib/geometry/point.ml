@@ -1,0 +1,29 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let zero = { x = 0.; y = 0. }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale k a = { x = k *. a.x; y = k *. a.y }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+
+let norm a = Float.hypot a.x a.y
+
+let dist a b = norm (sub a b)
+
+let dist2 a b =
+  let d = sub a b in
+  dot d d
+
+let lerp a b t = add a (scale t (sub b a))
+
+let equal_eps ?(eps = 1e-9) a b = Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let pp ppf a = Format.fprintf ppf "(%g, %g)" a.x a.y

@@ -1,0 +1,34 @@
+(** 2D points/vectors in metres (the floor-plan coordinate system). *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val zero : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+
+val cross : t -> t -> float
+(** z-component of the 3D cross product; sign gives orientation. *)
+
+val norm : t -> float
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist2 : t -> t -> float
+(** Squared distance (no sqrt). *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is [a + t (b - a)]. *)
+
+val equal_eps : ?eps:float -> t -> t -> bool
+(** Component-wise equality within [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type t = { a : Point.t; b : Point.t }
+
+let make a b = { a; b }
+
+let of_coords x1 y1 x2 y2 = { a = Point.make x1 y1; b = Point.make x2 y2 }
+
+let length s = Point.dist s.a s.b
+
+let midpoint s = Point.lerp s.a s.b 0.5
+
+let eps = 1e-9
+
+let orientation p q r =
+  let v = Point.cross (Point.sub q p) (Point.sub r p) in
+  if v > eps then 1 else if v < -.eps then -1 else 0
+
+let on_segment p s =
+  orientation s.a s.b p = 0
+  && p.Point.x >= Float.min s.a.Point.x s.b.Point.x -. eps
+  && p.Point.x <= Float.max s.a.Point.x s.b.Point.x +. eps
+  && p.Point.y >= Float.min s.a.Point.y s.b.Point.y -. eps
+  && p.Point.y <= Float.max s.a.Point.y s.b.Point.y +. eps
+
+let intersects s1 s2 =
+  let o1 = orientation s1.a s1.b s2.a in
+  let o2 = orientation s1.a s1.b s2.b in
+  let o3 = orientation s2.a s2.b s1.a in
+  let o4 = orientation s2.a s2.b s1.b in
+  if o1 <> o2 && o3 <> o4 then true
+  else
+    (o1 = 0 && on_segment s2.a s1)
+    || (o2 = 0 && on_segment s2.b s1)
+    || (o3 = 0 && on_segment s1.a s2)
+    || (o4 = 0 && on_segment s1.b s2)
+
+let intersects_proper s1 s2 =
+  let o1 = orientation s1.a s1.b s2.a in
+  let o2 = orientation s1.a s1.b s2.b in
+  let o3 = orientation s2.a s2.b s1.a in
+  let o4 = orientation s2.a s2.b s1.b in
+  o1 * o2 < 0 && o3 * o4 < 0
+
+let intersection_point s1 s2 =
+  (* Solve s1.a + t (s1.b - s1.a) = s2.a + u (s2.b - s2.a). *)
+  let r = Point.sub s1.b s1.a and s = Point.sub s2.b s2.a in
+  let denom = Point.cross r s in
+  if Float.abs denom < eps then None
+  else begin
+    let qp = Point.sub s2.a s1.a in
+    let t = Point.cross qp s /. denom in
+    let u = Point.cross qp r /. denom in
+    if t >= -.eps && t <= 1. +. eps && u >= -.eps && u <= 1. +. eps then
+      Some (Point.lerp s1.a s1.b t)
+    else None
+  end
+
+let pp ppf s = Format.fprintf ppf "[%a - %a]" Point.pp s.a Point.pp s.b

@@ -1,0 +1,37 @@
+(** Line segments and intersection tests.
+
+    The multi-wall channel model counts how many wall segments the
+    straight line between transmitter and receiver crosses; the only
+    geometric primitive it needs is a robust segment/segment
+    intersection test. *)
+
+type t = { a : Point.t; b : Point.t }
+
+val make : Point.t -> Point.t -> t
+
+val of_coords : float -> float -> float -> float -> t
+(** [of_coords x1 y1 x2 y2]. *)
+
+val length : t -> float
+
+val midpoint : t -> Point.t
+
+val orientation : Point.t -> Point.t -> Point.t -> int
+(** [-1] clockwise, [0] collinear (within epsilon), [1] counter-clockwise. *)
+
+val on_segment : Point.t -> t -> bool
+(** Collinear-and-within-bounding-box test. *)
+
+val intersects : t -> t -> bool
+(** [true] if the closed segments share at least one point (including
+    touching endpoints and collinear overlap). *)
+
+val intersects_proper : t -> t -> bool
+(** [true] only for a proper crossing: the segments intersect at a
+    single interior point of both.  This is the predicate used for wall
+    crossings — a link grazing a wall endpoint is not attenuated. *)
+
+val intersection_point : t -> t -> Point.t option
+(** The crossing point of two properly intersecting segments. *)
+
+val pp : Format.formatter -> t -> unit

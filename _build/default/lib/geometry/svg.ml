@@ -1,0 +1,251 @@
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type node_role = string
+
+type parsed = { plan : Floorplan.t; nodes : (node_role * Point.t) list }
+
+(* A hand-rolled scanner for the tag subset we accept.  It finds
+   [<name attr="value" ...>] occurrences and returns (name, attrs). *)
+type tag = { tag_name : string; attrs : (string * string) list }
+
+let is_name_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | ':' -> true | _ -> false
+
+let scan_tags (s : string) : tag list =
+  let n = String.length s in
+  let tags = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '<' && !i + 1 < n && s.[!i + 1] <> '/' && s.[!i + 1] <> '!' && s.[!i + 1] <> '?'
+    then begin
+      (* tag name *)
+      let j = ref (!i + 1) in
+      while !j < n && is_name_char s.[!j] do
+        incr j
+      done;
+      let name = String.sub s (!i + 1) (!j - !i - 1) in
+      (* attributes until '>' *)
+      let attrs = ref [] in
+      let k = ref !j in
+      let stop = ref false in
+      while (not !stop) && !k < n do
+        if s.[!k] = '>' then stop := true
+        else if is_name_char s.[!k] then begin
+          let a0 = !k in
+          while !k < n && is_name_char s.[!k] do
+            incr k
+          done;
+          let aname = String.sub s a0 (!k - a0) in
+          (* skip spaces, expect = " value " *)
+          while !k < n && (s.[!k] = ' ' || s.[!k] = '\t' || s.[!k] = '\n') do
+            incr k
+          done;
+          if !k < n && s.[!k] = '=' then begin
+            incr k;
+            while !k < n && (s.[!k] = ' ' || s.[!k] = '\t' || s.[!k] = '\n') do
+              incr k
+            done;
+            if !k < n && (s.[!k] = '"' || s.[!k] = '\'') then begin
+              let quote = s.[!k] in
+              incr k;
+              let v0 = !k in
+              while !k < n && s.[!k] <> quote do
+                incr k
+              done;
+              let v = String.sub s v0 (!k - v0) in
+              if !k < n then incr k;
+              attrs := (aname, v) :: !attrs
+            end
+          end
+        end
+        else incr k
+      done;
+      tags := { tag_name = name; attrs = List.rev !attrs } :: !tags;
+      i := !k + 1
+    end
+    else incr i
+  done;
+  List.rev !tags
+
+let attr t name = List.assoc_opt name t.attrs
+
+let float_attr t name =
+  match attr t name with
+  | None -> Error (Printf.sprintf "<%s>: missing attribute %s" t.tag_name name)
+  | Some v -> (
+      (* tolerate unit suffixes like "80mm" or "1024px" *)
+      let v = String.trim v in
+      let numeric_prefix =
+        let len = String.length v in
+        let rec go i =
+          if i < len then
+            match v.[i] with
+            | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> go (i + 1)
+            | _ -> i
+          else i
+        in
+        String.sub v 0 (go 0)
+      in
+      match float_of_string_opt numeric_prefix with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "<%s>: bad numeric attribute %s=%S" t.tag_name name v))
+
+let ( let* ) = Result.bind
+
+let class_of t = match attr t "class" with Some c -> String.trim c | None -> ""
+
+let parse (doc : string) : (parsed, string) result =
+  let tags = scan_tags doc in
+  let rec find_svg = function
+    | [] -> Error "no <svg> element"
+    | t :: _ when t.tag_name = "svg" -> Ok t
+    | _ :: rest -> find_svg rest
+  in
+  let* svg = find_svg tags in
+  let* width = float_attr svg "width" in
+  let* height = float_attr svg "height" in
+  let walls = ref [] and nodes = ref [] in
+  let err = ref None in
+  let record_err e = if !err = None then err := Some e in
+  let material_of t =
+    let c = class_of t in
+    if c = "" then Floorplan.Drywall else Floorplan.material_of_name c
+  in
+  List.iter
+    (fun t ->
+      match t.tag_name with
+      | "line" -> (
+          match
+            let* x1 = float_attr t "x1" in
+            let* y1 = float_attr t "y1" in
+            let* x2 = float_attr t "x2" in
+            let* y2 = float_attr t "y2" in
+            Ok { Floorplan.seg = Segment.of_coords x1 y1 x2 y2; material = material_of t }
+          with
+          | Ok w -> walls := w :: !walls
+          | Error e -> record_err e)
+      | "rect" -> (
+          match
+            let* x = float_attr t "x" in
+            let* y = float_attr t "y" in
+            let* w = float_attr t "width" in
+            let* h = float_attr t "height" in
+            Ok (x, y, w, h)
+          with
+          | Ok (x, y, w, h) ->
+              let m = material_of t in
+              let add a b = walls := { Floorplan.seg = Segment.make a b; material = m } :: !walls in
+              let p = Point.make in
+              add (p x y) (p (x +. w) y);
+              add (p (x +. w) y) (p (x +. w) (y +. h));
+              add (p (x +. w) (y +. h)) (p x (y +. h));
+              add (p x (y +. h)) (p x y)
+          | Error e -> record_err e)
+      | "circle" -> (
+          match
+            let* cx = float_attr t "cx" in
+            let* cy = float_attr t "cy" in
+            Ok (cx, cy)
+          with
+          | Ok (cx, cy) ->
+              let role = if class_of t = "" then "node" else class_of t in
+              nodes := (role, Point.make cx cy) :: !nodes
+          | Error e -> record_err e)
+      | _ -> ())
+    tags;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      Ok { plan = Floorplan.create ~width ~height (List.rev !walls); nodes = List.rev !nodes }
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type style = { stroke : string; stroke_width : float; fill : string; opacity : float }
+
+let default_style = { stroke = "#000"; stroke_width = 1.0; fill = "none"; opacity = 1.0 }
+
+type element =
+  | Line of Segment.t * style
+  | Rect of Point.t * float * float * style
+  | Circle of Point.t * float * style
+  | Polyline of Point.t list * style
+  | Text of Point.t * string * float * string
+
+type scene = { s_width : float; s_height : float; mutable elements : element list }
+
+let scene ~width ~height = { s_width = width; s_height = height; elements = [] }
+
+let add sc e = sc.elements <- e :: sc.elements
+
+let default_wall_color = function
+  | Floorplan.Concrete -> "#333333"
+  | Floorplan.Brick -> "#8b4513"
+  | Floorplan.Drywall -> "#999999"
+  | Floorplan.Wood -> "#c8a165"
+  | Floorplan.Glass -> "#7ec8e3"
+  | Floorplan.Custom _ -> "#666666"
+
+let add_floorplan ?(wall_color = default_wall_color) sc fp =
+  List.iter
+    (fun (w : Floorplan.wall) ->
+      let width = match w.material with Floorplan.Concrete -> 2.5 | _ -> 1.2 in
+      add sc
+        (Line (w.seg, { default_style with stroke = wall_color w.material; stroke_width = width })))
+    (Floorplan.walls fp)
+
+let render ?(scale = 12.) sc =
+  let buf = Buffer.create 4096 in
+  let px x = x *. scale in
+  let py y = (sc.s_height -. y) *. scale in
+  let style_attrs st =
+    Printf.sprintf "stroke=\"%s\" stroke-width=\"%g\" fill=\"%s\" opacity=\"%g\"" st.stroke
+      st.stroke_width st.fill st.opacity
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%g\" height=\"%g\" viewBox=\"0 0 %g %g\">\n"
+       (px sc.s_width) (scale *. sc.s_height) (px sc.s_width) (scale *. sc.s_height));
+  Buffer.add_string buf "<rect x=\"0\" y=\"0\" width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  List.iter
+    (fun e ->
+      match e with
+      | Line (s, st) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" %s/>\n"
+               (px s.Segment.a.Point.x) (py s.Segment.a.Point.y) (px s.Segment.b.Point.x)
+               (py s.Segment.b.Point.y) (style_attrs st))
+      | Rect (o, w, h, st) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" %s/>\n"
+               (px o.Point.x)
+               (py (o.Point.y +. h))
+               (px w) (scale *. h) (style_attrs st))
+      | Circle (c, r, st) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<circle cx=\"%g\" cy=\"%g\" r=\"%g\" %s/>\n" (px c.Point.x)
+               (py c.Point.y) (r *. scale) (style_attrs st))
+      | Polyline (pts, st) ->
+          let coords =
+            String.concat " "
+              (List.map (fun p -> Printf.sprintf "%g,%g" (px p.Point.x) (py p.Point.y)) pts)
+          in
+          Buffer.add_string buf (Printf.sprintf "<polyline points=\"%s\" %s/>\n" coords (style_attrs st))
+      | Text (p, txt, size, color) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<text x=\"%g\" y=\"%g\" font-size=\"%g\" fill=\"%s\">%s</text>\n"
+               (px p.Point.x) (py p.Point.y) size color txt))
+    (List.rev sc.elements);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ?scale path sc =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (render ?scale sc))

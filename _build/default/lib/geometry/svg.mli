@@ -1,0 +1,67 @@
+(** Minimal SVG reader and writer.
+
+    The paper's tool takes the floor plan as an SVG file storing the
+    space dimensions, obstacles (walls) and device locations, and we
+    also emit the result figures (Fig. 1a–1c) as SVG.  Only the tiny
+    subset needed for those two jobs is supported:
+
+    {ul
+    {- reading: [<svg width height>], [<line x1 y1 x2 y2 class>] (wall;
+       class names a material), [<rect x y width height class>] (four
+       walls), [<circle cx cy r class>] (a node; class names a role);}
+    {- writing: scenes of lines, rectangles, circles, polylines and
+       text.}} *)
+
+(** {1 Reading} *)
+
+type node_role = string
+(** The [class] attribute of a circle, e.g. ["sensor"], ["sink"],
+    ["relay"], ["anchor"], ["eval"]. *)
+
+type parsed = {
+  plan : Floorplan.t;
+  nodes : (node_role * Point.t) list;  (** In document order. *)
+}
+
+val parse : string -> (parsed, string) result
+(** Parse an SVG document from a string.  Unknown elements are skipped;
+    malformed required attributes produce [Error]. *)
+
+val parse_file : string -> (parsed, string) result
+
+(** {1 Writing} *)
+
+type style = {
+  stroke : string;  (** CSS color, or ["none"]. *)
+  stroke_width : float;
+  fill : string;
+  opacity : float;
+}
+
+val default_style : style
+(** Black 1px stroke, no fill, opaque. *)
+
+type element =
+  | Line of Segment.t * style
+  | Rect of Point.t * float * float * style  (** Origin, width, height. *)
+  | Circle of Point.t * float * style  (** Center, radius. *)
+  | Polyline of Point.t list * style
+  | Text of Point.t * string * float * string  (** Anchor, content, font size, color. *)
+
+type scene
+
+val scene : width:float -> height:float -> scene
+(** A drawing surface in floor-plan coordinates (metres); rendering
+    scales to pixels and flips the y-axis so that y grows upwards. *)
+
+val add : scene -> element -> unit
+
+val add_floorplan : ?wall_color:(Floorplan.material -> string) -> scene -> Floorplan.t -> unit
+(** Draw every wall (default colors by material: concrete dark,
+    drywall light …). *)
+
+val render : ?scale:float -> scene -> string
+(** Render to an SVG document string; [scale] (default 12) is pixels
+    per metre. *)
+
+val write_file : ?scale:float -> string -> scene -> unit

@@ -1,0 +1,1 @@
+lib/milp/lin.ml: Float Format Int List Map

@@ -1,0 +1,1 @@
+lib/milp/lp_format.ml: Buffer Float Fun Lin List Model Printf String

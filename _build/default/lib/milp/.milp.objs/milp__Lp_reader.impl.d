@@ -1,0 +1,1 @@
+lib/milp/lp_reader.ml: Hashtbl In_channel Lin List Model Printf String

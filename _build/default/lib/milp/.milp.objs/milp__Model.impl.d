@@ -1,0 +1,1 @@
+lib/milp/model.ml: Float Format Lin Printf Vec

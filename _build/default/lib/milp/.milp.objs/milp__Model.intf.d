@@ -1,0 +1,1 @@
+lib/milp/model.mli: Format Lin

@@ -1,0 +1,354 @@
+type options = {
+  time_limit : float;
+  node_limit : int;
+  rel_gap : float;
+  abs_gap : float;
+  int_tol : float;
+  presolve : bool;
+  rounding_heuristic : bool;
+  cutoff : float;
+  log : bool;
+}
+
+let default_options =
+  {
+    time_limit = 60.;
+    node_limit = 200_000;
+    rel_gap = 1e-6;
+    abs_gap = 1e-9;
+    int_tol = 1e-6;
+    presolve = true;
+    rounding_heuristic = true;
+    cutoff = nan;
+    log = false;
+  }
+
+type result = {
+  status : Status.mip_status;
+  objective : float;
+  bound : float;
+  solution : float array option;
+  nodes : int;
+  lp_iterations : int;
+  elapsed : float;
+}
+
+let gap r =
+  match r.solution with
+  | None -> infinity
+  | Some _ ->
+      if Float.abs r.objective < 1e-12 then Float.abs (r.objective -. r.bound)
+      else Float.abs (r.objective -. r.bound) /. Float.abs r.objective
+
+let value r v =
+  match r.solution with
+  | Some x -> x.(v)
+  | None -> invalid_arg "Branch_bound.value: no incumbent solution"
+
+(* A node stores only its bound-change path from the root; bounds arrays
+   are materialized on demand (cheap relative to the LP solve). *)
+type node = { nbound : float; changes : (int * float * float) list }
+
+let src = Logs.Src.create "milp.bb" ~doc:"branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Check a rounded candidate against the rows directly (much cheaper
+   than a simplex call). *)
+let rows_feasible (p : Simplex.problem) x tol =
+  let ok = ref true in
+  Array.iteri
+    (fun i row ->
+      if !ok then begin
+        let lhs = Array.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. row in
+        let rhs = p.Simplex.rhs.(i) in
+        match p.Simplex.senses.(i) with
+        | Model.Le -> if lhs > rhs +. tol then ok := false
+        | Model.Ge -> if lhs < rhs -. tol then ok := false
+        | Model.Eq -> if Float.abs (lhs -. rhs) > tol then ok := false
+      end)
+    p.Simplex.rows;
+  !ok
+
+let objective_of (p : Simplex.problem) x =
+  let acc = ref p.Simplex.obj_const in
+  for j = 0 to p.Simplex.ncols - 1 do
+    acc := !acc +. (p.Simplex.obj.(j) *. x.(j))
+  done;
+  !acc
+
+let try_rounding p integer lb ub x tol =
+  let n = p.Simplex.ncols in
+  let y = Array.copy x in
+  for j = 0 to n - 1 do
+    if integer.(j) then y.(j) <- Float.round y.(j);
+    if y.(j) < lb.(j) then y.(j) <- lb.(j);
+    if y.(j) > ub.(j) then y.(j) <- ub.(j)
+  done;
+  if rows_feasible p y tol then Some y else None
+
+(* LP-guided diving heuristic: repeatedly fix the most fractional
+   integer variable to its nearest integer and re-solve; on infeasibility
+   try the opposite side once.  Returns an integral solution with its
+   objective when the dive bottoms out.  This is what finds the first
+   incumbent on covering-style models whose leaves are never integral
+   under plain best-first search. *)
+(* Cheap bound propagation at a node: fixes implied binaries (edge/use
+   variables implied by a selection, sizing rows, …) before paying for
+   the LP.  Returns None when propagation proves the node infeasible. *)
+let propagate p integer lb ub =
+  match Presolve.run ~max_rounds:4 p ~integer ~lb ~ub with
+  | Presolve.Proven_infeasible _ -> None
+  | Presolve.Feasible { lb; ub; _ } -> Some (lb, ub)
+
+let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters max_lps ~deadline =
+  let n = p.Simplex.ncols in
+  let lb = Array.copy lb0 and ub = Array.copy ub0 in
+  let x = ref root.Simplex.primal in
+  let obj = ref root.Simplex.objective in
+  let lps = ref 0 in
+  let most_fractional () =
+    let best = ref (-1) and best_frac = ref int_tol in
+    for j = 0 to n - 1 do
+      if integer.(j) then begin
+        let f = !x.(j) -. Float.floor !x.(j) in
+        let dist = Float.min f (1. -. f) in
+        if dist > !best_frac then begin
+          best := j;
+          best_frac := dist
+        end
+      end
+    done;
+    !best
+  in
+  let rec go () =
+    let j = most_fractional () in
+    if j < 0 then Some (Array.copy !x, !obj)
+    else if !lps >= max_lps || Unix.gettimeofday () > deadline then None
+    else begin
+      let v = Float.round !x.(j) in
+      let try_fix value =
+        let slb = Array.copy lb and sub = Array.copy ub in
+        lb.(j) <- value;
+        ub.(j) <- value;
+        let restore () =
+          Array.blit slb 0 lb 0 n;
+          Array.blit sub 0 ub 0 n
+        in
+        match propagate p integer lb ub with
+        | None ->
+            restore ();
+            false
+        | Some (plb, pub) ->
+            Array.blit plb 0 lb 0 n;
+            Array.blit pub 0 ub 0 n;
+            incr lps;
+            let r = Simplex.solve ~deadline p ~lb ~ub in
+            lp_iters := !lp_iters + r.Simplex.iterations;
+            if r.Simplex.status = Status.Lp_optimal then begin
+              x := r.Simplex.primal;
+              obj := r.Simplex.objective;
+              true
+            end
+            else begin
+              restore ();
+              false
+            end
+      in
+      if try_fix v then go ()
+      else begin
+        let alt = if v <= !x.(j) then v +. 1. else v -. 1. in
+        if alt >= lb.(j) -. 1e-9 && alt <= ub.(j) +. 1e-9 && try_fix alt then go () else None
+      end
+    end
+  in
+  go ()
+
+let solve ?(options = default_options) model =
+  let t0 = Unix.gettimeofday () in
+  let p = Simplex.of_model model in
+  let n = p.Simplex.ncols in
+  let direction = fst (Model.objective model) in
+  let sign = match direction with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
+  let integer = Array.init n (Model.is_integer model) in
+  let root_lb = Array.init n (Model.var_lb model) in
+  let root_ub = Array.init n (Model.var_ub model) in
+  let finish status ~objective ~bound ~solution ~nodes ~lp_iterations =
+    {
+      status;
+      objective = sign *. objective;
+      bound = sign *. bound;
+      solution;
+      nodes;
+      lp_iterations;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  (* Root presolve. *)
+  let presolved =
+    if options.presolve then Presolve.run p ~integer ~lb:root_lb ~ub:root_ub
+    else
+      Presolve.Feasible
+        {
+          lb = root_lb;
+          ub = root_ub;
+          active = Array.make (Array.length p.Simplex.rows) true;
+          rounds = 0;
+        }
+  in
+  match presolved with
+  | Presolve.Proven_infeasible _ ->
+      finish Status.Mip_infeasible ~objective:infinity ~bound:infinity ~solution:None
+        ~nodes:0 ~lp_iterations:0
+  | Presolve.Feasible { lb = plb; ub = pub; active; rounds = _ } ->
+      let p = Presolve.reduced_problem p active in
+      let incumbent = ref None in
+      (* A caller-supplied cutoff acts as a virtual incumbent: it prunes
+         but carries no solution vector. *)
+      let incumbent_obj =
+        ref (if Float.is_nan options.cutoff then infinity else sign *. options.cutoff)
+      in
+      let nodes = ref 0 in
+      let lp_iters = ref 0 in
+      let queue : node Pqueue.t = Pqueue.create () in
+      Pqueue.push queue neg_infinity { nbound = neg_infinity; changes = [] };
+      let feas_tol = 1e-6 in
+      let update_incumbent x obj =
+        if obj < !incumbent_obj -. 1e-12 then begin
+          incumbent := Some (Array.copy x);
+          incumbent_obj := obj
+        end
+      in
+      let best_open_bound () =
+        match Pqueue.peek_key queue with Some k -> k | None -> infinity
+      in
+      let gap_closed () =
+        match !incumbent with
+        | None -> false
+        | Some _ ->
+            let b = best_open_bound () in
+            !incumbent_obj -. b <= options.abs_gap
+            || !incumbent_obj -. b <= options.rel_gap *. Float.max 1e-10 (Float.abs !incumbent_obj)
+      in
+      let timed_out = ref false in
+      let unbounded = ref false in
+      (* Most fractional integer variable of an LP solution. *)
+      let pick_branch_var x =
+        let best = ref (-1) and best_frac = ref options.int_tol in
+        for j = 0 to n - 1 do
+          if integer.(j) then begin
+            let f = x.(j) -. Float.floor x.(j) in
+            let dist = Float.min f (1. -. f) in
+            if dist > !best_frac then begin
+              best := j;
+              best_frac := dist
+            end
+          end
+        done;
+        !best
+      in
+      let process node =
+        incr nodes;
+        (* Prune by bound before paying for the LP. *)
+        if node.nbound >= !incumbent_obj -. options.abs_gap then ()
+        else begin
+          let lb = Array.copy plb and ub = Array.copy pub in
+          List.iter
+            (fun (j, l, u) ->
+              lb.(j) <- Float.max lb.(j) l;
+              ub.(j) <- Float.min ub.(j) u)
+            node.changes;
+          match if node.changes = [] then Some (lb, ub) else propagate p integer lb ub with
+          | None -> () (* bound propagation proved the node infeasible *)
+          | Some (lb, ub) ->
+          let r = Simplex.solve ~deadline:(t0 +. options.time_limit) p ~lb ~ub in
+          lp_iters := !lp_iters + r.Simplex.iterations;
+          match r.Simplex.status with
+          | Status.Lp_infeasible | Status.Lp_iteration_limit -> ()
+          | Status.Lp_unbounded -> if !incumbent = None then unbounded := true
+          | Status.Lp_optimal ->
+              let obj = r.Simplex.objective in
+              if obj >= !incumbent_obj -. options.abs_gap then ()
+              else begin
+                let x = r.Simplex.primal in
+                let j = pick_branch_var x in
+                if j < 0 then update_incumbent x obj
+                else begin
+                  if options.rounding_heuristic && !nodes land 15 = 1 then begin
+                    match try_rounding p integer lb ub x feas_tol with
+                    | Some y ->
+                        let yobj = objective_of p y in
+                        update_incumbent y yobj
+                    | None -> ()
+                  end;
+                  (* Dive for an incumbent: always until the first one
+                     exists, then occasionally to improve it. *)
+                  if
+                    options.rounding_heuristic
+                    && (!incumbent = None || !nodes land 63 = 2)
+                  then begin
+                    match
+                      dive p integer options.int_tol lb ub r lp_iters 200
+                        ~deadline:(t0 +. options.time_limit)
+                    with
+                    | Some (y, yobj) -> update_incumbent y yobj
+                    | None -> ()
+                  end;
+                  let v = x.(j) in
+                  let down = (j, neg_infinity, Float.floor v) in
+                  let up = (j, Float.ceil v, infinity) in
+                  Pqueue.push queue obj { nbound = obj; changes = down :: node.changes };
+                  Pqueue.push queue obj { nbound = obj; changes = up :: node.changes }
+                end
+              end
+        end
+      in
+      let rec loop () =
+        if Pqueue.is_empty queue || gap_closed () || !unbounded then ()
+        else if !nodes >= options.node_limit then ()
+        else if Unix.gettimeofday () -. t0 > options.time_limit then timed_out := true
+        else begin
+          (match Pqueue.pop queue with
+          | Some (_, node) ->
+              process node;
+              if options.log && !nodes mod 500 = 0 then
+                Log.info (fun f ->
+                    f "nodes=%d open=%d incumbent=%g bound=%g" !nodes (Pqueue.length queue)
+                      !incumbent_obj (best_open_bound ()))
+          | None -> ());
+          loop ()
+        end
+      in
+      loop ();
+      let final_bound =
+        match !incumbent with
+        | Some _ when Pqueue.is_empty queue -> !incumbent_obj
+        | _ -> Float.min (best_open_bound ()) !incumbent_obj
+      in
+      if !unbounded then
+        finish Status.Mip_unbounded ~objective:neg_infinity ~bound:neg_infinity ~solution:None
+          ~nodes:!nodes ~lp_iterations:!lp_iters
+      else begin
+        match !incumbent with
+        | Some x ->
+            let exhausted = Pqueue.is_empty queue in
+            let status =
+              if exhausted || gap_closed () then Status.Mip_optimal else Status.Mip_feasible
+            in
+            finish status ~objective:!incumbent_obj ~bound:final_bound ~solution:(Some x)
+              ~nodes:!nodes ~lp_iterations:!lp_iters
+        | None ->
+            let status =
+              (* With a cutoff installed, an exhausted tree only proves
+                 "nothing better than the cutoff", not infeasibility. *)
+              if
+                Pqueue.is_empty queue
+                && (not !timed_out)
+                && !nodes < options.node_limit
+                && Float.is_nan options.cutoff
+              then Status.Mip_infeasible
+              else Status.Mip_unknown
+            in
+            finish status ~objective:infinity ~bound:final_bound ~solution:None ~nodes:!nodes
+              ~lp_iterations:!lp_iters
+      end

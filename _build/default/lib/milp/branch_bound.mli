@@ -1,0 +1,48 @@
+(** Branch & bound MILP solver on top of {!Simplex} and {!Presolve}.
+
+    Best-bound node selection (min-heap on the parent LP bound) with
+    most-fractional branching, a root presolve, and a periodic rounding
+    heuristic for early incumbents.  Works for minimization and
+    maximization models (internally everything is minimized). *)
+
+type options = {
+  time_limit : float;  (** Wall-clock seconds; [infinity] = none. *)
+  node_limit : int;
+  rel_gap : float;  (** Stop when (incumbent - bound)/|incumbent| <= rel_gap. *)
+  abs_gap : float;
+  int_tol : float;  (** Integrality tolerance on LP solutions. *)
+  presolve : bool;
+  rounding_heuristic : bool;
+  cutoff : float;
+      (** Known objective bound in the model's own direction (an
+          incumbent value from a related run): nodes that cannot beat it
+          are pruned, and any solution reported is strictly better.
+          Default [nan] = none. *)
+  log : bool;  (** Print a progress line every ~500 nodes via [Logs]. *)
+}
+
+val default_options : options
+(** 60 s, 200_000 nodes, [rel_gap = 1e-6], [abs_gap = 1e-9],
+    [int_tol = 1e-6], presolve and rounding on, log off. *)
+
+type result = {
+  status : Status.mip_status;
+  objective : float;
+      (** Incumbent objective in the model's own direction; meaningless
+          for [Mip_infeasible]/[Mip_unknown]. *)
+  bound : float;  (** Best proven bound (model direction). *)
+  solution : float array option;  (** Values indexed by variable id. *)
+  nodes : int;  (** Branch & bound nodes processed. *)
+  lp_iterations : int;  (** Total simplex iterations. *)
+  elapsed : float;  (** Wall-clock seconds. *)
+}
+
+val gap : result -> float
+(** Relative optimality gap of a result ([infinity] without incumbent). *)
+
+val solve : ?options:options -> Model.t -> result
+(** Solve the model.  The model is not mutated. *)
+
+val value : result -> int -> float
+(** [value r v] is the incumbent value of variable [v].
+    @raise Invalid_argument if the result carries no solution. *)

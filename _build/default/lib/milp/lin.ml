@@ -1,0 +1,87 @@
+module Imap = Map.Make (Int)
+
+type t = { coeffs : float Imap.t; cst : float }
+
+let drop_zero m = Imap.filter (fun _ c -> c <> 0.) m
+
+let zero = { coeffs = Imap.empty; cst = 0. }
+
+let const c = { coeffs = Imap.empty; cst = c }
+
+let term c v = if c = 0. then zero else { coeffs = Imap.singleton v c; cst = 0. }
+
+let var v = term 1.0 v
+
+let add_term e c v =
+  if c = 0. then e
+  else
+    let upd = function
+      | None -> Some c
+      | Some c0 -> if c0 +. c = 0. then None else Some (c0 +. c)
+    in
+    { e with coeffs = Imap.update v upd e.coeffs }
+
+let add_const e c = { e with cst = e.cst +. c }
+
+let of_list l = List.fold_left (fun acc (c, v) -> add_term acc c v) zero l
+
+let add a b =
+  let merged =
+    Imap.union (fun _ ca cb -> if ca +. cb = 0. then None else Some (ca +. cb)) a.coeffs b.coeffs
+  in
+  { coeffs = merged; cst = a.cst +. b.cst }
+
+let scale k e =
+  if k = 0. then zero
+  else { coeffs = Imap.map (fun c -> k *. c) e.coeffs; cst = k *. e.cst }
+
+let neg e = scale (-1.) e
+
+let sub a b = add a (neg b)
+
+let constant e = e.cst
+
+let coeff e v = match Imap.find_opt v e.coeffs with Some c -> c | None -> 0.
+
+let terms e = Imap.bindings e.coeffs
+
+let nterms e = Imap.cardinal e.coeffs
+
+let is_constant e = Imap.is_empty e.coeffs
+
+let iter f e = Imap.iter f e.coeffs
+
+let fold f e init = Imap.fold f e.coeffs init
+
+let map_coeffs f e = { e with coeffs = drop_zero (Imap.map f e.coeffs) }
+
+let eval value e = Imap.fold (fun v c acc -> acc +. (c *. value v)) e.coeffs e.cst
+
+let sum l = List.fold_left add zero l
+
+let equal a b = a.cst = b.cst && Imap.equal Float.equal a.coeffs b.coeffs
+
+let pp ?(var_name = fun v -> "x" ^ string_of_int v) ppf e =
+  let first = ref true in
+  let print_term v c =
+    let mag = Float.abs c in
+    let sign = if c < 0. then "-" else "+" in
+    if !first then begin
+      if c < 0. then Format.pp_print_string ppf "-";
+      first := false
+    end
+    else Format.fprintf ppf " %s " sign;
+    if mag = 1.0 then Format.pp_print_string ppf (var_name v)
+    else Format.fprintf ppf "%g %s" mag (var_name v)
+  in
+  Imap.iter print_term e.coeffs;
+  if e.cst <> 0. || !first then
+    if !first then Format.fprintf ppf "%g" e.cst
+    else if e.cst > 0. then Format.fprintf ppf " + %g" e.cst
+    else Format.fprintf ppf " - %g" (Float.abs e.cst)
+
+module Infix = struct
+  let ( ++ ) = add
+  let ( -- ) = sub
+  let ( *: ) = scale
+end

@@ -1,0 +1,94 @@
+(** Sparse linear expressions over integer variable identifiers.
+
+    A linear expression is a finite map from variable ids to coefficients
+    plus a constant term.  Variable ids are the integers returned by
+    {!Model.add_var}; this module is deliberately independent of {!Model}
+    so that constraint generators can build expressions without holding a
+    model handle. *)
+
+type t
+(** An immutable sparse linear expression. *)
+
+val zero : t
+(** The expression [0]. *)
+
+val const : float -> t
+(** [const c] is the expression [c]. *)
+
+val term : float -> int -> t
+(** [term c v] is the expression [c * x_v]. *)
+
+val var : int -> t
+(** [var v] is [term 1.0 v]. *)
+
+val of_list : (float * int) list -> t
+(** [of_list terms] sums [c * x_v] for every [(c, v)] in [terms];
+    repeated variables are merged by addition. *)
+
+val add : t -> t -> t
+(** Pointwise sum. *)
+
+val sub : t -> t -> t
+(** Pointwise difference. *)
+
+val scale : float -> t -> t
+(** [scale k e] multiplies every coefficient and the constant by [k]. *)
+
+val add_term : t -> float -> int -> t
+(** [add_term e c v] is [add e (term c v)]. *)
+
+val add_const : t -> float -> t
+(** [add_const e c] adds [c] to the constant term. *)
+
+val constant : t -> float
+(** Constant term of the expression. *)
+
+val coeff : t -> int -> float
+(** [coeff e v] is the coefficient of [x_v] in [e] (0 when absent). *)
+
+val terms : t -> (int * float) list
+(** Non-zero terms as [(var, coef)] pairs in increasing variable order. *)
+
+val nterms : t -> int
+(** Number of variables with a non-zero coefficient. *)
+
+val is_constant : t -> bool
+(** [true] iff the expression has no variable term. *)
+
+val iter : (int -> float -> unit) -> t -> unit
+(** Iterate over non-zero terms in increasing variable order. *)
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over non-zero terms in increasing variable order. *)
+
+val map_coeffs : (float -> float) -> t -> t
+(** Apply a function to every coefficient (not the constant). *)
+
+val eval : (int -> float) -> t -> float
+(** [eval value e] evaluates [e] under the assignment [value]. *)
+
+val sum : t list -> t
+(** Sum of a list of expressions. *)
+
+val neg : t -> t
+(** [neg e] is [scale (-1.) e]. *)
+
+val equal : t -> t -> bool
+(** Structural equality up to coefficient equality. *)
+
+val pp : ?var_name:(int -> string) -> Format.formatter -> t -> unit
+(** Pretty-print, e.g. [3 x2 - x5 + 1.5].  [var_name] defaults to
+    [fun v -> "x" ^ string_of_int v]. *)
+
+(** Infix operators for expression construction; designed to be
+    locally opened: [Lin.Infix.(var i ++ scale 2. (var j))]. *)
+module Infix : sig
+  val ( ++ ) : t -> t -> t
+  (** Alias for {!add}. *)
+
+  val ( -- ) : t -> t -> t
+  (** Alias for {!sub}. *)
+
+  val ( *: ) : float -> t -> t
+  (** Alias for {!scale}. *)
+end

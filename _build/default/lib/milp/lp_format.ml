@@ -1,0 +1,90 @@
+(* LP-format identifiers may not contain characters like '(', ')', ' ',
+   and may not start with a digit or '.'; sanitize generated names. *)
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '#' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if s = "" then "v"
+  else
+    match s.[0] with
+    | '0' .. '9' | '.' -> "v" ^ s
+    | _ -> s
+
+let var_label m v = sanitize (Printf.sprintf "%s_%d" (Model.var_name m v) v)
+
+let pp_expr buf m e =
+  let first = ref true in
+  Lin.iter
+    (fun v c ->
+      if !first then begin
+        if c < 0. then Buffer.add_string buf "- "
+        else ();
+        first := false
+      end
+      else if c < 0. then Buffer.add_string buf " - "
+      else Buffer.add_string buf " + ";
+      let mag = Float.abs c in
+      if mag = 1.0 then Buffer.add_string buf (var_label m v)
+      else Buffer.add_string buf (Printf.sprintf "%.12g %s" mag (var_label m v)))
+    e;
+  if !first then Buffer.add_string buf "0"
+
+let to_string m =
+  let buf = Buffer.create 4096 in
+  let dir, obj = Model.objective m in
+  Buffer.add_string buf
+    (match dir with Model.Minimize -> "Minimize\n" | Model.Maximize -> "Maximize\n");
+  Buffer.add_string buf " obj: ";
+  pp_expr buf m obj;
+  Buffer.add_string buf "\nSubject To\n";
+  Model.iter_constrs
+    (fun i (c : Model.constr) ->
+      Buffer.add_string buf (Printf.sprintf " %s_%d: " (sanitize c.Model.c_name) i);
+      pp_expr buf m c.Model.c_expr;
+      let op =
+        match c.Model.c_sense with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "="
+      in
+      Buffer.add_string buf (Printf.sprintf " %s %.12g\n" op c.Model.c_rhs))
+    m;
+  Buffer.add_string buf "Bounds\n";
+  for v = 0 to Model.nvars m - 1 do
+    let lb = Model.var_lb m v and ub = Model.var_ub m v in
+    let label = var_label m v in
+    if lb = neg_infinity && ub = infinity then
+      Buffer.add_string buf (Printf.sprintf " %s free\n" label)
+    else begin
+      let lo =
+        if lb = neg_infinity then "-inf" else Printf.sprintf "%.12g" lb
+      in
+      let hi = if ub = infinity then "+inf" else Printf.sprintf "%.12g" ub in
+      Buffer.add_string buf (Printf.sprintf " %s <= %s <= %s\n" lo label hi)
+    end
+  done;
+  let generals = ref [] and binaries = ref [] in
+  for v = Model.nvars m - 1 downto 0 do
+    match Model.var_kind m v with
+    | Model.Binary -> binaries := v :: !binaries
+    | Model.Integer -> generals := v :: !generals
+    | Model.Continuous -> ()
+  done;
+  if !generals <> [] then begin
+    Buffer.add_string buf "Generals\n";
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %s\n" (var_label m v))) !generals
+  end;
+  if !binaries <> [] then begin
+    Buffer.add_string buf "Binaries\n";
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %s\n" (var_label m v))) !binaries
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let to_channel oc m = output_string oc (to_string m)
+
+let to_file path m =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc m)

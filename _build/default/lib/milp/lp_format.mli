@@ -1,0 +1,13 @@
+(** CPLEX LP-format writer.
+
+    Exports a {!Model.t} as a [.lp] text file readable by CPLEX, Gurobi,
+    GLPK, SCIP, lp_solve, … — useful for debugging the encoder against a
+    reference solver and for inspecting generated problems. *)
+
+val to_string : Model.t -> string
+(** Render the model in LP format. *)
+
+val to_channel : out_channel -> Model.t -> unit
+
+val to_file : string -> Model.t -> unit
+(** [to_file path m] writes [m] to [path]. *)

@@ -1,0 +1,387 @@
+(* A small tokenizer + section-driven parser for the LP subset.  The
+   grammar is line-oriented only in its comments; expressions may wrap,
+   so we tokenize the whole document and track sections by keyword. *)
+
+type token =
+  | Word of string  (* identifier *)
+  | Num of float
+  | Plus
+  | Minus
+  | Le
+  | Ge
+  | EqT
+  | Colon
+  | Section of string  (* minimize / maximize / subject_to / bounds / generals / binaries / end *)
+
+exception Err of string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Err (Printf.sprintf "line %d: %s" line s))) fmt
+
+let is_word_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' | '#' -> true | _ -> false
+
+let is_word_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '#' | '!' | '[' | ']' -> true
+  | _ -> false
+
+let is_digit c = match c with '0' .. '9' -> true | _ -> false
+
+(* Keywords may span two words ("Subject To"); normalize during a second
+   pass over raw word tokens. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '\\' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_word_start c then begin
+      let start = !i in
+      while !i < n && is_word_char src.[!i] do
+        incr i
+      done;
+      toks := (Word (String.sub src start (!i - start)), !line) :: !toks
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E'
+           || ((src.[!i] = '+' || src.[!i] = '-') && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> toks := (Num f, !line) :: !toks
+      | None -> fail !line "malformed number %S" text
+    end
+    else begin
+      (match c with
+      | '+' -> toks := (Plus, !line) :: !toks
+      | '-' -> toks := (Minus, !line) :: !toks
+      | ':' -> toks := (Colon, !line) :: !toks
+      | '<' | '>' | '=' ->
+          let op =
+            if c = '=' then EqT
+            else begin
+              (* accept <=, >=, <, > *)
+              if !i + 1 < n && src.[!i + 1] = '=' then incr i;
+              if c = '<' then Le else Ge
+            end
+          in
+          toks := (op, !line) :: !toks
+      | _ -> fail !line "unexpected character %C" c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* Merge section keywords. *)
+let normalize toks =
+  let lower w = String.lowercase_ascii w in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (Word a, l) :: (Word b, _) :: rest
+      when lower a = "subject" && lower b = "to" ->
+        go ((Section "subject_to", l) :: acc) rest
+    | (Word w, l) :: rest -> (
+        match lower w with
+        | "minimize" | "minimise" | "min" -> go ((Section "minimize", l) :: acc) rest
+        | "maximize" | "maximise" | "max" -> go ((Section "maximize", l) :: acc) rest
+        | "st" | "s.t." -> go ((Section "subject_to", l) :: acc) rest
+        | "bounds" | "bound" -> go ((Section "bounds", l) :: acc) rest
+        | "generals" | "general" | "gen" | "integers" | "int" ->
+            go ((Section "generals", l) :: acc) rest
+        | "binaries" | "binary" | "bin" -> go ((Section "binaries", l) :: acc) rest
+        | "end" -> go ((Section "end", l) :: acc) rest
+        | "free" -> go ((Word "!free", l) :: acc) rest
+        | "inf" | "infinity" -> go ((Num infinity, l) :: acc) rest
+        | _ -> go ((Word w, l) :: acc) rest)
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] toks
+
+type pstate = {
+  model : Model.t;
+  vars : (string, int) Hashtbl.t;
+  mutable toks : (token * int) list;
+}
+
+let var_of st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some v -> v
+  | None ->
+      (* LP default bounds: [0, +inf). *)
+      let v = Model.add_var st.model ~lb:0. ~ub:infinity name in
+      Hashtbl.add st.vars name v;
+      v
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+(* Parse a linear expression: [sign] [coef] var ... ; stops at a
+   relation, section, or colon-labelled row start. *)
+let parse_expr st =
+  let expr = ref Lin.zero in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (Plus, _) | Some (Minus, _) | Some (Num _, _) | Some (Word _, _) -> (
+        let sign = ref 1.0 in
+        let rec eat_signs () =
+          match peek st with
+          | Some (Plus, _) ->
+              advance st;
+              eat_signs ()
+          | Some (Minus, _) ->
+              advance st;
+              sign := -. !sign;
+              eat_signs ()
+          | _ -> ()
+        in
+        eat_signs ();
+        match peek st with
+        | Some (Num f, _) -> (
+            advance st;
+            match peek st with
+            | Some (Word w, _) when w <> "!free" ->
+                advance st;
+                expr := Lin.add_term !expr (!sign *. f) (var_of st w)
+            | _ -> expr := Lin.add_const !expr (!sign *. f))
+        | Some (Word w, l) ->
+            if w = "!free" then fail l "unexpected 'free' in expression";
+            advance st;
+            expr := Lin.add_term !expr !sign (var_of st w)
+        | Some (_, l) -> fail l "expected a term"
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  !expr
+
+(* Optional "name :" prefix. *)
+let parse_label st =
+  match st.toks with
+  | (Word w, _) :: (Colon, _) :: rest when w <> "!free" ->
+      st.toks <- rest;
+      Some w
+  | _ -> None
+
+let parse_objective st =
+  ignore (parse_label st);
+  parse_expr st
+
+let parse_rows st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (Section _, _) | None -> continue := false
+    | _ ->
+        let name = parse_label st in
+        let lhs = parse_expr st in
+        let sense, line =
+          match peek st with
+          | Some (Le, l) ->
+              advance st;
+              (Model.Le, l)
+          | Some (Ge, l) ->
+              advance st;
+              (Model.Ge, l)
+          | Some (EqT, l) ->
+              advance st;
+              (Model.Eq, l)
+          | Some (_, l) -> fail l "expected a relation"
+          | None -> fail 0 "unexpected end of input in a row"
+        in
+        (* The LP grammar requires a constant right-hand side; parsing a
+           full expression here would swallow the next row's label. *)
+        let sign = ref 1.0 in
+        let rec signs () =
+          match peek st with
+          | Some (Minus, _) ->
+              advance st;
+              sign := -. !sign;
+              signs ()
+          | Some (Plus, _) ->
+              advance st;
+              signs ()
+          | _ -> ()
+        in
+        signs ();
+        (match peek st with
+        | Some (Num f, _) ->
+            advance st;
+            Model.add_constr st.model ?name lhs sense (!sign *. f)
+        | _ -> fail line "right-hand side must be constant")
+  done
+
+(* Bounds lines: "lo <= x <= hi", "x <= hi", "x >= lo", "x free",
+   "x = v". *)
+let parse_bounds st =
+  let continue = ref true in
+  while !continue do
+    match st.toks with
+    | (Section _, _) :: _ | [] -> continue := false
+    | _ -> (
+        (* leading number or -inf: "lo <= x <= hi" *)
+        let read_signed_num () =
+          let sign = ref 1.0 in
+          let rec signs () =
+            match peek st with
+            | Some (Minus, _) ->
+                advance st;
+                sign := -. !sign;
+                signs ()
+            | Some (Plus, _) ->
+                advance st;
+                signs ()
+            | _ -> ()
+          in
+          signs ();
+          match peek st with
+          | Some (Num f, _) ->
+              advance st;
+              Some (!sign *. f)
+          | _ -> None
+        in
+        match read_signed_num () with
+        | Some lo -> (
+            match st.toks with
+            | (Le, _) :: (Word x, _) :: rest -> (
+                st.toks <- rest;
+                let v = var_of st x in
+                Model.set_bounds st.model v lo (Model.var_ub st.model v);
+                match st.toks with
+                | (Le, l) :: rest2 -> (
+                    st.toks <- rest2;
+                    match read_signed_num () with
+                    | Some hi -> Model.set_bounds st.model v lo hi
+                    | None -> fail l "expected an upper bound")
+                | _ -> ())
+            | (t, l) :: _ ->
+                ignore t;
+                fail l "expected '<= var' after a bound value"
+            | [] -> fail 0 "dangling bound")
+        | None -> (
+            match st.toks with
+            | (Word x, _) :: (Word "!free", _) :: rest ->
+                st.toks <- rest;
+                let v = var_of st x in
+                Model.set_bounds st.model v neg_infinity infinity
+            | (Word "!free", _) :: _ -> fail 0 "free without a variable"
+            | (Word x, _) :: (Le, l) :: rest -> (
+                st.toks <- rest;
+                let v = var_of st x in
+                match read_signed_num () with
+                | Some hi -> Model.set_bounds st.model v (Model.var_lb st.model v) hi
+                | None -> fail l "expected an upper bound")
+            | (Word x, _) :: (Ge, l) :: rest -> (
+                st.toks <- rest;
+                let v = var_of st x in
+                match read_signed_num () with
+                | Some lo -> Model.set_bounds st.model v lo (Model.var_ub st.model v)
+                | None -> fail l "expected a lower bound")
+            | (Word x, _) :: (EqT, l) :: rest -> (
+                st.toks <- rest;
+                let v = var_of st x in
+                match read_signed_num () with
+                | Some value -> Model.set_bounds st.model v value value
+                | None -> fail l "expected a value")
+            | (_, l) :: _ -> fail l "malformed bounds line"
+            | [] -> ()))
+  done
+
+(* Integrality sections just list variable names.  The Model API fixes a
+   variable's kind at creation, so we collect them and rebuild. *)
+let parse_name_list st =
+  let names = ref [] in
+  let continue = ref true in
+  while !continue do
+    match st.toks with
+    | (Word w, _) :: rest when w <> "!free" ->
+        st.toks <- rest;
+        names := w :: !names
+    | _ -> continue := false
+  done;
+  List.rev !names
+
+let parse text =
+  try
+    let toks = normalize (tokenize text) in
+    let st = { model = Model.create ~name:"lp" (); vars = Hashtbl.create 64; toks } in
+    let direction = ref Model.Minimize in
+    let objective = ref Lin.zero in
+    let generals = ref [] and binaries = ref [] in
+    let rec sections () =
+      match peek st with
+      | None -> ()
+      | Some (Section "minimize", _) ->
+          advance st;
+          direction := Model.Minimize;
+          objective := parse_objective st;
+          sections ()
+      | Some (Section "maximize", _) ->
+          advance st;
+          direction := Model.Maximize;
+          objective := parse_objective st;
+          sections ()
+      | Some (Section "subject_to", _) ->
+          advance st;
+          parse_rows st;
+          sections ()
+      | Some (Section "bounds", _) ->
+          advance st;
+          parse_bounds st;
+          sections ()
+      | Some (Section "generals", _) ->
+          advance st;
+          generals := !generals @ parse_name_list st;
+          sections ()
+      | Some (Section "binaries", _) ->
+          advance st;
+          binaries := !binaries @ parse_name_list st;
+          sections ()
+      | Some (Section "end", _) -> ()
+      | Some (Section s, l) -> fail l "unknown section %s" s
+      | Some (_, l) -> fail l "expected a section keyword"
+    in
+    sections ();
+    Model.set_objective st.model !direction !objective;
+    (* Rebuild with integrality applied (Model fixes kinds at creation). *)
+    let src = st.model in
+    let final = Model.create ~name:"lp" () in
+    for v = 0 to Model.nvars src - 1 do
+      let name = Model.var_name src v in
+      let kind =
+        if List.mem name !binaries then Model.Binary
+        else if List.mem name !generals then Model.Integer
+        else Model.Continuous
+      in
+      ignore
+        (Model.add_var final ~lb:(Model.var_lb src v) ~ub:(Model.var_ub src v) ~kind name)
+    done;
+    Model.iter_constrs
+      (fun _ c -> Model.add_constr final ~name:c.Model.c_name c.Model.c_expr c.Model.c_sense c.Model.c_rhs)
+      src;
+    let dir, obj = Model.objective src in
+    Model.set_objective final dir obj;
+    Ok final
+  with Err e -> Error e
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error e -> Error e

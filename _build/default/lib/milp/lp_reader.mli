@@ -1,0 +1,16 @@
+(** CPLEX LP-format reader (the subset {!Lp_format} emits).
+
+    Supports [Minimize]/[Maximize], [Subject To] rows with [<=], [>=],
+    [=], a [Bounds] section (including [free], [-inf], [+inf]),
+    [Generals] and [Binaries] sections, and [\\]-style or
+    end-of-line comments.  Round-trips models written by
+    {!Lp_format.to_string}, and reads hand-written or
+    externally-generated files in the same subset — useful for feeding
+    the solver problems produced by other tools and for differential
+    testing. *)
+
+val parse : string -> (Model.t, string) result
+(** Parse an LP document.  Variables are created in first-appearance
+    order; errors carry line numbers. *)
+
+val parse_file : string -> (Model.t, string) result

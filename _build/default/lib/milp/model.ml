@@ -1,0 +1,140 @@
+type var_kind = Continuous | Integer | Binary
+
+type sense = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+type constr = { c_name : string; c_expr : Lin.t; c_sense : sense; c_rhs : float }
+
+type var_info = {
+  v_name : string;
+  v_kind : var_kind;
+  mutable v_lb : float;
+  mutable v_ub : float;
+  v_obj : float;
+}
+
+type t = {
+  m_name : string;
+  vars : var_info Vec.t;
+  cons : constr Vec.t;
+  mutable obj_dir : direction;
+  mutable obj_expr : Lin.t;
+}
+
+let create ?(name = "model") () =
+  { m_name = name; vars = Vec.create (); cons = Vec.create ();
+    obj_dir = Minimize; obj_expr = Lin.zero }
+
+let name m = m.m_name
+
+let add_var m ?lb ?ub ?(kind = Continuous) ?(obj = 0.) vname =
+  let lb = match lb with Some l -> l | None -> 0. in
+  let ub =
+    match ub with
+    | Some u -> u
+    | None -> ( match kind with Binary -> 1. | Continuous | Integer -> infinity)
+  in
+  let lb, ub =
+    match kind with
+    | Binary -> (Float.max 0. lb, Float.min 1. ub)
+    | Continuous | Integer -> (lb, ub)
+  in
+  if lb > ub then
+    invalid_arg
+      (Printf.sprintf "Model.add_var %S: lb (%g) > ub (%g)" vname lb ub);
+  let id = Vec.length m.vars in
+  Vec.add_last m.vars { v_name = vname; v_kind = kind; v_lb = lb; v_ub = ub; v_obj = obj };
+  if obj <> 0. then m.obj_expr <- Lin.add_term m.obj_expr obj id;
+  id
+
+let add_binary m ?obj vname = add_var m ?obj ~kind:Binary vname
+
+let add_constr m ?name expr sense rhs =
+  let cname =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" (Vec.length m.cons)
+  in
+  let cst = Lin.constant expr in
+  let expr = Lin.add_const expr (-.cst) in
+  Vec.add_last m.cons { c_name = cname; c_expr = expr; c_sense = sense; c_rhs = rhs -. cst }
+
+let add_range m ?name lo expr hi =
+  let base = match name with Some n -> n | None -> Printf.sprintf "r%d" (Vec.length m.cons) in
+  add_constr m ~name:(base ^ "_lo") expr Ge lo;
+  add_constr m ~name:(base ^ "_hi") expr Le hi
+
+let set_objective m dir expr =
+  m.obj_dir <- dir;
+  m.obj_expr <- expr
+
+let objective m = (m.obj_dir, m.obj_expr)
+
+let get m v = Vec.get m.vars v
+
+let set_bounds m v lb ub =
+  let info = get m v in
+  info.v_lb <- lb;
+  info.v_ub <- ub
+
+let nvars m = Vec.length m.vars
+
+let nconstrs m = Vec.length m.cons
+
+let var_name m v = (get m v).v_name
+
+let var_kind m v = (get m v).v_kind
+
+let var_lb m v = (get m v).v_lb
+
+let var_ub m v = (get m v).v_ub
+
+let var_obj m v = (get m v).v_obj
+
+let is_integer m v =
+  match (get m v).v_kind with Integer | Binary -> true | Continuous -> false
+
+let constrs m = Vec.to_array m.cons
+
+let iter_constrs f m = Vec.iteri f m.cons
+
+let check_feasible ?(tol = 1e-6) m value =
+  let violation = ref None in
+  let record msg = if !violation = None then violation := Some msg in
+  for v = 0 to nvars m - 1 do
+    let info = get m v in
+    let x = value v in
+    if x < info.v_lb -. tol || x > info.v_ub +. tol then
+      record
+        (Printf.sprintf "variable %s = %g outside bounds [%g, %g]" info.v_name x info.v_lb
+           info.v_ub);
+    (match info.v_kind with
+    | Integer | Binary ->
+        if Float.abs (x -. Float.round x) > tol then
+          record (Printf.sprintf "variable %s = %g not integral" info.v_name x)
+    | Continuous -> ())
+  done;
+  let check_con _ c =
+    let lhs = Lin.eval value c.c_expr in
+    let ok =
+      match c.c_sense with
+      | Le -> lhs <= c.c_rhs +. tol
+      | Ge -> lhs >= c.c_rhs -. tol
+      | Eq -> Float.abs (lhs -. c.c_rhs) <= tol
+    in
+    if not ok then
+      record
+        (Printf.sprintf "constraint %s violated: lhs = %g, rhs = %g" c.c_name lhs c.c_rhs)
+  in
+  iter_constrs check_con m;
+  match !violation with None -> Ok () | Some msg -> Error msg
+
+let pp_stats ppf m =
+  let nbin = ref 0 and nint = ref 0 and ncont = ref 0 in
+  for v = 0 to nvars m - 1 do
+    match (get m v).v_kind with
+    | Binary -> incr nbin
+    | Integer -> incr nint
+    | Continuous -> incr ncont
+  done;
+  Format.fprintf ppf "%s: %d vars (%d bin, %d int, %d cont), %d constraints" m.m_name
+    (nvars m) !nbin !nint !ncont (nconstrs m)

@@ -1,0 +1,66 @@
+type 'a entry = { key : float; value : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable len : int }
+
+let create () = { heap = [||]; len = 0 }
+
+let is_empty q = q.len = 0
+
+let length q = q.len
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.heap.(i).key < q.heap.(parent).key then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && q.heap.(l).key < q.heap.(!smallest).key then smallest := l;
+  if r < q.len && q.heap.(r).key < q.heap.(!smallest).key then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q key value =
+  let e = { key; value } in
+  if q.len = Array.length q.heap then begin
+    let ncap = if q.len = 0 then 16 else 2 * q.len in
+    let nheap = Array.make ncap e in
+    Array.blit q.heap 0 nheap 0 q.len;
+    q.heap <- nheap
+  end;
+  q.heap.(q.len) <- e;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key q = if q.len = 0 then None else Some q.heap.(0).key
+
+let fold f init q =
+  let acc = ref init in
+  for i = 0 to q.len - 1 do
+    acc := f !acc q.heap.(i).key q.heap.(i).value
+  done;
+  !acc

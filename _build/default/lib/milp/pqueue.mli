@@ -1,0 +1,22 @@
+(** Minimal binary min-heap keyed by floats (used by branch & bound for
+    best-bound node selection, and by graph shortest-path routines). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry. *)
+
+val peek_key : 'a t -> float option
+(** Key of the minimum entry without removing it. *)
+
+val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over entries in unspecified order. *)

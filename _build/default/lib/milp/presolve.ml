@@ -1,0 +1,129 @@
+type outcome =
+  | Feasible of {
+      lb : float array;
+      ub : float array;
+      active : bool array;
+      rounds : int;
+    }
+  | Proven_infeasible of string
+
+(* Minimum and maximum activity of a row under the bounds; infinities
+   propagate naturally through float arithmetic except for 0 * inf, which
+   cannot occur because stored coefficients are non-zero. *)
+let activity row lb ub =
+  let amin = ref 0. and amax = ref 0. in
+  Array.iter
+    (fun (j, a) ->
+      if a > 0. then begin
+        amin := !amin +. (a *. lb.(j));
+        amax := !amax +. (a *. ub.(j))
+      end
+      else begin
+        amin := !amin +. (a *. ub.(j));
+        amax := !amax +. (a *. lb.(j))
+      end)
+    row;
+  (!amin, !amax)
+
+exception Infeasible of string
+
+let run ?(max_rounds = 16) ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub =
+  let n = p.Simplex.ncols in
+  let m = Array.length p.Simplex.rows in
+  let lb = Array.copy lb and ub = Array.copy ub in
+  let active = Array.make m true in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let round_int j =
+    if integer.(j) then begin
+      lb.(j) <- Float.ceil (lb.(j) -. 1e-6);
+      ub.(j) <- Float.floor (ub.(j) +. 1e-6)
+    end
+  in
+  let tighten_lb j v =
+    if v > lb.(j) +. tol then begin
+      lb.(j) <- v;
+      round_int j;
+      changed := true;
+      if lb.(j) > ub.(j) +. 1e-7 then
+        raise (Infeasible (Printf.sprintf "empty domain for variable %d" j))
+    end
+  in
+  let tighten_ub j v =
+    if v < ub.(j) -. tol then begin
+      ub.(j) <- v;
+      round_int j;
+      changed := true;
+      if lb.(j) > ub.(j) +. 1e-7 then
+        raise (Infeasible (Printf.sprintf "empty domain for variable %d" j))
+    end
+  in
+  (* Propagate one inequality  row <= rhs  (Ge rows are negated on the
+     fly; Eq rows are propagated in both directions). *)
+  let propagate_le row rhs neg i =
+    let s = if neg then -1.0 else 1.0 in
+    let amin = ref 0. in
+    Array.iter
+      (fun (j, a0) ->
+        let a = s *. a0 in
+        amin := !amin +. (if a > 0. then a *. lb.(j) else a *. ub.(j)))
+      row;
+    if !amin > rhs +. 1e-7 then
+      raise (Infeasible (Printf.sprintf "row %d cannot be satisfied" i));
+    if Float.is_finite !amin then
+      Array.iter
+        (fun (j, a0) ->
+          let a = s *. a0 in
+          let contrib = if a > 0. then a *. lb.(j) else a *. ub.(j) in
+          let rest = !amin -. contrib in
+          if Float.is_finite rest then
+            if a > 0. then tighten_ub j ((rhs -. rest) /. a)
+            else tighten_lb j ((rhs -. rest) /. a))
+        row
+  in
+  (try
+     while !changed && !rounds < max_rounds do
+       changed := false;
+       incr rounds;
+       for i = 0 to m - 1 do
+         if active.(i) then begin
+           let row = p.Simplex.rows.(i) and rhs = p.Simplex.rhs.(i) in
+           let amin, amax = activity row lb ub in
+           (match p.Simplex.senses.(i) with
+           | Model.Le ->
+               if amin > rhs +. 1e-7 then
+                 raise (Infeasible (Printf.sprintf "row %d infeasible" i));
+               if amax <= rhs +. tol then active.(i) <- false
+               else propagate_le row rhs false i
+           | Model.Ge ->
+               if amax < rhs -. 1e-7 then
+                 raise (Infeasible (Printf.sprintf "row %d infeasible" i));
+               if amin >= rhs -. tol then active.(i) <- false
+               else propagate_le row (-.rhs) true i
+           | Model.Eq ->
+               if amin > rhs +. 1e-7 || amax < rhs -. 1e-7 then
+                 raise (Infeasible (Printf.sprintf "row %d infeasible" i));
+               if amin >= rhs -. tol && amax <= rhs +. tol then active.(i) <- false
+               else begin
+                 propagate_le row rhs false i;
+                 propagate_le row (-.rhs) true i
+               end)
+         end
+       done
+     done;
+     ignore n;
+     Feasible { lb; ub; active; rounds = !rounds }
+   with Infeasible why -> Proven_infeasible why)
+
+let reduced_problem (p : Simplex.problem) active =
+  let keep = ref [] in
+  for i = Array.length active - 1 downto 0 do
+    if active.(i) then keep := i :: !keep
+  done;
+  let idx = Array.of_list !keep in
+  {
+    p with
+    Simplex.rows = Array.map (fun i -> p.Simplex.rows.(i)) idx;
+    senses = Array.map (fun i -> p.Simplex.senses.(i)) idx;
+    rhs = Array.map (fun i -> p.Simplex.rhs.(i)) idx;
+  }

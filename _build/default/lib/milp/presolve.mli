@@ -1,0 +1,33 @@
+(** Root-node presolve: activity-based bound propagation.
+
+    Works directly on a {!Simplex.problem} plus working bounds.  Repeated
+    passes compute each row's minimum/maximum activity from the current
+    bounds and use them to (i) detect infeasibility, (ii) drop redundant
+    rows, and (iii) tighten variable bounds (rounded for integer
+    variables).  Rows are never rewritten, only deactivated, so variable
+    indices are stable and no post-solve mapping is needed. *)
+
+type outcome =
+  | Feasible of {
+      lb : float array;  (** Tightened lower bounds. *)
+      ub : float array;  (** Tightened upper bounds. *)
+      active : bool array;  (** Per-row: still required after presolve. *)
+      rounds : int;  (** Number of propagation passes performed. *)
+    }
+  | Proven_infeasible of string
+      (** Human-readable reason (first violated row or empty domain). *)
+
+val run :
+  ?max_rounds:int ->
+  ?tol:float ->
+  Simplex.problem ->
+  integer:bool array ->
+  lb:float array ->
+  ub:float array ->
+  outcome
+(** [run p ~integer ~lb ~ub] propagates to fixpoint (at most [max_rounds]
+    passes, default 16).  Input arrays are not mutated. *)
+
+val reduced_problem : Simplex.problem -> bool array -> Simplex.problem
+(** [reduced_problem p active] drops inactive rows (used once at the root
+    before branch & bound). *)

@@ -1,0 +1,520 @@
+type problem = {
+  ncols : int;
+  rows : (int * float) array array;
+  senses : Model.sense array;
+  rhs : float array;
+  obj : float array;
+  obj_const : float;
+}
+
+type result = {
+  status : Status.lp_status;
+  objective : float;
+  primal : float array;
+  iterations : int;
+}
+
+let of_model m =
+  let n = Model.nvars m in
+  let dir, obj_expr = Model.objective m in
+  let sign = match dir with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
+  let obj = Array.make n 0. in
+  Lin.iter (fun v c -> if v < n then obj.(v) <- sign *. c) obj_expr;
+  let cons = Model.constrs m in
+  let rows =
+    Array.map
+      (fun (c : Model.constr) -> Array.of_list (Lin.terms c.Model.c_expr))
+      cons
+  in
+  let senses = Array.map (fun (c : Model.constr) -> c.Model.c_sense) cons in
+  let rhs = Array.map (fun (c : Model.constr) -> c.Model.c_rhs) cons in
+  { ncols = n; rows; senses; rhs; obj; obj_const = sign *. Lin.constant obj_expr }
+
+(* Nonbasic variable status.  Basic variables are tracked via [basis]. *)
+type vstat = Basic | At_lower | At_upper | Free_zero
+
+type state = {
+  p : problem;
+  m : int;  (* rows *)
+  ntot : int;  (* structural + slack + artificial columns *)
+  cols : (int * float) array array;  (* sparse columns, length ntot *)
+  lb : float array;  (* working bounds, length ntot *)
+  ub : float array;
+  stat : vstat array;
+  basis : int array;  (* column basic in each row *)
+  binv : float array array;  (* dense basis inverse, m x m *)
+  xb : float array;  (* values of basic variables per row *)
+  cost : float array;  (* current-phase cost, length ntot *)
+  mutable niter : int;
+  mutable degen_count : int;
+  mutable bland : bool;
+}
+
+let pivot_tol = 1e-9
+
+let nb_value st j =
+  match st.stat.(j) with
+  | At_lower -> st.lb.(j)
+  | At_upper -> st.ub.(j)
+  | Free_zero -> 0.
+  | Basic -> invalid_arg "nb_value: basic"
+
+(* Build sparse columns for structural variables from the rows, and
+   single-entry columns for slacks; artificial columns are appended by
+   [init_state] with their sign. *)
+let build_cols p m =
+  let n = p.ncols in
+  let counts = Array.make n 0 in
+  Array.iter (fun row -> Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) row) p.rows;
+  let cols = Array.make (n + (2 * m)) [||] in
+  let fill = Array.make n 0 in
+  for j = 0 to n - 1 do
+    cols.(j) <- Array.make counts.(j) (0, 0.)
+  done;
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun (j, a) ->
+          cols.(j).(fill.(j)) <- (i, a);
+          fill.(j) <- fill.(j) + 1)
+        row)
+    p.rows;
+  cols
+
+let init_state p ~lb:wlb ~ub:wub =
+  let m = Array.length p.rows in
+  let n = p.ncols in
+  let ntot = n + (2 * m) in
+  let cols = build_cols p m in
+  let lb = Array.make ntot 0. and ub = Array.make ntot infinity in
+  Array.blit wlb 0 lb 0 n;
+  Array.blit wub 0 ub 0 n;
+  (* Slack bounds encode the row sense: a.x + s = b. *)
+  for i = 0 to m - 1 do
+    let s = n + i in
+    cols.(s) <- [| (i, 1.0) |];
+    match p.senses.(i) with
+    | Model.Le ->
+        lb.(s) <- 0.;
+        ub.(s) <- infinity
+    | Model.Ge ->
+        lb.(s) <- neg_infinity;
+        ub.(s) <- 0.
+    | Model.Eq ->
+        lb.(s) <- 0.;
+        ub.(s) <- 0.
+  done;
+  let stat = Array.make ntot At_lower in
+  for j = 0 to n - 1 do
+    stat.(j) <-
+      (if Float.is_finite lb.(j) then At_lower
+       else if Float.is_finite ub.(j) then At_upper
+       else Free_zero)
+  done;
+  (* Row residuals under the nonbasic assignment. *)
+  let resid = Array.copy p.rhs in
+  for j = 0 to n - 1 do
+    let v =
+      match stat.(j) with
+      | At_lower -> lb.(j)
+      | At_upper -> ub.(j)
+      | Free_zero | Basic -> 0.
+    in
+    if v <> 0. then Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) cols.(j)
+  done;
+  let basis = Array.make m 0 in
+  let binv = Array.init m (fun _ -> Array.make m 0.) in
+  let xb = Array.make m 0. in
+  let cost = Array.make ntot 0. in
+  for i = 0 to m - 1 do
+    let s = n + i and art = n + m + i in
+    let r = resid.(i) in
+    if r >= lb.(s) -. 1e-12 && r <= ub.(s) +. 1e-12 then begin
+      (* Slack basic at the residual value; artificial unused. *)
+      basis.(i) <- s;
+      stat.(s) <- Basic;
+      xb.(i) <- r;
+      binv.(i).(i) <- 1.0;
+      cols.(art) <- [| (i, 1.0) |];
+      ub.(art) <- 0.
+    end
+    else begin
+      (* Slack pinned at its nearest bound (0 in all senses); an
+         artificial with sign g carries the residual: x_art = |r| >= 0. *)
+      let g = if r >= 0. then 1.0 else -1.0 in
+      cols.(art) <- [| (i, g) |];
+      stat.(s) <- At_lower;
+      (match p.senses.(i) with
+      | Model.Ge -> stat.(s) <- At_upper
+      | Model.Le | Model.Eq -> ());
+      basis.(i) <- art;
+      stat.(art) <- Basic;
+      xb.(i) <- Float.abs r;
+      binv.(i).(i) <- g;
+      cost.(art) <- 1.0 (* phase-1 cost *)
+    end
+  done;
+  { p; m; ntot; cols; lb; ub; stat; basis; binv; xb; cost;
+    niter = 0; degen_count = 0; bland = false }
+
+(* y = c_B^T B^{-1} *)
+let dual_prices st =
+  let y = Array.make st.m 0. in
+  for i = 0 to st.m - 1 do
+    let cb = st.cost.(st.basis.(i)) in
+    if cb <> 0. then begin
+      let row = st.binv.(i) in
+      for k = 0 to st.m - 1 do
+        y.(k) <- y.(k) +. (cb *. row.(k))
+      done
+    end
+  done;
+  y
+
+let reduced_cost st y j =
+  let d = ref st.cost.(j) in
+  Array.iter (fun (i, a) -> d := !d -. (y.(i) *. a)) st.cols.(j);
+  !d
+
+(* Select the entering column, or None at (phase-)optimality. *)
+let price st ~dual_tol =
+  let y = dual_prices st in
+  let best = ref None and best_score = ref dual_tol in
+  let consider j =
+    if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+      let d = reduced_cost st y j in
+      let score =
+        match st.stat.(j) with
+        | At_lower -> -.d
+        | At_upper -> d
+        | Free_zero -> Float.abs d
+        | Basic -> 0.
+      in
+      if score > !best_score then
+        if st.bland then begin
+          if !best = None then begin
+            best := Some (j, d);
+            best_score := dual_tol (* keep first (smallest index) *)
+          end
+        end
+        else begin
+          best := Some (j, d);
+          best_score := score
+        end
+    end
+  in
+  for j = 0 to st.ntot - 1 do
+    match !best with
+    | Some _ when st.bland -> ()
+    | _ -> consider j
+  done;
+  !best
+
+(* w = B^{-1} A_j *)
+let ftran st j =
+  let w = Array.make st.m 0. in
+  Array.iter
+    (fun (r, a) ->
+      if a <> 0. then
+        for i = 0 to st.m - 1 do
+          w.(i) <- w.(i) +. (st.binv.(i).(r) *. a)
+        done)
+    st.cols.(j);
+  w
+
+type ratio_outcome =
+  | Unbounded
+  | Bound_flip of float
+  | Leave of { row : int; t : float; to_upper : bool }
+
+let ratio_test st j sigma w =
+  let span = st.ub.(j) -. st.lb.(j) in
+  let best_t = ref (if Float.is_finite span then span else infinity) in
+  let leave = ref None in
+  for i = 0 to st.m - 1 do
+    let wi = w.(i) in
+    if Float.abs wi > pivot_tol then begin
+      let k = st.basis.(i) in
+      let dx = -.sigma *. wi in
+      let t, to_upper =
+        if dx > 0. then
+          (if Float.is_finite st.ub.(k) then (st.ub.(k) -. st.xb.(i)) /. dx else infinity), true
+        else (if Float.is_finite st.lb.(k) then (st.lb.(k) -. st.xb.(i)) /. dx else infinity), false
+      in
+      let t = Float.max t 0. in
+      let better =
+        t < !best_t -. 1e-12
+        || (t <= !best_t +. 1e-12
+            &&
+            match !leave with
+            | None -> true
+            | Some (r, _) ->
+                if st.bland then st.basis.(i) < st.basis.(r)
+                else Float.abs wi > Float.abs w.(r))
+      in
+      if better then begin
+        best_t := Float.min t !best_t;
+        leave := Some (i, to_upper)
+      end
+    end
+  done;
+  match !leave with
+  | None -> if Float.is_finite !best_t then Bound_flip !best_t else Unbounded
+  | Some (r, to_upper) ->
+      if Float.is_finite span && span <= !best_t then Bound_flip span
+      else if Float.is_finite !best_t then Leave { row = r; t = !best_t; to_upper }
+      else Unbounded
+
+let apply_step st j sigma w t =
+  if t <> 0. then
+    for i = 0 to st.m - 1 do
+      st.xb.(i) <- st.xb.(i) -. (sigma *. w.(i) *. t)
+    done;
+  ignore j
+
+let pivot st j sigma w r t ~to_upper =
+  let enter_val = nb_value st j +. (sigma *. t) in
+  let leaving = st.basis.(r) in
+  st.stat.(leaving) <- (if to_upper then At_upper else At_lower);
+  (* Snap the leaving variable exactly onto its bound. *)
+  st.basis.(r) <- j;
+  st.stat.(j) <- Basic;
+  st.xb.(r) <- enter_val;
+  (* binv := E * binv with the elementary transform defined by w, row r. *)
+  let wr = w.(r) in
+  let brow = st.binv.(r) in
+  for k = 0 to st.m - 1 do
+    brow.(k) <- brow.(k) /. wr
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> r then begin
+      let f = w.(i) in
+      if Float.abs f > 0. then begin
+        let row = st.binv.(i) in
+        for k = 0 to st.m - 1 do
+          row.(k) <- row.(k) -. (f *. brow.(k))
+        done
+      end
+    end
+  done
+
+(* Rebuild binv and xb from scratch (numerical hygiene). *)
+let refactorize st =
+  let m = st.m in
+  (* Assemble the basis matrix and invert via Gauss-Jordan with partial
+     pivoting. *)
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.)) in
+  for i = 0 to m - 1 do
+    Array.iter (fun (r, c) -> a.(r).(i) <- c) st.cols.(st.basis.(i))
+  done;
+  let ok = ref true in
+  for col = 0 to m - 1 do
+    if !ok then begin
+      let piv = ref col in
+      for i = col + 1 to m - 1 do
+        if Float.abs a.(i).(col) > Float.abs a.(!piv).(col) then piv := i
+      done;
+      if Float.abs a.(!piv).(col) < 1e-12 then ok := false
+      else begin
+        if !piv <> col then begin
+          let tmp = a.(col) in
+          a.(col) <- a.(!piv);
+          a.(!piv) <- tmp;
+          let tmp = inv.(col) in
+          inv.(col) <- inv.(!piv);
+          inv.(!piv) <- tmp
+        end;
+        let d = a.(col).(col) in
+        for k = 0 to m - 1 do
+          a.(col).(k) <- a.(col).(k) /. d;
+          inv.(col).(k) <- inv.(col).(k) /. d
+        done;
+        for i = 0 to m - 1 do
+          if i <> col then begin
+            let f = a.(i).(col) in
+            if f <> 0. then
+              for k = 0 to m - 1 do
+                a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k));
+                inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+              done
+          end
+        done
+      end
+    end
+  done;
+  if !ok then begin
+    for i = 0 to m - 1 do
+      Array.blit inv.(i) 0 st.binv.(i) 0 m
+    done;
+    (* xb = B^{-1} (b - N x_N) *)
+    let resid = Array.copy st.p.rhs in
+    for j = 0 to st.ntot - 1 do
+      if st.stat.(j) <> Basic then begin
+        let v = nb_value st j in
+        if v <> 0. then
+          Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) st.cols.(j)
+      end
+    done;
+    for i = 0 to m - 1 do
+      let acc = ref 0. in
+      let row = st.binv.(i) in
+      for k = 0 to m - 1 do
+        acc := !acc +. (row.(k) *. resid.(k))
+      done;
+      st.xb.(i) <- !acc
+    done
+  end
+
+let current_objective st =
+  let total = ref 0. in
+  for j = 0 to st.ntot - 1 do
+    if st.stat.(j) <> Basic && st.cost.(j) <> 0. then
+      total := !total +. (st.cost.(j) *. nb_value st j)
+  done;
+  for i = 0 to st.m - 1 do
+    let c = st.cost.(st.basis.(i)) in
+    if c <> 0. then total := !total +. (c *. st.xb.(i))
+  done;
+  !total
+
+(* Run simplex iterations under the current [st.cost] until no entering
+   column is found.  Returns [Ok ()] at phase optimality. *)
+let optimize st ~max_iterations ~dual_tol ~deadline =
+  let refactor_period = 512 in
+  let rec loop () =
+    if st.niter >= max_iterations then Error Status.Lp_iteration_limit
+    else if
+      Float.is_finite deadline
+      && st.niter land 63 = 0
+      && Unix.gettimeofday () > deadline
+    then Error Status.Lp_iteration_limit
+    else
+      match price st ~dual_tol with
+      | None -> Ok ()
+      | Some (j, d) -> (
+          let sigma =
+            match st.stat.(j) with
+            | At_lower -> 1.0
+            | At_upper -> -1.0
+            | Free_zero -> if d < 0. then 1.0 else -1.0
+            | Basic -> assert false
+          in
+          st.niter <- st.niter + 1;
+          if st.niter mod refactor_period = 0 then refactorize st;
+          let w = ftran st j in
+          match ratio_test st j sigma w with
+          | Unbounded -> Error Status.Lp_unbounded
+          | Bound_flip t ->
+              apply_step st j sigma w t;
+              st.stat.(j) <- (match st.stat.(j) with At_lower -> At_upper | _ -> At_lower);
+              st.degen_count <- 0;
+              st.bland <- false;
+              loop ()
+          | Leave { row; t; to_upper } ->
+              if t <= 1e-10 then begin
+                st.degen_count <- st.degen_count + 1;
+                if st.degen_count > 200 then st.bland <- true
+              end
+              else begin
+                st.degen_count <- 0;
+                st.bland <- false
+              end;
+              apply_step st j sigma w t;
+              pivot st j sigma w row t ~to_upper;
+              loop ())
+  in
+  loop ()
+
+let extract_primal st =
+  let n = st.p.ncols in
+  let x = Array.make n 0. in
+  for j = 0 to n - 1 do
+    if st.stat.(j) <> Basic then x.(j) <- nb_value st j
+  done;
+  for i = 0 to st.m - 1 do
+    let k = st.basis.(i) in
+    if k < n then x.(k) <- st.xb.(i)
+  done;
+  x
+
+let true_objective st x =
+  let acc = ref st.p.obj_const in
+  for j = 0 to st.p.ncols - 1 do
+    acc := !acc +. (st.p.obj.(j) *. x.(j))
+  done;
+  !acc
+
+let solve ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb ~ub =
+  let m = Array.length p.rows in
+  (* Reject inverted working bounds up-front (branch & bound can create
+     them); an empty box is infeasible. *)
+  let inverted = ref false in
+  for j = 0 to p.ncols - 1 do
+    if lb.(j) > ub.(j) +. 1e-12 then inverted := true
+  done;
+  if !inverted then
+    { status = Status.Lp_infeasible; objective = infinity;
+      primal = Array.make p.ncols 0.; iterations = 0 }
+  else begin
+    let st = init_state p ~lb ~ub in
+    let max_iterations =
+      match max_iterations with
+      | Some k -> k
+      | None -> 50_000 + (50 * (m + p.ncols))
+    in
+    (* Phase 1: minimize total artificial value (cost set by init). *)
+    let phase1_needed = ref false in
+    for i = 0 to m - 1 do
+      if st.basis.(i) >= p.ncols + m then phase1_needed := true
+    done;
+    let phase1 =
+      if !phase1_needed then optimize st ~max_iterations ~dual_tol:1e-9 ~deadline
+      else Ok ()
+    in
+    match phase1 with
+    | Error s -> { status = s; objective = infinity; primal = extract_primal st; iterations = st.niter }
+    | Ok () ->
+        let infeas = current_objective st in
+        if !phase1_needed && infeas > feas_tol *. 10. then
+          { status = Status.Lp_infeasible; objective = infinity;
+            primal = extract_primal st; iterations = st.niter }
+        else begin
+          (* Seal artificials and install the phase-2 cost. *)
+          for i = 0 to m - 1 do
+            let art = p.ncols + m + i in
+            st.ub.(art) <- 0.;
+            st.lb.(art) <- 0.;
+            st.cost.(art) <- 0.
+          done;
+          Array.blit p.obj 0 st.cost 0 p.ncols;
+          st.bland <- false;
+          st.degen_count <- 0;
+          match optimize st ~max_iterations ~dual_tol:1e-7 ~deadline with
+          | Error s ->
+              let x = extract_primal st in
+              let objective = if s = Status.Lp_iteration_limit then true_objective st x else neg_infinity in
+              { status = s; objective; primal = x; iterations = st.niter }
+          | Ok () ->
+              refactorize st;
+              let x = extract_primal st in
+              { status = Status.Lp_optimal; objective = true_objective st x;
+                primal = x; iterations = st.niter }
+        end
+  end
+
+let solve_model ?max_iterations m =
+  let p = of_model m in
+  let n = p.ncols in
+  let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+  let r = solve ?max_iterations p ~lb ~ub in
+  match fst (Model.objective m) with
+  | Model.Minimize -> r
+  | Model.Maximize ->
+      let objective =
+        match r.status with
+        | Status.Lp_unbounded -> infinity
+        | Status.Lp_infeasible -> neg_infinity
+        | Status.Lp_optimal | Status.Lp_iteration_limit -> -.r.objective
+      in
+      { r with objective }

@@ -1,0 +1,57 @@
+(** Bounded-variable primal simplex for linear programs.
+
+    Solves [min c^T x  s.t.  A x {<=,>=,=} b,  l <= x <= u] using the
+    two-phase method: artificial variables give an identity starting
+    basis; phase 1 minimizes total artificial value, phase 2 the true
+    objective.  The basis inverse is kept explicitly (dense) and updated
+    by elementary row operations at each pivot; Dantzig pricing with an
+    automatic switch to Bland's rule under prolonged degeneracy
+    guarantees termination.
+
+    Variable bounds may be infinite.  Maximization is handled by the
+    caller negating the objective (see {!Branch_bound} and {!solve_model}).
+
+    The solver works on an immutable {!problem} snapshot so that branch &
+    bound can re-solve with modified bounds without rebuilding rows. *)
+
+type problem = {
+  ncols : int;  (** Number of structural variables. *)
+  rows : (int * float) array array;  (** Sparse rows: [(col, coef)] lists. *)
+  senses : Model.sense array;
+  rhs : float array;
+  obj : float array;  (** Minimization coefficients, length [ncols]. *)
+  obj_const : float;
+}
+
+type result = {
+  status : Status.lp_status;
+  objective : float;  (** Meaningful when [status = Lp_optimal]. *)
+  primal : float array;  (** Length [ncols]; variable values. *)
+  iterations : int;
+}
+
+val of_model : Model.t -> problem
+(** Snapshot a model's rows into solver form.  Maximization objectives
+    are negated (callers must negate reported objectives back). *)
+
+val solve :
+  ?max_iterations:int ->
+  ?feas_tol:float ->
+  ?deadline:float ->
+  problem ->
+  lb:float array ->
+  ub:float array ->
+  result
+(** Solve the LP relaxation with the given working bounds (arrays of
+    length [ncols]; entries may be [neg_infinity]/[infinity]).
+    [max_iterations] defaults to [50_000 + 50 * (rows + cols)].
+    [feas_tol] (default [1e-7]) is the primal feasibility tolerance.
+    [deadline] is an absolute [Unix.gettimeofday] instant after which
+    the solve aborts with [Lp_iteration_limit] (checked every few
+    iterations) — branch & bound uses it to make its wall-clock limit
+    hold even when a single LP is huge. *)
+
+val solve_model : ?max_iterations:int -> Model.t -> result
+(** Convenience wrapper: snapshot the model, use its declared bounds and
+    solve, converting the objective sign back for maximization models.
+    Integrality is ignored (LP relaxation). *)

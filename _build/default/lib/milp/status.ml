@@ -1,0 +1,27 @@
+(* Shared solution-status types for the LP and MILP solvers. *)
+
+type lp_status =
+  | Lp_optimal
+  | Lp_infeasible
+  | Lp_unbounded
+  | Lp_iteration_limit
+
+type mip_status =
+  | Mip_optimal
+  | Mip_infeasible
+  | Mip_unbounded
+  | Mip_feasible  (* stopped at a limit with an incumbent *)
+  | Mip_unknown   (* stopped at a limit without an incumbent *)
+
+let lp_status_to_string = function
+  | Lp_optimal -> "optimal"
+  | Lp_infeasible -> "infeasible"
+  | Lp_unbounded -> "unbounded"
+  | Lp_iteration_limit -> "iteration-limit"
+
+let mip_status_to_string = function
+  | Mip_optimal -> "optimal"
+  | Mip_infeasible -> "infeasible"
+  | Mip_unbounded -> "unbounded"
+  | Mip_feasible -> "feasible"
+  | Mip_unknown -> "unknown"

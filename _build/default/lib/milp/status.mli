@@ -1,0 +1,20 @@
+(** Solver status codes shared by {!Simplex} and {!Branch_bound}. *)
+
+type lp_status =
+  | Lp_optimal
+  | Lp_infeasible
+  | Lp_unbounded
+  | Lp_iteration_limit  (** Stopped before convergence. *)
+
+type mip_status =
+  | Mip_optimal  (** Incumbent proven optimal (within gap tolerances). *)
+  | Mip_infeasible
+  | Mip_unbounded
+  | Mip_feasible  (** Stopped at a limit with an incumbent in hand. *)
+  | Mip_unknown
+      (** Stopped at a limit with no incumbent, or exhausted the tree
+          under a caller-supplied cutoff. *)
+
+val lp_status_to_string : lp_status -> string
+
+val mip_status_to_string : mip_status -> string

@@ -1,0 +1,25 @@
+(** Minimal growable vector (OCaml 5.1 has no [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-range index. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-range index. *)
+
+val add_last : 'a t -> 'a -> unit
+
+val to_array : 'a t -> 'a array
+
+val of_array : 'a array -> 'a t
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

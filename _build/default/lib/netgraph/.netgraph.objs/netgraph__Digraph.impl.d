@@ -1,0 +1,1 @@
+lib/netgraph/digraph.ml: Array Format Hashtbl List Printf

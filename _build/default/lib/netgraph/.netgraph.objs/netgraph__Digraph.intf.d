@@ -1,0 +1,1 @@
+lib/netgraph/digraph.mli: Format

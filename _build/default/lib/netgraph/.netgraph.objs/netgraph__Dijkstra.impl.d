@@ -1,0 +1,1 @@
+lib/netgraph/dijkstra.ml: Array Digraph Float List

@@ -1,0 +1,1 @@
+lib/netgraph/dijkstra.mli: Digraph

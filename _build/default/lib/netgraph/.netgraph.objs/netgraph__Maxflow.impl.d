@@ -1,0 +1,1 @@
+lib/netgraph/maxflow.ml: Array Digraph Float Hashtbl List Option Printf Queue

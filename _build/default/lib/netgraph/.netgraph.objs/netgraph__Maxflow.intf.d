@@ -1,0 +1,1 @@
+lib/netgraph/maxflow.mli: Digraph Path

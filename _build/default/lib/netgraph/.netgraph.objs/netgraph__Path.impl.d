@@ -1,0 +1,1 @@
+lib/netgraph/path.ml: Digraph Format Hashtbl Int List

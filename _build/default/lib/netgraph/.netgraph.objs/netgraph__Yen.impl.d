@@ -1,0 +1,1 @@
+lib/netgraph/yen.ml: Dijkstra Hashtbl List Path Set

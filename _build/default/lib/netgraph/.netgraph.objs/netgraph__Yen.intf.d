@@ -1,0 +1,1 @@
+lib/netgraph/yen.mli: Digraph Path

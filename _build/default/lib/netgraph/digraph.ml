@@ -1,0 +1,116 @@
+(* Adjacency is a per-node hashtable keyed by neighbour id; [order]
+   remembers insertion order so traversals are deterministic. *)
+type adj = { tbl : (int, float) Hashtbl.t; mutable order : int list (* reversed *) }
+
+type t = { n : int; fwd : adj array; bwd : adj array; mutable ecount : int }
+
+let mk_adj () = { tbl = Hashtbl.create 4; order = [] }
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; fwd = Array.init n (fun _ -> mk_adj ()); bwd = Array.init n (fun _ -> mk_adj ()); ecount = 0 }
+
+let nnodes g = g.n
+
+let nedges g = g.ecount
+
+let check g u name =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Digraph.%s: node %d out of range [0, %d)" name u g.n)
+
+let add_dir a u v w =
+  let existed = Hashtbl.mem a.(u).tbl v in
+  Hashtbl.replace a.(u).tbl v w;
+  if not existed then a.(u).order <- v :: a.(u).order;
+  existed
+
+let add_edge g ?(w = 1.0) u v =
+  check g u "add_edge";
+  check g v "add_edge";
+  if u = v then invalid_arg "Digraph.add_edge: self-loop";
+  let existed = add_dir g.fwd u v w in
+  let _ = add_dir g.bwd v u w in
+  if not existed then g.ecount <- g.ecount + 1
+
+let add_undirected g ?w u v =
+  add_edge g ?w u v;
+  add_edge g ?w v u
+
+let mem_edge g u v =
+  check g u "mem_edge";
+  check g v "mem_edge";
+  Hashtbl.mem g.fwd.(u).tbl v
+
+let weight_opt g u v =
+  check g u "weight";
+  check g v "weight";
+  Hashtbl.find_opt g.fwd.(u).tbl v
+
+let weight g u v =
+  match weight_opt g u v with Some w -> w | None -> raise Not_found
+
+let set_weight g u v w =
+  if not (mem_edge g u v) then raise Not_found;
+  Hashtbl.replace g.fwd.(u).tbl v w;
+  Hashtbl.replace g.bwd.(v).tbl u w
+
+let neighbours a u =
+  List.rev_map (fun v -> (v, Hashtbl.find a.(u).tbl v)) a.(u).order
+
+let succ g u =
+  check g u "succ";
+  neighbours g.fwd u
+
+let pred g u =
+  check g u "pred";
+  neighbours g.bwd u
+
+let out_degree g u =
+  check g u "out_degree";
+  Hashtbl.length g.fwd.(u).tbl
+
+let in_degree g u =
+  check g u "in_degree";
+  Hashtbl.length g.bwd.(u).tbl
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    List.iter (fun (v, w) -> f u v w) (neighbours g.fwd u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v w -> acc := f u v w !acc) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun u v w acc -> (u, v, w) :: acc) g [])
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v, w) -> add_edge g ~w u v) es;
+  g
+
+let copy g =
+  let h = create g.n in
+  iter_edges (fun u v w -> add_edge h ~w u v) g;
+  h
+
+let transpose g =
+  let h = create g.n in
+  iter_edges (fun u v w -> add_edge h ~w v u) g;
+  h
+
+let reachable g s =
+  check g s "reachable";
+  let seen = Array.make g.n false in
+  let rec visit u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter (fun (v, _) -> visit v) (succ g u)
+    end
+  in
+  visit s;
+  seen
+
+let pp ppf g =
+  Format.fprintf ppf "digraph(%d nodes, %d edges)" g.n g.ecount

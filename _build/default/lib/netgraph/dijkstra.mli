@@ -1,0 +1,27 @@
+(** Dijkstra shortest paths with optional node/edge masking.
+
+    Masks are what Yen's algorithm needs: the spur computation must
+    ignore the root-path nodes and the outgoing edges already used by
+    shorter candidate paths, without mutating the graph. *)
+
+val shortest_path :
+  ?banned_node:(int -> bool) ->
+  ?banned_edge:(int -> int -> bool) ->
+  Digraph.t ->
+  src:int ->
+  dst:int ->
+  (float * int list) option
+(** [shortest_path g ~src ~dst] returns [(cost, nodes)] for a minimum
+    total-weight path [src -> ... -> dst], or [None] if unreachable.
+    The node list includes both endpoints.  Banned nodes other than
+    [src]/[dst] are not traversed; banned edges are skipped.
+    @raise Invalid_argument on negative edge weights encountered during
+    the search. *)
+
+val distances :
+  ?banned_node:(int -> bool) ->
+  ?banned_edge:(int -> int -> bool) ->
+  Digraph.t ->
+  src:int ->
+  float array
+(** Single-source distances ([infinity] when unreachable). *)

@@ -1,0 +1,21 @@
+(** Edge-disjoint path capacity via unit-capacity max-flow
+    (Edmonds–Karp).
+
+    Menger's theorem: the maximum number of pairwise edge-disjoint
+    [s -> t] paths equals the minimum [s-t] edge cut.  Algorithm 1 uses
+    this to distinguish "the pool construction failed" from "the graph
+    cannot support that many disjoint replicas at all", and the
+    validator uses it as an upper bound on achievable replication. *)
+
+val edge_disjoint_capacity :
+  ?ignore_infinite:bool -> Digraph.t -> src:int -> dst:int -> int
+(** Maximum number of pairwise edge-disjoint simple paths from [src] to
+    [dst].  Edges with non-finite weight are excluded when
+    [ignore_infinite] (default [true]) — matching the convention that
+    Algorithm 1 disconnects edges by setting their weight to infinity.
+    Returns 0 when [dst] is unreachable.
+    @raise Invalid_argument if [src = dst] or out of range. *)
+
+val disjoint_paths : Digraph.t -> src:int -> dst:int -> Path.t list
+(** A maximum set of edge-disjoint paths realizing
+    {!edge_disjoint_capacity} (path count equals the capacity). *)

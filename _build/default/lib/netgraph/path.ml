@@ -1,0 +1,65 @@
+type t = int list
+
+let rec edges = function
+  | [] | [ _ ] -> []
+  | u :: (v :: _ as rest) -> (u, v) :: edges rest
+
+let length p = Int.max 0 (List.length p - 1)
+
+let cost g p = List.fold_left (fun acc (u, v) -> acc +. Digraph.weight g u v) 0. (edges p)
+
+let is_simple p =
+  let seen = Hashtbl.create (List.length p) in
+  List.for_all
+    (fun u ->
+      if Hashtbl.mem seen u then false
+      else begin
+        Hashtbl.add seen u ();
+        true
+      end)
+    p
+
+let is_valid g p =
+  p <> []
+  && is_simple p
+  && List.for_all (fun (u, v) -> Digraph.mem_edge g u v) (edges p)
+
+let source = function [] -> None | u :: _ -> Some u
+
+let rec destination = function [] -> None | [ u ] -> Some u | _ :: rest -> destination rest
+
+let interior p =
+  match p with
+  | [] | [ _ ] | [ _; _ ] -> []
+  | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+
+let node_disjoint a b =
+  let ia = interior a and ib = interior b in
+  let in_b = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.replace in_b u ()) ib;
+  (* also endpoints of one must not be interior of the other *)
+  let endpoints p =
+    match (source p, destination p) with
+    | Some s, Some d -> [ s; d ]
+    | _ -> []
+  in
+  List.for_all (fun u -> not (Hashtbl.mem in_b u)) ia
+  && List.for_all (fun u -> not (Hashtbl.mem in_b u)) (endpoints a)
+  &&
+  let in_a = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.replace in_a u ()) ia;
+  List.for_all (fun u -> not (Hashtbl.mem in_a u)) (endpoints b)
+
+let shared_edges a b =
+  let eb = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace eb e ()) (edges b);
+  List.filter (fun e -> Hashtbl.mem eb e) (edges a)
+
+let edge_disjoint a b = shared_edges a b = []
+
+let equal a b = a = b
+
+let pp ppf p =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+    Format.pp_print_int ppf p

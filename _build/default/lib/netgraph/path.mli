@@ -1,0 +1,41 @@
+(** Utilities over node-list paths (as produced by {!Dijkstra} and
+    {!Yen}).  A path is a list of distinct node ids; consecutive pairs
+    are its edges. *)
+
+type t = int list
+(** A loopless path, both endpoints included. *)
+
+val edges : t -> (int * int) list
+(** Consecutive node pairs of the path, in order. *)
+
+val length : t -> int
+(** Number of hops, i.e. [List.length p - 1] ([0] for the empty and
+    singleton paths). *)
+
+val cost : Digraph.t -> t -> float
+(** Total edge weight along the path.
+    @raise Not_found if an edge is missing from the graph. *)
+
+val is_valid : Digraph.t -> t -> bool
+(** All edges present, no repeated node, length >= 1 node. *)
+
+val is_simple : t -> bool
+(** No repeated node. *)
+
+val source : t -> int option
+
+val destination : t -> int option
+
+val node_disjoint : t -> t -> bool
+(** No shared node except possibly shared endpoints. *)
+
+val edge_disjoint : t -> t -> bool
+(** No shared directed edge. *)
+
+val shared_edges : t -> t -> (int * int) list
+(** Directed edges present in both paths. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [0 -> 3 -> 7]. *)

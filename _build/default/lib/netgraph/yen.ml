@@ -1,0 +1,85 @@
+module Pset = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+(* Candidate pool ordered by cost; a plain sorted association list is
+   fine because K is small (the paper uses K* between 1 and 20). *)
+let insert_candidate candidates (cost, path) =
+  let rec go = function
+    | [] -> [ (cost, path) ]
+    | (c, p) :: rest as l ->
+        if p = path then l (* duplicate *)
+        else if cost < c then (cost, path) :: l
+        else (c, p) :: go rest
+  in
+  go candidates
+
+let prefix_n path n =
+  let rec go acc i = function
+    | _ when i = n -> List.rev acc
+    | [] -> List.rev acc
+    | x :: rest -> go (x :: acc) (i + 1) rest
+  in
+  go [] 0 path
+
+let nth_opt_path path i = List.nth_opt path i
+
+let k_shortest g ~src ~dst ~k =
+  if k < 0 then invalid_arg "Yen.k_shortest: negative k";
+  if src = dst then invalid_arg "Yen.k_shortest: src = dst";
+  if k = 0 then []
+  else
+    match Dijkstra.shortest_path g ~src ~dst with
+    | None -> []
+    | Some first ->
+        let accepted = ref [ first ] in
+        let accepted_set = ref (Pset.singleton (snd first)) in
+        let candidates = ref [] in
+        let continue = ref true in
+        while List.length !accepted < k && !continue do
+          let _, last_path = List.hd (List.rev !accepted) in
+          let hops = List.length last_path - 1 in
+          (* Spur from every node of the previous path except the
+             destination. *)
+          for i = 0 to hops - 1 do
+            let root = prefix_n last_path (i + 1) in
+            let spur = List.nth root i in
+            (* Edges leaving the spur node along any accepted/candidate
+               path sharing this root are banned. *)
+            let banned_edges = Hashtbl.create 8 in
+            let consider_path p =
+              if prefix_n p (i + 1) = root then
+                match (nth_opt_path p i, nth_opt_path p (i + 1)) with
+                | Some u, Some v -> Hashtbl.replace banned_edges (u, v) ()
+                | _ -> ()
+            in
+            List.iter (fun (_, p) -> consider_path p) !accepted;
+            List.iter (fun (_, p) -> consider_path p) !candidates;
+            (* Root nodes except the spur are banned. *)
+            let banned_nodes = Hashtbl.create 8 in
+            List.iter (fun u -> if u <> spur then Hashtbl.replace banned_nodes u ()) root;
+            let spur_result =
+              Dijkstra.shortest_path g
+                ~banned_node:(fun v -> Hashtbl.mem banned_nodes v)
+                ~banned_edge:(fun u v -> Hashtbl.mem banned_edges (u, v))
+                ~src:spur ~dst
+            in
+            match spur_result with
+            | None -> ()
+            | Some (_, spur_path) ->
+                let total = List.rev_append (List.rev root) (List.tl spur_path) in
+                if Path.is_simple total && not (Pset.mem total !accepted_set) then begin
+                  let cost = Path.cost g total in
+                  candidates := insert_candidate !candidates (cost, total)
+                end
+          done;
+          match !candidates with
+          | [] -> continue := false
+          | best :: rest ->
+              candidates := rest;
+              accepted := !accepted @ [ best ];
+              accepted_set := Pset.add (snd best) !accepted_set
+        done;
+        !accepted

@@ -1,0 +1,17 @@
+(** Yen's K-shortest loopless paths (Yen, Management Science 1971).
+
+    This is the pruning engine of the paper's Algorithm 1: candidate
+    network routes are the K best paths between a source/destination
+    pair under path-loss edge weights.
+
+    The implementation follows the classical scheme: the best path comes
+    from Dijkstra; each subsequent path is the cheapest "spur" deviation
+    from an already-accepted path, computed with the root-path nodes
+    banned and the already-used continuation edges banned. *)
+
+val k_shortest :
+  Digraph.t -> src:int -> dst:int -> k:int -> (float * Path.t) list
+(** [k_shortest g ~src ~dst ~k] returns up to [k] loopless paths in
+    non-decreasing cost order (fewer if the graph contains fewer
+    distinct paths).  Returns [[]] when [dst] is unreachable.
+    @raise Invalid_argument if [k < 0] or the endpoints coincide. *)

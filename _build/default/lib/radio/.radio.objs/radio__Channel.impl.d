@@ -1,0 +1,1 @@
+lib/radio/channel.ml: Array Float Geometry Hashtbl

@@ -1,0 +1,1 @@
+lib/radio/link_budget.ml: Float Modulation

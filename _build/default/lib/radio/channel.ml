@@ -1,0 +1,78 @@
+type t =
+  | Free_space of { freq_mhz : float }
+  | Log_distance of { pl0 : float; exponent : float; d0 : float }
+  | Multi_wall of { pl0 : float; exponent : float; d0 : float; plan : Geometry.Floorplan.t }
+  | Itu_indoor of { freq_mhz : float; power_coeff : float; floors : int }
+  | Shadowed of { base : t; sigma_db : float; seed : int }
+
+let log_distance_2_4ghz = Log_distance { pl0 = 40.0; exponent = 3.0; d0 = 1.0 }
+
+let multi_wall_2_4ghz plan = Multi_wall { pl0 = 40.0; exponent = 3.0; d0 = 1.0; plan }
+
+let itu_indoor_2_4ghz = Itu_indoor { freq_mhz = 2400.; power_coeff = 30.; floors = 0 }
+
+let with_shadowing ?(sigma_db = 4.) ?(seed = 1) base =
+  (match base with
+  | Shadowed _ -> invalid_arg "Channel.with_shadowing: model already shadowed"
+  | Free_space _ | Log_distance _ | Multi_wall _ | Itu_indoor _ -> ());
+  if sigma_db < 0. then invalid_arg "Channel.with_shadowing: negative sigma";
+  Shadowed { base; sigma_db; seed }
+
+(* Deterministic per-link standard-normal draw: hash the endpoints and
+   the seed, then Box-Muller on two uniforms derived from the hash. *)
+let link_normal seed (p : Geometry.Point.t) (q : Geometry.Point.t) =
+  let h = Hashtbl.hash (seed, p.Geometry.Point.x, p.Geometry.Point.y, q.Geometry.Point.x, q.Geometry.Point.y) in
+  let h2 = Hashtbl.hash (h, 0x9e3779b9) in
+  let u1 = (float_of_int (h land 0xFFFFFF) +. 1.) /. 16777217. in
+  let u2 = float_of_int (h2 land 0xFFFFFF) /. 16777216. in
+  Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let min_distance = 0.1
+
+let log_dist ~pl0 ~exponent ~d0 d =
+  let d = Float.max min_distance d in
+  pl0 +. (10. *. exponent *. Float.log10 (d /. d0))
+
+let rec path_loss model p q =
+  let d = Geometry.Point.dist p q in
+  match model with
+  | Free_space { freq_mhz } ->
+      let d_km = Float.max (min_distance /. 1000.) (d /. 1000.) in
+      (20. *. Float.log10 d_km) +. (20. *. Float.log10 freq_mhz) +. 32.44
+  | Log_distance { pl0; exponent; d0 } -> log_dist ~pl0 ~exponent ~d0 d
+  | Multi_wall { pl0; exponent; d0; plan } ->
+      log_dist ~pl0 ~exponent ~d0 d +. Geometry.Floorplan.wall_attenuation plan p q
+  | Itu_indoor { freq_mhz; power_coeff; floors } ->
+      let d = Float.max min_distance d in
+      let lf = if floors >= 1 then 15. +. (4. *. float_of_int (floors - 1)) else 0. in
+      (20. *. Float.log10 freq_mhz) +. (power_coeff *. Float.log10 d) +. lf -. 28.
+  | Shadowed { base; sigma_db; seed } ->
+      (* Shadowing never helps below free-space physics: clamp at 0 dB
+         total gain relative to the base model minus 2 sigma. *)
+      let shift = sigma_db *. link_normal seed p q in
+      Float.max 1. (path_loss base p q +. shift)
+
+let path_loss_matrix model locs =
+  let n = Array.length locs in
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then infinity else path_loss model locs.(i) locs.(j)))
+
+let max_range model ~tx_dbm ~gains_dbi ~sensitivity_dbm =
+  let budget = tx_dbm +. gains_dbi -. sensitivity_dbm in
+  let rec pl_at model d =
+    match model with
+    | Multi_wall { pl0; exponent; d0; plan = _ } -> log_dist ~pl0 ~exponent ~d0 d
+    | Shadowed { base; _ } -> pl_at base d
+    | (Free_space _ | Log_distance _ | Itu_indoor _) as other ->
+        path_loss other Geometry.Point.zero (Geometry.Point.make d 0.)
+  in
+  let pl_at d = pl_at model d in
+  if pl_at min_distance > budget then 0.
+  else begin
+    let lo = ref min_distance and hi = ref 1e5 in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if pl_at mid <= budget then lo := mid else hi := mid
+    done;
+    !lo
+  end

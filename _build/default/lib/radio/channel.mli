@@ -1,0 +1,59 @@
+(** Radio channel (path-loss) models.
+
+    The paper supports several channel models of different complexity
+    and uses the {e multi-wall} model — the classical log-distance model
+    plus a per-wall attenuation term for every obstacle crossed — for
+    its experiments.  Path-loss values are positive dB figures to be
+    subtracted from the link budget. *)
+
+type t =
+  | Free_space of { freq_mhz : float }
+      (** Friis: [PL = 20 log10 d + 20 log10 f + 32.44] (d km, f MHz). *)
+  | Log_distance of { pl0 : float; exponent : float; d0 : float }
+      (** [PL = pl0 + 10 n log10 (d / d0)]. *)
+  | Multi_wall of {
+      pl0 : float;
+      exponent : float;
+      d0 : float;
+      plan : Geometry.Floorplan.t;
+    }  (** Log-distance plus wall attenuations from the floor plan. *)
+  | Itu_indoor of { freq_mhz : float; power_coeff : float; floors : int }
+      (** ITU-R P.1238 indoor propagation:
+          [PL = 20 log10 f + N log10 d + Lf(n) - 28], with distance power
+          coefficient [N] (~30 for office at 2.4 GHz) and the floor
+          penetration term [Lf = 15 + 4 (n - 1)] for [n >= 1] crossed
+          floors. *)
+  | Shadowed of { base : t; sigma_db : float; seed : int }
+      (** [base] plus deterministic log-normal shadowing: a zero-mean
+          Gaussian offset with standard deviation [sigma_db], hashed
+          from the endpoint pair so the same link always sees the same
+          shadowing (required for reproducible optimization). *)
+
+val log_distance_2_4ghz : t
+(** Indoor defaults at 2.4 GHz: [pl0 = 40] dB at [d0 = 1] m,
+    exponent 3.0. *)
+
+val multi_wall_2_4ghz : Geometry.Floorplan.t -> t
+(** Multi-wall model with the same reference values. *)
+
+val itu_indoor_2_4ghz : t
+(** ITU-R P.1238 office defaults at 2.4 GHz: [N = 30], same floor. *)
+
+val with_shadowing : ?sigma_db:float -> ?seed:int -> t -> t
+(** Wrap a model with log-normal shadowing (default sigma 4 dB).
+    @raise Invalid_argument when wrapping an already-shadowed model or
+    with a negative sigma. *)
+
+val path_loss : t -> Geometry.Point.t -> Geometry.Point.t -> float
+(** Path loss in dB between two locations.  Distances below 0.1 m are
+    clamped to avoid singularities. *)
+
+val path_loss_matrix : t -> Geometry.Point.t array -> float array array
+(** All-pairs path loss over candidate locations; the edge-weight input
+    of Algorithm 1.  Diagonal entries are [infinity] (no self-links). *)
+
+val max_range :
+  t -> tx_dbm:float -> gains_dbi:float -> sensitivity_dbm:float -> float
+(** Distance (metres, by bisection, ignoring walls) at which the
+    received strength falls to the sensitivity threshold — handy for
+    template pruning and tests. *)

@@ -1,0 +1,16 @@
+type link_params = {
+  tx_dbm : float;
+  tx_gain_dbi : float;
+  rx_gain_dbi : float;
+  noise_dbm : float;
+}
+
+let rss ~path_loss_db p = p.tx_dbm +. p.tx_gain_dbi +. p.rx_gain_dbi -. path_loss_db
+
+let rss_to_snr ~rss_dbm ~noise_dbm = rss_dbm -. noise_dbm
+
+let snr ~path_loss_db p = rss_to_snr ~rss_dbm:(rss ~path_loss_db p) ~noise_dbm:p.noise_dbm
+
+let etx ?(max_etx = 100.) ~modulation ~packet_bits ~snr_db () =
+  let psr = Modulation.packet_success_rate modulation ~snr_db ~packet_bits in
+  if psr <= 1. /. max_etx then max_etx else Float.min max_etx (1. /. psr)

@@ -1,0 +1,34 @@
+(** Link-budget arithmetic: RSS, SNR and expected transmissions (ETX).
+
+    Implements equation (2a) of the paper,
+    [RSS_ij = -PL_ij + tx_i + g_i + g_j] (path loss entering with a
+    negative sign since our {!Channel.path_loss} is a positive dB loss),
+    and the ETX model used by the energy constraints (3b): interference
+    is folded into a per-link background noise floor, packets are
+    retransmitted until success, so [ETX = 1 / PSR(SNR)]. *)
+
+type link_params = {
+  tx_dbm : float;  (** Transmit power. *)
+  tx_gain_dbi : float;  (** Transmitter antenna gain. *)
+  rx_gain_dbi : float;  (** Receiver antenna gain. *)
+  noise_dbm : float;  (** Background noise + interference floor. *)
+}
+
+val rss : path_loss_db:float -> link_params -> float
+(** Received signal strength in dBm. *)
+
+val snr : path_loss_db:float -> link_params -> float
+(** [rss - noise] in dB. *)
+
+val etx :
+  ?max_etx:float ->
+  modulation:Modulation.t ->
+  packet_bits:int ->
+  snr_db:float ->
+  unit ->
+  float
+(** Expected number of transmissions for one packet to get through;
+    clamped to [max_etx] (default 100) to keep MILP coefficients
+    bounded. *)
+
+val rss_to_snr : rss_dbm:float -> noise_dbm:float -> float

@@ -1,0 +1,66 @@
+type t = Bpsk | Qpsk | Fsk_noncoherent | Oqpsk_dsss
+
+let name = function
+  | Bpsk -> "bpsk"
+  | Qpsk -> "qpsk"
+  | Fsk_noncoherent -> "fsk"
+  | Oqpsk_dsss -> "oqpsk-dsss"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "bpsk" -> Some Bpsk
+  | "qpsk" -> Some Qpsk
+  | "fsk" | "fsk-noncoherent" -> Some Fsk_noncoherent
+  | "oqpsk" | "oqpsk-dsss" | "802.15.4" -> Some Oqpsk_dsss
+  | _ -> None
+
+(* Abramowitz & Stegun 7.1.26: erfc(x) = t (a1 + t (a2 + ...)) e^{-x^2},
+   t = 1 / (1 + p x), for x >= 0; symmetry gives negative arguments. *)
+let erfc x =
+  let ax = Float.abs x in
+  let p = 0.3275911 in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429 in
+  let t = 1. /. (1. +. (p *. ax)) in
+  let poly = t *. (a1 +. (t *. (a2 +. (t *. (a3 +. (t *. (a4 +. (t *. a5)))))))) in
+  let v = poly *. Float.exp (-.(ax *. ax)) in
+  if x >= 0. then v else 2. -. v
+
+let q_function x = 0.5 *. erfc (x /. Float.sqrt 2.)
+
+let db_to_lin db = Float.pow 10. (db /. 10.)
+
+let clamp_ber b = Float.max 1e-16 (Float.min 0.5 b)
+
+let ber scheme ~snr_db =
+  let g = db_to_lin snr_db in
+  let raw =
+    match scheme with
+    | Bpsk | Qpsk ->
+        (* Coherent (O)QPSK has the same per-bit BER as BPSK. *)
+        q_function (Float.sqrt (2. *. g))
+    | Fsk_noncoherent -> 0.5 *. Float.exp (-.g /. 2.)
+    | Oqpsk_dsss ->
+        (* DSSS processing gain of ~9 dB before the QPSK detector; a
+           standard engineering approximation of the 802.15.4 PHY. *)
+        q_function (Float.sqrt (2. *. g *. db_to_lin 9.))
+  in
+  clamp_ber raw
+
+let packet_success_rate scheme ~snr_db ~packet_bits =
+  if packet_bits <= 0 then invalid_arg "packet_success_rate: non-positive packet size";
+  Float.pow (1. -. ber scheme ~snr_db) (float_of_int packet_bits)
+
+let snr_for_ber scheme target =
+  if target <= 0. || target >= 0.5 then
+    invalid_arg "snr_for_ber: target must be in (0, 0.5)";
+  (* ber is monotone decreasing in snr; bisect on [-40, 60] dB. *)
+  let lo = ref (-40.) and hi = ref 60. in
+  for _ = 1 to 80 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if ber scheme ~snr_db:mid > target then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)

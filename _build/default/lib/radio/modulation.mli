@@ -1,0 +1,37 @@
+(** Digital modulation schemes and their bit-error-rate curves.
+
+    The paper's link-quality constraints support RSS, SNR and BER
+    metrics; BER additionally drives the expected-transmissions (ETX)
+    term of the energy constraints.  Curves are the standard AWGN
+    formulas evaluated per-bit. *)
+
+type t =
+  | Bpsk
+  | Qpsk  (** The paper's data-collection example uses QPSK. *)
+  | Fsk_noncoherent
+  | Oqpsk_dsss  (** IEEE 802.15.4 2.4 GHz PHY approximation. *)
+
+val name : t -> string
+
+val of_name : string -> t option
+(** Case-insensitive; returns [None] for unknown names. *)
+
+val erfc : float -> float
+(** Complementary error function (Abramowitz & Stegun 7.1.26
+    approximation, absolute error < 1.5e-7), needed because the OCaml
+    stdlib has no [erfc]. *)
+
+val q_function : float -> float
+(** Gaussian tail [Q(x) = erfc(x / sqrt 2) / 2]. *)
+
+val ber : t -> snr_db:float -> float
+(** Bit error rate at the given per-bit signal-to-noise ratio, clamped
+    to [[1e-16, 0.5]]. *)
+
+val packet_success_rate : t -> snr_db:float -> packet_bits:int -> float
+(** [(1 - ber)^packet_bits]. *)
+
+val snr_for_ber : t -> float -> float
+(** Inverse of {!ber} by bisection: the SNR (dB) at which the scheme
+    attains the given BER.  Useful to translate a BER requirement into a
+    linear SNR bound for the MILP. *)

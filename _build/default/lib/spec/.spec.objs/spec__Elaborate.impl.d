@@ -1,0 +1,1 @@
+lib/spec/elaborate.ml: Archex Ast Components Float Format Geometry Hashtbl List Option String

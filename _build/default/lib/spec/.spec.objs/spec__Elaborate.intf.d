@@ -1,0 +1,1 @@
+lib/spec/elaborate.mli: Archex Ast Geometry

@@ -1,0 +1,1 @@
+lib/spec/lexer.ml: Ast Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Ast Format In_channel Lexer List Printf

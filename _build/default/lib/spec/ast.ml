@@ -1,0 +1,26 @@
+type position = { line : int; col : int }
+
+type value = Num of float | Str of string | Ident of string
+
+type pattern = {
+  binder : string option;
+  head : string;
+  args : (value * position) list;
+  pat_pos : position;
+}
+
+type objective_term = { weight : float; concern : string }
+
+type item =
+  | Pattern of pattern
+  | Objective of { maximize : bool; terms : objective_term list; obj_pos : position }
+  | Set of { key : string; value : value; set_pos : position }
+
+type t = item list
+
+let pp_position ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+let pp_value ppf = function
+  | Num f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Ident s -> Format.pp_print_string ppf s

@@ -1,0 +1,48 @@
+(** Abstract syntax of the pattern-based specification language.
+
+    The paper (§1, §4) describes compact, human-readable specifications
+    compiled from a pattern-based formal language; patterns like
+    [p = has_path(A, B)], [disjoint_links(p1, p2)],
+    [min_signal_to_noise(20)], [min_network_lifetime(5)] and
+    [min_reachable_devices(3, -80)] appear verbatim in the paper's
+    examples.  The grammar:
+
+    {v
+    spec      := item*
+    item      := [ident '='] ident '(' args ')'          (pattern)
+               | 'objective' dir objterm ('+' objterm)*  (objective)
+               | 'set' ident '=' value                   (parameter)
+    dir       := 'minimize' | 'maximize'
+    objterm   := [number '*'] ident
+    args      := value (',' value)*
+    value     := number | string | ident
+    v}
+
+    Comments run from [#] to end of line. *)
+
+type position = { line : int; col : int }
+
+type value =
+  | Num of float
+  | Str of string  (** Double-quoted. *)
+  | Ident of string
+
+type pattern = {
+  binder : string option;  (** [p1 = has_path(...)] binds [p1]. *)
+  head : string;  (** Pattern name, e.g. [has_path]. *)
+  args : (value * position) list;
+  pat_pos : position;
+}
+
+type objective_term = { weight : float; concern : string }
+
+type item =
+  | Pattern of pattern
+  | Objective of { maximize : bool; terms : objective_term list; obj_pos : position }
+  | Set of { key : string; value : value; set_pos : position }
+
+type t = item list
+
+val pp_position : Format.formatter -> position -> unit
+
+val pp_value : Format.formatter -> value -> unit

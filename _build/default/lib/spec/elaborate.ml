@@ -1,0 +1,285 @@
+module Req = Archex.Requirements
+module Template = Archex.Template
+module Comp = Components.Component
+
+type t = {
+  requirements : Req.t;
+  objective : Archex.Objective.t;
+  settings : (string * Ast.value) list;
+}
+
+let known_patterns =
+  [
+    "has_path";
+    "disjoint_links";
+    "max_hops";
+    "min_hops";
+    "exact_hops";
+    "min_signal_to_noise";
+    "min_rss";
+    "max_bit_error_rate";
+    "min_network_lifetime";
+    "min_reachable_devices";
+    "max_latency";
+  ]
+
+(* Mutable route under construction. *)
+type route_acc = {
+  src : int;
+  dst : int;
+  mutable replicas : int;
+  mutable hop_bounds : Req.hop_bound list;
+  mutable latency : float option;
+  mutable alive : bool;
+}
+
+type env = {
+  template : Template.t;
+  eval_points : Geometry.Point.t array option;
+  routes : route_acc list ref;  (** In declaration order. *)
+  binders : (string, route_acc list) Hashtbl.t;
+  mutable min_rss : float option;
+  mutable min_snr : float option;
+  mutable max_ber : float option;
+  mutable min_lifetime : float option;
+  mutable localization : Req.localization option;
+  mutable objective : Archex.Objective.t option;
+  mutable settings : (string * Ast.value) list;
+}
+
+exception Err of string
+
+let fail pos fmt =
+  Format.kasprintf (fun s -> raise (Err (Format.asprintf "%a: %s" Ast.pp_position pos s))) fmt
+
+let role_group = function
+  | "sensors" -> Some Comp.Sensor
+  | "relays" -> Some Comp.Relay
+  | "sinks" -> Some Comp.Sink
+  | "anchors" -> Some Comp.Anchor
+  | _ -> None
+
+(* Singular role names act as a group of one when no node carries that
+   exact name — so specs can say [has_path(sensors, sink)] regardless of
+   how the floor plan numbered its base station. *)
+let singular_role = function
+  | "sensor" -> Some Comp.Sensor
+  | "relay" -> Some Comp.Relay
+  | "sink" -> Some Comp.Sink
+  | "anchor" -> Some Comp.Anchor
+  | _ -> None
+
+(* A node reference: a single node or a whole role group. *)
+let resolve_nodes env pos name =
+  match role_group name with
+  | Some role -> (
+      match Template.find_role env.template role with
+      | [] -> fail pos "role group %s is empty in this template" name
+      | l -> l)
+  | None -> (
+      match Template.index_of env.template name with
+      | Some i -> [ i ]
+      | None -> (
+          match singular_role name with
+          | Some role -> (
+              match Template.find_role env.template role with
+              | [] -> fail pos "role group %s is empty in this template" name
+              | l -> l)
+          | None -> fail pos "unknown node %s" name))
+
+let arg_ident pos (v, p) =
+  match v with
+  | Ast.Ident s -> s
+  | other -> fail p "expected an identifier, found %a (in pattern at %a)" Ast.pp_value other Ast.pp_position pos
+
+let arg_num pos (v, p) =
+  match v with
+  | Ast.Num f -> f
+  | other -> fail p "expected a number, found %a (in pattern at %a)" Ast.pp_value other Ast.pp_position pos
+
+let arity pos head expected args =
+  if List.length args <> expected then
+    fail pos "%s expects %d argument(s), got %d" head expected (List.length args)
+
+let lookup_binder env pos name =
+  match Hashtbl.find_opt env.binders name with
+  | Some routes -> routes
+  | None -> fail pos "unknown path name %s (bind it with '%s = has_path(...)')" name name
+
+let do_has_path env (p : Ast.pattern) =
+  arity p.Ast.pat_pos "has_path" 2 p.Ast.args;
+  let srcs = resolve_nodes env p.Ast.pat_pos (arg_ident p.Ast.pat_pos (List.nth p.Ast.args 0)) in
+  let dsts = resolve_nodes env p.Ast.pat_pos (arg_ident p.Ast.pat_pos (List.nth p.Ast.args 1)) in
+  (match dsts with
+  | [ _ ] -> ()
+  | _ -> fail p.Ast.pat_pos "has_path destination must be a single node");
+  let dst = List.hd dsts in
+  let fresh =
+    List.filter_map
+      (fun src ->
+        if src = dst then None
+        else begin
+          let r = { src; dst; replicas = 1; hop_bounds = []; latency = None; alive = true } in
+          env.routes := !(env.routes) @ [ r ];
+          Some r
+        end)
+      srcs
+  in
+  if fresh = [] then fail p.Ast.pat_pos "has_path produced no routes (source equals destination?)";
+  match p.Ast.binder with
+  | Some b ->
+      if Hashtbl.mem env.binders b then fail p.Ast.pat_pos "path name %s already bound" b;
+      Hashtbl.add env.binders b fresh
+  | None -> ()
+
+(* Merge two bound families: for every endpoint pair they share, one
+   extra disjoint replica; the duplicate route is dropped. *)
+let do_disjoint env (p : Ast.pattern) =
+  arity p.Ast.pat_pos "disjoint_links" 2 p.Ast.args;
+  let f1 = lookup_binder env p.Ast.pat_pos (arg_ident p.Ast.pat_pos (List.nth p.Ast.args 0)) in
+  let f2 = lookup_binder env p.Ast.pat_pos (arg_ident p.Ast.pat_pos (List.nth p.Ast.args 1)) in
+  let matched = ref false in
+  List.iter
+    (fun r2 ->
+      match
+        List.find_opt (fun r1 -> r1.alive && r1 != r2 && r1.src = r2.src && r1.dst = r2.dst) f1
+      with
+      | Some r1 when r2.alive ->
+          matched := true;
+          r1.replicas <- r1.replicas + r2.replicas;
+          r1.hop_bounds <- r1.hop_bounds @ r2.hop_bounds;
+          (r1.latency <-
+             (match (r1.latency, r2.latency) with
+             | None, l | l, None -> l
+             | Some a, Some b -> Some (Float.min a b)));
+          r2.alive <- false
+      | _ -> ())
+    f2;
+  if not !matched then
+    fail p.Ast.pat_pos "disjoint_links: the two path families share no endpoint pair"
+
+let do_hops env sense (p : Ast.pattern) =
+  arity p.Ast.pat_pos p.Ast.head 2 p.Ast.args;
+  let family = lookup_binder env p.Ast.pat_pos (arg_ident p.Ast.pat_pos (List.nth p.Ast.args 0)) in
+  let n = arg_num p.Ast.pat_pos (List.nth p.Ast.args 1) in
+  if Float.of_int (int_of_float n) <> n || n < 1. then
+    fail p.Ast.pat_pos "%s: hop count must be a positive integer" p.Ast.head;
+  List.iter
+    (fun r -> r.hop_bounds <- { Req.hop_sense = sense; hops = int_of_float n } :: r.hop_bounds)
+    family
+
+let do_latency env (p : Ast.pattern) =
+  arity p.Ast.pat_pos "max_latency" 2 p.Ast.args;
+  let family = lookup_binder env p.Ast.pat_pos (arg_ident p.Ast.pat_pos (List.nth p.Ast.args 0)) in
+  let seconds = arg_num p.Ast.pat_pos (List.nth p.Ast.args 1) in
+  if seconds <= 0. then fail p.Ast.pat_pos "max_latency: deadline must be positive";
+  List.iter
+    (fun r ->
+      r.latency <-
+        (match r.latency with None -> Some seconds | Some prev -> Some (Float.min prev seconds)))
+    family
+
+let do_reachable env (p : Ast.pattern) =
+  arity p.Ast.pat_pos "min_reachable_devices" 2 p.Ast.args;
+  let n = arg_num p.Ast.pat_pos (List.nth p.Ast.args 0) in
+  let rss = arg_num p.Ast.pat_pos (List.nth p.Ast.args 1) in
+  if n < 1. || Float.of_int (int_of_float n) <> n then
+    fail p.Ast.pat_pos "min_reachable_devices: first argument must be a positive integer";
+  match env.eval_points with
+  | None ->
+      fail p.Ast.pat_pos
+        "min_reachable_devices needs evaluation points (none supplied by the tool)"
+  | Some pts ->
+      env.localization <-
+        Some
+          { Req.min_anchors = int_of_float n; loc_min_rss_dbm = rss; eval_points = pts }
+
+let do_pattern env (p : Ast.pattern) =
+  let num1 () =
+    arity p.Ast.pat_pos p.Ast.head 1 p.Ast.args;
+    arg_num p.Ast.pat_pos (List.hd p.Ast.args)
+  in
+  match p.Ast.head with
+  | "has_path" -> do_has_path env p
+  | "disjoint_links" -> do_disjoint env p
+  | "max_hops" -> do_hops env `Le p
+  | "min_hops" -> do_hops env `Ge p
+  | "exact_hops" -> do_hops env `Eq p
+  | "min_signal_to_noise" -> env.min_snr <- Some (num1 ())
+  | "min_rss" -> env.min_rss <- Some (num1 ())
+  | "max_bit_error_rate" -> env.max_ber <- Some (num1 ())
+  | "min_network_lifetime" -> env.min_lifetime <- Some (num1 ())
+  | "min_reachable_devices" -> do_reachable env p
+  | "max_latency" -> do_latency env p
+  | other ->
+      fail p.Ast.pat_pos "unknown pattern %s (known: %s)" other (String.concat ", " known_patterns)
+
+let concern_of pos = function
+  | "cost" | "dollar" -> Archex.Objective.Dollar_cost
+  | "energy" -> Archex.Objective.Energy
+  | "nodes" | "node_count" -> Archex.Objective.Node_count
+  | "dsod" -> Archex.Objective.Dsod
+  | other -> fail pos "unknown objective concern %s (known: cost, energy, nodes, dsod)" other
+
+let do_item env = function
+  | Ast.Pattern p -> do_pattern env p
+  | Ast.Objective { maximize; terms; obj_pos } ->
+      if maximize then fail obj_pos "objectives are costs: use minimize";
+      if env.objective <> None then fail obj_pos "duplicate objective";
+      env.objective <-
+        Some (List.map (fun t -> (t.Ast.weight, concern_of obj_pos t.Ast.concern)) terms)
+  | Ast.Set { key; value; set_pos = _ } -> env.settings <- env.settings @ [ (key, value) ]
+
+let elaborate ?eval_points ~template items =
+  let env =
+    {
+      template;
+      eval_points;
+      routes = ref [];
+      binders = Hashtbl.create 16;
+      min_rss = None;
+      min_snr = None;
+      max_ber = None;
+      min_lifetime = None;
+      localization = None;
+      objective = None;
+      settings = [];
+    }
+  in
+  try
+    List.iter (do_item env) items;
+    let routes =
+      List.filter_map
+        (fun r ->
+          if r.alive then
+            Some
+              {
+                Req.src = r.src;
+                dst = r.dst;
+                replicas = r.replicas;
+                hop_bounds = List.rev r.hop_bounds;
+                max_latency_s = r.latency;
+              }
+          else None)
+        !(env.routes)
+    in
+    let requirements =
+      {
+        Req.routes;
+        min_rss_dbm = env.min_rss;
+        min_snr_db = env.min_snr;
+        max_ber = env.max_ber;
+        min_lifetime_years = env.min_lifetime;
+        localization = env.localization;
+      }
+    in
+    match Req.validate requirements ~nnodes:(Template.nnodes template) with
+    | Error e -> Error ("invalid requirements: " ^ e)
+    | Ok () ->
+        Ok
+          {
+            requirements;
+            objective = Option.value ~default:Archex.Objective.dollar env.objective;
+            settings = env.settings;
+          }
+  with Err e -> Error e

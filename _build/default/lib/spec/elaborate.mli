@@ -1,0 +1,44 @@
+(** Elaboration: checked translation of a parsed specification into the
+    core's typed {!Archex.Requirements.t} and {!Archex.Objective.t}.
+
+    Supported patterns (those of the paper's examples plus close kin):
+
+    {ul
+    {- [p = has_path(src, dst)] — require a route.  [src]/[dst] are
+       template node names, or the role groups [sensors]/[relays]/
+       [anchors]/[sinks], which expand to one route per member (the
+       binder then names the whole family);}
+    {- [disjoint_links(p1, p2)] — the two bound route families must be
+       link-disjoint; for families over the same endpoint pair this
+       merges them into replicated disjoint routes (constraint (1d));}
+    {- [max_hops(p, n)], [min_hops(p, n)], [exact_hops(p, n)] —
+       constraint (1e);}
+    {- [min_signal_to_noise(db)], [min_rss(dbm)],
+       [max_bit_error_rate(ber)] — link quality (2b);}
+    {- [min_network_lifetime(years)] — energy (3a);}
+    {- [min_reachable_devices(n, rss_dbm)] — localization (4a)-(4b);
+       evaluation points are supplied by the caller (e.g. from the SVG
+       floor plan).}}
+
+    Objective concerns: [cost], [energy], [nodes], [dsod].
+
+    [set key = value] items are collected verbatim into [settings] for
+    the embedding tool (channel/protocol/battery parameters, K*, …). *)
+
+type t = {
+  requirements : Archex.Requirements.t;
+  objective : Archex.Objective.t;  (** Defaults to dollar cost. *)
+  settings : (string * Ast.value) list;
+}
+
+val elaborate :
+  ?eval_points:Geometry.Point.t array ->
+  template:Archex.Template.t ->
+  Ast.t ->
+  (t, string) result
+(** Type-check and translate.  Fails with a positioned message on
+    unknown patterns, arity errors, unbound path names, unknown nodes,
+    or a [min_reachable_devices] pattern without [eval_points]. *)
+
+val known_patterns : string list
+(** Names accepted by {!elaborate} (for help text and tests). *)

@@ -1,0 +1,121 @@
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Equals
+  | Plus
+  | Star
+  | Eof
+
+type spanned = { tok : token; pos : Ast.position }
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number f -> Printf.sprintf "number %g" f
+  | String s -> Printf.sprintf "string %S" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Equals -> "'='"
+  | Plus -> "'+'"
+  | Star -> "'*'"
+  | Eof -> "end of input"
+
+let is_ident_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true | _ -> false
+
+let is_digit c = match c with '0' .. '9' -> true | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let error = ref None in
+  let pos () = { Ast.line = !line; col = !i - !bol + 1 } in
+  let fail msg =
+    if !error = None then
+      error := Some (Format.asprintf "%a: %s" Ast.pp_position (pos ()) msg)
+  in
+  let push tok p = toks := { tok; pos = p } :: !toks in
+  while !i < n && !error = None do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let p = pos () in
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub src start (!i - start))) p
+    end
+    else if is_digit c || ((c = '-' || c = '+') && !i + 1 < n && (is_digit src.[!i + 1] || src.[!i + 1] = '.'))
+            || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let p = pos () in
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E'
+           || ((src.[!i] = '-' || src.[!i] = '+')
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> push (Number f) p
+      | None -> fail (Printf.sprintf "malformed number %S" text)
+    end
+    else if c = '"' then begin
+      let p = pos () in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '"' then closed := true
+        else begin
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
+          Buffer.add_char buf src.[!i]
+        end;
+        incr i
+      done;
+      if !closed then push (String (Buffer.contents buf)) p else fail "unterminated string"
+    end
+    else begin
+      let p = pos () in
+      (match c with
+      | '(' -> push Lparen p
+      | ')' -> push Rparen p
+      | ',' -> push Comma p
+      | '=' -> push Equals p
+      | '+' -> push Plus p
+      | '*' -> push Star p
+      | _ -> fail (Printf.sprintf "unexpected character %C" c));
+      incr i
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      push Eof (pos ());
+      Ok (List.rev !toks)

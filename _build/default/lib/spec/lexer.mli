@@ -1,0 +1,23 @@
+(** Tokenizer for the specification language. *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Equals
+  | Plus
+  | Star
+  | Eof
+
+type spanned = { tok : token; pos : Ast.position }
+
+val tokenize : string -> (spanned list, string) result
+(** Whole-input tokenization; errors name the offending position.
+    [#] comments are skipped.  Numbers accept sign, decimals and
+    exponent; identifiers are [[A-Za-z_][A-Za-z0-9_.-]*]. *)
+
+val token_name : token -> string
+(** For error messages. *)

@@ -1,0 +1,151 @@
+type state = { mutable toks : Lexer.spanned list }
+
+exception Parse_error of string
+
+let fail pos msg =
+  raise (Parse_error (Format.asprintf "%a: %s" Ast.pp_position pos msg))
+
+let peek st =
+  match st.toks with [] -> assert false | s :: _ -> s
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let s = peek st in
+  if s.Lexer.tok = tok then advance st
+  else fail s.Lexer.pos (Printf.sprintf "expected %s, found %s" what (Lexer.token_name s.Lexer.tok))
+
+let parse_value st =
+  let s = peek st in
+  match s.Lexer.tok with
+  | Lexer.Number f ->
+      advance st;
+      (Ast.Num f, s.Lexer.pos)
+  | Lexer.String str ->
+      advance st;
+      (Ast.Str str, s.Lexer.pos)
+  | Lexer.Ident id ->
+      advance st;
+      (Ast.Ident id, s.Lexer.pos)
+  | t -> fail s.Lexer.pos (Printf.sprintf "expected a value, found %s" (Lexer.token_name t))
+
+let parse_args st =
+  let s = peek st in
+  if s.Lexer.tok = Lexer.Rparen then []
+  else begin
+    let rec more acc =
+      let v = parse_value st in
+      let s = peek st in
+      match s.Lexer.tok with
+      | Lexer.Comma ->
+          advance st;
+          more (v :: acc)
+      | _ -> List.rev (v :: acc)
+    in
+    more []
+  end
+
+let parse_pattern st binder head pat_pos =
+  expect st Lexer.Lparen "'('";
+  let args = parse_args st in
+  expect st Lexer.Rparen "')'";
+  Ast.Pattern { Ast.binder; head; args; pat_pos }
+
+(* objective minimize cost | objective minimize 0.5 * cost + 0.5 * energy *)
+let parse_objective st obj_pos =
+  let s = peek st in
+  let maximize =
+    match s.Lexer.tok with
+    | Lexer.Ident "minimize" ->
+        advance st;
+        false
+    | Lexer.Ident "maximize" ->
+        advance st;
+        true
+    | t -> fail s.Lexer.pos (Printf.sprintf "expected minimize/maximize, found %s" (Lexer.token_name t))
+  in
+  let parse_term () =
+    let s = peek st in
+    match s.Lexer.tok with
+    | Lexer.Number w ->
+        advance st;
+        expect st Lexer.Star "'*'";
+        let s2 = peek st in
+        (match s2.Lexer.tok with
+        | Lexer.Ident c ->
+            advance st;
+            { Ast.weight = w; concern = c }
+        | t -> fail s2.Lexer.pos (Printf.sprintf "expected concern name, found %s" (Lexer.token_name t)))
+    | Lexer.Ident c ->
+        advance st;
+        { Ast.weight = 1.0; concern = c }
+    | t -> fail s.Lexer.pos (Printf.sprintf "expected objective term, found %s" (Lexer.token_name t))
+  in
+  let rec terms acc =
+    let t = parse_term () in
+    let s = peek st in
+    if s.Lexer.tok = Lexer.Plus then begin
+      advance st;
+      terms (t :: acc)
+    end
+    else List.rev (t :: acc)
+  in
+  Ast.Objective { maximize; terms = terms []; obj_pos }
+
+let parse_set st set_pos =
+  let s = peek st in
+  match s.Lexer.tok with
+  | Lexer.Ident key ->
+      advance st;
+      expect st Lexer.Equals "'='";
+      let value, _ = parse_value st in
+      Ast.Set { key; value; set_pos }
+  | t -> fail s.Lexer.pos (Printf.sprintf "expected parameter name, found %s" (Lexer.token_name t))
+
+let parse_item st =
+  let s = peek st in
+  match s.Lexer.tok with
+  | Lexer.Ident "objective" ->
+      advance st;
+      parse_objective st s.Lexer.pos
+  | Lexer.Ident "set" ->
+      advance st;
+      parse_set st s.Lexer.pos
+  | Lexer.Ident first -> (
+      advance st;
+      let s2 = peek st in
+      match s2.Lexer.tok with
+      | Lexer.Equals ->
+          (* binder = head(args) *)
+          advance st;
+          let s3 = peek st in
+          (match s3.Lexer.tok with
+          | Lexer.Ident head ->
+              advance st;
+              parse_pattern st (Some first) head s.Lexer.pos
+          | t ->
+              fail s3.Lexer.pos
+                (Printf.sprintf "expected pattern name after '=', found %s" (Lexer.token_name t)))
+      | Lexer.Lparen -> parse_pattern st None first s.Lexer.pos
+      | t ->
+          fail s2.Lexer.pos
+            (Printf.sprintf "expected '(' or '=' after %S, found %s" first (Lexer.token_name t)))
+  | t -> fail s.Lexer.pos (Printf.sprintf "expected a specification item, found %s" (Lexer.token_name t))
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      try
+        let items = ref [] in
+        while (peek st).Lexer.tok <> Lexer.Eof do
+          items := parse_item st :: !items
+        done;
+        Ok (List.rev !items)
+      with Parse_error e -> Error e)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error e -> Error e

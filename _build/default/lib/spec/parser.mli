@@ -1,0 +1,6 @@
+(** Recursive-descent parser: token stream -> {!Ast.t}. *)
+
+val parse : string -> (Ast.t, string) result
+(** Parse a full specification.  Error messages carry positions. *)
+
+val parse_file : string -> (Ast.t, string) result

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Astring Component Components Float Hashtbl Library List Option Parser Printf QCheck2 QCheck_alcotest Result

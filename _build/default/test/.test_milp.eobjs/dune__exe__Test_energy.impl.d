@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Components Csma Energy Float Lifetime List Printf QCheck2 QCheck_alcotest Tdma

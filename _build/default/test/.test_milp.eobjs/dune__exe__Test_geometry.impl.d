@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Astring Building Float Floorplan Geometry List Point QCheck2 QCheck_alcotest Result Segment Svg

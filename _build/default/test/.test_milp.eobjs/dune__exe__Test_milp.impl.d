@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Astring Branch_bound Float Fmt Lin List Lp_format Lp_reader Milp Model Pqueue Presolve Printf QCheck2 QCheck_alcotest Random Result Simplex Status Vec

@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Array Digraph Dijkstra Float Int List Maxflow Netgraph Path QCheck2 QCheck_alcotest Yen

@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Array Channel Float Geometry Link_budget List Modulation Printf QCheck2 QCheck_alcotest Radio

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Archex Array Astring Components Geometry List Printf QCheck_alcotest Result Spec

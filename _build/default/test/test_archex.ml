@@ -1,0 +1,1029 @@
+(* Tests for the core library: templates, requirements, instances,
+   Algorithm 1 (path generation), the two MILP encodings, end-to-end
+   solving, and solution extraction/validation.  Integration tests use
+   tiny instances so the whole suite stays fast. *)
+
+open Archex
+
+let qt = QCheck_alcotest.to_alcotest
+
+let p = Geometry.Point.make
+
+let node ?(fixed = false) name role loc = { Template.name; role; loc; fixed }
+
+let sensor = Components.Component.Sensor
+
+let relay = Components.Component.Relay
+
+let sink = Components.Component.Sink
+
+let anchor = Components.Component.Anchor
+
+(* A small open-space template: 2 sensors, 3 relay candidates, 1 sink. *)
+let small_template () =
+  Template.create
+    [
+      node ~fixed:true "s0" sensor (p 0. 0.);
+      node ~fixed:true "s1" sensor (p 0. 10.);
+      node ~fixed:true "sink" sink (p 30. 5.);
+      node "r0" relay (p 10. 5.);
+      node "r1" relay (p 16. 2.);
+      node "r2" relay (p 22. 5.);
+    ]
+
+let small_requirements ?(replicas = 1) ?(snr = 10.) ?(lifetime = None) () =
+  let r = Requirements.empty in
+  let r = Requirements.add_route ~replicas r ~src:0 ~dst:2 in
+  let r = Requirements.add_route ~replicas r ~src:1 ~dst:2 in
+  { r with Requirements.min_snr_db = Some snr; min_lifetime_years = lifetime }
+
+let small_instance ?replicas ?snr ?lifetime ?(objective = Objective.dollar) () =
+  Instance.create_exn
+    ~template:(small_template ())
+    ~library:Components.Library.builtin ~channel:Radio.Channel.log_distance_2_4ghz
+    ~requirements:(small_requirements ?replicas ?snr ?lifetime ())
+    ~objective ()
+
+(* ------------------------------------------------------------------ *)
+(* Template                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_template_basics () =
+  let t = small_template () in
+  Alcotest.(check int) "nodes" 6 (Template.nnodes t);
+  Alcotest.(check (option int)) "index" (Some 2) (Template.index_of t "sink");
+  Alcotest.(check (option int)) "missing" None (Template.index_of t "zzz");
+  Alcotest.(check (list int)) "sensors" [ 0; 1 ] (Template.find_role t sensor);
+  Alcotest.(check (list int)) "fixed" [ 0; 1; 2 ] (Template.fixed_indices t)
+
+let test_template_rejects_duplicates () =
+  Alcotest.(check bool) "duplicate name" true
+    (try
+       ignore (Template.create [ node "x" relay (p 0. 0.); node "x" relay (p 1. 1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_template_link_roles () =
+  let t = small_template () in
+  let pl = Radio.Channel.path_loss_matrix Radio.Channel.log_distance_2_4ghz (Template.locations t) in
+  let g = Template.candidate_links t ~pl in
+  (* No edges into sensors, none out of the sink. *)
+  Alcotest.(check int) "sensor in-degree" 0 (Netgraph.Digraph.in_degree g 0);
+  Alcotest.(check int) "sink out-degree" 0 (Netgraph.Digraph.out_degree g 2);
+  Alcotest.(check bool) "relay-relay exists" true (Netgraph.Digraph.mem_edge g 3 4)
+
+let test_template_max_path_loss_prunes () =
+  let t = small_template () in
+  let pl = Radio.Channel.path_loss_matrix Radio.Channel.log_distance_2_4ghz (Template.locations t) in
+  let loose = Template.candidate_links ~max_path_loss:200. t ~pl in
+  let tight = Template.candidate_links ~max_path_loss:70. t ~pl in
+  Alcotest.(check bool) "pruning reduces edges" true
+    (Netgraph.Digraph.nedges tight < Netgraph.Digraph.nedges loose)
+
+(* ------------------------------------------------------------------ *)
+(* Requirements                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_requirements_validate () =
+  let ok r = Alcotest.(check bool) "valid" true (Result.is_ok (Requirements.validate r ~nnodes:6)) in
+  let bad r = Alcotest.(check bool) "invalid" true (Result.is_error (Requirements.validate r ~nnodes:6)) in
+  ok (small_requirements ());
+  bad (Requirements.add_route Requirements.empty ~src:0 ~dst:9);
+  bad (Requirements.add_route Requirements.empty ~src:3 ~dst:3);
+  bad (Requirements.add_route ~replicas:0 Requirements.empty ~src:0 ~dst:2);
+  bad { Requirements.empty with Requirements.max_ber = Some 0.9 };
+  bad { Requirements.empty with Requirements.min_lifetime_years = Some (-1.) };
+  bad
+    {
+      Requirements.empty with
+      Requirements.localization =
+        Some { Requirements.min_anchors = 3; loc_min_rss_dbm = -80.; eval_points = [||] };
+    }
+
+let test_requirements_total_paths () =
+  Alcotest.(check int) "2 + 2" 4 (Requirements.total_path_count (small_requirements ~replicas:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_instance_validates_library () =
+  let lib = Components.Library.of_list_exn
+      [ Components.Component.make ~name:"only-relay" ~role:relay ~cost:1. () ] in
+  match
+    Instance.create ~template:(small_template ()) ~library:lib
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:(small_requirements ())
+      ~objective:Objective.dollar ()
+  with
+  | Error e -> Alcotest.(check bool) "mentions missing role" true
+      (Astring.String.is_infix ~affix:"no device" e)
+  | Ok _ -> Alcotest.fail "expected missing-role error"
+
+let test_instance_min_snr_combination () =
+  (* max of explicit SNR, RSS-derived and BER-derived floors. *)
+  let template = small_template () in
+  let reqs =
+    { (small_requirements ~snr:5. ()) with Requirements.min_rss_dbm = Some (-85.) }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  (* RSS -85 over noise -100 gives 15 dB > explicit 5 dB. *)
+  Alcotest.(check (float 1e-9)) "snr floor" 15. (Instance.min_snr_db inst)
+
+let test_instance_etx_bound () =
+  let inst = small_instance ~snr:20. () in
+  let e = Instance.etx_bound inst in
+  Alcotest.(check bool) "clean threshold ~1" true (e >= 1. && e < 1.01);
+  let inst2 = small_instance ~snr:1. () in
+  Alcotest.(check bool) "dirty threshold larger" true (Instance.etx_bound inst2 > e)
+
+let test_instance_devices_for () =
+  let inst = small_instance () in
+  let devs = Instance.devices_for inst 0 in
+  Alcotest.(check bool) "sensor devices only" true
+    (devs <> []
+    && List.for_all (fun (_, c) -> c.Components.Component.role = sensor) devs)
+
+let test_instance_latency_hop_bound () =
+  (* Superframe = 16 ms; 50 ms deadline -> at most 3 hops. *)
+  let reqs =
+    { (Requirements.add_route ~max_latency_s:0.05 Requirements.empty ~src:0 ~dst:2) with
+      Requirements.min_snr_db = Some 5. }
+  in
+  let inst =
+    Instance.create_exn ~template:(small_template ()) ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  match inst.Instance.requirements.Requirements.routes with
+  | [ r ] -> (
+      match Instance.effective_hop_bounds inst r with
+      | [ { Requirements.hop_sense = `Le; hops } ] -> Alcotest.(check int) "3 hops" 3 hops
+      | _ -> Alcotest.fail "expected one derived bound")
+  | _ -> Alcotest.fail "expected one route"
+
+(* ------------------------------------------------------------------ *)
+(* Path generation (Algorithm 1)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pathgen_produces_pools () =
+  let inst = small_instance ~replicas:2 () in
+  match Path_gen.generate ~kstar:4 inst with
+  | Error e -> Alcotest.fail e
+  | Ok { pools; _ } ->
+      Alcotest.(check int) "one pool per route" 2 (List.length pools);
+      List.iter
+        (fun pool ->
+          Alcotest.(check bool) "pool non-empty" true (pool.Path_gen.pool <> []);
+          List.iter
+            (fun path ->
+              Alcotest.(check bool) "valid path" true
+                (Netgraph.Path.is_valid inst.Instance.graph path);
+              Alcotest.(check (option int)) "right source" (Some pool.Path_gen.src)
+                (Netgraph.Path.source path);
+              Alcotest.(check (option int)) "right destination" (Some pool.Path_gen.dst)
+                (Netgraph.Path.destination path))
+            pool.Path_gen.pool)
+        pools
+
+let test_pathgen_disjoint_capacity () =
+  let inst = small_instance ~replicas:2 () in
+  match Path_gen.generate ~kstar:4 inst with
+  | Error e -> Alcotest.fail e
+  | Ok { pools; _ } ->
+      List.iter
+        (fun pool ->
+          (* The pool must contain at least 2 mutually edge-disjoint
+             paths (the replica requirement). *)
+          let rec greedy chosen = function
+            | [] -> List.length chosen
+            | q :: rest ->
+                if List.for_all (fun c -> Netgraph.Path.edge_disjoint q c) chosen then
+                  greedy (q :: chosen) rest
+                else greedy chosen rest
+          in
+          Alcotest.(check bool) "2 disjoint available" true (greedy [] pool.Path_gen.pool >= 2))
+        pools
+
+let test_pathgen_pool_distinct () =
+  let inst = small_instance () in
+  match Path_gen.generate ~kstar:6 inst with
+  | Error e -> Alcotest.fail e
+  | Ok { pools; _ } ->
+      List.iter
+        (fun pool ->
+          let n = List.length pool.Path_gen.pool in
+          let d = List.length (List.sort_uniq compare pool.Path_gen.pool) in
+          Alcotest.(check int) "no duplicate candidates" n d)
+        pools
+
+let test_pathgen_hop_bound_filter () =
+  let reqs =
+    {
+      (Requirements.add_route
+         ~hop_bounds:[ { Requirements.hop_sense = `Le; hops = 1 } ]
+         Requirements.empty ~src:0 ~dst:2)
+      with
+      Requirements.min_snr_db = Some (-20.) (* allow the long direct hop *);
+    }
+  in
+  let inst =
+    Instance.create_exn ~template:(small_template ()) ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  match Path_gen.generate ~kstar:8 inst with
+  | Error e -> Alcotest.fail e
+  | Ok { pools; _ } ->
+      List.iter
+        (fun pool ->
+          List.iter
+            (fun path ->
+              Alcotest.(check bool) "1 hop max" true (Netgraph.Path.length path <= 1))
+            pool.Path_gen.pool)
+        pools
+
+let test_pathgen_lq_filter_drops () =
+  (* With a brutal SNR requirement nothing is reachable. *)
+  let inst = small_instance ~snr:80. () in
+  match Path_gen.generate ~kstar:4 inst with
+  | Error e ->
+      Alcotest.(check bool) "explains missing candidates" true
+        (Astring.String.is_infix ~affix:"no feasible candidate" e)
+  | Ok _ -> Alcotest.fail "expected failure under 80 dB SNR requirement"
+
+let test_pathgen_best_case_rss () =
+  let inst = small_instance () in
+  (* best case includes the strongest sensor option (4.5 dBm + 3 dBi)
+     and the best receiver gain at a relay (3 dBi). *)
+  let rss = Path_gen.best_case_rss inst 0 3 in
+  let pl = inst.Instance.pl.(0).(3) in
+  Alcotest.(check (float 1e-9)) "budget arithmetic" (-.pl +. 7.5 +. 3.) rss
+
+let test_pathgen_localization_candidates () =
+  let template =
+    Template.create
+      [ node "a0" anchor (p 0. 0.); node "a1" anchor (p 5. 0.); node "a2" anchor (p 20. 0.) ]
+  in
+  let reqs =
+    {
+      Requirements.empty with
+      Requirements.localization =
+        Some
+          {
+            Requirements.min_anchors = 1;
+            loc_min_rss_dbm = -90.;
+            eval_points = [| p 1. 0. |];
+          };
+    }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  match Path_gen.localization_candidates inst ~kstar:2 with
+  | [ (0, cands) ] ->
+      Alcotest.(check int) "two nearest" 2 (List.length cands);
+      Alcotest.(check bool) "farthest excluded" true (not (List.mem 2 cands))
+  | _ -> Alcotest.fail "expected one eval point"
+
+(* ------------------------------------------------------------------ *)
+(* Encodings                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_encoding_sizes () =
+  let inst = small_instance ~replicas:2 () in
+  match (Solve.encode_size inst Solve.Full_enum, Solve.encode_size inst (Solve.approx ~kstar:3 ())) with
+  | Ok (fv, fc), Ok (av, ac) ->
+      Alcotest.(check bool) "approx much smaller (vars)" true (av * 2 < fv);
+      Alcotest.(check bool) "approx much smaller (cons)" true (ac * 2 < fc)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_encoding_kstar_grows () =
+  let inst = small_instance ~replicas:2 () in
+  match
+    (Solve.encode_size inst (Solve.approx ~kstar:2 ()), Solve.encode_size inst (Solve.approx ~kstar:6 ()))
+  with
+  | Ok (v2, _), Ok (v6, _) -> Alcotest.(check bool) "larger K* -> more vars" true (v6 >= v2)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end solving                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let options = { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 60. }
+
+let run_ok inst strategy =
+  match Solve.run ~options inst strategy with
+  | Ok ({ Solve.solution = Some sol; _ } as out) -> (out, sol)
+  | Ok { Solve.status; _ } ->
+      Alcotest.fail ("no solution: " ^ Milp.Status.mip_status_to_string status)
+  | Error e -> Alcotest.fail e
+
+let test_solve_approx_small () =
+  let inst = small_instance () in
+  let _, sol = run_ok inst (Solve.approx ~kstar:3 ()) in
+  (match Solution.check inst sol with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  Alcotest.(check int) "both routes extracted" 2 (List.length sol.Solution.routes);
+  Alcotest.(check bool) "cost positive" true (sol.Solution.dollar_cost > 0.)
+
+let test_solve_full_matches_or_beats_approx () =
+  (* The approximate encoding restricts routing choices, so its optimum
+     can never beat the exhaustive one. *)
+  let inst = small_instance () in
+  let outf, solf = run_ok inst Solve.Full_enum in
+  let outa, sola = run_ok inst (Solve.approx ~kstar:3 ()) in
+  Alcotest.(check bool) "full solved" true (outf.Solve.status = Milp.Status.Mip_optimal);
+  Alcotest.(check bool) "approx solved" true (outa.Solve.status = Milp.Status.Mip_optimal);
+  Alcotest.(check bool)
+    (Printf.sprintf "full (%.1f) <= approx (%.1f)" solf.Solution.dollar_cost sola.Solution.dollar_cost)
+    true
+    (solf.Solution.dollar_cost <= sola.Solution.dollar_cost +. 1e-6);
+  match Solution.check inst solf with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+
+let test_solve_disjoint_replicas () =
+  let inst = small_instance ~replicas:2 () in
+  let _, sol = run_ok inst (Solve.approx ~kstar:6 ()) in
+  (match Solution.check inst sol with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  Alcotest.(check int) "four paths" 4 (List.length sol.Solution.routes);
+  (* Check disjointness directly too. *)
+  List.iter
+    (fun req ->
+      let paths =
+        List.filter_map
+          (fun rr -> if rr.Solution.rr_req = req then Some rr.Solution.rr_path else None)
+          sol.Solution.routes
+      in
+      match paths with
+      | [ a; b ] ->
+          Alcotest.(check bool) "replicas disjoint" true (Netgraph.Path.edge_disjoint a b)
+      | _ -> Alcotest.fail "expected two replicas")
+    [ 0; 1 ]
+
+let test_solve_lifetime_constraint_bites () =
+  (* An aggressive lifetime bound forces low-power components or fails;
+     with frequent reporting the cheap relay's TX current can be too
+     hungry.  We mainly check that the returned solution truly honours
+     the bound according to the physics model. *)
+  let proto = Energy.Tdma.make ~report_period_s:1. () in
+  let inst =
+    Instance.create_exn ~protocol:proto
+      ~template:(small_template ())
+      ~library:Components.Library.builtin ~channel:Radio.Channel.log_distance_2_4ghz
+      ~requirements:(small_requirements ~lifetime:(Some 2.) ())
+      ~objective:Objective.dollar ()
+  in
+  match Solve.run ~options inst (Solve.approx ~kstar:4 ()) with
+  | Ok { Solve.solution = Some sol; _ } -> (
+      match Solution.check inst sol with
+      | Ok () -> ()
+      | Error errs -> Alcotest.fail (String.concat "; " errs))
+  | Ok _ -> () (* genuinely infeasible is acceptable for this bound *)
+  | Error e -> Alcotest.fail e
+
+let test_solve_energy_objective () =
+  let inst_cost = small_instance ~objective:Objective.dollar () in
+  let inst_energy = small_instance ~objective:Objective.energy () in
+  let _, sol_cost = run_ok inst_cost (Solve.approx ~kstar:4 ()) in
+  let _, sol_energy = run_ok inst_energy (Solve.approx ~kstar:4 ()) in
+  let current sol = Solution.total_avg_current_ma sol in
+  Alcotest.(check bool)
+    (Printf.sprintf "energy objective saves current (%.4f <= %.4f)" (current sol_energy)
+       (current sol_cost))
+    true
+    (current sol_energy <= current sol_cost +. 1e-9)
+
+let test_solve_localization_end_to_end () =
+  let template =
+    Template.create
+      (List.init 6 (fun i -> node (Printf.sprintf "a%d" i) anchor (p (float_of_int i *. 8.) 0.)))
+  in
+  let evals = Array.init 5 (fun i -> p (4. +. (float_of_int i *. 8.)) 1.) in
+  let reqs =
+    {
+      Requirements.empty with
+      Requirements.localization =
+        Some { Requirements.min_anchors = 2; loc_min_rss_dbm = -75.; eval_points = evals };
+    }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  let _, sol = run_ok inst (Solve.approx ~loc_kstar:4 ()) in
+  (match Solution.check inst sol with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  Alcotest.(check bool) "coverage at least 2 everywhere" true
+    (Array.for_all (fun c -> c >= 2) sol.Solution.reachable_counts)
+
+let test_solution_check_catches_bad_device () =
+  let inst = small_instance () in
+  let _, sol = run_ok inst (Solve.approx ~kstar:3 ()) in
+  (* Corrupt the solution: claim a relay device on a sensor node. *)
+  let bad_dev = Components.Library.find_exn Components.Library.builtin "relay-basic" in
+  let bad = { sol with Solution.devices = (0, bad_dev) :: List.remove_assoc 0 sol.Solution.devices } in
+  Alcotest.(check bool) "role mismatch detected" true (Result.is_error (Solution.check inst bad))
+
+let test_solution_check_catches_missing_fixed () =
+  let inst = small_instance () in
+  let _, sol = run_ok inst (Solve.approx ~kstar:3 ()) in
+  let bad = { sol with Solution.used_nodes = List.filter (fun i -> i <> 0) sol.Solution.used_nodes } in
+  Alcotest.(check bool) "unused fixed node detected" true (Result.is_error (Solution.check inst bad))
+
+let test_solve_infeasible_reported () =
+  (* Demand 3 disjoint paths from a sensor that can reach at most 2
+     first hops within the SNR budget: should fail cleanly, either at
+     generation or in the MILP. *)
+  let template =
+    Template.create
+      [
+        node ~fixed:true "s0" sensor (p 0. 0.);
+        node ~fixed:true "sink" sink (p 20. 0.);
+        node "r0" relay (p 10. 0.);
+      ]
+  in
+  let reqs =
+    { (Requirements.add_route ~replicas:3 Requirements.empty ~src:0 ~dst:1) with
+      Requirements.min_snr_db = Some 10. }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  match Solve.run ~options inst (Solve.approx ~kstar:6 ()) with
+  | Error _ -> () (* Algorithm 1 could not build 3 disjoint candidates *)
+  | Ok { Solve.solution = None; _ } -> ()
+  | Ok { Solve.solution = Some _; _ } -> Alcotest.fail "expected infeasibility"
+
+(* Property: on random small templates, whenever both encodings solve
+   to optimality, full <= approx, and both solutions validate. *)
+let random_template_gen =
+  QCheck2.Gen.(
+    let* nrelays = int_range 2 4 in
+    let* seed = int_range 0 1000 in
+    return (nrelays, seed))
+
+let prop_full_no_worse_than_approx =
+  QCheck2.Test.make ~name:"solve: full enumeration never loses to Algorithm 1" ~count:12
+    random_template_gen (fun (nrelays, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let relays =
+        List.init nrelays (fun i ->
+            node
+              (Printf.sprintf "r%d" i)
+              relay
+              (p (5. +. Random.State.float rng 20.) (Random.State.float rng 10.)))
+      in
+      let template =
+        Template.create
+          ([ node ~fixed:true "s0" sensor (p 0. 5.); node ~fixed:true "sink" sink (p 30. 5.) ]
+          @ relays)
+      in
+      let reqs =
+        { (Requirements.add_route Requirements.empty ~src:0 ~dst:1) with
+          Requirements.min_snr_db = Some 8. }
+      in
+      let inst =
+        Instance.create_exn ~template ~library:Components.Library.builtin
+          ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs
+          ~objective:Objective.dollar ()
+      in
+      match (Solve.run ~options inst Solve.Full_enum, Solve.run ~options inst (Solve.approx ~kstar:3 ())) with
+      | Ok { Solve.solution = Some f; status = Milp.Status.Mip_optimal; _ },
+        Ok { Solve.solution = Some a; status = Milp.Status.Mip_optimal; _ } ->
+          Result.is_ok (Solution.check inst f)
+          && Result.is_ok (Solution.check inst a)
+          && f.Solution.dollar_cost <= a.Solution.dollar_cost +. 1e-6
+      | Ok { Solve.solution = None; _ }, Ok { Solve.solution = None; _ } -> true
+      | Error _, Error _ -> true
+      | _ -> true (* mixed timeouts are not failures *))
+
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios and K* search                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenarios_data_collection_builds () =
+  match Scenarios.data_collection Scenarios.default_data_collection with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      let t = inst.Instance.template in
+      Alcotest.(check int) "sensor count" Scenarios.default_data_collection.Scenarios.dc_sensors
+        (List.length (Template.find_role t sensor));
+      Alcotest.(check int) "one sink" 1 (List.length (Template.find_role t sink));
+      Alcotest.(check int) "routes" Scenarios.default_data_collection.Scenarios.dc_sensors
+        (List.length inst.Instance.requirements.Requirements.routes);
+      Alcotest.(check bool) "graph connected enough" true
+        (Netgraph.Digraph.nedges inst.Instance.graph > 0)
+
+let test_scenarios_deterministic () =
+  match
+    ( Scenarios.data_collection Scenarios.default_data_collection,
+      Scenarios.data_collection Scenarios.default_data_collection )
+  with
+  | Ok a, Ok b ->
+      let locs t = Array.map (fun (n : Template.node) -> n.Template.loc) (Template.nodes t) in
+      Alcotest.(check bool) "same node locations" true
+        (locs a.Instance.template = locs b.Instance.template)
+  | _ -> Alcotest.fail "scenario failed"
+
+let test_scenarios_localization_builds () =
+  match Scenarios.localization Scenarios.default_localization with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      Alcotest.(check int) "anchors only"
+        (Template.nnodes inst.Instance.template)
+        (List.length (Template.find_role inst.Instance.template anchor));
+      match inst.Instance.requirements.Requirements.localization with
+      | Some l ->
+          Alcotest.(check int) "eval points" 30 (Array.length l.Requirements.eval_points)
+      | None -> Alcotest.fail "no localization requirement")
+
+let test_scenarios_scaled_sizes () =
+  match Scenarios.scaled_data_collection ~total_nodes:25 ~end_devices:8 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      (* total = sensors + sink + relay grid (grid rounds up). *)
+      Alcotest.(check bool) "node count near target" true
+        (abs (Template.nnodes inst.Instance.template - 25) <= 4);
+      Alcotest.(check int) "end devices" 8
+        (List.length (Template.find_role inst.Instance.template sensor))
+
+let test_scenarios_scaled_rejects_bad () =
+  Alcotest.(check bool) "too small" true
+    (try
+       ignore (Scenarios.scaled_data_collection ~total_nodes:3 ~end_devices:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_kstar_search_improves () =
+  let inst = small_instance () in
+  let r = Kstar.search ~schedule:[ 1; 3 ] ~options inst in
+  Alcotest.(check bool) "at least one step" true (r.Kstar.steps <> []);
+  (match r.Kstar.best with
+  | Some (_, sol) ->
+      Alcotest.(check bool) "best validates" true (Result.is_ok (Solution.check inst sol))
+  | None -> Alcotest.fail "no best solution");
+  (* Costs along the schedule are recorded in order. *)
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) "objective present for solved steps" true
+        (st.Kstar.objective <> None || st.Kstar.outcome.Solve.solution = None))
+    r.Kstar.steps
+
+let test_kstar_respects_time_threshold () =
+  let inst = small_instance () in
+  let r = Kstar.search ~schedule:[ 1; 2; 3; 4; 5 ] ~time_threshold_s:0. ~options inst in
+  (* The first solve exceeds a 0-second threshold, so the search stops
+     after one step. *)
+  Alcotest.(check int) "stopped after first step" 1 (List.length r.Kstar.steps);
+  Alcotest.(check bool) "reason is time" true (r.Kstar.stopped_because = `Time_threshold)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding internals                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rss_expr_arithmetic () =
+  let inst = small_instance () in
+  let ctx = Encode_common.create inst in
+  (* RSS expression of link (0, 3): constant part must be -PL. *)
+  let e = Encode_common.rss_expr ctx 0 3 in
+  Alcotest.(check (float 1e-9)) "constant is -PL" (-.inst.Instance.pl.(0).(3))
+    (Milp.Lin.constant e);
+  (* Coefficients: each sensor device contributes tx+gain on node 0. *)
+  List.iter
+    (fun ((c : Components.Component.t), v) ->
+      Alcotest.(check (float 1e-9))
+        ("coef of " ^ c.Components.Component.name)
+        (c.Components.Component.tx_power_dbm +. c.Components.Component.antenna_gain_dbi)
+        (Milp.Lin.coeff e v))
+    (Encode_common.sizing_vars ctx 0)
+
+let test_edge_var_shared_and_validated () =
+  let inst = small_instance () in
+  let ctx = Encode_common.create inst in
+  let v1 = Encode_common.edge_var ctx 0 3 in
+  let v2 = Encode_common.edge_var ctx 0 3 in
+  Alcotest.(check int) "same var on re-request" v1 v2;
+  Alcotest.(check bool) "non-candidate link rejected" true
+    (try
+       ignore (Encode_common.edge_var ctx 3 0 (* relay -> sensor is not allowed *));
+       false
+     with Invalid_argument _ -> true)
+
+let test_rss_floor_from_requirements () =
+  let inst = small_instance ~snr:17. () in
+  let ctx = Encode_common.create inst in
+  Alcotest.(check (float 1e-9)) "floor = noise + snr" (-83.) (Encode_common.rss_floor_dbm ctx)
+
+
+
+let test_solve_node_count_objective () =
+  let inst = small_instance ~objective:[ (1., Objective.Node_count) ] () in
+  let _, sol = run_ok inst (Solve.approx ~kstar:6 ()) in
+  (* 3 fixed nodes are forced; the objective should avoid any relay it
+     possibly can. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "few nodes (%d)" sol.Solution.node_count)
+    true
+    (sol.Solution.node_count <= 4);
+  match Solution.check inst sol with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+
+let test_localization_approx_full_parity () =
+  (* With loc_kstar >= #anchors the pruned encoding equals the full
+     one, so both must reach the same optimal cost. *)
+  let template =
+    Template.create
+      (List.init 5 (fun i -> node (Printf.sprintf "a%d" i) anchor (p (float_of_int i *. 7.) 0.)))
+  in
+  let evals = Array.init 4 (fun i -> p (3.5 +. (float_of_int i *. 7.)) 2.) in
+  let reqs =
+    {
+      Requirements.empty with
+      Requirements.localization =
+        Some { Requirements.min_anchors = 2; loc_min_rss_dbm = -78.; eval_points = evals };
+    }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  let _, sol_full = run_ok inst Solve.Full_enum in
+  let _, sol_pruned = run_ok inst (Solve.approx ~loc_kstar:5 ()) in
+  Alcotest.(check (float 1e-6)) "same optimal cost" sol_full.Solution.dollar_cost
+    sol_pruned.Solution.dollar_cost
+
+let test_full_extraction_follows_path () =
+  let inst = small_instance () in
+  let _, sol = run_ok inst Solve.Full_enum in
+  List.iter
+    (fun rr ->
+      let r = List.nth inst.Instance.requirements.Requirements.routes rr.Solution.rr_req in
+      Alcotest.(check (option int)) "starts at src" (Some r.Requirements.src)
+        (Netgraph.Path.source rr.Solution.rr_path);
+      Alcotest.(check (option int)) "ends at dst" (Some r.Requirements.dst)
+        (Netgraph.Path.destination rr.Solution.rr_path);
+      Alcotest.(check bool) "simple" true (Netgraph.Path.is_simple rr.Solution.rr_path))
+    sol.Solution.routes
+
+let test_pathgen_latency_filters_pool () =
+  (* A 33 ms deadline = 2 superframes -> only paths of <= 2 hops. *)
+  let reqs =
+    { (Requirements.add_route ~max_latency_s:0.033 Requirements.empty ~src:0 ~dst:2) with
+      Requirements.min_snr_db = Some 5. }
+  in
+  let inst =
+    Instance.create_exn ~template:(small_template ()) ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  match Path_gen.generate ~kstar:8 inst with
+  | Error e -> Alcotest.fail e
+  | Ok { pools; _ } ->
+      List.iter
+        (fun pool ->
+          List.iter
+            (fun path ->
+              Alcotest.(check bool) "within latency hops" true (Netgraph.Path.length path <= 2))
+            pool.Path_gen.pool)
+        pools
+
+
+let test_solve_three_replicas () =
+  (* A template with three parallel relay corridors supports three
+     mutually disjoint routes. *)
+  let template =
+    Template.create
+      [
+        node ~fixed:true "s0" sensor (p 0. 10.);
+        node ~fixed:true "sink" sink (p 40. 10.);
+        node "ra" relay (p 20. 2.);
+        node "rb" relay (p 20. 10.);
+        node "rc" relay (p 20. 18.);
+      ]
+  in
+  let reqs =
+    { (Requirements.add_route ~replicas:3 Requirements.empty ~src:0 ~dst:1) with
+      Requirements.min_snr_db = Some 5. }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
+  in
+  let _, sol = run_ok inst (Solve.approx ~kstar:9 ()) in
+  Alcotest.(check int) "three replicas" 3 (List.length sol.Solution.routes);
+  (match Solution.check inst sol with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  (* Pairwise disjoint. *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "pairwise disjoint" true
+              (Netgraph.Path.edge_disjoint a.Solution.rr_path b.Solution.rr_path))
+        sol.Solution.routes)
+    sol.Solution.routes
+
+(* ------------------------------------------------------------------ *)
+(* Resilience and simulation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let solved_small ?replicas () =
+  let inst = small_instance ?replicas () in
+  let _, sol = run_ok inst (Solve.approx ~kstar:6 ()) in
+  (inst, sol)
+
+let test_resilience_replicated_routes_survive () =
+  let inst, sol = solved_small ~replicas:2 () in
+  let reports = Resilience.single_link_faults inst sol in
+  (* With two disjoint replicas per route, any single-link failure
+     leaves at least one replica intact. *)
+  List.iter
+    (fun (r : Resilience.report) ->
+      Alcotest.(check int)
+        (Format.asprintf "%a" Resilience.pp_report r)
+        r.Resilience.total_routes r.Resilience.surviving_routes)
+    reports;
+  Alcotest.(check (float 1e-9)) "worst case survival" 1.0
+    (Resilience.worst_case_survival reports)
+
+let test_resilience_single_route_vulnerable () =
+  let inst, sol = solved_small ~replicas:1 () in
+  (* Killing the destination-side link of a route must lose it. *)
+  match sol.Solution.routes with
+  | rr :: _ -> (
+      match List.rev (Netgraph.Path.edges rr.Solution.rr_path) with
+      | last_edge :: _ ->
+          let u, v = last_edge in
+          Alcotest.(check bool) "route lost" false
+            (Resilience.route_survives sol ~req:rr.Solution.rr_req
+               (Resilience.Link_failure (u, v)));
+          ignore inst
+      | [] -> Alcotest.fail "empty route")
+  | [] -> Alcotest.fail "no routes"
+
+let test_resilience_node_fault_reports () =
+  let inst, sol = solved_small ~replicas:1 () in
+  let reports = Resilience.single_node_faults inst sol in
+  (* Only non-fixed nodes are candidate faults. *)
+  List.iter
+    (fun (r : Resilience.report) ->
+      match r.Resilience.fault with
+      | Resilience.Node_failure n ->
+          Alcotest.(check bool) "non-fixed" false
+            (Template.node inst.Instance.template n).Template.fixed
+      | Resilience.Link_failure _ -> Alcotest.fail "unexpected link fault")
+    reports
+
+let test_simulate_healthy_network () =
+  let inst, sol = solved_small () in
+  let sim = Simulate.run ~params:{ Simulate.default_params with Simulate.periods = 400 } inst sol in
+  Alcotest.(check int) "all packets generated" (400 * 2) sim.Simulate.generated;
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery ratio %.3f ~ 1" sim.Simulate.delivery_ratio)
+    true
+    (sim.Simulate.delivery_ratio > 0.99);
+  Alcotest.(check bool) "empirical ETX near 1" true (sim.Simulate.mean_attempts_per_hop < 1.05);
+  match Simulate.check_against_guarantees inst sol sim with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_simulate_deterministic () =
+  let inst, sol = solved_small () in
+  let p = { Simulate.default_params with Simulate.periods = 100 } in
+  let a = Simulate.run ~params:p inst sol in
+  let b = Simulate.run ~params:p inst sol in
+  Alcotest.(check int) "same deliveries" a.Simulate.delivered b.Simulate.delivered;
+  Alcotest.(check (float 1e-12)) "same etx" a.Simulate.mean_attempts_per_hop
+    b.Simulate.mean_attempts_per_hop
+
+let test_simulate_lifetime_consistent_with_analysis () =
+  (* Simulated lifetime should be within a factor of the analytical
+     estimate (same physics, stochastic attempts vs ETX expectation). *)
+  let inst, sol = solved_small () in
+  let sim = Simulate.run inst sol in
+  let analytical =
+    List.fold_left
+      (fun acc (i, y) ->
+        let role = (Template.node inst.Instance.template i).Template.role in
+        if role = Components.Component.Sink then acc else Float.min acc y)
+      infinity sol.Solution.lifetimes_years
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.1f vs analytical %.1f" sim.Simulate.min_lifetime_years
+       analytical)
+    true
+    (sim.Simulate.min_lifetime_years > analytical *. 0.7
+    && sim.Simulate.min_lifetime_years < analytical *. 1.4)
+
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end regressions: pin known-good outcomes of the scenarios    *)
+(* (values verified against the physical models by Solution.check).    *)
+(* ------------------------------------------------------------------ *)
+
+let test_regression_quickstart_cost () =
+  (* The quickstart example's network: two sensors reach the sink
+     directly with the 4.5 dBm sensor option; $4 + $4 + $80 sink. *)
+  let wall =
+    { Geometry.Floorplan.seg = Geometry.Segment.of_coords 15. 0. 15. 9.;
+      material = Geometry.Floorplan.Brick }
+  in
+  let plan = Geometry.Floorplan.create ~width:30. ~height:12. [ wall ] in
+  let template =
+    Template.create
+      [
+        node ~fixed:true "s0" sensor (p 2. 2.);
+        node ~fixed:true "s1" sensor (p 2. 10.);
+        node ~fixed:true "sink" sink (p 28. 6.);
+        node "r0" relay (p 10. 6.);
+        node "r1" relay (p 16. 3.);
+        node "r2" relay (p 22. 6.);
+      ]
+  in
+  let reqs =
+    let r = Requirements.add_route Requirements.empty ~src:0 ~dst:2 in
+    let r = Requirements.add_route r ~src:1 ~dst:2 in
+    { r with Requirements.min_snr_db = Some 15.; min_lifetime_years = Some 4. }
+  in
+  let inst =
+    Instance.create_exn ~template ~library:Components.Library.builtin
+      ~channel:(Radio.Channel.multi_wall_2_4ghz plan) ~requirements:reqs
+      ~objective:Objective.dollar ()
+  in
+  let _, sol = run_ok inst (Solve.approx ~kstar:4 ()) in
+  Alcotest.(check (float 1e-6)) "pinned cost" 88. sol.Solution.dollar_cost;
+  Alcotest.(check int) "no relays needed" 3 sol.Solution.node_count
+
+let test_regression_default_scenarios_feasible () =
+  (* The shipped default scenarios must encode and pass Algorithm 1. *)
+  (match Scenarios.data_collection Scenarios.default_data_collection with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      match Solve.encode_size inst (Solve.approx ~kstar:6 ()) with
+      | Ok (v, c) ->
+          Alcotest.(check bool) "data-collection encodes" true (v > 0 && c > 0)
+      | Error e -> Alcotest.fail e));
+  match Scenarios.localization Scenarios.default_localization with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      match Solve.encode_size inst (Solve.approx ~loc_kstar:8 ()) with
+      | Ok (v, c) -> Alcotest.(check bool) "localization encodes" true (v > 0 && c > 0)
+      | Error e -> Alcotest.fail e)
+
+let test_regression_approx_much_smaller_on_defaults () =
+  (* The headline size reduction on the shipped Table-1 scenario. *)
+  match Scenarios.data_collection Scenarios.default_data_collection with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      match
+        (Solve.encode_size inst Solve.Full_enum, Solve.encode_size inst (Solve.approx ~kstar:6 ()))
+      with
+      | Ok (fv, fc), Ok (av, ac) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "vars %dx smaller" (fv / Int.max 1 av))
+            true (fv >= 10 * av);
+          Alcotest.(check bool)
+            (Printf.sprintf "cons %dx smaller" (fc / Int.max 1 ac))
+            true (fc >= 10 * ac)
+      | Error e, _ | _, Error e -> Alcotest.fail e)
+
+let test_regression_kstar_cutoff_monotone () =
+  (* The Table-4 mechanism: under nested pools and inherited cutoffs the
+     reported cost sequence is non-increasing. *)
+  match Scenarios.scaled_data_collection ~total_nodes:20 ~end_devices:6 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      let best = ref nan in
+      List.iter
+        (fun kstar ->
+          let o =
+            { Milp.Branch_bound.default_options with
+              Milp.Branch_bound.time_limit = 20.; rel_gap = 1e-4; cutoff = !best }
+          in
+          match Solve.run ~options:o inst (Solve.Approx { kstar; loc_kstar = kstar }) with
+          | Ok { Solve.solution = Some sol; _ } ->
+              if not (Float.is_nan !best) then
+                Alcotest.(check bool) "improved under cutoff" true
+                  (sol.Solution.dollar_cost < !best);
+              best := sol.Solution.dollar_cost
+          | Ok _ -> () (* no improvement: cost carries over *)
+          | Error e -> Alcotest.fail e)
+        [ 1; 3; 5 ];
+      Alcotest.(check bool) "some solution found" true (not (Float.is_nan !best))
+
+let () =
+  Alcotest.run "archex"
+    [
+      ( "template",
+        [
+          Alcotest.test_case "basics" `Quick test_template_basics;
+          Alcotest.test_case "duplicates rejected" `Quick test_template_rejects_duplicates;
+          Alcotest.test_case "role-based links" `Quick test_template_link_roles;
+          Alcotest.test_case "path loss pruning" `Quick test_template_max_path_loss_prunes;
+        ] );
+      ( "requirements",
+        [
+          Alcotest.test_case "validation" `Quick test_requirements_validate;
+          Alcotest.test_case "total paths" `Quick test_requirements_total_paths;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "library coverage" `Quick test_instance_validates_library;
+          Alcotest.test_case "snr floor combination" `Quick test_instance_min_snr_combination;
+          Alcotest.test_case "etx bound" `Quick test_instance_etx_bound;
+          Alcotest.test_case "devices_for" `Quick test_instance_devices_for;
+          Alcotest.test_case "latency hop bound" `Quick test_instance_latency_hop_bound;
+        ] );
+      ( "path_gen",
+        [
+          Alcotest.test_case "pools produced" `Quick test_pathgen_produces_pools;
+          Alcotest.test_case "disjoint capacity" `Quick test_pathgen_disjoint_capacity;
+          Alcotest.test_case "distinct candidates" `Quick test_pathgen_pool_distinct;
+          Alcotest.test_case "hop bound filter" `Quick test_pathgen_hop_bound_filter;
+          Alcotest.test_case "LQ filter" `Quick test_pathgen_lq_filter_drops;
+          Alcotest.test_case "best-case RSS" `Quick test_pathgen_best_case_rss;
+          Alcotest.test_case "localization pruning" `Quick test_pathgen_localization_candidates;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "approx smaller than full" `Quick test_encoding_sizes;
+          Alcotest.test_case "K* grows encoding" `Quick test_encoding_kstar_grows;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "approx end-to-end" `Quick test_solve_approx_small;
+          Alcotest.test_case "full vs approx" `Slow test_solve_full_matches_or_beats_approx;
+          Alcotest.test_case "disjoint replicas" `Quick test_solve_disjoint_replicas;
+          Alcotest.test_case "three replicas" `Quick test_solve_three_replicas;
+          Alcotest.test_case "lifetime constraint" `Quick test_solve_lifetime_constraint_bites;
+          Alcotest.test_case "energy objective" `Quick test_solve_energy_objective;
+          Alcotest.test_case "localization end-to-end" `Quick test_solve_localization_end_to_end;
+          Alcotest.test_case "infeasible reported" `Quick test_solve_infeasible_reported;
+          Alcotest.test_case "node-count objective" `Quick test_solve_node_count_objective;
+          Alcotest.test_case "localization approx = full" `Quick
+            test_localization_approx_full_parity;
+          Alcotest.test_case "full extraction" `Quick test_full_extraction_follows_path;
+          Alcotest.test_case "latency filters pool" `Quick test_pathgen_latency_filters_pool;
+          qt prop_full_no_worse_than_approx;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "data collection builds" `Quick test_scenarios_data_collection_builds;
+          Alcotest.test_case "deterministic" `Quick test_scenarios_deterministic;
+          Alcotest.test_case "localization builds" `Quick test_scenarios_localization_builds;
+          Alcotest.test_case "scaled sizes" `Quick test_scenarios_scaled_sizes;
+          Alcotest.test_case "scaled validation" `Quick test_scenarios_scaled_rejects_bad;
+        ] );
+      ( "kstar",
+        [
+          Alcotest.test_case "search finds and validates" `Quick test_kstar_search_improves;
+          Alcotest.test_case "time threshold" `Quick test_kstar_respects_time_threshold;
+        ] );
+      ( "encode_common",
+        [
+          Alcotest.test_case "rss expression" `Quick test_rss_expr_arithmetic;
+          Alcotest.test_case "edge vars shared" `Quick test_edge_var_shared_and_validated;
+          Alcotest.test_case "rss floor" `Quick test_rss_floor_from_requirements;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "replicas survive link faults" `Quick
+            test_resilience_replicated_routes_survive;
+          Alcotest.test_case "single routes vulnerable" `Quick
+            test_resilience_single_route_vulnerable;
+          Alcotest.test_case "node fault reports" `Quick test_resilience_node_fault_reports;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "healthy network" `Quick test_simulate_healthy_network;
+          Alcotest.test_case "deterministic" `Quick test_simulate_deterministic;
+          Alcotest.test_case "lifetime vs analysis" `Quick
+            test_simulate_lifetime_consistent_with_analysis;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "quickstart cost" `Quick test_regression_quickstart_cost;
+          Alcotest.test_case "default scenarios encode" `Quick
+            test_regression_default_scenarios_feasible;
+          Alcotest.test_case "headline size reduction" `Quick
+            test_regression_approx_much_smaller_on_defaults;
+          Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
+        ] );
+      ( "solution",
+        [
+          Alcotest.test_case "check catches bad device" `Quick test_solution_check_catches_bad_device;
+          Alcotest.test_case "check catches missing fixed" `Quick
+            test_solution_check_catches_missing_fixed;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for the component library: attribute validation, library
+   operations, the built-in reference library, and the text-format
+   parser (including a full round-trip property). *)
+
+let qt = QCheck_alcotest.to_alcotest
+
+open Components
+
+let mk = Component.make
+
+(* ------------------------------------------------------------------ *)
+(* Component                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_component_defaults () =
+  let c = mk ~name:"x" ~role:Component.Relay ~cost:10. () in
+  Alcotest.(check (float 1e-9)) "tx" 0. c.Component.tx_power_dbm;
+  Alcotest.(check (float 1e-9)) "sensitivity" (-97.) c.Component.sensitivity_dbm;
+  Alcotest.(check (float 1e-9)) "bit rate" 250. c.Component.bit_rate_kbps
+
+let test_component_validation () =
+  let ok c = Alcotest.(check bool) "valid" true (Result.is_ok (Component.validate c)) in
+  let bad c = Alcotest.(check bool) "invalid" true (Result.is_error (Component.validate c)) in
+  ok (mk ~name:"ok" ~role:Component.Sensor ~cost:0. ());
+  bad (mk ~name:"" ~role:Component.Sensor ~cost:0. ());
+  bad (mk ~name:"neg" ~role:Component.Sensor ~cost:(-1.) ());
+  bad (mk ~name:"cur" ~role:Component.Sensor ~cost:1. ~radio_tx_ma:(-2.) ());
+  bad (mk ~name:"rate" ~role:Component.Sensor ~cost:1. ~bit_rate_kbps:0. ());
+  bad (mk ~name:"sens" ~role:Component.Sensor ~cost:1. ~sensitivity_dbm:3. ())
+
+let test_roles () =
+  Alcotest.(check (option string)) "sink aliases" (Some "sink")
+    (Option.map Component.role_name (Component.role_of_name "base-station"));
+  Alcotest.(check bool) "unknown role" true (Component.role_of_name "gateway" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Library                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_lib () =
+  Library.of_list_exn
+    [
+      mk ~name:"a" ~role:Component.Relay ~cost:10. ();
+      mk ~name:"b" ~role:Component.Relay ~cost:5. ();
+      mk ~name:"c" ~role:Component.Sink ~cost:50. ();
+    ]
+
+let test_library_lookup () =
+  let l = small_lib () in
+  Alcotest.(check int) "size" 3 (Library.size l);
+  Alcotest.(check bool) "find" true (Library.find l "b" <> None);
+  Alcotest.(check bool) "find missing" true (Library.find l "zz" = None);
+  Alcotest.check_raises "find_exn missing" Not_found (fun () -> ignore (Library.find_exn l "zz"))
+
+let test_library_roles () =
+  let l = small_lib () in
+  Alcotest.(check int) "relays" 2 (List.length (Library.with_role l Component.Relay));
+  Alcotest.(check int) "anchors" 0 (List.length (Library.with_role l Component.Anchor));
+  match Library.cheapest l Component.Relay with
+  | Some c -> Alcotest.(check string) "cheapest" "b" c.Component.name
+  | None -> Alcotest.fail "expected a relay"
+
+let test_library_duplicate_rejected () =
+  let r =
+    Library.of_list
+      [ mk ~name:"dup" ~role:Component.Relay ~cost:1. (); mk ~name:"dup" ~role:Component.Sink ~cost:2. () ]
+  in
+  Alcotest.(check bool) "duplicate" true (Result.is_error r)
+
+let test_builtin_complete () =
+  (* Every role is available, so any template can be sized. *)
+  List.iter
+    (fun role ->
+      Alcotest.(check bool)
+        (Component.role_name role ^ " present")
+        true
+        (Library.with_role Library.builtin role <> []))
+    [ Component.Sensor; Component.Relay; Component.Sink; Component.Anchor ];
+  (* Sensors are free, as in the paper's example. *)
+  match Library.cheapest Library.builtin Component.Sensor with
+  | Some c -> Alcotest.(check (float 1e-9)) "free sensor" 0. c.Component.cost
+  | None -> Alcotest.fail "no sensors"
+
+let test_builtin_tradeoffs () =
+  (* The library must actually offer trade-offs: a more expensive relay
+     with more TX power, and a low-power relay with smaller currents. *)
+  let basic = Library.find_exn Library.builtin "relay-basic" in
+  let power = Library.find_exn Library.builtin "relay-power" in
+  let lp = Library.find_exn Library.builtin "relay-lp" in
+  Alcotest.(check bool) "power costs more" true (power.Component.cost > basic.Component.cost);
+  Alcotest.(check bool) "power txs more" true
+    (power.Component.tx_power_dbm > basic.Component.tx_power_dbm);
+  Alcotest.(check bool) "lp draws less" true
+    (lp.Component.radio_rx_ma < basic.Component.radio_rx_ma)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample =
+  {|# reference library
+component relay-basic {
+  role = relay
+  cost = 15          # dollars
+  tx_power_dbm = 0
+}
+component snk {
+  role = sink
+  cost = 80
+  antenna_gain_dbi = 3
+}|}
+
+let test_parser_sample () =
+  match Parser.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok lib ->
+      Alcotest.(check int) "two components" 2 (Library.size lib);
+      let r = Library.find_exn lib "relay-basic" in
+      Alcotest.(check (float 1e-9)) "cost" 15. r.Component.cost;
+      Alcotest.(check (float 1e-9)) "default rx current" 24. r.Component.radio_rx_ma;
+      let s = Library.find_exn lib "snk" in
+      Alcotest.(check (float 1e-9)) "gain" 3. s.Component.antenna_gain_dbi
+
+let expect_error text fragment =
+  match Parser.parse text with
+  | Ok _ -> Alcotest.fail ("expected parse error mentioning " ^ fragment)
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e fragment)
+        true
+        (Astring.String.is_infix ~affix:fragment e)
+
+let test_parser_errors () =
+  expect_error "component x {\n cost = 1\n}" "no role";
+  expect_error "component x {\n role = relay\n}" "no cost";
+  expect_error "component x {\n role = pigeon\n cost = 1\n}" "unknown role";
+  expect_error "component x {\n role = relay\n cost = abc\n}" "bad numeric";
+  expect_error "component x {\n role = relay\n cost = 1\n wat = 2\n}" "unknown key";
+  expect_error "component x {\n role = relay\n cost = 1" "not closed";
+  expect_error "stuff\n" "expected 'component"
+
+let test_parser_line_numbers () =
+  match Parser.parse "component x {\n role = relay\n cost = oops\n}" with
+  | Error e -> Alcotest.(check bool) "line 3" true (Astring.String.is_infix ~affix:"line 3" e)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parser_roundtrip_builtin () =
+  let text = Parser.to_string Library.builtin in
+  match Parser.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok lib2 ->
+      Alcotest.(check int) "same size" (Library.size Library.builtin) (Library.size lib2);
+      List.iter2
+        (fun (a : Component.t) (b : Component.t) ->
+          Alcotest.(check string) "name" a.Component.name b.Component.name;
+          Alcotest.(check (float 1e-9)) "cost" a.Component.cost b.Component.cost;
+          Alcotest.(check (float 1e-9)) "tx" a.Component.tx_power_dbm b.Component.tx_power_dbm;
+          Alcotest.(check (float 1e-9)) "sleep" a.Component.sleep_ua b.Component.sleep_ua)
+        (Library.components Library.builtin)
+        (Library.components lib2)
+
+let gen_component =
+  QCheck2.Gen.(
+    let* idx = int_range 0 10000 in
+    let* role = oneofl [ Component.Sensor; Component.Relay; Component.Sink; Component.Anchor ] in
+    let* cost = float_range 0. 500. in
+    let* tx = float_range (-10.) 20. in
+    let* gain = float_range 0. 12. in
+    let* txma = float_range 0.1 200. in
+    return (mk ~name:(Printf.sprintf "c%d" idx) ~role ~cost ~tx_power_dbm:tx
+              ~antenna_gain_dbi:gain ~radio_tx_ma:txma ()))
+
+let prop_parser_roundtrip =
+  QCheck2.Test.make ~name:"parser: print/parse round-trips arbitrary libraries" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 8) gen_component)
+    (fun comps ->
+      (* Deduplicate names to form a valid library. *)
+      let seen = Hashtbl.create 8 in
+      let comps =
+        List.filter
+          (fun (c : Component.t) ->
+            if Hashtbl.mem seen c.Component.name then false
+            else begin
+              Hashtbl.add seen c.Component.name ();
+              true
+            end)
+          comps
+      in
+      match Library.of_list comps with
+      | Error _ -> true
+      | Ok lib -> (
+          match Parser.parse (Parser.to_string lib) with
+          | Error _ -> false
+          | Ok lib2 ->
+              List.for_all2
+                (fun (a : Component.t) (b : Component.t) ->
+                  a.Component.name = b.Component.name
+                  && Float.abs (a.Component.cost -. b.Component.cost) < 1e-9
+                  && Float.abs (a.Component.tx_power_dbm -. b.Component.tx_power_dbm) < 1e-9
+                  && a.Component.role = b.Component.role)
+                (Library.components lib) (Library.components lib2)))
+
+let () =
+  Alcotest.run "components"
+    [
+      ( "component",
+        [
+          Alcotest.test_case "defaults" `Quick test_component_defaults;
+          Alcotest.test_case "validation" `Quick test_component_validation;
+          Alcotest.test_case "roles" `Quick test_roles;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "lookup" `Quick test_library_lookup;
+          Alcotest.test_case "role filters" `Quick test_library_roles;
+          Alcotest.test_case "duplicates rejected" `Quick test_library_duplicate_rejected;
+          Alcotest.test_case "builtin covers all roles" `Quick test_builtin_complete;
+          Alcotest.test_case "builtin trade-offs" `Quick test_builtin_tradeoffs;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "sample" `Quick test_parser_sample;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "line numbers" `Quick test_parser_line_numbers;
+          Alcotest.test_case "builtin round-trip" `Quick test_parser_roundtrip_builtin;
+          qt prop_parser_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Tests for the energy substrate: TDMA protocol arithmetic and
+   node-lifetime accounting against hand-computed references. *)
+
+open Energy
+
+let qt = QCheck_alcotest.to_alcotest
+
+let check_close name ?(tol = 1e-9) expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" name expected got)
+    true
+    (Float.abs (expected -. got) <= tol)
+
+(* ------------------------------------------------------------------ *)
+(* Tdma                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tdma_defaults () =
+  let t = Tdma.make () in
+  Alcotest.(check int) "slots" 16 t.Tdma.slots_per_frame;
+  check_close "superframe" 0.016 (Tdma.superframe_s t);
+  Alcotest.(check int) "packet bits" 400 (Tdma.packet_bits t);
+  check_close "airtime at 250 kbps" 0.0016 (Tdma.packet_airtime_s t ~bit_rate_kbps:250.)
+
+let test_tdma_validation () =
+  Alcotest.check_raises "bad slots" (Invalid_argument "Tdma.make: slots_per_frame <= 0")
+    (fun () -> ignore (Tdma.make ~slots_per_frame:0 ()));
+  Alcotest.check_raises "bad slot time" (Invalid_argument "Tdma.make: slot_s <= 0") (fun () ->
+      ignore (Tdma.make ~slot_s:0. ()));
+  Alcotest.check_raises "bad packet" (Invalid_argument "Tdma.make: packet_bytes <= 0") (fun () ->
+      ignore (Tdma.make ~packet_bytes:0 ()));
+  Alcotest.check_raises "bad airtime rate"
+    (Invalid_argument "Tdma.packet_airtime_s: non-positive bit rate") (fun () ->
+      ignore (Tdma.packet_airtime_s (Tdma.make ()) ~bit_rate_kbps:0.))
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let device =
+  Components.Component.make ~name:"dev" ~role:Components.Component.Relay ~cost:1.
+    ~radio_tx_ma:30. ~radio_rx_ma:20. ~active_ma:5. ~sleep_ua:2. ()
+
+let test_link_charges () =
+  let link = { Lifetime.etx = 2.; airtime_s = 0.002 } in
+  check_close "tx charge" (2. *. 0.002 *. 30.) (Lifetime.tx_charge_mas device link);
+  check_close "rx charge" (2. *. 0.002 *. 20.) (Lifetime.rx_charge_mas device link)
+
+let test_node_charge_hand_computed () =
+  let proto = Tdma.make ~slots_per_frame:16 ~slot_s:1e-3 ~packet_bytes:50 ~report_period_s:10. () in
+  let link = { Lifetime.etx = 1.; airtime_s = 0.0016 } in
+  (* 1 TX + 1 RX link:
+     radio = 0.0016*30 + 0.0016*20 = 0.08 mA.s
+     active = 5 mA * 2 slots * 1 ms = 0.01
+     sleep = 0.002 mA * (10 - 0.002) s = 0.019996 *)
+  let q = Lifetime.node_charge_per_period_mas device proto ~tx_links:[ link ] ~rx_links:[ link ] in
+  check_close "hand computed" ~tol:1e-9 (0.08 +. 0.01 +. 0.019996) q
+
+let test_lifetime_s () =
+  let b = { Lifetime.voltage_v = 3.; capacity_mah = 1000. } in
+  check_close "1 mA for 1000 mAh = 1000 h" (1000. *. 3600.) (Lifetime.lifetime_s b ~avg_current_ma:1.);
+  Alcotest.(check bool) "zero current lives forever" true
+    (Lifetime.lifetime_s b ~avg_current_ma:0. = infinity)
+
+let test_lifetime_years_sleep_only () =
+  (* A node with no traffic: lifetime set by sleep current alone.
+     1500 mAh at 1 uA = 1.5e6 h ~ 171 years. *)
+  let idle =
+    Components.Component.make ~name:"idle" ~role:Components.Component.Relay ~cost:0.
+      ~sleep_ua:1. ()
+  in
+  let proto = Tdma.make () in
+  let y = Lifetime.lifetime_years idle proto Lifetime.default_battery ~tx_links:[] ~rx_links:[] in
+  check_close "sleep-only lifetime" ~tol:0.5 171.2 y
+
+let test_lifetime_decreases_with_traffic () =
+  let proto = Tdma.make () in
+  let link = { Lifetime.etx = 1.5; airtime_s = 0.0016 } in
+  let quiet = Lifetime.lifetime_years device proto Lifetime.default_battery ~tx_links:[] ~rx_links:[] in
+  let busy =
+    Lifetime.lifetime_years device proto Lifetime.default_battery
+      ~tx_links:[ link; link; link ] ~rx_links:[ link ]
+  in
+  Alcotest.(check bool) "traffic shortens life" true (busy < quiet)
+
+let prop_lifetime_monotone_in_etx =
+  QCheck2.Test.make ~name:"lifetime: higher ETX never extends life" ~count:100
+    QCheck2.Gen.(tup2 (float_range 1. 10.) (float_range 1. 10.))
+    (fun (e1, e2) ->
+      let proto = Tdma.make () in
+      let lo = Float.min e1 e2 and hi = Float.max e1 e2 in
+      let life e =
+        Lifetime.lifetime_years device proto Lifetime.default_battery
+          ~tx_links:[ { Lifetime.etx = e; airtime_s = 0.0016 } ]
+          ~rx_links:[]
+      in
+      life hi <= life lo +. 1e-9)
+
+let prop_charge_additive =
+  QCheck2.Test.make ~name:"lifetime: radio charge additive over links" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 6) (float_range 1. 5.))
+    (fun etxs ->
+      let proto = Tdma.make () in
+      let links = List.map (fun e -> { Lifetime.etx = e; airtime_s = 0.001 }) etxs in
+      let q = Lifetime.node_charge_per_period_mas device proto ~tx_links:links ~rx_links:[] in
+      let base = Lifetime.node_charge_per_period_mas device proto ~tx_links:[] ~rx_links:[] in
+      let radio = List.fold_left (fun acc l -> acc +. Lifetime.tx_charge_mas device l) 0. links in
+      (* Each awake slot displaces sleep and adds active draw. *)
+      let slots = float_of_int (List.length links) in
+      let delta = slots *. 0.001 *. (5. -. 0.002) in
+      Float.abs (q -. (base +. radio +. delta)) < 1e-9)
+
+
+(* ------------------------------------------------------------------ *)
+(* Csma                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_csma_attempts () =
+  let c = Csma.make ~collision_probability:0.2 () in
+  check_close "collision-inflated attempts" (1.5 /. 0.8) (Csma.attempts c ~etx:1.5)
+
+let test_csma_validation () =
+  Alcotest.(check bool) "bad duty" true
+    (try ignore (Csma.make ~idle_listen_fraction:1.5 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad collision" true
+    (try ignore (Csma.make ~collision_probability:1.0 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative cca" true
+    (try ignore (Csma.make ~cca_s:(-1.) ()); false
+     with Invalid_argument _ -> true)
+
+let test_csma_costs_more_than_tdma () =
+  (* For the same traffic, contention always costs at least as much as
+     the collision-free schedule: CCA + backoff + idle listening. *)
+  let c = Csma.make () in
+  let proto = Tdma.make () in
+  let link = { Lifetime.etx = 1.2; airtime_s = 0.0016 } in
+  let tdma_q =
+    Lifetime.node_charge_per_period_mas device proto ~tx_links:[ link ] ~rx_links:[ link ]
+  in
+  let csma_q =
+    Csma.node_charge_per_period_mas c device ~period_s:proto.Tdma.report_period_s
+      ~tx_links:[ link ] ~rx_links:[ link ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "csma (%.3f) >= tdma (%.3f)" csma_q tdma_q)
+    true (csma_q >= tdma_q)
+
+let test_csma_tx_charge_components () =
+  let c = Csma.make ~cca_s:1e-3 ~mean_backoff_s:2e-3 ~collision_probability:0. () in
+  (* 1 attempt: listen 3 ms at 20 mA + send 2 ms at 30 mA. *)
+  let q = Csma.tx_charge_mas c device ~etx:1. ~airtime_s:2e-3 in
+  check_close "cca+backoff+payload" ((3e-3 *. 20.) +. (2e-3 *. 30.)) q
+
+let prop_csma_monotone_in_collisions =
+  QCheck2.Test.make ~name:"csma: more collisions, more charge" ~count:100
+    QCheck2.Gen.(tup2 (float_range 0. 0.8) (float_range 0. 0.8))
+    (fun (p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      let q p =
+        Csma.node_charge_per_period_mas
+          (Csma.make ~collision_probability:p ())
+          device ~period_s:30.
+          ~tx_links:[ { Lifetime.etx = 1.5; airtime_s = 0.0016 } ]
+          ~rx_links:[]
+      in
+      q hi >= q lo -. 1e-12)
+
+let () =
+  Alcotest.run "energy"
+    [
+      ( "tdma",
+        [
+          Alcotest.test_case "defaults" `Quick test_tdma_defaults;
+          Alcotest.test_case "validation" `Quick test_tdma_validation;
+        ] );
+      ( "csma",
+        [
+          Alcotest.test_case "attempts" `Quick test_csma_attempts;
+          Alcotest.test_case "validation" `Quick test_csma_validation;
+          Alcotest.test_case "costs more than tdma" `Quick test_csma_costs_more_than_tdma;
+          Alcotest.test_case "tx charge parts" `Quick test_csma_tx_charge_components;
+          qt prop_csma_monotone_in_collisions;
+        ] );
+      ( "lifetime",
+        [
+          Alcotest.test_case "link charges" `Quick test_link_charges;
+          Alcotest.test_case "node charge" `Quick test_node_charge_hand_computed;
+          Alcotest.test_case "lifetime seconds" `Quick test_lifetime_s;
+          Alcotest.test_case "sleep-only lifetime" `Quick test_lifetime_years_sleep_only;
+          Alcotest.test_case "traffic shortens life" `Quick test_lifetime_decreases_with_traffic;
+          qt prop_lifetime_monotone_in_etx;
+          qt prop_charge_additive;
+        ] );
+    ]

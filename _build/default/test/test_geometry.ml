@@ -1,0 +1,314 @@
+(* Tests for the geometry substrate: points, segment intersection,
+   floor plans and wall crossings, the synthetic building generator,
+   and SVG reading/writing. *)
+
+open Geometry
+
+let _qt = QCheck_alcotest.to_alcotest
+
+let pt = Point.make
+
+(* ------------------------------------------------------------------ *)
+(* Point                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_point_arithmetic () =
+  let a = pt 1. 2. and b = pt 3. 5. in
+  Alcotest.(check (float 1e-9)) "dist" (Float.sqrt 13.) (Point.dist a b);
+  Alcotest.(check (float 1e-9)) "dist2" 13. (Point.dist2 a b);
+  Alcotest.(check (float 1e-9)) "dot" 13. (Point.dot a b);
+  Alcotest.(check (float 1e-9)) "cross" (-1.) (Point.cross a b);
+  Alcotest.(check bool) "add/sub inverse" true
+    (Point.equal_eps (Point.sub (Point.add a b) b) a)
+
+let test_point_lerp () =
+  let a = pt 0. 0. and b = pt 10. 20. in
+  Alcotest.(check bool) "midpoint" true (Point.equal_eps (Point.lerp a b 0.5) (pt 5. 10.));
+  Alcotest.(check bool) "t=0" true (Point.equal_eps (Point.lerp a b 0.) a);
+  Alcotest.(check bool) "t=1" true (Point.equal_eps (Point.lerp a b 1.) b)
+
+let prop_dist_triangle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"point: triangle inequality" ~count:300
+       QCheck2.Gen.(
+         let c = float_range (-100.) 100. in
+         tup6 c c c c c c)
+       (fun (ax, ay, bx, by, cx, cy) ->
+         let a = pt ax ay and b = pt bx by and c = pt cx cy in
+         Point.dist a c <= Point.dist a b +. Point.dist b c +. 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Segment                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_segment_proper_crossing () =
+  let s1 = Segment.of_coords 0. 0. 10. 10. in
+  let s2 = Segment.of_coords 0. 10. 10. 0. in
+  Alcotest.(check bool) "crosses" true (Segment.intersects_proper s1 s2);
+  Alcotest.(check bool) "also intersects" true (Segment.intersects s1 s2)
+
+let test_segment_touching_endpoint_not_proper () =
+  let s1 = Segment.of_coords 0. 0. 5. 5. in
+  let s2 = Segment.of_coords 5. 5. 10. 0. in
+  Alcotest.(check bool) "touch counts as intersects" true (Segment.intersects s1 s2);
+  Alcotest.(check bool) "touch is not proper" false (Segment.intersects_proper s1 s2)
+
+let test_segment_parallel_disjoint () =
+  let s1 = Segment.of_coords 0. 0. 10. 0. in
+  let s2 = Segment.of_coords 0. 1. 10. 1. in
+  Alcotest.(check bool) "no intersection" false (Segment.intersects s1 s2);
+  Alcotest.(check bool) "no proper" false (Segment.intersects_proper s1 s2)
+
+let test_segment_collinear_overlap () =
+  let s1 = Segment.of_coords 0. 0. 5. 0. in
+  let s2 = Segment.of_coords 3. 0. 8. 0. in
+  Alcotest.(check bool) "collinear overlap intersects" true (Segment.intersects s1 s2);
+  Alcotest.(check bool) "but not properly" false (Segment.intersects_proper s1 s2)
+
+let test_segment_intersection_point () =
+  let s1 = Segment.of_coords 0. 0. 10. 0. in
+  let s2 = Segment.of_coords 5. (-5.) 5. 5. in
+  match Segment.intersection_point s1 s2 with
+  | Some p -> Alcotest.(check bool) "(5, 0)" true (Point.equal_eps ~eps:1e-9 p (pt 5. 0.))
+  | None -> Alcotest.fail "expected an intersection"
+
+let test_segment_length_midpoint () =
+  let s = Segment.of_coords 0. 0. 3. 4. in
+  Alcotest.(check (float 1e-9)) "length" 5. (Segment.length s);
+  Alcotest.(check bool) "midpoint" true (Point.equal_eps (Segment.midpoint s) (pt 1.5 2.))
+
+let test_segment_t_shape () =
+  (* One segment's endpoint in the interior of the other: intersects but
+     not a proper crossing. *)
+  let s1 = Segment.of_coords 0. 0. 10. 0. in
+  let s2 = Segment.of_coords 5. 0. 5. 5. in
+  Alcotest.(check bool) "T intersects" true (Segment.intersects s1 s2);
+  Alcotest.(check bool) "T not proper" false (Segment.intersects_proper s1 s2)
+
+(* ------------------------------------------------------------------ *)
+(* Floorplan                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let plan_with_wall () =
+  Floorplan.create ~width:20. ~height:10.
+    [ { Floorplan.seg = Segment.of_coords 10. 0. 10. 10.; material = Floorplan.Concrete } ]
+
+let test_floorplan_crossing () =
+  let fp = plan_with_wall () in
+  Alcotest.(check int) "crosses the wall" 1 (List.length (Floorplan.crossings fp (pt 2. 5.) (pt 18. 5.)));
+  Alcotest.(check (float 1e-9)) "concrete attenuation" 12.
+    (Floorplan.wall_attenuation fp (pt 2. 5.) (pt 18. 5.));
+  Alcotest.(check int) "same side no crossing" 0
+    (List.length (Floorplan.crossings fp (pt 2. 2.) (pt 8. 8.)))
+
+let test_floorplan_materials () =
+  Alcotest.(check (float 1e-9)) "drywall" 3. (Floorplan.attenuation_db Floorplan.Drywall);
+  Alcotest.(check (float 1e-9)) "custom" 7.5
+    (Floorplan.attenuation_db (Floorplan.Custom ("fence", 7.5)));
+  Alcotest.(check string) "name" "concrete" (Floorplan.material_name Floorplan.Concrete);
+  (match Floorplan.material_of_name "BRICK" with
+  | Floorplan.Brick -> ()
+  | _ -> Alcotest.fail "case-insensitive lookup");
+  match Floorplan.material_of_name ~attenuation:2. "plastic" with
+  | Floorplan.Custom ("plastic", 2.) -> ()
+  | _ -> Alcotest.fail "unknown material becomes custom"
+
+let test_floorplan_contains () =
+  let fp = plan_with_wall () in
+  Alcotest.(check bool) "inside" true (Floorplan.contains fp (pt 5. 5.));
+  Alcotest.(check bool) "boundary" true (Floorplan.contains fp (pt 0. 0.));
+  Alcotest.(check bool) "outside" false (Floorplan.contains fp (pt 21. 5.))
+
+let test_floorplan_rejects_bad_dims () =
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Floorplan.create: non-positive dimensions") (fun () ->
+      ignore (Floorplan.create ~width:0. ~height:5. []))
+
+(* ------------------------------------------------------------------ *)
+(* Building generator                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_building_deterministic () =
+  let a = Building.office ~width:40. ~height:20. ~rooms_x:3 ~rooms_y:2 () in
+  let b = Building.office ~width:40. ~height:20. ~rooms_x:3 ~rooms_y:2 () in
+  Alcotest.(check int) "same wall count" (Floorplan.nwalls a) (Floorplan.nwalls b);
+  let c = Building.office ~seed:7 ~width:40. ~height:20. ~rooms_x:3 ~rooms_y:2 () in
+  Alcotest.(check int) "seeded variant same structure" (Floorplan.nwalls a) (Floorplan.nwalls c)
+
+let test_building_wall_count () =
+  (* 4 outer walls + (rooms_x-1)*rooms_y vertical + (rooms_y-1)*rooms_x
+     horizontal partitions, each split in two by a door. *)
+  let fp = Building.office ~width:40. ~height:20. ~rooms_x:3 ~rooms_y:2 () in
+  let expected = 4 + (2 * 2 * 2) + (1 * 3 * 2) in
+  Alcotest.(check int) "wall segments" expected (Floorplan.nwalls fp)
+
+let test_building_doors_pass () =
+  (* Every partition has a door, so every pair of adjacent room centres
+     has strictly less attenuation than a full-height wall would give:
+     in fact many center-to-center links cross at most 1 segment. *)
+  let fp = Building.office ~width:40. ~height:20. ~rooms_x:2 ~rooms_y:1 ~door_width:8. () in
+  (* With an 8 m door on a 20 m partition, the straight line between the
+     two room centres often passes through the gap.  At minimum the
+     attenuation must be at most one drywall. *)
+  let att = Floorplan.wall_attenuation fp (pt 10. 10.) (pt 30. 10.) in
+  Alcotest.(check bool) "at most one drywall" true (att <= 3.0 +. 1e-9)
+
+let test_building_rejects_bad_rooms () =
+  Alcotest.check_raises "no rooms"
+    (Invalid_argument "Building.office: non-positive room count") (fun () ->
+      ignore (Building.office ~width:10. ~height:10. ~rooms_x:0 ~rooms_y:1 ()))
+
+let test_candidate_grid () =
+  let fp = Floorplan.create ~width:10. ~height:10. [] in
+  let pts = Building.candidate_grid fp ~nx:2 ~ny:2 in
+  Alcotest.(check int) "count" 4 (List.length pts);
+  Alcotest.(check bool) "all inside" true (List.for_all (Floorplan.contains fp) pts);
+  match pts with
+  | first :: _ -> Alcotest.(check bool) "inset" true (Point.equal_eps first (pt 2.5 2.5))
+  | [] -> Alcotest.fail "no points"
+
+let test_room_centers () =
+  let cs = Building.room_centers ~width:40. ~height:20. ~rooms_x:2 ~rooms_y:2 in
+  Alcotest.(check int) "count" 4 (List.length cs);
+  Alcotest.(check bool) "first centre" true (Point.equal_eps (List.hd cs) (pt 10. 5.))
+
+let test_corridor_structure () =
+  let fp = Building.corridor ~width:40. ~height:16. ~rooms_per_side:4 () in
+  (* 4 outer + per office 2 corridor-wall segments per side (door split)
+     = 4 sides? count: 2 sides x 4 offices x 2 segments + party walls
+     2 x 3 = 4 + 16 + 6. *)
+  Alcotest.(check int) "wall segments" (4 + 16 + 6) (Floorplan.nwalls fp);
+  (* A link down the corridor centre crosses no wall. *)
+  Alcotest.(check (float 1e-9)) "corridor is clear" 0.
+    (Floorplan.wall_attenuation fp (pt 1. 8.) (pt 39. 8.));
+  (* Office-to-office through the party wall is attenuated. *)
+  Alcotest.(check bool) "party wall attenuates" true
+    (Floorplan.wall_attenuation fp (pt 5. 3.) (pt 15. 3.) >= 3.)
+
+let test_corridor_room_centers () =
+  let cs = Building.corridor_room_centers ~width:40. ~height:16. ~rooms_per_side:4 () in
+  Alcotest.(check int) "8 offices" 8 (List.length cs);
+  let fp = Building.corridor ~width:40. ~height:16. ~rooms_per_side:4 () in
+  Alcotest.(check bool) "centers inside" true (List.for_all (Floorplan.contains fp) cs)
+
+let test_corridor_validation () =
+  Alcotest.(check bool) "no rooms" true
+    (try
+       ignore (Building.corridor ~width:10. ~height:10. ~rooms_per_side:0 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "corridor too wide" true
+    (try
+       ignore (Building.corridor ~corridor_width:12. ~width:10. ~height:10. ~rooms_per_side:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* SVG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_svg =
+  {|<?xml version="1.0"?>
+<svg xmlns="http://www.w3.org/2000/svg" width="50" height="30">
+  <!-- walls -->
+  <line x1="10" y1="0" x2="10" y2="30" class="concrete"/>
+  <rect x="20" y="5" width="10" height="10" class="drywall"/>
+  <circle cx="5" cy="5" r="0.5" class="sensor"/>
+  <circle cx="45" cy="25" r="0.5" class="sink"/>
+  <circle cx="25" cy="25" r="0.5" class="eval"/>
+  <circle cx="30" cy="12" r="0.5"/>
+</svg>|}
+
+let test_svg_parse () =
+  match Svg.parse sample_svg with
+  | Error e -> Alcotest.fail e
+  | Ok { plan; nodes } ->
+      Alcotest.(check (float 1e-9)) "width" 50. (Floorplan.width plan);
+      Alcotest.(check (float 1e-9)) "height" 30. (Floorplan.height plan);
+      (* 1 line + 4 rect sides. *)
+      Alcotest.(check int) "walls" 5 (Floorplan.nwalls plan);
+      Alcotest.(check int) "nodes" 4 (List.length nodes);
+      let roles = List.map fst nodes in
+      Alcotest.(check (list string)) "roles in order" [ "sensor"; "sink"; "eval"; "node" ] roles
+
+let test_svg_parse_errors () =
+  Alcotest.(check bool) "no svg element" true (Result.is_error (Svg.parse "<html></html>"));
+  Alcotest.(check bool) "bad numeric attr" true
+    (Result.is_error (Svg.parse {|<svg width="w" height="3"><line x1="0" y1="0" x2="1" y2="1"/></svg>|}))
+
+let test_svg_units_tolerated () =
+  match Svg.parse {|<svg width="80mm" height="45mm"></svg>|} with
+  | Ok { plan; _ } -> Alcotest.(check (float 1e-9)) "unit suffix stripped" 80. (Floorplan.width plan)
+  | Error e -> Alcotest.fail e
+
+let test_svg_roundtrip () =
+  (* Render a scene, re-parse it, and compare wall counts. *)
+  let fp = Building.office ~width:30. ~height:20. ~rooms_x:2 ~rooms_y:2 () in
+  let sc = Svg.scene ~width:30. ~height:20. in
+  Svg.add_floorplan sc fp;
+  Svg.add sc (Svg.Circle (pt 3. 3., 0.5, { Svg.default_style with fill = "#2a2" }));
+  let rendered = Svg.render sc in
+  Alcotest.(check bool) "looks like svg" true (Astring.String.is_prefix ~affix:"<svg" rendered);
+  match Svg.parse rendered with
+  | Ok { nodes; _ } -> Alcotest.(check int) "circle survives" 1 (List.length nodes)
+  | Error e -> Alcotest.fail e
+
+let test_svg_scene_elements () =
+  let sc = Svg.scene ~width:10. ~height:10. in
+  Svg.add sc (Svg.Line (Segment.of_coords 0. 0. 5. 5., Svg.default_style));
+  Svg.add sc (Svg.Rect (pt 1. 1., 2., 2., Svg.default_style));
+  Svg.add sc (Svg.Polyline ([ pt 0. 0.; pt 1. 2.; pt 3. 1. ], Svg.default_style));
+  Svg.add sc (Svg.Text (pt 5. 5., "hello", 10., "#000"));
+  let s = Svg.render ~scale:10. sc in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true (Astring.String.is_infix ~affix s))
+    [ "<line"; "<rect"; "<polyline"; "<text"; "hello" ]
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_point_arithmetic;
+          Alcotest.test_case "lerp" `Quick test_point_lerp;
+          prop_dist_triangle;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "proper crossing" `Quick test_segment_proper_crossing;
+          Alcotest.test_case "endpoint touch" `Quick test_segment_touching_endpoint_not_proper;
+          Alcotest.test_case "parallel" `Quick test_segment_parallel_disjoint;
+          Alcotest.test_case "collinear overlap" `Quick test_segment_collinear_overlap;
+          Alcotest.test_case "intersection point" `Quick test_segment_intersection_point;
+          Alcotest.test_case "length and midpoint" `Quick test_segment_length_midpoint;
+          Alcotest.test_case "T shape" `Quick test_segment_t_shape;
+        ] );
+      ( "floorplan",
+        [
+          Alcotest.test_case "crossings and attenuation" `Quick test_floorplan_crossing;
+          Alcotest.test_case "materials" `Quick test_floorplan_materials;
+          Alcotest.test_case "contains" `Quick test_floorplan_contains;
+          Alcotest.test_case "bad dimensions" `Quick test_floorplan_rejects_bad_dims;
+        ] );
+      ( "building",
+        [
+          Alcotest.test_case "deterministic" `Quick test_building_deterministic;
+          Alcotest.test_case "wall count" `Quick test_building_wall_count;
+          Alcotest.test_case "doors pass signal" `Quick test_building_doors_pass;
+          Alcotest.test_case "bad room count" `Quick test_building_rejects_bad_rooms;
+          Alcotest.test_case "candidate grid" `Quick test_candidate_grid;
+          Alcotest.test_case "room centers" `Quick test_room_centers;
+          Alcotest.test_case "corridor structure" `Quick test_corridor_structure;
+          Alcotest.test_case "corridor room centers" `Quick test_corridor_room_centers;
+          Alcotest.test_case "corridor validation" `Quick test_corridor_validation;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "parse sample" `Quick test_svg_parse;
+          Alcotest.test_case "parse errors" `Quick test_svg_parse_errors;
+          Alcotest.test_case "unit suffixes" `Quick test_svg_units_tolerated;
+          Alcotest.test_case "round trip" `Quick test_svg_roundtrip;
+          Alcotest.test_case "scene elements" `Quick test_svg_scene_elements;
+        ] );
+    ]

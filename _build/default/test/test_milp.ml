@@ -1,0 +1,763 @@
+(* Tests for the MILP substrate: linear expressions, the model builder,
+   the bounded-variable simplex, presolve, branch & bound, and the LP
+   writer.  Property-based tests check the solver against brute force
+   on randomly generated instances. *)
+
+open Milp
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let check_feq name expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" name expected got)
+    true (feq expected got)
+
+(* ------------------------------------------------------------------ *)
+(* Lin                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lin_basic () =
+  let e = Lin.of_list [ (2., 0); (3., 1); (-2., 0) ] in
+  check_feq "coeff merge" 0. (Lin.coeff e 0);
+  check_feq "coeff kept" 3. (Lin.coeff e 1);
+  Alcotest.(check int) "zero coeffs dropped" 1 (Lin.nterms e)
+
+let test_lin_add_scale () =
+  let a = Lin.of_list [ (1., 0); (2., 1) ] in
+  let b = Lin.of_list [ (3., 1); (4., 2) ] in
+  let s = Lin.add a b in
+  check_feq "sum x0" 1. (Lin.coeff s 0);
+  check_feq "sum x1" 5. (Lin.coeff s 1);
+  check_feq "sum x2" 4. (Lin.coeff s 2);
+  let sc = Lin.scale (-2.) s in
+  check_feq "scale x1" (-10.) (Lin.coeff sc 1);
+  Alcotest.(check bool) "scale 0 is zero" true (Lin.is_constant (Lin.scale 0. s))
+
+let test_lin_eval () =
+  let e = Lin.add_const (Lin.of_list [ (2., 0); (-1., 3) ]) 5. in
+  let v = function 0 -> 1.5 | 3 -> 2. | _ -> 0. in
+  check_feq "eval" 6. (Lin.eval v e)
+
+let test_lin_sub_neg () =
+  let a = Lin.of_list [ (1., 0) ] and b = Lin.of_list [ (1., 0); (1., 1) ] in
+  let d = Lin.sub a b in
+  check_feq "sub x0" 0. (Lin.coeff d 0);
+  check_feq "sub x1" (-1.) (Lin.coeff d 1);
+  Alcotest.(check bool) "neg . neg = id" true (Lin.equal a (Lin.neg (Lin.neg a)))
+
+let test_lin_infix () =
+  let open Lin.Infix in
+  let e = Lin.var 0 ++ (2. *: Lin.var 1) -- Lin.var 0 in
+  Alcotest.(check int) "infix terms" 1 (Lin.nterms e);
+  check_feq "infix coeff" 2. (Lin.coeff e 1)
+
+let test_lin_iter_order () =
+  let e = Lin.of_list [ (1., 5); (1., 1); (1., 3) ] in
+  let order = List.map fst (Lin.terms e) in
+  Alcotest.(check (list int)) "ascending var order" [ 1; 3; 5 ] order
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_vars () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:(-1.) ~ub:2. "x" in
+  let b = Model.add_binary m "b" in
+  let k = Model.add_var m ~kind:Model.Integer ~lb:0. ~ub:9. "k" in
+  Alcotest.(check int) "ids sequential" 1 b;
+  Alcotest.(check int) "nvars" 3 (Model.nvars m);
+  check_feq "lb" (-1.) (Model.var_lb m x);
+  check_feq "binary ub" 1. (Model.var_ub m b);
+  Alcotest.(check bool) "integer flag" true (Model.is_integer m k);
+  Alcotest.(check bool) "continuous flag" false (Model.is_integer m x)
+
+let test_model_bad_bounds () =
+  let m = Model.create () in
+  Alcotest.check_raises "lb > ub rejected"
+    (Invalid_argument "Model.add_var \"x\": lb (2) > ub (1)") (fun () ->
+      ignore (Model.add_var m ~lb:2. ~ub:1. "x"))
+
+let test_model_constr_folds_constant () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  Model.add_constr m (Lin.add_const (Lin.var x) 5.) Model.Le 8.;
+  let c = (Model.constrs m).(0) in
+  check_feq "constant moved to rhs" 3. c.Model.c_rhs;
+  check_feq "lhs constant cleared" 0. (Lin.constant c.Model.c_expr)
+
+let test_model_check_feasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:5. "x" in
+  let b = Model.add_binary m "b" in
+  Model.add_constr m (Lin.of_list [ (1., x); (2., b) ]) Model.Le 4.;
+  let ok = Model.check_feasible m (function v -> if v = x then 2. else 1.) in
+  Alcotest.(check bool) "feasible point accepted" true (Result.is_ok ok);
+  let bad = Model.check_feasible m (function v -> if v = x then 3. else 1.) in
+  Alcotest.(check bool) "violated row rejected" true (Result.is_error bad);
+  let frac = Model.check_feasible m (function v -> if v = b then 0.5 else 0.) in
+  Alcotest.(check bool) "fractional binary rejected" true (Result.is_error frac)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex on hand-checked LPs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lp_status = Alcotest.testable (Fmt.of_to_string Status.lp_status_to_string) ( = )
+
+let test_simplex_textbook () =
+  (* max 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2, 6). *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_constr m (Lin.var x) Model.Le 4.;
+  Model.add_constr m (Lin.term 2. y) Model.Le 12.;
+  Model.add_constr m (Lin.of_list [ (3., x); (2., y) ]) Model.Le 18.;
+  Model.set_objective m Model.Maximize (Lin.of_list [ (3., x); (5., y) ]);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_optimal r.Simplex.status;
+  check_feq "objective" 36. r.Simplex.objective;
+  check_feq "x" 2. r.Simplex.primal.(x);
+  check_feq "y" 6. r.Simplex.primal.(y)
+
+let test_simplex_equality_and_ge () =
+  (* min a + 2b; a + b = 10; a - b >= 2 -> 10 at (10, 0). *)
+  let m = Model.create () in
+  let a = Model.add_var m "a" and b = Model.add_var m "b" in
+  Model.add_constr m (Lin.of_list [ (1., a); (1., b) ]) Model.Eq 10.;
+  Model.add_constr m (Lin.of_list [ (1., a); (-1., b) ]) Model.Ge 2.;
+  Model.set_objective m Model.Minimize (Lin.of_list [ (1., a); (2., b) ]);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_optimal r.Simplex.status;
+  check_feq "objective" 10. r.Simplex.objective
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:4. "x" in
+  Model.add_constr m (Lin.var x) Model.Ge 5.;
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_infeasible r.Simplex.status
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  Model.set_objective m Model.Maximize (Lin.var x);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_unbounded r.Simplex.status
+
+let test_simplex_negative_lb () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:(-3.) ~ub:10. "x" in
+  Model.set_objective m Model.Minimize (Lin.var x);
+  let r = Simplex.solve_model m in
+  check_feq "negative lower bound attained" (-3.) r.Simplex.objective
+
+let test_simplex_free_variable () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:neg_infinity ~ub:infinity "x" in
+  let y = Model.add_var m ~ub:1. "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y) ]) Model.Ge 2.;
+  Model.set_objective m Model.Minimize (Lin.of_list [ (1., x); (1., y) ]);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_optimal r.Simplex.status;
+  check_feq "objective" 2. r.Simplex.objective
+
+let test_simplex_free_unbounded_below () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:neg_infinity ~ub:infinity "x" in
+  Model.add_constr m (Lin.var x) Model.Le 5.;
+  Model.set_objective m Model.Minimize (Lin.var x);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_unbounded r.Simplex.status
+
+let test_simplex_degenerate () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y) ]) Model.Le 1.;
+  Model.add_constr m (Lin.of_list [ (1., x); (2., y) ]) Model.Le 1.;
+  Model.add_constr m (Lin.of_list [ (2., x); (1., y) ]) Model.Le 1.;
+  Model.set_objective m Model.Maximize (Lin.of_list [ (1., x); (1., y) ]);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_optimal r.Simplex.status;
+  check_feq "objective" (2. /. 3.) r.Simplex.objective
+
+let test_simplex_fixed_vars () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:2. ~ub:2. "x" in
+  let y = Model.add_var m ~ub:10. "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y) ]) Model.Le 5.;
+  Model.set_objective m Model.Maximize (Lin.var y);
+  let r = Simplex.solve_model m in
+  check_feq "fixed var respected" 3. r.Simplex.objective;
+  check_feq "fixed value" 2. r.Simplex.primal.(x)
+
+let test_simplex_equality_negative_rhs () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:(-10.) ~ub:10. "x" in
+  let y = Model.add_var m ~lb:(-10.) ~ub:10. "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y) ]) Model.Eq (-4.);
+  Model.add_constr m (Lin.of_list [ (1., x); (-1., y) ]) Model.Eq 2.;
+  Model.set_objective m Model.Minimize (Lin.of_list [ (1., x) ]);
+  let r = Simplex.solve_model m in
+  Alcotest.check lp_status "status" Status.Lp_optimal r.Simplex.status;
+  check_feq "x" (-1.) r.Simplex.primal.(x);
+  check_feq "y" (-3.) r.Simplex.primal.(y)
+
+(* Random LPs: the simplex result must satisfy all constraints, and no
+   random feasible point may beat its objective. *)
+let random_lp_spec =
+  QCheck2.Gen.(
+    let* nvars = int_range 2 6 in
+    let* nrows = int_range 1 8 in
+    let coef = float_range (-5.) 5. in
+    let* obj = list_size (return nvars) coef in
+    let* rows =
+      list_size (return nrows)
+        (let* cs = list_size (return nvars) coef in
+         let* rhs = float_range 0. 20. in
+         let* sense = oneofl [ Model.Le; Model.Ge ] in
+         return (cs, sense, rhs))
+    in
+    return (nvars, obj, rows))
+
+let build_lp (nvars, obj, rows) =
+  let m = Model.create () in
+  let vars = List.init nvars (fun i -> Model.add_var m ~lb:0. ~ub:10. (Printf.sprintf "x%d" i)) in
+  List.iter
+    (fun (cs, sense, rhs) ->
+      Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) sense rhs)
+    rows;
+  Model.set_objective m Model.Minimize (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+  (m, vars)
+
+let prop_simplex_sound =
+  QCheck2.Test.make ~name:"simplex: optimal solutions are feasible and undominated" ~count:300
+    random_lp_spec (fun spec ->
+      let m, vars = build_lp spec in
+      let r = Simplex.solve_model m in
+      match r.Simplex.status with
+      | Status.Lp_optimal ->
+          let ok = Model.check_feasible ~tol:1e-5 m (fun v -> r.Simplex.primal.(v)) in
+          if Result.is_error ok then false
+          else begin
+            let rng = Random.State.make [| 7 |] in
+            let beaten = ref false in
+            for _ = 1 to 50 do
+              let pt = List.map (fun _ -> Random.State.float rng 10.) vars in
+              let value v = List.nth pt v in
+              if Result.is_ok (Model.check_feasible ~tol:1e-9 m value) then begin
+                let _, obj_expr = Model.objective m in
+                if Lin.eval value obj_expr < r.Simplex.objective -. 1e-5 then beaten := true
+              end
+            done;
+            not !beaten
+          end
+      | Status.Lp_infeasible ->
+          let rng = Random.State.make [| 11 |] in
+          let found = ref false in
+          for _ = 1 to 200 do
+            let pt = List.map (fun _ -> Random.State.float rng 10.) vars in
+            let value v = List.nth pt v in
+            if Result.is_ok (Model.check_feasible ~tol:1e-9 m value) then found := true
+          done;
+          not !found
+      | Status.Lp_unbounded | Status.Lp_iteration_limit -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_presolve m =
+  let p = Simplex.of_model m in
+  let n = Model.nvars m in
+  Presolve.run p
+    ~integer:(Array.init n (Model.is_integer m))
+    ~lb:(Array.init n (Model.var_lb m))
+    ~ub:(Array.init n (Model.var_ub m))
+
+let test_presolve_singleton_bound () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10. "x" in
+  Model.add_constr m (Lin.term 2. x) Model.Le 6.;
+  match run_presolve m with
+  | Presolve.Feasible { ub; active; _ } ->
+      check_feq "tightened ub" 3. ub.(x);
+      Alcotest.(check bool) "row now redundant" false active.(0)
+  | Presolve.Proven_infeasible e -> Alcotest.fail e
+
+let test_presolve_integer_rounding () =
+  let m = Model.create () in
+  let x = Model.add_var m ~kind:Model.Integer ~ub:10. "x" in
+  Model.add_constr m (Lin.term 2. x) Model.Le 7.;
+  match run_presolve m with
+  | Presolve.Feasible { ub; _ } -> check_feq "floor(3.5)" 3. ub.(x)
+  | Presolve.Proven_infeasible e -> Alcotest.fail e
+
+let test_presolve_detects_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:1. "x" in
+  let y = Model.add_var m ~ub:1. "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y) ]) Model.Ge 3.;
+  match run_presolve m with
+  | Presolve.Proven_infeasible _ -> ()
+  | Presolve.Feasible _ -> Alcotest.fail "expected infeasibility"
+
+let test_presolve_chain_propagation () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:5. ~ub:5. "x" in
+  let y = Model.add_var m ~ub:10. "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (2., y) ]) Model.Le 7.;
+  match run_presolve m with
+  | Presolve.Feasible { ub; _ } -> check_feq "propagated ub" 1. ub.(y)
+  | Presolve.Proven_infeasible e -> Alcotest.fail e
+
+let test_presolve_no_false_positives =
+  QCheck2.Test.make ~name:"presolve: never cuts off LP-feasible boxes" ~count:200 random_lp_spec
+    (fun spec ->
+      let m, _ = build_lp spec in
+      let r = Simplex.solve_model m in
+      match (r.Simplex.status, run_presolve m) with
+      | Status.Lp_optimal, Presolve.Proven_infeasible _ -> false
+      | Status.Lp_optimal, Presolve.Feasible { lb; ub; _ } ->
+          let ok = ref true in
+          Array.iteri
+            (fun j v -> if v < lb.(j) -. 1e-6 || v > ub.(j) +. 1e-6 then ok := false)
+            r.Simplex.primal;
+          !ok
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Branch & bound                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mip_status = Alcotest.testable (Fmt.of_to_string Status.mip_status_to_string) ( = )
+
+let test_bb_knapsack () =
+  let m = Model.create () in
+  let a = Model.add_binary m "a" and b = Model.add_binary m "b" in
+  let c = Model.add_binary m "c" and d = Model.add_binary m "d" in
+  Model.add_constr m (Lin.of_list [ (4., a); (6., b); (3., c); (5., d) ]) Model.Le 10.;
+  Model.set_objective m Model.Maximize (Lin.of_list [ (10., a); (13., b); (7., c); (11., d) ]);
+  let r = Branch_bound.solve m in
+  Alcotest.check mip_status "status" Status.Mip_optimal r.Branch_bound.status;
+  check_feq "objective" 23. r.Branch_bound.objective
+
+let test_bb_integer_min () =
+  let m = Model.create () in
+  let x = Model.add_var m ~kind:Model.Integer "x" in
+  let y = Model.add_var m ~kind:Model.Integer "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (2., y) ]) Model.Ge 7.;
+  Model.add_constr m (Lin.of_list [ (2., x); (1., y) ]) Model.Ge 8.;
+  Model.set_objective m Model.Minimize (Lin.of_list [ (3., x); (4., y) ]);
+  let r = Branch_bound.solve m in
+  check_feq "objective" 17. r.Branch_bound.objective;
+  check_feq "x" 3. (Branch_bound.value r x);
+  check_feq "y" 2. (Branch_bound.value r y)
+
+let test_bb_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" and y = Model.add_binary m "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y) ]) Model.Ge 3.;
+  let r = Branch_bound.solve m in
+  Alcotest.check mip_status "status" Status.Mip_infeasible r.Branch_bound.status
+
+let test_bb_lp_feasible_mip_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  Model.add_constr m (Lin.term 2. x) Model.Eq 1.;
+  let r = Branch_bound.solve m in
+  Alcotest.check mip_status "status" Status.Mip_infeasible r.Branch_bound.status
+
+let test_bb_equality_partition () =
+  let m = Model.create () in
+  let xs = List.init 5 (fun i -> Model.add_binary m (Printf.sprintf "x%d" i)) in
+  Model.add_constr m (Lin.of_list (List.map (fun v -> (1., v)) xs)) Model.Eq 1.;
+  Model.set_objective m Model.Minimize
+    (Lin.of_list (List.mapi (fun i v -> (float_of_int (5 - i), v)) xs));
+  let r = Branch_bound.solve m in
+  check_feq "cheapest selected" 1. r.Branch_bound.objective
+
+let test_bb_respects_bound () =
+  let m = Model.create () in
+  let x = Model.add_var m ~kind:Model.Integer ~lb:2. ~ub:7. "x" in
+  Model.set_objective m Model.Maximize (Lin.var x);
+  let r = Branch_bound.solve m in
+  check_feq "hits ub" 7. r.Branch_bound.objective;
+  check_feq "gap closed" 0. (Branch_bound.gap r)
+
+(* Brute force over binary assignments for cross-checking. *)
+let brute_force_binary m nvars =
+  let best = ref None in
+  let dir, obj_expr = Model.objective m in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    let value v = if (mask lsr v) land 1 = 1 then 1.0 else 0.0 in
+    if Result.is_ok (Model.check_feasible ~tol:1e-9 m value) then begin
+      let obj = Lin.eval value obj_expr in
+      match !best with
+      | None -> best := Some obj
+      | Some b ->
+          best :=
+            Some
+              (match dir with
+              | Model.Minimize -> Float.min b obj
+              | Model.Maximize -> Float.max b obj)
+    end
+  done;
+  !best
+
+let random_bip =
+  QCheck2.Gen.(
+    let* nvars = int_range 2 8 in
+    let* nrows = int_range 1 6 in
+    let coef = float_range (-4.) 4. in
+    let* obj = list_size (return nvars) coef in
+    let* rows =
+      list_size (return nrows)
+        (let* cs = list_size (return nvars) coef in
+         let* rhs = float_range (-2.) 8. in
+         let* sense = oneofl [ Model.Le; Model.Ge ] in
+         return (cs, sense, rhs))
+    in
+    return (nvars, obj, rows))
+
+let prop_bb_matches_brute_force =
+  QCheck2.Test.make ~name:"branch&bound: agrees with brute force on binary programs" ~count:150
+    random_bip (fun (nvars, obj, rows) ->
+      let m = Model.create () in
+      let vars = List.init nvars (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+      List.iter
+        (fun (cs, sense, rhs) ->
+          Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) sense rhs)
+        rows;
+      Model.set_objective m Model.Minimize
+        (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+      let r = Branch_bound.solve m in
+      match (brute_force_binary m nvars, r.Branch_bound.status) with
+      | None, Status.Mip_infeasible -> true
+      | None, _ -> r.Branch_bound.solution = None
+      | Some best, Status.Mip_optimal -> feq ~eps:1e-5 best r.Branch_bound.objective
+      | Some _, _ -> false)
+
+let prop_bb_solution_is_feasible =
+  QCheck2.Test.make ~name:"branch&bound: incumbents satisfy the model" ~count:150 random_bip
+    (fun (nvars, obj, rows) ->
+      let m = Model.create () in
+      let vars = List.init nvars (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+      List.iter
+        (fun (cs, sense, rhs) ->
+          Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) sense rhs)
+        rows;
+      Model.set_objective m Model.Maximize
+        (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+      let r = Branch_bound.solve m in
+      match r.Branch_bound.solution with
+      | None -> true
+      | Some x -> Result.is_ok (Model.check_feasible ~tol:1e-5 m (fun v -> x.(v))))
+
+
+let test_bb_cutoff_prunes () =
+  (* Knapsack optimum is 23; a cutoff at 23 must yield no solution
+     (only strictly better ones are accepted) and Mip_unknown. *)
+  let build () =
+    let m = Model.create () in
+    let a = Model.add_binary m "a" and b = Model.add_binary m "b" in
+    let c = Model.add_binary m "c" and d = Model.add_binary m "d" in
+    Model.add_constr m (Lin.of_list [ (4., a); (6., b); (3., c); (5., d) ]) Model.Le 10.;
+    Model.set_objective m Model.Maximize (Lin.of_list [ (10., a); (13., b); (7., c); (11., d) ]);
+    m
+  in
+  let opts cutoff = { Branch_bound.default_options with Branch_bound.cutoff } in
+  let at = Branch_bound.solve ~options:(opts 23.) (build ()) in
+  Alcotest.(check bool) "nothing beats the optimum" true (at.Branch_bound.solution = None);
+  Alcotest.check mip_status "unknown, not infeasible" Status.Mip_unknown at.Branch_bound.status;
+  let below = Branch_bound.solve ~options:(opts 20.) (build ()) in
+  (* With a loose cutoff (20 for a maximization = "find something better
+     than 20") the solver must still find 23. *)
+  (match below.Branch_bound.solution with
+  | Some _ -> check_feq "finds the optimum past the cutoff" 23. below.Branch_bound.objective
+  | None -> Alcotest.fail "expected a solution better than 20")
+
+let test_bb_cutoff_minimize () =
+  let m = Model.create () in
+  let x = Model.add_var m ~kind:Model.Integer ~lb:3. ~ub:9. "x" in
+  Model.set_objective m Model.Minimize (Lin.var x);
+  let options = { Branch_bound.default_options with Branch_bound.cutoff = 3. } in
+  let r = Branch_bound.solve ~options m in
+  Alcotest.(check bool) "min with cutoff at optimum" true (r.Branch_bound.solution = None)
+
+let test_model_add_range () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10. "x" in
+  Model.add_range m 2. (Lin.term 1. x) 5.;
+  Alcotest.(check int) "two rows" 2 (Model.nconstrs m);
+  Model.set_objective m Model.Maximize (Lin.var x);
+  check_feq "upper" 5. (Simplex.solve_model m).Simplex.objective;
+  Model.set_objective m Model.Minimize (Lin.var x);
+  check_feq "lower" 2. (Simplex.solve_model m).Simplex.objective
+
+let prop_lin_add_commutative =
+  QCheck2.Test.make ~name:"lin: addition commutative and associative" ~count:200
+    QCheck2.Gen.(
+      let term = tup2 (float_range (-5.) 5.) (int_range 0 6) in
+      tup3 (list_size (int_range 0 6) term) (list_size (int_range 0 6) term)
+        (list_size (int_range 0 6) term))
+    (fun (a, b, c) ->
+      let la = Lin.of_list a and lb = Lin.of_list b and lc = Lin.of_list c in
+      (* Float addition is commutative exactly, associative only up to
+         rounding — compare coefficients with a tolerance for the
+         latter. *)
+      let approx_equal x y =
+        List.for_all
+          (fun v -> Float.abs (Lin.coeff x v -. Lin.coeff y v) < 1e-9)
+          (List.map fst (Lin.terms x) @ List.map fst (Lin.terms y))
+      in
+      Lin.equal (Lin.add la lb) (Lin.add lb la)
+      && approx_equal (Lin.add la (Lin.add lb lc)) (Lin.add (Lin.add la lb) lc))
+
+let prop_lin_eval_linear =
+  QCheck2.Test.make ~name:"lin: eval is linear" ~count:200
+    QCheck2.Gen.(
+      let term = tup2 (float_range (-5.) 5.) (int_range 0 4) in
+      tup3 (list_size (int_range 0 6) term) (list_size (int_range 0 6) term)
+        (float_range (-3.) 3.))
+    (fun (a, b, k) ->
+      let la = Lin.of_list a and lb = Lin.of_list b in
+      let v i = float_of_int (i + 1) *. 0.5 in
+      let lhs = Lin.eval v (Lin.add (Lin.scale k la) lb) in
+      let rhs = (k *. Lin.eval v la) +. Lin.eval v lb in
+      Float.abs (lhs -. rhs) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* LP format                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_format_sections () =
+  let m = Model.create () in
+  let x = Model.add_var m ~kind:Model.Integer ~ub:9. "count" in
+  let b = Model.add_binary m "pick me" in
+  Model.add_constr m ~name:"cap" (Lin.of_list [ (1., x); (3., b) ]) Model.Le 7.;
+  Model.set_objective m Model.Minimize (Lin.of_list [ (1., x); (2., b) ]);
+  let s = Lp_format.to_string m in
+  let has sub =
+    Alcotest.(check bool)
+      (Printf.sprintf "contains %S" sub)
+      true
+      (Astring.String.is_infix ~affix:sub s)
+  in
+  has "Minimize";
+  has "Subject To";
+  has "Bounds";
+  has "Generals";
+  has "Binaries";
+  has "End";
+  Alcotest.(check bool) "no raw space in names" false (Astring.String.is_infix ~affix:"pick me" s)
+
+let test_lp_format_free_and_inf () =
+  let m = Model.create () in
+  let _ = Model.add_var m ~lb:neg_infinity ~ub:infinity "f" in
+  let s = Lp_format.to_string m in
+  Alcotest.(check bool) "free variable emitted" true (Astring.String.is_infix ~affix:"free" s)
+
+
+let test_lp_reader_simple () =
+  let text =
+    {|Minimize
+ obj: 3 x + 4 y
+Subject To
+ c1: x + 2 y >= 7
+ c2: 2 x + y >= 8
+Bounds
+ 0 <= x <= +inf
+ 0 <= y <= +inf
+Generals
+ x
+ y
+End
+|}
+  in
+  match Lp_reader.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      Alcotest.(check int) "vars" 2 (Model.nvars m);
+      Alcotest.(check int) "rows" 2 (Model.nconstrs m);
+      Alcotest.(check bool) "integer" true (Model.is_integer m 0);
+      let r = Branch_bound.solve m in
+      check_feq "solves to 17" 17. r.Branch_bound.objective
+
+let test_lp_reader_features () =
+  let text =
+    {|\ a comment line
+Maximize
+ obj: x - 2 y + 3
+Subject To
+ r: x + y <= 4
+ eqrow: x - y = 1
+Bounds
+ -3 <= y <= 5
+ x free
+Binaries
+Generals
+End
+|}
+  in
+  match Lp_reader.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      Alcotest.(check bool) "free lb" true (Model.var_lb m 0 = neg_infinity);
+      check_feq "y lb" (-3.) (Model.var_lb m 1);
+      check_feq "y ub" 5. (Model.var_ub m 1);
+      let dir, obj = Model.objective m in
+      Alcotest.(check bool) "maximize" true (dir = Model.Maximize);
+      check_feq "objective constant" 3. (Lin.constant obj);
+      let r = Simplex.solve_model m in
+      (* max x - 2y + 3 s.t. x + y <= 4, x - y = 1, y in [-3, 5]:
+         best at y = -3, x = -2 -> -2 + 6 + 3 = 7. *)
+      check_feq "lp optimum" 7. r.Simplex.objective
+
+let test_lp_reader_errors () =
+  let bad txt frag =
+    match Lp_reader.parse txt with
+    | Ok _ -> Alcotest.fail ("expected failure for " ^ frag)
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" e frag)
+          true
+          (Astring.String.is_infix ~affix:frag e)
+  in
+  bad "Minimize obj: x Subject To r: x + y End" "expected a relation";
+  bad "Minimize obj: x @" "unexpected character";
+  bad "Minimize obj: x\nSubject To\n r: x <= y\nEnd" "right-hand side must be constant"
+
+let prop_lp_roundtrip =
+  QCheck2.Test.make ~name:"lp: write/read round-trips model semantics" ~count:60 random_bip
+    (fun (nvars, obj, rows) ->
+      let m = Model.create () in
+      let vars = List.init nvars (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+      List.iter
+        (fun (cs, sense, rhs) ->
+          Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) sense rhs)
+        rows;
+      Model.set_objective m Model.Minimize
+        (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+      match Lp_reader.parse (Lp_format.to_string m) with
+      | Error _ -> false
+      | Ok m2 ->
+          let r1 = Branch_bound.solve m in
+          let r2 = Branch_bound.solve m2 in
+          (match (r1.Branch_bound.status, r2.Branch_bound.status) with
+          | Status.Mip_optimal, Status.Mip_optimal ->
+              feq ~eps:1e-5 r1.Branch_bound.objective r2.Branch_bound.objective
+          | a, b -> a = b))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue / Vec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pqueue_sorted =
+  QCheck2.Test.make ~name:"pqueue: pops in non-decreasing key order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) (float_range (-100.) 100.))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iteri (fun i k -> Pqueue.push q k i) keys;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (k, _) -> if k < last -. 1e-12 then false else drain k
+      in
+      Pqueue.length q = List.length keys && drain neg_infinity)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop empty" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek_key q = None)
+
+let prop_vec_roundtrip =
+  QCheck2.Test.make ~name:"vec: add_last/to_array round-trips" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.add_last v) xs;
+      Array.to_list (Vec.to_array v) = xs && Vec.length v = List.length xs)
+
+let test_vec_bounds () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Vec.set v 1 9;
+  Alcotest.(check int) "set/get" 9 (Vec.get v 1);
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Vec.get: index 3 out of range [0, 3)") (fun () -> ignore (Vec.get v 3))
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "milp"
+    [
+      ( "lin",
+        [
+          Alcotest.test_case "merge and drop zeros" `Quick test_lin_basic;
+          Alcotest.test_case "add/scale" `Quick test_lin_add_scale;
+          Alcotest.test_case "eval" `Quick test_lin_eval;
+          Alcotest.test_case "sub/neg" `Quick test_lin_sub_neg;
+          Alcotest.test_case "infix" `Quick test_lin_infix;
+          Alcotest.test_case "term order" `Quick test_lin_iter_order;
+          qt prop_lin_add_commutative;
+          qt prop_lin_eval_linear;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "variables" `Quick test_model_vars;
+          Alcotest.test_case "bad bounds" `Quick test_model_bad_bounds;
+          Alcotest.test_case "constant folding" `Quick test_model_constr_folds_constant;
+          Alcotest.test_case "check_feasible" `Quick test_model_check_feasible;
+          Alcotest.test_case "add_range" `Quick test_model_add_range;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook max" `Quick test_simplex_textbook;
+          Alcotest.test_case "equality + >=" `Quick test_simplex_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative bounds" `Quick test_simplex_negative_lb;
+          Alcotest.test_case "free variable" `Quick test_simplex_free_variable;
+          Alcotest.test_case "free unbounded below" `Quick test_simplex_free_unbounded_below;
+          Alcotest.test_case "degenerate vertex" `Quick test_simplex_degenerate;
+          Alcotest.test_case "fixed variables" `Quick test_simplex_fixed_vars;
+          Alcotest.test_case "negative equality rhs" `Quick test_simplex_equality_negative_rhs;
+          qt prop_simplex_sound;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "singleton row to bound" `Quick test_presolve_singleton_bound;
+          Alcotest.test_case "integer rounding" `Quick test_presolve_integer_rounding;
+          Alcotest.test_case "detects infeasibility" `Quick test_presolve_detects_infeasible;
+          Alcotest.test_case "chain propagation" `Quick test_presolve_chain_propagation;
+          qt test_presolve_no_false_positives;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
+          Alcotest.test_case "integer minimization" `Quick test_bb_integer_min;
+          Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
+          Alcotest.test_case "LP-feasible MIP-infeasible" `Quick test_bb_lp_feasible_mip_infeasible;
+          Alcotest.test_case "exactly-one rows" `Quick test_bb_equality_partition;
+          Alcotest.test_case "pure bounds" `Quick test_bb_respects_bound;
+          Alcotest.test_case "cutoff prunes" `Quick test_bb_cutoff_prunes;
+          Alcotest.test_case "cutoff minimize" `Quick test_bb_cutoff_minimize;
+          qt prop_bb_matches_brute_force;
+          qt prop_bb_solution_is_feasible;
+        ] );
+      ( "lp_format",
+        [
+          Alcotest.test_case "sections and sanitization" `Quick test_lp_format_sections;
+          Alcotest.test_case "free variables" `Quick test_lp_format_free_and_inf;
+          Alcotest.test_case "reader: simple" `Quick test_lp_reader_simple;
+          Alcotest.test_case "reader: features" `Quick test_lp_reader_features;
+          Alcotest.test_case "reader: errors" `Quick test_lp_reader_errors;
+          qt prop_lp_roundtrip;
+        ] );
+      ( "containers",
+        [
+          qt prop_pqueue_sorted;
+          Alcotest.test_case "pqueue empty" `Quick test_pqueue_empty;
+          qt prop_vec_roundtrip;
+          Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Tests for the radio substrate: erfc accuracy, BER curves, SNR
+   inversion, channel models and the link budget / ETX arithmetic. *)
+
+open Radio
+
+let qt = QCheck_alcotest.to_alcotest
+
+let check_close name ?(tol = 1e-6) expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" name expected got)
+    true
+    (Float.abs (expected -. got) <= tol)
+
+(* ------------------------------------------------------------------ *)
+(* Modulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_erfc_known_values () =
+  (* Reference values (Abramowitz & Stegun tables). *)
+  check_close "erfc(0)" ~tol:2e-7 1.0 (Modulation.erfc 0.);
+  check_close "erfc(0.5)" ~tol:2e-7 0.4795001 (Modulation.erfc 0.5);
+  check_close "erfc(1)" ~tol:2e-7 0.1572992 (Modulation.erfc 1.);
+  check_close "erfc(2)" ~tol:2e-7 0.0046777 (Modulation.erfc 2.);
+  check_close "erfc(-1)" ~tol:2e-7 1.8427008 (Modulation.erfc (-1.))
+
+let test_q_function () =
+  check_close "Q(0)" ~tol:1e-6 0.5 (Modulation.q_function 0.);
+  check_close "Q(1.2816)" ~tol:1e-4 0.1 (Modulation.q_function 1.2816)
+
+let test_ber_reference_points () =
+  (* BPSK at Eb/N0 = 4 dB: ber = Q(sqrt(2*10^0.4)) ~ 1.25e-2. *)
+  let b = Modulation.ber Modulation.Bpsk ~snr_db:4. in
+  check_close "bpsk @4dB" ~tol:2e-3 0.0125 b;
+  (* Noncoherent FSK: 0.5 exp(-g/2) at 10 dB -> 0.5 e^{-5} ~ 3.37e-3 *)
+  let f = Modulation.ber Modulation.Fsk_noncoherent ~snr_db:10. in
+  check_close "fsk @10dB" ~tol:1e-4 (0.5 *. Float.exp (-5.)) f
+
+let test_ber_monotone_decreasing () =
+  List.iter
+    (fun m ->
+      let prev = ref 1.0 in
+      for snr = -10 to 15 do
+        let b = Modulation.ber m ~snr_db:(float_of_int snr) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s monotone at %d dB" (Modulation.name m) snr)
+          true (b <= !prev +. 1e-15);
+        prev := b
+      done)
+    [ Modulation.Bpsk; Modulation.Qpsk; Modulation.Fsk_noncoherent; Modulation.Oqpsk_dsss ]
+
+let test_ber_clamped () =
+  Alcotest.(check bool) "low snr clamps at 0.5" true
+    (Modulation.ber Modulation.Fsk_noncoherent ~snr_db:(-40.) <= 0.5);
+  Alcotest.(check bool) "high snr floors at 1e-16" true
+    (Modulation.ber Modulation.Bpsk ~snr_db:40. >= 1e-16)
+
+let test_dsss_gain () =
+  (* The DSSS processing gain makes OQPSK-DSSS better than plain QPSK
+     at equal SNR. *)
+  let q = Modulation.ber Modulation.Qpsk ~snr_db:0. in
+  let o = Modulation.ber Modulation.Oqpsk_dsss ~snr_db:0. in
+  Alcotest.(check bool) "dsss beats qpsk" true (o < q)
+
+let test_snr_for_ber_inverse () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun target ->
+          let snr = Modulation.snr_for_ber m target in
+          let back = Modulation.ber m ~snr_db:snr in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s inverse at %g" (Modulation.name m) target)
+            true
+            (Float.abs (Float.log10 back -. Float.log10 target) < 0.05))
+        [ 1e-3; 1e-5 ])
+    [ Modulation.Bpsk; Modulation.Fsk_noncoherent ]
+
+let test_snr_for_ber_rejects_bad () =
+  Alcotest.check_raises "ber 0.7" (Invalid_argument "snr_for_ber: target must be in (0, 0.5)")
+    (fun () -> ignore (Modulation.snr_for_ber Modulation.Bpsk 0.7))
+
+let test_packet_success_rate () =
+  let psr = Modulation.packet_success_rate Modulation.Bpsk ~snr_db:8. ~packet_bits:400 in
+  let ber = Modulation.ber Modulation.Bpsk ~snr_db:8. in
+  check_close "psr definition" ~tol:1e-9 (Float.pow (1. -. ber) 400.) psr;
+  Alcotest.(check bool) "psr in [0,1]" true (psr >= 0. && psr <= 1.)
+
+let test_modulation_names () =
+  Alcotest.(check bool) "roundtrip" true
+    (Modulation.of_name (Modulation.name Modulation.Oqpsk_dsss) = Some Modulation.Oqpsk_dsss);
+  Alcotest.(check bool) "unknown" true (Modulation.of_name "chirp" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Channel                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let p = Geometry.Point.make
+
+let test_log_distance_reference () =
+  (* pl0 = 40 at 1 m, n = 3: at 10 m -> 70 dB. *)
+  check_close "at 1m" ~tol:1e-9 40. (Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p 1. 0.));
+  check_close "at 10m" ~tol:1e-9 70. (Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p 10. 0.))
+
+let test_free_space_reference () =
+  (* Friis at 2400 MHz, 1 km: 32.44 + 20 log 2400 = 100.05 dB. *)
+  let pl = Channel.path_loss (Channel.Free_space { freq_mhz = 2400. }) (p 0. 0.) (p 1000. 0.) in
+  check_close "friis 1km" ~tol:0.1 100.05 pl
+
+let test_multiwall_adds_walls () =
+  let wall =
+    { Geometry.Floorplan.seg = Geometry.Segment.of_coords 5. (-5.) 5. 5.;
+      material = Geometry.Floorplan.Concrete }
+  in
+  let plan = Geometry.Floorplan.create ~width:20. ~height:10. [ wall ] in
+  let model = Channel.multi_wall_2_4ghz plan in
+  let pl_wall = Channel.path_loss model (p 0. 0.) (p 10. 0.) in
+  check_close "log distance + 12 dB" ~tol:1e-9 82. pl_wall
+
+let test_min_distance_clamp () =
+  let a = Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p 0. 0.) in
+  let b = Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p 0.05 0.) in
+  check_close "clamped equal" ~tol:1e-9 a b;
+  Alcotest.(check bool) "finite" true (Float.is_finite a)
+
+let test_path_loss_matrix () =
+  let locs = [| p 0. 0.; p 10. 0.; p 20. 0. |] in
+  let m = Channel.path_loss_matrix Channel.log_distance_2_4ghz locs in
+  Alcotest.(check bool) "diagonal inf" true (m.(1).(1) = infinity);
+  check_close "symmetric here" ~tol:1e-9 m.(0).(1) m.(1).(0);
+  Alcotest.(check bool) "monotone in distance" true (m.(0).(2) > m.(0).(1))
+
+let test_itu_indoor () =
+  (* 20 log10(2400) + 30 log10(10) - 28 = 67.6 + 30 - 28 = 69.6 dB. *)
+  let pl = Channel.path_loss Channel.itu_indoor_2_4ghz (p 0. 0.) (p 10. 0.) in
+  check_close "itu at 10m" ~tol:0.1 69.6 pl;
+  let with_floor =
+    Channel.path_loss
+      (Channel.Itu_indoor { freq_mhz = 2400.; power_coeff = 30.; floors = 2 })
+      (p 0. 0.) (p 10. 0.)
+  in
+  check_close "2 floors add 19 dB" ~tol:0.1 (69.6 +. 19.) with_floor
+
+let test_shadowing_deterministic () =
+  let m = Channel.with_shadowing ~sigma_db:6. ~seed:3 Channel.log_distance_2_4ghz in
+  let a = Channel.path_loss m (p 0. 0.) (p 10. 0.) in
+  let b = Channel.path_loss m (p 0. 0.) (p 10. 0.) in
+  check_close "same link same loss" a b;
+  let base = Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p 10. 0.) in
+  Alcotest.(check bool) "shadowing moves the loss" true (Float.abs (a -. base) > 1e-6);
+  (* Different links see different shadowing. *)
+  let c = Channel.path_loss m (p 0. 0.) (p 0. 10.) in
+  Alcotest.(check bool) "link-dependent" true (Float.abs (a -. c) > 1e-9)
+
+let test_shadowing_statistics () =
+  (* Mean offset over many links should be near 0, spread near sigma. *)
+  let sigma = 5. in
+  let m = Channel.with_shadowing ~sigma_db:sigma ~seed:9 Channel.log_distance_2_4ghz in
+  let offsets =
+    List.init 400 (fun i ->
+        let q = p (10. +. (0.01 *. float_of_int i)) 0. in
+        Channel.path_loss m (p 0. 0.) q -. Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) q)
+  in
+  let n = float_of_int (List.length offsets) in
+  let mean = List.fold_left ( +. ) 0. offsets /. n in
+  let var = List.fold_left (fun a o -> a +. ((o -. mean) ** 2.)) 0. offsets /. n in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f near 0" mean) true (Float.abs mean < 1.);
+  Alcotest.(check bool)
+    (Printf.sprintf "std %.2f near sigma" (sqrt var))
+    true
+    (Float.abs (sqrt var -. sigma) < 1.5)
+
+let test_shadowing_validation () =
+  Alcotest.(check bool) "no double shadowing" true
+    (try
+       ignore (Channel.with_shadowing (Channel.with_shadowing Channel.log_distance_2_4ghz));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "no negative sigma" true
+    (try
+       ignore (Channel.with_shadowing ~sigma_db:(-1.) Channel.log_distance_2_4ghz);
+       false
+     with Invalid_argument _ -> true)
+
+let test_max_range () =
+  let r =
+    Channel.max_range Channel.log_distance_2_4ghz ~tx_dbm:0. ~gains_dbi:0. ~sensitivity_dbm:(-97.)
+  in
+  (* 40 + 30 log10 d = 97 -> d = 10^(57/30) ~ 79.4 m *)
+  check_close "range" ~tol:0.5 79.4 r;
+  let tighter =
+    Channel.max_range Channel.log_distance_2_4ghz ~tx_dbm:0. ~gains_dbi:0. ~sensitivity_dbm:(-80.)
+  in
+  Alcotest.(check bool) "higher sensitivity shrinks range" true (tighter < r)
+
+let prop_path_loss_monotone =
+  QCheck2.Test.make ~name:"channel: loss grows with distance" ~count:200
+    QCheck2.Gen.(tup2 (float_range 0.5 100.) (float_range 0.5 100.))
+    (fun (d1, d2) ->
+      let lo = Float.min d1 d2 and hi = Float.max d1 d2 in
+      Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p lo 0.)
+      <= Channel.path_loss Channel.log_distance_2_4ghz (p 0. 0.) (p hi 0.) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Link budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let params =
+  { Link_budget.tx_dbm = 4.5; tx_gain_dbi = 3.; rx_gain_dbi = 0.; noise_dbm = -100. }
+
+let test_rss_snr () =
+  check_close "rss" ~tol:1e-9 (-62.5) (Link_budget.rss ~path_loss_db:70. params);
+  check_close "snr" ~tol:1e-9 37.5 (Link_budget.snr ~path_loss_db:70. params);
+  check_close "rss_to_snr" ~tol:1e-9 20. (Link_budget.rss_to_snr ~rss_dbm:(-80.) ~noise_dbm:(-100.))
+
+let test_etx_limits () =
+  let good = Link_budget.etx ~modulation:Modulation.Qpsk ~packet_bits:400 ~snr_db:20. () in
+  check_close "clean link ~1" ~tol:1e-3 1.0 good;
+  let bad = Link_budget.etx ~modulation:Modulation.Qpsk ~packet_bits:400 ~snr_db:(-10.) () in
+  check_close "hopeless link capped" ~tol:1e-9 100. bad;
+  let capped = Link_budget.etx ~max_etx:7. ~modulation:Modulation.Qpsk ~packet_bits:400 ~snr_db:(-10.) () in
+  check_close "custom cap" ~tol:1e-9 7. capped
+
+let test_etx_monotone_in_snr () =
+  let prev = ref infinity in
+  for snr = -5 to 20 do
+    let e = Link_budget.etx ~modulation:Modulation.Fsk_noncoherent ~packet_bits:400
+        ~snr_db:(float_of_int snr) () in
+    Alcotest.(check bool) "etx non-increasing" true (e <= !prev +. 1e-12);
+    Alcotest.(check bool) "etx >= 1" true (e >= 1. -. 1e-12);
+    prev := e
+  done
+
+let test_etx_grows_with_packet_size () =
+  let small = Link_budget.etx ~modulation:Modulation.Fsk_noncoherent ~packet_bits:100 ~snr_db:8. () in
+  let large = Link_budget.etx ~modulation:Modulation.Fsk_noncoherent ~packet_bits:1000 ~snr_db:8. () in
+  Alcotest.(check bool) "longer packets retransmit more" true (large > small)
+
+let () =
+  Alcotest.run "radio"
+    [
+      ( "modulation",
+        [
+          Alcotest.test_case "erfc reference values" `Quick test_erfc_known_values;
+          Alcotest.test_case "Q function" `Quick test_q_function;
+          Alcotest.test_case "BER reference points" `Quick test_ber_reference_points;
+          Alcotest.test_case "BER monotone" `Quick test_ber_monotone_decreasing;
+          Alcotest.test_case "BER clamped" `Quick test_ber_clamped;
+          Alcotest.test_case "DSSS gain" `Quick test_dsss_gain;
+          Alcotest.test_case "snr_for_ber inverse" `Quick test_snr_for_ber_inverse;
+          Alcotest.test_case "snr_for_ber validation" `Quick test_snr_for_ber_rejects_bad;
+          Alcotest.test_case "packet success rate" `Quick test_packet_success_rate;
+          Alcotest.test_case "names" `Quick test_modulation_names;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "log distance" `Quick test_log_distance_reference;
+          Alcotest.test_case "free space" `Quick test_free_space_reference;
+          Alcotest.test_case "multi-wall" `Quick test_multiwall_adds_walls;
+          Alcotest.test_case "distance clamp" `Quick test_min_distance_clamp;
+          Alcotest.test_case "path loss matrix" `Quick test_path_loss_matrix;
+          Alcotest.test_case "ITU indoor" `Quick test_itu_indoor;
+          Alcotest.test_case "shadowing deterministic" `Quick test_shadowing_deterministic;
+          Alcotest.test_case "shadowing statistics" `Quick test_shadowing_statistics;
+          Alcotest.test_case "shadowing validation" `Quick test_shadowing_validation;
+          Alcotest.test_case "max range" `Quick test_max_range;
+          qt prop_path_loss_monotone;
+        ] );
+      ( "link_budget",
+        [
+          Alcotest.test_case "rss and snr" `Quick test_rss_snr;
+          Alcotest.test_case "etx limits" `Quick test_etx_limits;
+          Alcotest.test_case "etx monotone" `Quick test_etx_monotone_in_snr;
+          Alcotest.test_case "etx vs packet size" `Quick test_etx_grows_with_packet_size;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Tests for the specification language: lexer, parser, and the
+   elaboration into typed requirements against a template. *)
+
+let _qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks s =
+  match Spec.Lexer.tokenize s with
+  | Ok l -> List.map (fun t -> t.Spec.Lexer.tok) l
+  | Error e -> Alcotest.fail e
+
+let test_lexer_basic () =
+  let open Spec.Lexer in
+  Alcotest.(check bool) "pattern tokens" true
+    (toks "p1 = has_path(s0, sink)"
+    = [ Ident "p1"; Equals; Ident "has_path"; Lparen; Ident "s0"; Comma; Ident "sink"; Rparen; Eof ])
+
+let test_lexer_numbers () =
+  let open Spec.Lexer in
+  Alcotest.(check bool) "ints, floats, negatives" true
+    (toks "min_rss(-80.5) 2e3" = [ Ident "min_rss"; Lparen; Number (-80.5); Rparen; Number 2000.; Eof ])
+
+let test_lexer_comments_strings () =
+  let open Spec.Lexer in
+  Alcotest.(check bool) "comment skipped" true (toks "# nothing here\nx" = [ Ident "x"; Eof ]);
+  Alcotest.(check bool) "string" true (toks {|set s = "a b"|}
+    = [ Ident "set"; Ident "s"; Equals; String "a b"; Eof ])
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true (Result.is_error (Spec.Lexer.tokenize "p1 @ x"));
+  Alcotest.(check bool) "unterminated string" true (Result.is_error (Spec.Lexer.tokenize "\"abc"))
+
+let test_lexer_positions () =
+  match Spec.Lexer.tokenize "a\n  b" with
+  | Ok [ _; b; _ ] ->
+      Alcotest.(check int) "line" 2 b.Spec.Lexer.pos.Spec.Ast.line;
+      Alcotest.(check int) "col" 3 b.Spec.Lexer.pos.Spec.Ast.col
+  | _ -> Alcotest.fail "expected two tokens"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse s = Spec.Parser.parse s
+
+let test_parser_pattern () =
+  match parse "p1 = has_path(s0, sink)\nmin_signal_to_noise(20)" with
+  | Ok [ Spec.Ast.Pattern p1; Spec.Ast.Pattern p2 ] ->
+      Alcotest.(check (option string)) "binder" (Some "p1") p1.Spec.Ast.binder;
+      Alcotest.(check string) "head" "has_path" p1.Spec.Ast.head;
+      Alcotest.(check int) "args" 2 (List.length p1.Spec.Ast.args);
+      Alcotest.(check (option string)) "no binder" None p2.Spec.Ast.binder
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parser_objective () =
+  match parse "objective minimize 0.5 * cost + 0.5 * energy" with
+  | Ok [ Spec.Ast.Objective { maximize; terms; _ } ] ->
+      Alcotest.(check bool) "minimize" false maximize;
+      Alcotest.(check int) "terms" 2 (List.length terms);
+      let t = List.hd terms in
+      Alcotest.(check (float 1e-9)) "weight" 0.5 t.Spec.Ast.weight;
+      Alcotest.(check string) "concern" "cost" t.Spec.Ast.concern
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parser_objective_plain () =
+  match parse "objective minimize cost" with
+  | Ok [ Spec.Ast.Objective { terms = [ t ]; _ } ] ->
+      Alcotest.(check (float 1e-9)) "implicit weight" 1. t.Spec.Ast.weight
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parser_set () =
+  match parse "set noise_dbm = -100" with
+  | Ok [ Spec.Ast.Set { key; value = Spec.Ast.Num v; _ } ] ->
+      Alcotest.(check string) "key" "noise_dbm" key;
+      Alcotest.(check (float 1e-9)) "value" (-100.) v
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let expect_parse_error text fragment =
+  match parse text with
+  | Ok _ -> Alcotest.fail ("expected error mentioning " ^ fragment)
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" e fragment)
+        true
+        (Astring.String.is_infix ~affix:fragment e)
+
+let test_parser_errors () =
+  expect_parse_error "p1 =" "expected pattern name";
+  expect_parse_error "has_path(s0" "expected";
+  expect_parse_error "objective maximize" "expected objective term";
+  expect_parse_error "objective sideways cost" "expected minimize/maximize";
+  expect_parse_error "42" "expected a specification item";
+  expect_parse_error "p1 = has_path s0" "expected '('"
+
+let test_parser_positions_in_errors () =
+  expect_parse_error "ok_pattern(1)\nbroken" "line 2"
+
+(* ------------------------------------------------------------------ *)
+(* Elaborate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let template () =
+  let p = Geometry.Point.make in
+  Archex.Template.create
+    [
+      { Archex.Template.name = "s0"; role = Components.Component.Sensor; loc = p 0. 0.; fixed = true };
+      { Archex.Template.name = "s1"; role = Components.Component.Sensor; loc = p 0. 5.; fixed = true };
+      { Archex.Template.name = "sink"; role = Components.Component.Sink; loc = p 9. 3.; fixed = true };
+      { Archex.Template.name = "r0"; role = Components.Component.Relay; loc = p 5. 3.; fixed = false };
+    ]
+
+let elaborate ?eval_points text =
+  match parse text with
+  | Error e -> Error e
+  | Ok ast -> Spec.Elaborate.elaborate ?eval_points ~template:(template ()) ast
+
+let ok text =
+  match elaborate ~eval_points:[| Geometry.Point.make 1. 1. |] text with
+  | Ok e -> e
+  | Error e -> Alcotest.fail e
+
+let test_elab_has_path () =
+  let e = ok "p = has_path(s0, sink)" in
+  (match e.Spec.Elaborate.requirements.Archex.Requirements.routes with
+  | [ r ] ->
+      Alcotest.(check int) "src" 0 r.Archex.Requirements.src;
+      Alcotest.(check int) "dst" 2 r.Archex.Requirements.dst;
+      Alcotest.(check int) "one replica" 1 r.Archex.Requirements.replicas
+  | _ -> Alcotest.fail "expected one route");
+  Alcotest.(check bool) "default objective = cost" true
+    (e.Spec.Elaborate.objective = Archex.Objective.dollar)
+
+let test_elab_group_expansion () =
+  let e = ok "p = has_path(sensors, sink)" in
+  Alcotest.(check int) "one route per sensor" 2
+    (List.length e.Spec.Elaborate.requirements.Archex.Requirements.routes)
+
+let test_elab_singular_role_fallback () =
+  (* "sink" is a node name in this template, but a template naming its
+     base station "sink0" must also accept the singular role. *)
+  let p = Geometry.Point.make in
+  let template2 =
+    Archex.Template.create
+      [
+        { Archex.Template.name = "s0"; role = Components.Component.Sensor; loc = p 0. 0.; fixed = true };
+        { Archex.Template.name = "base0"; role = Components.Component.Sink; loc = p 9. 3.; fixed = true };
+      ]
+  in
+  match Spec.Parser.parse "p = has_path(s0, sink)" with
+  | Error e -> Alcotest.fail e
+  | Ok ast -> (
+      match Spec.Elaborate.elaborate ~template:template2 ast with
+      | Ok e ->
+          Alcotest.(check int) "route to the unique sink" 1
+            (List.length e.Spec.Elaborate.requirements.Archex.Requirements.routes)
+      | Error e -> Alcotest.fail e)
+
+let test_elab_disjoint_merges () =
+  let e = ok "p1 = has_path(s0, sink)\np2 = has_path(s0, sink)\ndisjoint_links(p1, p2)" in
+  match e.Spec.Elaborate.requirements.Archex.Requirements.routes with
+  | [ r ] -> Alcotest.(check int) "merged into 2 replicas" 2 r.Archex.Requirements.replicas
+  | routes -> Alcotest.fail (Printf.sprintf "expected 1 route, got %d" (List.length routes))
+
+let test_elab_group_disjoint () =
+  let e =
+    ok "p1 = has_path(sensors, sink)\np2 = has_path(sensors, sink)\ndisjoint_links(p1, p2)"
+  in
+  let routes = e.Spec.Elaborate.requirements.Archex.Requirements.routes in
+  Alcotest.(check int) "two merged routes" 2 (List.length routes);
+  List.iter
+    (fun r -> Alcotest.(check int) "2 replicas each" 2 r.Archex.Requirements.replicas)
+    routes
+
+let test_elab_hops () =
+  let e = ok "p = has_path(s0, sink)\nmax_hops(p, 4)\nmin_hops(p, 2)" in
+  match e.Spec.Elaborate.requirements.Archex.Requirements.routes with
+  | [ r ] ->
+      Alcotest.(check int) "two bounds" 2 (List.length r.Archex.Requirements.hop_bounds);
+      Alcotest.(check bool) "le bound" true
+        (List.exists
+           (fun h -> h.Archex.Requirements.hop_sense = `Le && h.Archex.Requirements.hops = 4)
+           r.Archex.Requirements.hop_bounds)
+  | _ -> Alcotest.fail "expected one route"
+
+let test_elab_thresholds () =
+  let e =
+    ok
+      "p = has_path(s0, sink)\nmin_signal_to_noise(20)\nmin_rss(-85)\nmax_bit_error_rate(0.001)\nmin_network_lifetime(5)"
+  in
+  let r = e.Spec.Elaborate.requirements in
+  Alcotest.(check (option (float 1e-9))) "snr" (Some 20.) r.Archex.Requirements.min_snr_db;
+  Alcotest.(check (option (float 1e-9))) "rss" (Some (-85.)) r.Archex.Requirements.min_rss_dbm;
+  Alcotest.(check (option (float 1e-9))) "ber" (Some 0.001) r.Archex.Requirements.max_ber;
+  Alcotest.(check (option (float 1e-9))) "life" (Some 5.) r.Archex.Requirements.min_lifetime_years
+
+let test_elab_latency () =
+  let e = ok "p = has_path(s0, sink)\nmax_latency(p, 0.5)\nmax_latency(p, 0.25)" in
+  (match e.Spec.Elaborate.requirements.Archex.Requirements.routes with
+  | [ r ] ->
+      Alcotest.(check (option (float 1e-9))) "tightest deadline kept" (Some 0.25)
+        r.Archex.Requirements.max_latency_s
+  | _ -> Alcotest.fail "expected one route");
+  (match elaborate "p = has_path(s0, sink)\nmax_latency(p, -1)" with
+  | Error msg ->
+      Alcotest.(check bool) "negative rejected" true
+        (Astring.String.is_infix ~affix:"positive" msg)
+  | Ok _ -> Alcotest.fail "expected error")
+
+let test_elab_localization () =
+  let e = ok "min_reachable_devices(3, -80)" in
+  match e.Spec.Elaborate.requirements.Archex.Requirements.localization with
+  | Some l ->
+      Alcotest.(check int) "anchors" 3 l.Archex.Requirements.min_anchors;
+      Alcotest.(check (float 1e-9)) "rss" (-80.) l.Archex.Requirements.loc_min_rss_dbm;
+      Alcotest.(check int) "points" 1 (Array.length l.Archex.Requirements.eval_points)
+  | None -> Alcotest.fail "expected localization requirement"
+
+let test_elab_objective_and_settings () =
+  let e = ok "p = has_path(s0, sink)\nobjective minimize 2 * cost + 1 * energy\nset kstar = 5" in
+  Alcotest.(check int) "two concerns" 2 (List.length e.Spec.Elaborate.objective);
+  Alcotest.(check bool) "setting recorded" true
+    (List.mem_assoc "kstar" e.Spec.Elaborate.settings)
+
+let expect_elab_error ?eval_points text fragment =
+  match elaborate ?eval_points text with
+  | Ok _ -> Alcotest.fail ("expected elaboration error mentioning " ^ fragment)
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" e fragment)
+        true
+        (Astring.String.is_infix ~affix:fragment e)
+
+let test_elab_errors () =
+  expect_elab_error "p = has_path(nowhere, sink)" "unknown node";
+  expect_elab_error "p = has_path(s0)" "expects 2 argument";
+  expect_elab_error "disjoint_links(a, b)" "unknown path name";
+  expect_elab_error "p = has_path(s0, sink)\nq = has_path(s1, sink)\ndisjoint_links(p, q)"
+    "share no endpoint";
+  expect_elab_error "teleport(s0, sink)" "unknown pattern";
+  expect_elab_error "p = has_path(s0, sink)\nmax_hops(p, 0)" "positive integer";
+  expect_elab_error "p = has_path(s0, sink)\np = has_path(s1, sink)" "already bound";
+  expect_elab_error "min_reachable_devices(3, -80)" "evaluation points";
+  expect_elab_error "p = has_path(s0, sink)\nobjective minimize happiness" "unknown objective";
+  expect_elab_error "p = has_path(s0, sink)\nobjective maximize cost" "use minimize";
+  expect_elab_error "p = has_path(s0, s0)" "no routes";
+  expect_elab_error "p = has_path(s0, sensors)" "single node"
+
+let test_known_patterns_listed () =
+  Alcotest.(check bool) "has_path known" true (List.mem "has_path" Spec.Elaborate.known_patterns);
+  Alcotest.(check bool) "eleven patterns" true (List.length Spec.Elaborate.known_patterns = 11)
+
+(* End-to-end: the paper's data-collection spec compiles. *)
+let test_elab_paper_style_spec () =
+  let text =
+    {|# data collection requirements (paper 4.1)
+p1 = has_path(sensors, sink)
+p2 = has_path(sensors, sink)
+disjoint_links(p1, p2)
+min_signal_to_noise(20)
+min_network_lifetime(5)
+objective minimize cost
+set noise_dbm = -100|}
+  in
+  let e = ok text in
+  let r = e.Spec.Elaborate.requirements in
+  Alcotest.(check int) "routes" 2 (List.length r.Archex.Requirements.routes);
+  Alcotest.(check int) "total paths" 4 (Archex.Requirements.total_path_count r)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "comments/strings" `Quick test_lexer_comments_strings;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "patterns" `Quick test_parser_pattern;
+          Alcotest.test_case "weighted objective" `Quick test_parser_objective;
+          Alcotest.test_case "plain objective" `Quick test_parser_objective_plain;
+          Alcotest.test_case "set" `Quick test_parser_set;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "error positions" `Quick test_parser_positions_in_errors;
+        ] );
+      ( "elaborate",
+        [
+          Alcotest.test_case "has_path" `Quick test_elab_has_path;
+          Alcotest.test_case "group expansion" `Quick test_elab_group_expansion;
+          Alcotest.test_case "singular role fallback" `Quick test_elab_singular_role_fallback;
+          Alcotest.test_case "disjoint merge" `Quick test_elab_disjoint_merges;
+          Alcotest.test_case "group disjoint" `Quick test_elab_group_disjoint;
+          Alcotest.test_case "hop bounds" `Quick test_elab_hops;
+          Alcotest.test_case "thresholds" `Quick test_elab_thresholds;
+          Alcotest.test_case "latency" `Quick test_elab_latency;
+          Alcotest.test_case "localization" `Quick test_elab_localization;
+          Alcotest.test_case "objective and settings" `Quick test_elab_objective_and_settings;
+          Alcotest.test_case "errors" `Quick test_elab_errors;
+          Alcotest.test_case "known patterns" `Quick test_known_patterns_listed;
+          Alcotest.test_case "paper-style spec" `Quick test_elab_paper_style_spec;
+        ] );
+    ]
