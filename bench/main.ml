@@ -13,9 +13,82 @@
 
 open Archex
 
-let section_enabled name =
-  let args = Array.to_list Sys.argv in
-  match List.tl args with [] -> true | l -> List.mem name l
+(* Flags start with "--"; anything else selects a section.  The only
+   flag today is [--cold-start], the warm-start ablation: it forces
+   every branch & bound LP to a cold two-phase solve so the warm-hit
+   speedup can be measured against the same scenarios. *)
+let flags, sections =
+  List.partition
+    (fun a -> String.length a >= 2 && String.sub a 0 2 = "--")
+    (List.tl (Array.to_list Sys.argv))
+
+let cold_start = List.mem "--cold-start" flags
+
+let section_enabled name = match sections with [] -> true | l -> List.mem name l
+
+let with_ablations o = { o with Milp.Branch_bound.warm_start = not cold_start }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable per-scenario log -> BENCH_PR1.json                  *)
+(* ------------------------------------------------------------------ *)
+
+type bench_entry = {
+  be_scenario : string;
+  be_wall_s : float;
+  be_status : string;
+  be_objective : float;
+  be_nodes : int;
+  be_lp_iterations : int;
+  be_lp_warm : int;
+  be_lp_cold : int;
+  be_lp_fallback : int;
+}
+
+let bench_log : bench_entry list ref = ref []
+
+let record scenario (out : Solve.outcome) wall =
+  let mip = out.Solve.mip in
+  bench_log :=
+    {
+      be_scenario = scenario;
+      be_wall_s = wall;
+      be_status = Milp.Status.mip_status_to_string out.Solve.status;
+      be_objective = mip.Milp.Branch_bound.objective;
+      be_nodes = mip.Milp.Branch_bound.nodes;
+      be_lp_iterations = mip.Milp.Branch_bound.lp_iterations;
+      be_lp_warm = mip.Milp.Branch_bound.lp_warm;
+      be_lp_cold = mip.Milp.Branch_bound.lp_cold;
+      be_lp_fallback = mip.Milp.Branch_bound.lp_fallback;
+    }
+    :: !bench_log
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f
+  else if f > 0. then "\"inf\""
+  else if f < 0. then "\"-inf\""
+  else "\"nan\""
+
+let write_bench_json path =
+  let oc = open_out path in
+  let entries = List.rev !bench_log in
+  Printf.fprintf oc "{\n  \"mode\": %S,\n  \"scenarios\": [\n"
+    (if cold_start then "cold-start" else "warm-start");
+  List.iteri
+    (fun i e ->
+      let lps = e.be_lp_warm + e.be_lp_cold + e.be_lp_fallback in
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"wall_s\": %s, \"status\": %S, \"objective\": %s,\n\
+        \     \"nodes\": %d, \"lp_iterations\": %d, \"lp_solves\": %d,\n\
+        \     \"lp_warm\": %d, \"lp_cold\": %d, \"lp_fallback\": %d, \"warm_hit_rate\": %s}%s\n"
+        e.be_scenario (json_float e.be_wall_s) e.be_status (json_float e.be_objective)
+        e.be_nodes e.be_lp_iterations lps e.be_lp_warm e.be_lp_cold e.be_lp_fallback
+        (json_float (if lps = 0 then 0. else float_of_int e.be_lp_warm /. float_of_int lps))
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d scenarios, %s mode)@." path (List.length entries)
+    (if cold_start then "cold-start" else "warm-start")
 
 let hr () = Format.printf "@."
 
@@ -36,7 +109,8 @@ let status_str out = Milp.Status.mip_status_to_string out.Solve.status
 let dc_params = Scenarios.default_data_collection
 
 let dc_options =
-  { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.03 }
+  with_ablations
+    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.03 }
 
 let table1_kstar = 6
 
@@ -59,6 +133,7 @@ let table1 () =
       | Ok inst -> (
           match time (fun () -> Solve.run ~options:dc_options inst (Solve.approx ~kstar:table1_kstar ())) with
           | Ok out, dt -> (
+              record ("table1/" ^ name) out dt;
               match out.Solve.solution with
               | Some sol ->
                   Format.printf "%-10s | %7d | %6.0f | %12.2f | %8.1f | %s@." name
@@ -86,7 +161,8 @@ let table1 () =
 let loc_params = Scenarios.default_localization
 
 let loc_options =
-  { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 60.; rel_gap = 0.02 }
+  with_ablations
+    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 60.; rel_gap = 0.02 }
 
 let loc_kstar = 8
 
@@ -116,6 +192,7 @@ let table2 () =
             time (fun () -> Solve.run ~options:loc_options inst (Solve.approx ~loc_kstar ()))
           with
           | Ok out, dt -> (
+              record ("table2/" ^ name) out dt;
               match out.Solve.solution with
               | Some sol ->
                   Format.printf "%-8s | %7d | %6.0f | %9.2f | %8.1f | %s@." name
@@ -196,10 +273,12 @@ let table3 () =
     "approx vars/cons" "full time" "approx time";
   Format.printf "--------------+-------------------+-------------------+--------------+-------------@.";
   let full_options =
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 0.03 }
+    with_ablations
+      { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 0.03 }
   in
   let approx_options =
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.02 }
+    with_ablations
+      { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.02 }
   in
   List.iter
     (fun (total, routed, solve_full) ->
@@ -261,7 +340,8 @@ let table4 () =
   let t2 = Scenarios.scaled_data_collection ~total_nodes:28 ~end_devices:8 ~replicas:1 () in
   let schedule = Kstar.default_schedule in
   let base_options =
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 1e-4 }
+    with_ablations
+      { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 1e-4 }
   in
   let run_row name inst_result with_opt =
     match inst_result with
@@ -572,4 +652,5 @@ let () =
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
+  if !bench_log <> [] then write_bench_json "BENCH_PR1.json";
   Format.printf "done.@."

@@ -1,0 +1,43 @@
+(* CI smoke test for the warm-started dual simplex: solve one tiny
+   data-collection scenario with warm starts on and off to a tight gap
+   and fail (exit 1) if the final objectives or statuses diverge.
+   Wired to `dune build @bench-smoke`. *)
+
+open Archex
+
+let () =
+  match Scenarios.scaled_data_collection ~total_nodes:14 ~end_devices:4 () with
+  | Error e ->
+      prerr_endline ("bench-smoke: scenario error: " ^ e);
+      exit 1
+  | Ok inst -> (
+      let run warm_start =
+        let options =
+          { Milp.Branch_bound.default_options with
+            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; warm_start }
+        in
+        Solve.run ~options inst (Solve.approx ~kstar:4 ())
+      in
+      match (run true, run false) with
+      | Ok warm, Ok cold ->
+          let w = warm.Solve.mip and c = cold.Solve.mip in
+          let ow = w.Milp.Branch_bound.objective and oc = c.Milp.Branch_bound.objective in
+          let sw = Milp.Status.mip_status_to_string warm.Solve.status in
+          let sc = Milp.Status.mip_status_to_string cold.Solve.status in
+          Printf.printf
+            "bench-smoke: warm %s obj=%g (%d LP iters, %d/%d/%d warm/cold/fallback) | \
+             cold %s obj=%g (%d LP iters)\n"
+            sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
+            w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback sc oc
+            c.Milp.Branch_bound.lp_iterations;
+          if sw <> sc then begin
+            Printf.eprintf "bench-smoke: status diverged: warm=%s cold=%s\n" sw sc;
+            exit 1
+          end;
+          if Float.abs (ow -. oc) > 1e-5 *. Float.max 1. (Float.abs oc) then begin
+            Printf.eprintf "bench-smoke: objective diverged: warm=%.9g cold=%.9g\n" ow oc;
+            exit 1
+          end
+      | Error e, _ | _, Error e ->
+          prerr_endline ("bench-smoke: encode error: " ^ e);
+          exit 1)

@@ -45,8 +45,8 @@ let num_setting settings key default =
   | Some (Spec.Ast.Num f) -> f
   | Some _ | None -> default
 
-let main spec_file library_file plan_file kstar loc_kstar full time_limit gap out_svg out_lp
-    verbose =
+let main spec_file library_file plan_file kstar loc_kstar full time_limit gap cold_start out_svg
+    out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -111,6 +111,7 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap ou
           Milp.Branch_bound.default_options with
           Milp.Branch_bound.time_limit;
           rel_gap = gap;
+          warm_start = not cold_start;
           log = verbose;
         }
       in
@@ -243,6 +244,12 @@ let out_svg =
 let out_lp =
   Arg.(value & opt (some string) None & info [ "out-lp" ] ~doc:"Export the MILP in CPLEX LP format.")
 
+let cold_start =
+  Arg.(
+    value & flag
+    & info [ "cold-start" ]
+        ~doc:"Disable warm-started node LP re-solves in branch and bound (ablation).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress logging.")
 
 let cmd =
@@ -251,6 +258,6 @@ let cmd =
     (Cmd.info "archex" ~doc)
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ out_svg $ out_lp $ verbose)
+      $ gap $ cold_start $ out_svg $ out_lp $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -103,32 +103,38 @@ let generate ?(kstar = 10) inst =
     | (r : Requirements.route) :: rest -> (
         let nrep = r.Requirements.replicas in
         let k = (kstar + nrep - 1) / nrep in
-        (* BalanceDive: nrep rounds of k candidates, nrep * k >= kstar. *)
+        (* BalanceDive: nrep rounds of k candidates, nrep * k >= kstar.
+           The pool is kept in discovery order (rpool is its reverse);
+           a hashtable keyed on the path's edge list dedups in O(1)
+           instead of a structural List.mem scan per candidate. *)
         let work = Digraph.copy base in
-        let pool = ref [] in
+        let bounds = Instance.effective_hop_bounds inst r in
+        let seen = Hashtbl.create 64 in
+        let rpool = ref [] in
         for _ = 1 to nrep do
           let found =
             Yen.k_shortest work ~src:r.Requirements.src ~dst:r.Requirements.dst ~k
           in
-          let bounds = Instance.effective_hop_bounds inst r in
-          let fresh =
-            List.filter_map
-              (fun (_, p) ->
-                if satisfies_hops bounds p && not (List.mem p !pool) then Some p else None)
-              found
-          in
-          pool := !pool @ fresh;
-          match most_shared_path !pool with
+          List.iter
+            (fun (_, p) ->
+              let key = Path.edges p in
+              if satisfies_hops bounds p && not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                rpool := p :: !rpool
+              end)
+            found;
+          match most_shared_path (List.rev !rpool) with
           | Some p -> disconnect work p
           | None -> ()
         done;
-        match !pool with
+        match List.rev !rpool with
         | [] ->
             Error
               (Printf.sprintf "route %d (%d -> %d): no feasible candidate path" idx
                  r.Requirements.src r.Requirements.dst)
         | pool_paths ->
-            if disjoint_capacity pool_paths < nrep then
+            let pool_cap = disjoint_capacity pool_paths in
+            if pool_cap < nrep then
               (* Distinguish a pool-construction shortfall from a graph
                  that cannot support the replication at all (Menger). *)
               let graph_cap =
@@ -138,7 +144,7 @@ let generate ?(kstar = 10) inst =
               Error
                 (Printf.sprintf
                    "route %d (%d -> %d): pool provides %d disjoint paths, %d required%s" idx
-                   r.Requirements.src r.Requirements.dst (disjoint_capacity pool_paths) nrep
+                   r.Requirements.src r.Requirements.dst pool_cap nrep
                    (if graph_cap < nrep then
                       Printf.sprintf
                         " (the filtered graph itself supports at most %d disjoint paths)"

@@ -1,0 +1,42 @@
+type vstat = Basic | At_lower | At_upper | Free_zero
+
+type t = {
+  ncols : int;
+  nrows : int;
+  basis : int array;
+  stat : vstat array;
+  binv : float array array;
+  age : int;
+}
+
+let make ~ncols ~nrows ~basis ~stat ~binv ~age =
+  { ncols; nrows;
+    basis = Array.copy basis;
+    stat = Array.copy stat;
+    binv = Array.map Array.copy binv;
+    age }
+
+let compatible b ~ncols ~nrows =
+  b.ncols = ncols && b.nrows = nrows
+  && Array.length b.basis = nrows
+  && Array.length b.stat = ncols + (2 * nrows)
+  && Array.length b.binv = nrows
+  && Array.for_all (fun row -> Array.length row = nrows) b.binv
+
+(* Structural sanity: every row has a basic column in range, each basic
+   column is basic in exactly one row, and the statuses agree.  A basis
+   that fails this check is stale (or corrupted) and must not be warm
+   started from. *)
+let well_formed b =
+  let ntot = b.ncols + (2 * b.nrows) in
+  let seen = Array.make ntot false in
+  let ok = ref (Array.length b.basis = b.nrows && Array.length b.stat = ntot) in
+  if !ok then
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= ntot || seen.(j) || b.stat.(j) <> Basic then ok := false
+        else seen.(j) <- true)
+      b.basis;
+  if !ok then
+    Array.iteri (fun j s -> if s = Basic && not seen.(j) then ok := false) b.stat;
+  !ok

@@ -1,0 +1,37 @@
+(** Reusable simplex basis snapshots.
+
+    A snapshot captures which column is basic in each row ([basis]), the
+    bound status of every column ([stat]) — structural variables first,
+    then one slack and one artificial per row — and the dense basis
+    inverse ([binv]) at snapshot time.  The basis matrix depends only on
+    which columns are basic, never on variable bounds, so a child node
+    that differs from its parent only in bounds can reuse the parent's
+    inverse verbatim: restoring a snapshot costs one O(m²) recompute of
+    the basic values instead of an O(m³) refactorization.  [age] counts
+    elementary pivot updates applied to [binv] since its last full
+    refactorization; restores trigger a fresh factorization once it
+    crosses a drift threshold, so numerical error cannot accumulate
+    across generations of warm starts (see {!Simplex.solve}). *)
+
+type vstat = Basic | At_lower | At_upper | Free_zero
+
+type t = private {
+  ncols : int;  (** Structural columns of the problem snapshotted. *)
+  nrows : int;  (** Rows of the problem snapshotted. *)
+  basis : int array;  (** Column basic in each row; length [nrows]. *)
+  stat : vstat array;  (** Per-column status; length [ncols + 2*nrows]. *)
+  binv : float array array;  (** Dense basis inverse, [nrows] x [nrows]. *)
+  age : int;  (** Pivot updates to [binv] since its last factorization. *)
+}
+
+val make :
+  ncols:int -> nrows:int -> basis:int array -> stat:vstat array ->
+  binv:float array array -> age:int -> t
+(** Snapshot (copies the arrays). *)
+
+val compatible : t -> ncols:int -> nrows:int -> bool
+(** Does the snapshot belong to a problem of this shape? *)
+
+val well_formed : t -> bool
+(** Structural sanity check: basic columns are in range, distinct, and
+    consistent with [stat].  A failing snapshot must be discarded. *)

@@ -7,6 +7,7 @@ type options = {
   presolve : bool;
   rounding_heuristic : bool;
   cutoff : float;
+  warm_start : bool;
   log : bool;
 }
 
@@ -20,6 +21,7 @@ let default_options =
     presolve = true;
     rounding_heuristic = true;
     cutoff = nan;
+    warm_start = true;
     log = false;
   }
 
@@ -30,6 +32,9 @@ type result = {
   solution : float array option;
   nodes : int;
   lp_iterations : int;
+  lp_warm : int;
+  lp_cold : int;
+  lp_fallback : int;
   elapsed : float;
 }
 
@@ -46,8 +51,23 @@ let value r v =
   | None -> invalid_arg "Branch_bound.value: no incumbent solution"
 
 (* A node stores only its bound-change path from the root; bounds arrays
-   are materialized on demand (cheap relative to the LP solve). *)
-type node = { nbound : float; changes : (int * float * float) list }
+   are materialized on demand (cheap relative to the LP solve).  The
+   parent's optimal basis rides along so the child LP can be re-solved
+   by a few dual pivots instead of a cold two-phase solve. *)
+type node = {
+  nbound : float;
+  changes : (int * float * float) list;
+  nbasis : Basis.t option;
+}
+
+(* Warm/cold/fallback tallies across every LP the solver runs. *)
+type lp_counters = { mutable warm : int; mutable cold : int; mutable fallback : int }
+
+let tally counters (r : Simplex.result) =
+  match r.Simplex.warm with
+  | Simplex.Warm -> counters.warm <- counters.warm + 1
+  | Simplex.Cold -> counters.cold <- counters.cold + 1
+  | Simplex.Warm_fallback -> counters.fallback <- counters.fallback + 1
 
 let src = Logs.Src.create "milp.bb" ~doc:"branch and bound"
 
@@ -101,11 +121,15 @@ let propagate p integer lb ub =
   | Presolve.Proven_infeasible _ -> None
   | Presolve.Feasible { lb; ub; _ } -> Some (lb, ub)
 
-let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters max_lps ~deadline =
+let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~warm_start
+    max_lps ~deadline =
   let n = p.Simplex.ncols in
   let lb = Array.copy lb0 and ub = Array.copy ub0 in
   let x = ref root.Simplex.primal in
   let obj = ref root.Simplex.objective in
+  (* Each fix-and-resolve step tightens bounds on the previous optimum,
+     so its basis warm starts the next LP of the dive. *)
+  let basis = ref root.Simplex.basis in
   let lps = ref 0 in
   let most_fractional () =
     let best = ref (-1) and best_frac = ref int_tol in
@@ -143,11 +167,15 @@ let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters max_lps ~dea
             Array.blit plb 0 lb 0 n;
             Array.blit pub 0 ub 0 n;
             incr lps;
-            let r = Simplex.solve ~deadline p ~lb ~ub in
+            let r =
+              Simplex.solve ?basis:(if warm_start then !basis else None) ~deadline p ~lb ~ub
+            in
             lp_iters := !lp_iters + r.Simplex.iterations;
+            tally counters r;
             if r.Simplex.status = Status.Lp_optimal then begin
               x := r.Simplex.primal;
               obj := r.Simplex.objective;
+              basis := r.Simplex.basis;
               true
             end
             else begin
@@ -173,6 +201,7 @@ let solve ?(options = default_options) model =
   let integer = Array.init n (Model.is_integer model) in
   let root_lb = Array.init n (Model.var_lb model) in
   let root_ub = Array.init n (Model.var_ub model) in
+  let counters = { warm = 0; cold = 0; fallback = 0 } in
   let finish status ~objective ~bound ~solution ~nodes ~lp_iterations =
     {
       status;
@@ -181,6 +210,9 @@ let solve ?(options = default_options) model =
       solution;
       nodes;
       lp_iterations;
+      lp_warm = counters.warm;
+      lp_cold = counters.cold;
+      lp_fallback = counters.fallback;
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
@@ -211,7 +243,7 @@ let solve ?(options = default_options) model =
       let nodes = ref 0 in
       let lp_iters = ref 0 in
       let queue : node Pqueue.t = Pqueue.create () in
-      Pqueue.push queue neg_infinity { nbound = neg_infinity; changes = [] };
+      Pqueue.push queue neg_infinity { nbound = neg_infinity; changes = []; nbasis = None };
       let feas_tol = 1e-6 in
       let update_incumbent x obj =
         if obj < !incumbent_obj -. 1e-12 then begin
@@ -261,8 +293,13 @@ let solve ?(options = default_options) model =
           match if node.changes = [] then Some (lb, ub) else propagate p integer lb ub with
           | None -> () (* bound propagation proved the node infeasible *)
           | Some (lb, ub) ->
-          let r = Simplex.solve ~deadline:(t0 +. options.time_limit) p ~lb ~ub in
+          let r =
+            Simplex.solve
+              ?basis:(if options.warm_start then node.nbasis else None)
+              ~deadline:(t0 +. options.time_limit) p ~lb ~ub
+          in
           lp_iters := !lp_iters + r.Simplex.iterations;
+          tally counters r;
           match r.Simplex.status with
           | Status.Lp_infeasible | Status.Lp_iteration_limit -> ()
           | Status.Lp_unbounded -> if !incumbent = None then unbounded := true
@@ -288,7 +325,8 @@ let solve ?(options = default_options) model =
                     && (!incumbent = None || !nodes land 63 = 2)
                   then begin
                     match
-                      dive p integer options.int_tol lb ub r lp_iters 200
+                      dive p integer options.int_tol lb ub r lp_iters counters
+                        ~warm_start:options.warm_start 200
                         ~deadline:(t0 +. options.time_limit)
                     with
                     | Some (y, yobj) -> update_incumbent y yobj
@@ -297,8 +335,9 @@ let solve ?(options = default_options) model =
                   let v = x.(j) in
                   let down = (j, neg_infinity, Float.floor v) in
                   let up = (j, Float.ceil v, infinity) in
-                  Pqueue.push queue obj { nbound = obj; changes = down :: node.changes };
-                  Pqueue.push queue obj { nbound = obj; changes = up :: node.changes }
+                  let nbasis = if options.warm_start then r.Simplex.basis else None in
+                  Pqueue.push queue obj { nbound = obj; changes = down :: node.changes; nbasis };
+                  Pqueue.push queue obj { nbound = obj; changes = up :: node.changes; nbasis }
                 end
               end
         end

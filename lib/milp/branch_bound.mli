@@ -3,7 +3,14 @@
     Best-bound node selection (min-heap on the parent LP bound) with
     most-fractional branching, a root presolve, and a periodic rounding
     heuristic for early incumbents.  Works for minimization and
-    maximization models (internally everything is minimized). *)
+    maximization models (internally everything is minimized).
+
+    Node LPs are warm started: every node carries its parent's optimal
+    {!Basis.t}, so a child — which differs from its parent by a single
+    bound change — is re-solved by a few dual simplex pivots instead of
+    a cold two-phase solve.  The diving heuristic threads the basis
+    through its fix-and-resolve loop the same way.  Disable with
+    [warm_start = false] (the [--cold-start] bench ablation). *)
 
 type options = {
   time_limit : float;  (** Wall-clock seconds; [infinity] = none. *)
@@ -18,12 +25,16 @@ type options = {
           incumbent value from a related run): nodes that cannot beat it
           are pruned, and any solution reported is strictly better.
           Default [nan] = none. *)
+  warm_start : bool;
+      (** Re-solve node LPs from the parent's optimal basis via dual
+          simplex (default [true]); [false] forces cold two-phase
+          solves everywhere — the ablation baseline. *)
   log : bool;  (** Print a progress line every ~500 nodes via [Logs]. *)
 }
 
 val default_options : options
 (** 60 s, 200_000 nodes, [rel_gap = 1e-6], [abs_gap = 1e-9],
-    [int_tol = 1e-6], presolve and rounding on, log off. *)
+    [int_tol = 1e-6], presolve, rounding and warm starts on, log off. *)
 
 type result = {
   status : Status.mip_status;
@@ -34,6 +45,9 @@ type result = {
   solution : float array option;  (** Values indexed by variable id. *)
   nodes : int;  (** Branch & bound nodes processed. *)
   lp_iterations : int;  (** Total simplex iterations. *)
+  lp_warm : int;  (** LP solves served by the warm dual-simplex path. *)
+  lp_cold : int;  (** LP solves that ran cold (root, no basis). *)
+  lp_fallback : int;  (** Warm attempts that fell back to a cold solve. *)
   elapsed : float;  (** Wall-clock seconds. *)
 }
 

@@ -7,11 +7,15 @@ type problem = {
   obj_const : float;
 }
 
+type warm_kind = Cold | Warm | Warm_fallback
+
 type result = {
   status : Status.lp_status;
   objective : float;
   primal : float array;
   iterations : int;
+  basis : Basis.t option;
+  warm : warm_kind;
 }
 
 let of_model m =
@@ -30,8 +34,10 @@ let of_model m =
   let rhs = Array.map (fun (c : Model.constr) -> c.Model.c_rhs) cons in
   { ncols = n; rows; senses; rhs; obj; obj_const = sign *. Lin.constant obj_expr }
 
-(* Nonbasic variable status.  Basic variables are tracked via [basis]. *)
-type vstat = Basic | At_lower | At_upper | Free_zero
+(* Nonbasic variable status.  Basic variables are tracked via [basis].
+   Shared with {!Basis} so snapshots can be restored without
+   translation. *)
+type vstat = Basis.vstat = Basic | At_lower | At_upper | Free_zero
 
 type state = {
   p : problem;
@@ -48,6 +54,7 @@ type state = {
   mutable niter : int;
   mutable degen_count : int;
   mutable bland : bool;
+  mutable age : int;  (* pivot updates to binv since last factorization *)
 }
 
 let pivot_tol = 1e-9
@@ -155,7 +162,7 @@ let init_state p ~lb:wlb ~ub:wub =
     end
   done;
   { p; m; ntot; cols; lb; ub; stat; basis; binv; xb; cost;
-    niter = 0; degen_count = 0; bland = false }
+    niter = 0; degen_count = 0; bland = false; age = 0 }
 
 (* y = c_B^T B^{-1} *)
 let dual_prices st =
@@ -296,9 +303,30 @@ let pivot st j sigma w r t ~to_upper =
         done
       end
     end
+  done;
+  st.age <- st.age + 1
+
+(* xb = B^{-1} (b - N x_N) under the current binv and bounds. *)
+let recompute_xb st =
+  let resid = Array.copy st.p.rhs in
+  for j = 0 to st.ntot - 1 do
+    if st.stat.(j) <> Basic then begin
+      let v = nb_value st j in
+      if v <> 0. then
+        Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) st.cols.(j)
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    let acc = ref 0. in
+    let row = st.binv.(i) in
+    for k = 0 to st.m - 1 do
+      acc := !acc +. (row.(k) *. resid.(k))
+    done;
+    st.xb.(i) <- !acc
   done
 
-(* Rebuild binv and xb from scratch (numerical hygiene). *)
+(* Rebuild binv and xb from scratch (numerical hygiene).  Returns false
+   — leaving the state untouched — when the basis matrix is singular. *)
 let refactorize st =
   let m = st.m in
   (* Assemble the basis matrix and invert via Gauss-Jordan with partial
@@ -347,24 +375,10 @@ let refactorize st =
     for i = 0 to m - 1 do
       Array.blit inv.(i) 0 st.binv.(i) 0 m
     done;
-    (* xb = B^{-1} (b - N x_N) *)
-    let resid = Array.copy st.p.rhs in
-    for j = 0 to st.ntot - 1 do
-      if st.stat.(j) <> Basic then begin
-        let v = nb_value st j in
-        if v <> 0. then
-          Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) st.cols.(j)
-      end
-    done;
-    for i = 0 to m - 1 do
-      let acc = ref 0. in
-      let row = st.binv.(i) in
-      for k = 0 to m - 1 do
-        acc := !acc +. (row.(k) *. resid.(k))
-      done;
-      st.xb.(i) <- !acc
-    done
-  end
+    st.age <- 0;
+    recompute_xb st
+  end;
+  !ok
 
 let current_objective st =
   let total = ref 0. in
@@ -377,6 +391,176 @@ let current_objective st =
     if c <> 0. then total := !total +. (c *. st.xb.(i))
   done;
   !total
+
+let snapshot st =
+  Basis.make ~ncols:st.p.ncols ~nrows:st.m ~basis:st.basis ~stat:st.stat ~binv:st.binv
+    ~age:st.age
+
+(* How many elementary pivot updates a basis inverse may accumulate —
+   across generations of warm starts — before a restore pays for a fresh
+   factorization.  Comparable to the in-solve refactorization periods, so
+   warm-started chains see no worse drift than a long cold solve. *)
+let refresh_age = 192
+
+(* Rebuild a solver state from a prior optimal basis under new working
+   bounds.  The column layout matches [init_state]; artificial columns
+   are sealed at zero with a +1 sign (any nonsingular sign choice
+   represents the same sealed variable, and a basic artificial must sit
+   at zero anyway — the dual loop repairs it if the new bounds moved
+   it).  The snapshot's basis inverse is reused verbatim — the basis
+   matrix depends only on which columns are basic, not on bounds — so a
+   restore normally costs one O(m²) recompute of the basic values; only
+   a snapshot older than [refresh_age] pivot updates pays for a fresh
+   O(m³) factorization.  Returns [None] when such a refresh finds the
+   inherited basis matrix singular. *)
+let warm_state p ~lb:wlb ~ub:wub (b : Basis.t) =
+  let m = Array.length p.rows in
+  let n = p.ncols in
+  let ntot = n + (2 * m) in
+  let cols = build_cols p m in
+  let lb = Array.make ntot 0. and ub = Array.make ntot infinity in
+  Array.blit wlb 0 lb 0 n;
+  Array.blit wub 0 ub 0 n;
+  for i = 0 to m - 1 do
+    let s = n + i in
+    cols.(s) <- [| (i, 1.0) |];
+    (match p.senses.(i) with
+    | Model.Le ->
+        lb.(s) <- 0.;
+        ub.(s) <- infinity
+    | Model.Ge ->
+        lb.(s) <- neg_infinity;
+        ub.(s) <- 0.
+    | Model.Eq ->
+        lb.(s) <- 0.;
+        ub.(s) <- 0.);
+    let art = n + m + i in
+    cols.(art) <- [| (i, 1.0) |];
+    lb.(art) <- 0.;
+    ub.(art) <- 0.
+  done;
+  let stat = Array.copy b.Basis.stat in
+  (* Nonbasic statuses must reference bounds that exist under the new
+     box; reconcile the few that a bound change invalidated. *)
+  for j = 0 to ntot - 1 do
+    match stat.(j) with
+    | Basic -> ()
+    | At_lower when not (Float.is_finite lb.(j)) ->
+        stat.(j) <- (if Float.is_finite ub.(j) then At_upper else Free_zero)
+    | At_upper when not (Float.is_finite ub.(j)) ->
+        stat.(j) <- (if Float.is_finite lb.(j) then At_lower else Free_zero)
+    | Free_zero when lb.(j) > 0. || ub.(j) < 0. ->
+        stat.(j) <- (if lb.(j) > 0. then At_lower else At_upper)
+    | At_lower | At_upper | Free_zero -> ()
+  done;
+  let cost = Array.make ntot 0. in
+  Array.blit p.obj 0 cost 0 n;
+  let st =
+    { p; m; ntot; cols; lb; ub; stat;
+      basis = Array.copy b.Basis.basis;
+      binv = Array.map Array.copy b.Basis.binv;
+      xb = Array.make m 0.; cost;
+      niter = 0; degen_count = 0; bland = false; age = b.Basis.age }
+  in
+  if st.age > refresh_age then (if refactorize st then Some st else None)
+  else begin
+    recompute_xb st;
+    Some st
+  end
+
+type dual_outcome = Dual_feasible | Dual_proven_infeasible | Dual_stalled
+
+(* Bounded-variable dual simplex: starting from a (near) dual-feasible
+   basis whose basic values may violate the new bounds, drive every
+   basic variable back inside its bounds while keeping the reduced
+   costs signed.  Each round picks the most violated basic variable,
+   prices the candidate entering columns against row r of B^{-1}, and
+   pivots on the smallest dual ratio |d_j / alpha_j|.  Failure of the
+   ratio test is a primal infeasibility certificate: the violated row
+   proves no setting of the nonbasic variables can pull the basic one
+   back inside its bounds. *)
+let dual_simplex st ~max_pivots ~feas_tol ~deadline =
+  let rec loop pivots =
+    if pivots >= max_pivots then Dual_stalled
+    else if
+      Float.is_finite deadline
+      && pivots land 31 = 0
+      && Unix.gettimeofday () > deadline
+    then Dual_stalled
+    else begin
+      (* Most violated basic variable. *)
+      let r = ref (-1) and viol = ref feas_tol and high = ref false in
+      for i = 0 to st.m - 1 do
+        let k = st.basis.(i) in
+        let below = st.lb.(k) -. st.xb.(i) in
+        let above = st.xb.(i) -. st.ub.(k) in
+        if below > !viol then begin
+          r := i;
+          viol := below;
+          high := false
+        end;
+        if above > !viol then begin
+          r := i;
+          viol := above;
+          high := true
+        end
+      done;
+      if !r < 0 then Dual_feasible
+      else begin
+        let r = !r and high = !high in
+        let k = st.basis.(r) in
+        let rho = st.binv.(r) in
+        let y = dual_prices st in
+        (* s * alpha_j > 0 means raising x_j moves x_k toward the
+           violated bound, so nonbasics at lower (free to rise) need
+           s*alpha > 0 and nonbasics at upper need s*alpha < 0. *)
+        let s = if high then 1.0 else -1.0 in
+        let enter = ref (-1) and best_ratio = ref infinity and enter_alpha = ref 0. in
+        for j = 0 to st.ntot - 1 do
+          if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+            let a = ref 0. in
+            Array.iter (fun (i, c) -> a := !a +. (rho.(i) *. c)) st.cols.(j);
+            let sa = s *. !a in
+            let eligible =
+              match st.stat.(j) with
+              | At_lower -> sa > pivot_tol
+              | At_upper -> sa < -.pivot_tol
+              | Free_zero -> Float.abs sa > pivot_tol
+              | Basic -> false
+            in
+            if eligible then begin
+              let ratio = Float.max 0. (reduced_cost st y j /. sa) in
+              if
+                ratio < !best_ratio -. 1e-12
+                || (ratio < !best_ratio +. 1e-12 && Float.abs !a > Float.abs !enter_alpha)
+              then begin
+                enter := j;
+                best_ratio := ratio;
+                enter_alpha := !a
+              end
+            end
+          end
+        done;
+        if !enter < 0 then Dual_proven_infeasible
+        else begin
+          let j = !enter in
+          let w = ftran st j in
+          let alpha = w.(r) in
+          if Float.abs alpha < pivot_tol then Dual_stalled
+          else begin
+            let bound = if high then st.ub.(k) else st.lb.(k) in
+            let delta = (st.xb.(r) -. bound) /. alpha in
+            st.niter <- st.niter + 1;
+            apply_step st j 1.0 w delta;
+            pivot st j 1.0 w r delta ~to_upper:high;
+            if st.niter mod 256 = 0 then ignore (refactorize st);
+            loop (pivots + 1)
+          end
+        end
+      end
+    end
+  in
+  loop 0
 
 (* Run simplex iterations under the current [st.cost] until no entering
    column is found.  Returns [Ok ()] at phase optimality. *)
@@ -401,7 +585,7 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
             | Basic -> assert false
           in
           st.niter <- st.niter + 1;
-          if st.niter mod refactor_period = 0 then refactorize st;
+          if st.niter mod refactor_period = 0 then ignore (refactorize st);
           let w = ftran st j in
           match ratio_test st j sigma w with
           | Unbounded -> Error Status.Lp_unbounded
@@ -445,7 +629,103 @@ let true_objective st x =
   done;
   !acc
 
-let solve ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb ~ub =
+let cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
+  let m = Array.length p.rows in
+  let st = init_state p ~lb ~ub in
+  (* Phase 1: minimize total artificial value (cost set by init). *)
+  let phase1_needed = ref false in
+  for i = 0 to m - 1 do
+    if st.basis.(i) >= p.ncols + m then phase1_needed := true
+  done;
+  let phase1 =
+    if !phase1_needed then optimize st ~max_iterations ~dual_tol:1e-9 ~deadline
+    else Ok ()
+  in
+  match phase1 with
+  | Error s ->
+      { status = s; objective = infinity; primal = extract_primal st;
+        iterations = st.niter; basis = None; warm = Cold }
+  | Ok () ->
+      let infeas = current_objective st in
+      if !phase1_needed && infeas > feas_tol *. 10. then
+        { status = Status.Lp_infeasible; objective = infinity;
+          primal = extract_primal st; iterations = st.niter; basis = None; warm = Cold }
+      else begin
+        (* Seal artificials and install the phase-2 cost. *)
+        for i = 0 to m - 1 do
+          let art = p.ncols + m + i in
+          st.ub.(art) <- 0.;
+          st.lb.(art) <- 0.;
+          st.cost.(art) <- 0.
+        done;
+        Array.blit p.obj 0 st.cost 0 p.ncols;
+        st.bland <- false;
+        st.degen_count <- 0;
+        match optimize st ~max_iterations ~dual_tol:1e-7 ~deadline with
+        | Error s ->
+            let x = extract_primal st in
+            let objective = if s = Status.Lp_iteration_limit then true_objective st x else neg_infinity in
+            { status = s; objective; primal = x; iterations = st.niter; basis = None; warm = Cold }
+        | Ok () ->
+            ignore (refactorize st);
+            let x = extract_primal st in
+            { status = Status.Lp_optimal; objective = true_objective st x;
+              primal = x; iterations = st.niter; basis = Some (snapshot st); warm = Cold }
+      end
+
+let basic_within_bounds st tol =
+  let ok = ref true in
+  for i = 0 to st.m - 1 do
+    let k = st.basis.(i) in
+    if st.xb.(i) < st.lb.(k) -. tol || st.xb.(i) > st.ub.(k) +. tol then ok := false
+  done;
+  !ok
+
+(* Warm-start attempt: restore the parent basis, repair primal
+   feasibility with dual pivots, then finish with (usually zero) primal
+   iterations.  [None] means the caller must fall back to a cold solve:
+   the basis was stale or singular, or dual pivoting stalled. *)
+let try_warm ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
+  let m = Array.length p.rows in
+  if not (Basis.compatible b ~ncols:p.ncols ~nrows:m && Basis.well_formed b) then None
+  else
+    match warm_state p ~lb ~ub b with
+    | None -> None
+    | Some st -> (
+        match dual_simplex st ~max_pivots:(100 + (2 * m)) ~feas_tol ~deadline with
+        | Dual_stalled -> None
+        | Dual_proven_infeasible ->
+            Some
+              { status = Status.Lp_infeasible; objective = infinity;
+                primal = extract_primal st; iterations = st.niter;
+                basis = None; warm = Warm }
+        | Dual_feasible -> (
+            match optimize st ~max_iterations ~dual_tol:1e-7 ~deadline with
+            | Error Status.Lp_unbounded ->
+                Some
+                  { status = Status.Lp_unbounded; objective = neg_infinity;
+                    primal = extract_primal st; iterations = st.niter;
+                    basis = None; warm = Warm }
+            | Error s ->
+                let x = extract_primal st in
+                Some
+                  { status = s; objective = true_objective st x; primal = x;
+                    iterations = st.niter; basis = None; warm = Warm }
+            | Ok () ->
+                (* Final hygiene: a warm basis whose basic values drift
+                   out of primal feasibility is not trusted.  Drift is
+                   bounded by [refresh_age], so no unconditional O(m³)
+                   refactorization is needed here. *)
+                if not (basic_within_bounds st (feas_tol *. 100.)) then None
+                else begin
+                  let x = extract_primal st in
+                  Some
+                    { status = Status.Lp_optimal; objective = true_objective st x;
+                      primal = x; iterations = st.niter;
+                      basis = Some (snapshot st); warm = Warm }
+                end))
+
+let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb ~ub =
   let m = Array.length p.rows in
   (* Reject inverted working bounds up-front (branch & bound can create
      them); an empty box is infeasible. *)
@@ -455,52 +735,21 @@ let solve ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb ~ub =
   done;
   if !inverted then
     { status = Status.Lp_infeasible; objective = infinity;
-      primal = Array.make p.ncols 0.; iterations = 0 }
+      primal = Array.make p.ncols 0.; iterations = 0; basis = None; warm = Cold }
   else begin
-    let st = init_state p ~lb ~ub in
     let max_iterations =
       match max_iterations with
       | Some k -> k
       | None -> 50_000 + (50 * (m + p.ncols))
     in
-    (* Phase 1: minimize total artificial value (cost set by init). *)
-    let phase1_needed = ref false in
-    for i = 0 to m - 1 do
-      if st.basis.(i) >= p.ncols + m then phase1_needed := true
-    done;
-    let phase1 =
-      if !phase1_needed then optimize st ~max_iterations ~dual_tol:1e-9 ~deadline
-      else Ok ()
-    in
-    match phase1 with
-    | Error s -> { status = s; objective = infinity; primal = extract_primal st; iterations = st.niter }
-    | Ok () ->
-        let infeas = current_objective st in
-        if !phase1_needed && infeas > feas_tol *. 10. then
-          { status = Status.Lp_infeasible; objective = infinity;
-            primal = extract_primal st; iterations = st.niter }
-        else begin
-          (* Seal artificials and install the phase-2 cost. *)
-          for i = 0 to m - 1 do
-            let art = p.ncols + m + i in
-            st.ub.(art) <- 0.;
-            st.lb.(art) <- 0.;
-            st.cost.(art) <- 0.
-          done;
-          Array.blit p.obj 0 st.cost 0 p.ncols;
-          st.bland <- false;
-          st.degen_count <- 0;
-          match optimize st ~max_iterations ~dual_tol:1e-7 ~deadline with
-          | Error s ->
-              let x = extract_primal st in
-              let objective = if s = Status.Lp_iteration_limit then true_objective st x else neg_infinity in
-              { status = s; objective; primal = x; iterations = st.niter }
-          | Ok () ->
-              refactorize st;
-              let x = extract_primal st in
-              { status = Status.Lp_optimal; objective = true_objective st x;
-                primal = x; iterations = st.niter }
-        end
+    match basis with
+    | None -> cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub
+    | Some b -> (
+        match try_warm ~max_iterations ~feas_tol ~deadline p ~lb ~ub b with
+        | Some r -> r
+        | None ->
+            { (cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub) with
+              warm = Warm_fallback })
   end
 
 let solve_model ?max_iterations m =

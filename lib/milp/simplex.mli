@@ -12,7 +12,14 @@
     caller negating the objective (see {!Branch_bound} and {!solve_model}).
 
     The solver works on an immutable {!problem} snapshot so that branch &
-    bound can re-solve with modified bounds without rebuilding rows. *)
+    bound can re-solve with modified bounds without rebuilding rows.
+
+    Re-solves can additionally be warm started from a prior optimal
+    {!Basis.t}: the basis is refactorized under the new bounds and primal
+    feasibility is restored by a bounded-variable {e dual} simplex loop —
+    a handful of pivots when only a few bounds changed — before the
+    primal phase confirms optimality.  A stale, singular, or stalling
+    basis silently falls back to the cold two-phase path. *)
 
 type problem = {
   ncols : int;  (** Number of structural variables. *)
@@ -23,11 +30,20 @@ type problem = {
   obj_const : float;
 }
 
+type warm_kind =
+  | Cold  (** No basis given (or an empty box): two-phase solve. *)
+  | Warm  (** The given basis was restored and dual-repaired. *)
+  | Warm_fallback  (** The given basis was unusable; cold solve ran. *)
+
 type result = {
   status : Status.lp_status;
   objective : float;  (** Meaningful when [status = Lp_optimal]. *)
   primal : float array;  (** Length [ncols]; variable values. *)
   iterations : int;
+  basis : Basis.t option;
+      (** Optimal basis snapshot, reusable as [?basis] for a re-solve
+          after bound changes; [None] unless [status = Lp_optimal]. *)
+  warm : warm_kind;  (** Which path produced the result. *)
 }
 
 val of_model : Model.t -> problem
@@ -35,6 +51,7 @@ val of_model : Model.t -> problem
     are negated (callers must negate reported objectives back). *)
 
 val solve :
+  ?basis:Basis.t ->
   ?max_iterations:int ->
   ?feas_tol:float ->
   ?deadline:float ->
@@ -44,6 +61,10 @@ val solve :
   result
 (** Solve the LP relaxation with the given working bounds (arrays of
     length [ncols]; entries may be [neg_infinity]/[infinity]).
+    [basis], when given, must come from a prior solve of the {e same}
+    [problem] (any bounds); the solver then warm starts from it and
+    falls back to the cold path automatically if it cannot (the result's
+    [warm] field says which happened).
     [max_iterations] defaults to [50_000 + 50 * (rows + cols)].
     [feas_tol] (default [1e-7]) is the primal feasibility tolerance.
     [deadline] is an absolute [Unix.gettimeofday] instant after which

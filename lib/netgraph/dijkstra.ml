@@ -73,6 +73,10 @@ let search ?(banned_node = no_node) ?(banned_edge = no_edge) g ~src ~stop_at =
   let prev = Array.make n (-1) in
   let settled = Array.make n false in
   let heap = Heap.create () in
+  (* Node ids are >= 0, so -1 is a safe "no stop" sentinel; an int
+     equality per pop beats allocating-free but boxed-compare
+     [stop_at = Some u] in the hot loop. *)
+  let stop = match stop_at with Some v -> v | None -> -1 in
   dist.(src) <- 0.;
   Heap.push heap 0. src;
   let finished = ref false in
@@ -82,7 +86,7 @@ let search ?(banned_node = no_node) ?(banned_edge = no_edge) g ~src ~stop_at =
     | Some (d, u) ->
         if not settled.(u) && d <= dist.(u) then begin
           settled.(u) <- true;
-          if stop_at = Some u then finished := true
+          if u = stop then finished := true
           else
             List.iter
               (fun (v, w) ->

@@ -881,6 +881,35 @@ let test_regression_default_scenarios_feasible () =
       | Ok (v, c) -> Alcotest.(check bool) "localization encodes" true (v > 0 && c > 0)
       | Error e -> Alcotest.fail e)
 
+let test_regression_warm_start_unchanged () =
+  (* Warm-started node LPs must not change what branch & bound finds on
+     a seed scenario: same status, same objective, and the warm run must
+     actually serve LPs from the warm path. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      let solve warm_start =
+        let options =
+          { Milp.Branch_bound.default_options with
+            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; warm_start }
+        in
+        match Solve.run ~options inst (Solve.approx ~kstar:4 ()) with
+        | Ok out -> out
+        | Error e -> Alcotest.fail e
+      in
+      let warm = solve true and cold = solve false in
+      Alcotest.(check string) "status unchanged"
+        (Milp.Status.mip_status_to_string cold.Solve.status)
+        (Milp.Status.mip_status_to_string warm.Solve.status);
+      match (warm.Solve.solution, cold.Solve.solution) with
+      | Some w, Some c ->
+          Alcotest.(check (float 1e-5)) "objective unchanged" c.Solution.dollar_cost
+            w.Solution.dollar_cost;
+          Alcotest.(check bool) "warm path exercised" true
+            (warm.Solve.mip.Milp.Branch_bound.lp_warm > 0)
+      | None, None -> ()
+      | _ -> Alcotest.fail "one mode found a solution, the other did not")
+
 let test_regression_approx_much_smaller_on_defaults () =
   (* The headline size reduction on the shipped Table-1 scenario. *)
   match Scenarios.data_collection Scenarios.default_data_collection with
@@ -1018,6 +1047,8 @@ let () =
             test_regression_default_scenarios_feasible;
           Alcotest.test_case "headline size reduction" `Quick
             test_regression_approx_much_smaller_on_defaults;
+          Alcotest.test_case "warm starts preserve results" `Quick
+            test_regression_warm_start_unchanged;
           Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
         ] );
       ( "solution",

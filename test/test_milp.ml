@@ -262,6 +262,82 @@ let prop_simplex_sound =
       | Status.Lp_unbounded | Status.Lp_iteration_limit -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Warm-started dual simplex                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_restart_textbook () =
+  (* Cold solve of the textbook LP, then tighten x <= 1 and warm
+     re-solve from the optimal basis: max 3x + 5y under x <= 1, 2y <= 12,
+     3x + 2y <= 18 is 33 at (1, 6).  The warm path must be taken (the
+     result says which path ran) and must agree with a cold solve. *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_constr m (Lin.var x) Model.Le 4.;
+  Model.add_constr m (Lin.term 2. y) Model.Le 12.;
+  Model.add_constr m (Lin.of_list [ (3., x); (2., y) ]) Model.Le 18.;
+  Model.set_objective m Model.Maximize (Lin.of_list [ (3., x); (5., y) ]);
+  let p = Simplex.of_model m in
+  let n = p.Simplex.ncols in
+  let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+  let r0 = Simplex.solve p ~lb ~ub in
+  Alcotest.check lp_status "cold status" Status.Lp_optimal r0.Simplex.status;
+  let basis =
+    match r0.Simplex.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "optimal cold solve must expose its basis"
+  in
+  ub.(x) <- 1.;
+  let r1 = Simplex.solve ~basis p ~lb ~ub in
+  Alcotest.check lp_status "warm status" Status.Lp_optimal r1.Simplex.status;
+  Alcotest.(check bool) "warm path taken" true (r1.Simplex.warm = Simplex.Warm);
+  check_feq "warm objective" (-33.) r1.Simplex.objective;
+  check_feq "warm x" 1. r1.Simplex.primal.(x);
+  check_feq "warm y" 6. r1.Simplex.primal.(y)
+
+let test_warm_detects_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10. "x" in
+  Model.add_constr m (Lin.var x) Model.Ge 5.;
+  Model.set_objective m Model.Minimize (Lin.var x);
+  let p = Simplex.of_model m in
+  let lb = [| 0. |] and ub = [| 10. |] in
+  let r0 = Simplex.solve p ~lb ~ub in
+  let basis = Option.get r0.Simplex.basis in
+  (* Branching-style tightening x <= 4 contradicts x >= 5. *)
+  let r1 = Simplex.solve ~basis p ~lb ~ub:[| 4. |] in
+  Alcotest.check lp_status "warm infeasible" Status.Lp_infeasible r1.Simplex.status
+
+(* Random bounded LPs re-solved after random bound tightenings: the
+   warm-started result must match a cold solve in status and (at
+   optimality) objective. *)
+let prop_warm_matches_cold =
+  QCheck2.Test.make ~name:"simplex: warm re-solve after bound tightenings matches cold"
+    ~count:300
+    QCheck2.Gen.(
+      tup2 random_lp_spec
+        (list_size (int_range 1 5) (tup3 (int_range 0 11) bool (float_range 0. 10.))))
+    (fun (spec, tightenings) ->
+      let m, _ = build_lp spec in
+      let p = Simplex.of_model m in
+      let n = p.Simplex.ncols in
+      let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+      let r0 = Simplex.solve p ~lb ~ub in
+      match (r0.Simplex.status, r0.Simplex.basis) with
+      | Status.Lp_optimal, Some basis ->
+          List.iter
+            (fun (j, is_lb, v) ->
+              let j = j mod n in
+              if is_lb then lb.(j) <- Float.max lb.(j) (Float.floor v)
+              else ub.(j) <- Float.min ub.(j) (Float.ceil v))
+            tightenings;
+          let warm = Simplex.solve ~basis p ~lb ~ub in
+          let cold = Simplex.solve p ~lb ~ub in
+          warm.Simplex.status = cold.Simplex.status
+          && (warm.Simplex.status <> Status.Lp_optimal
+             || feq ~eps:1e-6 warm.Simplex.objective cold.Simplex.objective)
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Presolve                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -452,6 +528,32 @@ let prop_bb_solution_is_feasible =
       | None -> true
       | Some x -> Result.is_ok (Model.check_feasible ~tol:1e-5 m (fun v -> x.(v))))
 
+
+(* Regression for the warm-start rewiring: full branch & bound runs on
+   the same model with warm starts on and off must agree on status and,
+   at optimality, objective (default options prove optimality, so tree
+   order differences cannot change the answer). *)
+let prop_bb_warm_start_invariant =
+  QCheck2.Test.make ~name:"branch&bound: warm starts leave status and objective unchanged"
+    ~count:100 random_bip (fun (nvars, obj, rows) ->
+      let m = Model.create () in
+      let vars = List.init nvars (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+      List.iter
+        (fun (cs, sense, rhs) ->
+          Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) sense rhs)
+        rows;
+      Model.set_objective m Model.Minimize
+        (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+      let warm = Branch_bound.solve m in
+      let cold =
+        Branch_bound.solve
+          ~options:{ Branch_bound.default_options with Branch_bound.warm_start = false }
+          m
+      in
+      cold.Branch_bound.lp_warm = 0
+      && warm.Branch_bound.status = cold.Branch_bound.status
+      && (warm.Branch_bound.status <> Status.Mip_optimal
+         || feq ~eps:1e-5 warm.Branch_bound.objective cold.Branch_bound.objective))
 
 let test_bb_cutoff_prunes () =
   (* Knapsack optimum is 23; a cutoff at 23 must yield no solution
@@ -723,6 +825,12 @@ let () =
           Alcotest.test_case "negative equality rhs" `Quick test_simplex_equality_negative_rhs;
           qt prop_simplex_sound;
         ] );
+      ( "warm_start",
+        [
+          Alcotest.test_case "textbook re-solve" `Quick test_warm_restart_textbook;
+          Alcotest.test_case "detects infeasible child" `Quick test_warm_detects_infeasible;
+          qt prop_warm_matches_cold;
+        ] );
       ( "presolve",
         [
           Alcotest.test_case "singleton row to bound" `Quick test_presolve_singleton_bound;
@@ -743,6 +851,7 @@ let () =
           Alcotest.test_case "cutoff minimize" `Quick test_bb_cutoff_minimize;
           qt prop_bb_matches_brute_force;
           qt prop_bb_solution_is_feasible;
+          qt prop_bb_warm_start_invariant;
         ] );
       ( "lp_format",
         [
