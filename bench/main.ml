@@ -13,23 +13,43 @@
 
 open Archex
 
-(* Flags start with "--"; anything else selects a section.  The only
-   flag today is [--cold-start], the warm-start ablation: it forces
-   every branch & bound LP to a cold two-phase solve so the warm-hit
-   speedup can be measured against the same scenarios. *)
+(* Flags start with "--"; anything else selects a section.
+   [--cold-start] forces every branch & bound LP to a cold two-phase
+   solve (the warm-start ablation); [--no-cuts] disables cutting-plane
+   separation; [--no-rc-fixing] disables reduced-cost fixing.  Running
+   the same sections with and without the flags measures each feature
+   against identical scenarios. *)
 let flags, sections =
   List.partition
     (fun a -> String.length a >= 2 && String.sub a 0 2 = "--")
     (List.tl (Array.to_list Sys.argv))
 
 let cold_start = List.mem "--cold-start" flags
+let no_cuts = List.mem "--no-cuts" flags
+let no_rc_fixing = List.mem "--no-rc-fixing" flags
+
+let mode =
+  String.concat "+"
+    (List.filter
+       (fun s -> s <> "")
+       [
+         (if cold_start then "cold-start" else "warm-start");
+         (if no_cuts then "no-cuts" else "cuts");
+         (if no_rc_fixing then "no-rc-fixing" else "rc-fixing");
+       ])
 
 let section_enabled name = match sections with [] -> true | l -> List.mem name l
 
-let with_ablations o = { o with Milp.Branch_bound.warm_start = not cold_start }
+let with_ablations o =
+  {
+    o with
+    Milp.Branch_bound.warm_start = not cold_start;
+    cuts = not no_cuts;
+    rc_fixing = not no_rc_fixing;
+  }
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable per-scenario log -> BENCH_PR1.json                  *)
+(* Machine-readable per-scenario log -> BENCH_PR2.json                  *)
 (* ------------------------------------------------------------------ *)
 
 type bench_entry = {
@@ -42,6 +62,12 @@ type bench_entry = {
   be_lp_warm : int;
   be_lp_cold : int;
   be_lp_fallback : int;
+  be_cuts_separated : int;
+  be_cuts_applied : int;
+  be_cuts_evicted : int;
+  be_rc_fixed : int;
+  be_root_lp_bound : float;
+  be_root_cut_bound : float;
 }
 
 let bench_log : bench_entry list ref = ref []
@@ -59,6 +85,12 @@ let record scenario (out : Solve.outcome) wall =
       be_lp_warm = mip.Milp.Branch_bound.lp_warm;
       be_lp_cold = mip.Milp.Branch_bound.lp_cold;
       be_lp_fallback = mip.Milp.Branch_bound.lp_fallback;
+      be_cuts_separated = mip.Milp.Branch_bound.cuts_separated;
+      be_cuts_applied = mip.Milp.Branch_bound.cuts_applied;
+      be_cuts_evicted = mip.Milp.Branch_bound.cuts_evicted;
+      be_rc_fixed = mip.Milp.Branch_bound.rc_fixed;
+      be_root_lp_bound = mip.Milp.Branch_bound.root_lp_bound;
+      be_root_cut_bound = mip.Milp.Branch_bound.root_cut_bound;
     }
     :: !bench_log
 
@@ -68,27 +100,46 @@ let json_float f =
   else if f < 0. then "\"-inf\""
   else "\"nan\""
 
+(* Fraction of the root integrality gap closed by the cut loop:
+   (cut bound - LP bound) / (final objective - LP bound), in the
+   minimization sense regardless of the model's direction. *)
+let root_gap_closed e =
+  if
+    Float.is_finite e.be_root_lp_bound
+    && Float.is_finite e.be_root_cut_bound
+    && Float.is_finite e.be_objective
+  then begin
+    let denom = Float.abs (e.be_objective -. e.be_root_lp_bound) in
+    if denom < 1e-9 then 1.0
+    else Float.abs (e.be_root_cut_bound -. e.be_root_lp_bound) /. denom
+  end
+  else nan
+
 let write_bench_json path =
   let oc = open_out path in
   let entries = List.rev !bench_log in
-  Printf.fprintf oc "{\n  \"mode\": %S,\n  \"scenarios\": [\n"
-    (if cold_start then "cold-start" else "warm-start");
+  Printf.fprintf oc "{\n  \"mode\": %S,\n  \"scenarios\": [\n" mode;
   List.iteri
     (fun i e ->
       let lps = e.be_lp_warm + e.be_lp_cold + e.be_lp_fallback in
       Printf.fprintf oc
         "    {\"scenario\": %S, \"wall_s\": %s, \"status\": %S, \"objective\": %s,\n\
         \     \"nodes\": %d, \"lp_iterations\": %d, \"lp_solves\": %d,\n\
-        \     \"lp_warm\": %d, \"lp_cold\": %d, \"lp_fallback\": %d, \"warm_hit_rate\": %s}%s\n"
+        \     \"lp_warm\": %d, \"lp_cold\": %d, \"lp_fallback\": %d, \"warm_hit_rate\": %s,\n\
+        \     \"cuts_separated\": %d, \"cuts_applied\": %d, \"cuts_evicted\": %d,\n\
+        \     \"rc_fixed\": %d, \"root_lp_bound\": %s, \"root_cut_bound\": %s,\n\
+        \     \"root_gap_closed\": %s}%s\n"
         e.be_scenario (json_float e.be_wall_s) e.be_status (json_float e.be_objective)
         e.be_nodes e.be_lp_iterations lps e.be_lp_warm e.be_lp_cold e.be_lp_fallback
         (json_float (if lps = 0 then 0. else float_of_int e.be_lp_warm /. float_of_int lps))
+        e.be_cuts_separated e.be_cuts_applied e.be_cuts_evicted e.be_rc_fixed
+        (json_float e.be_root_lp_bound) (json_float e.be_root_cut_bound)
+        (json_float (root_gap_closed e))
         (if i = List.length entries - 1 then "" else ","))
     entries;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Format.printf "wrote %s (%d scenarios, %s mode)@." path (List.length entries)
-    (if cold_start then "cold-start" else "warm-start")
+  Format.printf "wrote %s (%d scenarios, %s mode)@." path (List.length entries) mode
 
 let hr () = Format.printf "@."
 
@@ -652,5 +703,5 @@ let () =
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
-  if !bench_log <> [] then write_bench_json "BENCH_PR1.json";
+  if !bench_log <> [] then write_bench_json "BENCH_PR2.json";
   Format.printf "done.@."

@@ -1,7 +1,8 @@
-(* CI smoke test for the warm-started dual simplex: solve one tiny
-   data-collection scenario with warm starts on and off to a tight gap
-   and fail (exit 1) if the final objectives or statuses diverge.
-   Wired to `dune build @bench-smoke`. *)
+(* CI smoke test for the solver's ablatable machinery: solve one tiny
+   data-collection scenario with (a) everything on, (b) warm starts off,
+   (c) cuts and reduced-cost fixing off, all to a tight gap, and fail
+   (exit 1) if any final objective or status diverges.  Wired to
+   `dune build @bench-smoke`. *)
 
 open Archex
 
@@ -11,33 +12,48 @@ let () =
       prerr_endline ("bench-smoke: scenario error: " ^ e);
       exit 1
   | Ok inst -> (
-      let run warm_start =
+      let run ~warm_start ~cuts ~rc_fixing =
         let options =
           { Milp.Branch_bound.default_options with
-            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; warm_start }
+            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; warm_start; cuts; rc_fixing }
         in
         Solve.run ~options inst (Solve.approx ~kstar:4 ())
       in
-      match (run true, run false) with
-      | Ok warm, Ok cold ->
-          let w = warm.Solve.mip and c = cold.Solve.mip in
-          let ow = w.Milp.Branch_bound.objective and oc = c.Milp.Branch_bound.objective in
+      match
+        ( run ~warm_start:true ~cuts:true ~rc_fixing:true,
+          run ~warm_start:false ~cuts:true ~rc_fixing:true,
+          run ~warm_start:true ~cuts:false ~rc_fixing:false )
+      with
+      | Ok warm, Ok cold, Ok plain ->
+          let w = warm.Solve.mip and c = cold.Solve.mip and p = plain.Solve.mip in
+          let ow = w.Milp.Branch_bound.objective
+          and oc = c.Milp.Branch_bound.objective
+          and op = p.Milp.Branch_bound.objective in
           let sw = Milp.Status.mip_status_to_string warm.Solve.status in
           let sc = Milp.Status.mip_status_to_string cold.Solve.status in
+          let sp = Milp.Status.mip_status_to_string plain.Solve.status in
           Printf.printf
-            "bench-smoke: warm %s obj=%g (%d LP iters, %d/%d/%d warm/cold/fallback) | \
-             cold %s obj=%g (%d LP iters)\n"
+            "bench-smoke: warm %s obj=%g (%d LP iters, %d/%d/%d warm/cold/fallback, %d cuts, \
+             %d rc-fixed) | cold %s obj=%g (%d LP iters) | no-cuts %s obj=%g (%d nodes vs %d)\n"
             sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
-            w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback sc oc
-            c.Milp.Branch_bound.lp_iterations;
-          if sw <> sc then begin
-            Printf.eprintf "bench-smoke: status diverged: warm=%s cold=%s\n" sw sc;
-            exit 1
-          end;
-          if Float.abs (ow -. oc) > 1e-5 *. Float.max 1. (Float.abs oc) then begin
-            Printf.eprintf "bench-smoke: objective diverged: warm=%.9g cold=%.9g\n" ow oc;
-            exit 1
-          end
-      | Error e, _ | _, Error e ->
+            w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback
+            w.Milp.Branch_bound.cuts_applied w.Milp.Branch_bound.rc_fixed sc oc
+            c.Milp.Branch_bound.lp_iterations sp op p.Milp.Branch_bound.nodes
+            w.Milp.Branch_bound.nodes;
+          let fail = ref false in
+          let check name s o =
+            if s <> sw then begin
+              Printf.eprintf "bench-smoke: status diverged: default=%s %s=%s\n" sw name s;
+              fail := true
+            end;
+            if Float.abs (o -. ow) > 1e-5 *. Float.max 1. (Float.abs ow) then begin
+              Printf.eprintf "bench-smoke: objective diverged: default=%.9g %s=%.9g\n" ow name o;
+              fail := true
+            end
+          in
+          check "cold-start" sc oc;
+          check "no-cuts" sp op;
+          if !fail then exit 1
+      | Error e, _, _ | _, Error e, _ | _, _, Error e ->
           prerr_endline ("bench-smoke: encode error: " ^ e);
           exit 1)

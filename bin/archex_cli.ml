@@ -45,8 +45,8 @@ let num_setting settings key default =
   | Some (Spec.Ast.Num f) -> f
   | Some _ | None -> default
 
-let main spec_file library_file plan_file kstar loc_kstar full time_limit gap cold_start out_svg
-    out_lp verbose =
+let main spec_file library_file plan_file kstar loc_kstar full time_limit gap cold_start no_cuts
+    no_rc_fixing out_svg out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -112,6 +112,8 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap co
           Milp.Branch_bound.time_limit;
           rel_gap = gap;
           warm_start = not cold_start;
+          cuts = not no_cuts;
+          rc_fixing = not no_rc_fixing;
           log = verbose;
         }
       in
@@ -250,6 +252,19 @@ let cold_start =
     & info [ "cold-start" ]
         ~doc:"Disable warm-started node LP re-solves in branch and bound (ablation).")
 
+let no_cuts =
+  Arg.(
+    value & flag
+    & info [ "no-cuts" ]
+        ~doc:"Disable cutting-plane separation (Gomory + cover cuts) in branch and bound \
+              (ablation).")
+
+let no_rc_fixing =
+  Arg.(
+    value & flag
+    & info [ "no-rc-fixing" ]
+        ~doc:"Disable reduced-cost fixing of integer variables in branch and bound (ablation).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress logging.")
 
 let cmd =
@@ -258,6 +273,6 @@ let cmd =
     (Cmd.info "archex" ~doc)
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ cold_start $ out_svg $ out_lp $ verbose)
+      $ gap $ cold_start $ no_cuts $ no_rc_fixing $ out_svg $ out_lp $ verbose)
 
 let () = exit (Cmd.eval' cmd)

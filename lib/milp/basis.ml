@@ -27,6 +27,70 @@ let compatible b ~ncols ~nrows =
    column is basic in exactly one row, and the statuses agree.  A basis
    that fails this check is stale (or corrupted) and must not be warm
    started from. *)
+(* Append one row to the snapshot, its slack basic.  The column layout
+   is positional (structurals, then slacks, then artificials), so the
+   artificial block shifts up by one; every stored column index is
+   remapped accordingly.  With the new slack basic, the grown basis
+   matrix is [[B 0] [v 1]] (v = the row's coefficients on the old basic
+   columns), whose inverse is [[B^-1 0] [-v B^-1 1]] — an O(m^2)
+   extension that keeps every old entry bit-for-bit, so dual
+   feasibility of the snapshot is preserved (the new slack's cost is 0
+   and its dual price is 0). *)
+let append_rows b (rows : (int * float) array array) =
+  let k = Array.length rows in
+  if k = 0 then b
+  else begin
+    let n = b.ncols and m = b.nrows in
+    let m' = m + k in
+    let remap j = if j >= n + m then j + k else j in
+    let basis = Array.make m' 0 in
+    for i = 0 to m - 1 do
+      basis.(i) <- remap b.basis.(i)
+    done;
+    for t = 0 to k - 1 do
+      basis.(m + t) <- n + m + t
+      (* the new slacks *)
+    done;
+    let stat = Array.make (n + (2 * m')) At_lower in
+    Array.blit b.stat 0 stat 0 (n + m);
+    for t = 0 to k - 1 do
+      stat.(n + m + t) <- Basic
+    done;
+    Array.blit b.stat (n + m) stat (n + m + k) m;
+    (* the sealed artificials of the new rows stay At_lower *)
+    (* V_{t,i} = row t's coefficient on the column basic in row i (only
+       structural columns can appear in a cut row; slacks and
+       artificials get 0).  Every new slack is basic in its own row
+       only, so the grown matrix is the block triangular
+       [[B 0] [V I]] with inverse [[B^-1 0] [-V B^-1 I]]. *)
+    let pos = Hashtbl.create (2 * m) in
+    Array.iteri (fun i j -> if j < n then Hashtbl.replace pos j i) b.basis;
+    let binv = Array.make m' [||] in
+    for i = 0 to m - 1 do
+      let r = Array.make m' 0. in
+      Array.blit b.binv.(i) 0 r 0 m;
+      binv.(i) <- r
+    done;
+    for t = 0 to k - 1 do
+      let last = Array.make m' 0. in
+      Array.iter
+        (fun (j, a) ->
+          match Hashtbl.find_opt pos j with
+          | Some i ->
+              if a <> 0. then
+                for c = 0 to m - 1 do
+                  last.(c) <- last.(c) -. (a *. b.binv.(i).(c))
+                done
+          | None -> ())
+        rows.(t);
+      last.(m + t) <- 1.0;
+      binv.(m + t) <- last
+    done;
+    { ncols = n; nrows = m'; basis; stat; binv; age = b.age }
+  end
+
+let append_row b row = append_rows b [| row |]
+
 let well_formed b =
   let ntot = b.ncols + (2 * b.nrows) in
   let seen = Array.make ntot false in

@@ -29,6 +29,24 @@ val make :
   binv:float array array -> age:int -> t
 (** Snapshot (copies the arrays). *)
 
+val append_rows : t -> (int * float) array array -> t
+(** [append_rows b rows] grows the snapshot by [k] appended constraint
+    rows (sparse, over structural columns only — cut rows never touch
+    slacks) whose slacks all start basic.  Old entries of the inverse
+    are kept verbatim; the grown basis matrix is the block triangular
+    [[B 0] [V I]] with inverse [[B⁻¹ 0] [-V·B⁻¹ I]], where row [t] of
+    [V] is [rows.(t)] restricted to the basic columns.  The grown
+    snapshot stays dual feasible for the grown problem: every appended
+    slack has zero cost and zero dual price, leaving every reduced cost
+    unchanged.  Branch & bound uses this to ride the warm dual simplex
+    across cutting-plane rounds: appending violated cuts leaves only
+    primal bound violations on the new slacks, repaired by a few dual
+    pivots.  The batch form allocates the grown inverse once, instead
+    of one O(m²) copy per row. *)
+
+val append_row : t -> (int * float) array -> t
+(** [append_row b row] is [append_rows b [| row |]]. *)
+
 val compatible : t -> ncols:int -> nrows:int -> bool
 (** Does the snapshot belong to a problem of this shape? *)
 

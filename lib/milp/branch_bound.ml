@@ -8,6 +8,9 @@ type options = {
   rounding_heuristic : bool;
   cutoff : float;
   warm_start : bool;
+  cuts : bool;
+  cut_rounds : int;
+  rc_fixing : bool;
   log : bool;
 }
 
@@ -22,6 +25,9 @@ let default_options =
     rounding_heuristic = true;
     cutoff = nan;
     warm_start = true;
+    cuts = true;
+    cut_rounds = 20;
+    rc_fixing = true;
     log = false;
   }
 
@@ -35,6 +41,12 @@ type result = {
   lp_warm : int;
   lp_cold : int;
   lp_fallback : int;
+  cuts_separated : int;
+  cuts_applied : int;
+  cuts_evicted : int;
+  rc_fixed : int;
+  root_lp_bound : float;
+  root_cut_bound : float;
   elapsed : float;
 }
 
@@ -202,7 +214,13 @@ let solve ?(options = default_options) model =
   let root_lb = Array.init n (Model.var_lb model) in
   let root_ub = Array.init n (Model.var_ub model) in
   let counters = { warm = 0; cold = 0; fallback = 0 } in
+  let pool = Cuts.create_pool () in
+  let rc_fixed = ref 0 in
+  (* Root LP objective before and after the cut loop (min form). *)
+  let root_lp_bound = ref nan in
+  let root_cut_bound = ref nan in
   let finish status ~objective ~bound ~solution ~nodes ~lp_iterations =
+    let separated, applied, evicted = Cuts.stats pool in
     {
       status;
       objective = sign *. objective;
@@ -213,6 +231,12 @@ let solve ?(options = default_options) model =
       lp_warm = counters.warm;
       lp_cold = counters.cold;
       lp_fallback = counters.fallback;
+      cuts_separated = separated;
+      cuts_applied = applied;
+      cuts_evicted = evicted;
+      rc_fixed = !rc_fixed;
+      root_lp_bound = sign *. !root_lp_bound;
+      root_cut_bound = sign *. !root_cut_bound;
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
@@ -233,7 +257,49 @@ let solve ?(options = default_options) model =
       finish Status.Mip_infeasible ~objective:infinity ~bound:infinity ~solution:None
         ~nodes:0 ~lp_iterations:0
   | Presolve.Feasible { lb = plb; ub = pub; active; rounds = _ } ->
-      let p = Presolve.reduced_problem p active in
+      let p0 = Presolve.reduced_problem p active in
+      (* Root-bound coefficient strengthening: globally valid (every
+         integer point is kept), so the whole tree works on the
+         strengthened rows. *)
+      let p0 =
+        if options.presolve then fst (Presolve.strengthen p0 ~integer ~lb:plb ~ub:pub)
+        else p0
+      in
+      let m0 = Array.length p0.Simplex.rows in
+      (* Working problem: the base rows plus every applied cut.  Cut
+         rows are only ever appended, never removed, so a basis
+         snapshotted when k cuts were active can be grown to the current
+         row set by appending the rows it is missing. *)
+      let pref = ref p0 in
+      let cut_index = ref [||] in
+      (* applied cut rows, append order *)
+      let deadline = t0 +. options.time_limit in
+      let append_cuts cs =
+        let rows =
+          List.map (fun (c : Cuts.cut) -> (c.Cuts.c_row, Model.Le, c.Cuts.c_rhs)) cs
+        in
+        pref := Simplex.add_rows !pref rows;
+        cut_index :=
+          Array.append !cut_index
+            (Array.of_list (List.map (fun (c : Cuts.cut) -> c.Cuts.c_row) cs))
+      in
+      let grow_for b cs =
+        Basis.append_rows b
+          (Array.of_list (List.map (fun (c : Cuts.cut) -> c.Cuts.c_row) cs))
+      in
+      (* Grow a snapshot across the cuts applied since it was taken; a
+         basis too far behind is not worth the O(m'^2) catch-up and
+         falls back to a cold solve. *)
+      let upgrade_basis (b : Basis.t) =
+        let cur = Array.length !pref.Simplex.rows in
+        if b.Basis.nrows = cur then Some b
+        else if b.Basis.nrows < m0 || cur - b.Basis.nrows > 48 then None
+        else
+          Some
+            (Basis.append_rows b
+               (Array.sub !cut_index (b.Basis.nrows - m0) (cur - b.Basis.nrows)))
+      in
+      let node_basis b = if options.warm_start then Option.bind b upgrade_basis else None in
       let incumbent = ref None in
       (* A caller-supplied cutoff acts as a virtual incumbent: it prunes
          but carries no solution vector. *)
@@ -279,6 +345,123 @@ let solve ?(options = default_options) model =
         done;
         !best
       in
+      let cut_root_done = ref false in
+      let node_cut_budget = ref 8 in
+      (* Total cap on applied cuts: every applied cut permanently grows
+         m, taxing each subsequent O(m^2) warm restore, so past a point
+         more cuts cost more than the nodes they prune. *)
+      let max_applied_cuts = 32 in
+      (* Root cut loop: separate (GMI from the tableau + covers from the
+         base rows), pool, apply the most violated, re-solve by riding
+         the warm dual simplex on the grown basis; repeat until nothing
+         separates, the bound tails off, or the round budget is spent.
+         GMI derivation uses the root bounds, so the cuts are valid for
+         every integer-feasible point and may stay for the whole tree. *)
+      let root_cut_loop r ~lb ~ub =
+        let rounds = ref 0 and tail = ref 0 and go = ref true in
+        while
+          !go && !rounds < options.cut_rounds
+          && Array.length !cut_index < max_applied_cuts
+          && Unix.gettimeofday () < deadline
+        do
+          incr rounds;
+          match (!r.Simplex.status, !r.Simplex.basis) with
+          | Status.Lp_optimal, Some basis when pick_branch_var !r.Simplex.primal >= 0 ->
+              let x = !r.Simplex.primal in
+              let gmi = Cuts.gomory !pref ~integer ~lb:plb ~ub:pub basis ~max_cuts:16 in
+              let cov =
+                Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:16
+              in
+              List.iter (fun c -> ignore (Cuts.add pool c ~x)) (gmi @ cov);
+              let room = max_applied_cuts - Array.length !cut_index in
+              let selected =
+                Cuts.select pool ~x ~max_cuts:(min 8 room) ~min_violation:1e-5
+              in
+              if selected = [] then go := false
+              else begin
+                let prev = !r.Simplex.objective in
+                append_cuts selected;
+                let basis = grow_for basis selected in
+                let r' =
+                  Simplex.solve
+                    ?basis:(if options.warm_start then Some basis else None)
+                    ~deadline !pref ~lb ~ub
+                in
+                lp_iters := !lp_iters + r'.Simplex.iterations;
+                tally counters r';
+                if r'.Simplex.status = Status.Lp_optimal then begin
+                  r := r';
+                  if r'.Simplex.objective -. prev < 1e-4 *. Float.max 1. (Float.abs prev)
+                  then begin
+                    incr tail;
+                    if !tail >= 2 then go := false
+                  end
+                  else tail := 0
+                end
+                else go := false
+              end
+          | _ -> go := false
+        done
+      in
+      (* One cover-separation round at a shallow node.  Covers come from
+         the base rows under the root bounds, so they are globally valid
+         no matter where they were separated. *)
+      let node_separation r ~lb ~ub =
+        match (!r.Simplex.status, !r.Simplex.basis) with
+        | Status.Lp_optimal, Some basis ->
+            let x = !r.Simplex.primal in
+            let cov = Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:8 in
+            List.iter (fun c -> ignore (Cuts.add pool c ~x)) cov;
+            let selected = Cuts.select pool ~x ~max_cuts:2 ~min_violation:1e-4 in
+            if selected <> [] then begin
+              node_cut_budget := !node_cut_budget - List.length selected;
+              append_cuts selected;
+              let basis = grow_for basis selected in
+              let r' =
+                Simplex.solve
+                  ?basis:(if options.warm_start then Some basis else None)
+                  ~deadline !pref ~lb ~ub
+              in
+              lp_iters := !lp_iters + r'.Simplex.iterations;
+              tally counters r';
+              if r'.Simplex.status = Status.Lp_optimal then r := r'
+            end
+        | _ -> ()
+      in
+      (* Reduced-cost fixing: once an incumbent exists, an integer
+         variable sitting at a bound whose reduced cost proves that
+         leaving the bound cannot beat the incumbent is fixed there for
+         the whole subtree (the duals are already on hand from the warm
+         solve).  Returns the bound changes to thread into both
+         children. *)
+      let rc_fixes (r : Simplex.result) lb ub =
+        if (not options.rc_fixing) || !incumbent = None then []
+        else
+          match r.Simplex.basis with
+          | None -> []
+          | Some b -> (
+              match Simplex.reduced_costs !pref b with
+              | None -> []
+              | Some d ->
+                  let z = r.Simplex.objective in
+                  let cutoff = !incumbent_obj -. options.abs_gap in
+                  let x = r.Simplex.primal in
+                  let fixes = ref [] in
+                  for j = 0 to n - 1 do
+                    if integer.(j) && lb.(j) < ub.(j) then
+                      if
+                        x.(j) <= lb.(j) +. options.int_tol
+                        && d.(j) > 0.
+                        && z +. d.(j) >= cutoff
+                      then fixes := (j, lb.(j), lb.(j)) :: !fixes
+                      else if
+                        x.(j) >= ub.(j) -. options.int_tol
+                        && d.(j) < 0.
+                        && z -. d.(j) >= cutoff
+                      then fixes := (j, ub.(j), ub.(j)) :: !fixes
+                  done;
+                  !fixes)
+      in
       let process node =
         incr nodes;
         (* Prune by bound before paying for the LP. *)
@@ -294,16 +477,34 @@ let solve ?(options = default_options) model =
           | None -> () (* bound propagation proved the node infeasible *)
           | Some (lb, ub) ->
           let r =
-            Simplex.solve
-              ?basis:(if options.warm_start then node.nbasis else None)
-              ~deadline:(t0 +. options.time_limit) p ~lb ~ub
+            ref
+              (Simplex.solve
+                 ?basis:(node_basis node.nbasis)
+                 ~deadline !pref ~lb ~ub)
           in
-          lp_iters := !lp_iters + r.Simplex.iterations;
-          tally counters r;
-          match r.Simplex.status with
+          lp_iters := !lp_iters + !r.Simplex.iterations;
+          tally counters !r;
+          if options.cuts then begin
+            if node.changes = [] && not !cut_root_done then begin
+              cut_root_done := true;
+              if !r.Simplex.status = Status.Lp_optimal then begin
+                root_lp_bound := !r.Simplex.objective;
+                root_cut_loop r ~lb ~ub;
+                root_cut_bound := !r.Simplex.objective
+              end
+            end
+            else if
+              !cut_root_done
+              && !node_cut_budget > 0
+              && List.length node.changes <= 3
+              && !nodes land 7 = 3
+            then node_separation r ~lb ~ub
+          end;
+          match !r.Simplex.status with
           | Status.Lp_infeasible | Status.Lp_iteration_limit -> ()
           | Status.Lp_unbounded -> if !incumbent = None then unbounded := true
           | Status.Lp_optimal ->
+              let r = !r in
               let obj = r.Simplex.objective in
               if obj >= !incumbent_obj -. options.abs_gap then ()
               else begin
@@ -312,9 +513,9 @@ let solve ?(options = default_options) model =
                 if j < 0 then update_incumbent x obj
                 else begin
                   if options.rounding_heuristic && !nodes land 15 = 1 then begin
-                    match try_rounding p integer lb ub x feas_tol with
+                    match try_rounding !pref integer lb ub x feas_tol with
                     | Some y ->
-                        let yobj = objective_of p y in
+                        let yobj = objective_of !pref y in
                         update_incumbent y yobj
                     | None -> ()
                   end;
@@ -325,19 +526,21 @@ let solve ?(options = default_options) model =
                     && (!incumbent = None || !nodes land 63 = 2)
                   then begin
                     match
-                      dive p integer options.int_tol lb ub r lp_iters counters
-                        ~warm_start:options.warm_start 200
-                        ~deadline:(t0 +. options.time_limit)
+                      dive !pref integer options.int_tol lb ub r lp_iters counters
+                        ~warm_start:options.warm_start 200 ~deadline
                     with
                     | Some (y, yobj) -> update_incumbent y yobj
                     | None -> ()
                   end;
+                  let fixes = rc_fixes r lb ub in
+                  rc_fixed := !rc_fixed + List.length fixes;
+                  let inherited = List.rev_append fixes node.changes in
                   let v = x.(j) in
                   let down = (j, neg_infinity, Float.floor v) in
                   let up = (j, Float.ceil v, infinity) in
                   let nbasis = if options.warm_start then r.Simplex.basis else None in
-                  Pqueue.push queue obj { nbound = obj; changes = down :: node.changes; nbasis };
-                  Pqueue.push queue obj { nbound = obj; changes = up :: node.changes; nbasis }
+                  Pqueue.push queue obj { nbound = obj; changes = down :: inherited; nbasis };
+                  Pqueue.push queue obj { nbound = obj; changes = up :: inherited; nbasis }
                 end
               end
         end

@@ -10,7 +10,19 @@
     bound change — is re-solved by a few dual simplex pivots instead of
     a cold two-phase solve.  The diving heuristic threads the basis
     through its fix-and-resolve loop the same way.  Disable with
-    [warm_start = false] (the [--cold-start] bench ablation). *)
+    [warm_start = false] (the [--cold-start] bench ablation).
+
+    Cutting planes ride the same machinery ({!Cuts}): the root LP is
+    tightened by rounds of Gomory mixed-integer and knapsack cover cuts
+    drawn from a managed pool, and shallow nodes get occasional cover
+    separation.  Applied cuts become permanent rows of the working
+    problem — row appends extend a standing basis in place
+    ({!Basis.append_row}), so every post-cut re-solve is a warm dual
+    simplex repair, not a cold solve.  Once an incumbent exists,
+    reduced-cost fixing pins integer variables whose reduced cost proves
+    they cannot leave their bound in an improving solution.  Disable
+    with [cuts = false] / [rc_fixing = false] (the [--no-cuts] /
+    [--no-rc-fixing] bench ablations). *)
 
 type options = {
   time_limit : float;  (** Wall-clock seconds; [infinity] = none. *)
@@ -29,12 +41,21 @@ type options = {
       (** Re-solve node LPs from the parent's optimal basis via dual
           simplex (default [true]); [false] forces cold two-phase
           solves everywhere — the ablation baseline. *)
+  cuts : bool;
+      (** Separate cutting planes (default [true]): a root cut loop of
+          Gomory mixed-integer + knapsack cover rounds, plus periodic
+          cover separation at shallow nodes. *)
+  cut_rounds : int;  (** Root cut-loop round budget (default 20). *)
+  rc_fixing : bool;
+      (** Reduced-cost fixing of integer variables at nodes once an
+          incumbent exists (default [true]). *)
   log : bool;  (** Print a progress line every ~500 nodes via [Logs]. *)
 }
 
 val default_options : options
 (** 60 s, 200_000 nodes, [rel_gap = 1e-6], [abs_gap = 1e-9],
-    [int_tol = 1e-6], presolve, rounding and warm starts on, log off. *)
+    [int_tol = 1e-6], presolve, rounding, warm starts, cuts (20 rounds)
+    and reduced-cost fixing on, log off. *)
 
 type result = {
   status : Status.mip_status;
@@ -48,6 +69,17 @@ type result = {
   lp_warm : int;  (** LP solves served by the warm dual-simplex path. *)
   lp_cold : int;  (** LP solves that ran cold (root, no basis). *)
   lp_fallback : int;  (** Warm attempts that fell back to a cold solve. *)
+  cuts_separated : int;  (** Cuts accepted into the pool. *)
+  cuts_applied : int;  (** Cuts promoted to problem rows. *)
+  cuts_evicted : int;  (** Pool members aged or crowded out. *)
+  rc_fixed : int;  (** Integer variables fixed by reduced cost. *)
+  root_lp_bound : float;
+      (** Root LP relaxation objective (model direction) before any
+          cuts; [nan] if the root LP did not solve to optimality. *)
+  root_cut_bound : float;
+      (** Root objective after the cut loop; with [root_lp_bound] and
+          the final incumbent this yields the root gap closed.  [nan]
+          when cuts are off or the root LP failed. *)
   elapsed : float;  (** Wall-clock seconds. *)
 }
 

@@ -1,0 +1,103 @@
+(** Cutting-plane separation with a managed cut pool.
+
+    Two families of globally valid cuts for the paper's MILPs (binary
+    edge/path routing rows 1a–1e, covering-style localization rows
+    4a–4b):
+
+    - {b Gomory mixed-integer cuts} read off fractional basic rows of
+      the final simplex tableau ({!Simplex.tableau}).  Derived under the
+      root bounds they are valid for every integer-feasible point, so
+      they may be appended to the global row set.
+    - {b Knapsack cover cuts} separated combinatorially from ≤-rows
+      whose support is all-binary (hop-count bounds, sizing and
+      anchor-covering rows): a cover [C] with [sum a_j > rhs] yields
+      [sum_{j in C} x_j <= |C| - 1], extended by every variable at
+      least as heavy as the heaviest cover member.
+
+    Every separated cut passes through a {b pool} that scores violation
+    (geometric distance, rows are L2-normalized), filters duplicates and
+    near-parallel rows, and evicts members that have not been violated
+    for a number of selection rounds.  Selected cuts leave the pool and
+    become permanent rows of the working problem; the warm dual simplex
+    re-solves after each round by appending rows to the standing basis
+    ({!Basis.append_row}), so a separation round costs a handful of dual
+    pivots instead of a cold solve. *)
+
+type origin = Gomory | Cover
+
+type cut = {
+  c_row : (int * float) array;
+      (** Sparse ≤-row over structural variables, L2-normalized. *)
+  c_rhs : float;
+  c_origin : origin;
+}
+
+val violation : cut -> float array -> float
+(** [violation c x] = [a·x - rhs]; positive means [x] violates the cut.
+    Rows are unit-norm, so this is the Euclidean distance cut off. *)
+
+val satisfied : ?tol:float -> cut -> float array -> bool
+(** [a·x <= rhs + tol] (default [tol = 1e-6]).  Used by the validity
+    property tests: no integer-feasible point may ever violate a cut. *)
+
+(** {1 Separation} *)
+
+val gomory :
+  Simplex.problem ->
+  integer:bool array ->
+  lb:float array ->
+  ub:float array ->
+  Basis.t ->
+  max_cuts:int ->
+  cut list
+(** Separate Gomory mixed-integer cuts from the optimal basis of the
+    (possibly cut-augmented) problem under the {e root} bounds.  Rows
+    whose basic variable is a non-fixed integer structural with
+    fractional value are eligible; slack contributions are substituted
+    out through their defining rows so the result is purely structural.
+    Rows with free nonbasics, tiny fractionality, or wild coefficient
+    ranges are skipped for numerical safety.  At most [max_cuts]
+    most-fractional rows are used. *)
+
+val covers :
+  Simplex.problem ->
+  nrows:int ->
+  integer:bool array ->
+  lb:float array ->
+  ub:float array ->
+  x:float array ->
+  max_cuts:int ->
+  cut list
+(** Separate knapsack cover cuts from the first [nrows] rows of the
+    problem (the base rows — never from other cuts) against the
+    fractional point [x].  Only rows whose non-fixed support is entirely
+    binary under the given (root) bounds are eligible; negative
+    coefficients are complemented, fixed variables folded into the rhs.
+    Returns the [max_cuts] most violated cuts. *)
+
+(** {1 Pool} *)
+
+type pool
+
+val create_pool : ?max_age:int -> ?max_size:int -> unit -> pool
+(** A fresh pool.  [max_age] (default 5) is the number of selection
+    rounds a member may go unviolated before eviction; [max_size]
+    (default 500) caps the pool, evicting the least violated members
+    first. *)
+
+val add : pool -> cut -> x:float array -> bool
+(** Offer a cut to the pool.  Returns [false] — and does not store it —
+    when an identical cut is already pooled, or a near-parallel one
+    (cosine > 0.999) at least as tight exists; a near-parallel strictly
+    weaker member is replaced.  Every accepted cut counts as
+    separated. *)
+
+val select : pool -> x:float array -> max_cuts:int -> min_violation:float -> cut list
+(** One selection round: return up to [max_cuts] pool members most
+    violated at [x] (violation above [min_violation]), removing them
+    from the pool (they become problem rows and count as applied).
+    Members not violated this round age by one and are evicted past
+    [max_age]; violated-but-unselected members stay young. *)
+
+val stats : pool -> int * int * int
+(** [(separated, applied, evicted)] counters over the pool's life. *)

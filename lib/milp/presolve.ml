@@ -59,15 +59,13 @@ let run ?(max_rounds = 16) ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub 
     end
   in
   (* Propagate one inequality  row <= rhs  (Ge rows are negated on the
-     fly; Eq rows are propagated in both directions). *)
-  let propagate_le row rhs neg i =
+     fly; Eq rows are propagated in both directions).  [amin] is the
+     row's minimum activity under the current bounds, already computed
+     by the caller's redundancy check — negate the max activity for a
+     negated row. *)
+  let propagate_le row rhs neg i amin =
     let s = if neg then -1.0 else 1.0 in
-    let amin = ref 0. in
-    Array.iter
-      (fun (j, a0) ->
-        let a = s *. a0 in
-        amin := !amin +. (if a > 0. then a *. lb.(j) else a *. ub.(j)))
-      row;
+    let amin = ref amin in
     if !amin > rhs +. 1e-7 then
       raise (Infeasible (Printf.sprintf "row %d cannot be satisfied" i));
     if Float.is_finite !amin then
@@ -94,19 +92,19 @@ let run ?(max_rounds = 16) ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub 
                if amin > rhs +. 1e-7 then
                  raise (Infeasible (Printf.sprintf "row %d infeasible" i));
                if amax <= rhs +. tol then active.(i) <- false
-               else propagate_le row rhs false i
+               else propagate_le row rhs false i amin
            | Model.Ge ->
                if amax < rhs -. 1e-7 then
                  raise (Infeasible (Printf.sprintf "row %d infeasible" i));
                if amin >= rhs -. tol then active.(i) <- false
-               else propagate_le row (-.rhs) true i
+               else propagate_le row (-.rhs) true i (-.amax)
            | Model.Eq ->
                if amin > rhs +. 1e-7 || amax < rhs -. 1e-7 then
                  raise (Infeasible (Printf.sprintf "row %d infeasible" i));
                if amin >= rhs -. tol && amax <= rhs +. tol then active.(i) <- false
                else begin
-                 propagate_le row rhs false i;
-                 propagate_le row (-.rhs) true i
+                 propagate_le row rhs false i amin;
+                 propagate_le row (-.rhs) true i (-.amax)
                end)
          end
        done
@@ -114,6 +112,73 @@ let run ?(max_rounds = 16) ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub 
      ignore n;
      Feasible { lb; ub; active; rounds = !rounds }
    with Infeasible why -> Proven_infeasible why)
+
+(* Coefficient strengthening on inequality rows, after Achterberg's rule
+   (and GurobiPresolver's CoefficientStrengthening):  for  a x_j + rest
+   <= b  with x_j integer on a unit box [l, l+1], let
+   d = b - max_activity + |a|.  When 0 < d < |a| the coefficient can be
+   pulled toward zero —  a' = a - d, b' = b - d*u  for a > 0 (mirrored
+   via b' = b + d*l for a < 0) — without excluding any integer point:
+   at x_j = u the new row coincides with the old one, and at x_j = l it
+   is exactly the redundancy bound max_activity - |a|.  Only the LP
+   relaxation gets tighter.  >= rows are strengthened through negation;
+   = rows are left alone. *)
+let strengthen ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub =
+  let m = Array.length p.Simplex.rows in
+  let rows = Array.copy p.Simplex.rows in
+  let rhs = Array.copy p.Simplex.rhs in
+  let changes = ref 0 in
+  let unit_box j =
+    integer.(j)
+    && Float.is_finite lb.(j)
+    && Float.is_finite ub.(j)
+    && Float.abs (ub.(j) -. lb.(j) -. 1.) < 1e-6
+  in
+  for i = 0 to m - 1 do
+    let s =
+      match p.Simplex.senses.(i) with Model.Le -> 1.0 | Model.Ge -> -1.0 | Model.Eq -> 0.0
+    in
+    if s <> 0. then begin
+      (* Max activity of the (possibly negated) <= form of the row. *)
+      let amax = ref 0. in
+      Array.iter
+        (fun (j, a0) ->
+          let a = s *. a0 in
+          amax := !amax +. (if a > 0. then a *. ub.(j) else a *. lb.(j)))
+        rows.(i);
+      if Float.is_finite !amax then begin
+        let b = ref (s *. rhs.(i)) in
+        let row = ref rows.(i) in
+        Array.iteri
+          (fun k (j, a0) ->
+            let a = s *. a0 in
+            if Float.abs a > tol && unit_box j then begin
+              let d = !b -. !amax +. Float.abs a in
+              if d > tol && d < Float.abs a -. tol then begin
+                if !row == rows.(i) then row := Array.copy rows.(i);
+                let a' = if a > 0. then a -. d else a +. d in
+                !row.(k) <- (j, s *. a');
+                if a > 0. then begin
+                  b := !b -. (d *. ub.(j));
+                  amax := !amax -. (d *. ub.(j))
+                end
+                else begin
+                  b := !b +. (d *. lb.(j));
+                  amax := !amax +. (d *. lb.(j))
+                end;
+                incr changes
+              end
+            end)
+          !row;
+        if !row != rows.(i) then begin
+          rows.(i) <- !row;
+          rhs.(i) <- s *. !b
+        end
+      end
+    end
+  done;
+  if !changes = 0 then (p, 0)
+  else ({ p with Simplex.rows; rhs }, !changes)
 
 let reduced_problem (p : Simplex.problem) active =
   let keep = ref [] in

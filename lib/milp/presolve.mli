@@ -28,6 +28,22 @@ val run :
 (** [run p ~integer ~lb ~ub] propagates to fixpoint (at most [max_rounds]
     passes, default 16).  Input arrays are not mutated. *)
 
+val strengthen :
+  ?tol:float ->
+  Simplex.problem ->
+  integer:bool array ->
+  lb:float array ->
+  ub:float array ->
+  Simplex.problem * int
+(** Coefficient strengthening on inequality rows: for an integer
+    variable on a unit box whose coefficient exceeds what the row's max
+    activity can support ([d = rhs - amax + |a| > 0]), pull the
+    coefficient toward zero and adjust the rhs so every integer point is
+    preserved while the LP relaxation tightens.  Returns the (possibly
+    shared) problem and the number of coefficients changed; [p] itself
+    is never mutated.  Only sound under bounds valid for the whole tree
+    — call it once at the root. *)
+
 val reduced_problem : Simplex.problem -> bool array -> Simplex.problem
 (** [reduced_problem p active] drops inactive rows (used once at the root
     before branch & bound). *)

@@ -752,6 +752,99 @@ let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb
               warm = Warm_fallback })
   end
 
+(* Append rows to a problem snapshot (used by the cut loop).  The
+   existing arrays are shared structurally; only the row-indexed arrays
+   are rebuilt. *)
+let add_rows p extra =
+  match extra with
+  | [] -> p
+  | _ ->
+      let rows = Array.of_list (List.map (fun (r, _, _) -> r) extra) in
+      let senses = Array.of_list (List.map (fun (_, s, _) -> s) extra) in
+      let rhs = Array.of_list (List.map (fun (_, _, b) -> b) extra) in
+      {
+        p with
+        rows = Array.append p.rows rows;
+        senses = Array.append p.senses senses;
+        rhs = Array.append p.rhs rhs;
+      }
+
+type tableau = {
+  t_ncols : int;
+  t_nrows : int;
+  t_basic : int array;
+  t_xb : float array;
+  t_stat : vstat array;
+  t_lb : float array;
+  t_ub : float array;
+  t_row : int -> (int * float) array;
+}
+
+(* Simplex tableau access for cut separation: rebuild the solver state
+   from an optimal basis (exactly as a warm start would) and expose the
+   basic values plus on-demand tableau rows alpha = B^{-1} A restricted
+   to the nonbasic, non-fixed columns.  Fixed columns (sealed
+   artificials, presolve-fixed structurals) contribute nothing to a cut
+   because their shifted value is identically zero. *)
+let tableau p ~lb ~ub b =
+  if not (Basis.compatible b ~ncols:p.ncols ~nrows:(Array.length p.rows) && Basis.well_formed b)
+  then None
+  else
+    match warm_state p ~lb ~ub b with
+    | None -> None
+    | Some st ->
+        let row i =
+          let rho = st.binv.(i) in
+          let out = ref [] in
+          for j = st.ntot - 1 downto 0 do
+            if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+              let a = ref 0. in
+              Array.iter (fun (r, c) -> a := !a +. (rho.(r) *. c)) st.cols.(j);
+              if Float.abs !a > 1e-9 then out := (j, !a) :: !out
+            end
+          done;
+          Array.of_list !out
+        in
+        Some
+          {
+            t_ncols = st.p.ncols;
+            t_nrows = st.m;
+            t_basic = Array.copy st.basis;
+            t_xb = Array.copy st.xb;
+            t_stat = Array.copy st.stat;
+            t_lb = Array.copy st.lb;
+            t_ub = Array.copy st.ub;
+            t_row = row;
+          }
+
+(* Phase-2 reduced costs of the structural columns under an optimal
+   basis: d = c - c_B B^{-1} A.  Used for reduced-cost fixing in branch
+   & bound once an incumbent exists. *)
+let reduced_costs p (b : Basis.t) =
+  let m = Array.length p.rows in
+  let n = p.ncols in
+  if not (Basis.compatible b ~ncols:n ~nrows:m) then None
+  else begin
+    let y = Array.make m 0. in
+    for i = 0 to m - 1 do
+      let k = b.Basis.basis.(i) in
+      if k < n && p.obj.(k) <> 0. then begin
+        let row = b.Basis.binv.(i) in
+        let c = p.obj.(k) in
+        for t = 0 to m - 1 do
+          y.(t) <- y.(t) +. (c *. row.(t))
+        done
+      end
+    done;
+    let d = Array.copy p.obj in
+    Array.iteri
+      (fun i row ->
+        if y.(i) <> 0. then
+          Array.iter (fun (j, a) -> d.(j) <- d.(j) -. (y.(i) *. a)) row)
+      p.rows;
+    Some d
+  end
+
 let solve_model ?max_iterations m =
   let p = of_model m in
   let n = p.ncols in

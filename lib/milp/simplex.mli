@@ -72,6 +72,40 @@ val solve :
     iterations) — branch & bound uses it to make its wall-clock limit
     hold even when a single LP is huge. *)
 
+val add_rows : problem -> ((int * float) array * Model.sense * float) list -> problem
+(** [add_rows p extra] appends constraint rows (sparse row, sense, rhs)
+    to the snapshot.  Bases from the original problem are {e not}
+    compatible with the grown one — grow them alongside with
+    {!Basis.append_row} (one call per appended row, in order) to keep
+    warm starting across cutting-plane rounds. *)
+
+type tableau = {
+  t_ncols : int;  (** Structural columns. *)
+  t_nrows : int;  (** Rows. *)
+  t_basic : int array;  (** Column basic in each row. *)
+  t_xb : float array;  (** Value of the basic variable per row. *)
+  t_stat : Basis.vstat array;  (** Status per column, length [ncols + 2*nrows]. *)
+  t_lb : float array;  (** Working bounds per column (slacks included). *)
+  t_ub : float array;
+  t_row : int -> (int * float) array;
+      (** [t_row i] is the tableau row [alpha = B⁻¹A] of basis position
+          [i], restricted to nonbasic columns that are not fixed
+          ([lb < ub]); entries below [1e-9] are dropped.  Column indices
+          cover structurals [[0,n)] and slacks [[n,n+m)] (artificials are
+          sealed, hence fixed, hence absent).  O(m·nnz) per call. *)
+}
+
+val tableau : problem -> lb:float array -> ub:float array -> Basis.t -> tableau option
+(** Tableau-row access for cut separation: restores the state an optimal
+    basis describes (the same path a warm start takes) and exposes basic
+    values plus on-demand rows of [B⁻¹A].  [None] if the basis is stale,
+    malformed, or singular. *)
+
+val reduced_costs : problem -> Basis.t -> float array option
+(** Phase-2 reduced costs [c - c_B B⁻¹ A] of the structural columns
+    under an optimal basis — the inputs to reduced-cost fixing.  [None]
+    if the basis shape does not match the problem. *)
+
 val solve_model : ?max_iterations:int -> Model.t -> result
 (** Convenience wrapper: snapshot the model, use its declared bounds and
     solve, converting the objective sign back for maximization models.

@@ -910,6 +910,42 @@ let test_regression_warm_start_unchanged () =
       | None, None -> ()
       | _ -> Alcotest.fail "one mode found a solution, the other did not")
 
+let test_regression_cuts_unchanged () =
+  (* Cutting planes and reduced-cost fixing must not change what branch
+     & bound finds on a seed scenario (the Table-1 objectives pinned in
+     BENCH_PR1.json ride on the same invariant at full scale): same
+     status, same objective, and the default run must actually separate
+     cuts. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      let solve enabled =
+        let options =
+          { Milp.Branch_bound.default_options with
+            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; cuts = enabled;
+            rc_fixing = enabled }
+        in
+        match Solve.run ~options inst (Solve.approx ~kstar:4 ()) with
+        | Ok out -> out
+        | Error e -> Alcotest.fail e
+      in
+      let on = solve true and off = solve false in
+      Alcotest.(check string) "status unchanged"
+        (Milp.Status.mip_status_to_string off.Solve.status)
+        (Milp.Status.mip_status_to_string on.Solve.status);
+      Alcotest.(check int) "ablated run separates nothing" 0
+        off.Solve.mip.Milp.Branch_bound.cuts_separated;
+      Alcotest.(check bool) "cut machinery exercised" true
+        (on.Solve.mip.Milp.Branch_bound.cuts_applied > 0);
+      Alcotest.(check bool) "cuts do not grow the tree" true
+        (on.Solve.mip.Milp.Branch_bound.nodes <= off.Solve.mip.Milp.Branch_bound.nodes);
+      match (on.Solve.solution, off.Solve.solution) with
+      | Some w, Some c ->
+          Alcotest.(check (float 1e-5)) "objective unchanged" c.Solution.dollar_cost
+            w.Solution.dollar_cost
+      | None, None -> ()
+      | _ -> Alcotest.fail "one mode found a solution, the other did not")
+
 let test_regression_approx_much_smaller_on_defaults () =
   (* The headline size reduction on the shipped Table-1 scenario. *)
   match Scenarios.data_collection Scenarios.default_data_collection with
@@ -1049,6 +1085,7 @@ let () =
             test_regression_approx_much_smaller_on_defaults;
           Alcotest.test_case "warm starts preserve results" `Quick
             test_regression_warm_start_unchanged;
+          Alcotest.test_case "cuts preserve results" `Quick test_regression_cuts_unchanged;
           Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
         ] );
       ( "solution",

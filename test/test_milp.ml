@@ -385,6 +385,50 @@ let test_presolve_chain_propagation () =
   | Presolve.Feasible { ub; _ } -> check_feq "propagated ub" 1. ub.(y)
   | Presolve.Proven_infeasible e -> Alcotest.fail e
 
+let test_presolve_strengthen_clique () =
+  (* 5x + 3y <= 7 over binaries: strengthening pulls both coefficients
+     down to the clique row x + y <= 1 (same integer points, tighter
+     LP relaxation). *)
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  Model.add_constr m (Lin.of_list [ (5., x); (3., y) ]) Model.Le 7.;
+  let p = Simplex.of_model m in
+  let integer = [| true; true |] in
+  let lb = [| 0.; 0. |] and ub = [| 1.; 1. |] in
+  let p', changed = Presolve.strengthen p ~integer ~lb ~ub in
+  Alcotest.(check int) "both coefficients strengthened" 2 changed;
+  check_feq "x coefficient" 1. (snd p'.Simplex.rows.(0).(0));
+  check_feq "y coefficient" 1. (snd p'.Simplex.rows.(0).(1));
+  check_feq "rhs" 1. p'.Simplex.rhs.(0);
+  (* the original problem must not be mutated *)
+  check_feq "original x coefficient intact" 5. (snd p.Simplex.rows.(0).(0));
+  (* integer points preserved: exactly (0,0), (1,0), (0,1) in both *)
+  List.iter
+    (fun (vx, vy) ->
+      let before = (5. *. vx) +. (3. *. vy) <= 7. in
+      let after = vx +. vy <= 1. in
+      Alcotest.(check bool)
+        (Printf.sprintf "point (%g, %g) preserved" vx vy)
+        before after)
+    [ (0., 0.); (1., 0.); (0., 1.); (1., 1.) ]
+
+let test_presolve_strengthen_ge_row () =
+  (* >= rows strengthen through negation: 5x + 3y >= 1 over binaries
+     becomes x + y >= ... ; here max activity of the negated row
+     -5x - 3y <= -1 is 0, d = -1 - 0 + 5 = 4 for x (0 < 4 < 5) and the
+     row strengthens to the set-covering row x + y >= 1. *)
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  Model.add_constr m (Lin.of_list [ (5., x); (3., y) ]) Model.Ge 1.;
+  let p = Simplex.of_model m in
+  let p', changed = Presolve.strengthen p ~integer:[| true; true |] ~lb:[| 0.; 0. |] ~ub:[| 1.; 1. |] in
+  Alcotest.(check int) "both coefficients strengthened" 2 changed;
+  check_feq "x coefficient" 1. (snd p'.Simplex.rows.(0).(0));
+  check_feq "y coefficient" 1. (snd p'.Simplex.rows.(0).(1));
+  check_feq "rhs" 1. p'.Simplex.rhs.(0)
+
 let test_presolve_no_false_positives =
   QCheck2.Test.make ~name:"presolve: never cuts off LP-feasible boxes" ~count:200 random_lp_spec
     (fun spec ->
@@ -554,6 +598,151 @@ let prop_bb_warm_start_invariant =
       && warm.Branch_bound.status = cold.Branch_bound.status
       && (warm.Branch_bound.status <> Status.Mip_optimal
          || feq ~eps:1e-5 warm.Branch_bound.objective cold.Branch_bound.objective))
+
+(* ------------------------------------------------------------------ *)
+(* Cutting planes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let build_bip (nvars, obj, rows) =
+  let m = Model.create () in
+  let vars = List.init nvars (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+  List.iter
+    (fun (cs, sense, rhs) ->
+      Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) sense rhs)
+    rows;
+  Model.set_objective m Model.Minimize (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+  m
+
+let prop_presolve_strengthen_preserves_integer_points =
+  QCheck2.Test.make ~name:"presolve: strengthening preserves every integer-feasible point"
+    ~count:300 random_bip (fun ((nvars, _, _) as spec) ->
+      let m = build_bip spec in
+      let p = Simplex.of_model m in
+      let n = p.Simplex.ncols in
+      let integer = Array.init n (Model.is_integer m) in
+      let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+      let p', _ = Presolve.strengthen p ~integer ~lb ~ub in
+      let sat (q : Simplex.problem) x =
+        let ok = ref true in
+        Array.iteri
+          (fun i row ->
+            let lhs = Array.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. row in
+            let rhs = q.Simplex.rhs.(i) in
+            match q.Simplex.senses.(i) with
+            | Model.Le -> if lhs > rhs +. 1e-7 then ok := false
+            | Model.Ge -> if lhs < rhs -. 1e-7 then ok := false
+            | Model.Eq -> if Float.abs (lhs -. rhs) > 1e-7 then ok := false)
+          q.Simplex.rows;
+        !ok
+      in
+      let ok = ref true in
+      for mask = 0 to (1 lsl nvars) - 1 do
+        let x = Array.init n (fun v -> float_of_int ((mask lsr v) land 1)) in
+        if sat p x <> sat p' x then ok := false
+      done;
+      !ok)
+
+(* Separate both cut families at the root LP of a random binary program
+   and check that no integer-feasible point (enumerated by brute force)
+   violates any of them — the defining property of a valid cut. *)
+let prop_cuts_never_cut_integer_points =
+  QCheck2.Test.make ~name:"cuts: no separated cut excludes an integer-feasible point"
+    ~count:300 random_bip (fun ((nvars, _, _) as spec) ->
+      let m = build_bip spec in
+      let p = Simplex.of_model m in
+      let n = p.Simplex.ncols in
+      let integer = Array.init n (Model.is_integer m) in
+      let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+      let r = Simplex.solve p ~lb ~ub in
+      match (r.Simplex.status, r.Simplex.basis) with
+      | Status.Lp_optimal, Some basis ->
+          let cuts =
+            Cuts.gomory p ~integer ~lb ~ub basis ~max_cuts:16
+            @ Cuts.covers p
+                ~nrows:(Array.length p.Simplex.rows)
+                ~integer ~lb ~ub ~x:r.Simplex.primal ~max_cuts:16
+          in
+          let ok = ref true in
+          for mask = 0 to (1 lsl nvars) - 1 do
+            let value v = if (mask lsr v) land 1 = 1 then 1.0 else 0.0 in
+            if Result.is_ok (Model.check_feasible ~tol:1e-9 m value) then begin
+              let x = Array.init n value in
+              List.iter (fun c -> if not (Cuts.satisfied c x) then ok := false) cuts
+            end
+          done;
+          !ok
+      | _ -> true)
+
+let test_cover_cut_knapsack () =
+  (* 4a + 6b + 3c + 5d <= 10 at the fractional point (1, 1, 0, 0.4):
+     {b, d} weighs 11 > 10, so the minimal cover cut b + d <= 1 is
+     violated (1.4) and must be separated. *)
+  let m = Model.create () in
+  let a = Model.add_binary m "a" and b = Model.add_binary m "b" in
+  let c = Model.add_binary m "c" and d = Model.add_binary m "d" in
+  Model.add_constr m (Lin.of_list [ (4., a); (6., b); (3., c); (5., d) ]) Model.Le 10.;
+  let p = Simplex.of_model m in
+  let n = p.Simplex.ncols in
+  let integer = Array.init n (Model.is_integer m) in
+  let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+  let x = [| 1.0; 1.0; 0.0; 0.4 |] in
+  let cuts = Cuts.covers p ~nrows:1 ~integer ~lb ~ub ~x ~max_cuts:4 in
+  Alcotest.(check bool) "a cover cut separates" true (cuts <> []);
+  List.iter
+    (fun cut ->
+      Alcotest.(check bool) "violated at the fractional point" true
+        (Cuts.violation cut x > 1e-6);
+      (* and valid at every integer-feasible point *)
+      for mask = 0 to 15 do
+        let pt = Array.init 4 (fun v -> float_of_int ((mask lsr v) land 1)) in
+        if (4. *. pt.(0)) +. (6. *. pt.(1)) +. (3. *. pt.(2)) +. (5. *. pt.(3)) <= 10. then
+          Alcotest.(check bool) "integer point kept" true (Cuts.satisfied cut pt)
+      done)
+    cuts
+
+let test_append_row_grows_basis () =
+  (* Solving, appending a violated cut row, growing the standing basis
+     with Basis.append_row, and warm re-solving must agree with a cold
+     solve of the grown problem — and must take the warm path. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:4. "x" and y = Model.add_var m ~ub:4. "y" in
+  Model.add_constr m (Lin.of_list [ (1., x); (2., y) ]) Model.Le 100.;
+  Model.set_objective m Model.Maximize (Lin.of_list [ (2., x); (3., y) ]);
+  let p = Simplex.of_model m in
+  let lb = [| 0.; 0. |] and ub = [| 4.; 4. |] in
+  let r0 = Simplex.solve p ~lb ~ub in
+  Alcotest.check lp_status "base optimal" Status.Lp_optimal r0.Simplex.status;
+  (* base optimum (4, 4) = 20 violates the row about to be appended *)
+  check_feq "base objective" (-20.) r0.Simplex.objective;
+  let basis = Option.get r0.Simplex.basis in
+  let row = [| (0, 1.); (1, 1.) |] in
+  let p' = Simplex.add_rows p [ (row, Model.Le, 5.) ] in
+  let grown = Basis.append_row basis row in
+  let warm = Simplex.solve ~basis:grown p' ~lb ~ub in
+  let cold = Simplex.solve p' ~lb ~ub in
+  Alcotest.check lp_status "warm optimal" Status.Lp_optimal warm.Simplex.status;
+  Alcotest.(check bool) "warm path taken" true (warm.Simplex.warm = Simplex.Warm);
+  check_feq "matches cold solve" cold.Simplex.objective warm.Simplex.objective;
+  (* x + y <= 5 binds: max 2x + 3y is now 2*1 + 3*4 = 14 at (1, 4). *)
+  check_feq "cut binds" (-14.) warm.Simplex.objective
+
+let prop_bb_cuts_invariant =
+  QCheck2.Test.make
+    ~name:"branch&bound: cuts and rc-fixing leave status and objective unchanged" ~count:100
+    random_bip (fun spec ->
+      let m = build_bip spec in
+      let with_cuts = Branch_bound.solve m in
+      let without =
+        Branch_bound.solve
+          ~options:
+            { Branch_bound.default_options with Branch_bound.cuts = false; rc_fixing = false }
+          m
+      in
+      without.Branch_bound.cuts_separated = 0
+      && without.Branch_bound.rc_fixed = 0
+      && with_cuts.Branch_bound.status = without.Branch_bound.status
+      && (with_cuts.Branch_bound.status <> Status.Mip_optimal
+         || feq ~eps:1e-5 with_cuts.Branch_bound.objective without.Branch_bound.objective))
 
 let test_bb_cutoff_prunes () =
   (* Knapsack optimum is 23; a cutoff at 23 must yield no solution
@@ -837,7 +1026,18 @@ let () =
           Alcotest.test_case "integer rounding" `Quick test_presolve_integer_rounding;
           Alcotest.test_case "detects infeasibility" `Quick test_presolve_detects_infeasible;
           Alcotest.test_case "chain propagation" `Quick test_presolve_chain_propagation;
+          Alcotest.test_case "coefficient strengthening" `Quick test_presolve_strengthen_clique;
+          Alcotest.test_case "strengthening on >= rows" `Quick test_presolve_strengthen_ge_row;
           qt test_presolve_no_false_positives;
+          qt prop_presolve_strengthen_preserves_integer_points;
+        ] );
+      ( "cuts",
+        [
+          Alcotest.test_case "cover cut on a knapsack" `Quick test_cover_cut_knapsack;
+          Alcotest.test_case "append_row grows a warm basis" `Quick
+            test_append_row_grows_basis;
+          qt prop_cuts_never_cut_integer_points;
+          qt prop_bb_cuts_invariant;
         ] );
       ( "branch_bound",
         [
