@@ -9,7 +9,7 @@
 
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
-   Sections: table1 table2 table3 table4 figures ablations micro *)
+   Sections: table1 table2 table3 table4 sweep figures ablations micro *)
 
 open Archex
 
@@ -27,6 +27,11 @@ let flags, sections =
 let cold_start = List.mem "--cold-start" flags
 let no_cuts = List.mem "--no-cuts" flags
 let no_rc_fixing = List.mem "--no-rc-fixing" flags
+
+(* [--no-incremental] restricts the [sweep] section to the
+   rebuild-from-scratch ablation; by default it runs both modes and
+   compares them. *)
+let no_incremental = List.mem "--no-incremental" flags
 
 let mode =
   String.concat "+"
@@ -454,6 +459,226 @@ let table4 () =
   hr ()
 
 (* ------------------------------------------------------------------ *)
+(* Incremental K* sweep vs rebuild-from-scratch -> BENCH_PR3.json      *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_step = {
+  ss_kstar : int;
+  ss_encode_s : float;
+  ss_solve_s : float;
+  ss_extract_s : float;
+  ss_delta_paths : int;
+  ss_pool_size : int;
+  ss_nvars : int;
+  ss_nconstrs : int;
+  ss_cuts_seeded : int;
+  ss_bound_pruned : int;
+  ss_nodes : int;
+  ss_status : string;
+  ss_objective : float option;
+}
+
+type sweep_run = {
+  sr_scenario : string;
+  sr_incremental : bool;
+  sr_steps : sweep_step list;
+  sr_total_s : float;
+  sr_final_objective : float option;
+}
+
+let sweep_log : sweep_run list ref = ref []
+let sweep_schedule = [ 1; 3; 6 ]
+
+(* Table-1 template family, sized down: proving a 1e-6 gap (needed for
+   the parity claim below) on the full table1 instance takes minutes
+   per step; parity and speedup are size-independent claims. *)
+let sweep_params =
+  { dc_params with Scenarios.dc_sensors = 8; dc_relay_grid = (5, 3) }
+
+(* The parity claim needs both modes to prove the same optimum, so the
+   gap is tight (no early stop on an incumbent the other mode would
+   refine further). *)
+let sweep_options =
+  with_ablations
+    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 1e-6 }
+
+let run_sweep scenario inst ~incremental =
+  let loc_kstar = List.fold_left Int.max 1 sweep_schedule in
+  let session = Session.start ~loc_kstar ~incremental inst in
+  let direction = ref Milp.Model.Minimize in
+  let t0 = Unix.gettimeofday () in
+  let steps =
+    List.filter_map
+      (fun kstar ->
+        match Session.grow session ~kstar with
+        | Error e ->
+            Format.printf "  %s k*=%d: pool error: %s@." scenario kstar e;
+            None
+        | Ok () ->
+            let s = Session.solve ~options:sweep_options session in
+            direction := fst (Milp.Model.objective s.Session.model);
+            let mip = s.Session.mip in
+            Some
+              {
+                ss_kstar = kstar;
+                ss_encode_s = s.Session.encode_time_s;
+                ss_solve_s = s.Session.solve_time_s;
+                ss_extract_s = s.Session.extract_time_s;
+                ss_delta_paths = s.Session.delta_paths;
+                ss_pool_size = s.Session.pool_size;
+                ss_nvars = s.Session.nvars;
+                ss_nconstrs = s.Session.nconstrs;
+                ss_cuts_seeded = mip.Milp.Branch_bound.cuts_seeded;
+                ss_bound_pruned = mip.Milp.Branch_bound.bound_pruned;
+                ss_nodes = mip.Milp.Branch_bound.nodes;
+                ss_status = Milp.Status.mip_status_to_string s.Session.status;
+                ss_objective =
+                  Option.map
+                    (fun _ -> mip.Milp.Branch_bound.objective)
+                    s.Session.solution;
+              })
+      sweep_schedule
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  (* Direction-aware best across steps: a rebuild step has no carried
+     incumbent, so a timed-out later step can report a worse bound than
+     an earlier one and the last step is not necessarily the sweep's
+     answer. *)
+  let final_objective =
+    List.fold_left
+      (fun acc st ->
+        match (acc, st.ss_objective) with
+        | None, o | o, None -> o
+        | Some a, Some b -> (
+            match !direction with
+            | Milp.Model.Minimize -> Some (Float.min a b)
+            | Milp.Model.Maximize -> Some (Float.max a b)))
+      None steps
+  in
+  let run =
+    {
+      sr_scenario = scenario;
+      sr_incremental = incremental;
+      sr_steps = steps;
+      sr_total_s = total;
+      sr_final_objective = final_objective;
+    }
+  in
+  sweep_log := !sweep_log @ [ run ];
+  run
+
+let sweep () =
+  header "Incremental K* sweep vs rebuild-from-scratch (Table-1 scenarios)";
+  Format.printf
+    "(one Session per mode; schedule %s, loc K* frozen at the max; rel_gap = %g so both@."
+    (String.concat ";" (List.map string_of_int sweep_schedule))
+    sweep_options.Milp.Branch_bound.rel_gap;
+  Format.printf
+    " modes prove the same optimum.  incremental carries model, incumbent and cut pool;@.";
+  Format.printf " rebuild re-encodes the identical cumulative pools from scratch each step.)@.@.";
+  let pp_run name r =
+    Format.printf "  %s (%s): total %.2f s, final obj %s@." name
+      (if r.sr_incremental then "incremental" else "rebuild")
+      r.sr_total_s
+      (match r.sr_final_objective with Some o -> Printf.sprintf "%.6g" o | None -> "-");
+    List.iter
+      (fun st ->
+        Format.printf
+          "    k*=%d: %s obj=%s encode=%.3fs solve=%.2fs extract=%.3fs +%d paths (pool %d, \
+           %dx%d) seeded=%d bound-pruned=%d nodes=%d@."
+          st.ss_kstar st.ss_status
+          (match st.ss_objective with Some o -> Printf.sprintf "%.6g" o | None -> "-")
+          st.ss_encode_s st.ss_solve_s st.ss_extract_s st.ss_delta_paths st.ss_pool_size
+          st.ss_nvars st.ss_nconstrs st.ss_cuts_seeded st.ss_bound_pruned st.ss_nodes)
+      r.sr_steps
+  in
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective sweep_params with
+      | Error e -> Format.printf "  %s: scenario error: %s@." name e
+      | Ok inst ->
+          let scenario = "table1/" ^ name in
+          let rebuild = run_sweep scenario inst ~incremental:false in
+          pp_run name rebuild;
+          if not no_incremental then begin
+            let inc = run_sweep scenario inst ~incremental:true in
+            pp_run name inc;
+            match (inc.sr_final_objective, rebuild.sr_final_objective) with
+            | Some a, Some b ->
+                Format.printf "  => objectives %s (|diff| = %.3g); speedup %.2fx@.@."
+                  (if Float.abs (a -. b) <= 1e-6 then "MATCH" else "DIFFER")
+                  (Float.abs (a -. b))
+                  (rebuild.sr_total_s /. Float.max 1e-9 inc.sr_total_s)
+            | _ -> Format.printf "  => missing final objective, no comparison@.@."
+          end)
+    [
+      ("$ cost", Objective.dollar);
+      ("Energy", Objective.energy);
+      ("$+Energy", Objective.combine Objective.dollar Objective.energy);
+    ];
+  hr ()
+
+let write_sweep_json path =
+  let oc = open_out path in
+  let runs = !sweep_log in
+  let json_opt = function Some o -> json_float o | None -> "null" in
+  Printf.fprintf oc "{\n  \"schedule\": [%s],\n  \"rel_gap\": %s,\n  \"runs\": [\n"
+    (String.concat ", " (List.map string_of_int sweep_schedule))
+    (json_float sweep_options.Milp.Branch_bound.rel_gap);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"mode\": %S, \"total_s\": %s, \"final_objective\": %s,\n\
+        \     \"steps\": [\n"
+        r.sr_scenario
+        (if r.sr_incremental then "incremental" else "rebuild")
+        (json_float r.sr_total_s) (json_opt r.sr_final_objective);
+      List.iteri
+        (fun j st ->
+          Printf.fprintf oc
+            "      {\"kstar\": %d, \"encode_s\": %s, \"solve_s\": %s, \"extract_s\": %s,\n\
+            \       \"delta_paths\": %d, \"pool_size\": %d, \"nvars\": %d, \"nconstrs\": %d,\n\
+            \       \"cuts_seeded\": %d, \"bound_pruned\": %d, \"nodes\": %d,\n\
+            \       \"status\": %S, \"objective\": %s}%s\n"
+            st.ss_kstar (json_float st.ss_encode_s) (json_float st.ss_solve_s)
+            (json_float st.ss_extract_s) st.ss_delta_paths st.ss_pool_size st.ss_nvars
+            st.ss_nconstrs st.ss_cuts_seeded st.ss_bound_pruned st.ss_nodes st.ss_status
+            (json_opt st.ss_objective)
+            (if j = List.length r.sr_steps - 1 then "" else ","))
+        r.sr_steps;
+      Printf.fprintf oc "    ]}%s\n" (if i = List.length runs - 1 then "" else ","))
+    runs;
+  (* Pair up incremental/rebuild runs of the same scenario. *)
+  let comparisons =
+    List.filter_map
+      (fun r ->
+        if r.sr_incremental then
+          match
+            List.find_opt
+              (fun r' -> (not r'.sr_incremental) && r'.sr_scenario = r.sr_scenario)
+              runs
+          with
+          | Some rb ->
+              Some
+                (Printf.sprintf
+                   "    {\"scenario\": %S, \"objective_match\": %b, \
+                    \"incremental_total_s\": %s, \"rebuild_total_s\": %s, \"speedup\": %s}"
+                   r.sr_scenario
+                   (match (r.sr_final_objective, rb.sr_final_objective) with
+                   | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                   | _ -> false)
+                   (json_float r.sr_total_s) (json_float rb.sr_total_s)
+                   (json_float (rb.sr_total_s /. Float.max 1e-9 r.sr_total_s)))
+          | None -> None
+        else None)
+      runs
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" comparisons);
+  close_out oc;
+  Format.printf "wrote %s (%d sweep runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Figures 1a-1c                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -700,8 +925,10 @@ let () =
   let loc_solved = if section_enabled "table2" then table2 () else [] in
   if section_enabled "table3" then table3 ();
   if section_enabled "table4" then table4 ();
+  if section_enabled "sweep" then sweep ();
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
   if !bench_log <> [] then write_bench_json "BENCH_PR2.json";
+  if !sweep_log <> [] then write_sweep_json "BENCH_PR3.json";
   Format.printf "done.@."

@@ -45,8 +45,8 @@ let num_setting settings key default =
   | Some (Spec.Ast.Num f) -> f
   | Some _ | None -> default
 
-let main spec_file library_file plan_file kstar loc_kstar full time_limit gap cold_start no_cuts
-    no_rc_fixing out_svg out_lp verbose =
+let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
+    no_incremental cold_start no_cuts no_rc_fixing out_svg out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -117,7 +117,41 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap co
           log = verbose;
         }
       in
-      let* out = Archex.Solve.run ~options inst strategy in
+      let* out =
+        if sweep then begin
+          let r = Archex.Kstar.search ~options ~incremental:(not no_incremental) inst in
+          List.iter
+            (fun (st : Archex.Kstar.step) ->
+              Format.printf "sweep k*=%d: %s obj=%s encode=%.2fs solve=%.2fs extract=%.2fs@."
+                st.Archex.Kstar.kstar
+                (Milp.Status.mip_status_to_string st.Archex.Kstar.outcome.Archex.Solve.status)
+                (match st.Archex.Kstar.objective with
+                | Some o -> Printf.sprintf "%.6g" o
+                | None -> "-")
+                st.Archex.Kstar.outcome.Archex.Solve.stats.Archex.Solve.encode_time_s
+                st.Archex.Kstar.outcome.Archex.Solve.stats.Archex.Solve.solve_time_s
+                st.Archex.Kstar.outcome.Archex.Solve.stats.Archex.Solve.extract_time_s)
+            r.Archex.Kstar.steps;
+          Format.printf "sweep stopped: %s@."
+            (match r.Archex.Kstar.stopped_because with
+            | `Time_threshold -> "time threshold"
+            | `No_improvement -> "no improvement"
+            | `Schedule_exhausted -> "schedule exhausted");
+          let step_for k =
+            List.find_opt (fun st -> st.Archex.Kstar.kstar = k) r.Archex.Kstar.steps
+          in
+          match r.Archex.Kstar.best with
+          | Some (k, _) -> (
+              match step_for k with
+              | Some st -> Ok st.Archex.Kstar.outcome
+              | None -> Error "sweep: best step missing")
+          | None -> (
+              match List.rev r.Archex.Kstar.steps with
+              | st :: _ -> Ok st.Archex.Kstar.outcome
+              | [] -> Error "sweep: no schedule step produced a model")
+        end
+        else Archex.Solve.run ~options inst strategy
+      in
       Ok (inst, out)
   in
   match result with
@@ -133,6 +167,7 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap co
         out.Archex.Solve.stats.Archex.Solve.solve_time_s
         out.Archex.Solve.mip.Milp.Branch_bound.nodes
         out.Archex.Solve.mip.Milp.Branch_bound.lp_iterations;
+      Format.printf "extract: %.2f s@." out.Archex.Solve.stats.Archex.Solve.extract_time_s;
       (match out_lp with
       | Some path ->
           Milp.Lp_format.to_file path out.Archex.Solve.model;
@@ -265,6 +300,22 @@ let no_rc_fixing =
     & info [ "no-rc-fixing" ]
         ~doc:"Disable reduced-cost fixing of integer variables in branch and bound (ablation).")
 
+let sweep =
+  Arg.(
+    value & flag
+    & info [ "sweep" ]
+        ~doc:
+          "Run the systematic K* sweep (paper §4.3) on one incremental session instead of a \
+           single solve, then report the best step.")
+
+let no_incremental =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "With $(b,--sweep): re-encode the model from scratch at every schedule step instead of \
+           growing the live session (ablation).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress logging.")
 
 let cmd =
@@ -273,6 +324,7 @@ let cmd =
     (Cmd.info "archex" ~doc)
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ cold_start $ no_cuts $ no_rc_fixing $ out_svg $ out_lp $ verbose)
+      $ gap $ sweep $ no_incremental $ cold_start $ no_cuts $ no_rc_fixing $ out_svg $ out_lp
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

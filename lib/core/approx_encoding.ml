@@ -16,89 +16,133 @@ type t = {
   generation : Path_gen.result;
 }
 
+(* Growable per-route encoding state.  The candidate pool only ever
+   gains members, so the selection structure can be extended in place:
+   new selector columns are appended, the one-candidate-per-slot and
+   symmetry-breaking rows are rewritten over the enlarged slot arrays,
+   and only disjointness pairs/usage terms involving a new candidate are
+   emitted.  A fresh state driven once over a whole pool produces
+   exactly the rows of the original one-shot encoder. *)
+type route_state = {
+  rq_index : int;
+  rq_src : int;
+  rq_dst : int;
+  rq_replicas : int;
+  mutable rq_pool : Path.t array;
+  mutable rq_slots : int array array;
+  rq_one_rows : int array;  (* per replica; -1 until created *)
+  rq_rank_rows : int array;  (* per adjacent slot pair; -1 until created *)
+}
+
+let init_route (p : Path_gen.route_pool) =
+  {
+    rq_index = p.Path_gen.req_index;
+    rq_src = p.Path_gen.src;
+    rq_dst = p.Path_gen.dst;
+    rq_replicas = p.Path_gen.replicas;
+    rq_pool = [||];
+    rq_slots = Array.make p.Path_gen.replicas [||];
+    rq_one_rows = Array.make p.Path_gen.replicas (-1);
+    rq_rank_rows = Array.make (Int.max 0 (p.Path_gen.replicas - 1)) (-1);
+  }
+
+let selection_of rs =
+  {
+    req_index = rs.rq_index;
+    src = rs.rq_src;
+    dst = rs.rq_dst;
+    pool = rs.rq_pool;
+    slots = Array.copy rs.rq_slots;
+  }
+
+let grow_route ctx rs pool_paths =
+  let model = Encode_common.model ctx in
+  let all = Array.of_list pool_paths in
+  let old_nk = Array.length rs.rq_pool in
+  let nk = Array.length all in
+  if nk > old_nk then begin
+    (* New selector columns, slot-major like the one-shot encoder. *)
+    for r = 0 to rs.rq_replicas - 1 do
+      rs.rq_slots.(r) <-
+        Array.append rs.rq_slots.(r)
+          (Array.init (nk - old_nk) (fun d ->
+               Model.add_binary model
+                 (Printf.sprintf "sel_r%d_rep%d_c%d" rs.rq_index r (old_nk + d))))
+    done;
+    rs.rq_pool <- all;
+    (* One candidate per replica slot — rewritten over the wider sum. *)
+    for r = 0 to rs.rq_replicas - 1 do
+      let sum =
+        Lin.of_list (Array.to_list (Array.map (fun v -> (1., v)) rs.rq_slots.(r)))
+      in
+      if rs.rq_one_rows.(r) < 0 then
+        rs.rq_one_rows.(r) <-
+          Model.add_row model
+            ~name:(Printf.sprintf "one_path_r%d_rep%d" rs.rq_index r)
+            sum Model.Eq 1.
+      else Model.set_row model rs.rq_one_rows.(r) sum Model.Eq 1.
+    done;
+    (* (1d): replicas must be pairwise link-disjoint — exclude
+       edge-sharing candidate pairs across slots.  Only pairs touching a
+       new candidate are missing. *)
+    for r1 = 0 to rs.rq_replicas - 1 do
+      for r2 = r1 + 1 to rs.rq_replicas - 1 do
+        for k1 = 0 to nk - 1 do
+          for k2 = 0 to nk - 1 do
+            if
+              (k1 >= old_nk || k2 >= old_nk)
+              && not (Path.edge_disjoint all.(k1) all.(k2))
+            then
+              Model.add_constr model
+                (Lin.of_list [ (1., rs.rq_slots.(r1).(k1)); (1., rs.rq_slots.(r2).(k2)) ])
+                Model.Le 1.
+          done
+        done
+      done
+    done;
+    (* Symmetry breaking: slot r picks a lower candidate index than slot
+       r+1 (valid because slots are interchangeable and disjointness
+       forbids re-picking a candidate).  Appending candidates at higher
+       indices keeps previous orderings valid, so rewriting the row over
+       the wider rank sums preserves every old solution. *)
+    for r = 0 to rs.rq_replicas - 2 do
+      let rank svars =
+        Lin.of_list (Array.to_list (Array.mapi (fun k v -> (float_of_int k, v)) svars))
+      in
+      let expr =
+        Lin.add_const (Lin.sub (rank rs.rq_slots.(r)) (rank rs.rq_slots.(r + 1))) 1.
+      in
+      if rs.rq_rank_rows.(r) < 0 then
+        rs.rq_rank_rows.(r) <- Model.add_row model expr Model.Le 0.
+      else Model.set_row model rs.rq_rank_rows.(r) expr Model.Le 0.
+    done;
+    (* Edge usage terms of the new candidates, staged for flush. *)
+    for r = 0 to rs.rq_replicas - 1 do
+      for k = old_nk to nk - 1 do
+        List.iter
+          (fun (i, j) ->
+            Encode_common.stage_edge_usage ctx i j (Lin.var rs.rq_slots.(r).(k)))
+          (Path.edges all.(k))
+      done
+    done
+  end
+
 let encode ?(kstar = 10) ?(loc_kstar = 20) inst =
   match Path_gen.generate ~kstar inst with
   | Error e -> Error e
   | Ok generation ->
       let ctx = Encode_common.create inst in
-      let model = Encode_common.model ctx in
-      (* Global per-edge usage accumulator across all routes. *)
-      let usage : (int * int, Lin.t) Hashtbl.t = Hashtbl.create 256 in
-      let bump_edge (i, j) term =
-        let cur = Option.value ~default:Lin.zero (Hashtbl.find_opt usage (i, j)) in
-        Hashtbl.replace usage (i, j) (Lin.add cur term)
-      in
       let selections =
         List.map
           (fun (p : Path_gen.route_pool) ->
-            let pool = Array.of_list p.Path_gen.pool in
-            let nk = Array.length pool in
-            let slots =
-              Array.init p.Path_gen.replicas (fun r ->
-                  Array.init nk (fun k ->
-                      Model.add_binary model
-                        (Printf.sprintf "sel_r%d_rep%d_c%d" p.Path_gen.req_index r k)))
-            in
-            (* One candidate per replica slot. *)
-            Array.iteri
-              (fun r svars ->
-                let sum = Lin.of_list (Array.to_list (Array.map (fun v -> (1., v)) svars)) in
-                Model.add_constr model
-                  ~name:(Printf.sprintf "one_path_r%d_rep%d" p.Path_gen.req_index r)
-                  sum Model.Eq 1.)
-              slots;
-            (* (1d): replicas must be pairwise link-disjoint — exclude
-               edge-sharing candidate pairs across slots. *)
-            for r1 = 0 to p.Path_gen.replicas - 1 do
-              for r2 = r1 + 1 to p.Path_gen.replicas - 1 do
-                for k1 = 0 to nk - 1 do
-                  for k2 = 0 to nk - 1 do
-                    if not (Path.edge_disjoint pool.(k1) pool.(k2)) then
-                      Model.add_constr model
-                        (Lin.of_list [ (1., slots.(r1).(k1)); (1., slots.(r2).(k2)) ])
-                        Model.Le 1.
-                  done
-                done
-              done
-            done;
-            (* Symmetry breaking: slot r picks a lower candidate index
-               than slot r+1 (valid because slots are interchangeable
-               and disjointness forbids re-picking a candidate). *)
-            for r = 0 to p.Path_gen.replicas - 2 do
-              let rank svars =
-                Lin.of_list
-                  (Array.to_list (Array.mapi (fun k v -> (float_of_int k, v)) svars))
-              in
-              Model.add_constr model
-                (Lin.add_const (Lin.sub (rank slots.(r)) (rank slots.(r + 1))) 1.)
-                Model.Le 0.
-            done;
-            (* Edge usage terms. *)
-            Array.iteri
-              (fun _r svars ->
-                Array.iteri
-                  (fun k v ->
-                    List.iter (fun e -> bump_edge e (Lin.var v)) (Path.edges pool.(k)))
-                  svars)
-              slots;
-            {
-              req_index = p.Path_gen.req_index;
-              src = p.Path_gen.src;
-              dst = p.Path_gen.dst;
-              pool;
-              slots;
-            })
+            let rs = init_route p in
+            grow_route ctx rs p.Path_gen.pool;
+            selection_of rs)
           generation.Path_gen.pools
       in
-      (* Tie usage to shared edge binaries (creates LQ rows) and feed
-         the energy accounting. *)
-      Hashtbl.iter
-        (fun (i, j) expr ->
-          Encode_common.add_edge_usage ctx i j expr;
-          Encode_common.constrain_used_edge ctx i j expr)
-        usage;
       (* Localization pruning (paper §4.2). *)
       Encode_common.set_localization_candidates ctx
         (Path_gen.localization_candidates inst ~kstar:loc_kstar);
+      (* finalize flushes the staged edge usage (LQ rows, energy). *)
       Encode_common.finalize ctx;
       Ok { ctx; selections; generation }

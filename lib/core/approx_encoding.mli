@@ -32,3 +32,31 @@ val encode : ?kstar:int -> ?loc_kstar:int -> Instance.t -> (t, string) result
     (default 10); [loc_kstar] prunes localization reachability pairs
     (default 20, paper §4.2).  The model inside the returned context is
     finalized and ready to solve. *)
+
+(** {1 Incremental route encoding}
+
+    Used by {!Session} to grow a live model instead of re-encoding: a
+    {!route_state} remembers each route's selector columns and the ids
+    of its rewritable rows (one-candidate-per-slot, symmetry breaking),
+    so feeding it a grown pool appends only the delta.  Driving a fresh
+    state once over a full pool is equivalent to the one-shot
+    {!encode}. *)
+
+type route_state
+
+val init_route : Path_gen.route_pool -> route_state
+(** Empty encoding state for a route (nothing added to any model yet);
+    only the pair's identity/replica count is read from the pool. *)
+
+val grow_route : Encode_common.t -> route_state -> Netgraph.Path.t list -> unit
+(** [grow_route ctx rs pool] extends the encoding of [rs] inside [ctx]
+    to cover the {e cumulative} candidate list [pool] (a prefix-
+    preserving superset of what was encoded before): new selector
+    binaries, missing disjointness pairs, rewritten one-path/rank rows,
+    and staged edge-usage deltas ({!Encode_common.stage_edge_usage} —
+    call {!Encode_common.flush_usage} or {!Encode_common.finalize}
+    afterwards). *)
+
+val selection_of : route_state -> route_selection
+(** Snapshot of the current pool/slot structure (as {!encode} returns),
+    for solution extraction. *)

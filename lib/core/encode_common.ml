@@ -1,6 +1,10 @@
 module Lin = Milp.Lin
 module Model = Milp.Model
 
+(* Auxiliary product w = m * usage with its two usage-coupled rows; the
+   rows are rewritten in place when the usage expression grows. *)
+type product = { p_var : int; p_ub_row : int; p_lb_row : int }
+
 type t = {
   inst : Instance.t;
   model : Model.t;
@@ -9,6 +13,16 @@ type t = {
   edges : (int * int, int) Hashtbl.t;
   tx_usage : Lin.t array;  (* per node: # path crossings leaving the node *)
   rx_usage : Lin.t array;
+  (* Incremental-growth bookkeeping: staged usage awaiting flush, the
+     cumulative per-edge usage, and the ids of every row that must be
+     rewritten (not appended) when usage grows. *)
+  edge_total : (int * int, Lin.t) Hashtbl.t;
+  edge_delta : (int * int, Lin.t) Hashtbl.t;
+  edge_upper : (int * int, int) Hashtbl.t;  (* row id of e <= usage *)
+  products : (int * int * bool, product) Hashtbl.t;  (* node, device ord, is_tx *)
+  dirty : (int, unit) Hashtbl.t;  (* nodes whose usage changed *)
+  mutable charges : Lin.t array;  (* per node, set at finalize *)
+  mutable lifetime_rows : int option array;
   mutable loc_candidates : (int * int list) list;
   mutable reach : ((int * int) * int) list;
   mutable finalized : bool;
@@ -84,6 +98,13 @@ let create inst =
     edges = Hashtbl.create 64;
     tx_usage = Array.make n Lin.zero;
     rx_usage = Array.make n Lin.zero;
+    edge_total = Hashtbl.create 64;
+    edge_delta = Hashtbl.create 64;
+    edge_upper = Hashtbl.create 64;
+    products = Hashtbl.create 64;
+    dirty = Hashtbl.create 16;
+    charges = [||];
+    lifetime_rows = [||];
     loc_candidates = [];
     reach = [];
     finalized = false;
@@ -139,6 +160,17 @@ let constrain_used_edge ctx i j expr =
   (* …and e <= total usage, so links no path selects stay off. *)
   Model.add_constr ctx.model (Lin.sub (Lin.var e) expr) Model.Le 0.
 
+let stage_edge_usage ctx i j expr =
+  add_edge_usage ctx i j expr;
+  let bump tbl =
+    let cur = Option.value ~default:Lin.zero (Hashtbl.find_opt tbl (i, j)) in
+    Hashtbl.replace tbl (i, j) (Lin.add cur expr)
+  in
+  bump ctx.edge_total;
+  bump ctx.edge_delta;
+  Hashtbl.replace ctx.dirty i ();
+  Hashtbl.replace ctx.dirty j ()
+
 let set_localization_candidates ctx cands = ctx.loc_candidates <- cands
 
 let localization_candidates ctx = ctx.loc_candidates
@@ -162,33 +194,47 @@ let node_charge_expr ctx i =
   let etx = Instance.etx_bound inst in
   let route_cap = float_of_int (Int.max 1 (Requirements.total_path_count inst.Instance.requirements)) in
   let charge = ref Lin.zero in
-  List.iter
-    (fun ((c : Components.Component.t), mv) ->
+  List.iteri
+    (fun ord ((c : Components.Component.t), mv) ->
       let airtime = float_of_int bits /. (c.Components.Component.bit_rate_kbps *. 1000.) in
       let sleep_ma = c.Components.Component.sleep_ua /. 1000. in
-      (* Auxiliary products w = m_li * usage_i, one per direction. *)
-      let product name usage =
+      (* Auxiliary products w = m_li * usage_i, one per direction.  The
+         two usage-coupled rows are remembered so they can be rewritten
+         (set_row) when an incremental session grows the usage; the
+         static cap w <= R m never changes.  Variables stay lazy: a node
+         whose usage is still constant gets no w, exactly as in a
+         one-shot encode. *)
+      let product is_tx name usage =
         if Lin.is_constant usage then Lin.scale (Lin.constant usage) (Lin.var mv)
         else begin
-          let w =
-            Model.add_var ctx.model ~lb:0. ~ub:route_cap
-              (Printf.sprintf "w%s_%d_%s" name i c.Components.Component.name)
-          in
-          Model.add_constr ctx.model
-            (Lin.sub (Lin.var w) (Lin.term route_cap mv))
-            Model.Le 0.;
-          Model.add_constr ctx.model (Lin.sub (Lin.var w) usage) Model.Le 0.;
+          let ub_expr w = Lin.sub (Lin.var w) usage in
           (* w >= usage - R (1 - m): tight when the device is selected. *)
-          Model.add_constr ctx.model
-            (Lin.add_const
-               (Lin.sub (Lin.sub (Lin.var w) usage) (Lin.term route_cap mv))
-               route_cap)
-            Model.Ge 0.;
-          Lin.var w
+          let lb_expr w =
+            Lin.add_const
+              (Lin.sub (Lin.sub (Lin.var w) usage) (Lin.term route_cap mv))
+              route_cap
+          in
+          match Hashtbl.find_opt ctx.products (i, ord, is_tx) with
+          | Some pr ->
+              Model.set_row ctx.model pr.p_ub_row (ub_expr pr.p_var) Model.Le 0.;
+              Model.set_row ctx.model pr.p_lb_row (lb_expr pr.p_var) Model.Ge 0.;
+              Lin.var pr.p_var
+          | None ->
+              let w =
+                Model.add_var ctx.model ~lb:0. ~ub:route_cap
+                  (Printf.sprintf "w%s_%d_%s" name i c.Components.Component.name)
+              in
+              Model.add_constr ctx.model
+                (Lin.sub (Lin.var w) (Lin.term route_cap mv))
+                Model.Le 0.;
+              let p_ub_row = Model.add_row ctx.model (ub_expr w) Model.Le 0. in
+              let p_lb_row = Model.add_row ctx.model (lb_expr w) Model.Ge 0. in
+              Hashtbl.add ctx.products (i, ord, is_tx) { p_var = w; p_ub_row; p_lb_row };
+              Lin.var w
         end
       in
-      let wtx = product "tx" ctx.tx_usage.(i) in
-      let wrx = product "rx" ctx.rx_usage.(i) in
+      let wtx = product true "tx" ctx.tx_usage.(i) in
+      let wrx = product false "rx" ctx.rx_usage.(i) in
       (* Radio + awake-slot active draw minus the sleep current the
          awake time displaces, per TX/RX event… *)
       let tx_coef =
@@ -210,26 +256,37 @@ let node_charge_expr ctx i =
     ctx.sizing.(i);
   !charge
 
+(* Charge budget per reporting period implied by the lifetime
+   requirement, when there is one. *)
+let lifetime_budget ctx =
+  match ctx.inst.Instance.requirements.Requirements.min_lifetime_years with
+  | None -> None
+  | Some years ->
+      let period = ctx.inst.Instance.protocol.Energy.Tdma.report_period_s in
+      Some
+        (ctx.inst.Instance.battery.Energy.Lifetime.capacity_mah *. 3600. *. period
+        /. (years *. Energy.Lifetime.seconds_per_year))
+
 let add_energy ctx =
   let inst = ctx.inst in
   let n = Template.nnodes inst.Instance.template in
-  let period = inst.Instance.protocol.Energy.Tdma.report_period_s in
   let charges = Array.init n (fun i -> node_charge_expr ctx i) in
-  (match inst.Instance.requirements.Requirements.min_lifetime_years with
+  ctx.charges <- charges;
+  ctx.lifetime_rows <- Array.make n None;
+  (match lifetime_budget ctx with
   | None -> ()
-  | Some years ->
+  | Some budget ->
       (* (3a): battery / avg-current >= L*  ⇔  charge-per-period bounded. *)
-      let budget =
-        inst.Instance.battery.Energy.Lifetime.capacity_mah *. 3600. *. period
-        /. (years *. Energy.Lifetime.seconds_per_year)
-      in
       Array.iteri
         (fun i q ->
           (* Base stations are mains-powered: the lifetime requirement
              applies to battery nodes only. *)
           let role = (Template.node inst.Instance.template i).Template.role in
           if role <> Components.Component.Sink then
-            Model.add_constr ctx.model ~name:(Printf.sprintf "lifetime_%d" i) q Model.Le budget)
+            ctx.lifetime_rows.(i) <-
+              Some
+                (Model.add_row ctx.model ~name:(Printf.sprintf "lifetime_%d" i) q Model.Le
+                   budget))
         charges);
   charges
 
@@ -308,11 +365,7 @@ let dsod_expr ctx =
           Lin.add_term acc d r)
         Lin.zero ctx.reach
 
-let finalize ctx =
-  if ctx.finalized then invalid_arg "Encode_common.finalize: already finalized";
-  ctx.finalized <- true;
-  let charges = if needs_energy ctx then add_energy ctx else [||] in
-  add_localization ctx;
+let install_objective ctx =
   let period = ctx.inst.Instance.protocol.Energy.Tdma.report_period_s in
   let concern_expr = function
     | Objective.Dollar_cost -> dollar_expr ctx
@@ -320,7 +373,7 @@ let finalize ctx =
     | Objective.Dsod -> dsod_expr ctx
     | Objective.Energy ->
         (* Average network current in µA: Σ_i q_i / T * 1000. *)
-        Lin.scale (1000. /. period) (Array.fold_left Lin.add Lin.zero charges)
+        Lin.scale (1000. /. period) (Array.fold_left Lin.add Lin.zero ctx.charges)
   in
   let obj =
     List.fold_left
@@ -328,3 +381,51 @@ let finalize ctx =
       Lin.zero ctx.inst.Instance.objective
   in
   Model.set_objective ctx.model Model.Minimize obj
+
+(* Materialize staged edge usage into rows.  New lower bounds
+   (e >= term) are append-only; the per-edge upper row e <= usage is
+   created once and thereafter rewritten in place as the cumulative
+   usage grows.  After finalize, growth also invalidates the energy
+   side: every dirty node's charge expression is recomputed, its
+   products' usage-coupled rows and its lifetime row are rewritten, and
+   the objective is reinstalled. *)
+let flush_usage ctx =
+  let pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.edge_delta [] in
+  let pending = List.sort (fun (a, _) (b, _) -> compare a b) pending in
+  List.iter
+    (fun ((i, j), delta) ->
+      let e = edge_var ctx i j in
+      Lin.iter
+        (fun v c ->
+          if c > 0. then
+            Model.add_constr ctx.model (Lin.sub (Lin.var e) (Lin.var v)) Model.Ge 0.)
+        delta;
+      let total = Hashtbl.find ctx.edge_total (i, j) in
+      match Hashtbl.find_opt ctx.edge_upper (i, j) with
+      | Some row -> Model.set_row ctx.model row (Lin.sub (Lin.var e) total) Model.Le 0.
+      | None ->
+          Hashtbl.replace ctx.edge_upper (i, j)
+            (Model.add_row ctx.model (Lin.sub (Lin.var e) total) Model.Le 0.))
+    pending;
+  Hashtbl.reset ctx.edge_delta;
+  if ctx.finalized && needs_energy ctx then begin
+    let budget = lifetime_budget ctx in
+    Hashtbl.iter
+      (fun i () ->
+        let q = node_charge_expr ctx i in
+        ctx.charges.(i) <- q;
+        match ctx.lifetime_rows.(i) with
+        | Some row -> Model.set_row ctx.model row q Model.Le (Option.get budget)
+        | None -> ())
+      ctx.dirty;
+    install_objective ctx
+  end;
+  Hashtbl.reset ctx.dirty
+
+let finalize ctx =
+  if ctx.finalized then invalid_arg "Encode_common.finalize: already finalized";
+  flush_usage ctx;
+  ctx.finalized <- true;
+  if needs_energy ctx then ignore (add_energy ctx) else ctx.charges <- [||];
+  add_localization ctx;
+  install_objective ctx

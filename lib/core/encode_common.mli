@@ -49,11 +49,32 @@ val add_edge_usage : t -> int -> int -> Milp.Lin.t -> unit
 val constrain_used_edge : t -> int -> int -> Milp.Lin.t -> unit
 (** Couple a strategy-level usage expression to the shared edge binary:
     adds [e_{ij} >= expr / bound] style lower bounds ([e >= s] for each
-    binary term) plus [e_{ij} <= expr] so unused links stay off. *)
+    binary term) plus [e_{ij} <= expr] so unused links stay off.
+    One-shot variant of {!stage_edge_usage} + {!flush_usage}; it does
+    not participate in incremental growth. *)
+
+val stage_edge_usage : t -> int -> int -> Milp.Lin.t -> unit
+(** Incremental variant of {!add_edge_usage} + {!constrain_used_edge}:
+    record that [expr] additionally crosses link [i -> j] (on top of
+    anything staged before) without touching the model yet.  Rows are
+    materialized by the next {!flush_usage}. *)
+
+val flush_usage : t -> unit
+(** Materialize every staged usage delta: create edge variables and
+    their [e >= term] lower bounds for the new terms, and create-or-
+    rewrite each touched edge's [e <= total usage] row.  After
+    {!finalize}, also repairs the energy side for nodes whose usage
+    grew — auxiliary product rows and lifetime rows are rewritten in
+    place and the objective is reinstalled — so the model is again
+    exactly what a from-scratch encode of the cumulative pools would
+    produce (up to row order). *)
 
 val finalize : t -> unit
-(** Emit energy, lifetime, localization and objective rows.  Call once,
-    after the strategy added all routing structure. *)
+(** Emit energy, lifetime, localization and objective rows (flushing
+    any staged usage first).  Call once, after the strategy added all
+    routing structure.  The context stays growable: further
+    {!stage_edge_usage}/{!flush_usage} cycles keep the finalized rows
+    consistent. *)
 
 val localization_candidates : t -> (int * int list) list
 (** For each evaluation-point index, the anchor node indices considered

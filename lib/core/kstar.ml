@@ -9,43 +9,69 @@ type result = {
 let default_schedule = [ 1; 3; 5; 10; 20 ]
 
 let search ?(schedule = default_schedule) ?(time_threshold_s = 60.) ?(min_improvement = 0.005)
-    ?options inst =
+    ?options ?(incremental = true) inst =
+  (* One session for the whole sweep: pools, model, incumbent and cut
+     pool persist across steps.  Localization pruning is fixed at the
+     schedule's widest K* so every step's model is a strict superset of
+     the previous one. *)
+  let loc_kstar = List.fold_left Int.max 1 schedule in
+  let session = Session.start ~loc_kstar ~incremental inst in
   let steps = ref [] in
   let best = ref None in
+  let best_obj = ref None in
   let prev_obj = ref None in
   let stopped = ref `Schedule_exhausted in
   let rec go = function
     | [] -> ()
     | kstar :: rest -> (
-        match Solve.run ?options inst (Solve.Approx { kstar; loc_kstar = kstar }) with
+        match Session.grow session ~kstar with
         | Error _ ->
             (* Pool generation failed for this K*; try a larger one. *)
             go rest
-        | Ok outcome ->
+        | Ok () ->
+            let s = Session.solve ?options session in
+            let outcome = Solve.outcome_of_session s in
+            let direction = fst (Milp.Model.objective s.Session.model) in
+            (* [before] is better than [after] by more than [eps]? *)
+            let better before after eps =
+              match direction with
+              | Milp.Model.Minimize -> before < after -. eps
+              | Milp.Model.Maximize -> before > after +. eps
+            in
             let objective =
-              Option.map (fun _ -> outcome.Solve.mip.Milp.Branch_bound.objective)
+              Option.map
+                (fun _ -> outcome.Solve.mip.Milp.Branch_bound.objective)
                 outcome.Solve.solution
             in
             steps := { kstar; outcome; objective } :: !steps;
-            (match (outcome.Solve.solution, !best) with
-            | Some sol, None -> best := Some (kstar, sol)
-            | Some sol, Some (_, prev)
-              when outcome.Solve.mip.Milp.Branch_bound.objective
-                   < prev.Solution.mip.Milp.Branch_bound.objective -. 1e-9 ->
-                best := Some (kstar, sol)
+            (match (outcome.Solve.solution, objective) with
+            | Some sol, Some obj ->
+                let is_best =
+                  match !best_obj with None -> true | Some b -> better obj b 1e-9
+                in
+                if is_best then begin
+                  best := Some (kstar, sol);
+                  best_obj := Some obj
+                end
             | _ -> ());
             if outcome.Solve.stats.Solve.solve_time_s > time_threshold_s then
               stopped := `Time_threshold
             else begin
-              let improved =
-                match (objective, !prev_obj) with
-                | Some now, Some before ->
-                    before -. now > min_improvement *. Float.max 1e-9 (Float.abs before)
-                | Some _, None -> true
-                | None, _ -> true
-              in
-              (match objective with Some o -> prev_obj := Some o | None -> ());
-              if improved then go rest else stopped := `No_improvement
+              match objective with
+              | None ->
+                  (* An infeasible/unsolved step neither improves nor
+                     stalls: keep prev_obj and walk on. *)
+                  go rest
+              | Some now ->
+                  let improved =
+                    match !prev_obj with
+                    | None -> true
+                    | Some before ->
+                        better now before
+                          (min_improvement *. Float.max 1e-9 (Float.abs before))
+                  in
+                  prev_obj := Some now;
+                  if improved then go rest else stopped := `No_improvement
             end)
   in
   go schedule;

@@ -5,9 +5,12 @@
     terminates once the execution time becomes higher than a predefined
     threshold or there is no further improvement in the objective."
 
-    The search walks an increasing [K*] schedule, re-encoding and
-    re-solving the instance each time, and stops on timeout, lack of
-    improvement, or schedule exhaustion. *)
+    The search walks an increasing [K*] schedule on one incremental
+    {!Session}: each step extends the candidate pools, appends the delta
+    to the live model, and re-solves carrying the previous incumbent and
+    cut pool, stopping on timeout, lack of improvement, or schedule
+    exhaustion.  Localization pruning is fixed at the schedule's widest
+    [K*] for the whole sweep so the per-step models nest. *)
 
 type step = {
   kstar : int;
@@ -29,10 +32,15 @@ val search :
   ?time_threshold_s:float ->
   ?min_improvement:float ->
   ?options:Milp.Branch_bound.options ->
+  ?incremental:bool ->
   Instance.t ->
   result
 (** [search inst] runs the schedule.  Stops early when a solve exceeds
     [time_threshold_s] (default 60 s) or when the objective improves by
     less than [min_improvement] (relative, default 0.5%) over the
-    previous step.  Encoding failures for a given [K*] are recorded as
-    steps without objective and skipped. *)
+    previous step.  The improvement test follows the model's objective
+    direction, and a step without an incumbent neither counts as
+    improvement nor trips the stall detector.  Pool-generation failures
+    for a given [K*] are skipped.  [incremental] (default [true])
+    selects the live-session sweep; [false] re-encodes every step from
+    scratch (the [--no-incremental] ablation). *)

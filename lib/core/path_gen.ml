@@ -94,40 +94,78 @@ let disjoint_capacity pool =
   in
   go [] pool
 
-let generate ?(kstar = 10) inst =
-  if kstar < 1 then invalid_arg "Path_gen.generate: kstar < 1";
+(* Persistent BalanceDive state for one route: the evolving work graph
+   (with every previous round's minimally-disjoint removal applied), the
+   dedup table, and the pool in reverse discovery order.  Keeping these
+   alive lets an incremental session extend the pool instead of
+   recomputing it from scratch at every K* schedule step. *)
+type route_state = {
+  rs_route : Requirements.route;
+  rs_index : int;
+  rs_work : Digraph.t;
+  rs_seen : ((int * int) list, unit) Hashtbl.t;
+  mutable rs_rpool : Path.t list;
+}
+
+type state = {
+  st_inst : Instance.t;
+  st_base : Digraph.t;
+  st_dropped : int;
+  st_routes : route_state list;
+}
+
+let init inst =
   let base, dropped = lq_filtered_graph inst in
   let routes = inst.Instance.requirements.Requirements.routes in
-  let rec per_route acc idx = function
+  let st_routes =
+    List.mapi
+      (fun idx (r : Requirements.route) ->
+        {
+          rs_route = r;
+          rs_index = idx;
+          rs_work = Digraph.copy base;
+          rs_seen = Hashtbl.create 64;
+          rs_rpool = [];
+        })
+      routes
+  in
+  { st_inst = inst; st_base = base; st_dropped = dropped; st_routes }
+
+let extend st ~kstar =
+  if kstar < 1 then invalid_arg "Path_gen.extend: kstar < 1";
+  let inst = st.st_inst in
+  let rec per_route acc = function
     | [] -> Ok (List.rev acc)
-    | (r : Requirements.route) :: rest -> (
+    | rs :: rest -> (
+        let r = rs.rs_route in
+        let idx = rs.rs_index in
         let nrep = r.Requirements.replicas in
         let k = (kstar + nrep - 1) / nrep in
         (* BalanceDive: nrep rounds of k candidates, nrep * k >= kstar.
-           The pool is kept in discovery order (rpool is its reverse);
-           a hashtable keyed on the path's edge list dedups in O(1)
-           instead of a structural List.mem scan per candidate. *)
-        let work = Digraph.copy base in
+           The pool is kept in discovery order (rs_rpool is its
+           reverse); a hashtable keyed on the path's edge list dedups in
+           O(1) instead of a structural List.mem scan per candidate.  On
+           a fresh state this is exactly Algorithm 1; on a grown state
+           the rounds continue from the already-disconnected work graph,
+           so only genuinely new candidates join the pool. *)
         let bounds = Instance.effective_hop_bounds inst r in
-        let seen = Hashtbl.create 64 in
-        let rpool = ref [] in
         for _ = 1 to nrep do
           let found =
-            Yen.k_shortest work ~src:r.Requirements.src ~dst:r.Requirements.dst ~k
+            Yen.k_shortest rs.rs_work ~src:r.Requirements.src ~dst:r.Requirements.dst ~k
           in
           List.iter
             (fun (_, p) ->
               let key = Path.edges p in
-              if satisfies_hops bounds p && not (Hashtbl.mem seen key) then begin
-                Hashtbl.add seen key ();
-                rpool := p :: !rpool
+              if satisfies_hops bounds p && not (Hashtbl.mem rs.rs_seen key) then begin
+                Hashtbl.add rs.rs_seen key ();
+                rs.rs_rpool <- p :: rs.rs_rpool
               end)
             found;
-          match most_shared_path (List.rev !rpool) with
-          | Some p -> disconnect work p
+          match most_shared_path (List.rev rs.rs_rpool) with
+          | Some p -> disconnect rs.rs_work p
           | None -> ()
         done;
-        match List.rev !rpool with
+        match List.rev rs.rs_rpool with
         | [] ->
             Error
               (Printf.sprintf "route %d (%d -> %d): no feasible candidate path" idx
@@ -138,7 +176,7 @@ let generate ?(kstar = 10) inst =
               (* Distinguish a pool-construction shortfall from a graph
                  that cannot support the replication at all (Menger). *)
               let graph_cap =
-                Netgraph.Maxflow.edge_disjoint_capacity base ~src:r.Requirements.src
+                Netgraph.Maxflow.edge_disjoint_capacity st.st_base ~src:r.Requirements.src
                   ~dst:r.Requirements.dst
               in
               Error
@@ -160,11 +198,15 @@ let generate ?(kstar = 10) inst =
                    pool = pool_paths;
                  }
                 :: acc)
-                (idx + 1) rest)
+                rest)
   in
-  match per_route [] 0 routes with
-  | Ok pools -> Ok { pools; dropped_edges = dropped }
+  match per_route [] st.st_routes with
+  | Ok pools -> Ok { pools; dropped_edges = st.st_dropped }
   | Error e -> Error e
+
+let generate ?(kstar = 10) inst =
+  if kstar < 1 then invalid_arg "Path_gen.generate: kstar < 1";
+  extend (init inst) ~kstar
 
 let localization_candidates inst ~kstar =
   match inst.Instance.requirements.Requirements.localization with

@@ -42,7 +42,32 @@ val generate : ?kstar:int -> Instance.t -> (result, string) Stdlib.result
 (** Run Algorithm 1 with [kstar] (default 10, the paper's Table 1/3
     setting).  Fails if some required pair has no feasible candidate
     (e.g. disconnected after the LQ filter) or if a pool cannot supply
-    the demanded number of disjoint replicas. *)
+    the demanded number of disjoint replicas.  Equivalent to
+    [extend (init inst) ~kstar]. *)
+
+(** {1 Persistent generation state}
+
+    A {!state} keeps each route's BalanceDive machinery alive — the
+    LQ-filtered base graph, the per-route work graph with every
+    minimally-disjoint removal applied so far, the dedup table, and the
+    pool in discovery order — so an incremental K* sweep can {e extend}
+    the candidate pools instead of recomputing them at every schedule
+    step.  Pools grow monotonically: a path once proposed is never
+    dropped or reordered. *)
+
+type state
+
+val init : Instance.t -> state
+(** Fresh generation state: LQ filter applied, all pools empty. *)
+
+val extend : state -> kstar:int -> (result, string) Stdlib.result
+(** Run [replicas] further BalanceDive rounds of
+    [ceil (kstar / replicas)] candidates per route on the persistent
+    work graphs, dedup against everything proposed before, and return
+    the {e cumulative} pools.  The first call on a fresh state is
+    exactly {!generate}[ ~kstar].  On error (a route's pool still lacks
+    its disjoint replicas) the path state keeps whatever was found —
+    a later [extend] with a larger [kstar] continues from there. *)
 
 val localization_candidates : Instance.t -> kstar:int -> (int * int list) list
 (** Approximate pruning for the localization constraints: for each

@@ -1,0 +1,188 @@
+module BB = Milp.Branch_bound
+module Model = Milp.Model
+
+type enc = {
+  e_ctx : Encode_common.t;
+  e_routes : Approx_encoding.route_state list;
+}
+
+type t = {
+  s_inst : Instance.t;
+  s_loc_kstar : int;
+  s_incremental : bool;
+  s_gen : Path_gen.state;
+  mutable s_generation : Path_gen.result option;
+  mutable s_enc : enc option;
+  mutable s_kstar : int;
+  mutable s_pool_total : int;
+  (* Carry across steps (incremental mode only): the last incumbent in
+     model-variable space with its objective, and the solver's cut
+     carry-out. *)
+  mutable s_carry : (float array * float) option;
+  mutable s_carry_cuts : Milp.Cuts.cut list;
+  (* Encode work done since the last solve, reported by that solve. *)
+  mutable s_pending_encode_s : float;
+  mutable s_pending_delta : int;
+}
+
+type outcome = {
+  solution : Solution.t option;
+  status : Milp.Status.mip_status;
+  mip : BB.result;
+  model : Model.t;
+  kstar : int;
+  nvars : int;
+  nconstrs : int;
+  encode_time_s : float;
+  solve_time_s : float;
+  extract_time_s : float;
+  delta_paths : int;
+  pool_size : int;
+}
+
+let incremental t = t.s_incremental
+
+let start ?(loc_kstar = 20) ?(incremental = true) inst =
+  {
+    s_inst = inst;
+    s_loc_kstar = loc_kstar;
+    s_incremental = incremental;
+    s_gen = Path_gen.init inst;
+    s_generation = None;
+    s_enc = None;
+    s_kstar = 0;
+    s_pool_total = 0;
+    s_carry = None;
+    s_carry_cuts = [];
+    s_pending_encode_s = 0.;
+    s_pending_delta = 0;
+  }
+
+let pool_total (generation : Path_gen.result) =
+  List.fold_left
+    (fun acc (p : Path_gen.route_pool) -> acc + List.length p.Path_gen.pool)
+    0 generation.Path_gen.pools
+
+(* Fresh encode of the cumulative pools — the first step of either mode,
+   and every step of rebuild mode. *)
+let build_fresh t (generation : Path_gen.result) =
+  let ctx = Encode_common.create t.s_inst in
+  let routes =
+    List.map
+      (fun (p : Path_gen.route_pool) ->
+        let rs = Approx_encoding.init_route p in
+        Approx_encoding.grow_route ctx rs p.Path_gen.pool;
+        rs)
+      generation.Path_gen.pools
+  in
+  Encode_common.set_localization_candidates ctx
+    (Path_gen.localization_candidates t.s_inst ~kstar:t.s_loc_kstar);
+  Encode_common.finalize ctx;
+  t.s_enc <- Some { e_ctx = ctx; e_routes = routes }
+
+let grow t ~kstar =
+  match Path_gen.extend t.s_gen ~kstar with
+  | Error e -> Error e
+  | Ok generation ->
+      let t0 = Unix.gettimeofday () in
+      t.s_generation <- Some generation;
+      t.s_kstar <- kstar;
+      (match t.s_enc with
+      | Some enc when t.s_incremental ->
+          (* Delta encode into the live model: new selector columns and
+             rows only, staged usage flushed once at the end. *)
+          List.iter2
+            (fun rs (p : Path_gen.route_pool) ->
+              Approx_encoding.grow_route enc.e_ctx rs p.Path_gen.pool)
+            enc.e_routes generation.Path_gen.pools;
+          Encode_common.flush_usage enc.e_ctx
+      | _ ->
+          build_fresh t generation;
+          if not t.s_incremental then begin
+            t.s_carry <- None;
+            t.s_carry_cuts <- []
+          end);
+      let total = pool_total generation in
+      t.s_pending_delta <- t.s_pending_delta + (total - t.s_pool_total);
+      t.s_pool_total <- total;
+      t.s_pending_encode_s <- t.s_pending_encode_s +. (Unix.gettimeofday () -. t0);
+      Ok ()
+
+let create ?loc_kstar ?incremental ~kstar inst =
+  let t = start ?loc_kstar ?incremental inst in
+  match grow t ~kstar with Ok () -> Ok t | Error e -> Error e
+
+let solve ?(options = BB.default_options) t =
+  match t.s_enc with
+  | None -> invalid_arg "Session.solve: grow the session successfully first"
+  | Some enc ->
+      let model = Encode_common.model enc.e_ctx in
+      let direction = fst (Model.objective model) in
+      let warm, cutoff, seeds =
+        if not t.s_incremental then (None, options.BB.cutoff, [])
+        else
+          match t.s_carry with
+          | None -> (None, options.BB.cutoff, t.s_carry_cuts)
+          | Some (x, obj) ->
+              (* Zero-extend the previous incumbent over any new
+                 selector/auxiliary columns: old one-path/rank rows keep
+                 their values and the new candidates simply stay
+                 unselected, so the point remains feasible with the same
+                 objective (Branch_bound re-validates it anyway). *)
+              let n = Model.nvars model in
+              let x' = Array.make n 0. in
+              Array.blit x 0 x' 0 (Int.min n (Array.length x));
+              let cutoff =
+                if Float.is_nan options.BB.cutoff then obj
+                else
+                  match direction with
+                  | Model.Minimize -> Float.min options.BB.cutoff obj
+                  | Model.Maximize -> Float.max options.BB.cutoff obj
+              in
+              (Some x', cutoff, t.s_carry_cuts)
+      in
+      let options = { options with BB.cutoff } in
+      let t1 = Unix.gettimeofday () in
+      let mip = BB.solve ~options ~seed_cuts:seeds ?warm_solution:warm model in
+      let t2 = Unix.gettimeofday () in
+      let solution =
+        match mip.BB.solution with
+        | None -> None
+        | Some _ ->
+            let approx =
+              {
+                Approx_encoding.ctx = enc.e_ctx;
+                selections = List.map Approx_encoding.selection_of enc.e_routes;
+                generation = Option.get t.s_generation;
+              }
+            in
+            Some (Solution.of_approx approx mip)
+      in
+      let t3 = Unix.gettimeofday () in
+      if t.s_incremental then begin
+        (match mip.BB.solution with
+        | Some x -> t.s_carry <- Some (Array.copy x, mip.BB.objective)
+        | None -> ());
+        (* A previous carry stays valid even when this solve found
+           nothing: the model only grew and the vector re-validates. *)
+        t.s_carry_cuts <- mip.BB.carry_cuts
+      end;
+      let outcome =
+        {
+          solution;
+          status = mip.BB.status;
+          mip;
+          model;
+          kstar = t.s_kstar;
+          nvars = Model.nvars model;
+          nconstrs = Model.nconstrs model;
+          encode_time_s = t.s_pending_encode_s;
+          solve_time_s = t2 -. t1;
+          extract_time_s = t3 -. t2;
+          delta_paths = t.s_pending_delta;
+          pool_size = t.s_pool_total;
+        }
+      in
+      t.s_pending_encode_s <- 0.;
+      t.s_pending_delta <- 0;
+      outcome

@@ -1,0 +1,73 @@
+(** Incremental solve sessions over the K* sweep.
+
+    A session keeps everything alive that {!Kstar.search} used to throw
+    away between schedule steps: the per-route Yen/BalanceDive state
+    ({!Path_gen.state}), the live {!Encode_common} context and
+    {!Milp.Model.t} (grown in place via the watermark/append API), the
+    last incumbent, and the solver's cut pool.  Each step then costs a
+    pool {e extension}, a {e delta} encode (only the new candidate
+    paths' columns and rows), and a solve that starts from the previous
+    incumbent — wired into {!Milp.Branch_bound.solve} as a warm solution
+    plus cutoff — with the surviving cover cuts re-certified against the
+    grown model and re-seeded.
+
+    With [incremental = false] the session degrades to the rebuild
+    ablation: the same cumulative pools are re-encoded from scratch each
+    step and solved cold, carrying nothing.  Both modes see identical
+    pools (path generation state is shared machinery), so at optimality
+    they reach identical final objectives — the [BENCH_PR3.json]
+    comparison in [bench/] relies on this. *)
+
+type t
+
+type outcome = {
+  solution : Solution.t option;  (** Extracted+validated incumbent. *)
+  status : Milp.Status.mip_status;
+  mip : Milp.Branch_bound.result;
+  model : Milp.Model.t;  (** The live model (do not mutate). *)
+  kstar : int;  (** K* of the step this outcome belongs to. *)
+  nvars : int;
+  nconstrs : int;
+  encode_time_s : float;
+      (** Pool extension + (delta or full) encode time of the grows
+          since the previous solve. *)
+  solve_time_s : float;
+  extract_time_s : float;  (** Solution extraction/validation time. *)
+  delta_paths : int;  (** Candidate paths added since the previous solve. *)
+  pool_size : int;  (** Cumulative candidate paths across all routes. *)
+}
+
+val start : ?loc_kstar:int -> ?incremental:bool -> Instance.t -> t
+(** A session with empty pools and no model yet.  [loc_kstar] (default
+    20) fixes the localization-candidate pruning for the whole session —
+    it is deliberately {e not} swept, so that grown models stay strict
+    supersets.  [incremental] (default [true]) selects live-model growth
+    vs the rebuild-each-step ablation. *)
+
+val create :
+  ?loc_kstar:int ->
+  ?incremental:bool ->
+  kstar:int ->
+  Instance.t ->
+  (t, string) result
+(** [start] followed by a first {!grow}[ ~kstar]. *)
+
+val grow : t -> kstar:int -> (unit, string) result
+(** Extend every route's candidate pool by a further BalanceDive round
+    set at [kstar] ({!Path_gen.extend}) and bring the model up to date
+    with the delta (or rebuild it, per mode).  On [Error] (a pool still
+    cannot supply its disjoint replicas) the model is left untouched but
+    the path-generation progress is kept, so a later [grow] with a
+    larger [kstar] continues from there; the session stays solvable if a
+    previous grow succeeded. *)
+
+val solve : ?options:Milp.Branch_bound.options -> t -> outcome
+(** Solve the current model.  In incremental mode the previous step's
+    incumbent (zero-extended over new columns) is installed as warm
+    solution and cutoff — so a step that cannot improve still returns
+    the carried solution rather than [Mip_unknown] — and the carried
+    cover cuts are offered for re-certification.  A caller [cutoff] in
+    [options] is combined direction-aware with the carried objective.
+    @raise Invalid_argument if no {!grow} has succeeded yet. *)
+
+val incremental : t -> bool

@@ -2,7 +2,13 @@ type strategy = Full_enum | Approx of { kstar : int; loc_kstar : int }
 
 let approx ?(kstar = 10) ?(loc_kstar = 20) () = Approx { kstar; loc_kstar }
 
-type stats = { nvars : int; nconstrs : int; encode_time_s : float; solve_time_s : float }
+type stats = {
+  nvars : int;
+  nconstrs : int;
+  encode_time_s : float;
+  solve_time_s : float;
+  extract_time_s : float;
+}
 
 type outcome = {
   solution : Solution.t option;
@@ -32,23 +38,44 @@ let encode_size inst strategy =
       let m = Encode_common.model (ctx_of enc) in
       Ok (Milp.Model.nvars m, Milp.Model.nconstrs m)
 
+let outcome_of_session (s : Session.outcome) =
+  {
+    solution = s.Session.solution;
+    status = s.Session.status;
+    stats =
+      {
+        nvars = s.Session.nvars;
+        nconstrs = s.Session.nconstrs;
+        encode_time_s = s.Session.encode_time_s;
+        solve_time_s = s.Session.solve_time_s;
+        extract_time_s = s.Session.extract_time_s;
+      };
+    mip = s.Session.mip;
+    model = s.Session.model;
+  }
+
 let run ?(options = Milp.Branch_bound.default_options) inst strategy =
-  let t0 = Unix.gettimeofday () in
-  match encode inst strategy with
-  | Error e -> Error e
-  | Ok enc ->
+  match strategy with
+  | Approx { kstar; loc_kstar } -> (
+      (* One-shot wrapper over a single-step session.  A fresh session's
+         first step has no carry, so options (cutoff included) pass
+         through to the solver untouched. *)
+      match Session.create ~loc_kstar ~kstar inst with
+      | Error e -> Error e
+      | Ok session -> Ok (outcome_of_session (Session.solve ~options session)))
+  | Full_enum ->
+      let t0 = Unix.gettimeofday () in
+      let enc = Full_encoding.encode inst in
       let t1 = Unix.gettimeofday () in
-      let model = Encode_common.model (ctx_of enc) in
+      let model = Encode_common.model enc.Full_encoding.ctx in
       let mip = Milp.Branch_bound.solve ~options model in
       let t2 = Unix.gettimeofday () in
       let solution =
         match mip.Milp.Branch_bound.solution with
         | None -> None
-        | Some _ -> (
-            match enc with
-            | E_full e -> Some (Solution.of_full e mip)
-            | E_approx e -> Some (Solution.of_approx e mip))
+        | Some _ -> Some (Solution.of_full enc mip)
       in
+      let t3 = Unix.gettimeofday () in
       Ok
         {
           solution;
@@ -59,6 +86,7 @@ let run ?(options = Milp.Branch_bound.default_options) inst strategy =
               nconstrs = Milp.Model.nconstrs model;
               encode_time_s = t1 -. t0;
               solve_time_s = t2 -. t1;
+              extract_time_s = t3 -. t2;
             };
           mip;
           model;

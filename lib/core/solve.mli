@@ -15,6 +15,9 @@ type stats = {
   nconstrs : int;
   encode_time_s : float;
   solve_time_s : float;
+  extract_time_s : float;
+      (** Solution extraction + physics validation, previously invisible
+          (it happens after the solver returns). *)
 }
 
 type outcome = {
@@ -29,6 +32,9 @@ val encode_size : Instance.t -> strategy -> (int * int, string) result
 (** [(nvars, nconstrs)] of the encoding without solving — the
     problem-size comparison of the paper's Table 3. *)
 
+val outcome_of_session : Session.outcome -> outcome
+(** View a session step as a one-shot outcome (used by {!Kstar}). *)
+
 val run :
   ?options:Milp.Branch_bound.options ->
   Instance.t ->
@@ -38,7 +44,8 @@ val run :
     {!Milp.Branch_bound.default_options}.  Returns [Error] when the
     encoding itself fails (e.g. Algorithm 1 finds no candidates) and
     [Ok] with [solution = None] when the MILP is infeasible or hit its
-    limits without an incumbent. *)
+    limits without an incumbent.  The [Approx] strategy is a thin
+    wrapper over a single-step {!Session}. *)
 
 val run_exn :
   ?options:Milp.Branch_bound.options -> Instance.t -> strategy -> Solution.t

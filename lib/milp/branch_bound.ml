@@ -44,6 +44,9 @@ type result = {
   cuts_separated : int;
   cuts_applied : int;
   cuts_evicted : int;
+  cuts_seeded : int;
+  carry_cuts : Cuts.cut list;
+  bound_pruned : int;
   rc_fixed : int;
   root_lp_bound : float;
   root_cut_bound : float;
@@ -204,7 +207,7 @@ let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~wa
   in
   go ()
 
-let solve ?(options = default_options) model =
+let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
   let t0 = Unix.gettimeofday () in
   let p = Simplex.of_model model in
   let n = p.Simplex.ncols in
@@ -216,6 +219,11 @@ let solve ?(options = default_options) model =
   let counters = { warm = 0; cold = 0; fallback = 0 } in
   let pool = Cuts.create_pool () in
   let rc_fixed = ref 0 in
+  let cuts_seeded = ref 0 in
+  let bound_pruned = ref 0 in
+  (* Cuts that became problem rows this solve; together with the pool's
+     survivors they form the carry-out for an incremental session. *)
+  let applied_cuts = ref [] in
   (* Root LP objective before and after the cut loop (min form). *)
   let root_lp_bound = ref nan in
   let root_cut_bound = ref nan in
@@ -234,6 +242,9 @@ let solve ?(options = default_options) model =
       cuts_separated = separated;
       cuts_applied = applied;
       cuts_evicted = evicted;
+      cuts_seeded = !cuts_seeded;
+      carry_cuts = List.rev_append !applied_cuts (Cuts.members pool);
+      bound_pruned = !bound_pruned;
       rc_fixed = !rc_fixed;
       root_lp_bound = sign *. !root_lp_bound;
       root_cut_bound = sign *. !root_cut_bound;
@@ -278,6 +289,7 @@ let solve ?(options = default_options) model =
         let rows =
           List.map (fun (c : Cuts.cut) -> (c.Cuts.c_row, Model.Le, c.Cuts.c_rhs)) cs
         in
+        applied_cuts := List.rev_append cs !applied_cuts;
         pref := Simplex.add_rows !pref rows;
         cut_index :=
           Array.append !cut_index
@@ -317,6 +329,38 @@ let solve ?(options = default_options) model =
           incumbent_obj := obj
         end
       in
+      (* Carried-in incumbent: a solution of the previous (smaller) model
+         zero-extended over the new columns.  Re-validate it against the
+         grown rows/bounds before trusting it — then it both prunes like
+         a cutoff and survives as a real solution when no better one is
+         found. *)
+      (match warm_solution with
+      | Some x
+        when Array.length x = n
+             && (let ok = ref true in
+                 for j = 0 to n - 1 do
+                   if x.(j) < plb.(j) -. feas_tol || x.(j) > pub.(j) +. feas_tol then
+                     ok := false;
+                   if integer.(j) && Float.abs (x.(j) -. Float.round x.(j)) > feas_tol
+                   then ok := false
+                 done;
+                 !ok)
+             && rows_feasible p x feas_tol ->
+          let obj = objective_of p x in
+          if obj <= !incumbent_obj +. 1e-9 then begin
+            incumbent := Some (Array.copy x);
+            incumbent_obj := Float.min !incumbent_obj obj
+          end
+      | _ -> ());
+      (* Carried-in cuts: only cover cuts that re-certify against the
+         grown base rows under the new root bounds enter the pool; Gomory
+         cuts and anything uncertifiable are dropped. *)
+      if options.cuts then
+        List.iter
+          (fun c ->
+            if Cuts.certify_cover p0 ~nrows:m0 ~integer ~lb:plb ~ub:pub c then
+              if Cuts.add pool c ~x:[||] then incr cuts_seeded)
+          seed_cuts;
       let best_open_bound () =
         match Pqueue.peek_key queue with Some k -> k | None -> infinity
       in
@@ -465,7 +509,7 @@ let solve ?(options = default_options) model =
       let process node =
         incr nodes;
         (* Prune by bound before paying for the LP. *)
-        if node.nbound >= !incumbent_obj -. options.abs_gap then ()
+        if node.nbound >= !incumbent_obj -. options.abs_gap then incr bound_pruned
         else begin
           let lb = Array.copy plb and ub = Array.copy pub in
           List.iter
@@ -506,7 +550,7 @@ let solve ?(options = default_options) model =
           | Status.Lp_optimal ->
               let r = !r in
               let obj = r.Simplex.objective in
-              if obj >= !incumbent_obj -. options.abs_gap then ()
+              if obj >= !incumbent_obj -. options.abs_gap then incr bound_pruned
               else begin
                 let x = r.Simplex.primal in
                 let j = pick_branch_var x in

@@ -72,6 +72,17 @@ type result = {
   cuts_separated : int;  (** Cuts accepted into the pool. *)
   cuts_applied : int;  (** Cuts promoted to problem rows. *)
   cuts_evicted : int;  (** Pool members aged or crowded out. *)
+  cuts_seeded : int;
+      (** Carried-in cuts that re-certified against this model and
+          entered the pool (see [seed_cuts] on {!solve}). *)
+  carry_cuts : Cuts.cut list;
+      (** Carry-out for an incremental session: every cut applied this
+          solve followed by the pool's survivors.  All are globally
+          valid for this model; feed them back as [seed_cuts] after the
+          model grows. *)
+  bound_pruned : int;
+      (** Nodes pruned against the incumbent/cutoff bound — before the
+          LP (parent bound already too poor) or right after it. *)
   rc_fixed : int;  (** Integer variables fixed by reduced cost. *)
   root_lp_bound : float;
       (** Root LP relaxation objective (model direction) before any
@@ -86,8 +97,26 @@ type result = {
 val gap : result -> float
 (** Relative optimality gap of a result ([infinity] without incumbent). *)
 
-val solve : ?options:options -> Model.t -> result
-(** Solve the model.  The model is not mutated. *)
+val solve :
+  ?options:options ->
+  ?seed_cuts:Cuts.cut list ->
+  ?warm_solution:float array ->
+  Model.t ->
+  result
+(** Solve the model.  The model is not mutated.
+
+    [seed_cuts] carries a previous solve's cut pool into this one:
+    each cover cut that re-certifies against the (possibly grown)
+    model's base rows under its root bounds
+    ({!Cuts.certify_cover}) is pooled before the root cut loop;
+    Gomory cuts and uncertifiable rows are silently dropped.
+
+    [warm_solution] carries a previous incumbent (zero-extended over any
+    new columns by the caller).  It is re-validated against the new
+    bounds, rows and integrality; when valid and at least as good as any
+    [cutoff], it is installed as the starting incumbent — so it prunes
+    exactly like a cutoff but is returned as a real solution if nothing
+    better is found (instead of [Mip_unknown]). *)
 
 val value : result -> int -> float
 (** [value r v] is the incumbent value of variable [v].

@@ -111,6 +111,11 @@ let gmi_from_row (p : Simplex.problem) (t : Simplex.tableau) ~integer i =
     let items = ref [] in
     let le_rhs = ref (-. !rhs) in
     let amax = ref 0. and amin = ref infinity in
+    (* [touched] can list a variable twice when substitutions cancel its
+       coefficient to exactly zero and a later term re-adds it (common
+       with cover-cut rows, whose entries share one magnitude); a
+       duplicate would double the emitted coefficient. *)
+    let touched = List.sort_uniq compare !touched in
     List.iter
       (fun j ->
         let c = -.coef.(j) in
@@ -126,7 +131,7 @@ let gmi_from_row (p : Simplex.problem) (t : Simplex.tableau) ~integer i =
           let worst = Float.min (c *. t.Simplex.t_lb.(j)) (c *. t.Simplex.t_ub.(j)) in
           if Float.is_finite worst then le_rhs := !le_rhs -. worst else ok := false
         end)
-      !touched;
+      touched;
     if (not !ok) || !items = [] || !amax /. !amin > 1e7 then None
     else normalize (Array.of_list !items) !le_rhs Gomory
   end
@@ -367,3 +372,121 @@ let select pool ~x ~max_cuts ~min_violation =
   List.map (fun (_, e) -> e.e_cut) taken
 
 let stats pool = (pool.separated, pool.applied, pool.evicted)
+
+let members pool = List.map (fun e -> e.e_cut) pool.members
+
+(* ------------------------------------------------------------------ *)
+(* Re-certification of carried cover cuts                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A cover cut in literal space reads  sum_l y_l <= d  with
+   y_l = x_j (positive coefficient) or 1 - x_j (negative, complemented).
+   Recover (literals, d) from the normalized stored form: coefficients
+   must share one magnitude s, and rhs/s + #complements must be a
+   nonnegative integer. *)
+let cover_literals c =
+  let nlits = Array.length c.c_row in
+  if c.c_origin <> Cover || nlits = 0 then None
+  else begin
+    let s = Float.abs (snd c.c_row.(0)) in
+    if s < 1e-12 then None
+    else if
+      not
+        (Array.for_all
+           (fun (_, a) -> Float.abs (Float.abs a -. s) <= 1e-7 *. s)
+           c.c_row)
+    then None
+    else begin
+      let ncomp =
+        Array.fold_left (fun n (_, a) -> if a < 0. then n + 1 else n) 0 c.c_row
+      in
+      let d_f = (c.c_rhs /. s) +. float_of_int ncomp in
+      let d = Float.round d_f in
+      if Float.abs (d_f -. d) > 1e-6 || d < 0. then None
+      else Some (Array.map (fun (j, a) -> (j, a > 0.)) c.c_row, int_of_float d)
+    end
+  end
+
+(* Does row [i] of [p], read as a ≤-row with sign [sgn], prove the cover?
+   Map each cut literal onto its row term when the orientation matches
+   (weight |a|, complemented terms shift the rhs); relax every other row
+   term over the variable box.  The resulting valid inequality
+   [sum_l w_l y_l <= b] forbids more than [d] literals at 1 whenever the
+   [d+1] smallest weights already overflow [b]. *)
+let cover_holds_on_row p ~lb ~ub lits d i sgn =
+  let nlits = Array.length lits in
+  let b = ref (sgn *. p.Simplex.rhs.(i)) in
+  let w = Array.make nlits 0. in
+  let lit_index j =
+    let rec go l = if l >= nlits then None
+      else if fst lits.(l) = j then Some l else go (l + 1)
+    in
+    go 0
+  in
+  let ok = ref true in
+  Array.iter
+    (fun (j, a0) ->
+      if !ok then begin
+        let a = sgn *. a0 in
+        let matched =
+          match lit_index j with
+          | Some l when a <> 0. && (a > 0.) = snd lits.(l) ->
+              w.(l) <- Float.abs a;
+              if a < 0. then b := !b +. Float.abs a;
+              true
+          | _ -> false
+        in
+        if not matched then begin
+          let worst = Float.min (a *. lb.(j)) (a *. ub.(j)) in
+          if Float.is_finite worst then b := !b -. worst else ok := false
+        end
+      end)
+    p.Simplex.rows.(i);
+  !ok
+  && begin
+       Array.sort compare w;
+       let s = ref 0. in
+       for k = 0 to d do
+         s := !s +. w.(k)
+       done;
+       !s > !b +. 1e-7
+     end
+
+let lit_index_mem lits j = Array.exists (fun (j', _) -> j' = j) lits
+
+let certify_cover (p : Simplex.problem) ~nrows ~integer ~lb ~ub c =
+  match cover_literals c with
+  | None -> false
+  | Some (lits, d) ->
+      let binary j =
+        j < Array.length lb
+        && integer.(j)
+        && lb.(j) >= -1e-9
+        && ub.(j) <= 1. +. 1e-9
+      in
+      Array.for_all (fun (j, _) -> binary j) lits
+      && begin
+           if d >= Array.length lits then true
+             (* at most |L|-of-|L| literals: implied by the binary box *)
+           else begin
+             let touches i =
+               Array.exists (fun (j, _) -> lit_index_mem lits j) p.Simplex.rows.(i)
+             in
+             let rec scan i =
+               if i >= nrows then false
+               else begin
+                 let here =
+                   touches i
+                   && (match p.Simplex.senses.(i) with
+                      | Model.Le -> cover_holds_on_row p ~lb ~ub lits d i 1.0
+                      | Model.Ge -> cover_holds_on_row p ~lb ~ub lits d i (-1.0)
+                      | Model.Eq ->
+                          cover_holds_on_row p ~lb ~ub lits d i 1.0
+                          || cover_holds_on_row p ~lb ~ub lits d i (-1.0))
+                 in
+                 here || scan (i + 1)
+               end
+             in
+             scan 0
+           end
+         end

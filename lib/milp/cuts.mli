@@ -101,3 +101,28 @@ val select : pool -> x:float array -> max_cuts:int -> min_violation:float -> cut
 
 val stats : pool -> int * int * int
 (** [(separated, applied, evicted)] counters over the pool's life. *)
+
+val members : pool -> cut list
+(** Snapshot of the cuts currently pooled (for carrying across solves). *)
+
+(** {1 Carrying cuts across model growth} *)
+
+val certify_cover :
+  Simplex.problem ->
+  nrows:int ->
+  integer:bool array ->
+  lb:float array ->
+  ub:float array ->
+  cut -> bool
+(** [certify_cover p ~nrows ~integer ~lb ~ub c] re-proves a pooled
+    {!Cover} cut against the first [nrows] (base) rows of a {e grown}
+    problem under its root bounds, without reference to the model the
+    cut was separated from.  The cut is decoded back to literal form
+    [sum_l y_l <= d] ([y_l] a binary variable or its complement) and
+    accepted iff some base row, relaxed over the box to a valid
+    inequality [sum_l w_l y_l <= b] with [w_l >= 0], has its [d+1]
+    smallest literal weights already exceeding [b] — which makes more
+    than [d] literals at 1 impossible, so the cut is globally valid for
+    the new model.  Returns [false] for Gomory cuts (their derivation is
+    basis-specific and does not survive new columns) and whenever no row
+    certifies: the test is sound but deliberately conservative. *)

@@ -50,13 +50,25 @@ let add_var m ?lb ?ub ?(kind = Continuous) ?(obj = 0.) vname =
 
 let add_binary m ?obj vname = add_var m ?obj ~kind:Binary vname
 
-let add_constr m ?name expr sense rhs =
+let add_row m ?name expr sense rhs =
   let cname =
     match name with Some n -> n | None -> Printf.sprintf "c%d" (Vec.length m.cons)
   in
   let cst = Lin.constant expr in
   let expr = Lin.add_const expr (-.cst) in
-  Vec.add_last m.cons { c_name = cname; c_expr = expr; c_sense = sense; c_rhs = rhs -. cst }
+  let id = Vec.length m.cons in
+  Vec.add_last m.cons { c_name = cname; c_expr = expr; c_sense = sense; c_rhs = rhs -. cst };
+  id
+
+let add_constr m ?name expr sense rhs = ignore (add_row m ?name expr sense rhs)
+
+let set_row m row expr sense rhs =
+  if row < 0 || row >= Vec.length m.cons then
+    invalid_arg (Printf.sprintf "Model.set_row: row %d out of range" row);
+  let old = Vec.get m.cons row in
+  let cst = Lin.constant expr in
+  let expr = Lin.add_const expr (-.cst) in
+  Vec.set m.cons row { old with c_expr = expr; c_sense = sense; c_rhs = rhs -. cst }
 
 let add_range m ?name lo expr hi =
   let base = match name with Some n -> n | None -> Printf.sprintf "r%d" (Vec.length m.cons) in
@@ -92,6 +104,22 @@ let var_obj m v = (get m v).v_obj
 
 let is_integer m v =
   match (get m v).v_kind with Integer | Binary -> true | Continuous -> false
+
+let constr m row = Vec.get m.cons row
+
+type watermark = { w_vars : int; w_constrs : int }
+
+let mark m = { w_vars = Vec.length m.vars; w_constrs = Vec.length m.cons }
+
+let vars_since m w =
+  let n = Vec.length m.vars in
+  let rec build i = if i >= n then [] else i :: build (i + 1) in
+  build w.w_vars
+
+let constrs_since m w =
+  let n = Vec.length m.cons in
+  let rec build i = if i >= n then [] else i :: build (i + 1) in
+  build w.w_constrs
 
 let constrs m = Vec.to_array m.cons
 

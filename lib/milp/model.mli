@@ -50,6 +50,16 @@ val add_constr : t -> ?name:string -> Lin.t -> sense -> float -> unit
 (** [add_constr m lhs sense rhs] adds the constraint
     [lhs sense rhs]; any constant term in [lhs] is moved to the rhs. *)
 
+val add_row : t -> ?name:string -> Lin.t -> sense -> float -> int
+(** Like {!add_constr} but returns the new row's index, so the caller can
+    later rewrite it with {!set_row} as an incremental encoding grows. *)
+
+val set_row : t -> int -> Lin.t -> sense -> float -> unit
+(** [set_row m row lhs sense rhs] replaces the body of constraint [row]
+    in place (keeping its name).  The constant term of [lhs] is folded
+    into the rhs exactly as in {!add_constr}.
+    @raise Invalid_argument if [row] is out of range. *)
+
 val add_range : t -> ?name:string -> float -> Lin.t -> float -> unit
 (** [add_range m lo e hi] adds [lo <= e <= hi] as two constraints. *)
 
@@ -78,6 +88,24 @@ val var_obj : t -> int -> float
 
 val is_integer : t -> int -> bool
 (** [true] for [Integer] and [Binary] variables. *)
+
+val constr : t -> int -> constr
+(** [constr m row] is the current body of constraint [row]. *)
+
+type watermark
+(** A point-in-time marker over a model's variable and constraint
+    counts.  Models only ever grow, so everything at an index at or past
+    a watermark was added after the watermark was taken. *)
+
+val mark : t -> watermark
+(** Record the current variable/constraint counts. *)
+
+val vars_since : t -> watermark -> int list
+(** Ids of variables added after [mark], in insertion order. *)
+
+val constrs_since : t -> watermark -> int list
+(** Indices of constraints added after [mark], in insertion order.
+    Rows rewritten in place via {!set_row} are not reported. *)
 
 val constrs : t -> constr array
 (** Snapshot of the current constraints in insertion order. *)

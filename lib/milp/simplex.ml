@@ -334,7 +334,10 @@ let refactorize st =
   let a = Array.init m (fun _ -> Array.make m 0.) in
   let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.)) in
   for i = 0 to m - 1 do
-    Array.iter (fun (r, c) -> a.(r).(i) <- c) st.cols.(st.basis.(i))
+    (* Accumulate rather than assign: ftran/btran sum duplicate entries
+       within a sparse column, and the factorization must invert the
+       same matrix they apply. *)
+    Array.iter (fun (r, c) -> a.(r).(i) <- a.(r).(i) +. c) st.cols.(st.basis.(i))
   done;
   let ok = ref true in
   for col = 0 to m - 1 do
@@ -371,6 +374,35 @@ let refactorize st =
       end
     end
   done;
+  (* Gauss-Jordan "succeeds" on a near-singular basis (every pivot
+     clears 1e-12) yet the computed inverse can be off by O(cond·eps) —
+     whole units at condition 1e14 — which silently corrupts [xb] and
+     the objective.  Probe the product on the all-ones vector and
+     reject ill-conditioned bases so callers fall back to a cold solve
+     that picks a different basis path. *)
+  if !ok then begin
+    let y = Array.make m 0. in
+    for i = 0 to m - 1 do
+      let acc = ref 0. in
+      let row = inv.(i) in
+      for k = 0 to m - 1 do
+        acc := !acc +. row.(k)
+      done;
+      y.(i) <- !acc
+    done;
+    let z = Array.make m 0. in
+    for i = 0 to m - 1 do
+      if y.(i) <> 0. then
+        Array.iter (fun (r, c) -> z.(r) <- z.(r) +. (c *. y.(i))) st.cols.(st.basis.(i))
+    done;
+    let err = ref 0. in
+    let ymax = ref 1. in
+    for i = 0 to m - 1 do
+      err := Float.max !err (Float.abs (z.(i) -. 1.));
+      ymax := Float.max !ymax (Float.abs y.(i))
+    done;
+    if !err > 1e-8 *. !ymax then ok := false
+  end;
   if !ok then begin
     for i = 0 to m - 1 do
       Array.blit inv.(i) 0 st.binv.(i) 0 m
@@ -667,10 +699,17 @@ let cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
             let objective = if s = Status.Lp_iteration_limit then true_objective st x else neg_infinity in
             { status = s; objective; primal = x; iterations = st.niter; basis = None; warm = Cold }
         | Ok () ->
-            ignore (refactorize st);
+            (* Only hand out a basis that re-verified under a fresh
+               factorization: warm restarts, cut separation and
+               reduced-cost fixing all trust the snapshot's inverse
+               blindly, and a near-singular terminal basis would feed
+               them garbage.  Losing the snapshot merely costs the
+               children a cold solve. *)
+            let fresh = refactorize st in
             let x = extract_primal st in
             { status = Status.Lp_optimal; objective = true_objective st x;
-              primal = x; iterations = st.niter; basis = Some (snapshot st); warm = Cold }
+              primal = x; iterations = st.niter;
+              basis = (if fresh then Some (snapshot st) else None); warm = Cold }
       end
 
 let basic_within_bounds st tol =
@@ -792,6 +831,10 @@ let tableau p ~lb ~ub b =
   else
     match warm_state p ~lb ~ub b with
     | None -> None
+    | Some st when not (st.age = 0 || refactorize st) ->
+        (* Cut coefficients are linear in [binv]; an inverse that cannot
+           be re-verified by factorization would yield invalid cuts. *)
+        None
     | Some st ->
         let row i =
           let rho = st.binv.(i) in

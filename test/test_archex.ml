@@ -586,6 +586,62 @@ let test_kstar_respects_time_threshold () =
   Alcotest.(check int) "stopped after first step" 1 (List.length r.Kstar.steps);
   Alcotest.(check bool) "reason is time" true (r.Kstar.stopped_because = `Time_threshold)
 
+let test_kstar_stops_on_no_improvement () =
+  let inst = small_instance () in
+  (* A repeated K* extends the pool by nothing, so the second step's
+     objective is identical and the stall detector must fire before the
+     remaining schedule runs. *)
+  let r = Kstar.search ~schedule:[ 3; 3; 6 ] ~options inst in
+  Alcotest.(check int) "stopped after the repeat" 2 (List.length r.Kstar.steps);
+  Alcotest.(check bool) "reason is stall" true (r.Kstar.stopped_because = `No_improvement)
+
+let test_kstar_schedule_exhausted () =
+  let inst = small_instance () in
+  let r = Kstar.search ~schedule:[ 2 ] ~options inst in
+  Alcotest.(check int) "one step" 1 (List.length r.Kstar.steps);
+  Alcotest.(check bool) "reason is exhaustion" true
+    (r.Kstar.stopped_because = `Schedule_exhausted);
+  Alcotest.(check bool) "best found" true (r.Kstar.best <> None)
+
+let test_kstar_infeasible_steps_neutral () =
+  (* A lifetime bound no component can meet: pools build fine but every
+     MILP is infeasible.  Steps without an incumbent must count neither
+     as improvement nor as stall, so the whole schedule is walked. *)
+  let inst = small_instance ~lifetime:(Some 1000.) () in
+  let r = Kstar.search ~schedule:[ 1; 2; 3 ] ~options inst in
+  Alcotest.(check int) "all steps walked" 3 (List.length r.Kstar.steps);
+  Alcotest.(check bool) "reason is exhaustion" true
+    (r.Kstar.stopped_because = `Schedule_exhausted);
+  Alcotest.(check bool) "no best" true (r.Kstar.best = None);
+  List.iter
+    (fun st -> Alcotest.(check bool) "no incumbent" true (st.Kstar.objective = None))
+    r.Kstar.steps
+
+let test_session_grow_monotone () =
+  let inst = small_instance () in
+  let session = Session.start ~loc_kstar:6 inst in
+  (match Session.grow session ~kstar:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let o1 = Session.solve ~options session in
+  (match Session.grow session ~kstar:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let o4 = Session.solve ~options session in
+  Alcotest.(check bool) "first step solves" true (o1.Session.solution <> None);
+  Alcotest.(check bool) "vars grow" true (o4.Session.nvars >= o1.Session.nvars);
+  Alcotest.(check bool) "constraints grow" true (o4.Session.nconstrs >= o1.Session.nconstrs);
+  Alcotest.(check bool) "pool grows" true (o4.Session.pool_size >= o1.Session.pool_size);
+  Alcotest.(check bool) "delta counted" true
+    (o4.Session.delta_paths = o4.Session.pool_size - o1.Session.pool_size);
+  match (o1.Session.solution, o4.Session.solution) with
+  | Some s1, Some s4 ->
+      (* Nested pools: the wider step cannot be worse under a carried
+         incumbent. *)
+      Alcotest.(check bool) "no regression" true
+        (s4.Solution.dollar_cost <= s1.Solution.dollar_cost +. 1e-6)
+  | _ -> Alcotest.fail "both steps should solve"
+
 (* ------------------------------------------------------------------ *)
 (* Encoding internals                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -987,6 +1043,33 @@ let test_regression_kstar_cutoff_monotone () =
         [ 1; 3; 5 ];
       Alcotest.(check bool) "some solution found" true (not (Float.is_nan !best))
 
+let test_regression_incremental_matches_rebuild () =
+  (* The PR-3 invariant behind the --no-incremental ablation: carrying
+     the model, path pool, cut pool and incumbent across the K* sweep
+     must land on the same final objective as re-encoding every step
+     from scratch. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      let options =
+        { Milp.Branch_bound.default_options with
+          Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6 }
+      in
+      let sweep incremental =
+        Kstar.search ~schedule:[ 1; 3 ] ~time_threshold_s:60. ~options ~incremental inst
+      in
+      let inc = sweep true and reb = sweep false in
+      Alcotest.(check int) "same step count"
+        (List.length reb.Kstar.steps)
+        (List.length inc.Kstar.steps);
+      match (inc.Kstar.best, reb.Kstar.best) with
+      | Some (ik, isol), Some (rk, rsol) ->
+          Alcotest.(check int) "same best kstar" rk ik;
+          Alcotest.(check (float 1e-6)) "same final objective" rsol.Solution.dollar_cost
+            isol.Solution.dollar_cost
+      | None, None -> ()
+      | _ -> Alcotest.fail "one mode found a solution, the other did not")
+
 let () =
   Alcotest.run "archex"
     [
@@ -1054,6 +1137,10 @@ let () =
         [
           Alcotest.test_case "search finds and validates" `Quick test_kstar_search_improves;
           Alcotest.test_case "time threshold" `Quick test_kstar_respects_time_threshold;
+          Alcotest.test_case "no-improvement stall" `Quick test_kstar_stops_on_no_improvement;
+          Alcotest.test_case "schedule exhausted" `Quick test_kstar_schedule_exhausted;
+          Alcotest.test_case "infeasible steps neutral" `Quick test_kstar_infeasible_steps_neutral;
+          Alcotest.test_case "session grows monotonically" `Quick test_session_grow_monotone;
         ] );
       ( "encode_common",
         [
@@ -1087,6 +1174,8 @@ let () =
             test_regression_warm_start_unchanged;
           Alcotest.test_case "cuts preserve results" `Quick test_regression_cuts_unchanged;
           Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
+          Alcotest.test_case "incremental matches rebuild" `Quick
+            test_regression_incremental_matches_rebuild;
         ] );
       ( "solution",
         [
