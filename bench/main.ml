@@ -9,7 +9,8 @@
 
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
-   Sections: table1 table2 table3 table4 sweep figures ablations micro *)
+   Sections: table1 table2 table3 table4 sweep parallel figures
+             ablations micro *)
 
 open Archex
 
@@ -18,7 +19,9 @@ open Archex
    solve (the warm-start ablation); [--no-cuts] disables cutting-plane
    separation; [--no-rc-fixing] disables reduced-cost fixing.  Running
    the same sections with and without the flags measures each feature
-   against identical scenarios. *)
+   against identical scenarios.  [--workers=N] runs every table section
+   with N worker domains ([parallel] always sweeps its own worker
+   counts); [--seed=N] sets the diversification seed. *)
 let flags, sections =
   List.partition
     (fun a -> String.length a >= 2 && String.sub a 0 2 = "--")
@@ -33,6 +36,20 @@ let no_rc_fixing = List.mem "--no-rc-fixing" flags
    compares them. *)
 let no_incremental = List.mem "--no-incremental" flags
 
+let arg_int name default =
+  List.fold_left
+    (fun acc f ->
+      match String.index_opt f '=' with
+      | Some i when String.sub f 0 i = name -> (
+          match int_of_string_opt (String.sub f (i + 1) (String.length f - i - 1)) with
+          | Some v -> v
+          | None -> acc)
+      | Some _ | None -> acc)
+    default flags
+
+let nworkers = arg_int "--workers" 1
+let seed = arg_int "--seed" 0
+
 let mode =
   String.concat "+"
     (List.filter
@@ -41,17 +58,24 @@ let mode =
          (if cold_start then "cold-start" else "warm-start");
          (if no_cuts then "no-cuts" else "cuts");
          (if no_rc_fixing then "no-rc-fixing" else "rc-fixing");
+         (if nworkers > 1 then Printf.sprintf "workers%d" nworkers else "");
        ])
 
 let section_enabled name = match sections with [] -> true | l -> List.mem name l
 
-let with_ablations o =
-  {
-    o with
-    Milp.Branch_bound.warm_start = not cold_start;
-    cuts = not no_cuts;
-    rc_fixing = not no_rc_fixing;
-  }
+(* Every table section funnels through this one constructor, so the
+   ablation flags and worker count apply uniformly. *)
+let config ?(workers = nworkers) ~time_limit ~rel_gap strategy =
+  Solver_config.(
+    default
+    |> with_strategy strategy
+    |> with_time_limit time_limit
+    |> with_rel_gap rel_gap
+    |> with_warm_start (not cold_start)
+    |> with_cuts (not no_cuts)
+    |> with_rc_fixing (not no_rc_fixing)
+    |> with_workers workers
+    |> with_seed seed)
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable per-scenario log -> BENCH_PR2.json                  *)
@@ -77,13 +101,13 @@ type bench_entry = {
 
 let bench_log : bench_entry list ref = ref []
 
-let record scenario (out : Solve.outcome) wall =
-  let mip = out.Solve.mip in
+let record scenario (out : Outcome.t) wall =
+  let mip = out.Outcome.mip in
   bench_log :=
     {
       be_scenario = scenario;
       be_wall_s = wall;
-      be_status = Milp.Status.mip_status_to_string out.Solve.status;
+      be_status = Milp.Status.mip_status_to_string out.Outcome.status;
       be_objective = mip.Milp.Branch_bound.objective;
       be_nodes = mip.Milp.Branch_bound.nodes;
       be_lp_iterations = mip.Milp.Branch_bound.lp_iterations;
@@ -156,7 +180,7 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let status_str out = Milp.Status.mip_status_to_string out.Solve.status
+let status_str (out : Outcome.t) = Milp.Status.mip_status_to_string out.Outcome.status
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: data-collection WSN under three objectives                 *)
@@ -164,11 +188,9 @@ let status_str out = Milp.Status.mip_status_to_string out.Solve.status
 
 let dc_params = Scenarios.default_data_collection
 
-let dc_options =
-  with_ablations
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.03 }
-
 let table1_kstar = 6
+
+let dc_config = config ~time_limit:120. ~rel_gap:0.03 (Solver_config.approx ~kstar:table1_kstar ())
 
 let table1 () =
   header "Table 1: data collection WSN, objective sweep";
@@ -187,10 +209,10 @@ let table1 () =
       match Scenarios.data_collection ~objective dc_params with
       | Error e -> Format.printf "%-10s | scenario error: %s@." name e
       | Ok inst -> (
-          match time (fun () -> Solve.run ~options:dc_options inst (Solve.approx ~kstar:table1_kstar ())) with
+          match time (fun () -> Solve.run dc_config inst) with
           | Ok out, dt -> (
               record ("table1/" ^ name) out dt;
-              match out.Solve.solution with
+              match out.Outcome.solution with
               | Some sol ->
                   Format.printf "%-10s | %7d | %6.0f | %12.2f | %8.1f | %s@." name
                     sol.Solution.node_count sol.Solution.dollar_cost
@@ -216,11 +238,9 @@ let table1 () =
 
 let loc_params = Scenarios.default_localization
 
-let loc_options =
-  with_ablations
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 60.; rel_gap = 0.02 }
-
 let loc_kstar = 8
+
+let loc_config = config ~time_limit:60. ~rel_gap:0.02 (Solver_config.approx ~loc_kstar ())
 
 (* Pure DSOD does not constrain node count; an epsilon of dollar cost
    breaks ties (see DESIGN.md). *)
@@ -244,12 +264,10 @@ let table2 () =
       match Scenarios.localization ~objective loc_params with
       | Error e -> Format.printf "%-8s | scenario error: %s@." name e
       | Ok inst -> (
-          match
-            time (fun () -> Solve.run ~options:loc_options inst (Solve.approx ~loc_kstar ()))
-          with
+          match time (fun () -> Solve.run loc_config inst) with
           | Ok out, dt -> (
               record ("table2/" ^ name) out dt;
-              match out.Solve.solution with
+              match out.Outcome.solution with
               | Some sol ->
                   Format.printf "%-8s | %7d | %6.0f | %9.2f | %8.1f | %s@." name
                     sol.Solution.node_count sol.Solution.dollar_cost (Solution.avg_reachable sol)
@@ -328,14 +346,8 @@ let table3 () =
   Format.printf "%5s %7s | %17s | %17s | %12s | %12s@." "nodes" "routed" "full vars/cons"
     "approx vars/cons" "full time" "approx time";
   Format.printf "--------------+-------------------+-------------------+--------------+-------------@.";
-  let full_options =
-    with_ablations
-      { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 0.03 }
-  in
-  let approx_options =
-    with_ablations
-      { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 0.02 }
-  in
+  let full_config = config ~time_limit:90. ~rel_gap:0.03 Solver_config.Full_enum in
+  let approx_config = config ~time_limit:120. ~rel_gap:0.02 (Solver_config.approx ~kstar:6 ()) in
   List.iter
     (fun (total, routed, solve_full) ->
       match Scenarios.scaled_data_collection ~total_nodes:total ~end_devices:routed () with
@@ -360,18 +372,17 @@ let table3 () =
           let full_time =
             if not solve_full then "TO"
             else begin
-              match
-                time (fun () -> Solve.run ~options:full_options inst Solve.Full_enum)
-              with
-              | Ok { Solve.status = Milp.Status.Mip_optimal; _ }, dt -> Printf.sprintf "%.1f s" dt
-              | Ok { Solve.solution = Some _; _ }, _ -> "TO*"
+              match time (fun () -> Solve.run full_config inst) with
+              | Ok { Outcome.status = Milp.Status.Mip_optimal; _ }, dt ->
+                  Printf.sprintf "%.1f s" dt
+              | Ok { Outcome.solution = Some _; _ }, _ -> "TO*"
               | Ok _, _ -> "TO"
               | Error _, _ -> "gen-fail"
             end
           in
           let approx_time =
-            match time (fun () -> Solve.run ~options:approx_options inst (Solve.approx ~kstar:6 ())) with
-            | Ok { Solve.solution = Some _; _ }, dt -> Printf.sprintf "%.1f s" dt
+            match time (fun () -> Solve.run approx_config inst) with
+            | Ok { Outcome.solution = Some _; _ }, dt -> Printf.sprintf "%.1f s" dt
             | Ok _, _ -> "TO"
             | Error e, _ -> "gen-fail: " ^ e
           in
@@ -395,9 +406,8 @@ let table4 () =
   let t1 = Scenarios.scaled_data_collection ~total_nodes:18 ~end_devices:5 ~replicas:1 () in
   let t2 = Scenarios.scaled_data_collection ~total_nodes:28 ~end_devices:8 ~replicas:1 () in
   let schedule = Kstar.default_schedule in
-  let base_options =
-    with_ablations
-      { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 1e-4 }
+  let base_config strategy cutoff =
+    config ~time_limit:90. ~rel_gap:1e-4 strategy |> Solver_config.with_cutoff cutoff
   in
   let run_row name inst_result with_opt =
     match inst_result with
@@ -408,11 +418,9 @@ let table4 () =
         let best = ref nan in
         List.iter
           (fun kstar ->
-            let options = { base_options with Milp.Branch_bound.cutoff = !best } in
-            match
-              time (fun () -> Solve.run ~options inst (Solve.Approx { kstar; loc_kstar = kstar }))
-            with
-            | Ok { Solve.solution = Some sol; _ }, dt ->
+            let cfg = base_config (Solve.Approx { kstar; loc_kstar = kstar }) !best in
+            match time (fun () -> Solve.run cfg inst) with
+            | Ok { Outcome.solution = Some sol; _ }, dt ->
                 best := sol.Solution.dollar_cost;
                 Format.printf " %8.0f" !best;
                 times := dt :: !times
@@ -426,12 +434,12 @@ let table4 () =
                 times := dt :: !times)
           schedule;
         (if with_opt then begin
-           let options = { base_options with Milp.Branch_bound.cutoff = !best } in
-           match time (fun () -> Solve.run ~options inst Solve.Full_enum) with
-           | Ok { Solve.solution = Some sol; status = Milp.Status.Mip_optimal; _ }, dt ->
+           let cfg = base_config Solve.Full_enum !best in
+           match time (fun () -> Solve.run cfg inst) with
+           | Ok { Outcome.solution = Some sol; status = Milp.Status.Mip_optimal; _ }, dt ->
                Format.printf " | %8.0f" sol.Solution.dollar_cost;
                times := dt :: !times
-           | Ok { Solve.status = Milp.Status.Mip_unknown; _ }, dt
+           | Ok { Outcome.status = Milp.Status.Mip_unknown; _ }, dt
              when not (Float.is_nan !best) ->
                (* Exhausted under the cutoff: K*'s best is already optimal. *)
                Format.printf " | %8.0f" !best;
@@ -498,13 +506,15 @@ let sweep_params =
 (* The parity claim needs both modes to prove the same optimum, so the
    gap is tight (no early stop on an incumbent the other mode would
    refine further). *)
-let sweep_options =
-  with_ablations
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 120.; rel_gap = 1e-6 }
+let sweep_rel_gap = 1e-6
+
+let sweep_config ~incremental =
+  let loc_kstar = List.fold_left Int.max 1 sweep_schedule in
+  config ~time_limit:120. ~rel_gap:sweep_rel_gap (Solver_config.approx ~loc_kstar ())
+  |> Solver_config.with_incremental incremental
 
 let run_sweep scenario inst ~incremental =
-  let loc_kstar = List.fold_left Int.max 1 sweep_schedule in
-  let session = Session.start ~loc_kstar ~incremental inst in
+  let session = Session.start (sweep_config ~incremental) inst in
   let direction = ref Milp.Model.Minimize in
   let t0 = Unix.gettimeofday () in
   let steps =
@@ -515,27 +525,28 @@ let run_sweep scenario inst ~incremental =
             Format.printf "  %s k*=%d: pool error: %s@." scenario kstar e;
             None
         | Ok () ->
-            let s = Session.solve ~options:sweep_options session in
-            direction := fst (Milp.Model.objective s.Session.model);
-            let mip = s.Session.mip in
+            let s = Session.solve session in
+            direction := fst (Milp.Model.objective s.Outcome.model);
+            let mip = s.Outcome.mip in
+            let st = s.Outcome.stats in
             Some
               {
                 ss_kstar = kstar;
-                ss_encode_s = s.Session.encode_time_s;
-                ss_solve_s = s.Session.solve_time_s;
-                ss_extract_s = s.Session.extract_time_s;
-                ss_delta_paths = s.Session.delta_paths;
-                ss_pool_size = s.Session.pool_size;
-                ss_nvars = s.Session.nvars;
-                ss_nconstrs = s.Session.nconstrs;
+                ss_encode_s = st.Outcome.encode_time_s;
+                ss_solve_s = st.Outcome.solve_time_s;
+                ss_extract_s = st.Outcome.extract_time_s;
+                ss_delta_paths = st.Outcome.delta_paths;
+                ss_pool_size = st.Outcome.pool_size;
+                ss_nvars = st.Outcome.nvars;
+                ss_nconstrs = st.Outcome.nconstrs;
                 ss_cuts_seeded = mip.Milp.Branch_bound.cuts_seeded;
                 ss_bound_pruned = mip.Milp.Branch_bound.bound_pruned;
                 ss_nodes = mip.Milp.Branch_bound.nodes;
-                ss_status = Milp.Status.mip_status_to_string s.Session.status;
+                ss_status = Milp.Status.mip_status_to_string s.Outcome.status;
                 ss_objective =
                   Option.map
                     (fun _ -> mip.Milp.Branch_bound.objective)
-                    s.Session.solution;
+                    s.Outcome.solution;
               })
       sweep_schedule
   in
@@ -572,7 +583,7 @@ let sweep () =
   Format.printf
     "(one Session per mode; schedule %s, loc K* frozen at the max; rel_gap = %g so both@."
     (String.concat ";" (List.map string_of_int sweep_schedule))
-    sweep_options.Milp.Branch_bound.rel_gap;
+    sweep_rel_gap;
   Format.printf
     " modes prove the same optimum.  incremental carries model, incumbent and cut pool;@.";
   Format.printf " rebuild re-encodes the identical cumulative pools from scratch each step.)@.@.";
@@ -624,7 +635,7 @@ let write_sweep_json path =
   let json_opt = function Some o -> json_float o | None -> "null" in
   Printf.fprintf oc "{\n  \"schedule\": [%s],\n  \"rel_gap\": %s,\n  \"runs\": [\n"
     (String.concat ", " (List.map string_of_int sweep_schedule))
-    (json_float sweep_options.Milp.Branch_bound.rel_gap);
+    (json_float sweep_rel_gap);
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -677,6 +688,184 @@ let write_sweep_json path =
     (String.concat ",\n" comparisons);
   close_out oc;
   Format.printf "wrote %s (%d sweep runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel tree search: workers sweep -> BENCH_PR4.json               *)
+(* ------------------------------------------------------------------ *)
+
+type par_run = {
+  pr_scenario : string;
+  pr_workers : int;
+  pr_wall_s : float;
+  pr_status : string;
+  pr_objective : float option;
+  pr_nodes : int;
+  pr_lp_iterations : int;
+}
+
+let par_log : par_run list ref = ref []
+let par_workers = [ 1; 4 ]
+let par_kstar = 4
+let par_rel_gap = 1e-6
+
+(* The cap covers the slowest observed leg (energy at 4 workers on a
+   single hardware thread, ~165 s) with headroom: a leg that times out
+   would demote the parity check to timeout-incumbent comparison. *)
+let par_time_limit = 300.
+
+(* Table-1 family sized so every objective *proves* the 1e-6 gap
+   inside the cap at every worker count — the parity claim compares
+   proved optima, never timeout incumbents.  The energy objective is
+   the binding constraint: its tree is ~19k nodes at this size (vs 1-9
+   for $ and $+Energy) and blows past any reasonable cap one notch
+   larger. *)
+let par_params =
+  {
+    dc_params with
+    Scenarios.dc_sensors = 4;
+    dc_relay_grid = (3, 2);
+    dc_width = 45.;
+    dc_height = 28.;
+  }
+
+let parallel_bench () =
+  header "Parallel tree search: worker-domain sweep (Table-1 scenarios)";
+  Format.printf
+    "(K* = %d, rel_gap = %g, %.0f s cap; workers in {%s}, seed %d.  workers=1 takes the@."
+    par_kstar par_rel_gap par_time_limit
+    (String.concat ", " (List.map string_of_int par_workers))
+    seed;
+  Format.printf
+    " solver's sequential loop verbatim — its node/LP tallies are the pre-parallelism@.";
+  Format.printf " baseline; every worker count must reproduce its objective to 1e-6.)@.";
+  Format.printf "(host reports %d hardware thread(s): with only 1, worker domains@."
+    (Domain.recommended_domain_count ());
+  Format.printf
+    " time-share one core and wall-clock speedup reflects search-order anomalies@.";
+  Format.printf " plus runtime overhead, not real concurrency.)@.@.";
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective par_params with
+      | Error e -> Format.printf "  %s: scenario error: %s@." name e
+      | Ok inst ->
+          List.iter
+            (fun w ->
+              let cfg =
+                config ~workers:w ~time_limit:par_time_limit ~rel_gap:par_rel_gap
+                  (Solver_config.approx ~kstar:par_kstar ())
+              in
+              (* Level the heap between legs: without this, the first
+                 sub-second leg after a multi-minute one pays the
+                 previous run's major-GC debt and the speedup column
+                 reads heap noise instead of tree search. *)
+              Gc.compact ();
+              match time (fun () -> Solve.run cfg inst) with
+              | Ok out, dt ->
+                  let mip = out.Outcome.mip in
+                  let obj =
+                    Option.map
+                      (fun _ -> mip.Milp.Branch_bound.objective)
+                      out.Outcome.solution
+                  in
+                  par_log :=
+                    !par_log
+                    @ [
+                        {
+                          pr_scenario = "table1/" ^ name;
+                          pr_workers = w;
+                          pr_wall_s = dt;
+                          pr_status = status_str out;
+                          pr_objective = obj;
+                          pr_nodes = mip.Milp.Branch_bound.nodes;
+                          pr_lp_iterations = mip.Milp.Branch_bound.lp_iterations;
+                        };
+                      ];
+                  Format.printf
+                    "  %-10s workers=%d: %-13s obj=%-12s nodes=%-6d lp_iters=%-7d %.2f s@."
+                    name w (status_str out)
+                    (match obj with Some o -> Printf.sprintf "%.6g" o | None -> "-")
+                    mip.Milp.Branch_bound.nodes mip.Milp.Branch_bound.lp_iterations dt
+              | Error e, _ -> Format.printf "  %-10s workers=%d: encode error: %s@." name w e)
+            par_workers;
+          (* Seq-vs-parallel verdict for this scenario. *)
+          let runs = List.filter (fun r -> r.pr_scenario = "table1/" ^ name) !par_log in
+          (match
+             ( List.find_opt (fun r -> r.pr_workers = 1) runs,
+               List.filter (fun r -> r.pr_workers > 1) runs )
+           with
+          | Some sq, (_ :: _ as par) ->
+              List.iter
+                (fun p ->
+                  let mtch =
+                    match (sq.pr_objective, p.pr_objective) with
+                    | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                    | None, None -> true
+                    | _ -> false
+                  in
+                  Format.printf "  => workers=%d objectives %s; speedup %.2fx@."
+                    p.pr_workers
+                    (if mtch then "MATCH" else "DIFFER")
+                    (sq.pr_wall_s /. Float.max 1e-9 p.pr_wall_s))
+                par
+          | _ -> ());
+          Format.printf "@.")
+    [
+      ("$ cost", Objective.dollar);
+      ("Energy", Objective.energy);
+      ("$+Energy", Objective.combine Objective.dollar Objective.energy);
+    ];
+  hr ()
+
+let write_par_json path =
+  let oc = open_out path in
+  let runs = !par_log in
+  let json_opt = function Some o -> json_float o | None -> "null" in
+  Printf.fprintf oc
+    "{\n  \"kstar\": %d,\n  \"rel_gap\": %s,\n  \"time_limit_s\": %s,\n  \"seed\": %d,\n\
+    \  \"workers\": [%s],\n  \"host_hardware_threads\": %d,\n  \"runs\": [\n"
+    par_kstar (json_float par_rel_gap) (json_float par_time_limit) seed
+    (String.concat ", " (List.map string_of_int par_workers))
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"workers\": %d, \"wall_s\": %s, \"status\": %S,\n\
+        \     \"objective\": %s, \"nodes\": %d, \"lp_iterations\": %d}%s\n"
+        r.pr_scenario r.pr_workers (json_float r.pr_wall_s) r.pr_status
+        (json_opt r.pr_objective) r.pr_nodes r.pr_lp_iterations
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  let comparisons =
+    List.filter_map
+      (fun r ->
+        if r.pr_workers = 1 then None
+        else
+          match
+            List.find_opt
+              (fun s -> s.pr_workers = 1 && s.pr_scenario = r.pr_scenario)
+              runs
+          with
+          | None -> None
+          | Some sq ->
+              Some
+                (Printf.sprintf
+                   "    {\"scenario\": %S, \"workers\": %d, \"objective_match\": %b,\n\
+                   \     \"sequential_wall_s\": %s, \"parallel_wall_s\": %s, \"speedup\": %s,\n\
+                   \     \"sequential_nodes\": %d, \"parallel_nodes\": %d}"
+                   r.pr_scenario r.pr_workers
+                   (match (sq.pr_objective, r.pr_objective) with
+                   | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                   | None, None -> true
+                   | _ -> false)
+                   (json_float sq.pr_wall_s) (json_float r.pr_wall_s)
+                   (json_float (sq.pr_wall_s /. Float.max 1e-9 r.pr_wall_s))
+                   sq.pr_nodes r.pr_nodes))
+      runs
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" comparisons);
+  close_out oc;
+  Format.printf "wrote %s (%d parallel runs)@." path (List.length runs)
 
 (* ------------------------------------------------------------------ *)
 (* Figures 1a-1c                                                       *)
@@ -777,15 +966,17 @@ let ablations () =
       Format.printf "presolve ablation (25 nodes, 8 sensors, 2 replicas):@.";
       List.iter
         (fun (name, presolve) ->
-          let options =
-            { Milp.Branch_bound.default_options with
-              Milp.Branch_bound.time_limit = 60.; rel_gap = 0.01; presolve }
+          let cfg =
+            config ~time_limit:60. ~rel_gap:0.01 (Solver_config.approx ~kstar:6 ())
+            |> Solver_config.with_options
+                 { Milp.Branch_bound.default_options with
+                   Milp.Branch_bound.time_limit = 60.; rel_gap = 0.01; presolve }
           in
-          match time (fun () -> Solve.run ~options inst (Solve.approx ~kstar:6 ())) with
+          match time (fun () -> Solve.run cfg inst) with
           | Ok out, dt ->
               Format.printf "  %-12s %s in %.2f s, %d B&B nodes, %d LP iterations@." name
-                (status_str out) dt out.Solve.mip.Milp.Branch_bound.nodes
-                out.Solve.mip.Milp.Branch_bound.lp_iterations
+                (status_str out) dt out.Outcome.mip.Milp.Branch_bound.nodes
+                out.Outcome.mip.Milp.Branch_bound.lp_iterations
           | Error e, _ -> Format.printf "  %-12s error: %s@." name e)
         [ ("with", true); ("without", false) ]);
   (* (b) diving heuristic on/off. *)
@@ -795,14 +986,16 @@ let ablations () =
       Format.printf "@.diving-heuristic ablation (localization, $ objective, 30 s cap):@.";
       List.iter
         (fun (name, rounding_heuristic) ->
-          let options =
-            { Milp.Branch_bound.default_options with
-              Milp.Branch_bound.time_limit = 30.; rel_gap = 0.02; rounding_heuristic }
+          let cfg =
+            config ~time_limit:30. ~rel_gap:0.02 (Solver_config.approx ~loc_kstar:8 ())
+            |> Solver_config.with_options
+                 { Milp.Branch_bound.default_options with
+                   Milp.Branch_bound.time_limit = 30.; rel_gap = 0.02; rounding_heuristic }
           in
-          match time (fun () -> Solve.run ~options inst (Solve.approx ~loc_kstar:8 ())) with
+          match time (fun () -> Solve.run cfg inst) with
           | Ok out, dt ->
               let inc =
-                match out.Solve.solution with
+                match out.Outcome.solution with
                 | Some s -> Printf.sprintf "$%.0f" s.Solution.dollar_cost
                 | None -> "none"
               in
@@ -926,9 +1119,11 @@ let () =
   if section_enabled "table3" then table3 ();
   if section_enabled "table4" then table4 ();
   if section_enabled "sweep" then sweep ();
+  if section_enabled "parallel" then parallel_bench ();
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
   if !bench_log <> [] then write_bench_json "BENCH_PR2.json";
   if !sweep_log <> [] then write_sweep_json "BENCH_PR3.json";
+  if !par_log <> [] then write_par_json "BENCH_PR4.json";
   Format.printf "done.@."

@@ -1,10 +1,20 @@
 (* CI smoke test for the solver's ablatable machinery: solve one tiny
    data-collection scenario with (a) everything on, (b) warm starts off,
    (c) cuts and reduced-cost fixing off, all to a tight gap, and fail
-   (exit 1) if any final objective or status diverges.  Wired to
+   (exit 1) if any final objective or status diverges.  Accepts
+   `--workers N` to run every variant with N worker domains (the CI
+   parallel job uses 4); the objectives must agree regardless.  Wired to
    `dune build @bench-smoke`. *)
 
 open Archex
+
+let workers =
+  let rec find = function
+    | "--workers" :: n :: _ -> ( match int_of_string_opt n with Some v when v >= 1 -> v | _ -> 1)
+    | _ :: rest -> find rest
+    | [] -> 1
+  in
+  find (Array.to_list Sys.argv)
 
 let () =
   match Scenarios.scaled_data_collection ~total_nodes:14 ~end_devices:4 () with
@@ -13,11 +23,14 @@ let () =
       exit 1
   | Ok inst -> (
       let run ~warm_start ~cuts ~rc_fixing =
-        let options =
-          { Milp.Branch_bound.default_options with
-            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; warm_start; cuts; rc_fixing }
+        let config =
+          Solver_config.(
+            default
+            |> with_approx ~kstar:4 ()
+            |> with_time_limit 60. |> with_rel_gap 1e-6 |> with_warm_start warm_start
+            |> with_cuts cuts |> with_rc_fixing rc_fixing |> with_workers workers)
         in
-        Solve.run ~options inst (Solve.approx ~kstar:4 ())
+        Solve.run config inst
       in
       match
         ( run ~warm_start:true ~cuts:true ~rc_fixing:true,
@@ -25,17 +38,18 @@ let () =
           run ~warm_start:true ~cuts:false ~rc_fixing:false )
       with
       | Ok warm, Ok cold, Ok plain ->
-          let w = warm.Solve.mip and c = cold.Solve.mip and p = plain.Solve.mip in
+          let w = warm.Outcome.mip and c = cold.Outcome.mip and p = plain.Outcome.mip in
           let ow = w.Milp.Branch_bound.objective
           and oc = c.Milp.Branch_bound.objective
           and op = p.Milp.Branch_bound.objective in
-          let sw = Milp.Status.mip_status_to_string warm.Solve.status in
-          let sc = Milp.Status.mip_status_to_string cold.Solve.status in
-          let sp = Milp.Status.mip_status_to_string plain.Solve.status in
+          let sw = Milp.Status.mip_status_to_string warm.Outcome.status in
+          let sc = Milp.Status.mip_status_to_string cold.Outcome.status in
+          let sp = Milp.Status.mip_status_to_string plain.Outcome.status in
           Printf.printf
-            "bench-smoke: warm %s obj=%g (%d LP iters, %d/%d/%d warm/cold/fallback, %d cuts, \
-             %d rc-fixed) | cold %s obj=%g (%d LP iters) | no-cuts %s obj=%g (%d nodes vs %d)\n"
-            sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
+            "bench-smoke (workers=%d): warm %s obj=%g (%d LP iters, %d/%d/%d \
+             warm/cold/fallback, %d cuts, %d rc-fixed) | cold %s obj=%g (%d LP iters) | \
+             no-cuts %s obj=%g (%d nodes vs %d)\n"
+            workers sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
             w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback
             w.Milp.Branch_bound.cuts_applied w.Milp.Branch_bound.rc_fixed sc oc
             c.Milp.Branch_bound.lp_iterations sp op p.Milp.Branch_bound.nodes

@@ -46,7 +46,7 @@ let num_setting settings key default =
   | Some _ | None -> default
 
 let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
-    no_incremental cold_start no_cuts no_rc_fixing out_svg out_lp verbose =
+    no_incremental cold_start no_cuts no_rc_fixing workers seed out_svg out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -97,40 +97,42 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           ~requirements:elab.Spec.Elaborate.requirements
           ~objective:elab.Spec.Elaborate.objective ()
       in
+      (* One config for every driver entry point: strategy, solver
+         options, session mode and parallel knobs travel together. *)
       let strategy =
-        if full then Archex.Solve.Full_enum
+        if full then Archex.Solver_config.Full_enum
         else
-          Archex.Solve.Approx
+          Archex.Solver_config.Approx
             {
               kstar = int_of_float (num_setting settings "kstar" (float_of_int kstar));
               loc_kstar = int_of_float (num_setting settings "loc_kstar" (float_of_int loc_kstar));
             }
       in
-      let options =
-        {
-          Milp.Branch_bound.default_options with
-          Milp.Branch_bound.time_limit;
-          rel_gap = gap;
-          warm_start = not cold_start;
-          cuts = not no_cuts;
-          rc_fixing = not no_rc_fixing;
-          log = verbose;
-        }
+      let config =
+        Archex.Solver_config.(
+          default |> with_strategy strategy |> with_time_limit time_limit
+          |> with_rel_gap gap
+          |> with_warm_start (not cold_start)
+          |> with_cuts (not no_cuts)
+          |> with_rc_fixing (not no_rc_fixing)
+          |> with_log verbose
+          |> with_incremental (not no_incremental)
+          |> with_workers workers |> with_seed seed)
       in
       let* out =
         if sweep then begin
-          let r = Archex.Kstar.search ~options ~incremental:(not no_incremental) inst in
+          let r = Archex.Kstar.search config inst in
           List.iter
             (fun (st : Archex.Kstar.step) ->
               Format.printf "sweep k*=%d: %s obj=%s encode=%.2fs solve=%.2fs extract=%.2fs@."
                 st.Archex.Kstar.kstar
-                (Milp.Status.mip_status_to_string st.Archex.Kstar.outcome.Archex.Solve.status)
+                (Milp.Status.mip_status_to_string st.Archex.Kstar.outcome.Archex.Outcome.status)
                 (match st.Archex.Kstar.objective with
                 | Some o -> Printf.sprintf "%.6g" o
                 | None -> "-")
-                st.Archex.Kstar.outcome.Archex.Solve.stats.Archex.Solve.encode_time_s
-                st.Archex.Kstar.outcome.Archex.Solve.stats.Archex.Solve.solve_time_s
-                st.Archex.Kstar.outcome.Archex.Solve.stats.Archex.Solve.extract_time_s)
+                st.Archex.Kstar.outcome.Archex.Outcome.stats.Archex.Outcome.encode_time_s
+                st.Archex.Kstar.outcome.Archex.Outcome.stats.Archex.Outcome.solve_time_s
+                st.Archex.Kstar.outcome.Archex.Outcome.stats.Archex.Outcome.extract_time_s)
             r.Archex.Kstar.steps;
           Format.printf "sweep stopped: %s@."
             (match r.Archex.Kstar.stopped_because with
@@ -150,7 +152,7 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
               | st :: _ -> Ok st.Archex.Kstar.outcome
               | [] -> Error "sweep: no schedule step produced a model")
         end
-        else Archex.Solve.run ~options inst strategy
+        else Archex.Solve.run config inst
       in
       Ok (inst, out)
   in
@@ -160,20 +162,20 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
       1
   | Ok (inst, out) -> (
       Format.printf "encoding: %d variables, %d constraints (%.2f s)@."
-        out.Archex.Solve.stats.Archex.Solve.nvars out.Archex.Solve.stats.Archex.Solve.nconstrs
-        out.Archex.Solve.stats.Archex.Solve.encode_time_s;
+        out.Archex.Outcome.stats.Archex.Outcome.nvars out.Archex.Outcome.stats.Archex.Outcome.nconstrs
+        out.Archex.Outcome.stats.Archex.Outcome.encode_time_s;
       Format.printf "solve: %s in %.2f s (%d nodes, %d simplex iterations)@."
-        (Milp.Status.mip_status_to_string out.Archex.Solve.status)
-        out.Archex.Solve.stats.Archex.Solve.solve_time_s
-        out.Archex.Solve.mip.Milp.Branch_bound.nodes
-        out.Archex.Solve.mip.Milp.Branch_bound.lp_iterations;
-      Format.printf "extract: %.2f s@." out.Archex.Solve.stats.Archex.Solve.extract_time_s;
+        (Milp.Status.mip_status_to_string out.Archex.Outcome.status)
+        out.Archex.Outcome.stats.Archex.Outcome.solve_time_s
+        out.Archex.Outcome.mip.Milp.Branch_bound.nodes
+        out.Archex.Outcome.mip.Milp.Branch_bound.lp_iterations;
+      Format.printf "extract: %.2f s@." out.Archex.Outcome.stats.Archex.Outcome.extract_time_s;
       (match out_lp with
       | Some path ->
-          Milp.Lp_format.to_file path out.Archex.Solve.model;
+          Milp.Lp_format.to_file path out.Archex.Outcome.model;
           Format.printf "LP model written to %s@." path
       | None -> ());
-      match out.Archex.Solve.solution with
+      match out.Archex.Outcome.solution with
       | None ->
           Format.printf "no solution found@.";
           2
@@ -316,6 +318,24 @@ let no_incremental =
           "With $(b,--sweep): re-encode the model from scratch at every schedule step instead of \
            growing the live session (ablation).")
 
+let workers =
+  Arg.(
+    value & opt int 1
+    & info [ "w"; "workers" ]
+        ~doc:
+          "Worker domains for the branch-and-bound tree search.  1 (default) is the \
+           deterministic sequential solver; higher values explore the tree in parallel \
+           (objectives agree with the sequential solver to optimality tolerances, node \
+           counts vary).")
+
+let seed =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ]
+        ~doc:
+          "Diversification seed for the parallel tree search (ignored with \
+           $(b,--workers) 1).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress logging.")
 
 let cmd =
@@ -324,7 +344,7 @@ let cmd =
     (Cmd.info "archex" ~doc)
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ sweep $ no_incremental $ cold_start $ no_cuts $ no_rc_fixing $ out_svg $ out_lp
-      $ verbose)
+      $ gap $ sweep $ no_incremental $ cold_start $ no_cuts $ no_rc_fixing $ workers $ seed
+      $ out_svg $ out_lp $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,12 +22,13 @@ let () =
   let inst =
     match Archex.Scenarios.data_collection params with Ok i -> i | Error e -> failwith e
   in
-  let options =
-    { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 90.; rel_gap = 0.02 }
+  let config =
+    Archex.Solver_config.(
+      default |> with_approx ~kstar:6 () |> with_time_limit 90. |> with_rel_gap 0.02)
   in
   let sol =
-    match Archex.Solve.run ~options inst (Archex.Solve.approx ~kstar:6 ()) with
-    | Ok { Archex.Solve.solution = Some s; _ } -> s
+    match Archex.Solve.run config inst with
+    | Ok { Archex.Outcome.solution = Some s; _ } -> s
     | Ok _ -> failwith "no solution"
     | Error e -> failwith e
   in

@@ -19,22 +19,21 @@ let solve_for name objective =
   match Archex.Scenarios.localization ~objective params with
   | Error e -> failwith e
   | Ok inst ->
-      let options =
-        {
-          Milp.Branch_bound.default_options with
-          Milp.Branch_bound.time_limit = 90.;
-          rel_gap = 0.02;
-        }
+      let config =
+        Archex.Solver_config.(
+          default
+          |> with_approx ~loc_kstar:8 ()
+          |> with_time_limit 90. |> with_rel_gap 0.02)
       in
       let t0 = Unix.gettimeofday () in
-      (match Archex.Solve.run ~options inst (Archex.Solve.approx ~loc_kstar:8 ()) with
+      (match Archex.Solve.run config inst with
       | Error e -> failwith e
       | Ok out -> (
           let dt = Unix.gettimeofday () -. t0 in
-          match out.Archex.Solve.solution with
+          match out.Archex.Outcome.solution with
           | None ->
               Format.printf "%-8s | no solution (%s)@." name
-                (Milp.Status.mip_status_to_string out.Archex.Solve.status);
+                (Milp.Status.mip_status_to_string out.Archex.Outcome.status);
               None
           | Some sol ->
               Format.printf "%-8s | %7d | %6.0f | %9.2f | %8.1f@." name

@@ -51,7 +51,8 @@ let () =
   in
 
   (* 5. Solve with the approximate path encoding (Algorithm 1, K* = 4). *)
-  let sol = Archex.Solve.run_exn inst (Archex.Solve.approx ~kstar:4 ()) in
+  let config = Archex.Solver_config.(default |> with_approx ~kstar:4 ()) in
+  let sol = Archex.Solve.run_exn config inst in
 
   (* 6. Inspect the result. *)
   Format.printf "%a@.@." (Archex.Solution.pp_summary inst) sol;

@@ -13,17 +13,14 @@ let row ~total ~routed =
         (Archex.Solve.encode_size inst Archex.Solve.Full_enum, Archex.Solve.encode_size inst approx)
       with
       | Ok (fv, fc), Ok (av, ac) ->
-          let options =
-            {
-              Milp.Branch_bound.default_options with
-              Milp.Branch_bound.time_limit = 30.;
-              rel_gap = 0.02;
-            }
+          let config =
+            Archex.Solver_config.(
+              default |> with_approx ~kstar:6 () |> with_time_limit 30. |> with_rel_gap 0.02)
           in
           let t0 = Unix.gettimeofday () in
           let solved =
-            match Archex.Solve.run ~options inst approx with
-            | Ok { Archex.Solve.solution = Some _; _ } ->
+            match Archex.Solve.run config inst with
+            | Ok { Archex.Outcome.solution = Some _; _ } ->
                 Printf.sprintf "%.1f s" (Unix.gettimeofday () -. t0)
             | Ok _ -> "no incumbent"
             | Error e -> "error: " ^ e

@@ -1,4 +1,4 @@
-type step = { kstar : int; outcome : Solve.outcome; objective : float option }
+type step = { kstar : int; outcome : Outcome.t; objective : float option }
 
 type result = {
   steps : step list;
@@ -8,14 +8,16 @@ type result = {
 
 let default_schedule = [ 1; 3; 5; 10; 20 ]
 
-let search ?(schedule = default_schedule) ?(time_threshold_s = 60.) ?(min_improvement = 0.005)
-    ?options ?(incremental = true) inst =
+let search ?(schedule = default_schedule) ?(time_threshold_s = 60.)
+    ?(min_improvement = 0.005) (config : Solver_config.t) inst =
   (* One session for the whole sweep: pools, model, incumbent and cut
      pool persist across steps.  Localization pruning is fixed at the
      schedule's widest K* so every step's model is a strict superset of
      the previous one. *)
   let loc_kstar = List.fold_left Int.max 1 schedule in
-  let session = Session.start ~loc_kstar ~incremental inst in
+  let session =
+    Session.start (Solver_config.with_approx ~loc_kstar () config) inst
+  in
   let steps = ref [] in
   let best = ref None in
   let best_obj = ref None in
@@ -29,9 +31,8 @@ let search ?(schedule = default_schedule) ?(time_threshold_s = 60.) ?(min_improv
             (* Pool generation failed for this K*; try a larger one. *)
             go rest
         | Ok () ->
-            let s = Session.solve ?options session in
-            let outcome = Solve.outcome_of_session s in
-            let direction = fst (Milp.Model.objective s.Session.model) in
+            let outcome = Session.solve session in
+            let direction = fst (Milp.Model.objective outcome.Outcome.model) in
             (* [before] is better than [after] by more than [eps]? *)
             let better before after eps =
               match direction with
@@ -40,11 +41,11 @@ let search ?(schedule = default_schedule) ?(time_threshold_s = 60.) ?(min_improv
             in
             let objective =
               Option.map
-                (fun _ -> outcome.Solve.mip.Milp.Branch_bound.objective)
-                outcome.Solve.solution
+                (fun _ -> outcome.Outcome.mip.Milp.Branch_bound.objective)
+                outcome.Outcome.solution
             in
             steps := { kstar; outcome; objective } :: !steps;
-            (match (outcome.Solve.solution, objective) with
+            (match (outcome.Outcome.solution, objective) with
             | Some sol, Some obj ->
                 let is_best =
                   match !best_obj with None -> true | Some b -> better obj b 1e-9
@@ -54,7 +55,7 @@ let search ?(schedule = default_schedule) ?(time_threshold_s = 60.) ?(min_improv
                   best_obj := Some obj
                 end
             | _ -> ());
-            if outcome.Solve.stats.Solve.solve_time_s > time_threshold_s then
+            if outcome.Outcome.stats.Outcome.solve_time_s > time_threshold_s then
               stopped := `Time_threshold
             else begin
               match objective with

@@ -14,7 +14,7 @@
 
 type step = {
   kstar : int;
-  outcome : Solve.outcome;
+  outcome : Outcome.t;
   objective : float option;  (** Incumbent objective if one was found. *)
 }
 
@@ -31,16 +31,18 @@ val search :
   ?schedule:int list ->
   ?time_threshold_s:float ->
   ?min_improvement:float ->
-  ?options:Milp.Branch_bound.options ->
-  ?incremental:bool ->
+  Solver_config.t ->
   Instance.t ->
   result
-(** [search inst] runs the schedule.  Stops early when a solve exceeds
+(** [search config inst] runs the schedule under [config] (solver
+    options, session mode and parallel knobs; the strategy's
+    [loc_kstar] is overridden with the schedule's widest [K*] so the
+    per-step models nest).  Stops early when a solve exceeds
     [time_threshold_s] (default 60 s) or when the objective improves by
     less than [min_improvement] (relative, default 0.5%) over the
     previous step.  The improvement test follows the model's objective
     direction, and a step without an incumbent neither counts as
     improvement nor trips the stall detector.  Pool-generation failures
-    for a given [K*] are skipped.  [incremental] (default [true])
-    selects the live-session sweep; [false] re-encodes every step from
-    scratch (the [--no-incremental] ablation). *)
+    for a given [K*] are skipped.  [config.incremental = false]
+    re-encodes every step from scratch (the [--no-incremental]
+    ablation). *)

@@ -1,0 +1,18 @@
+type stats = {
+  nvars : int;
+  nconstrs : int;
+  encode_time_s : float;
+  solve_time_s : float;
+  extract_time_s : float;
+  kstar : int;
+  delta_paths : int;
+  pool_size : int;
+}
+
+type t = {
+  solution : Solution.t option;
+  status : Milp.Status.mip_status;
+  stats : stats;
+  mip : Milp.Branch_bound.result;
+  model : Milp.Model.t;
+}

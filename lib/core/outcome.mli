@@ -1,0 +1,32 @@
+(** The one result type every driver returns.
+
+    {!Solve.run}, {!Session.solve} and each {!Kstar.search} step used to
+    carry two near-duplicate outcome records ([Solve.outcome] /
+    [Session.outcome]) bridged by a conversion function; this module is
+    the single shared shape.  Fields that only make sense for the
+    approximate/session path ([kstar], [delta_paths], [pool_size]) are
+    zero for a [Full_enum] solve. *)
+
+type stats = {
+  nvars : int;
+  nconstrs : int;
+  encode_time_s : float;
+      (** Pool extension + (delta or full) encode time attributed to
+          this solve. *)
+  solve_time_s : float;
+  extract_time_s : float;  (** Solution extraction + physics validation. *)
+  kstar : int;  (** [K*] of the step this outcome belongs to; 0 for full. *)
+  delta_paths : int;
+      (** Candidate paths added since the previous solve of the same
+          session (the whole pool on a first solve); 0 for full. *)
+  pool_size : int;
+      (** Cumulative candidate paths across all routes; 0 for full. *)
+}
+
+type t = {
+  solution : Solution.t option;  (** Present when an incumbent exists. *)
+  status : Milp.Status.mip_status;
+  stats : stats;
+  mip : Milp.Branch_bound.result;
+  model : Milp.Model.t;  (** The solved model (e.g. for LP export). *)
+}

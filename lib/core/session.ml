@@ -1,5 +1,6 @@
 module BB = Milp.Branch_bound
 module Model = Milp.Model
+module Clock = Milp.Clock
 
 type enc = {
   e_ctx : Encode_common.t;
@@ -8,8 +9,8 @@ type enc = {
 
 type t = {
   s_inst : Instance.t;
+  s_config : Solver_config.t;
   s_loc_kstar : int;
-  s_incremental : bool;
   s_gen : Path_gen.state;
   mutable s_generation : Path_gen.result option;
   mutable s_enc : enc option;
@@ -25,28 +26,21 @@ type t = {
   mutable s_pending_delta : int;
 }
 
-type outcome = {
-  solution : Solution.t option;
-  status : Milp.Status.mip_status;
-  mip : BB.result;
-  model : Model.t;
-  kstar : int;
-  nvars : int;
-  nconstrs : int;
-  encode_time_s : float;
-  solve_time_s : float;
-  extract_time_s : float;
-  delta_paths : int;
-  pool_size : int;
-}
+let incremental t = t.s_config.Solver_config.incremental
 
-let incremental t = t.s_incremental
+let config t = t.s_config
 
-let start ?(loc_kstar = 20) ?(incremental = true) inst =
+let start (config : Solver_config.t) inst =
+  let loc_kstar =
+    match Solver_config.loc_kstar config with
+    | Some l -> l
+    | None ->
+        invalid_arg "Session.start: sessions need the approximate strategy (Approx)"
+  in
   {
     s_inst = inst;
+    s_config = config;
     s_loc_kstar = loc_kstar;
-    s_incremental = incremental;
     s_gen = Path_gen.init inst;
     s_generation = None;
     s_enc = None;
@@ -84,11 +78,11 @@ let grow t ~kstar =
   match Path_gen.extend t.s_gen ~kstar with
   | Error e -> Error e
   | Ok generation ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       t.s_generation <- Some generation;
       t.s_kstar <- kstar;
       (match t.s_enc with
-      | Some enc when t.s_incremental ->
+      | Some enc when incremental t ->
           (* Delta encode into the live model: new selector columns and
              rows only, staged usage flushed once at the end. *)
           List.iter2
@@ -98,28 +92,35 @@ let grow t ~kstar =
           Encode_common.flush_usage enc.e_ctx
       | _ ->
           build_fresh t generation;
-          if not t.s_incremental then begin
+          if not (incremental t) then begin
             t.s_carry <- None;
             t.s_carry_cuts <- []
           end);
       let total = pool_total generation in
       t.s_pending_delta <- t.s_pending_delta + (total - t.s_pool_total);
       t.s_pool_total <- total;
-      t.s_pending_encode_s <- t.s_pending_encode_s +. (Unix.gettimeofday () -. t0);
+      t.s_pending_encode_s <- t.s_pending_encode_s +. (Clock.now () -. t0);
       Ok ()
 
-let create ?loc_kstar ?incremental ~kstar inst =
-  let t = start ?loc_kstar ?incremental inst in
+let create (config : Solver_config.t) inst =
+  let kstar =
+    match Solver_config.kstar config with
+    | Some k -> k
+    | None ->
+        invalid_arg "Session.create: sessions need the approximate strategy (Approx)"
+  in
+  let t = start config inst in
   match grow t ~kstar with Ok () -> Ok t | Error e -> Error e
 
-let solve ?(options = BB.default_options) t =
+let solve t =
   match t.s_enc with
   | None -> invalid_arg "Session.solve: grow the session successfully first"
   | Some enc ->
+      let options = Solver_config.bb_options t.s_config in
       let model = Encode_common.model enc.e_ctx in
       let direction = fst (Model.objective model) in
       let warm, cutoff, seeds =
-        if not t.s_incremental then (None, options.BB.cutoff, [])
+        if not (incremental t) then (None, options.BB.cutoff, [])
         else
           match t.s_carry with
           | None -> (None, options.BB.cutoff, t.s_carry_cuts)
@@ -142,9 +143,9 @@ let solve ?(options = BB.default_options) t =
               (Some x', cutoff, t.s_carry_cuts)
       in
       let options = { options with BB.cutoff } in
-      let t1 = Unix.gettimeofday () in
+      let t1 = Clock.now () in
       let mip = BB.solve ~options ~seed_cuts:seeds ?warm_solution:warm model in
-      let t2 = Unix.gettimeofday () in
+      let t2 = Clock.now () in
       let solution =
         match mip.BB.solution with
         | None -> None
@@ -158,8 +159,8 @@ let solve ?(options = BB.default_options) t =
             in
             Some (Solution.of_approx approx mip)
       in
-      let t3 = Unix.gettimeofday () in
-      if t.s_incremental then begin
+      let t3 = Clock.now () in
+      if incremental t then begin
         (match mip.BB.solution with
         | Some x -> t.s_carry <- Some (Array.copy x, mip.BB.objective)
         | None -> ());
@@ -169,18 +170,21 @@ let solve ?(options = BB.default_options) t =
       end;
       let outcome =
         {
-          solution;
+          Outcome.solution;
           status = mip.BB.status;
           mip;
           model;
-          kstar = t.s_kstar;
-          nvars = Model.nvars model;
-          nconstrs = Model.nconstrs model;
-          encode_time_s = t.s_pending_encode_s;
-          solve_time_s = t2 -. t1;
-          extract_time_s = t3 -. t2;
-          delta_paths = t.s_pending_delta;
-          pool_size = t.s_pool_total;
+          stats =
+            {
+              Outcome.nvars = Model.nvars model;
+              nconstrs = Model.nconstrs model;
+              encode_time_s = t.s_pending_encode_s;
+              solve_time_s = t2 -. t1;
+              extract_time_s = t3 -. t2;
+              kstar = t.s_kstar;
+              delta_paths = t.s_pending_delta;
+              pool_size = t.s_pool_total;
+            };
         }
       in
       t.s_pending_encode_s <- 0.;

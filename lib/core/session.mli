@@ -11,6 +11,13 @@
     plus cutoff — with the surviving cover cuts re-certified against the
     grown model and re-seeded.
 
+    The session is configured once, by the {!Solver_config.t} it is
+    created with: the strategy's [loc_kstar] fixes localization pruning
+    for the whole session (deliberately {e not} swept, so grown models
+    stay strict supersets), [incremental] selects live-model growth vs
+    the rebuild-each-step ablation, and {!Solver_config.bb_options}
+    (including [nworkers]/[seed]) governs every {!solve}.
+
     With [incremental = false] the session degrades to the rebuild
     ablation: the same cumulative pools are re-encoded from scratch each
     step and solved cold, carrying nothing.  Both modes see identical
@@ -20,37 +27,15 @@
 
 type t
 
-type outcome = {
-  solution : Solution.t option;  (** Extracted+validated incumbent. *)
-  status : Milp.Status.mip_status;
-  mip : Milp.Branch_bound.result;
-  model : Milp.Model.t;  (** The live model (do not mutate). *)
-  kstar : int;  (** K* of the step this outcome belongs to. *)
-  nvars : int;
-  nconstrs : int;
-  encode_time_s : float;
-      (** Pool extension + (delta or full) encode time of the grows
-          since the previous solve. *)
-  solve_time_s : float;
-  extract_time_s : float;  (** Solution extraction/validation time. *)
-  delta_paths : int;  (** Candidate paths added since the previous solve. *)
-  pool_size : int;  (** Cumulative candidate paths across all routes. *)
-}
+val start : Solver_config.t -> Instance.t -> t
+(** A session with empty pools and no model yet.
+    @raise Invalid_argument if the config's strategy is [Full_enum]
+    (sessions only make sense for the approximate encoding). *)
 
-val start : ?loc_kstar:int -> ?incremental:bool -> Instance.t -> t
-(** A session with empty pools and no model yet.  [loc_kstar] (default
-    20) fixes the localization-candidate pruning for the whole session —
-    it is deliberately {e not} swept, so that grown models stay strict
-    supersets.  [incremental] (default [true]) selects live-model growth
-    vs the rebuild-each-step ablation. *)
-
-val create :
-  ?loc_kstar:int ->
-  ?incremental:bool ->
-  kstar:int ->
-  Instance.t ->
-  (t, string) result
-(** [start] followed by a first {!grow}[ ~kstar]. *)
+val create : Solver_config.t -> Instance.t -> (t, string) result
+(** [start] followed by a first {!grow} at the config strategy's
+    [kstar].
+    @raise Invalid_argument if the config's strategy is [Full_enum]. *)
 
 val grow : t -> kstar:int -> (unit, string) result
 (** Extend every route's candidate pool by a further BalanceDive round
@@ -61,13 +46,16 @@ val grow : t -> kstar:int -> (unit, string) result
     larger [kstar] continues from there; the session stays solvable if a
     previous grow succeeded. *)
 
-val solve : ?options:Milp.Branch_bound.options -> t -> outcome
-(** Solve the current model.  In incremental mode the previous step's
-    incumbent (zero-extended over new columns) is installed as warm
-    solution and cutoff — so a step that cannot improve still returns
-    the carried solution rather than [Mip_unknown] — and the carried
-    cover cuts are offered for re-certification.  A caller [cutoff] in
-    [options] is combined direction-aware with the carried objective.
+val solve : t -> Outcome.t
+(** Solve the current model with the session config's solver options.
+    In incremental mode the previous step's incumbent (zero-extended
+    over new columns) is installed as warm solution and cutoff — so a
+    step that cannot improve still returns the carried solution rather
+    than [Mip_unknown] — and the carried cover cuts are offered for
+    re-certification.  A caller [cutoff] in the config is combined
+    direction-aware with the carried objective.
     @raise Invalid_argument if no {!grow} has succeeded yet. *)
 
 val incremental : t -> bool
+
+val config : t -> Solver_config.t

@@ -1,22 +1,10 @@
-type strategy = Full_enum | Approx of { kstar : int; loc_kstar : int }
+module Clock = Milp.Clock
 
-let approx ?(kstar = 10) ?(loc_kstar = 20) () = Approx { kstar; loc_kstar }
+type strategy = Solver_config.strategy =
+  | Full_enum
+  | Approx of { kstar : int; loc_kstar : int }
 
-type stats = {
-  nvars : int;
-  nconstrs : int;
-  encode_time_s : float;
-  solve_time_s : float;
-  extract_time_s : float;
-}
-
-type outcome = {
-  solution : Solution.t option;
-  status : Milp.Status.mip_status;
-  stats : stats;
-  mip : Milp.Branch_bound.result;
-  model : Milp.Model.t;
-}
+let approx = Solver_config.approx
 
 type encoding = E_full of Full_encoding.t | E_approx of Approx_encoding.t
 
@@ -38,64 +26,52 @@ let encode_size inst strategy =
       let m = Encode_common.model (ctx_of enc) in
       Ok (Milp.Model.nvars m, Milp.Model.nconstrs m)
 
-let outcome_of_session (s : Session.outcome) =
-  {
-    solution = s.Session.solution;
-    status = s.Session.status;
-    stats =
-      {
-        nvars = s.Session.nvars;
-        nconstrs = s.Session.nconstrs;
-        encode_time_s = s.Session.encode_time_s;
-        solve_time_s = s.Session.solve_time_s;
-        extract_time_s = s.Session.extract_time_s;
-      };
-    mip = s.Session.mip;
-    model = s.Session.model;
-  }
-
-let run ?(options = Milp.Branch_bound.default_options) inst strategy =
-  match strategy with
-  | Approx { kstar; loc_kstar } -> (
+let run (config : Solver_config.t) inst =
+  match config.Solver_config.strategy with
+  | Approx _ -> (
       (* One-shot wrapper over a single-step session.  A fresh session's
          first step has no carry, so options (cutoff included) pass
          through to the solver untouched. *)
-      match Session.create ~loc_kstar ~kstar inst with
+      match Session.create config inst with
       | Error e -> Error e
-      | Ok session -> Ok (outcome_of_session (Session.solve ~options session)))
+      | Ok session -> Ok (Session.solve session))
   | Full_enum ->
-      let t0 = Unix.gettimeofday () in
+      let options = Solver_config.bb_options config in
+      let t0 = Clock.now () in
       let enc = Full_encoding.encode inst in
-      let t1 = Unix.gettimeofday () in
+      let t1 = Clock.now () in
       let model = Encode_common.model enc.Full_encoding.ctx in
       let mip = Milp.Branch_bound.solve ~options model in
-      let t2 = Unix.gettimeofday () in
+      let t2 = Clock.now () in
       let solution =
         match mip.Milp.Branch_bound.solution with
         | None -> None
         | Some _ -> Some (Solution.of_full enc mip)
       in
-      let t3 = Unix.gettimeofday () in
+      let t3 = Clock.now () in
       Ok
         {
-          solution;
+          Outcome.solution;
           status = mip.Milp.Branch_bound.status;
           stats =
             {
-              nvars = Milp.Model.nvars model;
+              Outcome.nvars = Milp.Model.nvars model;
               nconstrs = Milp.Model.nconstrs model;
               encode_time_s = t1 -. t0;
               solve_time_s = t2 -. t1;
               extract_time_s = t3 -. t2;
+              kstar = 0;
+              delta_paths = 0;
+              pool_size = 0;
             };
           mip;
           model;
         }
 
-let run_exn ?options inst strategy =
-  match run ?options inst strategy with
+let run_exn config inst =
+  match run config inst with
   | Error e -> failwith ("Solve.run_exn: encoding failed: " ^ e)
-  | Ok { solution = None; status; _ } ->
+  | Ok { Outcome.solution = None; status; _ } ->
       failwith
         ("Solve.run_exn: no solution (" ^ Milp.Status.mip_status_to_string status ^ ")")
-  | Ok { solution = Some s; _ } -> s
+  | Ok { Outcome.solution = Some s; _ } -> s

@@ -1,7 +1,12 @@
 (** End-to-end driver: encode an instance with either path strategy,
-    run the MILP solver, extract and validate the solution. *)
+    run the MILP solver, extract and validate the solution.
 
-type strategy =
+    The whole driver stack is configured by one {!Solver_config.t}
+    passed positionally — strategy, branch & bound options, session
+    mode and parallel-search knobs all travel together.  Results come
+    back as the shared {!Outcome.t}. *)
+
+type strategy = Solver_config.strategy =
   | Full_enum  (** Exhaustive encoding (paper §2). *)
   | Approx of { kstar : int; loc_kstar : int }
       (** Algorithm 1 with [K*] route candidates and [loc_kstar]
@@ -10,43 +15,16 @@ type strategy =
 val approx : ?kstar:int -> ?loc_kstar:int -> unit -> strategy
 (** [Approx] with defaults [kstar = 10], [loc_kstar = 20]. *)
 
-type stats = {
-  nvars : int;
-  nconstrs : int;
-  encode_time_s : float;
-  solve_time_s : float;
-  extract_time_s : float;
-      (** Solution extraction + physics validation, previously invisible
-          (it happens after the solver returns). *)
-}
-
-type outcome = {
-  solution : Solution.t option;  (** Present when an incumbent exists. *)
-  status : Milp.Status.mip_status;
-  stats : stats;
-  mip : Milp.Branch_bound.result;
-  model : Milp.Model.t;  (** The solved model (e.g. for LP export). *)
-}
-
 val encode_size : Instance.t -> strategy -> (int * int, string) result
 (** [(nvars, nconstrs)] of the encoding without solving — the
     problem-size comparison of the paper's Table 3. *)
 
-val outcome_of_session : Session.outcome -> outcome
-(** View a session step as a one-shot outcome (used by {!Kstar}). *)
-
-val run :
-  ?options:Milp.Branch_bound.options ->
-  Instance.t ->
-  strategy ->
-  (outcome, string) result
-(** Encode and solve.  [options] default to
-    {!Milp.Branch_bound.default_options}.  Returns [Error] when the
+val run : Solver_config.t -> Instance.t -> (Outcome.t, string) result
+(** Encode and solve under the given config.  Returns [Error] when the
     encoding itself fails (e.g. Algorithm 1 finds no candidates) and
     [Ok] with [solution = None] when the MILP is infeasible or hit its
     limits without an incumbent.  The [Approx] strategy is a thin
     wrapper over a single-step {!Session}. *)
 
-val run_exn :
-  ?options:Milp.Branch_bound.options -> Instance.t -> strategy -> Solution.t
+val run_exn : Solver_config.t -> Instance.t -> Solution.t
 (** @raise Failure when no solution is produced. *)

@@ -1,0 +1,75 @@
+module BB = Milp.Branch_bound
+
+type strategy = Full_enum | Approx of { kstar : int; loc_kstar : int }
+
+type t = {
+  strategy : strategy;
+  options : BB.options;
+  incremental : bool;
+  nworkers : int;
+  seed : int;
+}
+
+let approx ?(kstar = 10) ?(loc_kstar = 20) () = Approx { kstar; loc_kstar }
+
+let default =
+  {
+    strategy = approx ();
+    options = BB.default_options;
+    incremental = true;
+    nworkers = 1;
+    seed = 0;
+  }
+
+let with_strategy strategy c = { c with strategy }
+
+let with_full_enum c = { c with strategy = Full_enum }
+
+let with_approx ?kstar ?loc_kstar () c =
+  let k0, l0 =
+    match c.strategy with
+    | Approx { kstar; loc_kstar } -> (kstar, loc_kstar)
+    | Full_enum -> (10, 20)
+  in
+  {
+    c with
+    strategy =
+      Approx
+        {
+          kstar = Option.value kstar ~default:k0;
+          loc_kstar = Option.value loc_kstar ~default:l0;
+        };
+  }
+
+let with_options options c = { c with options }
+
+let with_time_limit time_limit c = { c with options = { c.options with BB.time_limit } }
+
+let with_node_limit node_limit c = { c with options = { c.options with BB.node_limit } }
+
+let with_rel_gap rel_gap c = { c with options = { c.options with BB.rel_gap } }
+
+let with_cutoff cutoff c = { c with options = { c.options with BB.cutoff } }
+
+let with_warm_start warm_start c = { c with options = { c.options with BB.warm_start } }
+
+let with_cuts cuts c = { c with options = { c.options with BB.cuts } }
+
+let with_rc_fixing rc_fixing c = { c with options = { c.options with BB.rc_fixing } }
+
+let with_log log c = { c with options = { c.options with BB.log } }
+
+let with_incremental incremental c = { c with incremental }
+
+let with_workers nworkers c =
+  if nworkers < 1 then invalid_arg "Solver_config.with_workers: need at least 1 worker";
+  { c with nworkers }
+
+let with_seed seed c = { c with seed }
+
+let bb_options c = { c.options with BB.nworkers = c.nworkers; seed = c.seed }
+
+let kstar c = match c.strategy with Approx { kstar; _ } -> Some kstar | Full_enum -> None
+
+let loc_kstar c =
+  match c.strategy with Approx { loc_kstar; _ } -> Some loc_kstar | Full_enum -> None

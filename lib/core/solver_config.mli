@@ -1,0 +1,98 @@
+(** One self-contained solver configuration.
+
+    Everything that used to be threaded through the driver stack as
+    scattered optional arguments — [?options] (branch & bound),
+    [?kstar]/[?loc_kstar] (encoding strategy), [?incremental] (session
+    mode) — plus the parallel-search knobs ([nworkers], [seed]) lives in
+    a single immutable record.  {!Solve.run}, {!Session.start} /
+    {!Session.create} and {!Kstar.search} take it positionally; build
+    one with {!default} and the [with_*] setters and pass the same value
+    everywhere:
+
+    {[
+      let cfg =
+        Solver_config.(
+          default |> with_approx ~kstar:6 () |> with_time_limit 30.
+          |> with_workers 4)
+      in
+      Solve.run cfg inst
+    ]}
+
+    The record is also what a worker domain needs to be spun up
+    self-contained, which is why the parallel tree search forced this
+    consolidation. *)
+
+type strategy =
+  | Full_enum  (** Exhaustive encoding (paper §2). *)
+  | Approx of { kstar : int; loc_kstar : int }
+      (** Algorithm 1 with [K*] route candidates and [loc_kstar]
+          localization candidates per test point. *)
+
+type t = {
+  strategy : strategy;
+  options : Milp.Branch_bound.options;
+      (** Branch & bound options.  The [nworkers]/[seed] fields inside
+          are ignored in favour of the config-level ones below —
+          {!bb_options} resolves the authoritative merge. *)
+  incremental : bool;
+      (** Sessions grow the live model and carry incumbent + cuts across
+          steps (default); [false] is the rebuild-each-step ablation. *)
+  nworkers : int;  (** Worker domains for the tree search (default 1). *)
+  seed : int;
+      (** Diversification seed for parallel exploration (default 0);
+          ignored when [nworkers = 1]. *)
+}
+
+val default : t
+(** [Approx { kstar = 10; loc_kstar = 20 }],
+    {!Milp.Branch_bound.default_options}, incremental, one worker,
+    seed 0. *)
+
+val approx : ?kstar:int -> ?loc_kstar:int -> unit -> strategy
+(** [Approx] with defaults [kstar = 10], [loc_kstar = 20]. *)
+
+(** Setters take the config {e last} so they chain with [|>]. *)
+
+val with_strategy : strategy -> t -> t
+
+val with_full_enum : t -> t
+
+val with_approx : ?kstar:int -> ?loc_kstar:int -> unit -> t -> t
+(** Switch to (or adjust) the approximate strategy; an omitted field
+    keeps its current value when the strategy already is [Approx], else
+    the {!approx} default. *)
+
+val with_options : Milp.Branch_bound.options -> t -> t
+
+val with_time_limit : float -> t -> t
+
+val with_node_limit : int -> t -> t
+
+val with_rel_gap : float -> t -> t
+
+val with_cutoff : float -> t -> t
+
+val with_warm_start : bool -> t -> t
+
+val with_cuts : bool -> t -> t
+
+val with_rc_fixing : bool -> t -> t
+
+val with_log : bool -> t -> t
+
+val with_incremental : bool -> t -> t
+
+val with_workers : int -> t -> t
+(** @raise Invalid_argument on [n < 1]. *)
+
+val with_seed : int -> t -> t
+
+val bb_options : t -> Milp.Branch_bound.options
+(** The options record actually handed to {!Milp.Branch_bound.solve}:
+    [t.options] with its [nworkers]/[seed] overridden by the
+    config-level fields. *)
+
+val kstar : t -> int option
+(** [Some k] for the approximate strategy, [None] for [Full_enum]. *)
+
+val loc_kstar : t -> int option

@@ -12,6 +12,8 @@ type options = {
   cut_rounds : int;
   rc_fixing : bool;
   log : bool;
+  nworkers : int;
+  seed : int;
 }
 
 let default_options =
@@ -29,6 +31,8 @@ let default_options =
     cut_rounds = 20;
     rc_fixing = true;
     log = false;
+    nworkers = 1;
+    seed = 0;
   }
 
 type result = {
@@ -163,7 +167,7 @@ let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~wa
   let rec go () =
     let j = most_fractional () in
     if j < 0 then Some (Array.copy !x, !obj)
-    else if !lps >= max_lps || Unix.gettimeofday () > deadline then None
+    else if !lps >= max_lps || Clock.now () > deadline then None
     else begin
       let v = Float.round !x.(j) in
       let try_fix value =
@@ -207,8 +211,23 @@ let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~wa
   in
   go ()
 
+(* Parallel incumbent: an immutable pair swapped by compare-and-set.
+   [i_sol = None] with a finite [i_obj] is a caller cutoff acting as a
+   virtual incumbent, mirroring the sequential ref pair. *)
+type par_incumbent = { i_obj : float; i_sol : float array option }
+
+(* Per-domain tallies, merged into the result after the join.  Each
+   worker owns exactly one of these; nothing in it is shared. *)
+type worker_stats = {
+  mutable ws_nodes : int;
+  ws_lp : int ref;
+  ws_counters : lp_counters;
+  mutable ws_pruned : int;
+  mutable ws_rc : int;
+}
+
 let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let p = Simplex.of_model model in
   let n = p.Simplex.ncols in
   let direction = fst (Model.objective model) in
@@ -248,7 +267,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       rc_fixed = !rc_fixed;
       root_lp_bound = sign *. !root_lp_bound;
       root_cut_bound = sign *. !root_cut_bound;
-      elapsed = Unix.gettimeofday () -. t0;
+      elapsed = Clock.now () -. t0;
     }
   in
   (* Root presolve. *)
@@ -374,6 +393,11 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       in
       let timed_out = ref false in
       let unbounded = ref false in
+      (* A node LP killed by the deadline or the pivot cap was dropped
+         without resolving its subtree: an empty queue then proves
+         nothing, so neither "optimal" nor "infeasible" may be claimed
+         off exhaustion. *)
+      let lp_cut_short = ref false in
       (* Most fractional integer variable of an LP solution. *)
       let pick_branch_var x =
         let best = ref (-1) and best_frac = ref options.int_tol in
@@ -406,7 +430,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
         while
           !go && !rounds < options.cut_rounds
           && Array.length !cut_index < max_applied_cuts
-          && Unix.gettimeofday () < deadline
+          && Clock.now () < deadline
         do
           incr rounds;
           match (!r.Simplex.status, !r.Simplex.basis) with
@@ -478,17 +502,17 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
          the whole subtree (the duals are already on hand from the warm
          solve).  Returns the bound changes to thread into both
          children. *)
-      let rc_fixes (r : Simplex.result) lb ub =
-        if (not options.rc_fixing) || !incumbent = None then []
+      let rc_fixes_on ~prob ~has_inc ~inc_obj (r : Simplex.result) lb ub =
+        if (not options.rc_fixing) || not has_inc then []
         else
           match r.Simplex.basis with
           | None -> []
           | Some b -> (
-              match Simplex.reduced_costs !pref b with
+              match Simplex.reduced_costs prob b with
               | None -> []
               | Some d ->
                   let z = r.Simplex.objective in
-                  let cutoff = !incumbent_obj -. options.abs_gap in
+                  let cutoff = inc_obj -. options.abs_gap in
                   let x = r.Simplex.primal in
                   let fixes = ref [] in
                   for j = 0 to n - 1 do
@@ -505,6 +529,10 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                       then fixes := (j, ub.(j), ub.(j)) :: !fixes
                   done;
                   !fixes)
+      in
+      let rc_fixes r lb ub =
+        rc_fixes_on ~prob:!pref ~has_inc:(!incumbent <> None) ~inc_obj:!incumbent_obj r lb
+          ub
       in
       let process node =
         incr nodes;
@@ -545,7 +573,8 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
             then node_separation r ~lb ~ub
           end;
           match !r.Simplex.status with
-          | Status.Lp_infeasible | Status.Lp_iteration_limit -> ()
+          | Status.Lp_infeasible -> ()
+          | Status.Lp_iteration_limit -> lp_cut_short := true
           | Status.Lp_unbounded -> if !incumbent = None then unbounded := true
           | Status.Lp_optimal ->
               let r = !r in
@@ -592,7 +621,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       let rec loop () =
         if Pqueue.is_empty queue || gap_closed () || !unbounded then ()
         else if !nodes >= options.node_limit then ()
-        else if Unix.gettimeofday () -. t0 > options.time_limit then timed_out := true
+        else if Clock.now () -. t0 > options.time_limit then timed_out := true
         else begin
           (match Pqueue.pop queue with
           | Some (_, node) ->
@@ -605,11 +634,253 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
           loop ()
         end
       in
-      loop ();
+      (* The open-tree bound after the drive: sequential reads the one
+         heap, parallel also folds in the worker pool (queued plus
+         in-flight nodes). *)
+      let par_pool = ref None in
+      if options.nworkers <= 1 then loop ()
+      else begin
+        let nworkers = options.nworkers in
+        (* Phase 1 — sequential ramp-up: the root node (presolve, root
+           cut loop, first dive) and a few more run on the exact
+           sequential machinery until there is enough frontier to feed
+           every domain.  All cut-pool and working-problem writes happen
+           in this phase; everything workers later read is frozen. *)
+        let ramp_width = 2 * nworkers in
+        let ramp_nodes = 32 in
+        let rec ramp () =
+          if
+            Pqueue.is_empty queue || gap_closed () || !unbounded
+            || !nodes >= options.node_limit
+            || Pqueue.length queue >= ramp_width
+            || !nodes >= ramp_nodes
+          then ()
+          else if Clock.now () -. t0 > options.time_limit then timed_out := true
+          else
+            match Pqueue.pop queue with
+            | Some (_, node) ->
+                process node;
+                ramp ()
+            | None -> ()
+        in
+        ramp ();
+        if
+          not
+            (Pqueue.is_empty queue || gap_closed () || !unbounded || !timed_out
+            || !nodes >= options.node_limit)
+        then begin
+          (* Phase 2 — freeze the cut-augmented problem and hand the
+             frontier to the worker domains, dealt round-robin so each
+             starts in a different subtree. *)
+          let pw = !pref in
+          let np = Node_pool.create ~nworkers in
+          par_pool := Some np;
+          let dealt = ref 0 in
+          let rec deal () =
+            match Pqueue.pop queue with
+            | Some (k, node) ->
+                Node_pool.push np ~worker:!dealt k node;
+                incr dealt;
+                deal ()
+            | None -> ()
+          in
+          deal ();
+          let inc =
+            Atomic.make { i_obj = !incumbent_obj; i_sol = Option.map Array.copy !incumbent }
+          in
+          let rec update_inc x obj =
+            let cur = Atomic.get inc in
+            if obj < cur.i_obj -. 1e-12 then
+              if
+                not
+                  (Atomic.compare_and_set inc cur
+                     { i_obj = obj; i_sol = Some (Array.copy x) })
+              then update_inc x obj
+          in
+          let total_nodes = Atomic.make !nodes in
+          let timed_out_a = Atomic.make false in
+          let unbounded_a = Atomic.make false in
+          let lp_cut_short_a = Atomic.make false in
+          let wstats =
+            Array.init nworkers (fun _ ->
+                {
+                  ws_nodes = 0;
+                  ws_lp = ref 0;
+                  ws_counters = { warm = 0; cold = 0; fallback = 0 };
+                  ws_pruned = 0;
+                  ws_rc = 0;
+                })
+          in
+          (* Node processing for a worker: same shape as [process] minus
+             anything that writes shared state — no cut separation (the
+             problem is frozen), incumbent via CAS, tallies worker-local.
+             Heuristic gating is offset by worker index and seed so the
+             domains probe different parts of the tree for incumbents
+             instead of duplicating the same dives. *)
+          let wprocess wi st node =
+            if node.nbound >= (Atomic.get inc).i_obj -. options.abs_gap then
+              st.ws_pruned <- st.ws_pruned + 1
+            else begin
+              let lb = Array.copy plb and ub = Array.copy pub in
+              List.iter
+                (fun (j, l, u) ->
+                  lb.(j) <- Float.max lb.(j) l;
+                  ub.(j) <- Float.min ub.(j) u)
+                node.changes;
+              match
+                if node.changes = [] then Some (lb, ub) else propagate p integer lb ub
+              with
+              | None -> ()
+              | Some (lb, ub) -> (
+                  let r = Simplex.solve ?basis:(node_basis node.nbasis) ~deadline pw ~lb ~ub in
+                  st.ws_lp := !(st.ws_lp) + r.Simplex.iterations;
+                  tally st.ws_counters r;
+                  match r.Simplex.status with
+                  | Status.Lp_infeasible -> ()
+                  | Status.Lp_iteration_limit -> Atomic.set lp_cut_short_a true
+                  | Status.Lp_unbounded ->
+                      if (Atomic.get inc).i_sol = None then Atomic.set unbounded_a true
+                  | Status.Lp_optimal ->
+                      let obj = r.Simplex.objective in
+                      if obj >= (Atomic.get inc).i_obj -. options.abs_gap then
+                        st.ws_pruned <- st.ws_pruned + 1
+                      else begin
+                        let x = r.Simplex.primal in
+                        let j = pick_branch_var x in
+                        if j < 0 then update_inc x obj
+                        else begin
+                          if options.rounding_heuristic && (st.ws_nodes + wi) land 15 = 1
+                          then begin
+                            match try_rounding pw integer lb ub x feas_tol with
+                            | Some y -> update_inc y (objective_of pw y)
+                            | None -> ()
+                          end;
+                          if
+                            options.rounding_heuristic
+                            && ((Atomic.get inc).i_sol = None
+                               || (st.ws_nodes + options.seed + (17 * wi)) land 63 = 2)
+                          then begin
+                            match
+                              dive pw integer options.int_tol lb ub r st.ws_lp
+                                st.ws_counters ~warm_start:options.warm_start 200 ~deadline
+                            with
+                            | Some (y, yobj) -> update_inc y yobj
+                            | None -> ()
+                          end;
+                          let cur = Atomic.get inc in
+                          let fixes =
+                            rc_fixes_on ~prob:pw ~has_inc:(cur.i_sol <> None)
+                              ~inc_obj:cur.i_obj r lb ub
+                          in
+                          st.ws_rc <- st.ws_rc + List.length fixes;
+                          let inherited = List.rev_append fixes node.changes in
+                          let v = x.(j) in
+                          let nbasis = if options.warm_start then r.Simplex.basis else None in
+                          Node_pool.push np ~worker:wi obj
+                            {
+                              nbound = obj;
+                              changes = (j, neg_infinity, Float.floor v) :: inherited;
+                              nbasis;
+                            };
+                          Node_pool.push np ~worker:wi obj
+                            {
+                              nbound = obj;
+                              changes = (j, Float.ceil v, infinity) :: inherited;
+                              nbasis;
+                            }
+                        end
+                      end)
+            end
+          in
+          let gap_closed_now () =
+            let c = Atomic.get inc in
+            c.i_obj < infinity
+            &&
+            let b = Node_pool.best_bound np in
+            c.i_obj -. b <= options.abs_gap
+            || c.i_obj -. b <= options.rel_gap *. Float.max 1e-10 (Float.abs c.i_obj)
+          in
+          let worker wi =
+            let st = wstats.(wi) in
+            let rec go () =
+              match Node_pool.pop np ~worker:wi with
+              | None -> ()
+              | Some (_, node) ->
+                  if Clock.now () -. t0 > options.time_limit then begin
+                    Atomic.set timed_out_a true;
+                    Node_pool.task_done np ~worker:wi;
+                    Node_pool.stop np
+                  end
+                  else if Atomic.fetch_and_add total_nodes 1 >= options.node_limit then begin
+                    Atomic.decr total_nodes;
+                    Node_pool.task_done np ~worker:wi;
+                    Node_pool.stop np
+                  end
+                  else begin
+                    st.ws_nodes <- st.ws_nodes + 1;
+                    wprocess wi st node;
+                    Node_pool.task_done np ~worker:wi;
+                    if Atomic.get unbounded_a || gap_closed_now () then Node_pool.stop np;
+                    go ()
+                  end
+            in
+            go ()
+          in
+          (* A worker that dies mid-node would leave [pending] stuck
+             above zero and the others asleep forever; trap, stop the
+             pool so everyone drains out, and re-raise after the join. *)
+          let errors = Array.make nworkers None in
+          let domains =
+            Array.init nworkers (fun wi ->
+                Domain.spawn (fun () ->
+                    try worker wi
+                    with e ->
+                      errors.(wi) <- Some (e, Printexc.get_raw_backtrace ());
+                      Node_pool.stop np))
+          in
+          Array.iter Domain.join domains;
+          Array.iter
+            (function
+              | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+              | None -> ())
+            errors;
+          Array.iter
+            (fun st ->
+              nodes := !nodes + st.ws_nodes;
+              lp_iters := !lp_iters + !(st.ws_lp);
+              counters.warm <- counters.warm + st.ws_counters.warm;
+              counters.cold <- counters.cold + st.ws_counters.cold;
+              counters.fallback <- counters.fallback + st.ws_counters.fallback;
+              bound_pruned := !bound_pruned + st.ws_pruned;
+              rc_fixed := !rc_fixed + st.ws_rc)
+            wstats;
+          let c = Atomic.get inc in
+          incumbent_obj := c.i_obj;
+          (match c.i_sol with Some x -> incumbent := Some x | None -> ());
+          if Atomic.get timed_out_a then timed_out := true;
+          if Atomic.get unbounded_a then unbounded := true;
+          if Atomic.get lp_cut_short_a then lp_cut_short := true
+        end
+      end;
+      let exhausted, open_bound =
+        match !par_pool with
+        | None -> ((not !lp_cut_short) && Pqueue.is_empty queue, best_open_bound ())
+        | Some np ->
+            ( (not !lp_cut_short) && Node_pool.drained np && Pqueue.is_empty queue,
+              Float.min (Node_pool.best_bound np) (best_open_bound ()) )
+      in
+      let gap_ok =
+        match !incumbent with
+        | None -> false
+        | Some _ ->
+            !incumbent_obj -. open_bound <= options.abs_gap
+            || !incumbent_obj -. open_bound
+               <= options.rel_gap *. Float.max 1e-10 (Float.abs !incumbent_obj)
+      in
       let final_bound =
         match !incumbent with
-        | Some _ when Pqueue.is_empty queue -> !incumbent_obj
-        | _ -> Float.min (best_open_bound ()) !incumbent_obj
+        | Some _ when exhausted -> !incumbent_obj
+        | _ -> Float.min open_bound !incumbent_obj
       in
       if !unbounded then
         finish Status.Mip_unbounded ~objective:neg_infinity ~bound:neg_infinity ~solution:None
@@ -617,9 +888,8 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       else begin
         match !incumbent with
         | Some x ->
-            let exhausted = Pqueue.is_empty queue in
             let status =
-              if exhausted || gap_closed () then Status.Mip_optimal else Status.Mip_feasible
+              if exhausted || gap_ok then Status.Mip_optimal else Status.Mip_feasible
             in
             finish status ~objective:!incumbent_obj ~bound:final_bound ~solution:(Some x)
               ~nodes:!nodes ~lp_iterations:!lp_iters
@@ -628,7 +898,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
               (* With a cutoff installed, an exhausted tree only proves
                  "nothing better than the cutoff", not infeasibility. *)
               if
-                Pqueue.is_empty queue
+                exhausted
                 && (not !timed_out)
                 && !nodes < options.node_limit
                 && Float.is_nan options.cutoff

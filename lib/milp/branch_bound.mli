@@ -50,12 +50,29 @@ type options = {
       (** Reduced-cost fixing of integer variables at nodes once an
           incumbent exists (default [true]). *)
   log : bool;  (** Print a progress line every ~500 nodes via [Logs]. *)
+  nworkers : int;
+      (** Worker domains for the tree search (default [1]).  With
+          [nworkers = 1] the solver runs today's exact sequential loop —
+          node order and every tally are bit-identical run to run.  With
+          [nworkers > 1] the root phase (presolve, root cut loop, first
+          incumbent dive) still runs sequentially, then the frontier is
+          dealt to a work-stealing {!Node_pool} and explored by OCaml 5
+          domains: each worker owns a private simplex workspace, parent
+          bases travel with the nodes, the incumbent lives in an
+          [Atomic], and no cuts are separated after the handoff (the
+          working problem is frozen — see DESIGN.md §5e).  Node counts
+          then vary run to run, but returned objectives agree with the
+          sequential solver to optimality tolerances. *)
+  seed : int;
+      (** Perturbs the per-worker heuristic schedule (which nodes each
+          domain dives from) to diversify parallel exploration.  Ignored
+          when [nworkers = 1].  Default [0]. *)
 }
 
 val default_options : options
 (** 60 s, 200_000 nodes, [rel_gap = 1e-6], [abs_gap = 1e-9],
     [int_tol = 1e-6], presolve, rounding, warm starts, cuts (20 rounds)
-    and reduced-cost fixing on, log off. *)
+    and reduced-cost fixing on, log off, [nworkers = 1], [seed = 0]. *)
 
 type result = {
   status : Status.mip_status;

@@ -1,0 +1,3 @@
+external now : unit -> float = "milp_clock_monotonic_s"
+
+let elapsed_since t0 = now () -. t0

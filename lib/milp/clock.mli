@@ -1,0 +1,17 @@
+(** Monotonic clock for solver deadlines.
+
+    Every deadline and elapsed-time measurement inside the solver uses
+    this clock instead of [Unix.gettimeofday]: the monotonic clock
+    cannot jump (NTP corrections, manual [date] changes, VM
+    suspensions resetting the wall clock), so a time limit armed at
+    solve start can neither fire spuriously nor be suppressed
+    mid-solve.  The origin is arbitrary — only differences between two
+    readings are meaningful, and instants must never be compared
+    against [Unix.gettimeofday] values. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin, strictly non-decreasing
+    within a process.  Safe to call from any domain. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] = [now () -. t0]. *)

@@ -1,0 +1,18 @@
+/* Monotonic wall clock for solver deadlines.
+ *
+ * CLOCK_MONOTONIC is immune to wall-clock adjustments (NTP slews and
+ * manual jumps), so a deadline computed at solve start cannot fire
+ * early or be suppressed when the system clock moves mid-solve.  The
+ * origin is arbitrary (boot time on Linux): only differences between
+ * two readings are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value milp_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

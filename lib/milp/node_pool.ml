@@ -1,0 +1,156 @@
+type 'a t = {
+  nworkers : int;
+  heaps : 'a Pqueue.t array;
+  hlocks : Mutex.t array;
+  (* Advisory minimum key of each heap ([infinity] = believed empty).
+     Only a victim-selection hint: the authoritative state is the heap
+     under its lock. *)
+  mins : float Atomic.t array;
+  (* Keys of nodes popped from heap [i] whose task_done has not run yet,
+     guarded by [hlocks.(i)].  Kept so [best_bound] counts nodes that
+     are mid-LP on some worker. *)
+  inflight : float list ref array;
+  (* Worker w's most recent pop: (heap it came from, key), written and
+     read only by worker w between its pop and its task_done. *)
+  out : (int * float) array;
+  pending : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  (* Sleep/wake channel.  Every broadcast happens while holding [wake]
+     so a worker that checked the idle condition under [wake] cannot
+     miss the wakeup that invalidates it. *)
+  wake : Mutex.t;
+  wake_cond : Condition.t;
+}
+
+let create ~nworkers =
+  if nworkers < 1 then invalid_arg "Node_pool.create: nworkers must be >= 1";
+  {
+    nworkers;
+    heaps = Array.init nworkers (fun _ -> Pqueue.create ());
+    hlocks = Array.init nworkers (fun _ -> Mutex.create ());
+    mins = Array.init nworkers (fun _ -> Atomic.make infinity);
+    inflight = Array.init nworkers (fun _ -> ref []);
+    out = Array.make nworkers (-1, nan);
+    pending = Atomic.make 0;
+    stop_flag = Atomic.make false;
+    wake = Mutex.create ();
+    wake_cond = Condition.create ();
+  }
+
+let broadcast t =
+  Mutex.lock t.wake;
+  Condition.broadcast t.wake_cond;
+  Mutex.unlock t.wake
+
+let push t ~worker key v =
+  let i = worker mod t.nworkers in
+  (* Count the node before it becomes poppable: [pending] may over-
+     approximate live work but can never undershoot it, so pending = 0
+     really means drained. *)
+  Atomic.incr t.pending;
+  Mutex.lock t.hlocks.(i);
+  Pqueue.push t.heaps.(i) key v;
+  if key < Atomic.get t.mins.(i) then Atomic.set t.mins.(i) key;
+  Mutex.unlock t.hlocks.(i);
+  broadcast t
+
+(* Pop the best node of heap [i], recording it in-flight under the same
+   lock acquisition so there is no instant where it is invisible to
+   [best_bound]. *)
+let try_heap t ~worker i =
+  Mutex.lock t.hlocks.(i);
+  match Pqueue.pop t.heaps.(i) with
+  | Some (k, v) ->
+      t.inflight.(i) := k :: !(t.inflight.(i));
+      Atomic.set t.mins.(i)
+        (match Pqueue.peek_key t.heaps.(i) with Some k' -> k' | None -> infinity);
+      Mutex.unlock t.hlocks.(i);
+      t.out.(worker) <- (i, k);
+      Some (k, v)
+  | None ->
+      Atomic.set t.mins.(i) infinity;
+      Mutex.unlock t.hlocks.(i);
+      None
+
+let rec pop t ~worker =
+  if Atomic.get t.stop_flag then None
+  else if Atomic.get t.pending = 0 then None
+  else
+    match try_heap t ~worker worker with
+    | Some _ as r -> r
+    | None -> (
+        (* Steal from the victim advertising the best minimum. *)
+        let victim = ref (-1) and best = ref infinity in
+        for i = 0 to t.nworkers - 1 do
+          if i <> worker then begin
+            let k = Atomic.get t.mins.(i) in
+            if k < !best then begin
+              best := k;
+              victim := i
+            end
+          end
+        done;
+        if !victim >= 0 then
+          match try_heap t ~worker !victim with
+          | Some _ as r -> r
+          | None -> pop t ~worker (* raced another thief; retry *)
+        else begin
+          (* Nothing visible anywhere, but in-flight nodes may still
+             spawn children: sleep until a push / retirement / stop.
+             The idle re-check happens under [wake], the same lock every
+             broadcaster holds, so the wakeup cannot be lost. *)
+          Mutex.lock t.wake;
+          let idle () =
+            (not (Atomic.get t.stop_flag))
+            && Atomic.get t.pending > 0
+            && Array.for_all (fun m -> Atomic.get m = infinity) t.mins
+          in
+          if idle () then Condition.wait t.wake_cond t.wake;
+          Mutex.unlock t.wake;
+          pop t ~worker
+        end)
+
+(* Remove one occurrence of [k] (entries are a multiset of bounds, any
+   float-equal entry is the same node for accounting purposes). *)
+let rec remove_one k = function
+  | [] -> []
+  | x :: rest -> if x = k then rest else x :: remove_one k rest
+
+let task_done t ~worker =
+  let i, k = t.out.(worker) in
+  if i < 0 then invalid_arg "Node_pool.task_done: no outstanding pop";
+  t.out.(worker) <- (-1, nan);
+  Mutex.lock t.hlocks.(i);
+  t.inflight.(i) := remove_one k !(t.inflight.(i));
+  Mutex.unlock t.hlocks.(i);
+  let before = Atomic.fetch_and_add t.pending (-1) in
+  if before = 1 then broadcast t (* drained: wake sleepers so they exit *)
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  broadcast t
+
+let stopped t = Atomic.get t.stop_flag
+
+let drained t = Atomic.get t.pending = 0
+
+let best_bound t =
+  let best = ref infinity in
+  for i = 0 to t.nworkers - 1 do
+    Mutex.lock t.hlocks.(i);
+    (match Pqueue.peek_key t.heaps.(i) with
+    | Some k -> if k < !best then best := k
+    | None -> ());
+    List.iter (fun k -> if k < !best then best := k) !(t.inflight.(i));
+    Mutex.unlock t.hlocks.(i)
+  done;
+  !best
+
+let length t =
+  let n = ref 0 in
+  for i = 0 to t.nworkers - 1 do
+    Mutex.lock t.hlocks.(i);
+    n := !n + Pqueue.length t.heaps.(i);
+    Mutex.unlock t.hlocks.(i)
+  done;
+  !n

@@ -1,0 +1,72 @@
+(** Concurrent work-stealing node pool for parallel branch & bound.
+
+    One min-heap ({!Pqueue}) per worker domain, each guarded by its own
+    mutex.  A worker pushes the children it generates onto its {e own}
+    heap and pops from it best-bound first; when its heap is empty it
+    steals from the victim whose advisory minimum key is best, so the
+    collective expansion order stays close to global best-first while
+    keeping every heap single-writer in the common case.
+
+    Accounting is exact where it matters and advisory where it does not:
+
+    - Every node is, at any instant, either inside some heap or recorded
+      in that heap's in-flight list (a worker checks the popped key in
+      {e under the same heap lock} as the pop, and {!task_done} removes
+      it).  {!best_bound} therefore never misses a node that could still
+      improve the tree bound, which makes gap-based termination sound.
+    - A [pending] counter is incremented by {!push} {e before} the node
+      is visible and decremented by {!task_done} {e after} the worker
+      has pushed the node's children, so [pending = 0] proves the tree
+      is exhausted (children bound at least their parent, so no node can
+      reappear).
+    - Per-heap minimum keys are plain {!Atomic} hints used only for
+      victim selection; a stale hint costs one extra lock acquisition,
+      never a lost node.
+
+    Idle workers block on a condition variable — they never spin.  On
+    machines where domains outnumber cores (including the degenerate
+    single-core case) a spinning thief would steal the CPU from the
+    worker actually solving LPs. *)
+
+type 'a t
+
+val create : nworkers:int -> 'a t
+(** [nworkers >= 1] heaps; worker indices are [0 .. nworkers - 1]. *)
+
+val push : 'a t -> worker:int -> float -> 'a -> unit
+(** [push t ~worker key v] adds [v] (priority [key], smaller pops
+    first) to [worker]'s heap and wakes any sleeping worker.  Safe from
+    any domain; [worker] only selects the destination heap. *)
+
+val pop : 'a t -> worker:int -> (float * 'a) option
+(** Best node from the worker's own heap, else stolen from the best
+    victim; blocks while the pool is merely {e momentarily} empty
+    (nodes in flight may still produce children).  [None] means the
+    pool is drained ([pending = 0]) or {!stop} was called — the worker
+    should exit.  Each returned node {b must} be matched by exactly one
+    {!task_done} after its children (if any) have been pushed. *)
+
+val task_done : 'a t -> worker:int -> unit
+(** Retire the node most recently popped by [worker]: drop it from the
+    in-flight accounting and decrement [pending]. *)
+
+val stop : 'a t -> unit
+(** Make every subsequent {!pop} return [None] immediately (current
+    LP solves finish; their late pushes are accepted and simply remain
+    queued).  Used for gap-closed, node-limit and deadline shutdown,
+    and to unwedge the pool when a worker dies mid-node. *)
+
+val stopped : 'a t -> bool
+
+val drained : 'a t -> bool
+(** [pending = 0]: every pushed node was popped and retired — the tree
+    is exhausted (only meaningful once workers have joined, or as a
+    conservative hint while they run). *)
+
+val best_bound : 'a t -> float
+(** Minimum key over all queued {e and in-flight} nodes ([infinity]
+    when none) — the best bound any open part of the tree can still
+    attain.  Takes each heap lock in turn; never blocks on sleepers. *)
+
+val length : 'a t -> int
+(** Total queued (not in-flight) nodes, summed under the heap locks. *)

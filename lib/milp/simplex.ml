@@ -517,7 +517,7 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
     else if
       Float.is_finite deadline
       && pivots land 31 = 0
-      && Unix.gettimeofday () > deadline
+      && Clock.now () > deadline
     then Dual_stalled
     else begin
       (* Most violated basic variable. *)
@@ -603,7 +603,7 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
     else if
       Float.is_finite deadline
       && st.niter land 63 = 0
-      && Unix.gettimeofday () > deadline
+      && Clock.now () > deadline
     then Error Status.Lp_iteration_limit
     else
       match price st ~dual_tol with

@@ -67,7 +67,7 @@ val solve :
     [warm] field says which happened).
     [max_iterations] defaults to [50_000 + 50 * (rows + cols)].
     [feas_tol] (default [1e-7]) is the primal feasibility tolerance.
-    [deadline] is an absolute [Unix.gettimeofday] instant after which
+    [deadline] is an absolute {!Clock.now} instant after which
     the solve aborts with [Lp_iteration_limit] (checked every few
     iterations) — branch & bound uses it to make its wall-clock limit
     hold even when a single LP is huge. *)

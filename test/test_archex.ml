@@ -311,12 +311,14 @@ let test_encoding_kstar_grows () =
 (* End-to-end solving                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let options = { Milp.Branch_bound.default_options with Milp.Branch_bound.time_limit = 60. }
+(* One config per strategy; everything else at defaults + a test cap. *)
+let config strategy =
+  Solver_config.(default |> with_strategy strategy |> with_time_limit 60.)
 
 let run_ok inst strategy =
-  match Solve.run ~options inst strategy with
-  | Ok ({ Solve.solution = Some sol; _ } as out) -> (out, sol)
-  | Ok { Solve.status; _ } ->
+  match Solve.run (config strategy) inst with
+  | Ok ({ Outcome.solution = Some sol; _ } as out) -> (out, sol)
+  | Ok { Outcome.status; _ } ->
       Alcotest.fail ("no solution: " ^ Milp.Status.mip_status_to_string status)
   | Error e -> Alcotest.fail e
 
@@ -335,8 +337,8 @@ let test_solve_full_matches_or_beats_approx () =
   let inst = small_instance () in
   let outf, solf = run_ok inst Solve.Full_enum in
   let outa, sola = run_ok inst (Solve.approx ~kstar:3 ()) in
-  Alcotest.(check bool) "full solved" true (outf.Solve.status = Milp.Status.Mip_optimal);
-  Alcotest.(check bool) "approx solved" true (outa.Solve.status = Milp.Status.Mip_optimal);
+  Alcotest.(check bool) "full solved" true (outf.Outcome.status = Milp.Status.Mip_optimal);
+  Alcotest.(check bool) "approx solved" true (outa.Outcome.status = Milp.Status.Mip_optimal);
   Alcotest.(check bool)
     (Printf.sprintf "full (%.1f) <= approx (%.1f)" solf.Solution.dollar_cost sola.Solution.dollar_cost)
     true
@@ -379,8 +381,8 @@ let test_solve_lifetime_constraint_bites () =
       ~requirements:(small_requirements ~lifetime:(Some 2.) ())
       ~objective:Objective.dollar ()
   in
-  match Solve.run ~options inst (Solve.approx ~kstar:4 ()) with
-  | Ok { Solve.solution = Some sol; _ } -> (
+  match Solve.run (config (Solve.approx ~kstar:4 ())) inst with
+  | Ok { Outcome.solution = Some sol; _ } -> (
       match Solution.check inst sol with
       | Ok () -> ()
       | Error errs -> Alcotest.fail (String.concat "; " errs))
@@ -457,10 +459,10 @@ let test_solve_infeasible_reported () =
     Instance.create_exn ~template ~library:Components.Library.builtin
       ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs ~objective:Objective.dollar ()
   in
-  match Solve.run ~options inst (Solve.approx ~kstar:6 ()) with
+  match Solve.run (config (Solve.approx ~kstar:6 ())) inst with
   | Error _ -> () (* Algorithm 1 could not build 3 disjoint candidates *)
-  | Ok { Solve.solution = None; _ } -> ()
-  | Ok { Solve.solution = Some _; _ } -> Alcotest.fail "expected infeasibility"
+  | Ok { Outcome.solution = None; _ } -> ()
+  | Ok { Outcome.solution = Some _; _ } -> Alcotest.fail "expected infeasibility"
 
 (* Property: on random small templates, whenever both encodings solve
    to optimality, full <= approx, and both solutions validate. *)
@@ -495,13 +497,16 @@ let prop_full_no_worse_than_approx =
           ~channel:Radio.Channel.log_distance_2_4ghz ~requirements:reqs
           ~objective:Objective.dollar ()
       in
-      match (Solve.run ~options inst Solve.Full_enum, Solve.run ~options inst (Solve.approx ~kstar:3 ())) with
-      | Ok { Solve.solution = Some f; status = Milp.Status.Mip_optimal; _ },
-        Ok { Solve.solution = Some a; status = Milp.Status.Mip_optimal; _ } ->
+      match
+        ( Solve.run (config Solve.Full_enum) inst,
+          Solve.run (config (Solve.approx ~kstar:3 ())) inst )
+      with
+      | Ok { Outcome.solution = Some f; status = Milp.Status.Mip_optimal; _ },
+        Ok { Outcome.solution = Some a; status = Milp.Status.Mip_optimal; _ } ->
           Result.is_ok (Solution.check inst f)
           && Result.is_ok (Solution.check inst a)
           && f.Solution.dollar_cost <= a.Solution.dollar_cost +. 1e-6
-      | Ok { Solve.solution = None; _ }, Ok { Solve.solution = None; _ } -> true
+      | Ok { Outcome.solution = None; _ }, Ok { Outcome.solution = None; _ } -> true
       | Error _, Error _ -> true
       | _ -> true (* mixed timeouts are not failures *))
 
@@ -563,9 +568,13 @@ let test_scenarios_scaled_rejects_bad () =
        false
      with Invalid_argument _ -> true)
 
+(* Kstar.search overrides the strategy's loc_kstar itself; the default
+   strategy is fine here. *)
+let kstar_config = Solver_config.(default |> with_time_limit 60.)
+
 let test_kstar_search_improves () =
   let inst = small_instance () in
-  let r = Kstar.search ~schedule:[ 1; 3 ] ~options inst in
+  let r = Kstar.search ~schedule:[ 1; 3 ] kstar_config inst in
   Alcotest.(check bool) "at least one step" true (r.Kstar.steps <> []);
   (match r.Kstar.best with
   | Some (_, sol) ->
@@ -575,12 +584,12 @@ let test_kstar_search_improves () =
   List.iter
     (fun st ->
       Alcotest.(check bool) "objective present for solved steps" true
-        (st.Kstar.objective <> None || st.Kstar.outcome.Solve.solution = None))
+        (st.Kstar.objective <> None || st.Kstar.outcome.Outcome.solution = None))
     r.Kstar.steps
 
 let test_kstar_respects_time_threshold () =
   let inst = small_instance () in
-  let r = Kstar.search ~schedule:[ 1; 2; 3; 4; 5 ] ~time_threshold_s:0. ~options inst in
+  let r = Kstar.search ~schedule:[ 1; 2; 3; 4; 5 ] ~time_threshold_s:0. kstar_config inst in
   (* The first solve exceeds a 0-second threshold, so the search stops
      after one step. *)
   Alcotest.(check int) "stopped after first step" 1 (List.length r.Kstar.steps);
@@ -591,13 +600,13 @@ let test_kstar_stops_on_no_improvement () =
   (* A repeated K* extends the pool by nothing, so the second step's
      objective is identical and the stall detector must fire before the
      remaining schedule runs. *)
-  let r = Kstar.search ~schedule:[ 3; 3; 6 ] ~options inst in
+  let r = Kstar.search ~schedule:[ 3; 3; 6 ] kstar_config inst in
   Alcotest.(check int) "stopped after the repeat" 2 (List.length r.Kstar.steps);
   Alcotest.(check bool) "reason is stall" true (r.Kstar.stopped_because = `No_improvement)
 
 let test_kstar_schedule_exhausted () =
   let inst = small_instance () in
-  let r = Kstar.search ~schedule:[ 2 ] ~options inst in
+  let r = Kstar.search ~schedule:[ 2 ] kstar_config inst in
   Alcotest.(check int) "one step" 1 (List.length r.Kstar.steps);
   Alcotest.(check bool) "reason is exhaustion" true
     (r.Kstar.stopped_because = `Schedule_exhausted);
@@ -608,7 +617,7 @@ let test_kstar_infeasible_steps_neutral () =
      MILP is infeasible.  Steps without an incumbent must count neither
      as improvement nor as stall, so the whole schedule is walked. *)
   let inst = small_instance ~lifetime:(Some 1000.) () in
-  let r = Kstar.search ~schedule:[ 1; 2; 3 ] ~options inst in
+  let r = Kstar.search ~schedule:[ 1; 2; 3 ] kstar_config inst in
   Alcotest.(check int) "all steps walked" 3 (List.length r.Kstar.steps);
   Alcotest.(check bool) "reason is exhaustion" true
     (r.Kstar.stopped_because = `Schedule_exhausted);
@@ -619,22 +628,25 @@ let test_kstar_infeasible_steps_neutral () =
 
 let test_session_grow_monotone () =
   let inst = small_instance () in
-  let session = Session.start ~loc_kstar:6 inst in
+  let session =
+    Session.start Solver_config.(default |> with_approx ~loc_kstar:6 () |> with_time_limit 60.) inst
+  in
   (match Session.grow session ~kstar:1 with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
-  let o1 = Session.solve ~options session in
+  let o1 = Session.solve session in
   (match Session.grow session ~kstar:4 with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
-  let o4 = Session.solve ~options session in
-  Alcotest.(check bool) "first step solves" true (o1.Session.solution <> None);
-  Alcotest.(check bool) "vars grow" true (o4.Session.nvars >= o1.Session.nvars);
-  Alcotest.(check bool) "constraints grow" true (o4.Session.nconstrs >= o1.Session.nconstrs);
-  Alcotest.(check bool) "pool grows" true (o4.Session.pool_size >= o1.Session.pool_size);
+  let o4 = Session.solve session in
+  let s1 = o1.Outcome.stats and s4 = o4.Outcome.stats in
+  Alcotest.(check bool) "first step solves" true (o1.Outcome.solution <> None);
+  Alcotest.(check bool) "vars grow" true (s4.Outcome.nvars >= s1.Outcome.nvars);
+  Alcotest.(check bool) "constraints grow" true (s4.Outcome.nconstrs >= s1.Outcome.nconstrs);
+  Alcotest.(check bool) "pool grows" true (s4.Outcome.pool_size >= s1.Outcome.pool_size);
   Alcotest.(check bool) "delta counted" true
-    (o4.Session.delta_paths = o4.Session.pool_size - o1.Session.pool_size);
-  match (o1.Session.solution, o4.Session.solution) with
+    (s4.Outcome.delta_paths = s4.Outcome.pool_size - s1.Outcome.pool_size);
+  match (o1.Outcome.solution, o4.Outcome.solution) with
   | Some s1, Some s4 ->
       (* Nested pools: the wider step cannot be worse under a carried
          incumbent. *)
@@ -945,24 +957,26 @@ let test_regression_warm_start_unchanged () =
   | Error e -> Alcotest.fail e
   | Ok inst -> (
       let solve warm_start =
-        let options =
-          { Milp.Branch_bound.default_options with
-            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; warm_start }
+        let cfg =
+          Solver_config.(
+            default
+            |> with_approx ~kstar:4 ()
+            |> with_time_limit 60. |> with_rel_gap 1e-6 |> with_warm_start warm_start)
         in
-        match Solve.run ~options inst (Solve.approx ~kstar:4 ()) with
+        match Solve.run cfg inst with
         | Ok out -> out
         | Error e -> Alcotest.fail e
       in
       let warm = solve true and cold = solve false in
       Alcotest.(check string) "status unchanged"
-        (Milp.Status.mip_status_to_string cold.Solve.status)
-        (Milp.Status.mip_status_to_string warm.Solve.status);
-      match (warm.Solve.solution, cold.Solve.solution) with
+        (Milp.Status.mip_status_to_string cold.Outcome.status)
+        (Milp.Status.mip_status_to_string warm.Outcome.status);
+      match (warm.Outcome.solution, cold.Outcome.solution) with
       | Some w, Some c ->
           Alcotest.(check (float 1e-5)) "objective unchanged" c.Solution.dollar_cost
             w.Solution.dollar_cost;
           Alcotest.(check bool) "warm path exercised" true
-            (warm.Solve.mip.Milp.Branch_bound.lp_warm > 0)
+            (warm.Outcome.mip.Milp.Branch_bound.lp_warm > 0)
       | None, None -> ()
       | _ -> Alcotest.fail "one mode found a solution, the other did not")
 
@@ -976,26 +990,28 @@ let test_regression_cuts_unchanged () =
   | Error e -> Alcotest.fail e
   | Ok inst -> (
       let solve enabled =
-        let options =
-          { Milp.Branch_bound.default_options with
-            Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6; cuts = enabled;
-            rc_fixing = enabled }
+        let cfg =
+          Solver_config.(
+            default
+            |> with_approx ~kstar:4 ()
+            |> with_time_limit 60. |> with_rel_gap 1e-6 |> with_cuts enabled
+            |> with_rc_fixing enabled)
         in
-        match Solve.run ~options inst (Solve.approx ~kstar:4 ()) with
+        match Solve.run cfg inst with
         | Ok out -> out
         | Error e -> Alcotest.fail e
       in
       let on = solve true and off = solve false in
       Alcotest.(check string) "status unchanged"
-        (Milp.Status.mip_status_to_string off.Solve.status)
-        (Milp.Status.mip_status_to_string on.Solve.status);
+        (Milp.Status.mip_status_to_string off.Outcome.status)
+        (Milp.Status.mip_status_to_string on.Outcome.status);
       Alcotest.(check int) "ablated run separates nothing" 0
-        off.Solve.mip.Milp.Branch_bound.cuts_separated;
+        off.Outcome.mip.Milp.Branch_bound.cuts_separated;
       Alcotest.(check bool) "cut machinery exercised" true
-        (on.Solve.mip.Milp.Branch_bound.cuts_applied > 0);
+        (on.Outcome.mip.Milp.Branch_bound.cuts_applied > 0);
       Alcotest.(check bool) "cuts do not grow the tree" true
-        (on.Solve.mip.Milp.Branch_bound.nodes <= off.Solve.mip.Milp.Branch_bound.nodes);
-      match (on.Solve.solution, off.Solve.solution) with
+        (on.Outcome.mip.Milp.Branch_bound.nodes <= off.Outcome.mip.Milp.Branch_bound.nodes);
+      match (on.Outcome.solution, off.Outcome.solution) with
       | Some w, Some c ->
           Alcotest.(check (float 1e-5)) "objective unchanged" c.Solution.dollar_cost
             w.Solution.dollar_cost
@@ -1028,12 +1044,14 @@ let test_regression_kstar_cutoff_monotone () =
       let best = ref nan in
       List.iter
         (fun kstar ->
-          let o =
-            { Milp.Branch_bound.default_options with
-              Milp.Branch_bound.time_limit = 20.; rel_gap = 1e-4; cutoff = !best }
+          let strategy = Solve.Approx { kstar; loc_kstar = kstar } in
+          let cfg =
+            Solver_config.(
+              default |> with_strategy strategy |> with_time_limit 20.
+              |> with_rel_gap 1e-4 |> with_cutoff !best)
           in
-          match Solve.run ~options:o inst (Solve.Approx { kstar; loc_kstar = kstar }) with
-          | Ok { Solve.solution = Some sol; _ } ->
+          match Solve.run cfg inst with
+          | Ok { Outcome.solution = Some sol; _ } ->
               if not (Float.is_nan !best) then
                 Alcotest.(check bool) "improved under cutoff" true
                   (sol.Solution.dollar_cost < !best);
@@ -1051,12 +1069,13 @@ let test_regression_incremental_matches_rebuild () =
   match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
   | Error e -> Alcotest.fail e
   | Ok inst -> (
-      let options =
-        { Milp.Branch_bound.default_options with
-          Milp.Branch_bound.time_limit = 60.; rel_gap = 1e-6 }
-      in
       let sweep incremental =
-        Kstar.search ~schedule:[ 1; 3 ] ~time_threshold_s:60. ~options ~incremental inst
+        let cfg =
+          Solver_config.(
+            default |> with_time_limit 60. |> with_rel_gap 1e-6
+            |> with_incremental incremental)
+        in
+        Kstar.search ~schedule:[ 1; 3 ] ~time_threshold_s:60. cfg inst
       in
       let inc = sweep true and reb = sweep false in
       Alcotest.(check int) "same step count"
@@ -1069,6 +1088,108 @@ let test_regression_incremental_matches_rebuild () =
             isol.Solution.dollar_cost
       | None, None -> ()
       | _ -> Alcotest.fail "one mode found a solution, the other did not")
+
+(* ------------------------------------------------------------------ *)
+(* Parallel tree search                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Table-1 template family, sized down so a 1e-6 gap is provable inside
+   the test budget on every objective — the energy objective's tree
+   blows past the time limit at anything larger, which would turn the
+   parity check into a comparison of timeout incumbents. *)
+let par_test_params =
+  {
+    Scenarios.default_data_collection with
+    Scenarios.dc_sensors = 3;
+    dc_relay_grid = (3, 2);
+    dc_width = 45.;
+    dc_height = 28.;
+  }
+
+let par_solve ?(kstar = 4) ~workers inst =
+  let k = kstar in
+  let cfg =
+    Solver_config.(
+      default |> with_approx ~kstar:k () |> with_time_limit 60. |> with_rel_gap 1e-6
+      |> with_workers workers)
+  in
+  match Solve.run cfg inst with Ok out -> out | Error e -> Alcotest.fail e
+
+let test_parallel_matches_sequential () =
+  (* The tentpole parity claim: every worker count lands on the same
+     objective (to 1e-6) as the sequential loop, on all three Table-1
+     objectives. *)
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective par_test_params with
+      | Error e -> Alcotest.fail e
+      | Ok inst ->
+          let seq = par_solve ~workers:1 inst in
+          Alcotest.(check string)
+            (name ^ " sequential run proves optimality")
+            "optimal"
+            (Milp.Status.mip_status_to_string seq.Outcome.status);
+          List.iter
+            (fun w ->
+              let par = par_solve ~workers:w inst in
+              Alcotest.(check string)
+                (Printf.sprintf "%s status parity at %d workers" name w)
+                (Milp.Status.mip_status_to_string seq.Outcome.status)
+                (Milp.Status.mip_status_to_string par.Outcome.status);
+              match (seq.Outcome.solution, par.Outcome.solution) with
+              | Some _, Some _ ->
+                  Alcotest.(check (float 1e-6))
+                    (Printf.sprintf "%s objective parity at %d workers" name w)
+                    seq.Outcome.mip.Milp.Branch_bound.objective
+                    par.Outcome.mip.Milp.Branch_bound.objective
+              | None, None -> ()
+              | _ -> Alcotest.fail (name ^ ": incumbent presence diverged"))
+            [ 2; 4 ])
+    [
+      ("dollar", Objective.dollar);
+      ("energy", Objective.energy);
+      ("combined", Objective.combine Objective.dollar Objective.energy);
+    ]
+
+let test_sequential_bit_deterministic () =
+  (* nworkers = 1 must take the pre-parallelism loop verbatim: two runs
+     agree on every tally, not just the objective. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      let a = (par_solve ~workers:1 inst).Outcome.mip
+      and b = (par_solve ~workers:1 inst).Outcome.mip in
+      Alcotest.(check int) "nodes" a.Milp.Branch_bound.nodes b.Milp.Branch_bound.nodes;
+      Alcotest.(check int) "lp iterations" a.Milp.Branch_bound.lp_iterations
+        b.Milp.Branch_bound.lp_iterations;
+      Alcotest.(check int) "warm solves" a.Milp.Branch_bound.lp_warm b.Milp.Branch_bound.lp_warm;
+      Alcotest.(check int) "cold solves" a.Milp.Branch_bound.lp_cold b.Milp.Branch_bound.lp_cold;
+      Alcotest.(check int) "fallback solves" a.Milp.Branch_bound.lp_fallback
+        b.Milp.Branch_bound.lp_fallback;
+      Alcotest.(check int) "bound pruned" a.Milp.Branch_bound.bound_pruned
+        b.Milp.Branch_bound.bound_pruned;
+      Alcotest.(check bool) "objective bit-identical" true
+        (a.Milp.Branch_bound.objective = b.Milp.Branch_bound.objective)
+
+let test_parallel_seed_still_matches () =
+  (* The seed perturbs the worker heuristic schedule, never the answer. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      let solve seed =
+        let cfg =
+          Solver_config.(
+            default |> with_approx ~kstar:4 () |> with_time_limit 60. |> with_rel_gap 1e-6
+            |> with_workers 4 |> with_seed seed)
+        in
+        match Solve.run cfg inst with Ok out -> out | Error e -> Alcotest.fail e
+      in
+      let a = solve 0 and b = solve 42 in
+      match (a.Outcome.solution, b.Outcome.solution) with
+      | Some _, Some _ ->
+          Alcotest.(check (float 1e-6)) "objective independent of seed"
+            a.Outcome.mip.Milp.Branch_bound.objective b.Outcome.mip.Milp.Branch_bound.objective
+      | _ -> Alcotest.fail "both seeds should solve"
 
 let () =
   Alcotest.run "archex"
@@ -1176,6 +1297,14 @@ let () =
           Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
           Alcotest.test_case "incremental matches rebuild" `Quick
             test_regression_incremental_matches_rebuild;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "parity across workers" `Slow test_parallel_matches_sequential;
+          Alcotest.test_case "workers=1 bit-deterministic" `Quick
+            test_sequential_bit_deterministic;
+          Alcotest.test_case "seed does not change answer" `Quick
+            test_parallel_seed_still_matches;
         ] );
       ( "solution",
         [

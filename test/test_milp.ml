@@ -976,6 +976,97 @@ let test_vec_bounds () =
   Alcotest.check_raises "get out of range"
     (Invalid_argument "Vec.get: index 3 out of range [0, 3)") (fun () -> ignore (Vec.get v 3))
 
+(* ------------------------------------------------------------------ *)
+(* Node_pool                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_node_pool_sequential_order () =
+  (* A single worker sees its own heap in key order. *)
+  let np = Node_pool.create ~nworkers:1 in
+  List.iter (fun k -> Node_pool.push np ~worker:0 (float_of_int k) k) [ 5; 1; 4; 2; 3 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Node_pool.pop np ~worker:0 with
+    | None -> ()
+    | Some (_, v) ->
+        popped := v :: !popped;
+        Node_pool.task_done np ~worker:0;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "key order" [ 1; 2; 3; 4; 5 ] (List.rev !popped);
+  Alcotest.(check bool) "drained" true (Node_pool.drained np)
+
+let test_node_pool_best_bound_covers_inflight () =
+  let np = Node_pool.create ~nworkers:1 in
+  Node_pool.push np ~worker:0 7. "a";
+  Node_pool.push np ~worker:0 9. "b";
+  (match Node_pool.pop np ~worker:0 with
+  | Some (7., "a") ->
+      (* "a" is in flight: the global bound must still report it. *)
+      Alcotest.(check (float 0.)) "bound includes in-flight" 7. (Node_pool.best_bound np)
+  | _ -> Alcotest.fail "expected key-7 node first");
+  Node_pool.task_done np ~worker:0;
+  Alcotest.(check (float 0.)) "bound falls to queued" 9. (Node_pool.best_bound np)
+
+let test_node_pool_concurrent_stress () =
+  (* 4 domains hammer one pool: every worker seeds nodes, then each pop
+     re-pushes two children until a per-item budget runs out.  No node
+     may be lost or duplicated: the atomic sum of processed nodes must
+     equal the number pushed, and the pool must end drained with every
+     domain seeing [pop = None] (the all-idle broadcast reaches all). *)
+  let nworkers = 4 in
+  let np = Node_pool.create ~nworkers in
+  let seeds = 32 in
+  let processed = Atomic.make 0 in
+  let pushed = Atomic.make 0 in
+  for w = 0 to nworkers - 1 do
+    for i = 0 to (seeds / nworkers) - 1 do
+      Atomic.incr pushed;
+      (* depth encoded in the payload: children spawn until depth 3 *)
+      Node_pool.push np ~worker:w (float_of_int i) (0, i)
+    done
+  done;
+  let worker w =
+    let rec loop () =
+      match Node_pool.pop np ~worker:w with
+      | None -> ()
+      | Some (k, (depth, tag)) ->
+          Atomic.incr processed;
+          if depth < 3 then begin
+            Atomic.incr pushed;
+            Node_pool.push np ~worker:w (k +. 1.) (depth + 1, (2 * tag) + 1);
+            Atomic.incr pushed;
+            Node_pool.push np ~worker:w (k +. 2.) (depth + 1, (2 * tag) + 2)
+          end;
+          Node_pool.task_done np ~worker:w;
+          loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init nworkers (fun w -> Domain.spawn (fun () -> worker w)) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "every push processed exactly once" (Atomic.get pushed)
+    (Atomic.get processed);
+  Alcotest.(check bool) "drained" true (Node_pool.drained np);
+  Alcotest.(check int) "nothing left queued" 0 (Node_pool.length np);
+  Alcotest.(check bool) "best bound empty" true (Node_pool.best_bound np = infinity)
+
+let test_node_pool_stop_wakes_sleepers () =
+  (* A domain blocked on an empty-but-undrained pool must be released by
+     [stop] rather than sleeping forever. *)
+  let np = Node_pool.create ~nworkers:2 in
+  Node_pool.push np ~worker:0 1. ();
+  (match Node_pool.pop np ~worker:0 with
+  | Some _ -> () (* hold the node in flight so worker 1 has to sleep *)
+  | None -> Alcotest.fail "expected a node");
+  let sleeper = Domain.spawn (fun () -> Node_pool.pop np ~worker:1) in
+  Unix.sleepf 0.05;
+  Node_pool.stop np;
+  let res = Domain.join sleeper in
+  Alcotest.(check bool) "sleeper released with None" true (res = None);
+  Alcotest.(check bool) "stopped" true (Node_pool.stopped np)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -1068,5 +1159,13 @@ let () =
           Alcotest.test_case "pqueue empty" `Quick test_pqueue_empty;
           qt prop_vec_roundtrip;
           Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+        ] );
+      ( "node_pool",
+        [
+          Alcotest.test_case "sequential order" `Quick test_node_pool_sequential_order;
+          Alcotest.test_case "best bound covers in-flight" `Quick
+            test_node_pool_best_bound_covers_inflight;
+          Alcotest.test_case "concurrent stress" `Quick test_node_pool_concurrent_stress;
+          Alcotest.test_case "stop wakes sleepers" `Quick test_node_pool_stop_wakes_sleepers;
         ] );
     ]
