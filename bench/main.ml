@@ -9,8 +9,8 @@
 
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
-   Sections: table1 table2 table3 table4 sweep parallel figures
-             ablations micro *)
+   Sections: table1 table2 table3 table4 sweep parallel kernel
+             figures ablations micro *)
 
 open Archex
 
@@ -30,6 +30,11 @@ let flags, sections =
 let cold_start = List.mem "--cold-start" flags
 let no_cuts = List.mem "--no-cuts" flags
 let no_rc_fixing = List.mem "--no-rc-fixing" flags
+
+(* [--dense-basis] runs every LP on the pre-PR dense explicit-inverse
+   kernel instead of the sparse LU one (the [kernel] section always
+   sweeps both). *)
+let dense_basis = List.mem "--dense-basis" flags
 
 (* [--no-incremental] restricts the [sweep] section to the
    rebuild-from-scratch ablation; by default it runs both modes and
@@ -58,6 +63,7 @@ let mode =
          (if cold_start then "cold-start" else "warm-start");
          (if no_cuts then "no-cuts" else "cuts");
          (if no_rc_fixing then "no-rc-fixing" else "rc-fixing");
+         (if dense_basis then "dense-basis" else "");
          (if nworkers > 1 then Printf.sprintf "workers%d" nworkers else "");
        ])
 
@@ -74,6 +80,7 @@ let config ?(workers = nworkers) ~time_limit ~rel_gap strategy =
     |> with_warm_start (not cold_start)
     |> with_cuts (not no_cuts)
     |> with_rc_fixing (not no_rc_fixing)
+    |> with_dense_basis dense_basis
     |> with_workers workers
     |> with_seed seed)
 
@@ -868,6 +875,209 @@ let write_par_json path =
   Format.printf "wrote %s (%d parallel runs)@." path (List.length runs)
 
 (* ------------------------------------------------------------------ *)
+(* Simplex kernel: sparse LU vs dense inverse -> BENCH_PR5.json        *)
+(* ------------------------------------------------------------------ *)
+
+type kern_run = {
+  kr_scenario : string;
+  kr_kernel : string;  (* "sparse" | "dense" *)
+  kr_wall_s : float;
+  kr_status : string;
+  kr_objective : float option;
+  kr_nodes : int;
+  kr_lp_iterations : int;
+  kr_mean_ftran_nnz : float;  (* mean nonzeros per FTRAN result *)
+  kr_mean_btran_nnz : float;
+  kr_ftran_density : float;  (* mean_nnz / base row count *)
+  kr_btran_density : float;
+  kr_factorizations : int;
+  kr_alloc_words : float;  (* minor + major - promoted, this leg *)
+  kr_live_words : int;  (* live heap words at the last incumbent *)
+  kr_nrows : int;  (* base constraint rows of the encoded model *)
+}
+
+let kern_log : kern_run list ref = ref []
+
+(* Same sized-down Table-1 family and tight gap as the parallel sweep:
+   every leg proves optimality, so wall clock and allocation compare
+   like against like rather than timeout incumbents. *)
+let kernel_bench () =
+  header "Simplex kernel: sparse LU vs dense explicit inverse (Table-1 scenarios)";
+  Format.printf
+    "(K* = %d, rel_gap = %g, %.0f s cap, workers = 1.  Both kernels must land on the@."
+    par_kstar par_rel_gap par_time_limit;
+  Format.printf
+    " same objective to 1e-6; the sparse kernel should win wall clock and/or allocation.@.";
+  Format.printf
+    " Densities are FTRAN/BTRAN result nonzeros over the base row count — cut rows@.";
+  Format.printf " added during the solve are not in the denominator.)@.@.";
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective par_params with
+      | Error e -> Format.printf "  %s: scenario error: %s@." name e
+      | Ok inst ->
+          List.iter
+            (fun (kname, dense) ->
+              let cfg =
+                config ~workers:1 ~time_limit:par_time_limit ~rel_gap:par_rel_gap
+                  (Solver_config.approx ~kstar:par_kstar ())
+                |> Solver_config.with_dense_basis dense
+                |> Solver_config.with_mem_stats true
+              in
+              (* Level the heap between legs, as in the parallel sweep. *)
+              Gc.compact ();
+              Milp.Lu.set_stats_enabled true;
+              Milp.Lu.reset_stats ();
+              let g0 = Gc.quick_stat () in
+              match time (fun () -> Solve.run cfg inst) with
+              | Ok out, dt ->
+                  let g1 = Gc.quick_stat () in
+                  Milp.Lu.set_stats_enabled false;
+                  let alloc =
+                    g1.Gc.minor_words -. g0.Gc.minor_words
+                    +. (g1.Gc.major_words -. g0.Gc.major_words)
+                    -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+                  in
+                  let st = Milp.Lu.stats () in
+                  let mip = out.Outcome.mip in
+                  let nrows = out.Outcome.stats.Outcome.nconstrs in
+                  let mean calls nnz =
+                    if calls = 0 then nan else float_of_int nnz /. float_of_int calls
+                  in
+                  let mf = mean st.Milp.Lu.s_ftran_calls st.Milp.Lu.s_ftran_nnz in
+                  let mb = mean st.Milp.Lu.s_btran_calls st.Milp.Lu.s_btran_nnz in
+                  let density v =
+                    if nrows = 0 || Float.is_nan v then nan else v /. float_of_int nrows
+                  in
+                  let obj =
+                    Option.map
+                      (fun _ -> mip.Milp.Branch_bound.objective)
+                      out.Outcome.solution
+                  in
+                  kern_log :=
+                    !kern_log
+                    @ [
+                        {
+                          kr_scenario = "table1/" ^ name;
+                          kr_kernel = kname;
+                          kr_wall_s = dt;
+                          kr_status = status_str out;
+                          kr_objective = obj;
+                          kr_nodes = mip.Milp.Branch_bound.nodes;
+                          kr_lp_iterations = mip.Milp.Branch_bound.lp_iterations;
+                          kr_mean_ftran_nnz = mf;
+                          kr_mean_btran_nnz = mb;
+                          kr_ftran_density = density mf;
+                          kr_btran_density = density mb;
+                          kr_factorizations = st.Milp.Lu.s_factorizations;
+                          kr_alloc_words = alloc;
+                          kr_live_words = mip.Milp.Branch_bound.live_words;
+                          kr_nrows = nrows;
+                        };
+                      ];
+                  Format.printf
+                    "  %-10s %-6s: %-13s obj=%-12s lp_iters=%-7d refactor=%-4d \
+                     ftran-nnz=%-6.1f alloc=%.3gMw live=%.3gMw %.2f s@."
+                    name kname (status_str out)
+                    (match obj with Some o -> Printf.sprintf "%.6g" o | None -> "-")
+                    mip.Milp.Branch_bound.lp_iterations st.Milp.Lu.s_factorizations
+                    mf (alloc /. 1e6)
+                    (float_of_int mip.Milp.Branch_bound.live_words /. 1e6)
+                    dt
+              | Error e, _ ->
+                  Milp.Lu.set_stats_enabled false;
+                  Format.printf "  %-10s %-6s: encode error: %s@." name kname e)
+            [ ("sparse", false); ("dense", true) ];
+          (* Sparse-vs-dense verdict for this scenario. *)
+          let runs = List.filter (fun r -> r.kr_scenario = "table1/" ^ name) !kern_log in
+          (match
+             ( List.find_opt (fun r -> r.kr_kernel = "sparse") runs,
+               List.find_opt (fun r -> r.kr_kernel = "dense") runs )
+           with
+          | Some sp, Some dn ->
+              let mtch =
+                match (sp.kr_objective, dn.kr_objective) with
+                | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                | None, None -> true
+                | _ -> false
+              in
+              Format.printf
+                "  => objectives %s; speedup %.2fx; alloc ratio %.2fx; live-words delta \
+                 %+.3gMw@."
+                (if mtch then "MATCH" else "DIFFER")
+                (dn.kr_wall_s /. Float.max 1e-9 sp.kr_wall_s)
+                (dn.kr_alloc_words /. Float.max 1. sp.kr_alloc_words)
+                (float_of_int (dn.kr_live_words - sp.kr_live_words) /. 1e6)
+          | _ -> ());
+          Format.printf "@.")
+    [
+      ("$ cost", Objective.dollar);
+      ("Energy", Objective.energy);
+      ("$+Energy", Objective.combine Objective.dollar Objective.energy);
+    ];
+  hr ()
+
+let write_kern_json path =
+  let oc = open_out path in
+  let runs = !kern_log in
+  let json_opt = function Some o -> json_float o | None -> "null" in
+  Printf.fprintf oc
+    "{\n  \"kstar\": %d,\n  \"rel_gap\": %s,\n  \"time_limit_s\": %s,\n  \"workers\": 1,\n\
+    \  \"runs\": [\n"
+    par_kstar (json_float par_rel_gap) (json_float par_time_limit);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"kernel\": %S, \"wall_s\": %s, \"status\": %S,\n\
+        \     \"objective\": %s, \"nodes\": %d, \"lp_iterations\": %d,\n\
+        \     \"mean_ftran_nnz\": %s, \"mean_btran_nnz\": %s,\n\
+        \     \"ftran_density\": %s, \"btran_density\": %s,\n\
+        \     \"refactorizations\": %d, \"alloc_words\": %s, \"live_words\": %d,\n\
+        \     \"base_rows\": %d}%s\n"
+        r.kr_scenario r.kr_kernel (json_float r.kr_wall_s) r.kr_status
+        (json_opt r.kr_objective) r.kr_nodes r.kr_lp_iterations
+        (json_float r.kr_mean_ftran_nnz) (json_float r.kr_mean_btran_nnz)
+        (json_float r.kr_ftran_density) (json_float r.kr_btran_density)
+        r.kr_factorizations (json_float r.kr_alloc_words) r.kr_live_words r.kr_nrows
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  let comparisons =
+    List.filter_map
+      (fun r ->
+        if r.kr_kernel <> "dense" then None
+        else
+          match
+            List.find_opt
+              (fun s -> s.kr_kernel = "sparse" && s.kr_scenario = r.kr_scenario)
+              runs
+          with
+          | None -> None
+          | Some sp ->
+              Some
+                (Printf.sprintf
+                   "    {\"scenario\": %S, \"objective_match\": %b,\n\
+                   \     \"sparse_wall_s\": %s, \"dense_wall_s\": %s, \"speedup\": %s,\n\
+                   \     \"sparse_alloc_words\": %s, \"dense_alloc_words\": %s, \
+                    \"alloc_ratio\": %s,\n\
+                   \     \"live_words_delta\": %d}"
+                   r.kr_scenario
+                   (match (sp.kr_objective, r.kr_objective) with
+                   | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                   | None, None -> true
+                   | _ -> false)
+                   (json_float sp.kr_wall_s) (json_float r.kr_wall_s)
+                   (json_float (r.kr_wall_s /. Float.max 1e-9 sp.kr_wall_s))
+                   (json_float sp.kr_alloc_words) (json_float r.kr_alloc_words)
+                   (json_float (r.kr_alloc_words /. Float.max 1. sp.kr_alloc_words))
+                   (r.kr_live_words - sp.kr_live_words)))
+      runs
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" comparisons);
+  close_out oc;
+  Format.printf "wrote %s (%d kernel runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Figures 1a-1c                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1120,10 +1330,12 @@ let () =
   if section_enabled "table4" then table4 ();
   if section_enabled "sweep" then sweep ();
   if section_enabled "parallel" then parallel_bench ();
+  if section_enabled "kernel" then kernel_bench ();
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
   if !bench_log <> [] then write_bench_json "BENCH_PR2.json";
   if !sweep_log <> [] then write_sweep_json "BENCH_PR3.json";
   if !par_log <> [] then write_par_json "BENCH_PR4.json";
+  if !kern_log <> [] then write_kern_json "BENCH_PR5.json";
   Format.printf "done.@."

@@ -3,7 +3,9 @@
    (c) cuts and reduced-cost fixing off, all to a tight gap, and fail
    (exit 1) if any final objective or status diverges.  Accepts
    `--workers N` to run every variant with N worker domains (the CI
-   parallel job uses 4); the objectives must agree regardless.  Wired to
+   parallel job uses 4) and `--dense-basis` to run every variant on the
+   dense explicit-inverse kernel instead of the sparse LU one (the CI
+   matrix runs both); the objectives must agree regardless.  Wired to
    `dune build @bench-smoke`. *)
 
 open Archex
@@ -15,6 +17,8 @@ let workers =
     | [] -> 1
   in
   find (Array.to_list Sys.argv)
+
+let dense_basis = Array.exists (String.equal "--dense-basis") Sys.argv
 
 let () =
   match Scenarios.scaled_data_collection ~total_nodes:14 ~end_devices:4 () with
@@ -28,7 +32,8 @@ let () =
             default
             |> with_approx ~kstar:4 ()
             |> with_time_limit 60. |> with_rel_gap 1e-6 |> with_warm_start warm_start
-            |> with_cuts cuts |> with_rc_fixing rc_fixing |> with_workers workers)
+            |> with_cuts cuts |> with_rc_fixing rc_fixing |> with_dense_basis dense_basis
+            |> with_workers workers)
         in
         Solve.run config inst
       in
@@ -46,10 +51,12 @@ let () =
           let sc = Milp.Status.mip_status_to_string cold.Outcome.status in
           let sp = Milp.Status.mip_status_to_string plain.Outcome.status in
           Printf.printf
-            "bench-smoke (workers=%d): warm %s obj=%g (%d LP iters, %d/%d/%d \
+            "bench-smoke (workers=%d, %s kernel): warm %s obj=%g (%d LP iters, %d/%d/%d \
              warm/cold/fallback, %d cuts, %d rc-fixed) | cold %s obj=%g (%d LP iters) | \
              no-cuts %s obj=%g (%d nodes vs %d)\n"
-            workers sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
+            workers
+            (if dense_basis then "dense" else "sparse")
+            sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
             w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback
             w.Milp.Branch_bound.cuts_applied w.Milp.Branch_bound.rc_fixed sc oc
             c.Milp.Branch_bound.lp_iterations sp op p.Milp.Branch_bound.nodes

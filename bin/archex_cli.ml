@@ -46,7 +46,8 @@ let num_setting settings key default =
   | Some _ | None -> default
 
 let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
-    no_incremental cold_start no_cuts no_rc_fixing workers seed out_svg out_lp verbose =
+    no_incremental cold_start dense_basis no_cuts no_rc_fixing workers seed out_svg out_lp
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -113,6 +114,7 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           default |> with_strategy strategy |> with_time_limit time_limit
           |> with_rel_gap gap
           |> with_warm_start (not cold_start)
+          |> with_dense_basis dense_basis
           |> with_cuts (not no_cuts)
           |> with_rc_fixing (not no_rc_fixing)
           |> with_log verbose
@@ -289,6 +291,13 @@ let cold_start =
     & info [ "cold-start" ]
         ~doc:"Disable warm-started node LP re-solves in branch and bound (ablation).")
 
+let dense_basis =
+  Arg.(
+    value & flag
+    & info [ "dense-basis" ]
+        ~doc:"Run node LPs on the dense explicit basis inverse instead of the sparse LU \
+              kernel (ablation).")
+
 let no_cuts =
   Arg.(
     value & flag
@@ -344,7 +353,7 @@ let cmd =
     (Cmd.info "archex" ~doc)
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ sweep $ no_incremental $ cold_start $ no_cuts $ no_rc_fixing $ workers $ seed
-      $ out_svg $ out_lp $ verbose)
+      $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ no_cuts $ no_rc_fixing
+      $ workers $ seed $ out_svg $ out_lp $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -57,6 +57,10 @@ let with_cuts cuts c = { c with options = { c.options with BB.cuts } }
 
 let with_rc_fixing rc_fixing c = { c with options = { c.options with BB.rc_fixing } }
 
+let with_dense_basis dense_basis c = { c with options = { c.options with BB.dense_basis } }
+
+let with_mem_stats mem_stats c = { c with options = { c.options with BB.mem_stats } }
+
 let with_log log c = { c with options = { c.options with BB.log } }
 
 let with_incremental incremental c = { c with incremental }

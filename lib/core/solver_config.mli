@@ -78,6 +78,14 @@ val with_cuts : bool -> t -> t
 
 val with_rc_fixing : bool -> t -> t
 
+val with_dense_basis : bool -> t -> t
+(** Run every LP on the dense explicit-inverse kernel instead of the
+    sparse LU one — the [--dense-basis] ablation baseline. *)
+
+val with_mem_stats : bool -> t -> t
+(** Record live heap words at each incumbent improvement
+    ({!Milp.Branch_bound.result.live_words}). *)
+
 val with_log : bool -> t -> t
 
 val with_incremental : bool -> t -> t

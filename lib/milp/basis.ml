@@ -5,37 +5,34 @@ type t = {
   nrows : int;
   basis : int array;
   stat : vstat array;
-  binv : float array array;
-  age : int;
+  factor : Lu.factor option;
 }
 
-let make ~ncols ~nrows ~basis ~stat ~binv ~age =
+let make ~ncols ~nrows ~basis ~stat ~factor =
   { ncols; nrows;
     basis = Array.copy basis;
     stat = Array.copy stat;
-    binv = Array.map Array.copy binv;
-    age }
+    factor }
+
+let age b =
+  match b.factor with
+  | None -> 0
+  | Some f -> Lu.factor_neta f
 
 let compatible b ~ncols ~nrows =
   b.ncols = ncols && b.nrows = nrows
   && Array.length b.basis = nrows
   && Array.length b.stat = ncols + (2 * nrows)
-  && Array.length b.binv = nrows
-  && Array.for_all (fun row -> Array.length row = nrows) b.binv
+  && (match b.factor with
+     | None -> true
+     | Some f -> Lu.factor_dim f = nrows)
 
-(* Structural sanity: every row has a basic column in range, each basic
-   column is basic in exactly one row, and the statuses agree.  A basis
-   that fails this check is stale (or corrupted) and must not be warm
-   started from. *)
-(* Append one row to the snapshot, its slack basic.  The column layout
+(* Grow the snapshot in place for appended cut rows: the column layout
    is positional (structurals, then slacks, then artificials), so the
-   artificial block shifts up by one; every stored column index is
-   remapped accordingly.  With the new slack basic, the grown basis
-   matrix is [[B 0] [v 1]] (v = the row's coefficients on the old basic
-   columns), whose inverse is [[B^-1 0] [-v B^-1 1]] — an O(m^2)
-   extension that keeps every old entry bit-for-bit, so dual
-   feasibility of the snapshot is preserved (the new slack's cost is 0
-   and its dual price is 0). *)
+   artificial block shifts up by [k] and every stored column index is
+   remapped accordingly.  With all new slacks basic, the grown basis
+   matrix is the block triangular [[B 0] [V I]]; the stored factor is
+   extended rather than rebuilt — see {!Lu.extend_rows}. *)
 let append_rows b (rows : (int * float) array array) =
   let k = Array.length rows in
   if k = 0 then b
@@ -58,39 +55,40 @@ let append_rows b (rows : (int * float) array array) =
     done;
     Array.blit b.stat (n + m) stat (n + m + k) m;
     (* the sealed artificials of the new rows stay At_lower *)
-    (* V_{t,i} = row t's coefficient on the column basic in row i (only
-       structural columns can appear in a cut row; slacks and
-       artificials get 0).  Every new slack is basic in its own row
-       only, so the grown matrix is the block triangular
-       [[B 0] [V I]] with inverse [[B^-1 0] [-V B^-1 I]]. *)
-    let pos = Hashtbl.create (2 * m) in
-    Array.iteri (fun i j -> if j < n then Hashtbl.replace pos j i) b.basis;
-    let binv = Array.make m' [||] in
-    for i = 0 to m - 1 do
-      let r = Array.make m' 0. in
-      Array.blit b.binv.(i) 0 r 0 m;
-      binv.(i) <- r
-    done;
-    for t = 0 to k - 1 do
-      let last = Array.make m' 0. in
-      Array.iter
-        (fun (j, a) ->
-          match Hashtbl.find_opt pos j with
-          | Some i ->
-              if a <> 0. then
-                for c = 0 to m - 1 do
-                  last.(c) <- last.(c) -. (a *. b.binv.(i).(c))
-                done
-          | None -> ())
-        rows.(t);
-      last.(m + t) <- 1.0;
-      binv.(m + t) <- last
-    done;
-    { ncols = n; nrows = m'; basis; stat; binv; age = b.age }
+    let factor =
+      match b.factor with
+      | None -> None
+      | Some f ->
+          (* V_{t,i} = row t's coefficient on the column basic in row i
+             (only structural columns can appear in a cut row; slacks
+             and artificials get 0). *)
+          let pos = Hashtbl.create (2 * m) in
+          Array.iteri (fun i j -> if j < n then Hashtbl.replace pos j i) b.basis;
+          let vrows =
+            Array.map
+              (fun row ->
+                let ents = ref [] in
+                Array.iter
+                  (fun (j, a) ->
+                    if a <> 0. then
+                      match Hashtbl.find_opt pos j with
+                      | Some i -> ents := (i, a) :: !ents
+                      | None -> ())
+                  row;
+                Array.of_list (List.rev !ents))
+              rows
+          in
+          Some (Lu.extend_rows f vrows)
+    in
+    { ncols = n; nrows = m'; basis; stat; factor }
   end
 
 let append_row b row = append_rows b [| row |]
 
+(* Structural sanity: every row has a basic column in range, each basic
+   column is basic in exactly one row, and the statuses agree.  A basis
+   that fails this check is stale (or corrupted) and must not be warm
+   started from. *)
 let well_formed b =
   let ntot = b.ncols + (2 * b.nrows) in
   let seen = Array.make ntot false in

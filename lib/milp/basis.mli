@@ -2,16 +2,18 @@
 
     A snapshot captures which column is basic in each row ([basis]), the
     bound status of every column ([stat]) — structural variables first,
-    then one slack and one artificial per row — and the dense basis
-    inverse ([binv]) at snapshot time.  The basis matrix depends only on
-    which columns are basic, never on variable bounds, so a child node
-    that differs from its parent only in bounds can reuse the parent's
-    inverse verbatim: restoring a snapshot costs one O(m²) recompute of
-    the basic values instead of an O(m³) refactorization.  [age] counts
-    elementary pivot updates applied to [binv] since its last full
-    refactorization; restores trigger a fresh factorization once it
-    crosses a drift threshold, so numerical error cannot accumulate
-    across generations of warm starts (see {!Simplex.solve}). *)
+    then one slack and one artificial per row — and, when available, a
+    sparse LU {!Lu.factor} of the basis matrix at snapshot time.  The
+    basis matrix depends only on which columns are basic, never on
+    variable bounds, so a child node that differs from its parent only
+    in bounds can reuse the parent's factor verbatim: restoring a
+    snapshot costs one sparse FTRAN of the right-hand side instead of an
+    O(m³) refactorization.  The factor's eta-file length
+    ({!Lu.factor_neta}) plays the role the old pivot-update [age]
+    counter did: restores refactorize lazily once it crosses the
+    stability budget (see {!Simplex.solve}).  Storing a factor instead
+    of a dense m×m inverse also shrinks every node record carried by
+    branch & bound from O(m²) to O(nonzeros). *)
 
 type vstat = Basic | At_lower | At_upper | Free_zero
 
@@ -20,29 +22,38 @@ type t = private {
   nrows : int;  (** Rows of the problem snapshotted. *)
   basis : int array;  (** Column basic in each row; length [nrows]. *)
   stat : vstat array;  (** Per-column status; length [ncols + 2*nrows]. *)
-  binv : float array array;  (** Dense basis inverse, [nrows] x [nrows]. *)
-  age : int;  (** Pivot updates to [binv] since its last factorization. *)
+  factor : Lu.factor option;
+      (** Sparse LU of the basis matrix at snapshot time, when the
+          snapshotting solve had one that passed its stability probe;
+          [None] forces the restore to refactorize from the header. *)
 }
 
 val make :
   ncols:int -> nrows:int -> basis:int array -> stat:vstat array ->
-  binv:float array array -> age:int -> t
-(** Snapshot (copies the arrays). *)
+  factor:Lu.factor option -> t
+(** Snapshot (copies the header arrays; the factor is immutable and
+    shared). *)
+
+val age : t -> int
+(** Eta updates accumulated in the stored factor since its underlying
+    factorization — the staleness measure restores budget against.
+    [0] when no factor is stored (the restore refactorizes anyway). *)
 
 val append_rows : t -> (int * float) array array -> t
 (** [append_rows b rows] grows the snapshot by [k] appended constraint
     rows (sparse, over structural columns only — cut rows never touch
-    slacks) whose slacks all start basic.  Old entries of the inverse
-    are kept verbatim; the grown basis matrix is the block triangular
-    [[B 0] [V I]] with inverse [[B⁻¹ 0] [-V·B⁻¹ I]], where row [t] of
-    [V] is [rows.(t)] restricted to the basic columns.  The grown
-    snapshot stays dual feasible for the grown problem: every appended
-    slack has zero cost and zero dual price, leaving every reduced cost
-    unchanged.  Branch & bound uses this to ride the warm dual simplex
-    across cutting-plane rounds: appending violated cuts leaves only
-    primal bound violations on the new slacks, repaired by a few dual
-    pivots.  The batch form allocates the grown inverse once, instead
-    of one O(m²) copy per row. *)
+    slacks) whose slacks all start basic.  The grown basis matrix is the
+    block triangular [[B 0] [V I]], where row [t] of [V] is [rows.(t)]
+    restricted to the basic columns; the stored factor is grown in place
+    via {!Lu.extend_rows} — old elimination steps and the eta file are
+    kept verbatim, so solves over the original rows stay bit-identical
+    and the cost is O(k·(m + nnz)) rather than a full snapshot rebuild.
+    The grown snapshot stays dual feasible for the grown problem: every
+    appended slack has zero cost and zero dual price, leaving every
+    reduced cost unchanged.  Branch & bound uses this to ride the warm
+    dual simplex across cutting-plane rounds: appending violated cuts
+    leaves only primal bound violations on the new slacks, repaired by a
+    few dual pivots. *)
 
 val append_row : t -> (int * float) array -> t
 (** [append_row b row] is [append_rows b [| row |]]. *)

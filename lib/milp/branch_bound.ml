@@ -11,6 +11,8 @@ type options = {
   cuts : bool;
   cut_rounds : int;
   rc_fixing : bool;
+  dense_basis : bool;
+  mem_stats : bool;
   log : bool;
   nworkers : int;
   seed : int;
@@ -30,6 +32,8 @@ let default_options =
     cuts = true;
     cut_rounds = 20;
     rc_fixing = true;
+    dense_basis = false;
+    mem_stats = false;
     log = false;
     nworkers = 1;
     seed = 0;
@@ -54,6 +58,7 @@ type result = {
   rc_fixed : int;
   root_lp_bound : float;
   root_cut_bound : float;
+  live_words : int;
   elapsed : float;
 }
 
@@ -141,7 +146,7 @@ let propagate p integer lb ub =
   | Presolve.Feasible { lb; ub; _ } -> Some (lb, ub)
 
 let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~warm_start
-    max_lps ~deadline =
+    ~dense max_lps ~deadline =
   let n = p.Simplex.ncols in
   let lb = Array.copy lb0 and ub = Array.copy ub0 in
   let x = ref root.Simplex.primal in
@@ -187,7 +192,9 @@ let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~wa
             Array.blit pub 0 ub 0 n;
             incr lps;
             let r =
-              Simplex.solve ?basis:(if warm_start then !basis else None) ~deadline p ~lb ~ub
+              Simplex.solve
+                ?basis:(if warm_start then !basis else None)
+                ~deadline ~dense p ~lb ~ub
             in
             lp_iters := !lp_iters + r.Simplex.iterations;
             tally counters r;
@@ -236,6 +243,12 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
   let root_lb = Array.init n (Model.var_lb model) in
   let root_ub = Array.init n (Model.var_ub model) in
   let counters = { warm = 0; cold = 0; fallback = 0 } in
+  let dense = options.dense_basis in
+  (* Live heap words at the moment the incumbent last improved — the
+     point where the node pool, basis snapshots and cut pool are all at
+     working size.  [Gc.stat] walks the heap, so it is opt-in. *)
+  let live_words = ref 0 in
+  let measure_live () = if options.mem_stats then live_words := (Gc.stat ()).Gc.live_words in
   let pool = Cuts.create_pool () in
   let rc_fixed = ref 0 in
   let cuts_seeded = ref 0 in
@@ -267,6 +280,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       rc_fixed = !rc_fixed;
       root_lp_bound = sign *. !root_lp_bound;
       root_cut_bound = sign *. !root_cut_bound;
+      live_words = !live_words;
       elapsed = Clock.now () -. t0;
     }
   in
@@ -345,7 +359,8 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       let update_incumbent x obj =
         if obj < !incumbent_obj -. 1e-12 then begin
           incumbent := Some (Array.copy x);
-          incumbent_obj := obj
+          incumbent_obj := obj;
+          measure_live ()
         end
       in
       (* Carried-in incumbent: a solution of the previous (smaller) model
@@ -436,7 +451,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
           match (!r.Simplex.status, !r.Simplex.basis) with
           | Status.Lp_optimal, Some basis when pick_branch_var !r.Simplex.primal >= 0 ->
               let x = !r.Simplex.primal in
-              let gmi = Cuts.gomory !pref ~integer ~lb:plb ~ub:pub basis ~max_cuts:16 in
+              let gmi = Cuts.gomory ~dense !pref ~integer ~lb:plb ~ub:pub basis ~max_cuts:16 in
               let cov =
                 Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:16
               in
@@ -453,7 +468,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                 let r' =
                   Simplex.solve
                     ?basis:(if options.warm_start then Some basis else None)
-                    ~deadline !pref ~lb ~ub
+                    ~deadline ~dense !pref ~lb ~ub
                 in
                 lp_iters := !lp_iters + r'.Simplex.iterations;
                 tally counters r';
@@ -488,7 +503,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
               let r' =
                 Simplex.solve
                   ?basis:(if options.warm_start then Some basis else None)
-                  ~deadline !pref ~lb ~ub
+                  ~deadline ~dense !pref ~lb ~ub
               in
               lp_iters := !lp_iters + r'.Simplex.iterations;
               tally counters r';
@@ -552,7 +567,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
             ref
               (Simplex.solve
                  ?basis:(node_basis node.nbasis)
-                 ~deadline !pref ~lb ~ub)
+                 ~deadline ~dense !pref ~lb ~ub)
           in
           lp_iters := !lp_iters + !r.Simplex.iterations;
           tally counters !r;
@@ -600,7 +615,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                   then begin
                     match
                       dive !pref integer options.int_tol lb ub r lp_iters counters
-                        ~warm_start:options.warm_start 200 ~deadline
+                        ~warm_start:options.warm_start ~dense 200 ~deadline
                     with
                     | Some (y, yobj) -> update_incumbent y yobj
                     | None -> ()
@@ -732,7 +747,9 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
               with
               | None -> ()
               | Some (lb, ub) -> (
-                  let r = Simplex.solve ?basis:(node_basis node.nbasis) ~deadline pw ~lb ~ub in
+                  let r =
+                    Simplex.solve ?basis:(node_basis node.nbasis) ~deadline ~dense pw ~lb ~ub
+                  in
                   st.ws_lp := !(st.ws_lp) + r.Simplex.iterations;
                   tally st.ws_counters r;
                   match r.Simplex.status with
@@ -762,7 +779,8 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                           then begin
                             match
                               dive pw integer options.int_tol lb ub r st.ws_lp
-                                st.ws_counters ~warm_start:options.warm_start 200 ~deadline
+                                st.ws_counters ~warm_start:options.warm_start ~dense 200
+                                ~deadline
                             with
                             | Some (y, yobj) -> update_inc y yobj
                             | None -> ()
@@ -856,7 +874,11 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
             wstats;
           let c = Atomic.get inc in
           incumbent_obj := c.i_obj;
-          (match c.i_sol with Some x -> incumbent := Some x | None -> ());
+          (match c.i_sol with
+          | Some x ->
+              incumbent := Some x;
+              measure_live ()
+          | None -> ());
           if Atomic.get timed_out_a then timed_out := true;
           if Atomic.get unbounded_a then unbounded := true;
           if Atomic.get lp_cut_short_a then lp_cut_short := true

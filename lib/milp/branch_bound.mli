@@ -49,6 +49,15 @@ type options = {
   rc_fixing : bool;
       (** Reduced-cost fixing of integer variables at nodes once an
           incumbent exists (default [true]). *)
+  dense_basis : bool;
+      (** Run every LP on the pre-PR dense explicit-inverse kernel
+          instead of the sparse LU one (default [false]) — the
+          [--dense-basis] ablation baseline.  Objectives and statuses
+          agree with the sparse kernel to solver tolerances. *)
+  mem_stats : bool;
+      (** Record [Gc.stat] live heap words each time the incumbent
+          improves (default [false]; a full-heap walk, so opt-in).  The
+          last measurement is returned as [result.live_words]. *)
   log : bool;  (** Print a progress line every ~500 nodes via [Logs]. *)
   nworkers : int;
       (** Worker domains for the tree search (default [1]).  With
@@ -108,6 +117,10 @@ type result = {
       (** Root objective after the cut loop; with [root_lp_bound] and
           the final incumbent this yields the root gap closed.  [nan]
           when cuts are off or the root LP failed. *)
+  live_words : int;
+      (** [Gc.stat] live heap words when the incumbent last improved;
+          [0] unless [options.mem_stats] was set (or no incumbent was
+          found). *)
   elapsed : float;  (** Wall-clock seconds. *)
 }
 

@@ -136,8 +136,8 @@ let gmi_from_row (p : Simplex.problem) (t : Simplex.tableau) ~integer i =
     else normalize (Array.of_list !items) !le_rhs Gomory
   end
 
-let gomory p ~integer ~lb ~ub basis ~max_cuts =
-  match Simplex.tableau p ~lb ~ub basis with
+let gomory ?(dense = false) p ~integer ~lb ~ub basis ~max_cuts =
+  match Simplex.tableau ~dense p ~lb ~ub basis with
   | None -> []
   | Some t ->
       let n = t.Simplex.t_ncols in

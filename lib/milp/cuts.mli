@@ -43,6 +43,7 @@ val satisfied : ?tol:float -> cut -> float array -> bool
 (** {1 Separation} *)
 
 val gomory :
+  ?dense:bool ->
   Simplex.problem ->
   integer:bool array ->
   lb:float array ->
@@ -57,7 +58,8 @@ val gomory :
     out through their defining rows so the result is purely structural.
     Rows with free nonbasics, tiny fractionality, or wild coefficient
     ranges are skipped for numerical safety.  At most [max_cuts]
-    most-fractional rows are used. *)
+    most-fractional rows are used.  [dense] selects the ablation basis
+    kernel for the tableau solves, as in {!Simplex.solve}. *)
 
 val covers :
   Simplex.problem ->

@@ -1,0 +1,487 @@
+(* Sparse LU of a basis matrix, product-form eta updates, sparse
+   triangular solves.  See lu.mli for the interface contract.
+
+   Everything lives in two index spaces: "row" (constraint rows of the
+   problem, the RHS space) and "position" (which basis slot a column
+   occupies, the solution space of FTRAN).  The factorization works in a
+   third, private "step" space — step [k] is the k-th elimination pivot
+   — with [prow]/[pcol] mapping steps back to rows/positions.  L is
+   stored as per-step multiplier columns (targets are later steps), U as
+   per-step rows (again later steps), both over step indices so the
+   triangular solves are straight scatter/gather loops. *)
+
+type core = {
+  cm : int;
+  prow : int array;  (* step -> row *)
+  pcol : int array;  (* step -> position *)
+  lmat : (int * float) array array;  (* per step: (later step, multiplier) *)
+  umat : (int * float) array array;  (* per step: (later step, value) *)
+  udiag : float array;
+  cnnz : int;
+}
+
+type eta = { e_r : int; e_d : float; e_nz : (int * float) array }
+
+type factor = { f_core : core; f_etas : eta array }
+
+type t = {
+  m : int;
+  core : core;
+  mutable etas : eta array;  (* buffer; [0, neta) live *)
+  mutable neta : int;
+  mutable enz : int;
+  ws : float array;  (* step-space scratch for the triangular solves *)
+}
+
+let dim t = t.m
+
+let neta t = t.neta
+
+let nnz t = t.core.cnnz + t.enz
+
+let factor_dim f = f.f_core.cm
+
+let factor_neta f = Array.length f.f_etas
+
+let dummy_eta = { e_r = 0; e_d = 1.; e_nz = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  s_ftran_calls : int;
+  s_ftran_nnz : int;
+  s_btran_calls : int;
+  s_btran_nnz : int;
+  s_factorizations : int;
+}
+
+(* Off by default: the nonzero census is an extra O(m) scan per solve,
+   so only the bench turns it on.  Atomics because PR 4's workers share
+   nothing but these counters. *)
+let counting = Atomic.make false
+let c_ftran = Atomic.make 0
+let c_ftran_nnz = Atomic.make 0
+let c_btran = Atomic.make 0
+let c_btran_nnz = Atomic.make 0
+let c_factor = Atomic.make 0
+
+let set_stats_enabled b = Atomic.set counting b
+
+let stats () =
+  { s_ftran_calls = Atomic.get c_ftran;
+    s_ftran_nnz = Atomic.get c_ftran_nnz;
+    s_btran_calls = Atomic.get c_btran;
+    s_btran_nnz = Atomic.get c_btran_nnz;
+    s_factorizations = Atomic.get c_factor }
+
+let reset_stats () =
+  Atomic.set c_ftran 0;
+  Atomic.set c_ftran_nnz 0;
+  Atomic.set c_btran 0;
+  Atomic.set c_btran_nnz 0;
+  Atomic.set c_factor 0
+
+let count_solve calls nnz x m =
+  if Atomic.get counting then begin
+    let k = ref 0 in
+    for i = 0 to m - 1 do
+      if x.(i) <> 0. then incr k
+    done;
+    ignore (Atomic.fetch_and_add calls 1);
+    ignore (Atomic.fetch_and_add nnz !k)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Solves                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ftran t x =
+  let c = t.core in
+  let m = t.m in
+  let y = t.ws in
+  for k = 0 to m - 1 do
+    y.(k) <- x.(c.prow.(k))
+  done;
+  (* L y' = y, forward *)
+  for k = 0 to m - 1 do
+    let yk = y.(k) in
+    if yk <> 0. then
+      Array.iter (fun (j, mult) -> y.(j) <- y.(j) -. (mult *. yk)) c.lmat.(k)
+  done;
+  (* U z = y', backward (row-wise gather; later steps already solved) *)
+  for k = m - 1 downto 0 do
+    let acc = ref y.(k) in
+    Array.iter (fun (j, v) -> acc := !acc -. (v *. y.(j))) c.umat.(k);
+    y.(k) <- !acc /. c.udiag.(k)
+  done;
+  for k = 0 to m - 1 do
+    x.(c.pcol.(k)) <- y.(k)
+  done;
+  (* eta file, oldest first: x := E_q⁻¹ x *)
+  for q = 0 to t.neta - 1 do
+    let e = t.etas.(q) in
+    let xr = x.(e.e_r) /. e.e_d in
+    x.(e.e_r) <- xr;
+    if xr <> 0. then Array.iter (fun (i, v) -> x.(i) <- x.(i) -. (v *. xr)) e.e_nz
+  done;
+  count_solve c_ftran c_ftran_nnz x m
+
+let btran t x =
+  let c = t.core in
+  let m = t.m in
+  (* eta transposes, newest first: x := E_q⁻ᵀ x *)
+  for q = t.neta - 1 downto 0 do
+    let e = t.etas.(q) in
+    let acc = ref x.(e.e_r) in
+    Array.iter (fun (i, v) -> acc := !acc -. (v *. x.(i))) e.e_nz;
+    x.(e.e_r) <- !acc /. e.e_d
+  done;
+  let y = t.ws in
+  for k = 0 to m - 1 do
+    y.(k) <- x.(c.pcol.(k))
+  done;
+  (* Uᵀ z = ĉ, forward (scatter: row k of U hits later steps) *)
+  for k = 0 to m - 1 do
+    let zk = y.(k) /. c.udiag.(k) in
+    y.(k) <- zk;
+    if zk <> 0. then Array.iter (fun (j, v) -> y.(j) <- y.(j) -. (v *. zk)) c.umat.(k)
+  done;
+  (* Lᵀ w = z, backward (gather: column k of L lists later steps) *)
+  for k = m - 1 downto 0 do
+    let acc = ref y.(k) in
+    Array.iter (fun (j, v) -> acc := !acc -. (v *. y.(j))) c.lmat.(k);
+    y.(k) <- !acc
+  done;
+  for k = 0 to m - 1 do
+    x.(c.prow.(k)) <- y.(k)
+  done;
+  count_solve c_btran c_btran_nnz x m
+
+(* ------------------------------------------------------------------ *)
+(* Eta updates                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let update t ~r ~w =
+  let m = t.m in
+  let d = w.(r) in
+  let amax = ref 0. and cnt = ref 0 in
+  for i = 0 to m - 1 do
+    let a = Float.abs w.(i) in
+    if a > !amax then amax := a;
+    if i <> r && w.(i) <> 0. then incr cnt
+  done;
+  let nz = Array.make !cnt (0, 0.) in
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> r && w.(i) <> 0. then begin
+      nz.(!k) <- (i, w.(i));
+      incr k
+    end
+  done;
+  if t.neta >= Array.length t.etas then begin
+    let grown = Array.make (max 8 (2 * Array.length t.etas)) dummy_eta in
+    Array.blit t.etas 0 grown 0 t.neta;
+    t.etas <- grown
+  end;
+  t.etas.(t.neta) <- { e_r = r; e_d = d; e_nz = nz };
+  t.neta <- t.neta + 1;
+  t.enz <- t.enz + !cnt + 1;
+  Float.abs d >= 1e-9 && Float.abs d >= 1e-7 *. !amax
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t = { f_core = t.core; f_etas = Array.sub t.etas 0 t.neta }
+
+let of_factor f =
+  let n = Array.length f.f_etas in
+  let etas = Array.make (max 8 (2 * n)) dummy_eta in
+  Array.blit f.f_etas 0 etas 0 n;
+  let enz = Array.fold_left (fun acc e -> acc + 1 + Array.length e.e_nz) 0 f.f_etas in
+  { m = f.f_core.cm; core = f.f_core; etas; neta = n; enz;
+    ws = Array.make f.f_core.cm 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Factorization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Singular
+
+(* Entries smaller than this after an elimination update are treated as
+   structural zeros (they are cancellation noise at the magnitudes these
+   flow/implication matrices carry; the conditioning probe below guards
+   the aggregate effect). *)
+let drop_tol = 1e-13
+
+let factorize ~m col =
+  if m = 0 then
+    Some
+      { m = 0;
+        core = { cm = 0; prow = [||]; pcol = [||]; lmat = [||]; umat = [||];
+                 udiag = [||]; cnnz = 0 };
+        etas = [||]; neta = 0; enz = 0; ws = [||] }
+  else begin
+    let acc = Array.make m 0. in
+    let mark = Array.make m (-1) in
+    (* Assemble deduplicated columns (constraint columns may repeat a
+       row; the matrix FTRAN must invert sums them). *)
+    let cols = Array.make m [||] in
+    (try
+       for c = 0 to m - 1 do
+         let touched = ref [] in
+         Array.iter
+           (fun (r, a) ->
+             if r < 0 || r >= m then raise Singular;
+             if mark.(r) <> c then begin
+               mark.(r) <- c;
+               acc.(r) <- a;
+               touched := r :: !touched
+             end
+             else acc.(r) <- acc.(r) +. a)
+           (col c);
+         let live = List.filter (fun r -> acc.(r) <> 0.) !touched in
+         cols.(c) <- Array.of_list (List.rev_map (fun r -> (r, acc.(r))) live)
+       done;
+       let colent = Array.copy cols in
+       let rowcols = Array.make m [] in
+       let rcount = Array.make m 0 in
+       let ccount = Array.make m 0 in
+       let coldone = Array.make m false in
+       for c = 0 to m - 1 do
+         ccount.(c) <- Array.length colent.(c);
+         Array.iter
+           (fun (r, _) ->
+             rcount.(r) <- rcount.(r) + 1;
+             rowcols.(r) <- c :: rowcols.(r))
+           colent.(c)
+       done;
+       let prow = Array.make m 0 and pcol = Array.make m 0 in
+       let udiag = Array.make m 0. in
+       let lraw = Array.make m [||] in
+       (* (row, multiplier) *)
+       let uraw = Array.make m [||] in
+       (* (position, value) *)
+       let seen = Array.make m (-1) in
+       let amark = Array.make m (-1) in
+       let stamp = ref (-1) in
+       for step = 0 to m - 1 do
+         (* Markowitz search under threshold pivoting: minimize the fill
+            estimate (ccount-1)(rcount-1) over entries carrying at least
+            a tenth of their column's largest active magnitude.  A zero
+            score cannot be beaten, so stop scanning when one shows. *)
+         let bc = ref (-1) and br = ref (-1) and ba = ref 0. in
+         let bscore = ref max_int in
+         let exception Done in
+         (try
+            for c = 0 to m - 1 do
+              if not coldone.(c) then begin
+                let entries = colent.(c) in
+                let cmax = ref 0. in
+                Array.iter
+                  (fun (_, a) ->
+                    let aa = Float.abs a in
+                    if aa > !cmax then cmax := aa)
+                  entries;
+                if !cmax > 1e-11 then begin
+                  let thresh = 0.1 *. !cmax in
+                  let cc = ccount.(c) in
+                  Array.iter
+                    (fun (r, a) ->
+                      let aa = Float.abs a in
+                      if aa >= thresh then begin
+                        let score = (cc - 1) * (rcount.(r) - 1) in
+                        if score < !bscore || (score = !bscore && aa > Float.abs !ba)
+                        then begin
+                          bscore := score;
+                          bc := c;
+                          br := r;
+                          ba := a
+                        end
+                      end)
+                    entries;
+                  if !bscore = 0 then raise Done
+                end
+              end
+            done
+          with Done -> ());
+         if !bc < 0 then raise Singular;
+         let pc = !bc and pr = !br and pa = !ba in
+         prow.(step) <- pr;
+         pcol.(step) <- pc;
+         udiag.(step) <- pa;
+         (* L multipliers: the pivot column's other active entries. *)
+         let pivcol = colent.(pc) in
+         let lcnt = ref 0 in
+         Array.iter (fun (r, _) -> if r <> pr then incr lcnt) pivcol;
+         let lents = Array.make !lcnt (0, 0.) in
+         let k = ref 0 in
+         Array.iter
+           (fun (r, a) ->
+             if r <> pr then begin
+               lents.(!k) <- (r, a /. pa);
+               incr k
+             end)
+           pivcol;
+         lraw.(step) <- lents;
+         Array.iter (fun (r, _) -> rcount.(r) <- rcount.(r) - 1) pivcol;
+         colent.(pc) <- [||];
+         ccount.(pc) <- 0;
+         coldone.(pc) <- true;
+         (* Eliminate the pivot row out of every active column carrying
+            it.  [rowcols] is a superset hint (stale entries just miss on
+            the scan); each touched column is rewritten through a dense
+            accumulator so fill-in lands in one pass. *)
+         let uacc = ref [] in
+         List.iter
+           (fun c ->
+             if (not coldone.(c)) && seen.(c) <> step then begin
+               seen.(c) <- step;
+               let entries = colent.(c) in
+               let upc = ref 0. and hit = ref false in
+               Array.iter
+                 (fun (r, a) ->
+                   if r = pr then begin
+                     upc := !upc +. a;
+                     hit := true
+                   end)
+                 entries;
+               if !hit then begin
+                 let u = !upc in
+                 uacc := (c, u) :: !uacc;
+                 incr stamp;
+                 let st = !stamp in
+                 let touched = ref [] in
+                 Array.iter
+                   (fun (r, a) ->
+                     if r <> pr then begin
+                       amark.(r) <- st;
+                       acc.(r) <- a;
+                       touched := r :: !touched
+                     end)
+                   entries;
+                 Array.iter
+                   (fun (lr, mult) ->
+                     let delta = mult *. u in
+                     if amark.(lr) = st then acc.(lr) <- acc.(lr) -. delta
+                     else begin
+                       amark.(lr) <- st;
+                       acc.(lr) <- -.delta;
+                       touched := lr :: !touched;
+                       rowcols.(lr) <- c :: rowcols.(lr)
+                     end)
+                   lents;
+                 let keep = List.filter (fun r -> Float.abs acc.(r) > drop_tol) !touched in
+                 Array.iter (fun (r, _) -> rcount.(r) <- rcount.(r) - 1) entries;
+                 let arr = Array.of_list (List.rev_map (fun r -> (r, acc.(r))) keep) in
+                 Array.iter (fun (r, _) -> rcount.(r) <- rcount.(r) + 1) arr;
+                 colent.(c) <- arr;
+                 ccount.(c) <- Array.length arr
+               end
+             end)
+           rowcols.(pr);
+         uraw.(step) <- Array.of_list !uacc;
+         rowcols.(pr) <- []
+       done;
+       (* Re-index rows/positions to steps. *)
+       let rstep = Array.make m 0 and posstep = Array.make m 0 in
+       for k = 0 to m - 1 do
+         rstep.(prow.(k)) <- k;
+         posstep.(pcol.(k)) <- k
+       done;
+       let lmat = Array.map (Array.map (fun (r, v) -> (rstep.(r), v))) lraw in
+       let umat = Array.map (Array.map (fun (c, v) -> (posstep.(c), v))) uraw in
+       let cnnz = ref m in
+       Array.iter (fun a -> cnnz := !cnnz + Array.length a) lmat;
+       Array.iter (fun a -> cnnz := !cnnz + Array.length a) umat;
+       let core = { cm = m; prow; pcol; lmat; umat; udiag; cnnz = !cnnz } in
+       let t = { m; core; etas = [||]; neta = 0; enz = 0; ws = Array.make m 0. } in
+       (* Conditioning probe, mirroring the dense kernel: a factorization
+          whose solve cannot reproduce B·(B⁻¹·1) = 1 to a relative 1e-8
+          would silently corrupt basic values downstream; reject it so
+          callers fall back to a cold start. *)
+       let x = Array.make m 1. in
+       ftran t x;
+       let z = Array.make m 0. in
+       let xmax = ref 1. in
+       for c = 0 to m - 1 do
+         let xc = x.(c) in
+         if xc <> 0. then Array.iter (fun (r, a) -> z.(r) <- z.(r) +. (a *. xc)) cols.(c);
+         if Float.abs xc > !xmax then xmax := Float.abs xc
+       done;
+       let err = ref 0. in
+       for r = 0 to m - 1 do
+         err := Float.max !err (Float.abs (z.(r) -. 1.))
+       done;
+       if !err > 1e-8 *. !xmax then None
+       else begin
+         if Atomic.get counting then ignore (Atomic.fetch_and_add c_factor 1);
+         Some t
+       end
+     with Singular -> None)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Growing a factor for appended rows                                  *)
+(* ------------------------------------------------------------------ *)
+
+let extend_rows f vrows =
+  let kext = Array.length vrows in
+  if kext = 0 then f
+  else begin
+    let c = f.f_core in
+    let m = c.cm in
+    let m' = m + kext in
+    let prow = Array.init m' (fun i -> if i < m then c.prow.(i) else i) in
+    let pcol = Array.init m' (fun i -> if i < m then c.pcol.(i) else i) in
+    let udiag = Array.init m' (fun i -> if i < m then c.udiag.(i) else 1.) in
+    let umat = Array.init m' (fun i -> if i < m then c.umat.(i) else [||]) in
+    (* Extra L entries per old step, targeting the new trivial steps:
+       the grown matrix is [[B 0] [V I]] = [[L 0] [W I]]·[[U 0] [0 I]]
+       with W U = V·E⁻¹ (V pushed through the eta file first, since the
+       etas post-multiply the core).  New steps never feed old ones, so
+       every old-step solve value is preserved bit-for-bit. *)
+    let ext = Array.make (max m 1) [] in
+    let extnnz = ref 0 in
+    let v = Array.make (max m 1) 0. in
+    let vh = Array.make (max m 1) 0. in
+    for t0 = 0 to kext - 1 do
+      Array.fill v 0 m 0.;
+      Array.iter (fun (pos, a) -> v.(pos) <- v.(pos) +. a) vrows.(t0);
+      for q = Array.length f.f_etas - 1 downto 0 do
+        let e = f.f_etas.(q) in
+        let a = ref v.(e.e_r) in
+        Array.iter (fun (i, w) -> a := !a -. (w *. v.(i))) e.e_nz;
+        v.(e.e_r) <- !a /. e.e_d
+      done;
+      for j = 0 to m - 1 do
+        vh.(j) <- v.(c.pcol.(j))
+      done;
+      (* ŵ U = v̂: forward scatter over U's rows. *)
+      for j = 0 to m - 1 do
+        let wj = vh.(j) /. c.udiag.(j) in
+        vh.(j) <- wj;
+        if wj <> 0. then
+          Array.iter (fun (j2, u) -> vh.(j2) <- vh.(j2) -. (wj *. u)) c.umat.(j)
+      done;
+      for j = 0 to m - 1 do
+        if vh.(j) <> 0. then begin
+          ext.(j) <- (m + t0, vh.(j)) :: ext.(j);
+          incr extnnz
+        end
+      done
+    done;
+    let lmat =
+      Array.init m' (fun j ->
+          if j >= m then [||]
+          else
+            match ext.(j) with
+            | [] -> c.lmat.(j)
+            | l -> Array.append c.lmat.(j) (Array.of_list (List.rev l)))
+    in
+    { f_core =
+        { cm = m'; prow; pcol; lmat; umat; udiag; cnnz = c.cnnz + kext + !extnnz };
+      f_etas = f.f_etas }
+  end

@@ -1,0 +1,109 @@
+(** Sparse LU factorization of a simplex basis with product-form (eta)
+    updates.
+
+    The basis matrix [B] is given column-wise by basis {e position}: the
+    column basic in row slot [i] of the simplex state.  [factorize] runs
+    a right-looking sparse Gaussian elimination with Markowitz pivot
+    ordering (cheapest fill estimate first) under threshold pivoting
+    (a pivot must carry a fixed fraction of its column's largest active
+    magnitude), producing permuted triangular factors [P_r B P_c = L U]
+    stored sparsely: [L] as per-step multiplier columns, [U] as per-step
+    rows.  Both solves are O(factor nonzeros):
+
+    - {!ftran}: [x := B⁻¹ x] — input indexed by row, output by position;
+    - {!btran}: [x := B⁻ᵀ x] — input indexed by position, output by row.
+
+    After a simplex pivot replaces the column at position [r] by a
+    column whose FTRAN image is [w], {!update} appends a product-form
+    eta ([B' = B·E], [E] the identity with column [r] replaced by [w])
+    instead of refactorizing; solves apply the eta file after (FTRAN)
+    or before (BTRAN) the triangular factors.  The eta file is meant to
+    stay short — the caller refactorizes once {!neta} crosses its
+    stability budget.
+
+    A {!factor} is an immutable snapshot of a handle (shared triangular
+    core plus a frozen copy of the eta file) safe to store in
+    {!Basis.t} and to hand across domains; {!of_factor} reopens it as a
+    private working handle.  {!extend_rows} grows a factor for appended
+    constraint rows whose slacks start basic — the grown matrix is block
+    triangular, so the old steps are kept verbatim and solves touching
+    only the original rows remain bit-identical. *)
+
+type t
+(** Mutable working handle: triangular core + growing eta file + private
+    scratch.  Owned by one solver state; never shared across domains. *)
+
+type factor
+(** Immutable snapshot of a handle, safe to share and to store in basis
+    snapshots. *)
+
+val factorize : m:int -> (int -> (int * float) array) -> t option
+(** [factorize ~m col] factorizes the [m]×[m] matrix whose column at
+    position [i] is the sparse vector [col i] (duplicate row entries are
+    summed, as in constraint-column storage).  Returns [None] when the
+    matrix is singular or fails the conditioning probe (solving against
+    the all-ones vector must reproduce it to a relative 1e-8), so a
+    caller can fall back to a cold start exactly as with the dense
+    kernel. *)
+
+val dim : t -> int
+
+val neta : t -> int
+(** Etas appended since the underlying factorization. *)
+
+val nnz : t -> int
+(** Nonzeros across [L], [U] and the eta file (stats only). *)
+
+val ftran : t -> float array -> unit
+(** In-place solve [B x' = x]: input indexed by row, output by basis
+    position.  Length must be [dim]. *)
+
+val btran : t -> float array -> unit
+(** In-place solve [Bᵀ x' = x]: input indexed by basis position, output
+    by row.  Length must be [dim]. *)
+
+val update : t -> r:int -> w:float array -> bool
+(** [update t ~r ~w] appends the product-form eta for a pivot that
+    replaced the column at position [r], where [w] is the entering
+    column's FTRAN image ([w = B⁻¹ a], so [w.(r)] is the pivot element).
+    The eta is always appended — the handle stays algebraically
+    consistent with the new basis — but the return value is [false]
+    when the pivot is too small relative to [max_i |w_i|] for the eta to
+    be numerically trustworthy; the caller should refactorize. *)
+
+val snapshot : t -> factor
+(** Freeze the handle (copies the eta file; shares the core). *)
+
+val of_factor : factor -> t
+(** Reopen a snapshot as a fresh working handle (copies the eta file
+    back; shares the core). *)
+
+val factor_dim : factor -> int
+
+val factor_neta : factor -> int
+
+type stats = {
+  s_ftran_calls : int;
+  s_ftran_nnz : int;  (** Total nonzeros across all FTRAN results. *)
+  s_btran_calls : int;
+  s_btran_nnz : int;  (** Total nonzeros across all BTRAN results. *)
+  s_factorizations : int;  (** Successful {!factorize} runs. *)
+}
+(** Process-wide kernel counters (atomic; shared by all workers). *)
+
+val set_stats_enabled : bool -> unit
+(** Off by default — the per-solve nonzero census costs an extra O(m)
+    scan, so only the bench harness turns it on. *)
+
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+
+val extend_rows : factor -> (int * float) array array -> factor
+(** [extend_rows f vrows] grows the factor by [k] appended rows whose
+    own (slack) columns start basic, where [vrows.(t)] lists the new
+    row's coefficients on the {e old basic columns by position}.  The
+    grown matrix is the block-triangular [[B 0] [V I]]; the old steps
+    and the eta file are kept verbatim and the new rows eliminate
+    trivially on their unit diagonal, so FTRAN/BTRAN results on the
+    original rows are bit-for-bit those of [f].  O(k · (dim + nnz)). *)

@@ -26,7 +26,13 @@
     Idle workers block on a condition variable — they never spin.  On
     machines where domains outnumber cores (including the degenerate
     single-core case) a spinning thief would steal the CPU from the
-    worker actually solving LPs. *)
+    worker actually solving LPs.
+
+    Payloads are opaque to the pool, but size still matters: branch &
+    bound nodes carry their parent's {!Basis.t}, which since the sparse
+    revised-simplex rewrite holds an O(nonzeros) LU factor rather than a
+    dense m×m inverse — so a deep frontier of queued and stolen nodes no
+    longer pins O(nodes·m²) memory. *)
 
 type 'a t
 

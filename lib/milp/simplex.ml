@@ -39,6 +39,14 @@ let of_model m =
    translation. *)
 type vstat = Basis.vstat = Basic | At_lower | At_upper | Free_zero
 
+(* The basis representation behind FTRAN/BTRAN.  The sparse LU kernel is
+   the default; the dense explicit inverse survives as an ablation
+   baseline ([?dense] on {!solve}) so the bench can report the kernel
+   speedup honestly. *)
+type kernel =
+  | Dense of float array array  (* explicit inverse, m x m *)
+  | Sparse of Lu.t
+
 type state = {
   p : problem;
   m : int;  (* rows *)
@@ -48,16 +56,32 @@ type state = {
   ub : float array;
   stat : vstat array;
   basis : int array;  (* column basic in each row *)
-  binv : float array array;  (* dense basis inverse, m x m *)
+  dense : bool;  (* which kernel [refactorize] rebuilds *)
+  mutable kern : kernel;
   xb : float array;  (* values of basic variables per row *)
   cost : float array;  (* current-phase cost, length ntot *)
+  (* Scratch vectors, allocated once per solve and reused by every
+     iteration (pricing, ratio test, dual repair, tableau rows) instead
+     of a fresh [Array.make] per call — B&B re-solves thousands of nodes
+     and the old per-call buffers dominated minor-GC pressure. *)
+  wy : float array;  (* dual prices, row-indexed *)
+  ww : float array;  (* entering column FTRAN image, position-indexed *)
+  wrho : float array;  (* row of B^-1 (dual pricing / tableau rows) *)
+  wres : float array;  (* RHS residual under the nonbasic assignment *)
   mutable niter : int;
   mutable degen_count : int;
   mutable bland : bool;
-  mutable age : int;  (* pivot updates to binv since last factorization *)
+  mutable price_ptr : int;  (* partial-pricing scan cursor *)
+  mutable age : int;  (* eta/pivot updates since last factorization *)
 }
 
 let pivot_tol = 1e-9
+
+(* Refactorize once the eta file (or dense update chain) is this long:
+   each product-form eta both slows the solves down and compounds
+   rounding, so the budget bounds drift across warm-start generations
+   exactly like the old dense [refresh_age] did. *)
+let eta_limit = 64
 
 let nb_value st j =
   match st.stat.(j) with
@@ -88,146 +112,281 @@ let build_cols p m =
     p.rows;
   cols
 
-let init_state p ~lb:wlb ~ub:wub =
-  let m = Array.length p.rows in
-  let n = p.ncols in
-  let ntot = n + (2 * m) in
-  let cols = build_cols p m in
-  let lb = Array.make ntot 0. and ub = Array.make ntot infinity in
-  Array.blit wlb 0 lb 0 n;
-  Array.blit wub 0 ub 0 n;
-  (* Slack bounds encode the row sense: a.x + s = b. *)
-  for i = 0 to m - 1 do
-    let s = n + i in
-    cols.(s) <- [| (i, 1.0) |];
-    match p.senses.(i) with
-    | Model.Le ->
-        lb.(s) <- 0.;
-        ub.(s) <- infinity
-    | Model.Ge ->
-        lb.(s) <- neg_infinity;
-        ub.(s) <- 0.
-    | Model.Eq ->
-        lb.(s) <- 0.;
-        ub.(s) <- 0.
-  done;
-  let stat = Array.make ntot At_lower in
-  for j = 0 to n - 1 do
-    stat.(j) <-
-      (if Float.is_finite lb.(j) then At_lower
-       else if Float.is_finite ub.(j) then At_upper
-       else Free_zero)
-  done;
-  (* Row residuals under the nonbasic assignment. *)
-  let resid = Array.copy p.rhs in
-  for j = 0 to n - 1 do
-    let v =
-      match stat.(j) with
-      | At_lower -> lb.(j)
-      | At_upper -> ub.(j)
-      | Free_zero | Basic -> 0.
-    in
-    if v <> 0. then Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) cols.(j)
-  done;
-  let basis = Array.make m 0 in
-  let binv = Array.init m (fun _ -> Array.make m 0.) in
-  let xb = Array.make m 0. in
-  let cost = Array.make ntot 0. in
-  for i = 0 to m - 1 do
-    let s = n + i and art = n + m + i in
-    let r = resid.(i) in
-    if r >= lb.(s) -. 1e-12 && r <= ub.(s) +. 1e-12 then begin
-      (* Slack basic at the residual value; artificial unused. *)
-      basis.(i) <- s;
-      stat.(s) <- Basic;
-      xb.(i) <- r;
-      binv.(i).(i) <- 1.0;
-      cols.(art) <- [| (i, 1.0) |];
-      ub.(art) <- 0.
-    end
-    else begin
-      (* Slack pinned at its nearest bound (0 in all senses); an
-         artificial with sign g carries the residual: x_art = |r| >= 0. *)
-      let g = if r >= 0. then 1.0 else -1.0 in
-      cols.(art) <- [| (i, g) |];
-      stat.(s) <- At_lower;
-      (match p.senses.(i) with
-      | Model.Ge -> stat.(s) <- At_upper
-      | Model.Le | Model.Eq -> ());
-      basis.(i) <- art;
-      stat.(art) <- Basic;
-      xb.(i) <- Float.abs r;
-      binv.(i).(i) <- g;
-      cost.(art) <- 1.0 (* phase-1 cost *)
-    end
-  done;
-  { p; m; ntot; cols; lb; ub; stat; basis; binv; xb; cost;
-    niter = 0; degen_count = 0; bland = false; age = 0 }
+(* ------------------------------------------------------------------ *)
+(* Kernel operations                                                   *)
+(* ------------------------------------------------------------------ *)
 
-(* y = c_B^T B^{-1} *)
-let dual_prices st =
-  let y = Array.make st.m 0. in
-  for i = 0 to st.m - 1 do
-    let cb = st.cost.(st.basis.(i)) in
-    if cb <> 0. then begin
-      let row = st.binv.(i) in
-      for k = 0 to st.m - 1 do
-        y.(k) <- y.(k) +. (cb *. row.(k))
+(* y = c_B^T B^{-1}, into [st.wy] (row-indexed). *)
+let compute_duals st =
+  match st.kern with
+  | Dense binv ->
+      Array.fill st.wy 0 st.m 0.;
+      for i = 0 to st.m - 1 do
+        let cb = st.cost.(st.basis.(i)) in
+        if cb <> 0. then begin
+          let row = binv.(i) in
+          for k = 0 to st.m - 1 do
+            st.wy.(k) <- st.wy.(k) +. (cb *. row.(k))
+          done
+        end
       done
-    end
-  done;
-  y
+  | Sparse lu ->
+      for i = 0 to st.m - 1 do
+        st.wy.(i) <- st.cost.(st.basis.(i))
+      done;
+      Lu.btran lu st.wy
+
+(* w = B^{-1} A_j, into [st.ww] (position-indexed). *)
+let ftran_col st j =
+  Array.fill st.ww 0 st.m 0.;
+  (match st.kern with
+  | Dense binv ->
+      Array.iter
+        (fun (r, a) ->
+          if a <> 0. then
+            for i = 0 to st.m - 1 do
+              st.ww.(i) <- st.ww.(i) +. (binv.(i).(r) *. a)
+            done)
+        st.cols.(j)
+  | Sparse lu ->
+      Array.iter (fun (r, a) -> st.ww.(r) <- st.ww.(r) +. a) st.cols.(j);
+      Lu.ftran lu st.ww)
+
+(* rho = e_r^T B^{-1} (row [r] of the inverse), into [st.wrho]
+   (row-indexed). *)
+let binv_row st r =
+  match st.kern with
+  | Dense binv -> Array.blit binv.(r) 0 st.wrho 0 st.m
+  | Sparse lu ->
+      Array.fill st.wrho 0 st.m 0.;
+      st.wrho.(r) <- 1.0;
+      Lu.btran lu st.wrho
 
 let reduced_cost st y j =
   let d = ref st.cost.(j) in
   Array.iter (fun (i, a) -> d := !d -. (y.(i) *. a)) st.cols.(j);
   !d
 
-(* Select the entering column, or None at (phase-)optimality. *)
-let price st ~dual_tol =
-  let y = dual_prices st in
-  let best = ref None and best_score = ref dual_tol in
-  let consider j =
-    if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
-      let d = reduced_cost st y j in
-      let score =
-        match st.stat.(j) with
-        | At_lower -> -.d
-        | At_upper -> d
-        | Free_zero -> Float.abs d
-        | Basic -> 0.
-      in
-      if score > !best_score then
-        if st.bland then begin
-          if !best = None then begin
-            best := Some (j, d);
-            best_score := dual_tol (* keep first (smallest index) *)
+(* xb = B^{-1} (b - N x_N) under the current kernel and bounds. *)
+let recompute_xb st =
+  let resid = st.wres in
+  Array.blit st.p.rhs 0 resid 0 st.m;
+  for j = 0 to st.ntot - 1 do
+    if st.stat.(j) <> Basic then begin
+      let v = nb_value st j in
+      if v <> 0. then
+        Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) st.cols.(j)
+    end
+  done;
+  match st.kern with
+  | Dense binv ->
+      for i = 0 to st.m - 1 do
+        let acc = ref 0. in
+        let row = binv.(i) in
+        for k = 0 to st.m - 1 do
+          acc := !acc +. (row.(k) *. resid.(k))
+        done;
+        st.xb.(i) <- !acc
+      done
+  | Sparse lu ->
+      Array.blit resid 0 st.xb 0 st.m;
+      Lu.ftran lu st.xb
+
+(* Rebuild the factorization (and xb) from scratch — numerical hygiene.
+   Returns false, leaving the state untouched, when the basis matrix is
+   singular or fails its conditioning probe. *)
+let refactorize st =
+  let m = st.m in
+  if not st.dense then begin
+    match Lu.factorize ~m (fun i -> st.cols.(st.basis.(i))) with
+    | Some lu ->
+        st.kern <- Sparse lu;
+        st.age <- 0;
+        recompute_xb st;
+        true
+    | None -> false
+  end
+  else begin
+    (* Assemble the basis matrix and invert via Gauss-Jordan with
+       partial pivoting. *)
+    let a = Array.init m (fun _ -> Array.make m 0.) in
+    let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.)) in
+    for i = 0 to m - 1 do
+      (* Accumulate rather than assign: ftran/btran sum duplicate entries
+         within a sparse column, and the factorization must invert the
+         same matrix they apply. *)
+      Array.iter (fun (r, c) -> a.(r).(i) <- a.(r).(i) +. c) st.cols.(st.basis.(i))
+    done;
+    let ok = ref true in
+    for col = 0 to m - 1 do
+      if !ok then begin
+        let piv = ref col in
+        for i = col + 1 to m - 1 do
+          if Float.abs a.(i).(col) > Float.abs a.(!piv).(col) then piv := i
+        done;
+        if Float.abs a.(!piv).(col) < 1e-12 then ok := false
+        else begin
+          if !piv <> col then begin
+            let tmp = a.(col) in
+            a.(col) <- a.(!piv);
+            a.(!piv) <- tmp;
+            let tmp = inv.(col) in
+            inv.(col) <- inv.(!piv);
+            inv.(!piv) <- tmp
+          end;
+          let d = a.(col).(col) in
+          for k = 0 to m - 1 do
+            a.(col).(k) <- a.(col).(k) /. d;
+            inv.(col).(k) <- inv.(col).(k) /. d
+          done;
+          for i = 0 to m - 1 do
+            if i <> col then begin
+              let f = a.(i).(col) in
+              if f <> 0. then
+                for k = 0 to m - 1 do
+                  a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k));
+                  inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+                done
+            end
+          done
+        end
+      end
+    done;
+    (* Gauss-Jordan "succeeds" on a near-singular basis (every pivot
+       clears 1e-12) yet the computed inverse can be off by O(cond·eps) —
+       whole units at condition 1e14 — which silently corrupts [xb] and
+       the objective.  Probe the product on the all-ones vector and
+       reject ill-conditioned bases so callers fall back to a cold solve
+       that picks a different basis path. *)
+    if !ok then begin
+      let y = Array.make m 0. in
+      for i = 0 to m - 1 do
+        let acc = ref 0. in
+        let row = inv.(i) in
+        for k = 0 to m - 1 do
+          acc := !acc +. row.(k)
+        done;
+        y.(i) <- !acc
+      done;
+      let z = Array.make m 0. in
+      for i = 0 to m - 1 do
+        if y.(i) <> 0. then
+          Array.iter (fun (r, c) -> z.(r) <- z.(r) +. (c *. y.(i))) st.cols.(st.basis.(i))
+      done;
+      let err = ref 0. in
+      let ymax = ref 1. in
+      for i = 0 to m - 1 do
+        err := Float.max !err (Float.abs (z.(i) -. 1.));
+        ymax := Float.max !ymax (Float.abs y.(i))
+      done;
+      if !err > 1e-8 *. !ymax then ok := false
+    end;
+    if !ok then begin
+      st.kern <- Dense inv;
+      st.age <- 0;
+      recompute_xb st
+    end;
+    !ok
+  end
+
+(* Basis change at position [r]: the entering column's FTRAN image [w]
+   defines either one elementary row transform of the dense inverse or
+   one product-form eta appended to the LU kernel.  A shaky eta (pivot
+   tiny relative to the column) or a full eta file triggers an immediate
+   refactorization. *)
+let kernel_update st r w =
+  match st.kern with
+  | Dense binv ->
+      let wr = w.(r) in
+      let brow = binv.(r) in
+      for k = 0 to st.m - 1 do
+        brow.(k) <- brow.(k) /. wr
+      done;
+      for i = 0 to st.m - 1 do
+        if i <> r then begin
+          let f = w.(i) in
+          if Float.abs f > 0. then begin
+            let row = binv.(i) in
+            for k = 0 to st.m - 1 do
+              row.(k) <- row.(k) -. (f *. brow.(k))
+            done
           end
         end
-        else begin
-          best := Some (j, d);
-          best_score := score
-        end
-    end
-  in
-  for j = 0 to st.ntot - 1 do
-    match !best with
-    | Some _ when st.bland -> ()
-    | _ -> consider j
-  done;
-  !best
+      done;
+      st.age <- st.age + 1
+  | Sparse lu ->
+      let stable = Lu.update lu ~r ~w in
+      st.age <- st.age + 1;
+      if (not stable) || Lu.neta lu >= eta_limit then ignore (refactorize st)
 
-(* w = B^{-1} A_j *)
-let ftran st j =
-  let w = Array.make st.m 0. in
-  Array.iter
-    (fun (r, a) ->
-      if a <> 0. then
-        for i = 0 to st.m - 1 do
-          w.(i) <- w.(i) +. (st.binv.(i).(r) *. a)
-        done)
-    st.cols.(j);
-  w
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let price_score st d j =
+  match st.stat.(j) with
+  | At_lower -> -.d
+  | At_upper -> d
+  | Free_zero -> Float.abs d
+  | Basic -> 0.
+
+(* Select the entering column, or None at (phase-)optimality.
+
+   Default: partial (candidate-list) Dantzig pricing — scan a block of
+   columns starting at the cursor, return the best candidate of the
+   first block that has one, and resume the next iteration where this
+   one left off.  An iteration therefore prices O(block) columns
+   instead of all of them; only a (phase-)optimal iteration pays for the
+   full wrap that proves no candidate exists.  Under Bland's rule the
+   scan is the classic full lowest-index pass, preserving the
+   termination guarantee. *)
+let price st ~dual_tol =
+  compute_duals st;
+  let y = st.wy in
+  if st.bland then begin
+    let best = ref None in
+    let j = ref 0 in
+    while !best = None && !j < st.ntot do
+      let jj = !j in
+      if st.stat.(jj) <> Basic && st.lb.(jj) < st.ub.(jj) then begin
+        let d = reduced_cost st y jj in
+        if price_score st d jj > dual_tol then best := Some (jj, d)
+      end;
+      incr j
+    done;
+    !best
+  end
+  else begin
+    let ntot = st.ntot in
+    let block =
+      let b = if ntot / 16 > 128 then ntot / 16 else 128 in
+      if b >= ntot then ntot else b
+    in
+    let best = ref None and best_score = ref dual_tol in
+    let scanned = ref 0 in
+    let ptr = ref st.price_ptr in
+    while !best = None && !scanned < ntot do
+      let upto = if block < ntot - !scanned then block else ntot - !scanned in
+      for t = 0 to upto - 1 do
+        let j =
+          let j = !ptr + t in
+          if j >= ntot then j - ntot else j
+        in
+        if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+          let d = reduced_cost st y j in
+          let score = price_score st d j in
+          if score > !best_score then begin
+            best := Some (j, d);
+            best_score := score
+          end
+        end
+      done;
+      ptr := (let p = !ptr + upto in if p >= ntot then p - ntot else p);
+      scanned := !scanned + upto
+    done;
+    st.price_ptr <- !ptr;
+    !best
+  end
 
 type ratio_outcome =
   | Unbounded
@@ -287,130 +446,7 @@ let pivot st j sigma w r t ~to_upper =
   st.basis.(r) <- j;
   st.stat.(j) <- Basic;
   st.xb.(r) <- enter_val;
-  (* binv := E * binv with the elementary transform defined by w, row r. *)
-  let wr = w.(r) in
-  let brow = st.binv.(r) in
-  for k = 0 to st.m - 1 do
-    brow.(k) <- brow.(k) /. wr
-  done;
-  for i = 0 to st.m - 1 do
-    if i <> r then begin
-      let f = w.(i) in
-      if Float.abs f > 0. then begin
-        let row = st.binv.(i) in
-        for k = 0 to st.m - 1 do
-          row.(k) <- row.(k) -. (f *. brow.(k))
-        done
-      end
-    end
-  done;
-  st.age <- st.age + 1
-
-(* xb = B^{-1} (b - N x_N) under the current binv and bounds. *)
-let recompute_xb st =
-  let resid = Array.copy st.p.rhs in
-  for j = 0 to st.ntot - 1 do
-    if st.stat.(j) <> Basic then begin
-      let v = nb_value st j in
-      if v <> 0. then
-        Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) st.cols.(j)
-    end
-  done;
-  for i = 0 to st.m - 1 do
-    let acc = ref 0. in
-    let row = st.binv.(i) in
-    for k = 0 to st.m - 1 do
-      acc := !acc +. (row.(k) *. resid.(k))
-    done;
-    st.xb.(i) <- !acc
-  done
-
-(* Rebuild binv and xb from scratch (numerical hygiene).  Returns false
-   — leaving the state untouched — when the basis matrix is singular. *)
-let refactorize st =
-  let m = st.m in
-  (* Assemble the basis matrix and invert via Gauss-Jordan with partial
-     pivoting. *)
-  let a = Array.init m (fun _ -> Array.make m 0.) in
-  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.)) in
-  for i = 0 to m - 1 do
-    (* Accumulate rather than assign: ftran/btran sum duplicate entries
-       within a sparse column, and the factorization must invert the
-       same matrix they apply. *)
-    Array.iter (fun (r, c) -> a.(r).(i) <- a.(r).(i) +. c) st.cols.(st.basis.(i))
-  done;
-  let ok = ref true in
-  for col = 0 to m - 1 do
-    if !ok then begin
-      let piv = ref col in
-      for i = col + 1 to m - 1 do
-        if Float.abs a.(i).(col) > Float.abs a.(!piv).(col) then piv := i
-      done;
-      if Float.abs a.(!piv).(col) < 1e-12 then ok := false
-      else begin
-        if !piv <> col then begin
-          let tmp = a.(col) in
-          a.(col) <- a.(!piv);
-          a.(!piv) <- tmp;
-          let tmp = inv.(col) in
-          inv.(col) <- inv.(!piv);
-          inv.(!piv) <- tmp
-        end;
-        let d = a.(col).(col) in
-        for k = 0 to m - 1 do
-          a.(col).(k) <- a.(col).(k) /. d;
-          inv.(col).(k) <- inv.(col).(k) /. d
-        done;
-        for i = 0 to m - 1 do
-          if i <> col then begin
-            let f = a.(i).(col) in
-            if f <> 0. then
-              for k = 0 to m - 1 do
-                a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k));
-                inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
-              done
-          end
-        done
-      end
-    end
-  done;
-  (* Gauss-Jordan "succeeds" on a near-singular basis (every pivot
-     clears 1e-12) yet the computed inverse can be off by O(cond·eps) —
-     whole units at condition 1e14 — which silently corrupts [xb] and
-     the objective.  Probe the product on the all-ones vector and
-     reject ill-conditioned bases so callers fall back to a cold solve
-     that picks a different basis path. *)
-  if !ok then begin
-    let y = Array.make m 0. in
-    for i = 0 to m - 1 do
-      let acc = ref 0. in
-      let row = inv.(i) in
-      for k = 0 to m - 1 do
-        acc := !acc +. row.(k)
-      done;
-      y.(i) <- !acc
-    done;
-    let z = Array.make m 0. in
-    for i = 0 to m - 1 do
-      if y.(i) <> 0. then
-        Array.iter (fun (r, c) -> z.(r) <- z.(r) +. (c *. y.(i))) st.cols.(st.basis.(i))
-    done;
-    let err = ref 0. in
-    let ymax = ref 1. in
-    for i = 0 to m - 1 do
-      err := Float.max !err (Float.abs (z.(i) -. 1.));
-      ymax := Float.max !ymax (Float.abs y.(i))
-    done;
-    if !err > 1e-8 *. !ymax then ok := false
-  end;
-  if !ok then begin
-    for i = 0 to m - 1 do
-      Array.blit inv.(i) 0 st.binv.(i) 0 m
-    done;
-    st.age <- 0;
-    recompute_xb st
-  end;
-  !ok
+  kernel_update st r w
 
 let current_objective st =
   let total = ref 0. in
@@ -424,28 +460,129 @@ let current_objective st =
   done;
   !total
 
+(* Snapshot the basis header plus (when obtainable) a sparse factor of
+   the basis matrix — never a dense inverse, so node records cost
+   O(nonzeros) instead of O(m²).  In dense-ablation mode the factor is
+   computed fresh here; a failure just yields a header-only snapshot
+   that restores via refactorization. *)
 let snapshot st =
-  Basis.make ~ncols:st.p.ncols ~nrows:st.m ~basis:st.basis ~stat:st.stat ~binv:st.binv
-    ~age:st.age
+  let factor =
+    match st.kern with
+    | Sparse lu -> Some (Lu.snapshot lu)
+    | Dense _ -> (
+        match Lu.factorize ~m:st.m (fun i -> st.cols.(st.basis.(i))) with
+        | Some lu -> Some (Lu.snapshot lu)
+        | None -> None)
+  in
+  Basis.make ~ncols:st.p.ncols ~nrows:st.m ~basis:st.basis ~stat:st.stat ~factor
 
-(* How many elementary pivot updates a basis inverse may accumulate —
-   across generations of warm starts — before a restore pays for a fresh
-   factorization.  Comparable to the in-solve refactorization periods, so
-   warm-started chains see no worse drift than a long cold solve. *)
-let refresh_age = 192
+(* How stale a snapshot's factor may be — in appended etas — before a
+   restore pays for a fresh factorization.  Comparable to [eta_limit],
+   so warm-started chains see no worse drift than a long cold solve. *)
+let refresh_age = eta_limit
+
+let init_state ~dense p ~lb:wlb ~ub:wub =
+  let m = Array.length p.rows in
+  let n = p.ncols in
+  let ntot = n + (2 * m) in
+  let cols = build_cols p m in
+  let lb = Array.make ntot 0. and ub = Array.make ntot infinity in
+  Array.blit wlb 0 lb 0 n;
+  Array.blit wub 0 ub 0 n;
+  (* Slack bounds encode the row sense: a.x + s = b. *)
+  for i = 0 to m - 1 do
+    let s = n + i in
+    cols.(s) <- [| (i, 1.0) |];
+    match p.senses.(i) with
+    | Model.Le ->
+        lb.(s) <- 0.;
+        ub.(s) <- infinity
+    | Model.Ge ->
+        lb.(s) <- neg_infinity;
+        ub.(s) <- 0.
+    | Model.Eq ->
+        lb.(s) <- 0.;
+        ub.(s) <- 0.
+  done;
+  let stat = Array.make ntot At_lower in
+  for j = 0 to n - 1 do
+    stat.(j) <-
+      (if Float.is_finite lb.(j) then At_lower
+       else if Float.is_finite ub.(j) then At_upper
+       else Free_zero)
+  done;
+  (* Row residuals under the nonbasic assignment. *)
+  let resid = Array.copy p.rhs in
+  for j = 0 to n - 1 do
+    let v =
+      match stat.(j) with
+      | At_lower -> lb.(j)
+      | At_upper -> ub.(j)
+      | Free_zero | Basic -> 0.
+    in
+    if v <> 0. then Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) cols.(j)
+  done;
+  let basis = Array.make m 0 in
+  let diag = Array.make m 1.0 in
+  let xb = Array.make m 0. in
+  let cost = Array.make ntot 0. in
+  for i = 0 to m - 1 do
+    let s = n + i and art = n + m + i in
+    let r = resid.(i) in
+    if r >= lb.(s) -. 1e-12 && r <= ub.(s) +. 1e-12 then begin
+      (* Slack basic at the residual value; artificial unused. *)
+      basis.(i) <- s;
+      stat.(s) <- Basic;
+      xb.(i) <- r;
+      cols.(art) <- [| (i, 1.0) |];
+      ub.(art) <- 0.
+    end
+    else begin
+      (* Slack pinned at its nearest bound (0 in all senses); an
+         artificial with sign g carries the residual: x_art = |r| >= 0. *)
+      let g = if r >= 0. then 1.0 else -1.0 in
+      cols.(art) <- [| (i, g) |];
+      stat.(s) <- At_lower;
+      (match p.senses.(i) with
+      | Model.Ge -> stat.(s) <- At_upper
+      | Model.Le | Model.Eq -> ());
+      basis.(i) <- art;
+      stat.(art) <- Basic;
+      xb.(i) <- Float.abs r;
+      diag.(i) <- g;
+      cost.(art) <- 1.0 (* phase-1 cost *)
+    end
+  done;
+  (* The starting basis matrix is the ±1 diagonal [diag]; both kernels
+     represent it directly (the sparse factorization of a signed
+     diagonal cannot fail, but fall back to the dense inverse if it
+     somehow does rather than crash). *)
+  let kern =
+    if dense then
+      Dense (Array.init m (fun i -> Array.init m (fun k -> if i = k then diag.(i) else 0.)))
+    else
+      match Lu.factorize ~m (fun i -> cols.(basis.(i))) with
+      | Some lu -> Sparse lu
+      | None ->
+          Dense (Array.init m (fun i -> Array.init m (fun k -> if i = k then diag.(i) else 0.)))
+  in
+  { p; m; ntot; cols; lb; ub; stat; basis; dense; kern; xb; cost;
+    wy = Array.make m 0.; ww = Array.make m 0.; wrho = Array.make m 0.;
+    wres = Array.make m 0.;
+    niter = 0; degen_count = 0; bland = false; price_ptr = 0; age = 0 }
 
 (* Rebuild a solver state from a prior optimal basis under new working
    bounds.  The column layout matches [init_state]; artificial columns
    are sealed at zero with a +1 sign (any nonsingular sign choice
    represents the same sealed variable, and a basic artificial must sit
    at zero anyway — the dual loop repairs it if the new bounds moved
-   it).  The snapshot's basis inverse is reused verbatim — the basis
+   it).  The snapshot's stored factor is reopened verbatim — the basis
    matrix depends only on which columns are basic, not on bounds — so a
-   restore normally costs one O(m²) recompute of the basic values; only
-   a snapshot older than [refresh_age] pivot updates pays for a fresh
-   O(m³) factorization.  Returns [None] when such a refresh finds the
-   inherited basis matrix singular. *)
-let warm_state p ~lb:wlb ~ub:wub (b : Basis.t) =
+   restore normally costs one sparse FTRAN of the right-hand side; only
+   a snapshot whose eta file outgrew [refresh_age], or one without a
+   factor, pays for a fresh factorization.  Returns [None] when such a
+   refresh finds the inherited basis matrix singular. *)
+let warm_state ~dense p ~lb:wlb ~ub:wub (b : Basis.t) =
   let m = Array.length p.rows in
   let n = p.ncols in
   let ntot = n + (2 * m) in
@@ -490,15 +627,47 @@ let warm_state p ~lb:wlb ~ub:wub (b : Basis.t) =
   let st =
     { p; m; ntot; cols; lb; ub; stat;
       basis = Array.copy b.Basis.basis;
-      binv = Array.map Array.copy b.Basis.binv;
+      dense; kern = Dense [||];
       xb = Array.make m 0.; cost;
-      niter = 0; degen_count = 0; bland = false; age = b.Basis.age }
+      wy = Array.make m 0.; ww = Array.make m 0.; wrho = Array.make m 0.;
+      wres = Array.make m 0.;
+      niter = 0; degen_count = 0; bland = false; price_ptr = 0;
+      age = Basis.age b }
   in
-  if st.age > refresh_age then (if refactorize st then Some st else None)
-  else begin
+  let restored =
+    st.age <= refresh_age
+    &&
+    match b.Basis.factor with
+    | Some f when Lu.factor_dim f = m ->
+        if dense then begin
+          (* Ablation mode: densify the stored factor column by column
+             (column r of B⁻¹ is the FTRAN image of e_r). *)
+          let lu = Lu.of_factor f in
+          let binv = Array.init m (fun _ -> Array.make m 0.) in
+          let x = Array.make m 0. in
+          for r = 0 to m - 1 do
+            Array.fill x 0 m 0.;
+            x.(r) <- 1.0;
+            Lu.ftran lu x;
+            for i = 0 to m - 1 do
+              binv.(i).(r) <- x.(i)
+            done
+          done;
+          st.kern <- Dense binv;
+          true
+        end
+        else begin
+          st.kern <- Sparse (Lu.of_factor f);
+          true
+        end
+    | Some _ | None -> false
+  in
+  if restored then begin
     recompute_xb st;
     Some st
   end
+  else if refactorize st then Some st
+  else None
 
 type dual_outcome = Dual_feasible | Dual_proven_infeasible | Dual_stalled
 
@@ -506,11 +675,11 @@ type dual_outcome = Dual_feasible | Dual_proven_infeasible | Dual_stalled
    basis whose basic values may violate the new bounds, drive every
    basic variable back inside its bounds while keeping the reduced
    costs signed.  Each round picks the most violated basic variable,
-   prices the candidate entering columns against row r of B^{-1}, and
-   pivots on the smallest dual ratio |d_j / alpha_j|.  Failure of the
-   ratio test is a primal infeasibility certificate: the violated row
-   proves no setting of the nonbasic variables can pull the basic one
-   back inside its bounds. *)
+   prices the candidate entering columns against row r of B^{-1}
+   (one BTRAN), and pivots on the smallest dual ratio |d_j / alpha_j|.
+   Failure of the ratio test is a primal infeasibility certificate: the
+   violated row proves no setting of the nonbasic variables can pull the
+   basic one back inside its bounds. *)
 let dual_simplex st ~max_pivots ~feas_tol ~deadline =
   let rec loop pivots =
     if pivots >= max_pivots then Dual_stalled
@@ -541,8 +710,10 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
       else begin
         let r = !r and high = !high in
         let k = st.basis.(r) in
-        let rho = st.binv.(r) in
-        let y = dual_prices st in
+        binv_row st r;
+        let rho = st.wrho in
+        compute_duals st;
+        let y = st.wy in
         (* s * alpha_j > 0 means raising x_j moves x_k toward the
            violated bound, so nonbasics at lower (free to rise) need
            s*alpha > 0 and nonbasics at upper need s*alpha < 0. *)
@@ -576,7 +747,8 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
         if !enter < 0 then Dual_proven_infeasible
         else begin
           let j = !enter in
-          let w = ftran st j in
+          ftran_col st j;
+          let w = st.ww in
           let alpha = w.(r) in
           if Float.abs alpha < pivot_tol then Dual_stalled
           else begin
@@ -618,7 +790,8 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
           in
           st.niter <- st.niter + 1;
           if st.niter mod refactor_period = 0 then ignore (refactorize st);
-          let w = ftran st j in
+          ftran_col st j;
+          let w = st.ww in
           match ratio_test st j sigma w with
           | Unbounded -> Error Status.Lp_unbounded
           | Bound_flip t ->
@@ -661,9 +834,9 @@ let true_objective st x =
   done;
   !acc
 
-let cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
+let cold_solve ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
   let m = Array.length p.rows in
-  let st = init_state p ~lb ~ub in
+  let st = init_state ~dense p ~lb ~ub in
   (* Phase 1: minimize total artificial value (cost set by init). *)
   let phase1_needed = ref false in
   for i = 0 to m - 1 do
@@ -701,7 +874,7 @@ let cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
         | Ok () ->
             (* Only hand out a basis that re-verified under a fresh
                factorization: warm restarts, cut separation and
-               reduced-cost fixing all trust the snapshot's inverse
+               reduced-cost fixing all trust the snapshot's factor
                blindly, and a near-singular terminal basis would feed
                them garbage.  Losing the snapshot merely costs the
                children a cold solve. *)
@@ -724,11 +897,11 @@ let basic_within_bounds st tol =
    feasibility with dual pivots, then finish with (usually zero) primal
    iterations.  [None] means the caller must fall back to a cold solve:
    the basis was stale or singular, or dual pivoting stalled. *)
-let try_warm ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
+let try_warm ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
   let m = Array.length p.rows in
   if not (Basis.compatible b ~ncols:p.ncols ~nrows:m && Basis.well_formed b) then None
   else
-    match warm_state p ~lb ~ub b with
+    match warm_state ~dense p ~lb ~ub b with
     | None -> None
     | Some st -> (
         match dual_simplex st ~max_pivots:(100 + (2 * m)) ~feas_tol ~deadline with
@@ -764,7 +937,8 @@ let try_warm ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
                       basis = Some (snapshot st); warm = Warm }
                 end))
 
-let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb ~ub =
+let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity)
+    ?(dense = false) p ~lb ~ub =
   let m = Array.length p.rows in
   (* Reject inverted working bounds up-front (branch & bound can create
      them); an empty box is infeasible. *)
@@ -782,12 +956,12 @@ let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity) p ~lb
       | None -> 50_000 + (50 * (m + p.ncols))
     in
     match basis with
-    | None -> cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub
+    | None -> cold_solve ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub
     | Some b -> (
-        match try_warm ~max_iterations ~feas_tol ~deadline p ~lb ~ub b with
+        match try_warm ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub b with
         | Some r -> r
         | None ->
-            { (cold_solve ~max_iterations ~feas_tol ~deadline p ~lb ~ub) with
+            { (cold_solve ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub) with
               warm = Warm_fallback })
   end
 
@@ -825,19 +999,20 @@ type tableau = {
    to the nonbasic, non-fixed columns.  Fixed columns (sealed
    artificials, presolve-fixed structurals) contribute nothing to a cut
    because their shifted value is identically zero. *)
-let tableau p ~lb ~ub b =
+let tableau ?(dense = false) p ~lb ~ub b =
   if not (Basis.compatible b ~ncols:p.ncols ~nrows:(Array.length p.rows) && Basis.well_formed b)
   then None
   else
-    match warm_state p ~lb ~ub b with
+    match warm_state ~dense p ~lb ~ub b with
     | None -> None
     | Some st when not (st.age = 0 || refactorize st) ->
-        (* Cut coefficients are linear in [binv]; an inverse that cannot
+        (* Cut coefficients are linear in B^{-1}; a factor that cannot
            be re-verified by factorization would yield invalid cuts. *)
         None
     | Some st ->
         let row i =
-          let rho = st.binv.(i) in
+          binv_row st i;
+          let rho = st.wrho in
           let out = ref [] in
           for j = st.ntot - 1 downto 0 do
             if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
@@ -861,31 +1036,43 @@ let tableau p ~lb ~ub b =
           }
 
 (* Phase-2 reduced costs of the structural columns under an optimal
-   basis: d = c - c_B B^{-1} A.  Used for reduced-cost fixing in branch
-   & bound once an incumbent exists. *)
+   basis: d = c - c_B B^{-1} A, with y = B^{-T} c_B obtained by one
+   sparse BTRAN against the snapshot's factor.  A sealed artificial in
+   the basis carries zero cost, so its (unknown) column sign cannot
+   perturb y.  Used for reduced-cost fixing in branch & bound once an
+   incumbent exists. *)
 let reduced_costs p (b : Basis.t) =
   let m = Array.length p.rows in
   let n = p.ncols in
   if not (Basis.compatible b ~ncols:n ~nrows:m) then None
   else begin
-    let y = Array.make m 0. in
-    for i = 0 to m - 1 do
-      let k = b.Basis.basis.(i) in
-      if k < n && p.obj.(k) <> 0. then begin
-        let row = b.Basis.binv.(i) in
-        let c = p.obj.(k) in
-        for t = 0 to m - 1 do
-          y.(t) <- y.(t) +. (c *. row.(t))
-        done
-      end
-    done;
-    let d = Array.copy p.obj in
-    Array.iteri
-      (fun i row ->
-        if y.(i) <> 0. then
-          Array.iter (fun (j, a) -> d.(j) <- d.(j) -. (y.(i) *. a)) row)
-      p.rows;
-    Some d
+    let lu =
+      match b.Basis.factor with
+      | Some f -> Some (Lu.of_factor f)
+      | None ->
+          let cols = build_cols p m in
+          Lu.factorize ~m (fun i ->
+              let k = b.Basis.basis.(i) in
+              if k < n then cols.(k)
+              else if k < n + m then [| (k - n, 1.0) |]
+              else [| (k - n - m, 1.0) |])
+    in
+    match lu with
+    | None -> None
+    | Some lu ->
+        let y = Array.make m 0. in
+        for i = 0 to m - 1 do
+          let k = b.Basis.basis.(i) in
+          if k < n then y.(i) <- p.obj.(k)
+        done;
+        Lu.btran lu y;
+        let d = Array.copy p.obj in
+        Array.iteri
+          (fun i row ->
+            if y.(i) <> 0. then
+              Array.iter (fun (j, a) -> d.(j) <- d.(j) -. (y.(i) *. a)) row)
+          p.rows;
+        Some d
   end
 
 let solve_model ?max_iterations m =

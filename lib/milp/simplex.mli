@@ -3,10 +3,16 @@
     Solves [min c^T x  s.t.  A x {<=,>=,=} b,  l <= x <= u] using the
     two-phase method: artificial variables give an identity starting
     basis; phase 1 minimizes total artificial value, phase 2 the true
-    objective.  The basis inverse is kept explicitly (dense) and updated
-    by elementary row operations at each pivot; Dantzig pricing with an
-    automatic switch to Bland's rule under prolonged degeneracy
-    guarantees termination.
+    objective.  The basis is maintained as a sparse LU factorization
+    with product-form eta updates ({!Lu}): each iteration prices via
+    one sparse BTRAN, forms the entering column via one sparse FTRAN,
+    and appends one eta per pivot, refactorizing once the eta file hits
+    its stability budget.  Pricing is partial (candidate-list) Dantzig —
+    a block of columns is scanned per iteration, resuming where the
+    last one stopped — with an automatic switch to Bland's full
+    lowest-index rule under prolonged degeneracy, which guarantees
+    termination.  The pre-PR dense explicit inverse survives behind
+    [?dense] as an ablation baseline.
 
     Variable bounds may be infinite.  Maximization is handled by the
     caller negating the objective (see {!Branch_bound} and {!solve_model}).
@@ -15,11 +21,11 @@
     bound can re-solve with modified bounds without rebuilding rows.
 
     Re-solves can additionally be warm started from a prior optimal
-    {!Basis.t}: the basis is refactorized under the new bounds and primal
-    feasibility is restored by a bounded-variable {e dual} simplex loop —
-    a handful of pivots when only a few bounds changed — before the
-    primal phase confirms optimality.  A stale, singular, or stalling
-    basis silently falls back to the cold two-phase path. *)
+    {!Basis.t}: the snapshot's factor is reopened under the new bounds
+    and primal feasibility is restored by a bounded-variable {e dual}
+    simplex loop — a handful of pivots when only a few bounds changed —
+    before the primal phase confirms optimality.  A stale, singular, or
+    stalling basis silently falls back to the cold two-phase path. *)
 
 type problem = {
   ncols : int;  (** Number of structural variables. *)
@@ -55,6 +61,7 @@ val solve :
   ?max_iterations:int ->
   ?feas_tol:float ->
   ?deadline:float ->
+  ?dense:bool ->
   problem ->
   lb:float array ->
   ub:float array ->
@@ -70,7 +77,10 @@ val solve :
     [deadline] is an absolute {!Clock.now} instant after which
     the solve aborts with [Lp_iteration_limit] (checked every few
     iterations) — branch & bound uses it to make its wall-clock limit
-    hold even when a single LP is huge. *)
+    hold even when a single LP is huge.
+    [dense] (default [false]) selects the pre-PR dense explicit-inverse
+    kernel instead of the sparse LU one — an ablation baseline
+    ([--dense-basis]); results agree to solver tolerances either way. *)
 
 val add_rows : problem -> ((int * float) array * Model.sense * float) list -> problem
 (** [add_rows p extra] appends constraint rows (sparse row, sense, rhs)
@@ -92,19 +102,24 @@ type tableau = {
           [i], restricted to nonbasic columns that are not fixed
           ([lb < ub]); entries below [1e-9] are dropped.  Column indices
           cover structurals [[0,n)] and slacks [[n,n+m)] (artificials are
-          sealed, hence fixed, hence absent).  O(m·nnz) per call. *)
+          sealed, hence fixed, hence absent).  One sparse BTRAN plus a
+          column sweep per call. *)
 }
 
-val tableau : problem -> lb:float array -> ub:float array -> Basis.t -> tableau option
+val tableau :
+  ?dense:bool -> problem -> lb:float array -> ub:float array -> Basis.t -> tableau option
 (** Tableau-row access for cut separation: restores the state an optimal
     basis describes (the same path a warm start takes) and exposes basic
     values plus on-demand rows of [B⁻¹A].  [None] if the basis is stale,
-    malformed, or singular. *)
+    malformed, or singular.  [dense] selects the ablation kernel, as in
+    {!solve}. *)
 
 val reduced_costs : problem -> Basis.t -> float array option
 (** Phase-2 reduced costs [c - c_B B⁻¹ A] of the structural columns
-    under an optimal basis — the inputs to reduced-cost fixing.  [None]
-    if the basis shape does not match the problem. *)
+    under an optimal basis — one sparse BTRAN against the snapshot's
+    factor — the inputs to reduced-cost fixing.  [None] if the basis
+    shape does not match the problem or its matrix cannot be
+    factorized. *)
 
 val solve_model : ?max_iterations:int -> Model.t -> result
 (** Convenience wrapper: snapshot the model, use its declared bounds and

@@ -1106,12 +1106,12 @@ let par_test_params =
     dc_height = 28.;
   }
 
-let par_solve ?(kstar = 4) ~workers inst =
+let par_solve ?(kstar = 4) ?(dense = false) ~workers inst =
   let k = kstar in
   let cfg =
     Solver_config.(
       default |> with_approx ~kstar:k () |> with_time_limit 60. |> with_rel_gap 1e-6
-      |> with_workers workers)
+      |> with_workers workers |> with_dense_basis dense)
   in
   match Solve.run cfg inst with Ok out -> out | Error e -> Alcotest.fail e
 
@@ -1145,6 +1145,38 @@ let test_parallel_matches_sequential () =
               | None, None -> ()
               | _ -> Alcotest.fail (name ^ ": incumbent presence diverged"))
             [ 2; 4 ])
+    [
+      ("dollar", Objective.dollar);
+      ("energy", Objective.energy);
+      ("combined", Objective.combine Objective.dollar Objective.energy);
+    ]
+
+let test_dense_sparse_kernel_parity () =
+  (* The sparse LU kernel and the --dense-basis ablation must land on
+     identical statuses and objectives (to 1e-6) on all three Table-1
+     objectives, sequentially and under the parallel tree search. *)
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective par_test_params with
+      | Error e -> Alcotest.fail e
+      | Ok inst ->
+          List.iter
+            (fun w ->
+              let sparse = par_solve ~workers:w inst in
+              let dense = par_solve ~dense:true ~workers:w inst in
+              Alcotest.(check string)
+                (Printf.sprintf "%s status parity at %d workers" name w)
+                (Milp.Status.mip_status_to_string sparse.Outcome.status)
+                (Milp.Status.mip_status_to_string dense.Outcome.status);
+              match (sparse.Outcome.solution, dense.Outcome.solution) with
+              | Some _, Some _ ->
+                  Alcotest.(check (float 1e-6))
+                    (Printf.sprintf "%s objective parity at %d workers" name w)
+                    sparse.Outcome.mip.Milp.Branch_bound.objective
+                    dense.Outcome.mip.Milp.Branch_bound.objective
+              | None, None -> ()
+              | _ -> Alcotest.fail (name ^ ": incumbent presence diverged"))
+            [ 1; 4 ])
     [
       ("dollar", Objective.dollar);
       ("energy", Objective.energy);
@@ -1301,6 +1333,8 @@ let () =
       ( "parallel",
         [
           Alcotest.test_case "parity across workers" `Slow test_parallel_matches_sequential;
+          Alcotest.test_case "dense vs sparse kernel parity" `Slow
+            test_dense_sparse_kernel_parity;
           Alcotest.test_case "workers=1 bit-deterministic" `Quick
             test_sequential_bit_deterministic;
           Alcotest.test_case "seed does not change answer" `Quick

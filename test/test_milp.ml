@@ -1067,6 +1067,255 @@ let test_node_pool_stop_wakes_sleepers () =
   Alcotest.(check bool) "sleeper released with None" true (res = None);
   Alcotest.(check bool) "stopped" true (Node_pool.stopped np)
 
+(* ------------------------------------------------------------------ *)
+(* Sparse LU kernel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense Gauss-Jordan inverse with partial pivoting — the reference the
+   sparse kernel is checked against.  Input [a.(row).(pos)]; [None] if a
+   pivot falls below 1e-9 (singular to working precision). *)
+let dense_inverse a =
+  let m = Array.length a in
+  let w = Array.map Array.copy a in
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1. else 0.)) in
+  let ok = ref true in
+  (try
+     for k = 0 to m - 1 do
+       let p = ref k in
+       for i = k + 1 to m - 1 do
+         if Float.abs w.(i).(k) > Float.abs w.(!p).(k) then p := i
+       done;
+       if Float.abs w.(!p).(k) < 1e-9 then raise Exit;
+       if !p <> k then begin
+         let t = w.(k) in
+         w.(k) <- w.(!p);
+         w.(!p) <- t;
+         let t = inv.(k) in
+         inv.(k) <- inv.(!p);
+         inv.(!p) <- t
+       end;
+       let piv = w.(k).(k) in
+       for j = 0 to m - 1 do
+         w.(k).(j) <- w.(k).(j) /. piv;
+         inv.(k).(j) <- inv.(k).(j) /. piv
+       done;
+       for i = 0 to m - 1 do
+         if i <> k && w.(i).(k) <> 0. then begin
+           let f = w.(i).(k) in
+           for j = 0 to m - 1 do
+             w.(i).(j) <- w.(i).(j) -. (f *. w.(k).(j));
+             inv.(i).(j) <- inv.(i).(j) -. (f *. inv.(k).(j))
+           done
+         end
+       done
+     done
+   with Exit -> ok := false);
+  if !ok then Some inv else None
+
+(* Random well-conditioned sparse basis: a signed permutation diagonal
+   (magnitude in [2, 5]) plus at most two off-diagonal entries of
+   magnitude <= 0.5 per column — strictly column diagonally dominant
+   under the permutation, so factorization must succeed. *)
+let random_sparse_basis =
+  QCheck2.Gen.(
+    let* m = int_range 2 10 in
+    let* perm = shuffle_a (Array.init m Fun.id) in
+    let* diag =
+      array_size (return m)
+        (let* mag = float_range 2. 5. in
+         let* s = bool in
+         return (if s then mag else -.mag))
+    in
+    let* extras =
+      array_size (return m)
+        (list_size (int_range 0 2)
+           (let* r = int_range 0 (m - 1) in
+            let* v = float_range (-0.5) 0.5 in
+            return (r, v)))
+    in
+    let* rhs = array_size (return m) (float_range (-5.) 5.) in
+    return (m, perm, diag, extras, rhs))
+
+let basis_cols (m, perm, diag, extras, _) =
+  Array.init m (fun j ->
+      Array.of_list
+        ((perm.(j), diag.(j)) :: List.filter (fun (r, _) -> r <> perm.(j)) extras.(j)))
+
+let dense_of_cols m cols =
+  let a = Array.make_matrix m m 0. in
+  Array.iteri (fun j col -> Array.iter (fun (r, v) -> a.(r).(j) <- a.(r).(j) +. v) col) cols;
+  a
+
+let close_to ?(eps = 1e-9) y z =
+  let scale = ref 1. in
+  Array.iter (fun v -> scale := Float.max !scale (Float.abs v)) z;
+  let ok = ref true in
+  Array.iteri (fun i v -> if Float.abs (v -. z.(i)) > eps *. !scale then ok := false) y;
+  !ok
+
+let prop_lu_matches_dense_reference =
+  QCheck2.Test.make ~name:"lu: ftran/btran agree with the dense inverse to 1e-9" ~count:300
+    random_sparse_basis (fun spec ->
+      let m, _, _, _, rhs = spec in
+      let cols = basis_cols spec in
+      let a = dense_of_cols m cols in
+      match (Lu.factorize ~m (fun j -> cols.(j)), dense_inverse a) with
+      | None, _ | _, None -> false (* dominant: both must succeed *)
+      | Some lu, Some ia ->
+          let ft = Array.copy rhs in
+          Lu.ftran lu ft;
+          let ft_ref =
+            Array.init m (fun p ->
+                let s = ref 0. in
+                for r = 0 to m - 1 do
+                  s := !s +. (ia.(p).(r) *. rhs.(r))
+                done;
+                !s)
+          in
+          let bt = Array.copy rhs in
+          Lu.btran lu bt;
+          let bt_ref =
+            Array.init m (fun r ->
+                let s = ref 0. in
+                for p = 0 to m - 1 do
+                  s := !s +. (ia.(p).(r) *. rhs.(p))
+                done;
+                !s)
+          in
+          close_to ft ft_ref && close_to bt bt_ref)
+
+let prop_lu_eta_update_matches_dense =
+  QCheck2.Test.make ~name:"lu: eta update tracks a column replacement to 1e-9" ~count:300
+    random_sparse_basis (fun spec ->
+      let m, _, _, _, rhs = spec in
+      let cols = basis_cols spec in
+      match Lu.factorize ~m (fun j -> cols.(j)) with
+      | None -> false
+      | Some lu ->
+          (* Replace the column at position r by 2·col_r + ½·col_s: its
+             FTRAN image is 2·e_r + ½·e_s, so the pivot is a safe 2. *)
+          let r = m / 2 in
+          let s = (r + 1) mod m in
+          let a_new = Array.make m 0. in
+          Array.iter (fun (i, v) -> a_new.(i) <- a_new.(i) +. (2. *. v)) cols.(r);
+          Array.iter (fun (i, v) -> a_new.(i) <- a_new.(i) +. (0.5 *. v)) cols.(s);
+          let w = Array.copy a_new in
+          Lu.ftran lu w;
+          if not (Lu.update lu ~r ~w) then false
+          else
+            let cols' = Array.copy cols in
+            cols'.(r) <-
+              (Array.to_list (Array.mapi (fun i v -> (i, v)) a_new)
+              |> List.filter (fun (_, v) -> v <> 0.)
+              |> Array.of_list);
+            let a' = dense_of_cols m cols' in
+            (match dense_inverse a' with
+            | None -> false
+            | Some ia ->
+                let ft = Array.copy rhs in
+                Lu.ftran lu ft;
+                let ft_ref =
+                  Array.init m (fun p ->
+                      let acc = ref 0. in
+                      for i = 0 to m - 1 do
+                        acc := !acc +. (ia.(p).(i) *. rhs.(i))
+                      done;
+                      !acc)
+                in
+                let bt = Array.copy rhs in
+                Lu.btran lu bt;
+                let bt_ref =
+                  Array.init m (fun i ->
+                      let acc = ref 0. in
+                      for p = 0 to m - 1 do
+                        acc := !acc +. (ia.(p).(i) *. rhs.(p))
+                      done;
+                      !acc)
+                in
+                close_to ft ft_ref && close_to bt bt_ref))
+
+let test_lu_rejects_singular () =
+  (* Exactly singular and near-singular bases must be refused by both
+     the sparse kernel and the dense reference. *)
+  let zero_col = [| [| (0, 1.); (1, 2.) |]; [||] |] in
+  Alcotest.(check bool) "zero column rejected" true
+    (Option.is_none (Lu.factorize ~m:2 (fun j -> zero_col.(j))));
+  Alcotest.(check bool) "zero column: dense agrees" true
+    (Option.is_none (dense_inverse (dense_of_cols 2 zero_col)));
+  let dup = [| [| (0, 1.); (1, 2.) |]; [| (0, 1.); (1, 2.) |] |] in
+  Alcotest.(check bool) "duplicate columns rejected" true
+    (Option.is_none (Lu.factorize ~m:2 (fun j -> dup.(j))));
+  Alcotest.(check bool) "duplicate columns: dense agrees" true
+    (Option.is_none (dense_inverse (dense_of_cols 2 dup)));
+  let near = [| [| (0, 1.); (1, 1.) |]; [| (0, 1.); (1, 1. +. 1e-14) |] |] in
+  Alcotest.(check bool) "near-singular rejected" true
+    (Option.is_none (Lu.factorize ~m:2 (fun j -> near.(j))));
+  Alcotest.(check bool) "near-singular: dense agrees" true
+    (Option.is_none (dense_inverse (dense_of_cols 2 near)))
+
+let test_append_rows_bit_identical () =
+  (* Cold-solve snapshots carry a freshly refactorized zero-eta factor;
+     growing one with Basis.append_rows must extend it in place rather
+     than refactorize — so the first m basic values of the grown
+     tableau are bit-for-bit those of the original tableau. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:4. "x"
+  and y = Model.add_var m ~ub:4. "y"
+  and z = Model.add_var m ~ub:4. "z" in
+  Model.add_constr m (Lin.of_list [ (1., x); (2., y); (1., z) ]) Model.Le 9.;
+  Model.add_constr m (Lin.of_list [ (3., x); (1., y) ]) Model.Le 11.;
+  Model.add_constr m (Lin.of_list [ (1., y); (1., z) ]) Model.Ge 1.;
+  Model.set_objective m Model.Maximize (Lin.of_list [ (2., x); (3., y); (1., z) ]);
+  let p = Simplex.of_model m in
+  let lb = [| 0.; 0.; 0. |] and ub = [| 4.; 4.; 4. |] in
+  let r0 = Simplex.solve p ~lb ~ub in
+  Alcotest.check lp_status "optimal" Status.Lp_optimal r0.Simplex.status;
+  let basis = Option.get r0.Simplex.basis in
+  let t0 = Option.get (Simplex.tableau p ~lb ~ub basis) in
+  let rows =
+    [
+      ([| (0, 1.); (1, 1.) |], Model.Le, 50.);
+      ([| (1, 1.); (2, 1.) |], Model.Le, 60.);
+      ([| (0, 1.); (2, 2.) |], Model.Le, 70.);
+    ]
+  in
+  let p' = Simplex.add_rows p rows in
+  let grown = Basis.append_rows basis (Array.of_list (List.map (fun (r, _, _) -> r) rows)) in
+  let t1 = Option.get (Simplex.tableau p' ~lb ~ub grown) in
+  Alcotest.(check int) "grown row count" (t0.Simplex.t_nrows + 3) t1.Simplex.t_nrows;
+  for i = 0 to t0.Simplex.t_nrows - 1 do
+    Alcotest.(check int64)
+      (Printf.sprintf "basic value %d bit-identical" i)
+      (Int64.bits_of_float t0.Simplex.t_xb.(i))
+      (Int64.bits_of_float t1.Simplex.t_xb.(i))
+  done
+
+let prop_dense_sparse_lp_parity =
+  QCheck2.Test.make ~name:"simplex: dense ablation kernel matches sparse LU" ~count:200
+    random_lp_spec (fun spec ->
+      let m, _ = build_lp spec in
+      let p = Simplex.of_model m in
+      let lb = Array.make p.Simplex.ncols 0. and ub = Array.make p.Simplex.ncols 10. in
+      let s = Simplex.solve p ~lb ~ub in
+      let d = Simplex.solve ~dense:true p ~lb ~ub in
+      s.Simplex.status = d.Simplex.status
+      && (s.Simplex.status <> Status.Lp_optimal
+         || feq ~eps:1e-6 s.Simplex.objective d.Simplex.objective))
+
+let prop_dense_sparse_bb_parity =
+  QCheck2.Test.make ~name:"branch&bound: dense-basis ablation matches sparse kernel"
+    ~count:100 random_bip (fun spec ->
+      let m = build_bip spec in
+      let s = Branch_bound.solve m in
+      let d =
+        Branch_bound.solve
+          ~options:{ Branch_bound.default_options with Branch_bound.dense_basis = true }
+          m
+      in
+      s.Branch_bound.status = d.Branch_bound.status
+      && (s.Branch_bound.status <> Status.Mip_optimal
+         || feq ~eps:1e-5 s.Branch_bound.objective d.Branch_bound.objective))
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -1159,6 +1408,17 @@ let () =
           Alcotest.test_case "pqueue empty" `Quick test_pqueue_empty;
           qt prop_vec_roundtrip;
           Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "singular and near-singular rejects" `Quick
+            test_lu_rejects_singular;
+          Alcotest.test_case "append_rows keeps basic values bit-identical" `Quick
+            test_append_rows_bit_identical;
+          qt prop_lu_matches_dense_reference;
+          qt prop_lu_eta_update_matches_dense;
+          qt prop_dense_sparse_lp_parity;
+          qt prop_dense_sparse_bb_parity;
         ] );
       ( "node_pool",
         [
