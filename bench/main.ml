@@ -9,7 +9,7 @@
 
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
-   Sections: table1 table2 table3 table4 sweep parallel kernel
+   Sections: table1 table2 table3 table4 sweep parallel kernel kernel2
              figures ablations micro *)
 
 open Archex
@@ -55,6 +55,15 @@ let arg_int name default =
 let nworkers = arg_int "--workers" 1
 let seed = arg_int "--seed" 0
 
+(* [--pricing=dantzig] runs every LP with the PR5 partial candidate-list
+   Dantzig scan instead of devex (the [kernel2] section always sweeps
+   both); [--no-harris] swaps the Harris/bound-flipping ratio tests for
+   the classic smallest-ratio ones. *)
+let pricing =
+  if List.mem "--pricing=dantzig" flags then Milp.Simplex.Dantzig else Milp.Simplex.Devex
+
+let no_harris = List.mem "--no-harris" flags
+
 let mode =
   String.concat "+"
     (List.filter
@@ -64,6 +73,8 @@ let mode =
          (if no_cuts then "no-cuts" else "cuts");
          (if no_rc_fixing then "no-rc-fixing" else "rc-fixing");
          (if dense_basis then "dense-basis" else "");
+         (if pricing = Milp.Simplex.Dantzig then "dantzig" else "");
+         (if no_harris then "no-harris" else "");
          (if nworkers > 1 then Printf.sprintf "workers%d" nworkers else "");
        ])
 
@@ -81,6 +92,8 @@ let config ?(workers = nworkers) ~time_limit ~rel_gap strategy =
     |> with_cuts (not no_cuts)
     |> with_rc_fixing (not no_rc_fixing)
     |> with_dense_basis dense_basis
+    |> with_pricing pricing
+    |> with_harris (not no_harris)
     |> with_workers workers
     |> with_seed seed)
 
@@ -130,11 +143,13 @@ let record scenario (out : Outcome.t) wall =
     }
     :: !bench_log
 
-let json_float f =
-  if Float.is_finite f then Printf.sprintf "%.6g" f
-  else if f > 0. then "\"inf\""
-  else if f < 0. then "\"-inf\""
-  else "\"nan\""
+(* JSON has no literal for non-finite floats, and emitting the strings
+   "inf"/"nan" (as this used to) type-confuses downstream tooling — a
+   numeric field must be a number or null.  nan means "not measured"
+   (e.g. BTRAN stats on the dense kernel), and infinities only arise
+   from unmeasured/degenerate quantities too, so all three map to
+   null. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 (* Fraction of the root integrality gap closed by the cut loop:
    (cut bound - LP bound) / (final objective - LP bound), in the
@@ -750,6 +765,14 @@ let parallel_bench () =
   Format.printf
     " time-share one core and wall-clock speedup reflects search-order anomalies@.";
   Format.printf " plus runtime overhead, not real concurrency.)@.@.";
+  if Domain.recommended_domain_count () = 1 then begin
+    Format.printf
+      "  WARNING: single hardware thread — the speedup column below measures@.";
+    Format.printf
+      "  time-sliced domains, NOT parallel execution.  Do not quote these numbers@.";
+    Format.printf
+      "  as parallel speedups (the JSON carries single_thread_warning: true).@.@."
+  end;
   List.iter
     (fun (name, objective) ->
       match Scenarios.data_collection ~objective par_params with
@@ -829,10 +852,12 @@ let write_par_json path =
   let json_opt = function Some o -> json_float o | None -> "null" in
   Printf.fprintf oc
     "{\n  \"kstar\": %d,\n  \"rel_gap\": %s,\n  \"time_limit_s\": %s,\n  \"seed\": %d,\n\
-    \  \"workers\": [%s],\n  \"host_hardware_threads\": %d,\n  \"runs\": [\n"
+    \  \"workers\": [%s],\n  \"host_hardware_threads\": %d,\n\
+    \  \"single_thread_warning\": %b,\n  \"runs\": [\n"
     par_kstar (json_float par_rel_gap) (json_float par_time_limit) seed
     (String.concat ", " (List.map string_of_int par_workers))
-    (Domain.recommended_domain_count ());
+    (Domain.recommended_domain_count ())
+    (Domain.recommended_domain_count () = 1);
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -1076,6 +1101,196 @@ let write_kern_json path =
     (String.concat ",\n" comparisons);
   close_out oc;
   Format.printf "wrote %s (%d kernel runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex kernel round 2: pricing x ratio-test sweep -> BENCH_PR6.json *)
+(* ------------------------------------------------------------------ *)
+
+type k2_run = {
+  k2_scenario : string;
+  k2_combo : string;  (* "devex+harris" | "devex+classic" | ... *)
+  k2_pricing : string;
+  k2_harris : bool;
+  k2_wall_s : float;
+  k2_status : string;
+  k2_objective : float option;
+  k2_nodes : int;
+  k2_lp_iterations : int;
+  k2_factorizations : int;
+  k2_alloc_words : float;
+}
+
+let k2_log : k2_run list ref = ref []
+
+let k2_combos =
+  [
+    ("devex+harris", Milp.Simplex.Devex, true);
+    ("devex+classic", Milp.Simplex.Devex, false);
+    ("dantzig+harris", Milp.Simplex.Dantzig, true);
+    ("dantzig+classic", Milp.Simplex.Dantzig, false);
+  ]
+
+(* Same sized-down Table-1 family, tight gap, sequential sparse kernel:
+   the four pricing x ratio-test combinations must land on the same
+   objective to 1e-6; dantzig+classic is the PR5 algorithmic baseline
+   (same rules, now on the workspace/unboxed storage), so the
+   iteration/wall deltas against it isolate the pricing and ratio-test
+   effects from the memory work. *)
+let kernel2_bench () =
+  header "Simplex kernel round 2: pricing x ratio tests (Table-1 scenarios)";
+  Format.printf
+    "(K* = %d, rel_gap = %g, %.0f s cap, workers = 1, sparse kernel.  devex+harris is@."
+    par_kstar par_rel_gap par_time_limit;
+  Format.printf
+    " the new default; dantzig+classic replays the PR5 rules on the new storage.)@.@.";
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective par_params with
+      | Error e -> Format.printf "  %s: scenario error: %s@." name e
+      | Ok inst ->
+          List.iter
+            (fun (combo, pr, hr) ->
+              let cfg =
+                config ~workers:1 ~time_limit:par_time_limit ~rel_gap:par_rel_gap
+                  (Solver_config.approx ~kstar:par_kstar ())
+                |> Solver_config.with_pricing pr
+                |> Solver_config.with_harris hr
+              in
+              Gc.compact ();
+              Milp.Lu.set_stats_enabled true;
+              Milp.Lu.reset_stats ();
+              let g0 = Gc.quick_stat () in
+              match time (fun () -> Solve.run cfg inst) with
+              | Ok out, dt ->
+                  let g1 = Gc.quick_stat () in
+                  Milp.Lu.set_stats_enabled false;
+                  let alloc =
+                    g1.Gc.minor_words -. g0.Gc.minor_words
+                    +. (g1.Gc.major_words -. g0.Gc.major_words)
+                    -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+                  in
+                  let st = Milp.Lu.stats () in
+                  let mip = out.Outcome.mip in
+                  let obj =
+                    Option.map
+                      (fun _ -> mip.Milp.Branch_bound.objective)
+                      out.Outcome.solution
+                  in
+                  k2_log :=
+                    !k2_log
+                    @ [
+                        {
+                          k2_scenario = "table1/" ^ name;
+                          k2_combo = combo;
+                          k2_pricing =
+                            (match pr with
+                            | Milp.Simplex.Devex -> "devex"
+                            | Milp.Simplex.Dantzig -> "dantzig");
+                          k2_harris = hr;
+                          k2_wall_s = dt;
+                          k2_status = status_str out;
+                          k2_objective = obj;
+                          k2_nodes = mip.Milp.Branch_bound.nodes;
+                          k2_lp_iterations = mip.Milp.Branch_bound.lp_iterations;
+                          k2_factorizations = st.Milp.Lu.s_factorizations;
+                          k2_alloc_words = alloc;
+                        };
+                      ];
+                  Format.printf
+                    "  %-10s %-16s: %-13s obj=%-12s nodes=%-6d lp_iters=%-7d \
+                     refactor=%-4d alloc=%.3gMw %.2f s@."
+                    name combo (status_str out)
+                    (match obj with Some o -> Printf.sprintf "%.6g" o | None -> "-")
+                    mip.Milp.Branch_bound.nodes mip.Milp.Branch_bound.lp_iterations
+                    st.Milp.Lu.s_factorizations (alloc /. 1e6) dt
+              | Error e, _ ->
+                  Milp.Lu.set_stats_enabled false;
+                  Format.printf "  %-10s %-16s: encode error: %s@." name combo e)
+            k2_combos;
+          (* Per-scenario verdict against the dantzig+classic baseline. *)
+          let runs = List.filter (fun r -> r.k2_scenario = "table1/" ^ name) !k2_log in
+          (match List.find_opt (fun r -> r.k2_combo = "dantzig+classic") runs with
+          | Some base ->
+              List.iter
+                (fun r ->
+                  if r.k2_combo <> "dantzig+classic" then begin
+                    let mtch =
+                      match (base.k2_objective, r.k2_objective) with
+                      | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                      | None, None -> true
+                      | _ -> false
+                    in
+                    Format.printf
+                      "  => %-16s objectives %s; iters %.2fx; alloc %.2fx; speedup %.2fx@."
+                      r.k2_combo
+                      (if mtch then "MATCH" else "DIFFER")
+                      (float_of_int r.k2_lp_iterations
+                      /. float_of_int (max 1 base.k2_lp_iterations))
+                      (r.k2_alloc_words /. Float.max 1. base.k2_alloc_words)
+                      (base.k2_wall_s /. Float.max 1e-9 r.k2_wall_s)
+                  end)
+                runs
+          | None -> ());
+          Format.printf "@.")
+    [
+      ("$ cost", Objective.dollar);
+      ("Energy", Objective.energy);
+      ("$+Energy", Objective.combine Objective.dollar Objective.energy);
+    ];
+  hr ()
+
+let write_k2_json path =
+  let oc = open_out path in
+  let runs = !k2_log in
+  let json_opt = function Some o -> json_float o | None -> "null" in
+  Printf.fprintf oc
+    "{\n  \"kstar\": %d,\n  \"rel_gap\": %s,\n  \"time_limit_s\": %s,\n  \"workers\": 1,\n\
+    \  \"kernel\": \"sparse\",\n  \"runs\": [\n"
+    par_kstar (json_float par_rel_gap) (json_float par_time_limit);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"combo\": %S, \"pricing\": %S, \"harris\": %b,\n\
+        \     \"wall_s\": %s, \"status\": %S, \"objective\": %s,\n\
+        \     \"nodes\": %d, \"lp_iterations\": %d, \"refactorizations\": %d,\n\
+        \     \"alloc_words\": %s}%s\n"
+        r.k2_scenario r.k2_combo r.k2_pricing r.k2_harris (json_float r.k2_wall_s)
+        r.k2_status (json_opt r.k2_objective) r.k2_nodes r.k2_lp_iterations
+        r.k2_factorizations (json_float r.k2_alloc_words)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  let comparisons =
+    List.filter_map
+      (fun r ->
+        if r.k2_combo = "dantzig+classic" then None
+        else
+          match
+            List.find_opt
+              (fun s -> s.k2_combo = "dantzig+classic" && s.k2_scenario = r.k2_scenario)
+              runs
+          with
+          | None -> None
+          | Some base ->
+              Some
+                (Printf.sprintf
+                   "    {\"scenario\": %S, \"combo\": %S, \"objective_match\": %b,\n\
+                   \     \"iteration_ratio\": %s, \"alloc_ratio\": %s, \"speedup\": %s}"
+                   r.k2_scenario r.k2_combo
+                   (match (base.k2_objective, r.k2_objective) with
+                   | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+                   | None, None -> true
+                   | _ -> false)
+                   (json_float
+                      (float_of_int r.k2_lp_iterations
+                      /. float_of_int (max 1 base.k2_lp_iterations)))
+                   (json_float (r.k2_alloc_words /. Float.max 1. base.k2_alloc_words))
+                   (json_float (base.k2_wall_s /. Float.max 1e-9 r.k2_wall_s))))
+      runs
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" comparisons);
+  close_out oc;
+  Format.printf "wrote %s (%d kernel-round-2 runs)@." path (List.length runs)
 
 (* ------------------------------------------------------------------ *)
 (* Figures 1a-1c                                                       *)
@@ -1331,6 +1546,7 @@ let () =
   if section_enabled "sweep" then sweep ();
   if section_enabled "parallel" then parallel_bench ();
   if section_enabled "kernel" then kernel_bench ();
+  if section_enabled "kernel2" then kernel2_bench ();
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
@@ -1338,4 +1554,5 @@ let () =
   if !sweep_log <> [] then write_sweep_json "BENCH_PR3.json";
   if !par_log <> [] then write_par_json "BENCH_PR4.json";
   if !kern_log <> [] then write_kern_json "BENCH_PR5.json";
+  if !k2_log <> [] then write_k2_json "BENCH_PR6.json";
   Format.printf "done.@."

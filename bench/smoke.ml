@@ -3,10 +3,14 @@
    (c) cuts and reduced-cost fixing off, all to a tight gap, and fail
    (exit 1) if any final objective or status diverges.  Accepts
    `--workers N` to run every variant with N worker domains (the CI
-   parallel job uses 4) and `--dense-basis` to run every variant on the
+   parallel job uses 4), `--dense-basis` to run every variant on the
    dense explicit-inverse kernel instead of the sparse LU one (the CI
-   matrix runs both); the objectives must agree regardless.  Wired to
-   `dune build @bench-smoke`. *)
+   matrix runs both), `--pricing devex`/`--pricing dantzig` and `--no-harris` to
+   pin the simplex pricing/ratio-test combination (the CI ablation step
+   runs `--pricing dantzig --no-harris`), and `--alloc-guard W` to fail
+   if the default-variant solve allocates more than W words — the
+   allocation-regression guard for the workspace/unboxed kernel.
+   Wired to `dune build @bench-smoke`. *)
 
 open Archex
 
@@ -19,6 +23,31 @@ let workers =
   find (Array.to_list Sys.argv)
 
 let dense_basis = Array.exists (String.equal "--dense-basis") Sys.argv
+
+let pricing =
+  let rec find = function
+    | "--pricing" :: "dantzig" :: _ -> Milp.Simplex.Dantzig
+    | "--pricing" :: "devex" :: _ -> Milp.Simplex.Devex
+    | _ :: rest -> find rest
+    | [] -> Milp.Simplex.Devex
+  in
+  find (Array.to_list Sys.argv)
+
+let harris = not (Array.exists (String.equal "--no-harris") Sys.argv)
+
+(* [Some budget] when --alloc-guard W was given: the default variant
+   must allocate at most W words (minor + major - promoted). *)
+let alloc_guard =
+  let rec find = function
+    | "--alloc-guard" :: w :: _ -> float_of_string_opt w
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
 
 let () =
   match Scenarios.scaled_data_collection ~total_nodes:14 ~end_devices:4 () with
@@ -33,12 +62,16 @@ let () =
             |> with_approx ~kstar:4 ()
             |> with_time_limit 60. |> with_rel_gap 1e-6 |> with_warm_start warm_start
             |> with_cuts cuts |> with_rc_fixing rc_fixing |> with_dense_basis dense_basis
+            |> with_pricing pricing |> with_harris harris
             |> with_workers workers)
         in
         Solve.run config inst
       in
+      let a0 = alloc_words () in
+      let warm = run ~warm_start:true ~cuts:true ~rc_fixing:true in
+      let default_alloc = alloc_words () -. a0 in
       match
-        ( run ~warm_start:true ~cuts:true ~rc_fixing:true,
+        ( warm,
           run ~warm_start:false ~cuts:true ~rc_fixing:true,
           run ~warm_start:true ~cuts:false ~rc_fixing:false )
       with
@@ -51,16 +84,18 @@ let () =
           let sc = Milp.Status.mip_status_to_string cold.Outcome.status in
           let sp = Milp.Status.mip_status_to_string plain.Outcome.status in
           Printf.printf
-            "bench-smoke (workers=%d, %s kernel): warm %s obj=%g (%d LP iters, %d/%d/%d \
-             warm/cold/fallback, %d cuts, %d rc-fixed) | cold %s obj=%g (%d LP iters) | \
-             no-cuts %s obj=%g (%d nodes vs %d)\n"
+            "bench-smoke (workers=%d, %s kernel, %s%s): warm %s obj=%g (%d LP iters, \
+             %d/%d/%d warm/cold/fallback, %d cuts, %d rc-fixed, %.3g Mw alloc) | cold %s \
+             obj=%g (%d LP iters) | no-cuts %s obj=%g (%d nodes vs %d)\n"
             workers
             (if dense_basis then "dense" else "sparse")
+            (match pricing with Milp.Simplex.Devex -> "devex" | Milp.Simplex.Dantzig -> "dantzig")
+            (if harris then "+harris" else "+classic")
             sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
             w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback
-            w.Milp.Branch_bound.cuts_applied w.Milp.Branch_bound.rc_fixed sc oc
-            c.Milp.Branch_bound.lp_iterations sp op p.Milp.Branch_bound.nodes
-            w.Milp.Branch_bound.nodes;
+            w.Milp.Branch_bound.cuts_applied w.Milp.Branch_bound.rc_fixed
+            (default_alloc /. 1e6) sc oc c.Milp.Branch_bound.lp_iterations sp op
+            p.Milp.Branch_bound.nodes w.Milp.Branch_bound.nodes;
           let fail = ref false in
           let check name s o =
             if s <> sw then begin
@@ -74,6 +109,17 @@ let () =
           in
           check "cold-start" sc oc;
           check "no-cuts" sp op;
+          (match alloc_guard with
+          | Some budget when default_alloc > budget ->
+              Printf.eprintf
+                "bench-smoke: allocation regression: default variant allocated %.0f words \
+                 (> committed threshold %.0f)\n"
+                default_alloc budget;
+              fail := true
+          | Some budget ->
+              Printf.printf "bench-smoke: alloc guard ok: %.0f words <= %.0f\n" default_alloc
+                budget
+          | None -> ());
           if !fail then exit 1
       | Error e, _, _ | _, Error e, _ | _, _, Error e ->
           prerr_endline ("bench-smoke: encode error: " ^ e);

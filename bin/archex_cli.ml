@@ -46,8 +46,8 @@ let num_setting settings key default =
   | Some _ | None -> default
 
 let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
-    no_incremental cold_start dense_basis no_cuts no_rc_fixing workers seed out_svg out_lp
-    verbose =
+    no_incremental cold_start dense_basis pricing no_harris no_cuts no_rc_fixing workers
+    seed out_svg out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -115,6 +115,8 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           |> with_rel_gap gap
           |> with_warm_start (not cold_start)
           |> with_dense_basis dense_basis
+          |> with_pricing pricing
+          |> with_harris (not no_harris)
           |> with_cuts (not no_cuts)
           |> with_rc_fixing (not no_rc_fixing)
           |> with_log verbose
@@ -298,6 +300,27 @@ let dense_basis =
         ~doc:"Run node LPs on the dense explicit basis inverse instead of the sparse LU \
               kernel (ablation).")
 
+let pricing =
+  let rule =
+    Arg.enum [ ("devex", Milp.Simplex.Devex); ("dantzig", Milp.Simplex.Dantzig) ]
+  in
+  Arg.(
+    value
+    & opt rule Milp.Simplex.Devex
+    & info [ "pricing" ] ~docv:"RULE"
+        ~doc:
+          "Simplex entering-column rule: $(b,devex) (default, reference-framework \
+           steepest-edge weights) or $(b,dantzig) (PR5 partial candidate-list scan, \
+           ablation).")
+
+let no_harris =
+  Arg.(
+    value & flag
+    & info [ "no-harris" ]
+        ~doc:
+          "Disable the Harris two-pass ratio test and the bound-flipping dual ratio test; \
+           use the classic smallest-ratio tests (ablation).")
+
 let no_cuts =
   Arg.(
     value & flag
@@ -353,7 +376,7 @@ let cmd =
     (Cmd.info "archex" ~doc)
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ no_cuts $ no_rc_fixing
-      $ workers $ seed $ out_svg $ out_lp $ verbose)
+      $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ pricing $ no_harris
+      $ no_cuts $ no_rc_fixing $ workers $ seed $ out_svg $ out_lp $ verbose)
 
 let () = exit (Cmd.eval' cmd)

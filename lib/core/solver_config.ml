@@ -59,6 +59,10 @@ let with_rc_fixing rc_fixing c = { c with options = { c.options with BB.rc_fixin
 
 let with_dense_basis dense_basis c = { c with options = { c.options with BB.dense_basis } }
 
+let with_pricing pricing c = { c with options = { c.options with BB.pricing } }
+
+let with_harris harris c = { c with options = { c.options with BB.harris } }
+
 let with_mem_stats mem_stats c = { c with options = { c.options with BB.mem_stats } }
 
 let with_log log c = { c with options = { c.options with BB.log } }

@@ -82,6 +82,14 @@ val with_dense_basis : bool -> t -> t
 (** Run every LP on the dense explicit-inverse kernel instead of the
     sparse LU one — the [--dense-basis] ablation baseline. *)
 
+val with_pricing : Milp.Simplex.pricing -> t -> t
+(** Simplex entering-column rule (default [Devex]); [Dantzig] is the
+    [--pricing dantzig] ablation baseline. *)
+
+val with_harris : bool -> t -> t
+(** Harris two-pass primal ratio test + bound-flipping dual ratio test
+    (default [true]); [false] is the [--no-harris] ablation baseline. *)
+
 val with_mem_stats : bool -> t -> t
 (** Record live heap words at each incumbent improvement
     ({!Milp.Branch_bound.result.live_words}). *)

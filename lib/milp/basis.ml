@@ -61,19 +61,20 @@ let append_rows b (rows : (int * float) array array) =
       | Some f ->
           (* V_{t,i} = row t's coefficient on the column basic in row i
              (only structural columns can appear in a cut row; slacks
-             and artificials get 0). *)
-          let pos = Hashtbl.create (2 * m) in
-          Array.iteri (fun i j -> if j < n then Hashtbl.replace pos j i) b.basis;
+             and artificials get 0).  The column -> basis-position map
+             is a flat array: this runs once per cut round per node,
+             and the dense lookup beats a hashtable on both allocation
+             and probe cost. *)
+          let pos = Array.make n (-1) in
+          Array.iteri (fun i j -> if j < n then pos.(j) <- i) b.basis;
           let vrows =
             Array.map
               (fun row ->
                 let ents = ref [] in
                 Array.iter
                   (fun (j, a) ->
-                    if a <> 0. then
-                      match Hashtbl.find_opt pos j with
-                      | Some i -> ents := (i, a) :: !ents
-                      | None -> ())
+                    if a <> 0. && j < n && pos.(j) >= 0 then
+                      ents := (pos.(j), a) :: !ents)
                   row;
                 Array.of_list (List.rev !ents))
               rows

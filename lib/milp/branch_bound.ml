@@ -12,6 +12,8 @@ type options = {
   cut_rounds : int;
   rc_fixing : bool;
   dense_basis : bool;
+  pricing : Simplex.pricing;
+  harris : bool;
   mem_stats : bool;
   log : bool;
   nworkers : int;
@@ -33,6 +35,8 @@ let default_options =
     cut_rounds = 20;
     rc_fixing = true;
     dense_basis = false;
+    pricing = Simplex.Devex;
+    harris = true;
     mem_stats = false;
     log = false;
     nworkers = 1;
@@ -146,7 +150,7 @@ let propagate p integer lb ub =
   | Presolve.Feasible { lb; ub; _ } -> Some (lb, ub)
 
 let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~warm_start
-    ~dense max_lps ~deadline =
+    ~dense ~pricing ~harris ~ws max_lps ~deadline =
   let n = p.Simplex.ncols in
   let lb = Array.copy lb0 and ub = Array.copy ub0 in
   let x = ref root.Simplex.primal in
@@ -194,7 +198,7 @@ let dive p integer int_tol lb0 ub0 (root : Simplex.result) lp_iters counters ~wa
             let r =
               Simplex.solve
                 ?basis:(if warm_start then !basis else None)
-                ~deadline ~dense p ~lb ~ub
+                ~deadline ~dense ~pricing ~harris ~ws p ~lb ~ub
             in
             lp_iters := !lp_iters + r.Simplex.iterations;
             tally counters r;
@@ -244,6 +248,10 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
   let root_ub = Array.init n (Model.var_ub model) in
   let counters = { warm = 0; cold = 0; fallback = 0 } in
   let dense = options.dense_basis in
+  let pricing = options.pricing and harris = options.harris in
+  (* One workspace for the whole sequential drive (root, cut loop,
+     dives, node re-solves); worker domains get their own below. *)
+  let sws = Simplex.create_workspace () in
   (* Live heap words at the moment the incumbent last improved — the
      point where the node pool, basis snapshots and cut pool are all at
      working size.  [Gc.stat] walks the heap, so it is opt-in. *)
@@ -468,7 +476,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                 let r' =
                   Simplex.solve
                     ?basis:(if options.warm_start then Some basis else None)
-                    ~deadline ~dense !pref ~lb ~ub
+                    ~deadline ~dense ~pricing ~harris ~ws:sws !pref ~lb ~ub
                 in
                 lp_iters := !lp_iters + r'.Simplex.iterations;
                 tally counters r';
@@ -503,7 +511,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
               let r' =
                 Simplex.solve
                   ?basis:(if options.warm_start then Some basis else None)
-                  ~deadline ~dense !pref ~lb ~ub
+                  ~deadline ~dense ~pricing ~harris ~ws:sws !pref ~lb ~ub
               in
               lp_iters := !lp_iters + r'.Simplex.iterations;
               tally counters r';
@@ -567,7 +575,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
             ref
               (Simplex.solve
                  ?basis:(node_basis node.nbasis)
-                 ~deadline ~dense !pref ~lb ~ub)
+                 ~deadline ~dense ~pricing ~harris ~ws:sws !pref ~lb ~ub)
           in
           lp_iters := !lp_iters + !r.Simplex.iterations;
           tally counters !r;
@@ -615,7 +623,8 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                   then begin
                     match
                       dive !pref integer options.int_tol lb ub r lp_iters counters
-                        ~warm_start:options.warm_start ~dense 200 ~deadline
+                        ~warm_start:options.warm_start ~dense ~pricing ~harris ~ws:sws
+                        200 ~deadline
                     with
                     | Some (y, yobj) -> update_incumbent y yobj
                     | None -> ()
@@ -726,6 +735,9 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                   ws_rc = 0;
                 })
           in
+          (* One simplex workspace per worker domain: buffers are reused
+             across that worker's node re-solves and never shared. *)
+          let wss = Array.init nworkers (fun _ -> Simplex.create_workspace ()) in
           (* Node processing for a worker: same shape as [process] minus
              anything that writes shared state — no cut separation (the
              problem is frozen), incumbent via CAS, tallies worker-local.
@@ -748,7 +760,9 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
               | None -> ()
               | Some (lb, ub) -> (
                   let r =
-                    Simplex.solve ?basis:(node_basis node.nbasis) ~deadline ~dense pw ~lb ~ub
+                    Simplex.solve
+                      ?basis:(node_basis node.nbasis)
+                      ~deadline ~dense ~pricing ~harris ~ws:wss.(wi) pw ~lb ~ub
                   in
                   st.ws_lp := !(st.ws_lp) + r.Simplex.iterations;
                   tally st.ws_counters r;
@@ -779,8 +793,8 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                           then begin
                             match
                               dive pw integer options.int_tol lb ub r st.ws_lp
-                                st.ws_counters ~warm_start:options.warm_start ~dense 200
-                                ~deadline
+                                st.ws_counters ~warm_start:options.warm_start ~dense
+                                ~pricing ~harris ~ws:wss.(wi) 200 ~deadline
                             with
                             | Some (y, yobj) -> update_inc y yobj
                             | None -> ()

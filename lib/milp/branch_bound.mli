@@ -54,6 +54,14 @@ type options = {
           instead of the sparse LU one (default [false]) — the
           [--dense-basis] ablation baseline.  Objectives and statuses
           agree with the sparse kernel to solver tolerances. *)
+  pricing : Simplex.pricing;
+      (** Entering-column rule for every LP (default [Devex]);
+          [Dantzig] restores the PR5 partial candidate-list scan — the
+          [--pricing dantzig] ablation baseline. *)
+  harris : bool;
+      (** Harris two-pass primal ratio test plus bound-flipping dual
+          ratio test (default [true]); [false] restores the classic
+          smallest-ratio tests — the [--no-harris] ablation baseline. *)
   mem_stats : bool;
       (** Record [Gc.stat] live heap words each time the incumbent
           improves (default [false]; a full-heap walk, so opt-in).  The
@@ -81,7 +89,8 @@ type options = {
 val default_options : options
 (** 60 s, 200_000 nodes, [rel_gap = 1e-6], [abs_gap = 1e-9],
     [int_tol = 1e-6], presolve, rounding, warm starts, cuts (20 rounds)
-    and reduced-cost fixing on, log off, [nworkers = 1], [seed = 0]. *)
+    and reduced-cost fixing on, devex pricing with Harris ratio tests,
+    log off, [nworkers = 1], [seed = 0]. *)
 
 type result = {
   status : Status.mip_status;

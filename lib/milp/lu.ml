@@ -8,19 +8,31 @@
    — with [prow]/[pcol] mapping steps back to rows/positions.  L is
    stored as per-step multiplier columns (targets are later steps), U as
    per-step rows (again later steps), both over step indices so the
-   triangular solves are straight scatter/gather loops. *)
+   triangular solves are straight scatter/gather loops.
+
+   Storage is unboxed: every factor entry is an (index, value) pair kept
+   in parallel [int array] / [floatarray] buffers rather than a tuple
+   array, so the triangular solves and eta applications touch flat
+   memory and a factor entry costs 2 words instead of 5 (tuple header +
+   boxed pair + spine slot).  Entry order is identical to what the tuple
+   representation held, which keeps every solve bit-for-bit what it was
+   — the [extend_rows] bit-identity guarantee depends on that. *)
+
+module FA = Float.Array
 
 type core = {
   cm : int;
   prow : int array;  (* step -> row *)
   pcol : int array;  (* step -> position *)
-  lmat : (int * float) array array;  (* per step: (later step, multiplier) *)
-  umat : (int * float) array array;  (* per step: (later step, value) *)
-  udiag : float array;
+  li : int array array;  (* per step: later-step targets of L column *)
+  lv : floatarray array;  (* per step: multipliers, parallel to [li] *)
+  ui : int array array;  (* per step: later-step targets of U row *)
+  uv : floatarray array;  (* per step: values, parallel to [ui] *)
+  udiag : floatarray;
   cnnz : int;
 }
 
-type eta = { e_r : int; e_d : float; e_nz : (int * float) array }
+type eta = { e_r : int; e_d : float; e_i : int array; e_v : floatarray }
 
 type factor = { f_core : core; f_etas : eta array }
 
@@ -43,7 +55,7 @@ let factor_dim f = f.f_core.cm
 
 let factor_neta f = Array.length f.f_etas
 
-let dummy_eta = { e_r = 0; e_d = 1.; e_nz = [||] }
+let dummy_eta = { e_r = 0; e_d = 1.; e_i = [||]; e_v = FA.create 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
@@ -107,14 +119,22 @@ let ftran t x =
   (* L y' = y, forward *)
   for k = 0 to m - 1 do
     let yk = y.(k) in
-    if yk <> 0. then
-      Array.iter (fun (j, mult) -> y.(j) <- y.(j) -. (mult *. yk)) c.lmat.(k)
+    if yk <> 0. then begin
+      let ti = c.li.(k) and tv = c.lv.(k) in
+      for e = 0 to Array.length ti - 1 do
+        let j = Array.unsafe_get ti e in
+        y.(j) <- y.(j) -. (FA.unsafe_get tv e *. yk)
+      done
+    end
   done;
   (* U z = y', backward (row-wise gather; later steps already solved) *)
   for k = m - 1 downto 0 do
     let acc = ref y.(k) in
-    Array.iter (fun (j, v) -> acc := !acc -. (v *. y.(j))) c.umat.(k);
-    y.(k) <- !acc /. c.udiag.(k)
+    let ti = c.ui.(k) and tv = c.uv.(k) in
+    for e = 0 to Array.length ti - 1 do
+      acc := !acc -. (FA.unsafe_get tv e *. y.(Array.unsafe_get ti e))
+    done;
+    y.(k) <- !acc /. FA.unsafe_get c.udiag k
   done;
   for k = 0 to m - 1 do
     x.(c.pcol.(k)) <- y.(k)
@@ -124,7 +144,13 @@ let ftran t x =
     let e = t.etas.(q) in
     let xr = x.(e.e_r) /. e.e_d in
     x.(e.e_r) <- xr;
-    if xr <> 0. then Array.iter (fun (i, v) -> x.(i) <- x.(i) -. (v *. xr)) e.e_nz
+    if xr <> 0. then begin
+      let ei = e.e_i and ev = e.e_v in
+      for k = 0 to Array.length ei - 1 do
+        let i = Array.unsafe_get ei k in
+        x.(i) <- x.(i) -. (FA.unsafe_get ev k *. xr)
+      done
+    end
   done;
   count_solve c_ftran c_ftran_nnz x m
 
@@ -135,7 +161,10 @@ let btran t x =
   for q = t.neta - 1 downto 0 do
     let e = t.etas.(q) in
     let acc = ref x.(e.e_r) in
-    Array.iter (fun (i, v) -> acc := !acc -. (v *. x.(i))) e.e_nz;
+    let ei = e.e_i and ev = e.e_v in
+    for k = 0 to Array.length ei - 1 do
+      acc := !acc -. (FA.unsafe_get ev k *. x.(Array.unsafe_get ei k))
+    done;
     x.(e.e_r) <- !acc /. e.e_d
   done;
   let y = t.ws in
@@ -144,14 +173,23 @@ let btran t x =
   done;
   (* Uᵀ z = ĉ, forward (scatter: row k of U hits later steps) *)
   for k = 0 to m - 1 do
-    let zk = y.(k) /. c.udiag.(k) in
+    let zk = y.(k) /. FA.unsafe_get c.udiag k in
     y.(k) <- zk;
-    if zk <> 0. then Array.iter (fun (j, v) -> y.(j) <- y.(j) -. (v *. zk)) c.umat.(k)
+    if zk <> 0. then begin
+      let ti = c.ui.(k) and tv = c.uv.(k) in
+      for e = 0 to Array.length ti - 1 do
+        let j = Array.unsafe_get ti e in
+        y.(j) <- y.(j) -. (FA.unsafe_get tv e *. zk)
+      done
+    end
   done;
   (* Lᵀ w = z, backward (gather: column k of L lists later steps) *)
   for k = m - 1 downto 0 do
     let acc = ref y.(k) in
-    Array.iter (fun (j, v) -> acc := !acc -. (v *. y.(j))) c.lmat.(k);
+    let ti = c.li.(k) and tv = c.lv.(k) in
+    for e = 0 to Array.length ti - 1 do
+      acc := !acc -. (FA.unsafe_get tv e *. y.(Array.unsafe_get ti e))
+    done;
     y.(k) <- !acc
   done;
   for k = 0 to m - 1 do
@@ -172,11 +210,13 @@ let update t ~r ~w =
     if a > !amax then amax := a;
     if i <> r && w.(i) <> 0. then incr cnt
   done;
-  let nz = Array.make !cnt (0, 0.) in
+  let ei = Array.make !cnt 0 in
+  let ev = FA.create !cnt in
   let k = ref 0 in
   for i = 0 to m - 1 do
     if i <> r && w.(i) <> 0. then begin
-      nz.(!k) <- (i, w.(i));
+      ei.(!k) <- i;
+      FA.set ev !k w.(i);
       incr k
     end
   done;
@@ -185,7 +225,7 @@ let update t ~r ~w =
     Array.blit t.etas 0 grown 0 t.neta;
     t.etas <- grown
   end;
-  t.etas.(t.neta) <- { e_r = r; e_d = d; e_nz = nz };
+  t.etas.(t.neta) <- { e_r = r; e_d = d; e_i = ei; e_v = ev };
   t.neta <- t.neta + 1;
   t.enz <- t.enz + !cnt + 1;
   Float.abs d >= 1e-9 && Float.abs d >= 1e-7 *. !amax
@@ -200,7 +240,7 @@ let of_factor f =
   let n = Array.length f.f_etas in
   let etas = Array.make (max 8 (2 * n)) dummy_eta in
   Array.blit f.f_etas 0 etas 0 n;
-  let enz = Array.fold_left (fun acc e -> acc + 1 + Array.length e.e_nz) 0 f.f_etas in
+  let enz = Array.fold_left (fun acc e -> acc + 1 + Array.length e.e_i) 0 f.f_etas in
   { m = f.f_core.cm; core = f.f_core; etas; neta = n; enz;
     ws = Array.make f.f_core.cm 0. }
 
@@ -216,12 +256,25 @@ exception Singular
    the aggregate effect). *)
 let drop_tol = 1e-13
 
+(* Pack an (index, value) association list into parallel unboxed
+   buffers, preserving list order. *)
+let pack_pairs pairs =
+  let n = List.length pairs in
+  let idx = Array.make n 0 in
+  let vals = FA.create n in
+  List.iteri
+    (fun k (i, v) ->
+      idx.(k) <- i;
+      FA.set vals k v)
+    pairs;
+  (idx, vals)
+
 let factorize ~m col =
   if m = 0 then
     Some
       { m = 0;
-        core = { cm = 0; prow = [||]; pcol = [||]; lmat = [||]; umat = [||];
-                 udiag = [||]; cnnz = 0 };
+        core = { cm = 0; prow = [||]; pcol = [||]; li = [||]; lv = [||];
+                 ui = [||]; uv = [||]; udiag = FA.create 0; cnnz = 0 };
         etas = [||]; neta = 0; enz = 0; ws = [||] }
   else begin
     let acc = Array.make m 0. in
@@ -259,7 +312,7 @@ let factorize ~m col =
            colent.(c)
        done;
        let prow = Array.make m 0 and pcol = Array.make m 0 in
-       let udiag = Array.make m 0. in
+       let udiag = FA.create m in
        let lraw = Array.make m [||] in
        (* (row, multiplier) *)
        let uraw = Array.make m [||] in
@@ -275,33 +328,37 @@ let factorize ~m col =
          let bc = ref (-1) and br = ref (-1) and ba = ref 0. in
          let bscore = ref max_int in
          let exception Done in
+         (* Explicit [for] loops: an [Array.iter] closure capturing float
+            refs is allocated per column per step and boxes every
+            accumulator store — this scan dominated factorization
+            allocation. *)
          (try
             for c = 0 to m - 1 do
               if not coldone.(c) then begin
                 let entries = colent.(c) in
                 let cmax = ref 0. in
-                Array.iter
-                  (fun (_, a) ->
-                    let aa = Float.abs a in
-                    if aa > !cmax then cmax := aa)
-                  entries;
+                for e = 0 to Array.length entries - 1 do
+                  let _, a = Array.unsafe_get entries e in
+                  let aa = Float.abs a in
+                  if aa > !cmax then cmax := aa
+                done;
                 if !cmax > 1e-11 then begin
                   let thresh = 0.1 *. !cmax in
                   let cc = ccount.(c) in
-                  Array.iter
-                    (fun (r, a) ->
-                      let aa = Float.abs a in
-                      if aa >= thresh then begin
-                        let score = (cc - 1) * (rcount.(r) - 1) in
-                        if score < !bscore || (score = !bscore && aa > Float.abs !ba)
-                        then begin
-                          bscore := score;
-                          bc := c;
-                          br := r;
-                          ba := a
-                        end
-                      end)
-                    entries;
+                  for e = 0 to Array.length entries - 1 do
+                    let r, a = Array.unsafe_get entries e in
+                    let aa = Float.abs a in
+                    if aa >= thresh then begin
+                      let score = (cc - 1) * (rcount.(r) - 1) in
+                      if score < !bscore || (score = !bscore && aa > Float.abs !ba)
+                      then begin
+                        bscore := score;
+                        bc := c;
+                        br := r;
+                        ba := a
+                      end
+                    end
+                  done;
                   if !bscore = 0 then raise Done
                 end
               end
@@ -311,22 +368,29 @@ let factorize ~m col =
          let pc = !bc and pr = !br and pa = !ba in
          prow.(step) <- pr;
          pcol.(step) <- pc;
-         udiag.(step) <- pa;
+         FA.set udiag step pa;
          (* L multipliers: the pivot column's other active entries. *)
          let pivcol = colent.(pc) in
+         let npiv = Array.length pivcol in
          let lcnt = ref 0 in
-         Array.iter (fun (r, _) -> if r <> pr then incr lcnt) pivcol;
+         for e = 0 to npiv - 1 do
+           let r, _ = Array.unsafe_get pivcol e in
+           if r <> pr then incr lcnt
+         done;
          let lents = Array.make !lcnt (0, 0.) in
          let k = ref 0 in
-         Array.iter
-           (fun (r, a) ->
-             if r <> pr then begin
-               lents.(!k) <- (r, a /. pa);
-               incr k
-             end)
-           pivcol;
+         for e = 0 to npiv - 1 do
+           let r, a = Array.unsafe_get pivcol e in
+           if r <> pr then begin
+             lents.(!k) <- (r, a /. pa);
+             incr k
+           end
+         done;
          lraw.(step) <- lents;
-         Array.iter (fun (r, _) -> rcount.(r) <- rcount.(r) - 1) pivcol;
+         for e = 0 to npiv - 1 do
+           let r, _ = Array.unsafe_get pivcol e in
+           rcount.(r) <- rcount.(r) - 1
+         done;
          colent.(pc) <- [||];
          ccount.(pc) <- 0;
          coldone.(pc) <- true;
@@ -340,43 +404,50 @@ let factorize ~m col =
              if (not coldone.(c)) && seen.(c) <> step then begin
                seen.(c) <- step;
                let entries = colent.(c) in
+               let nent = Array.length entries in
                let upc = ref 0. and hit = ref false in
-               Array.iter
-                 (fun (r, a) ->
-                   if r = pr then begin
-                     upc := !upc +. a;
-                     hit := true
-                   end)
-                 entries;
+               for e = 0 to nent - 1 do
+                 let r, a = Array.unsafe_get entries e in
+                 if r = pr then begin
+                   upc := !upc +. a;
+                   hit := true
+                 end
+               done;
                if !hit then begin
                  let u = !upc in
                  uacc := (c, u) :: !uacc;
                  incr stamp;
                  let st = !stamp in
                  let touched = ref [] in
-                 Array.iter
-                   (fun (r, a) ->
-                     if r <> pr then begin
-                       amark.(r) <- st;
-                       acc.(r) <- a;
-                       touched := r :: !touched
-                     end)
-                   entries;
-                 Array.iter
-                   (fun (lr, mult) ->
-                     let delta = mult *. u in
-                     if amark.(lr) = st then acc.(lr) <- acc.(lr) -. delta
-                     else begin
-                       amark.(lr) <- st;
-                       acc.(lr) <- -.delta;
-                       touched := lr :: !touched;
-                       rowcols.(lr) <- c :: rowcols.(lr)
-                     end)
-                   lents;
+                 for e = 0 to nent - 1 do
+                   let r, a = Array.unsafe_get entries e in
+                   if r <> pr then begin
+                     amark.(r) <- st;
+                     acc.(r) <- a;
+                     touched := r :: !touched
+                   end
+                 done;
+                 for e = 0 to Array.length lents - 1 do
+                   let lr, mult = Array.unsafe_get lents e in
+                   let delta = mult *. u in
+                   if amark.(lr) = st then acc.(lr) <- acc.(lr) -. delta
+                   else begin
+                     amark.(lr) <- st;
+                     acc.(lr) <- -.delta;
+                     touched := lr :: !touched;
+                     rowcols.(lr) <- c :: rowcols.(lr)
+                   end
+                 done;
                  let keep = List.filter (fun r -> Float.abs acc.(r) > drop_tol) !touched in
-                 Array.iter (fun (r, _) -> rcount.(r) <- rcount.(r) - 1) entries;
+                 for e = 0 to nent - 1 do
+                   let r, _ = Array.unsafe_get entries e in
+                   rcount.(r) <- rcount.(r) - 1
+                 done;
                  let arr = Array.of_list (List.rev_map (fun r -> (r, acc.(r))) keep) in
-                 Array.iter (fun (r, _) -> rcount.(r) <- rcount.(r) + 1) arr;
+                 for e = 0 to Array.length arr - 1 do
+                   let r, _ = Array.unsafe_get arr e in
+                   rcount.(r) <- rcount.(r) + 1
+                 done;
                  colent.(c) <- arr;
                  ccount.(c) <- Array.length arr
                end
@@ -385,18 +456,40 @@ let factorize ~m col =
          uraw.(step) <- Array.of_list !uacc;
          rowcols.(pr) <- []
        done;
-       (* Re-index rows/positions to steps. *)
+       (* Re-index rows/positions to steps and pack into the unboxed
+          parallel buffers, preserving entry order. *)
        let rstep = Array.make m 0 and posstep = Array.make m 0 in
        for k = 0 to m - 1 do
          rstep.(prow.(k)) <- k;
          posstep.(pcol.(k)) <- k
        done;
-       let lmat = Array.map (Array.map (fun (r, v) -> (rstep.(r), v))) lraw in
-       let umat = Array.map (Array.map (fun (c, v) -> (posstep.(c), v))) uraw in
+       let li = Array.make m [||] and lv = Array.make m (FA.create 0) in
+       let ui = Array.make m [||] and uv = Array.make m (FA.create 0) in
        let cnnz = ref m in
-       Array.iter (fun a -> cnnz := !cnnz + Array.length a) lmat;
-       Array.iter (fun a -> cnnz := !cnnz + Array.length a) umat;
-       let core = { cm = m; prow; pcol; lmat; umat; udiag; cnnz = !cnnz } in
+       for k = 0 to m - 1 do
+         let ents = lraw.(k) in
+         let n = Array.length ents in
+         let idx = Array.make n 0 and vals = FA.create n in
+         for e = 0 to n - 1 do
+           let r, v = ents.(e) in
+           idx.(e) <- rstep.(r);
+           FA.set vals e v
+         done;
+         li.(k) <- idx;
+         lv.(k) <- vals;
+         let ents = uraw.(k) in
+         let n = Array.length ents in
+         let idx = Array.make n 0 and vals = FA.create n in
+         for e = 0 to n - 1 do
+           let c, v = ents.(e) in
+           idx.(e) <- posstep.(c);
+           FA.set vals e v
+         done;
+         ui.(k) <- idx;
+         uv.(k) <- vals;
+         cnnz := !cnnz + Array.length li.(k) + Array.length ui.(k)
+       done;
+       let core = { cm = m; prow; pcol; li; lv; ui; uv; udiag; cnnz = !cnnz } in
        let t = { m; core; etas = [||]; neta = 0; enz = 0; ws = Array.make m 0. } in
        (* Conditioning probe, mirroring the dense kernel: a factorization
           whose solve cannot reproduce B·(B⁻¹·1) = 1 to a relative 1e-8
@@ -436,8 +529,9 @@ let extend_rows f vrows =
     let m' = m + kext in
     let prow = Array.init m' (fun i -> if i < m then c.prow.(i) else i) in
     let pcol = Array.init m' (fun i -> if i < m then c.pcol.(i) else i) in
-    let udiag = Array.init m' (fun i -> if i < m then c.udiag.(i) else 1.) in
-    let umat = Array.init m' (fun i -> if i < m then c.umat.(i) else [||]) in
+    let udiag = FA.init m' (fun i -> if i < m then FA.get c.udiag i else 1.) in
+    let ui = Array.init m' (fun i -> if i < m then c.ui.(i) else [||]) in
+    let uv = Array.init m' (fun i -> if i < m then c.uv.(i) else FA.create 0) in
     (* Extra L entries per old step, targeting the new trivial steps:
        the grown matrix is [[B 0] [V I]] = [[L 0] [W I]]·[[U 0] [0 I]]
        with W U = V·E⁻¹ (V pushed through the eta file first, since the
@@ -453,7 +547,9 @@ let extend_rows f vrows =
       for q = Array.length f.f_etas - 1 downto 0 do
         let e = f.f_etas.(q) in
         let a = ref v.(e.e_r) in
-        Array.iter (fun (i, w) -> a := !a -. (w *. v.(i))) e.e_nz;
+        for k = 0 to Array.length e.e_i - 1 do
+          a := !a -. (FA.get e.e_v k *. v.(e.e_i.(k)))
+        done;
         v.(e.e_r) <- !a /. e.e_d
       done;
       for j = 0 to m - 1 do
@@ -461,10 +557,14 @@ let extend_rows f vrows =
       done;
       (* ŵ U = v̂: forward scatter over U's rows. *)
       for j = 0 to m - 1 do
-        let wj = vh.(j) /. c.udiag.(j) in
+        let wj = vh.(j) /. FA.get c.udiag j in
         vh.(j) <- wj;
-        if wj <> 0. then
-          Array.iter (fun (j2, u) -> vh.(j2) <- vh.(j2) -. (wj *. u)) c.umat.(j)
+        if wj <> 0. then begin
+          let ti = c.ui.(j) and tv = c.uv.(j) in
+          for e = 0 to Array.length ti - 1 do
+            vh.(ti.(e)) <- vh.(ti.(e)) -. (wj *. FA.get tv e)
+          done
+        end
       done;
       for j = 0 to m - 1 do
         if vh.(j) <> 0. then begin
@@ -473,15 +573,29 @@ let extend_rows f vrows =
         end
       done
     done;
-    let lmat =
-      Array.init m' (fun j ->
-          if j >= m then [||]
-          else
-            match ext.(j) with
-            | [] -> c.lmat.(j)
-            | l -> Array.append c.lmat.(j) (Array.of_list (List.rev l)))
-    in
+    let li = Array.make m' [||] and lv = Array.make m' (FA.create 0) in
+    for j = 0 to m' - 1 do
+      if j >= m then ()
+      else
+        match ext.(j) with
+        | [] ->
+            li.(j) <- c.li.(j);
+            lv.(j) <- c.lv.(j)
+        | l ->
+            let old_i = c.li.(j) and old_v = c.lv.(j) in
+            let n0 = Array.length old_i in
+            let add_i, add_v = pack_pairs (List.rev l) in
+            let n1 = Array.length add_i in
+            let idx = Array.make (n0 + n1) 0 in
+            let vals = FA.create (n0 + n1) in
+            Array.blit old_i 0 idx 0 n0;
+            FA.blit old_v 0 vals 0 n0;
+            Array.blit add_i 0 idx n0 n1;
+            FA.blit add_v 0 vals n0 n1;
+            li.(j) <- idx;
+            lv.(j) <- vals
+    done;
     { f_core =
-        { cm = m'; prow; pcol; lmat; umat; udiag; cnnz = c.cnnz + kext + !extnnz };
+        { cm = m'; prow; pcol; li; lv; ui; uv; udiag; cnnz = c.cnnz + kext + !extnnz };
       f_etas = f.f_etas }
   end

@@ -9,20 +9,23 @@ type outcome =
 
 (* Minimum and maximum activity of a row under the bounds; infinities
    propagate naturally through float arithmetic except for 0 * inf, which
-   cannot occur because stored coefficients are non-zero. *)
+   cannot occur because stored coefficients are non-zero.  Explicit [for]
+   loop rather than [Array.iter]: a closure capturing float refs boxes
+   every accumulator store, and this runs per active row, per round, per
+   node — it was the dominant allocation site of the whole solver. *)
 let activity row lb ub =
   let amin = ref 0. and amax = ref 0. in
-  Array.iter
-    (fun (j, a) ->
-      if a > 0. then begin
-        amin := !amin +. (a *. lb.(j));
-        amax := !amax +. (a *. ub.(j))
-      end
-      else begin
-        amin := !amin +. (a *. ub.(j));
-        amax := !amax +. (a *. lb.(j))
-      end)
-    row;
+  for k = 0 to Array.length row - 1 do
+    let j, a = Array.unsafe_get row k in
+    if a > 0. then begin
+      amin := !amin +. (a *. lb.(j));
+      amax := !amax +. (a *. ub.(j))
+    end
+    else begin
+      amin := !amin +. (a *. ub.(j));
+      amax := !amax +. (a *. lb.(j))
+    end
+  done;
   (!amin, !amax)
 
 exception Infeasible of string
@@ -65,19 +68,18 @@ let run ?(max_rounds = 16) ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub 
      negated row. *)
   let propagate_le row rhs neg i amin =
     let s = if neg then -1.0 else 1.0 in
-    let amin = ref amin in
-    if !amin > rhs +. 1e-7 then
+    if amin > rhs +. 1e-7 then
       raise (Infeasible (Printf.sprintf "row %d cannot be satisfied" i));
-    if Float.is_finite !amin then
-      Array.iter
-        (fun (j, a0) ->
-          let a = s *. a0 in
-          let contrib = if a > 0. then a *. lb.(j) else a *. ub.(j) in
-          let rest = !amin -. contrib in
-          if Float.is_finite rest then
-            if a > 0. then tighten_ub j ((rhs -. rest) /. a)
-            else tighten_lb j ((rhs -. rest) /. a))
-        row
+    if Float.is_finite amin then
+      for k = 0 to Array.length row - 1 do
+        let j, a0 = Array.unsafe_get row k in
+        let a = s *. a0 in
+        let contrib = if a > 0. then a *. lb.(j) else a *. ub.(j) in
+        let rest = amin -. contrib in
+        if Float.is_finite rest then
+          if a > 0. then tighten_ub j ((rhs -. rest) /. a)
+          else tighten_lb j ((rhs -. rest) /. a)
+      done
   in
   (try
      while !changed && !rounds < max_rounds do
@@ -141,11 +143,12 @@ let strengthen ?(tol = 1e-9) (p : Simplex.problem) ~integer ~lb ~ub =
     if s <> 0. then begin
       (* Max activity of the (possibly negated) <= form of the row. *)
       let amax = ref 0. in
-      Array.iter
-        (fun (j, a0) ->
-          let a = s *. a0 in
-          amax := !amax +. (if a > 0. then a *. ub.(j) else a *. lb.(j)))
-        rows.(i);
+      let row0 = rows.(i) in
+      for k = 0 to Array.length row0 - 1 do
+        let j, a0 = Array.unsafe_get row0 k in
+        let a = s *. a0 in
+        amax := !amax +. (if a > 0. then a *. ub.(j) else a *. lb.(j))
+      done;
       if Float.is_finite !amax then begin
         let b = ref (s *. rhs.(i)) in
         let row = ref rows.(i) in

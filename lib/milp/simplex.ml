@@ -1,3 +1,5 @@
+module FA = Float.Array
+
 type problem = {
   ncols : int;
   rows : (int * float) array array;
@@ -8,6 +10,8 @@ type problem = {
 }
 
 type warm_kind = Cold | Warm | Warm_fallback
+
+type pricing = Dantzig | Devex
 
 type result = {
   status : Status.lp_status;
@@ -47,27 +51,143 @@ type kernel =
   | Dense of float array array  (* explicit inverse, m x m *)
   | Sparse of Lu.t
 
+(* ------------------------------------------------------------------ *)
+(* Per-worker workspace (arena)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a solve needs beyond the problem snapshot itself: the
+   compressed-sparse-column image of the constraint matrix (structural
+   columns, then unit slack columns, then unit artificial columns) and
+   every working array of the solver state.  A workspace is owned by one
+   caller at a time — branch & bound keeps one per worker domain and
+   threads it through thousands of node re-solves, which removes the
+   per-solve array allocations that used to dominate minor-GC pressure.
+   The CSC image is cached on the physical identity of [p.rows]: node
+   re-solves of the same problem reuse it untouched (only the artificial
+   signs, which depend on the starting residual, are rewritten in
+   place), and a cut-grown problem misses the cache and rebuilds.
+
+   Arrays are exact-sized (reallocated only when the problem shape
+   changes) so snapshots and tableau copies need no slicing. *)
+type workspace = {
+  mutable c_rows : (int * float) array array;  (* CSC cache key *)
+  mutable c_n : int;
+  mutable c_m : int;
+  mutable colp : int array;  (* column start offsets, length ntot+1 *)
+  mutable coli : int array;  (* row indices *)
+  mutable colv : floatarray;  (* values, parallel to [coli] *)
+  mutable a_lb : float array;  (* working bounds, length ntot *)
+  mutable a_ub : float array;
+  mutable a_cost : float array;
+  mutable a_stat : vstat array;
+  mutable a_basis : int array;  (* length m *)
+  mutable a_xb : float array;
+  mutable a_wy : float array;
+  mutable a_ww : float array;
+  mutable a_wrho : float array;
+  mutable a_wres : float array;
+  mutable a_dred : float array;  (* maintained reduced costs (devex) *)
+  mutable a_dw : float array;  (* devex reference weights *)
+  mutable a_wflip : float array;  (* bound-flip residual accumulator *)
+  mutable a_cnd : int array;  (* dual ratio-test candidates *)
+  mutable a_cnda : float array;
+  mutable a_cndr : float array;
+}
+
+let create_workspace () =
+  {
+    c_rows = [||]; c_n = -1; c_m = -1;
+    colp = [| 0 |]; coli = [||]; colv = FA.create 0;
+    a_lb = [||]; a_ub = [||]; a_cost = [||]; a_stat = [||];
+    a_basis = [||]; a_xb = [||]; a_wy = [||]; a_ww = [||];
+    a_wrho = [||]; a_wres = [||]; a_dred = [||]; a_dw = [||];
+    a_wflip = [||]; a_cnd = [||]; a_cnda = [||]; a_cndr = [||];
+  }
+
+let ensure_f a n = if Array.length a = n then a else Array.make n 0.
+let ensure_i a n = if Array.length a = n then a else Array.make n 0
+let ensure_s a n = if Array.length a = n then a else Array.make n At_lower
+
+(* Build (or reuse) the CSC image of the full column set.  Structural
+   entries appear in the same row-major order the old per-column tuple
+   arrays held, so dot products against them are arithmetically
+   identical to the PR5 kernel. *)
+let build_csc ws p m =
+  let n = p.ncols in
+  let ntot = n + (2 * m) in
+  if ws.c_rows == p.rows && ws.c_n = n && ws.c_m = m then ()
+  else begin
+    let counts = Array.make ntot 0 in
+    Array.iter
+      (fun row -> Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) row)
+      p.rows;
+    for i = 0 to m - 1 do
+      counts.(n + i) <- 1;
+      counts.(n + m + i) <- 1
+    done;
+    let colp = Array.make (ntot + 1) 0 in
+    for j = 0 to ntot - 1 do
+      colp.(j + 1) <- colp.(j) + counts.(j)
+    done;
+    let nnz = colp.(ntot) in
+    let coli = Array.make nnz 0 in
+    let colv = FA.create nnz in
+    let fill = Array.make n 0 in
+    Array.iteri
+      (fun i row ->
+        Array.iter
+          (fun (j, a) ->
+            let k = colp.(j) + fill.(j) in
+            coli.(k) <- i;
+            FA.set colv k a;
+            fill.(j) <- fill.(j) + 1)
+          row)
+      p.rows;
+    for i = 0 to m - 1 do
+      coli.(colp.(n + i)) <- i;
+      FA.set colv colp.(n + i) 1.0;
+      coli.(colp.(n + m + i)) <- i;
+      FA.set colv colp.(n + m + i) 1.0
+    done;
+    ws.c_rows <- p.rows;
+    ws.c_n <- n;
+    ws.c_m <- m;
+    ws.colp <- colp;
+    ws.coli <- coli;
+    ws.colv <- colv
+  end
+
 type state = {
   p : problem;
   m : int;  (* rows *)
   ntot : int;  (* structural + slack + artificial columns *)
-  cols : (int * float) array array;  (* sparse columns, length ntot *)
+  colp : int array;  (* CSC columns, see {!workspace} *)
+  coli : int array;
+  colv : floatarray;
   lb : float array;  (* working bounds, length ntot *)
   ub : float array;
   stat : vstat array;
   basis : int array;  (* column basic in each row *)
   dense : bool;  (* which kernel [refactorize] rebuilds *)
+  pricing : pricing;
+  harris : bool;
   mutable kern : kernel;
   xb : float array;  (* values of basic variables per row *)
   cost : float array;  (* current-phase cost, length ntot *)
-  (* Scratch vectors, allocated once per solve and reused by every
-     iteration (pricing, ratio test, dual repair, tableau rows) instead
-     of a fresh [Array.make] per call — B&B re-solves thousands of nodes
-     and the old per-call buffers dominated minor-GC pressure. *)
+  (* Scratch vectors from the workspace, reused by every iteration
+     (pricing, ratio test, dual repair, tableau rows) and across node
+     re-solves. *)
   wy : float array;  (* dual prices, row-indexed *)
   ww : float array;  (* entering column FTRAN image, position-indexed *)
   wrho : float array;  (* row of B^-1 (dual pricing / tableau rows) *)
   wres : float array;  (* RHS residual under the nonbasic assignment *)
+  dred : float array;  (* maintained reduced costs (devex pricing) *)
+  dw : float array;  (* devex reference-framework weights *)
+  wflip : float array;  (* combined bound-flip column, row-indexed *)
+  cnd : int array;  (* dual-loop candidate columns *)
+  cnd_a : float array;  (* their pivot-row coefficients *)
+  cnd_r : float array;  (* their dual ratios *)
+  mutable d_valid : bool;  (* [dred] tracks the current basis *)
   mutable niter : int;
   mutable degen_count : int;
   mutable bland : bool;
@@ -76,6 +196,11 @@ type state = {
 }
 
 let pivot_tol = 1e-9
+
+(* Harris ratio test: bounds are relaxed by this much in the first pass;
+   the second pass picks the largest pivot among the candidates the
+   relaxation admits.  Matches the primal feasibility tolerance. *)
+let harris_tol = 1e-7
 
 (* Refactorize once the eta file (or dense update chain) is this long:
    each product-form eta both slows the solves down and compounds
@@ -90,27 +215,12 @@ let nb_value st j =
   | Free_zero -> 0.
   | Basic -> invalid_arg "nb_value: basic"
 
-(* Build sparse columns for structural variables from the rows, and
-   single-entry columns for slacks; artificial columns are appended by
-   [init_state] with their sign. *)
-let build_cols p m =
-  let n = p.ncols in
-  let counts = Array.make n 0 in
-  Array.iter (fun row -> Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) row) p.rows;
-  let cols = Array.make (n + (2 * m)) [||] in
-  let fill = Array.make n 0 in
-  for j = 0 to n - 1 do
-    cols.(j) <- Array.make counts.(j) (0, 0.)
-  done;
-  Array.iteri
-    (fun i row ->
-      Array.iter
-        (fun (j, a) ->
-          cols.(j).(fill.(j)) <- (i, a);
-          fill.(j) <- fill.(j) + 1)
-        row)
-    p.rows;
-  cols
+(* Materialize one CSC column as a tuple array — only for the (rare)
+   factorization callbacks; the per-iteration loops read the CSC buffers
+   directly. *)
+let col_array st j =
+  let s = st.colp.(j) and e = st.colp.(j + 1) in
+  Array.init (e - s) (fun k -> (st.coli.(s + k), FA.get st.colv (s + k)))
 
 (* ------------------------------------------------------------------ *)
 (* Kernel operations                                                   *)
@@ -141,15 +251,20 @@ let ftran_col st j =
   Array.fill st.ww 0 st.m 0.;
   (match st.kern with
   | Dense binv ->
-      Array.iter
-        (fun (r, a) ->
-          if a <> 0. then
-            for i = 0 to st.m - 1 do
-              st.ww.(i) <- st.ww.(i) +. (binv.(i).(r) *. a)
-            done)
-        st.cols.(j)
+      for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+        let a = FA.get st.colv k in
+        if a <> 0. then begin
+          let r = st.coli.(k) in
+          for i = 0 to st.m - 1 do
+            st.ww.(i) <- st.ww.(i) +. (binv.(i).(r) *. a)
+          done
+        end
+      done
   | Sparse lu ->
-      Array.iter (fun (r, a) -> st.ww.(r) <- st.ww.(r) +. a) st.cols.(j);
+      for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+        let r = st.coli.(k) in
+        st.ww.(r) <- st.ww.(r) +. FA.get st.colv k
+      done;
       Lu.ftran lu st.ww)
 
 (* rho = e_r^T B^{-1} (row [r] of the inverse), into [st.wrho]
@@ -164,8 +279,18 @@ let binv_row st r =
 
 let reduced_cost st y j =
   let d = ref st.cost.(j) in
-  Array.iter (fun (i, a) -> d := !d -. (y.(i) *. a)) st.cols.(j);
+  for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+    d := !d -. (y.(Array.unsafe_get st.coli k) *. FA.unsafe_get st.colv k)
+  done;
   !d
+
+(* rho-dot: alpha_rj = rho^T A_j for a row vector [rho] of B^{-1}. *)
+let rho_dot st rho j =
+  let a = ref 0. in
+  for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+    a := !a +. (rho.(Array.unsafe_get st.coli k) *. FA.unsafe_get st.colv k)
+  done;
+  !a
 
 (* xb = B^{-1} (b - N x_N) under the current kernel and bounds. *)
 let recompute_xb st =
@@ -175,7 +300,10 @@ let recompute_xb st =
     if st.stat.(j) <> Basic then begin
       let v = nb_value st j in
       if v <> 0. then
-        Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) st.cols.(j)
+        for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+          let i = st.coli.(k) in
+          resid.(i) <- resid.(i) -. (FA.get st.colv k *. v)
+        done
     end
   done;
   match st.kern with
@@ -198,7 +326,7 @@ let recompute_xb st =
 let refactorize st =
   let m = st.m in
   if not st.dense then begin
-    match Lu.factorize ~m (fun i -> st.cols.(st.basis.(i))) with
+    match Lu.factorize ~m (fun i -> col_array st st.basis.(i)) with
     | Some lu ->
         st.kern <- Sparse lu;
         st.age <- 0;
@@ -215,7 +343,10 @@ let refactorize st =
       (* Accumulate rather than assign: ftran/btran sum duplicate entries
          within a sparse column, and the factorization must invert the
          same matrix they apply. *)
-      Array.iter (fun (r, c) -> a.(r).(i) <- a.(r).(i) +. c) st.cols.(st.basis.(i))
+      let j = st.basis.(i) in
+      for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+        a.(st.coli.(k)).(i) <- a.(st.coli.(k)).(i) +. FA.get st.colv k
+      done
     done;
     let ok = ref true in
     for col = 0 to m - 1 do
@@ -270,8 +401,12 @@ let refactorize st =
       done;
       let z = Array.make m 0. in
       for i = 0 to m - 1 do
-        if y.(i) <> 0. then
-          Array.iter (fun (r, c) -> z.(r) <- z.(r) +. (c *. y.(i))) st.cols.(st.basis.(i))
+        if y.(i) <> 0. then begin
+          let j = st.basis.(i) in
+          for k = st.colp.(j) to st.colp.(j + 1) - 1 do
+            z.(st.coli.(k)) <- z.(st.coli.(k)) +. (FA.get st.colv k *. y.(i))
+          done
+        end
       done;
       let err = ref 0. in
       let ymax = ref 1. in
@@ -332,7 +467,7 @@ let price_score st d j =
 
 (* Select the entering column, or None at (phase-)optimality.
 
-   Default: partial (candidate-list) Dantzig pricing — scan a block of
+   Dantzig mode: partial (candidate-list) pricing — scan a block of
    columns starting at the cursor, return the best candidate of the
    first block that has one, and resume the next iteration where this
    one left off.  An iteration therefore prices O(block) columns
@@ -388,12 +523,83 @@ let price st ~dual_tol =
     !best
   end
 
+(* Devex reference-framework pricing (Harris '73 weights): pick the
+   entering column maximizing d_j^2 / gamma_j, where gamma_j
+   approximates the steepest-edge norm ||B^{-1} A_j||^2 relative to the
+   reference framework (the nonbasic set at the last reset, where all
+   gamma = 1).  Reduced costs are maintained incrementally from the
+   pivot row — see {!devex_update} — so a pricing pass is a flat scan of
+   two unboxed arrays, with a full refresh (one BTRAN + column sweep)
+   only at phase entry, periodically for drift control, and to confirm
+   optimality before it is declared. *)
+let refresh_dred st =
+  compute_duals st;
+  let y = st.wy in
+  for j = 0 to st.ntot - 1 do
+    st.dred.(j) <- (if st.stat.(j) = Basic then 0. else reduced_cost st y j)
+  done;
+  st.d_valid <- true
+
+let reset_devex st = Array.fill st.dw 0 st.ntot 1.0
+
+let devex_price st ~dual_tol =
+  let best = ref (-1) and best_score = ref 0. and best_d = ref 0. in
+  for j = 0 to st.ntot - 1 do
+    if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+      let d = st.dred.(j) in
+      if price_score st d j > dual_tol then begin
+        let s = d *. d /. st.dw.(j) in
+        if s > !best_score then begin
+          best := j;
+          best_score := s;
+          best_d := d
+        end
+      end
+    end
+  done;
+  if !best < 0 then None else Some (!best, !best_d)
+
+(* Post-ratio-test devex bookkeeping, called {e before} the basis
+   changes: with entering column [q] pivoting at row [r] (pivot element
+   [alpha_rq] = its FTRAN image at [r]), one BTRAN gives the pivot row
+   rho, and one sweep over the nonbasic columns updates both the
+   maintained reduced costs (d_j -= theta * alpha_rj) and the devex
+   weights (gamma_j = max(gamma_j, alpha_rj^2 * gamma_q / alpha_rq^2)).
+   The leaving variable enters the nonbasic set with the transformed
+   weight of the entering one.  Weights that outgrow 1e8 trigger a
+   reference reset (all gamma back to 1). *)
+let devex_update st ~q ~r ~alpha_rq =
+  binv_row st r;
+  let rho = st.wrho in
+  let leaving = st.basis.(r) in
+  let theta = st.dred.(q) /. alpha_rq in
+  let gq = st.dw.(q) /. (alpha_rq *. alpha_rq) in
+  let wmax = ref 1.0 in
+  for j = 0 to st.ntot - 1 do
+    if j <> q && st.stat.(j) <> Basic then begin
+      let arj = rho_dot st rho j in
+      if arj <> 0. then begin
+        st.dred.(j) <- st.dred.(j) -. (theta *. arj);
+        let cand = arj *. arj *. gq in
+        if cand > st.dw.(j) then st.dw.(j) <- cand;
+        if st.dw.(j) > !wmax then wmax := st.dw.(j)
+      end
+    end
+  done;
+  st.dred.(q) <- 0.;
+  st.dred.(leaving) <- -.theta;
+  st.dw.(leaving) <- Float.max gq 1.0;
+  st.dw.(q) <- 1.0;
+  if !wmax > 1e8 then reset_devex st
+
 type ratio_outcome =
   | Unbounded
   | Bound_flip of float
   | Leave of { row : int; t : float; to_upper : bool }
 
-let ratio_test st j sigma w =
+(* Classic textbook ratio test: smallest ratio wins, ties broken by the
+   larger pivot (or the lower index under Bland's rule). *)
+let ratio_test_classic st j sigma w =
   let span = st.ub.(j) -. st.lb.(j) in
   let best_t = ref (if Float.is_finite span then span else infinity) in
   let leave = ref None in
@@ -430,6 +636,72 @@ let ratio_test st j sigma w =
       if Float.is_finite span && span <= !best_t then Bound_flip span
       else if Float.is_finite !best_t then Leave { row = r; t = !best_t; to_upper }
       else Unbounded
+
+(* Harris two-pass ratio test: pass 1 finds the smallest ratio with the
+   blocking bounds relaxed by [harris_tol]; pass 2 picks, among the rows
+   whose relaxed ratio fits under that minimum, the one with the largest
+   pivot magnitude.  The step taken is the chosen row's true
+   (unrelaxed) ratio clamped at zero — a slightly-negative true ratio is
+   a degenerate step executed on a large, numerically safe pivot, which
+   is exactly the point of the test. *)
+let ratio_test_harris st j sigma w =
+  let span = st.ub.(j) -. st.lb.(j) in
+  let tmax = ref (if Float.is_finite span then span +. harris_tol else infinity) in
+  for i = 0 to st.m - 1 do
+    let wi = w.(i) in
+    if Float.abs wi > pivot_tol then begin
+      let k = st.basis.(i) in
+      let dx = -.sigma *. wi in
+      let t =
+        if dx > 0. then
+          if Float.is_finite st.ub.(k) then (st.ub.(k) +. harris_tol -. st.xb.(i)) /. dx
+          else infinity
+        else if Float.is_finite st.lb.(k) then
+          (st.lb.(k) -. harris_tol -. st.xb.(i)) /. dx
+        else infinity
+      in
+      let t = Float.max t 0. in
+      if t < !tmax then tmax := t
+    end
+  done;
+  if not (Float.is_finite !tmax) then
+    if Float.is_finite span then Bound_flip span else Unbounded
+  else begin
+    let best = ref (-1) and best_a = ref 0. and best_t = ref 0. and best_up = ref false in
+    for i = 0 to st.m - 1 do
+      let wi = w.(i) in
+      if Float.abs wi > pivot_tol && Float.abs wi > !best_a then begin
+        let k = st.basis.(i) in
+        let dx = -.sigma *. wi in
+        let t_rel, t_true, up =
+          if dx > 0. then
+            if Float.is_finite st.ub.(k) then
+              ( (st.ub.(k) +. harris_tol -. st.xb.(i)) /. dx,
+                (st.ub.(k) -. st.xb.(i)) /. dx,
+                true )
+            else (infinity, infinity, true)
+          else if Float.is_finite st.lb.(k) then
+            ( (st.lb.(k) -. harris_tol -. st.xb.(i)) /. dx,
+              (st.lb.(k) -. st.xb.(i)) /. dx,
+              false )
+          else (infinity, infinity, false)
+        in
+        if t_rel <= !tmax then begin
+          best := i;
+          best_a := Float.abs wi;
+          best_t := Float.max t_true 0.;
+          best_up := up
+        end
+      end
+    done;
+    if !best < 0 then if Float.is_finite span then Bound_flip span else Unbounded
+    else if Float.is_finite span && span <= !best_t then Bound_flip span
+    else Leave { row = !best; t = !best_t; to_upper = !best_up }
+  end
+
+let ratio_test st j sigma w =
+  if st.harris && not st.bland then ratio_test_harris st j sigma w
+  else ratio_test_classic st j sigma w
 
 let apply_step st j sigma w t =
   if t <> 0. then
@@ -470,7 +742,7 @@ let snapshot st =
     match st.kern with
     | Sparse lu -> Some (Lu.snapshot lu)
     | Dense _ -> (
-        match Lu.factorize ~m:st.m (fun i -> st.cols.(st.basis.(i))) with
+        match Lu.factorize ~m:st.m (fun i -> col_array st st.basis.(i)) with
         | Some lu -> Some (Lu.snapshot lu)
         | None -> None)
   in
@@ -481,18 +753,34 @@ let snapshot st =
    so warm-started chains see no worse drift than a long cold solve. *)
 let refresh_age = eta_limit
 
-let init_state ~dense p ~lb:wlb ~ub:wub =
+let init_state ~dense ~pricing ~harris ~ws p ~lb:wlb ~ub:wub =
   let m = Array.length p.rows in
   let n = p.ncols in
   let ntot = n + (2 * m) in
-  let cols = build_cols p m in
-  let lb = Array.make ntot 0. and ub = Array.make ntot infinity in
+  build_csc ws p m;
+  let colp = ws.colp and coli = ws.coli and colv = ws.colv in
+  ws.a_lb <- ensure_f ws.a_lb ntot;
+  ws.a_ub <- ensure_f ws.a_ub ntot;
+  ws.a_cost <- ensure_f ws.a_cost ntot;
+  ws.a_stat <- ensure_s ws.a_stat ntot;
+  ws.a_basis <- ensure_i ws.a_basis m;
+  ws.a_xb <- ensure_f ws.a_xb m;
+  ws.a_wy <- ensure_f ws.a_wy m;
+  ws.a_ww <- ensure_f ws.a_ww m;
+  ws.a_wrho <- ensure_f ws.a_wrho m;
+  ws.a_wres <- ensure_f ws.a_wres m;
+  ws.a_dred <- ensure_f ws.a_dred ntot;
+  ws.a_dw <- ensure_f ws.a_dw ntot;
+  ws.a_wflip <- ensure_f ws.a_wflip m;
+  ws.a_cnd <- ensure_i ws.a_cnd ntot;
+  ws.a_cnda <- ensure_f ws.a_cnda ntot;
+  ws.a_cndr <- ensure_f ws.a_cndr ntot;
+  let lb = ws.a_lb and ub = ws.a_ub in
   Array.blit wlb 0 lb 0 n;
   Array.blit wub 0 ub 0 n;
   (* Slack bounds encode the row sense: a.x + s = b. *)
   for i = 0 to m - 1 do
     let s = n + i in
-    cols.(s) <- [| (i, 1.0) |];
     match p.senses.(i) with
     | Model.Le ->
         lb.(s) <- 0.;
@@ -504,7 +792,7 @@ let init_state ~dense p ~lb:wlb ~ub:wub =
         lb.(s) <- 0.;
         ub.(s) <- 0.
   done;
-  let stat = Array.make ntot At_lower in
+  let stat = ws.a_stat in
   for j = 0 to n - 1 do
     stat.(j) <-
       (if Float.is_finite lb.(j) then At_lower
@@ -512,7 +800,8 @@ let init_state ~dense p ~lb:wlb ~ub:wub =
        else Free_zero)
   done;
   (* Row residuals under the nonbasic assignment. *)
-  let resid = Array.copy p.rhs in
+  let resid = ws.a_wres in
+  Array.blit p.rhs 0 resid 0 m;
   for j = 0 to n - 1 do
     let v =
       match stat.(j) with
@@ -520,12 +809,16 @@ let init_state ~dense p ~lb:wlb ~ub:wub =
       | At_upper -> ub.(j)
       | Free_zero | Basic -> 0.
     in
-    if v <> 0. then Array.iter (fun (i, a) -> resid.(i) <- resid.(i) -. (a *. v)) cols.(j)
+    if v <> 0. then
+      for k = colp.(j) to colp.(j + 1) - 1 do
+        resid.(coli.(k)) <- resid.(coli.(k)) -. (FA.get colv k *. v)
+      done
   done;
-  let basis = Array.make m 0 in
+  let basis = ws.a_basis in
   let diag = Array.make m 1.0 in
-  let xb = Array.make m 0. in
-  let cost = Array.make ntot 0. in
+  let xb = ws.a_xb in
+  let cost = ws.a_cost in
+  Array.fill cost 0 ntot 0.;
   for i = 0 to m - 1 do
     let s = n + i and art = n + m + i in
     let r = resid.(i) in
@@ -534,25 +827,38 @@ let init_state ~dense p ~lb:wlb ~ub:wub =
       basis.(i) <- s;
       stat.(s) <- Basic;
       xb.(i) <- r;
-      cols.(art) <- [| (i, 1.0) |];
+      FA.set colv colp.(art) 1.0;
+      stat.(art) <- At_lower;
+      lb.(art) <- 0.;
       ub.(art) <- 0.
     end
     else begin
       (* Slack pinned at its nearest bound (0 in all senses); an
          artificial with sign g carries the residual: x_art = |r| >= 0. *)
       let g = if r >= 0. then 1.0 else -1.0 in
-      cols.(art) <- [| (i, g) |];
+      FA.set colv colp.(art) g;
       stat.(s) <- At_lower;
       (match p.senses.(i) with
       | Model.Ge -> stat.(s) <- At_upper
       | Model.Le | Model.Eq -> ());
       basis.(i) <- art;
       stat.(art) <- Basic;
+      lb.(art) <- 0.;
+      ub.(art) <- infinity;
       xb.(i) <- Float.abs r;
       diag.(i) <- g;
       cost.(art) <- 1.0 (* phase-1 cost *)
     end
   done;
+  let st =
+    { p; m; ntot; colp; coli; colv; lb; ub; stat; basis; dense; pricing; harris;
+      kern = Dense [||]; xb; cost;
+      wy = ws.a_wy; ww = ws.a_ww; wrho = ws.a_wrho; wres = ws.a_wres;
+      dred = ws.a_dred; dw = ws.a_dw; wflip = ws.a_wflip;
+      cnd = ws.a_cnd; cnd_a = ws.a_cnda; cnd_r = ws.a_cndr;
+      d_valid = false; niter = 0; degen_count = 0; bland = false;
+      price_ptr = 0; age = 0 }
+  in
   (* The starting basis matrix is the ±1 diagonal [diag]; both kernels
      represent it directly (the sparse factorization of a signed
      diagonal cannot fail, but fall back to the dense inverse if it
@@ -561,15 +867,13 @@ let init_state ~dense p ~lb:wlb ~ub:wub =
     if dense then
       Dense (Array.init m (fun i -> Array.init m (fun k -> if i = k then diag.(i) else 0.)))
     else
-      match Lu.factorize ~m (fun i -> cols.(basis.(i))) with
+      match Lu.factorize ~m (fun i -> col_array st st.basis.(i)) with
       | Some lu -> Sparse lu
       | None ->
           Dense (Array.init m (fun i -> Array.init m (fun k -> if i = k then diag.(i) else 0.)))
   in
-  { p; m; ntot; cols; lb; ub; stat; basis; dense; kern; xb; cost;
-    wy = Array.make m 0.; ww = Array.make m 0.; wrho = Array.make m 0.;
-    wres = Array.make m 0.;
-    niter = 0; degen_count = 0; bland = false; price_ptr = 0; age = 0 }
+  st.kern <- kern;
+  st
 
 (* Rebuild a solver state from a prior optimal basis under new working
    bounds.  The column layout matches [init_state]; artificial columns
@@ -582,17 +886,33 @@ let init_state ~dense p ~lb:wlb ~ub:wub =
    a snapshot whose eta file outgrew [refresh_age], or one without a
    factor, pays for a fresh factorization.  Returns [None] when such a
    refresh finds the inherited basis matrix singular. *)
-let warm_state ~dense p ~lb:wlb ~ub:wub (b : Basis.t) =
+let warm_state ~dense ~pricing ~harris ~ws p ~lb:wlb ~ub:wub (b : Basis.t) =
   let m = Array.length p.rows in
   let n = p.ncols in
   let ntot = n + (2 * m) in
-  let cols = build_cols p m in
-  let lb = Array.make ntot 0. and ub = Array.make ntot infinity in
+  build_csc ws p m;
+  let colp = ws.colp and coli = ws.coli and colv = ws.colv in
+  ws.a_lb <- ensure_f ws.a_lb ntot;
+  ws.a_ub <- ensure_f ws.a_ub ntot;
+  ws.a_cost <- ensure_f ws.a_cost ntot;
+  ws.a_stat <- ensure_s ws.a_stat ntot;
+  ws.a_basis <- ensure_i ws.a_basis m;
+  ws.a_xb <- ensure_f ws.a_xb m;
+  ws.a_wy <- ensure_f ws.a_wy m;
+  ws.a_ww <- ensure_f ws.a_ww m;
+  ws.a_wrho <- ensure_f ws.a_wrho m;
+  ws.a_wres <- ensure_f ws.a_wres m;
+  ws.a_dred <- ensure_f ws.a_dred ntot;
+  ws.a_dw <- ensure_f ws.a_dw ntot;
+  ws.a_wflip <- ensure_f ws.a_wflip m;
+  ws.a_cnd <- ensure_i ws.a_cnd ntot;
+  ws.a_cnda <- ensure_f ws.a_cnda ntot;
+  ws.a_cndr <- ensure_f ws.a_cndr ntot;
+  let lb = ws.a_lb and ub = ws.a_ub in
   Array.blit wlb 0 lb 0 n;
   Array.blit wub 0 ub 0 n;
   for i = 0 to m - 1 do
     let s = n + i in
-    cols.(s) <- [| (i, 1.0) |];
     (match p.senses.(i) with
     | Model.Le ->
         lb.(s) <- 0.;
@@ -604,11 +924,12 @@ let warm_state ~dense p ~lb:wlb ~ub:wub (b : Basis.t) =
         lb.(s) <- 0.;
         ub.(s) <- 0.);
     let art = n + m + i in
-    cols.(art) <- [| (i, 1.0) |];
+    FA.set colv colp.(art) 1.0;
     lb.(art) <- 0.;
     ub.(art) <- 0.
   done;
-  let stat = Array.copy b.Basis.stat in
+  let stat = ws.a_stat in
+  Array.blit b.Basis.stat 0 stat 0 ntot;
   (* Nonbasic statuses must reference bounds that exist under the new
      box; reconcile the few that a bound change invalidated. *)
   for j = 0 to ntot - 1 do
@@ -622,17 +943,20 @@ let warm_state ~dense p ~lb:wlb ~ub:wub (b : Basis.t) =
         stat.(j) <- (if lb.(j) > 0. then At_lower else At_upper)
     | At_lower | At_upper | Free_zero -> ()
   done;
-  let cost = Array.make ntot 0. in
+  let cost = ws.a_cost in
+  Array.fill cost 0 ntot 0.;
   Array.blit p.obj 0 cost 0 n;
+  Array.blit b.Basis.basis 0 ws.a_basis 0 m;
   let st =
-    { p; m; ntot; cols; lb; ub; stat;
-      basis = Array.copy b.Basis.basis;
-      dense; kern = Dense [||];
-      xb = Array.make m 0.; cost;
-      wy = Array.make m 0.; ww = Array.make m 0.; wrho = Array.make m 0.;
-      wres = Array.make m 0.;
-      niter = 0; degen_count = 0; bland = false; price_ptr = 0;
-      age = Basis.age b }
+    { p; m; ntot; colp; coli; colv; lb; ub; stat;
+      basis = ws.a_basis;
+      dense; pricing; harris; kern = Dense [||];
+      xb = ws.a_xb; cost;
+      wy = ws.a_wy; ww = ws.a_ww; wrho = ws.a_wrho; wres = ws.a_wres;
+      dred = ws.a_dred; dw = ws.a_dw; wflip = ws.a_wflip;
+      cnd = ws.a_cnd; cnd_a = ws.a_cnda; cnd_r = ws.a_cndr;
+      d_valid = false; niter = 0; degen_count = 0; bland = false;
+      price_ptr = 0; age = Basis.age b }
   in
   let restored =
     st.age <= refresh_age
@@ -679,7 +1003,16 @@ type dual_outcome = Dual_feasible | Dual_proven_infeasible | Dual_stalled
    (one BTRAN), and pivots on the smallest dual ratio |d_j / alpha_j|.
    Failure of the ratio test is a primal infeasibility certificate: the
    violated row proves no setting of the nonbasic variables can pull the
-   basic one back inside its bounds. *)
+   basic one back inside its bounds.
+
+   With [st.harris] set, the entering choice runs the bound-flipping
+   (long-step) ratio test instead: the candidate breakpoints are walked
+   in increasing dual-ratio order, and every boxed candidate whose flip
+   keeps the remaining infeasibility slope positive has its bounds
+   flipped rather than entering — the pivot lands on the first blocking
+   breakpoint.  One FTRAN of the combined flipped columns updates the
+   basic values for all flips at once.  Boxed 0-1 routing variables
+   thus cross the box in O(1) bookkeeping instead of one pivot each. *)
 let dual_simplex st ~max_pivots ~feas_tol ~deadline =
   let rec loop pivots =
     if pivots >= max_pivots then Dual_stalled
@@ -708,7 +1041,7 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
       done;
       if !r < 0 then Dual_feasible
       else begin
-        let r = !r and high = !high in
+        let r = !r and high = !high and viol = !viol in
         let k = st.basis.(r) in
         binv_row st r;
         let rho = st.wrho in
@@ -718,12 +1051,11 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
            violated bound, so nonbasics at lower (free to rise) need
            s*alpha > 0 and nonbasics at upper need s*alpha < 0. *)
         let s = if high then 1.0 else -1.0 in
-        let enter = ref (-1) and best_ratio = ref infinity and enter_alpha = ref 0. in
+        let ncand = ref 0 in
         for j = 0 to st.ntot - 1 do
           if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
-            let a = ref 0. in
-            Array.iter (fun (i, c) -> a := !a +. (rho.(i) *. c)) st.cols.(j);
-            let sa = s *. !a in
+            let a = rho_dot st rho j in
+            let sa = s *. a in
             let eligible =
               match st.stat.(j) with
               | At_lower -> sa > pivot_tol
@@ -732,33 +1064,121 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
               | Basic -> false
             in
             if eligible then begin
-              let ratio = Float.max 0. (reduced_cost st y j /. sa) in
-              if
-                ratio < !best_ratio -. 1e-12
-                || (ratio < !best_ratio +. 1e-12 && Float.abs !a > Float.abs !enter_alpha)
-              then begin
-                enter := j;
-                best_ratio := ratio;
-                enter_alpha := !a
-              end
+              let c = !ncand in
+              st.cnd.(c) <- j;
+              st.cnd_a.(c) <- a;
+              st.cnd_r.(c) <- Float.max 0. (reduced_cost st y j /. sa);
+              incr ncand
             end
           end
         done;
-        if !enter < 0 then Dual_proven_infeasible
+        let ncand = !ncand in
+        if ncand = 0 then Dual_proven_infeasible
         else begin
-          let j = !enter in
-          ftran_col st j;
-          let w = st.ww in
-          let alpha = w.(r) in
-          if Float.abs alpha < pivot_tol then Dual_stalled
+          (* Entering choice.  Classic: smallest dual ratio, largest
+             |alpha| tiebreak.  Bound-flipping: walk breakpoints in ratio
+             order, flipping boxed candidates while the remaining slope
+             stays positive. *)
+          let enter = ref (-1) in
+          let flips = ref [] in
+          if not st.harris then begin
+            let best_ratio = ref infinity and enter_alpha = ref 0. in
+            for c = 0 to ncand - 1 do
+              let ratio = st.cnd_r.(c) and a = st.cnd_a.(c) in
+              if
+                ratio < !best_ratio -. 1e-12
+                || (ratio < !best_ratio +. 1e-12 && Float.abs a > Float.abs !enter_alpha)
+              then begin
+                enter := st.cnd.(c);
+                best_ratio := ratio;
+                enter_alpha := a
+              end
+            done
+          end
           else begin
-            let bound = if high then st.ub.(k) else st.lb.(k) in
-            let delta = (st.xb.(r) -. bound) /. alpha in
-            st.niter <- st.niter + 1;
-            apply_step st j 1.0 w delta;
-            pivot st j 1.0 w r delta ~to_upper:high;
-            if st.niter mod 256 = 0 then ignore (refactorize st);
-            loop (pivots + 1)
+            let ord = Array.init ncand Fun.id in
+            Array.sort
+              (fun x y ->
+                let c = Float.compare st.cnd_r.(x) st.cnd_r.(y) in
+                if c <> 0 then c
+                else Float.compare (Float.abs st.cnd_a.(y)) (Float.abs st.cnd_a.(x)))
+              ord;
+            let slope = ref viol in
+            let t = ref 0 in
+            while !enter < 0 && !t < ncand do
+              let c = ord.(!t) in
+              let j = st.cnd.(c) in
+              let span = st.ub.(j) -. st.lb.(j) in
+              let drop = Float.abs st.cnd_a.(c) *. span in
+              if Float.is_finite span && !slope -. drop > 1e-9 && !t < ncand - 1
+              then begin
+                (* Flipping j keeps the row infeasible: pass the
+                   breakpoint.  (Never flip the last candidate — a pivot
+                   must land somewhere.) *)
+                slope := !slope -. drop;
+                flips := c :: !flips;
+                incr t
+              end
+              else enter := j
+            done
+          end;
+          if !enter < 0 then Dual_proven_infeasible
+          else begin
+            (* Commit the bound flips: one combined column, one FTRAN. *)
+            (match !flips with
+            | [] -> ()
+            | fl ->
+                Array.fill st.wflip 0 st.m 0.;
+                List.iter
+                  (fun c ->
+                    let j = st.cnd.(c) in
+                    let span = st.ub.(j) -. st.lb.(j) in
+                    let delta =
+                      match st.stat.(j) with
+                      | At_lower ->
+                          st.stat.(j) <- At_upper;
+                          span
+                      | At_upper ->
+                          st.stat.(j) <- At_lower;
+                          -.span
+                      | Free_zero | Basic -> 0.
+                    in
+                    if delta <> 0. then
+                      for e = st.colp.(j) to st.colp.(j + 1) - 1 do
+                        let i = st.coli.(e) in
+                        st.wflip.(i) <- st.wflip.(i) +. (FA.get st.colv e *. delta)
+                      done)
+                  fl;
+                (match st.kern with
+                | Dense binv ->
+                    let tmp = st.wres in
+                    Array.blit st.wflip 0 tmp 0 st.m;
+                    for i = 0 to st.m - 1 do
+                      let acc = ref 0. in
+                      let row = binv.(i) in
+                      for e = 0 to st.m - 1 do
+                        acc := !acc +. (row.(e) *. tmp.(e))
+                      done;
+                      st.wflip.(i) <- !acc
+                    done
+                | Sparse lu -> Lu.ftran lu st.wflip);
+                for i = 0 to st.m - 1 do
+                  st.xb.(i) <- st.xb.(i) -. st.wflip.(i)
+                done);
+            let j = !enter in
+            ftran_col st j;
+            let w = st.ww in
+            let alpha = w.(r) in
+            if Float.abs alpha < pivot_tol then Dual_stalled
+            else begin
+              let bound = if high then st.ub.(k) else st.lb.(k) in
+              let delta = (st.xb.(r) -. bound) /. alpha in
+              st.niter <- st.niter + 1;
+              apply_step st j 1.0 w delta;
+              pivot st j 1.0 w r delta ~to_upper:high;
+              if st.niter mod 256 = 0 then ignore (refactorize st);
+              loop (pivots + 1)
+            end
           end
         end
       end
@@ -767,9 +1187,23 @@ let dual_simplex st ~max_pivots ~feas_tol ~deadline =
   loop 0
 
 (* Run simplex iterations under the current [st.cost] until no entering
-   column is found.  Returns [Ok ()] at phase optimality. *)
+   column is found.  Returns [Ok ()] at phase optimality.
+
+   Devex mode maintains the reduced costs incrementally (the pivot-row
+   sweep in {!devex_update} pays for both the weight and the cost
+   update), refreshing them from the duals at phase entry, every
+   refactorization period, after a Bland excursion, and — always —
+   before optimality is declared, so a drifted estimate can never
+   terminate the phase early.  The Bland fallback itself runs the
+   classic full lowest-index scan on fresh duals, exactly as in Dantzig
+   mode, preserving the termination guarantee. *)
 let optimize st ~max_iterations ~dual_tol ~deadline =
   let refactor_period = 512 in
+  let devex = st.pricing = Devex in
+  if devex then begin
+    refresh_dred st;
+    reset_devex st
+  end;
   let rec loop () =
     if st.niter >= max_iterations then Error Status.Lp_iteration_limit
     else if
@@ -777,8 +1211,22 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
       && st.niter land 63 = 0
       && Clock.now () > deadline
     then Error Status.Lp_iteration_limit
-    else
-      match price st ~dual_tol with
+    else begin
+      if devex && (not st.bland) && not st.d_valid then begin
+        refresh_dred st;
+        reset_devex st
+      end;
+      let cand =
+        if (not devex) || st.bland then price st ~dual_tol
+        else
+          match devex_price st ~dual_tol with
+          | Some _ as c -> c
+          | None ->
+              (* Confirm optimality on fresh reduced costs. *)
+              refresh_dred st;
+              devex_price st ~dual_tol
+      in
+      match cand with
       | None -> Ok ()
       | Some (j, d) -> (
           let sigma =
@@ -789,7 +1237,10 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
             | Basic -> assert false
           in
           st.niter <- st.niter + 1;
-          if st.niter mod refactor_period = 0 then ignore (refactorize st);
+          if st.niter mod refactor_period = 0 then begin
+            ignore (refactorize st);
+            if devex && not st.bland then refresh_dred st
+          end;
           ftran_col st j;
           let w = st.ww in
           match ratio_test st j sigma w with
@@ -799,6 +1250,8 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
               st.stat.(j) <- (match st.stat.(j) with At_lower -> At_upper | _ -> At_lower);
               st.degen_count <- 0;
               st.bland <- false;
+              (* A flip keeps the basis, hence duals and reduced costs,
+                 unchanged. *)
               loop ()
           | Leave { row; t; to_upper } ->
               if t <= 1e-10 then begin
@@ -809,9 +1262,12 @@ let optimize st ~max_iterations ~dual_tol ~deadline =
                 st.degen_count <- 0;
                 st.bland <- false
               end;
+              if devex && not st.bland then devex_update st ~q:j ~r:row ~alpha_rq:w.(row)
+              else st.d_valid <- false;
               apply_step st j sigma w t;
               pivot st j sigma w row t ~to_upper;
               loop ())
+    end
   in
   loop ()
 
@@ -834,9 +1290,9 @@ let true_objective st x =
   done;
   !acc
 
-let cold_solve ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
+let cold_solve ~dense ~pricing ~harris ~ws ~max_iterations ~feas_tol ~deadline p ~lb ~ub =
   let m = Array.length p.rows in
-  let st = init_state ~dense p ~lb ~ub in
+  let st = init_state ~dense ~pricing ~harris ~ws p ~lb ~ub in
   (* Phase 1: minimize total artificial value (cost set by init). *)
   let phase1_needed = ref false in
   for i = 0 to m - 1 do
@@ -897,11 +1353,11 @@ let basic_within_bounds st tol =
    feasibility with dual pivots, then finish with (usually zero) primal
    iterations.  [None] means the caller must fall back to a cold solve:
    the basis was stale or singular, or dual pivoting stalled. *)
-let try_warm ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
+let try_warm ~dense ~pricing ~harris ~ws ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
   let m = Array.length p.rows in
   if not (Basis.compatible b ~ncols:p.ncols ~nrows:m && Basis.well_formed b) then None
   else
-    match warm_state ~dense p ~lb ~ub b with
+    match warm_state ~dense ~pricing ~harris ~ws p ~lb ~ub b with
     | None -> None
     | Some st -> (
         match dual_simplex st ~max_pivots:(100 + (2 * m)) ~feas_tol ~deadline with
@@ -938,8 +1394,9 @@ let try_warm ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub b =
                 end))
 
 let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity)
-    ?(dense = false) p ~lb ~ub =
+    ?(dense = false) ?(pricing = Devex) ?(harris = true) ?ws p ~lb ~ub =
   let m = Array.length p.rows in
+  let ws = match ws with Some w -> w | None -> create_workspace () in
   (* Reject inverted working bounds up-front (branch & bound can create
      them); an empty box is infeasible. *)
   let inverted = ref false in
@@ -956,12 +1413,12 @@ let solve ?basis ?max_iterations ?(feas_tol = 1e-7) ?(deadline = infinity)
       | None -> 50_000 + (50 * (m + p.ncols))
     in
     match basis with
-    | None -> cold_solve ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub
+    | None -> cold_solve ~dense ~pricing ~harris ~ws ~max_iterations ~feas_tol ~deadline p ~lb ~ub
     | Some b -> (
-        match try_warm ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub b with
+        match try_warm ~dense ~pricing ~harris ~ws ~max_iterations ~feas_tol ~deadline p ~lb ~ub b with
         | Some r -> r
         | None ->
-            { (cold_solve ~dense ~max_iterations ~feas_tol ~deadline p ~lb ~ub) with
+            { (cold_solve ~dense ~pricing ~harris ~ws ~max_iterations ~feas_tol ~deadline p ~lb ~ub) with
               warm = Warm_fallback })
   end
 
@@ -998,12 +1455,18 @@ type tableau = {
    basic values plus on-demand tableau rows alpha = B^{-1} A restricted
    to the nonbasic, non-fixed columns.  Fixed columns (sealed
    artificials, presolve-fixed structurals) contribute nothing to a cut
-   because their shifted value is identically zero. *)
+   because their shifted value is identically zero.
+
+   Always runs on a private workspace: the returned [t_row] closure
+   keeps the solver state alive, so it must not share buffers with
+   subsequent solves on a caller-owned workspace. *)
 let tableau ?(dense = false) p ~lb ~ub b =
   if not (Basis.compatible b ~ncols:p.ncols ~nrows:(Array.length p.rows) && Basis.well_formed b)
   then None
   else
-    match warm_state ~dense p ~lb ~ub b with
+    match
+      warm_state ~dense ~pricing:Dantzig ~harris:false ~ws:(create_workspace ()) p ~lb ~ub b
+    with
     | None -> None
     | Some st when not (st.age = 0 || refactorize st) ->
         (* Cut coefficients are linear in B^{-1}; a factor that cannot
@@ -1016,9 +1479,8 @@ let tableau ?(dense = false) p ~lb ~ub b =
           let out = ref [] in
           for j = st.ntot - 1 downto 0 do
             if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
-              let a = ref 0. in
-              Array.iter (fun (r, c) -> a := !a +. (rho.(r) *. c)) st.cols.(j);
-              if Float.abs !a > 1e-9 then out := (j, !a) :: !out
+              let a = rho_dot st rho j in
+              if Float.abs a > 1e-9 then out := (j, a) :: !out
             end
           done;
           Array.of_list !out
@@ -1050,12 +1512,13 @@ let reduced_costs p (b : Basis.t) =
       match b.Basis.factor with
       | Some f -> Some (Lu.of_factor f)
       | None ->
-          let cols = build_cols p m in
+          let ws = create_workspace () in
+          build_csc ws p m;
+          let colp = ws.colp and coli = ws.coli and colv = ws.colv in
           Lu.factorize ~m (fun i ->
               let k = b.Basis.basis.(i) in
-              if k < n then cols.(k)
-              else if k < n + m then [| (k - n, 1.0) |]
-              else [| (k - n - m, 1.0) |])
+              let s = colp.(k) and e = colp.(k + 1) in
+              Array.init (e - s) (fun t -> (coli.(s + t), FA.get colv (s + t))))
     in
     match lu with
     | None -> None

@@ -7,12 +7,24 @@
     with product-form eta updates ({!Lu}): each iteration prices via
     one sparse BTRAN, forms the entering column via one sparse FTRAN,
     and appends one eta per pivot, refactorizing once the eta file hits
-    its stability budget.  Pricing is partial (candidate-list) Dantzig —
-    a block of columns is scanned per iteration, resuming where the
-    last one stopped — with an automatic switch to Bland's full
-    lowest-index rule under prolonged degeneracy, which guarantees
-    termination.  The pre-PR dense explicit inverse survives behind
-    [?dense] as an ablation baseline.
+    its stability budget.
+
+    Pricing defaults to devex (reference-framework weights approximating
+    steepest edge, maintained reduced costs updated from the pivot row,
+    periodic reference resets), with the PR5 partial candidate-list
+    Dantzig scan kept behind [~pricing:Dantzig] as an ablation.  Either
+    way an automatic switch to Bland's full lowest-index rule under
+    prolonged degeneracy guarantees termination.  The primal ratio test
+    defaults to the Harris two-pass test (tolerance-relaxed first pass,
+    max-|pivot| second pass) with a bound-flipping (long-step) ratio
+    test in the dual repair loop; [~harris:false] restores the classic
+    smallest-ratio tests.  The pre-PR dense explicit inverse survives
+    behind [?dense] as an ablation baseline.
+
+    Hot working storage (bounds, statuses, scratch vectors, the CSC
+    image of the constraint matrix) lives in a {!workspace} arena that
+    callers may reuse across re-solves — branch & bound keeps one per
+    worker domain — eliminating per-solve allocation on node re-solves.
 
     Variable bounds may be infinite.  Maximization is handled by the
     caller negating the objective (see {!Branch_bound} and {!solve_model}).
@@ -35,6 +47,20 @@ type problem = {
   obj : float array;  (** Minimization coefficients, length [ncols]. *)
   obj_const : float;
 }
+
+type pricing =
+  | Dantzig  (** Partial candidate-list largest-reduced-cost scan (PR5). *)
+  | Devex  (** Reference-framework devex weights (default). *)
+
+type workspace
+(** Reusable per-solve arena: the CSC image of the constraint matrix
+    plus every working array of the solver state.  A workspace may be
+    used by one solve at a time and must not be shared across domains;
+    reusing one across re-solves (same or different problems — buffers
+    resize on shape change) eliminates per-solve allocation. *)
+
+val create_workspace : unit -> workspace
+(** A fresh, empty workspace.  Cheap; buffers grow on first use. *)
 
 type warm_kind =
   | Cold  (** No basis given (or an empty box): two-phase solve. *)
@@ -62,6 +88,9 @@ val solve :
   ?feas_tol:float ->
   ?deadline:float ->
   ?dense:bool ->
+  ?pricing:pricing ->
+  ?harris:bool ->
+  ?ws:workspace ->
   problem ->
   lb:float array ->
   ub:float array ->
@@ -80,7 +109,15 @@ val solve :
     hold even when a single LP is huge.
     [dense] (default [false]) selects the pre-PR dense explicit-inverse
     kernel instead of the sparse LU one — an ablation baseline
-    ([--dense-basis]); results agree to solver tolerances either way. *)
+    ([--dense-basis]); results agree to solver tolerances either way.
+    [pricing] (default [Devex]) selects the entering-column rule;
+    [harris] (default [true]) enables the Harris two-pass primal ratio
+    test and the bound-flipping dual ratio test.  All combinations agree
+    on the optimum to solver tolerances; they differ in iteration count
+    and numerical robustness.
+    [ws], when given, supplies the working-storage arena ({!workspace});
+    when absent a private one is allocated.  Pass the same workspace to
+    successive re-solves to eliminate per-solve allocation. *)
 
 val add_rows : problem -> ((int * float) array * Model.sense * float) list -> problem
 (** [add_rows p extra] appends constraint rows (sparse row, sense, rhs)

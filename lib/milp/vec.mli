@@ -23,3 +23,37 @@ val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val iter : ('a -> unit) -> 'a t -> unit
 
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** Unboxed growable float vector backed by a flat [floatarray]:
+    elements are stored inline, so appending [n] floats allocates
+    O(n) words total (the doubling copies) rather than one box per
+    element.  Mirrors the polymorphic API plus {!Float.clear} for
+    buffer reuse. *)
+module Float : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val get : t -> int -> float
+  (** @raise Invalid_argument on out-of-range index. *)
+
+  val set : t -> int -> float -> unit
+  (** @raise Invalid_argument on out-of-range index. *)
+
+  val add_last : t -> float -> unit
+
+  val clear : t -> unit
+  (** Reset the length to zero, keeping capacity for reuse. *)
+
+  val to_array : t -> float array
+
+  val of_array : float array -> t
+
+  val iteri : (int -> float -> unit) -> t -> unit
+
+  val iter : (float -> unit) -> t -> unit
+
+  val fold_left : ('acc -> float -> 'acc) -> 'acc -> t -> 'acc
+end

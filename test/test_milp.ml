@@ -976,6 +976,31 @@ let test_vec_bounds () =
   Alcotest.check_raises "get out of range"
     (Invalid_argument "Vec.get: index 3 out of range [0, 3)") (fun () -> ignore (Vec.get v 3))
 
+let prop_vec_float_roundtrip =
+  QCheck2.Test.make ~name:"vec.float: add_last/to_array round-trips" ~count:200
+    QCheck2.Gen.(list (float_range (-1e6) 1e6))
+    (fun xs ->
+      let v = Vec.Float.create () in
+      List.iter (Vec.Float.add_last v) xs;
+      let arr = Vec.Float.to_array v in
+      Vec.Float.length v = List.length xs
+      && Array.to_list arr = xs
+      && Vec.Float.fold_left (fun acc x -> acc +. x) 0. v
+         = List.fold_left (fun acc x -> acc +. x) 0. xs)
+
+let test_vec_float_clear_and_bounds () =
+  let v = Vec.Float.of_array [| 1.5; 2.5; 3.5 |] in
+  Vec.Float.set v 1 9.25;
+  Alcotest.(check (float 0.)) "set/get" 9.25 (Vec.Float.get v 1);
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Vec.Float.get: index 3 out of range [0, 3)") (fun () ->
+      ignore (Vec.Float.get v 3));
+  Vec.Float.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.Float.length v);
+  (* Capacity survives a clear: appends after it still work. *)
+  Vec.Float.add_last v 7.;
+  Alcotest.(check (float 0.)) "append after clear" 7. (Vec.Float.get v 0)
+
 (* ------------------------------------------------------------------ *)
 (* Node_pool                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -1316,6 +1341,138 @@ let prop_dense_sparse_bb_parity =
       && (s.Branch_bound.status <> Status.Mip_optimal
          || feq ~eps:1e-5 s.Branch_bound.objective d.Branch_bound.objective))
 
+(* ------------------------------------------------------------------ *)
+(* Kernel round 2: pricing and ratio-test ablations                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Devex and Dantzig pricing walk different vertex sequences but must
+   land on the same optimum (or agree the LP is infeasible/unbounded). *)
+let prop_pricing_lp_parity =
+  QCheck2.Test.make ~name:"simplex: devex pricing matches dantzig on random LPs" ~count:300
+    random_lp_spec (fun spec ->
+      let m, _ = build_lp spec in
+      let p = Simplex.of_model m in
+      let n = p.Simplex.ncols in
+      let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+      let dv = Simplex.solve ~pricing:Simplex.Devex p ~lb ~ub in
+      let dz = Simplex.solve ~pricing:Simplex.Dantzig p ~lb ~ub in
+      dv.Simplex.status = dz.Simplex.status
+      && (dv.Simplex.status <> Status.Lp_optimal
+         || feq ~eps:1e-6 dv.Simplex.objective dz.Simplex.objective))
+
+let prop_ratio_test_lp_parity =
+  QCheck2.Test.make ~name:"simplex: harris ratio test matches the classic one" ~count:300
+    random_lp_spec (fun spec ->
+      let m, _ = build_lp spec in
+      let p = Simplex.of_model m in
+      let n = p.Simplex.ncols in
+      let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+      let h = Simplex.solve ~harris:true p ~lb ~ub in
+      let c = Simplex.solve ~harris:false p ~lb ~ub in
+      h.Simplex.status = c.Simplex.status
+      && (h.Simplex.status <> Status.Lp_optimal
+         || feq ~eps:1e-6 h.Simplex.objective c.Simplex.objective))
+
+let prop_pricing_bb_parity =
+  QCheck2.Test.make ~name:"branch&bound: dantzig ablation matches devex default" ~count:100
+    random_bip (fun spec ->
+      let m = build_bip spec in
+      let dv = Branch_bound.solve m in
+      let dz =
+        Branch_bound.solve
+          ~options:{ Branch_bound.default_options with Branch_bound.pricing = Simplex.Dantzig }
+          m
+      in
+      dv.Branch_bound.status = dz.Branch_bound.status
+      && (dv.Branch_bound.status <> Status.Mip_optimal
+         || feq ~eps:1e-6 dv.Branch_bound.objective dz.Branch_bound.objective))
+
+let prop_harris_bb_parity =
+  QCheck2.Test.make ~name:"branch&bound: classic ratio-test ablation matches harris default"
+    ~count:100 random_bip (fun spec ->
+      let m = build_bip spec in
+      let h = Branch_bound.solve m in
+      let c =
+        Branch_bound.solve
+          ~options:{ Branch_bound.default_options with Branch_bound.harris = false }
+          m
+      in
+      h.Branch_bound.status = c.Branch_bound.status
+      && (h.Branch_bound.status <> Status.Mip_optimal
+         || feq ~eps:1e-6 h.Branch_bound.objective c.Branch_bound.objective))
+
+(* Beale's cycling LP: every vertex of the feasible region is degenerate
+   at the origin, and Dantzig pricing with a naive ratio test cycles
+   forever.  The stall detector must hand over to Bland's rule and
+   terminate at the known optimum -0.05 = -1/20 under all four
+   pricing/ratio-test combinations. *)
+let test_degenerate_stall_bland () =
+  let m = Model.create () in
+  let x1 = Model.add_var m "x1" and x2 = Model.add_var m "x2" in
+  let x3 = Model.add_var m ~ub:1. "x3" and x4 = Model.add_var m "x4" in
+  Model.add_constr m
+    (Lin.of_list [ (0.25, x1); (-60., x2); (-1. /. 25., x3); (9., x4) ])
+    Model.Le 0.;
+  Model.add_constr m
+    (Lin.of_list [ (0.5, x1); (-90., x2); (-1. /. 50., x3); (3., x4) ])
+    Model.Le 0.;
+  Model.set_objective m Model.Minimize
+    (Lin.of_list [ (-0.75, x1); (150., x2); (-0.02, x3); (6., x4) ]);
+  let p = Simplex.of_model m in
+  let n = p.Simplex.ncols in
+  let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+  List.iter
+    (fun (pricing, harris, tag) ->
+      let r = Simplex.solve ~pricing ~harris p ~lb ~ub in
+      Alcotest.check lp_status (tag ^ " status") Status.Lp_optimal r.Simplex.status;
+      check_feq (tag ^ " objective") (-0.05) r.Simplex.objective)
+    [
+      (Simplex.Devex, true, "devex+harris");
+      (Simplex.Devex, false, "devex+classic");
+      (Simplex.Dantzig, true, "dantzig+harris");
+      (Simplex.Dantzig, false, "dantzig+classic");
+    ]
+
+(* Bound-flipping ratio test: tightening the upper bound of a basic
+   variable forces a dual repair in which cheaper boxed nonbasics must
+   flip to their opposite bound.  The warm re-solve must agree with a
+   cold solve of the tightened box, with and without the long-step
+   test. *)
+let test_bound_flip_boxed_lp () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:1. "x" in
+  let y = Model.add_var m ~ub:1. "y" in
+  let z = Model.add_var m ~ub:1. "z" in
+  let w = Model.add_var m ~ub:1. "w" in
+  Model.add_constr m (Lin.of_list [ (1., x); (1., y); (1., z); (1., w) ]) Model.Le 2.;
+  Model.set_objective m Model.Minimize
+    (Lin.of_list [ (-3., x); (-2., y); (-1., z); (-0.5, w) ]);
+  let p = Simplex.of_model m in
+  let n = p.Simplex.ncols in
+  let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+  List.iter
+    (fun harris ->
+      let tag = if harris then "bfrt" else "classic" in
+      let ub = Array.copy ub in
+      let r0 = Simplex.solve ~harris p ~lb ~ub in
+      Alcotest.check lp_status (tag ^ " cold status") Status.Lp_optimal r0.Simplex.status;
+      check_feq (tag ^ " cold objective") (-5.) r0.Simplex.objective;
+      let basis =
+        match r0.Simplex.basis with
+        | Some b -> b
+        | None -> Alcotest.fail "optimal cold solve must expose its basis"
+      in
+      ub.(x) <- 0.25;
+      let r1 = Simplex.solve ~harris ~basis p ~lb ~ub in
+      Alcotest.check lp_status (tag ^ " warm status") Status.Lp_optimal r1.Simplex.status;
+      check_feq (tag ^ " warm objective") (-3.5) r1.Simplex.objective;
+      check_feq (tag ^ " warm x") 0.25 r1.Simplex.primal.(x);
+      check_feq (tag ^ " warm y") 1. r1.Simplex.primal.(y);
+      check_feq (tag ^ " warm z") 0.75 r1.Simplex.primal.(z);
+      let cold = Simplex.solve ~harris p ~lb ~ub in
+      check_feq (tag ^ " warm = cold") cold.Simplex.objective r1.Simplex.objective)
+    [ true; false ]
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -1408,6 +1565,8 @@ let () =
           Alcotest.test_case "pqueue empty" `Quick test_pqueue_empty;
           qt prop_vec_roundtrip;
           Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+          qt prop_vec_float_roundtrip;
+          Alcotest.test_case "vec.float clear and bounds" `Quick test_vec_float_clear_and_bounds;
         ] );
       ( "lu",
         [
@@ -1419,6 +1578,16 @@ let () =
           qt prop_lu_eta_update_matches_dense;
           qt prop_dense_sparse_lp_parity;
           qt prop_dense_sparse_bb_parity;
+        ] );
+      ( "kernel2",
+        [
+          qt prop_pricing_lp_parity;
+          qt prop_ratio_test_lp_parity;
+          qt prop_pricing_bb_parity;
+          qt prop_harris_bb_parity;
+          Alcotest.test_case "beale degeneracy terminates via bland" `Quick
+            test_degenerate_stall_bland;
+          Alcotest.test_case "bound-flipping dual ratio test" `Quick test_bound_flip_boxed_lp;
         ] );
       ( "node_pool",
         [
