@@ -10,7 +10,7 @@
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
    Sections: table1 table2 table3 table4 sweep parallel kernel kernel2
-             figures ablations micro *)
+             presolve figures ablations micro *)
 
 open Archex
 
@@ -64,6 +64,11 @@ let pricing =
 
 let no_harris = List.mem "--no-harris" flags
 
+(* [--no-presolve] skips the PR7 presolve reduction stack and hands the
+   solver the model verbatim (the [presolve] section always sweeps
+   template / per-step / off). *)
+let no_presolve = List.mem "--no-presolve" flags
+
 let mode =
   String.concat "+"
     (List.filter
@@ -75,6 +80,7 @@ let mode =
          (if dense_basis then "dense-basis" else "");
          (if pricing = Milp.Simplex.Dantzig then "dantzig" else "");
          (if no_harris then "no-harris" else "");
+         (if no_presolve then "no-presolve" else "");
          (if nworkers > 1 then Printf.sprintf "workers%d" nworkers else "");
        ])
 
@@ -94,6 +100,7 @@ let config ?(workers = nworkers) ~time_limit ~rel_gap strategy =
     |> with_dense_basis dense_basis
     |> with_pricing pricing
     |> with_harris (not no_harris)
+    |> with_presolve (not no_presolve)
     |> with_workers workers
     |> with_seed seed)
 
@@ -1293,6 +1300,417 @@ let write_k2_json path =
   Format.printf "wrote %s (%d kernel-round-2 runs)@." path (List.length runs)
 
 (* ------------------------------------------------------------------ *)
+(* Presolve reduction stack: template re-apply vs per-step vs off      *)
+(* -> BENCH_PR7.json                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type ps_step = {
+  pss_kstar : int;
+  pss_presolve_s : float;
+  pss_reapplied : bool;
+  pss_rows_removed : int;
+  pss_cols_removed : int;
+  pss_nvars : int;
+  pss_nconstrs : int;
+  pss_solve_s : float;
+  pss_status : string;
+  pss_objective : float option;
+}
+
+type ps_run = {
+  psr_scenario : string;
+  psr_mode : string;  (* "template" | "per-step" | "no-presolve" *)
+  psr_total_s : float;
+  psr_presolve_s : float;  (* summed over steps *)
+  psr_final_objective : float option;
+  psr_steps : ps_step list;
+  psr_pass_stats : Milp.Presolve.pass_stats list;  (* last step's per-pass counts *)
+}
+
+let ps_log : ps_run list ref = ref []
+
+(* Table-1 family, sized per objective with a 1e-3 gap: every scenario
+   runs at the largest instance whose branch & bound reaches the gap
+   inside the cap on every step of the schedule (a capped step turns
+   the wall comparison into the cap itself for every mode and truncates
+   incumbents nondeterministically).  $ cost and $+Energy take the
+   [sweep]-section size; the Energy relaxation is weak enough that only
+   the [parallel]-section size converges at every step.  Template and
+   per-step presolve reach identical reductions (a tested invariant),
+   so the solver does the same work in both modes and their
+   wall/presolve-time deltas isolate the cost of presolving the
+   template from scratch each step. *)
+let ps_params_big = { dc_params with Scenarios.dc_sensors = 8; dc_relay_grid = (5, 3) }
+let ps_params_small = { dc_params with Scenarios.dc_sensors = 4; dc_relay_grid = (3, 2) }
+
+(* K* stops at 4: the Energy objective pins every mode to the time
+   limit from K* = 6 even at the small size and this gap, and a capped
+   step measures the cap, not the mode.  The schedule is deliberately
+   fine-grained: K* steps that add no new candidate paths (1->2 and
+   3->4 on these pools) are exactly where the template trace re-applies
+   against an empty delta, while the big 2->3 growth exercises the
+   large-delta fallback to a from-scratch reduction. *)
+let ps_schedule = [ 1; 2; 3; 4 ]
+let ps_rel_gap = 1e-3
+
+let ps_config =
+  let loc_kstar = List.fold_left Int.max 1 ps_schedule in
+  config ~time_limit:120. ~rel_gap:ps_rel_gap (Solver_config.approx ~loc_kstar ())
+  |> Solver_config.with_incremental true
+
+let ps_modes : (string * (Solver_config.t -> Solver_config.t)) list =
+  [
+    ("template", fun c -> c);
+    ("per-step", Solver_config.with_presolve_template false);
+    ("no-presolve", Solver_config.with_presolve false);
+  ]
+
+(* Template and per-step modes solve the identical reduced problem, so
+   their objectives must agree to 1e-6; no-presolve explores a
+   different tree and may stop on any incumbent inside the relative
+   gap, so it is compared to gap tolerance. *)
+let ps_obj_match tmpl step off =
+  match (tmpl, step, off) with
+  | Some a, Some b, Some c ->
+      Float.abs (a -. b) <= 1e-6
+      && Float.abs (a -. c) <= (2. *. ps_rel_gap *. Float.max 1. (Float.abs a)) +. 1e-6
+  | _, _, _ -> false
+
+(* Each mode's sweep repeats [ps_reps] times and the fastest repeat is
+   logged: the modes do deterministic work (template and per-step reach
+   identical reductions, hence identical trees), so min-of-R wall time
+   approximates that work with scheduler/GC noise suppressed. *)
+let ps_reps = 7
+
+let run_presolve_sweep_once inst ~tweak ~scenario ~mode =
+  let cfg = ps_config |> tweak in
+  let session = Session.start cfg inst in
+  let direction = ref Milp.Model.Minimize in
+  let last_stats = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let steps =
+    List.filter_map
+      (fun kstar ->
+        match Session.grow session ~kstar with
+        | Error e ->
+            Format.printf "  %s k*=%d: pool error: %s@." scenario kstar e;
+            None
+        | Ok () ->
+            let s = Session.solve session in
+            direction := fst (Milp.Model.objective s.Outcome.model);
+            let mip = s.Outcome.mip in
+            let st = s.Outcome.stats in
+            last_stats := mip.Milp.Branch_bound.presolve_stats;
+            Some
+              {
+                pss_kstar = kstar;
+                pss_presolve_s = mip.Milp.Branch_bound.presolve_time_s;
+                pss_reapplied = mip.Milp.Branch_bound.presolve_reapplied;
+                pss_rows_removed = mip.Milp.Branch_bound.presolve_rows_removed;
+                pss_cols_removed = mip.Milp.Branch_bound.presolve_cols_removed;
+                pss_nvars = st.Outcome.nvars;
+                pss_nconstrs = st.Outcome.nconstrs;
+                pss_solve_s = st.Outcome.solve_time_s;
+                pss_status = Milp.Status.mip_status_to_string s.Outcome.status;
+                pss_objective =
+                  Option.map (fun _ -> mip.Milp.Branch_bound.objective) s.Outcome.solution;
+              })
+      ps_schedule
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  let final_objective =
+    List.fold_left
+      (fun acc st ->
+        match (acc, st.pss_objective) with
+        | None, o | o, None -> o
+        | Some a, Some b -> (
+            match !direction with
+            | Milp.Model.Minimize -> Some (Float.min a b)
+            | Milp.Model.Maximize -> Some (Float.max a b)))
+      None steps
+  in
+  {
+    psr_scenario = scenario;
+    psr_mode = mode;
+    psr_total_s = total;
+    psr_presolve_s = List.fold_left (fun acc st -> acc +. st.pss_presolve_s) 0. steps;
+    psr_final_objective = final_objective;
+    psr_steps = steps;
+    psr_pass_stats = !last_stats;
+  }
+
+(* Run every mode [ps_reps] times with the reps interleaved across
+   modes (rep-major, not mode-major): template and per-step execute
+   bit-identical search trees, so any wall difference beyond the
+   presolve component is environmental drift (heap growth, CPU
+   frequency), and batching a mode's reps together would let that
+   drift bias whichever mode ran first.  Total wall and the presolve
+   component are then minimized independently per mode — the rep that
+   wins on total is not necessarily the one whose (much smaller)
+   presolve sample is clean. *)
+let run_presolve_sweeps scenario inst ~tweaks =
+  let best = Hashtbl.create 4 in
+  let pmin = Hashtbl.create 4 in
+  let nmodes = List.length tweaks in
+  for rep = 0 to ps_reps - 1 do
+    (* Rotate the order every rep: the first sweep after a heavy
+       neighbour (no-presolve's big trees bloat the heap) pays extra
+       GC cost, so each mode must sample every slot. *)
+    List.iteri
+      (fun slot _ ->
+        let mode, tweak = List.nth tweaks ((slot + rep) mod nmodes) in
+        let r = run_presolve_sweep_once inst ~tweak ~scenario ~mode in
+        (match Hashtbl.find_opt pmin mode with
+        | Some p when p <= r.psr_presolve_s -> ()
+        | _ -> Hashtbl.replace pmin mode r.psr_presolve_s);
+        match Hashtbl.find_opt best mode with
+        | Some b when b.psr_total_s <= r.psr_total_s -> ()
+        | _ -> Hashtbl.replace best mode r)
+      tweaks
+  done;
+  List.map
+    (fun (mode, _) ->
+      let run =
+        { (Hashtbl.find best mode) with psr_presolve_s = Hashtbl.find pmin mode }
+      in
+      ps_log := !ps_log @ [ run ];
+      run)
+    tweaks
+
+(* Direct microbenchmark of the reduction itself, free of branch & bound
+   noise: the sweep totals are solver-dominated (the two presolve modes
+   run bit-identical search trees — same node and LP-iteration counts),
+   so the fraction of a millisecond the re-apply saves per step sits
+   below wall-clock resolution there.  Timing [Presolve.reduce] alone on
+   the scenario's fully grown model resolves it: from-scratch vs
+   re-applying the just-recorded trace against an unchanged model — the
+   exact shape of the no-growth schedule steps (1->2 and 3->4). *)
+let ps_micro : (string * (int * int * float * float)) list ref = ref []
+
+let ps_microbench scenario inst =
+  let kstar = List.fold_left Int.max 1 ps_schedule in
+  match Approx_encoding.encode ~kstar inst with
+  | Error _ -> None
+  | Ok enc -> (
+      let lp = Encode_common.model enc.Approx_encoding.ctx in
+      let prob = Milp.Simplex.of_model lp in
+      let n = Milp.Model.nvars lp in
+      let integer = Array.init n (Milp.Model.is_integer lp) in
+      let lb = Array.init n (Milp.Model.var_lb lp) in
+      let ub = Array.init n (Milp.Model.var_ub lp) in
+      let time reduce =
+        let best = ref infinity in
+        for _ = 1 to 100 do
+          let t0 = Unix.gettimeofday () in
+          ignore (reduce ());
+          best := Float.min !best (Unix.gettimeofday () -. t0)
+        done;
+        !best
+      in
+      match Milp.Presolve.reduce prob ~integer ~lb ~ub with
+      | Milp.Presolve.Reduced r ->
+          let tr = r.Milp.Presolve.red_trace in
+          let fresh = time (fun () -> Milp.Presolve.reduce prob ~integer ~lb ~ub) in
+          let reapply =
+            time (fun () -> Milp.Presolve.reduce ~reuse:(tr, []) prob ~integer ~lb ~ub)
+          in
+          let rows = Array.length prob.Milp.Simplex.rows in
+          ps_micro := !ps_micro @ [ (scenario, (rows, n, fresh, reapply)) ];
+          Some (rows, n, fresh, reapply)
+      | Milp.Presolve.Reduce_infeasible _ -> None)
+
+(* Fraction of a step's model eliminated by the reduction.  The
+   headline number is the first step — the one-time template presolve
+   whose trace the rest of the sweep re-applies; the final-step
+   fraction is reported alongside because grown pools are genuinely
+   less reducible (fewer forced fixings once flows have alternatives). *)
+let ps_step_fraction st =
+  float_of_int (st.pss_rows_removed + st.pss_cols_removed)
+  /. float_of_int (max 1 (st.pss_nconstrs + st.pss_nvars))
+
+let ps_reduction_fraction r =
+  match r.psr_steps with [] -> 0. | first :: _ -> ps_step_fraction first
+
+let ps_final_fraction r =
+  match List.rev r.psr_steps with [] -> 0. | last :: _ -> ps_step_fraction last
+
+let presolve_bench () =
+  header "Presolve reduction stack: template re-apply vs per-step vs --no-presolve";
+  Format.printf
+    "(incremental K* sweep, schedule %s, rel_gap = %g.  template presolves the first@."
+    (String.concat ";" (List.map string_of_int ps_schedule))
+    ps_rel_gap;
+  Format.printf
+    " step from scratch and re-applies the recorded trace to each delta; per-step@.";
+  Format.printf
+    " reduces every step from scratch; no-presolve solves the model verbatim.)@.@.";
+  List.iter
+    (fun (name, objective, ps_params) ->
+      match Scenarios.data_collection ~objective ps_params with
+      | Error e -> Format.printf "  %s: scenario error: %s@." name e
+      | Ok inst ->
+          let scenario = "table1/" ^ name in
+          let runs = run_presolve_sweeps scenario inst ~tweaks:ps_modes in
+          List.iter
+            (fun r ->
+              Format.printf "  %-10s %-12s: total %6.2f s  presolve %6.3f s  obj %s@." name
+                r.psr_mode r.psr_total_s r.psr_presolve_s
+                (match r.psr_final_objective with
+                | Some o -> Printf.sprintf "%.6g" o
+                | None -> "-");
+              List.iter
+                (fun st ->
+                  Format.printf
+                    "    k*=%d: %s presolve=%.4fs%s removed %d/%d rows %d/%d cols \
+                     solve=%.2fs@."
+                    st.pss_kstar st.pss_status st.pss_presolve_s
+                    (if st.pss_reapplied then " (re-applied)" else "")
+                    st.pss_rows_removed st.pss_nconstrs st.pss_cols_removed st.pss_nvars
+                    st.pss_solve_s)
+                r.psr_steps)
+            runs;
+          let micro = ps_microbench scenario inst in
+          (match micro with
+          | Some (rows, cols, fresh, reapply) ->
+              Format.printf
+                "  reduce microbench (k*=%d model, %d rows x %d cols): from-scratch \
+                 %.2f ms, trace re-apply %.2f ms (%.2fx)@."
+                (List.fold_left Int.max 1 ps_schedule)
+                rows cols (1e3 *. fresh) (1e3 *. reapply)
+                (fresh /. Float.max 1e-9 reapply)
+          | None -> ());
+          (match runs with
+          | [ tmpl; step; off ] ->
+              let objs =
+                ps_obj_match tmpl.psr_final_objective step.psr_final_objective
+                  off.psr_final_objective
+              in
+              let frac = ps_reduction_fraction tmpl in
+              let ffrac = ps_final_fraction tmpl in
+              (match List.rev tmpl.psr_pass_stats with
+              | [] -> ()
+              | stats ->
+                  Format.printf "  per-pass (final step): %s@."
+                    (String.concat ", "
+                       (List.rev_map
+                          (fun (s : Milp.Presolve.pass_stats) ->
+                            Printf.sprintf "%s -%dr -%dc (%d)"
+                              (Milp.Presolve.pass_name s.Milp.Presolve.ps_pass)
+                              s.Milp.Presolve.ps_rows_removed s.Milp.Presolve.ps_cols_removed
+                              s.Milp.Presolve.ps_changes)
+                          stats)));
+              Format.printf
+                "  => objectives %s; template reduction %.1f%% (final step %.1f%%); \
+                 presolve %.2fx vs per-step; wall %.2fx vs per-step, %.2fx vs \
+                 no-presolve@.@."
+                (if objs then "MATCH" else "DIFFER")
+                (100. *. frac) (100. *. ffrac)
+                (step.psr_presolve_s /. Float.max 1e-9 tmpl.psr_presolve_s)
+                (step.psr_total_s /. Float.max 1e-9 tmpl.psr_total_s)
+                (off.psr_total_s /. Float.max 1e-9 tmpl.psr_total_s)
+          | _ -> ()))
+    [
+      ("$ cost", Objective.dollar, ps_params_big);
+      ("Energy", Objective.energy, ps_params_small);
+      ("$+Energy", Objective.combine Objective.dollar Objective.energy, ps_params_big);
+    ];
+  hr ()
+
+let write_presolve_json path =
+  let oc = open_out path in
+  let runs = !ps_log in
+  let json_opt = function Some o -> json_float o | None -> "null" in
+  Printf.fprintf oc "{\n  \"schedule\": [%s],\n  \"rel_gap\": %s,\n  \"runs\": [\n"
+    (String.concat ", " (List.map string_of_int ps_schedule))
+    (json_float ps_rel_gap);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"mode\": %S, \"total_s\": %s, \"presolve_s\": %s,\n\
+        \     \"final_objective\": %s,\n\
+        \     \"pass_stats\": [%s],\n\
+        \     \"steps\": [\n"
+        r.psr_scenario r.psr_mode (json_float r.psr_total_s) (json_float r.psr_presolve_s)
+        (json_opt r.psr_final_objective)
+        (String.concat ", "
+           (List.map
+              (fun (s : Milp.Presolve.pass_stats) ->
+                Printf.sprintf
+                  "{\"pass\": %S, \"rows_removed\": %d, \"cols_removed\": %d, \
+                   \"changes\": %d}"
+                  (Milp.Presolve.pass_name s.Milp.Presolve.ps_pass)
+                  s.Milp.Presolve.ps_rows_removed s.Milp.Presolve.ps_cols_removed
+                  s.Milp.Presolve.ps_changes)
+              r.psr_pass_stats));
+      List.iteri
+        (fun j st ->
+          Printf.fprintf oc
+            "      {\"kstar\": %d, \"presolve_s\": %s, \"reapplied\": %b,\n\
+            \       \"rows_removed\": %d, \"cols_removed\": %d, \"nvars\": %d, \
+             \"nconstrs\": %d,\n\
+            \       \"solve_s\": %s, \"status\": %S, \"objective\": %s}%s\n"
+            st.pss_kstar (json_float st.pss_presolve_s) st.pss_reapplied st.pss_rows_removed
+            st.pss_cols_removed st.pss_nvars st.pss_nconstrs (json_float st.pss_solve_s)
+            st.pss_status (json_opt st.pss_objective)
+            (if j = List.length r.psr_steps - 1 then "" else ","))
+        r.psr_steps;
+      Printf.fprintf oc "    ]}%s\n" (if i = List.length runs - 1 then "" else ","))
+    runs;
+  let find mode scen =
+    List.find_opt (fun r -> r.psr_mode = mode && r.psr_scenario = scen) runs
+  in
+  let comparisons =
+    List.filter_map
+      (fun r ->
+        if r.psr_mode <> "template" then None
+        else
+          match (find "per-step" r.psr_scenario, find "no-presolve" r.psr_scenario) with
+          | Some step, Some off ->
+              let all_match =
+                ps_obj_match r.psr_final_objective step.psr_final_objective
+                  off.psr_final_objective
+              in
+              let micro =
+                match List.assoc_opt r.psr_scenario !ps_micro with
+                | Some (rows, cols, fresh, reapply) ->
+                    Printf.sprintf
+                      ",\n\
+                      \     \"reduce_micro_rows\": %d, \"reduce_micro_cols\": %d, \
+                       \"reduce_micro_fresh_s\": %s,\n\
+                      \     \"reduce_micro_reapply_s\": %s, \"reduce_micro_speedup\": %s"
+                      rows cols (json_float fresh) (json_float reapply)
+                      (json_float (fresh /. Float.max 1e-9 reapply))
+                | None -> ""
+              in
+              Some
+                (Printf.sprintf
+                   "    {\"scenario\": %S, \"objective_match\": %b, \
+                    \"template_reduction_fraction\": %s, \"final_step_reduction_fraction\": \
+                    %s,\n\
+                   \     \"template_presolve_s\": %s, \"per_step_presolve_s\": %s, \
+                    \"presolve_speedup\": %s,\n\
+                   \     \"template_total_s\": %s, \"per_step_total_s\": %s, \
+                    \"no_presolve_total_s\": %s,\n\
+                   \     \"wall_speedup_vs_per_step\": %s, \"wall_speedup_vs_off\": %s%s}"
+                   r.psr_scenario all_match
+                   (json_float (ps_reduction_fraction r))
+                   (json_float (ps_final_fraction r))
+                   (json_float r.psr_presolve_s) (json_float step.psr_presolve_s)
+                   (json_float (step.psr_presolve_s /. Float.max 1e-9 r.psr_presolve_s))
+                   (json_float r.psr_total_s) (json_float step.psr_total_s)
+                   (json_float off.psr_total_s)
+                   (json_float (step.psr_total_s /. Float.max 1e-9 r.psr_total_s))
+                   (json_float (off.psr_total_s /. Float.max 1e-9 r.psr_total_s))
+                   micro)
+          | _ -> None)
+      runs
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" comparisons);
+  close_out oc;
+  Format.printf "wrote %s (%d presolve runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Figures 1a-1c                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1547,6 +1965,7 @@ let () =
   if section_enabled "parallel" then parallel_bench ();
   if section_enabled "kernel" then kernel_bench ();
   if section_enabled "kernel2" then kernel2_bench ();
+  if section_enabled "presolve" then presolve_bench ();
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
@@ -1555,4 +1974,5 @@ let () =
   if !par_log <> [] then write_par_json "BENCH_PR4.json";
   if !kern_log <> [] then write_kern_json "BENCH_PR5.json";
   if !k2_log <> [] then write_k2_json "BENCH_PR6.json";
+  if !ps_log <> [] then write_presolve_json "BENCH_PR7.json";
   Format.printf "done.@."

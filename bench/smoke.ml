@@ -1,15 +1,19 @@
 (* CI smoke test for the solver's ablatable machinery: solve one tiny
    data-collection scenario with (a) everything on, (b) warm starts off,
-   (c) cuts and reduced-cost fixing off, all to a tight gap, and fail
-   (exit 1) if any final objective or status diverges.  Accepts
+   (c) cuts and reduced-cost fixing off, (d) the presolve reduction
+   stack off, all to a tight gap, and fail (exit 1) if any final
+   objective or status diverges.  Accepts
    `--workers N` to run every variant with N worker domains (the CI
    parallel job uses 4), `--dense-basis` to run every variant on the
    dense explicit-inverse kernel instead of the sparse LU one (the CI
    matrix runs both), `--pricing devex`/`--pricing dantzig` and `--no-harris` to
    pin the simplex pricing/ratio-test combination (the CI ablation step
-   runs `--pricing dantzig --no-harris`), and `--alloc-guard W` to fail
-   if the default-variant solve allocates more than W words — the
-   allocation-regression guard for the workspace/unboxed kernel.
+   runs `--pricing dantzig --no-harris`), `--no-presolve` to run every
+   variant on the unreduced model (the CI presolve step), and
+   `--alloc-guard W` to fail if the default-variant solve allocates
+   more than W words — the allocation-regression guard for the
+   workspace/unboxed kernel; the default variant presolves, so the
+   budget covers the reduction stack too.
    Wired to `dune build @bench-smoke`. *)
 
 open Archex
@@ -34,6 +38,7 @@ let pricing =
   find (Array.to_list Sys.argv)
 
 let harris = not (Array.exists (String.equal "--no-harris") Sys.argv)
+let presolve = not (Array.exists (String.equal "--no-presolve") Sys.argv)
 
 (* [Some budget] when --alloc-guard W was given: the default variant
    must allocate at most W words (minor + major - promoted). *)
@@ -55,7 +60,7 @@ let () =
       prerr_endline ("bench-smoke: scenario error: " ^ e);
       exit 1
   | Ok inst -> (
-      let run ~warm_start ~cuts ~rc_fixing =
+      let run ?(presolve = presolve) ~warm_start ~cuts ~rc_fixing () =
         let config =
           Solver_config.(
             default
@@ -63,39 +68,49 @@ let () =
             |> with_time_limit 60. |> with_rel_gap 1e-6 |> with_warm_start warm_start
             |> with_cuts cuts |> with_rc_fixing rc_fixing |> with_dense_basis dense_basis
             |> with_pricing pricing |> with_harris harris
+            |> with_presolve presolve
             |> with_workers workers)
         in
         Solve.run config inst
       in
       let a0 = alloc_words () in
-      let warm = run ~warm_start:true ~cuts:true ~rc_fixing:true in
+      let warm = run ~warm_start:true ~cuts:true ~rc_fixing:true () in
       let default_alloc = alloc_words () -. a0 in
       match
         ( warm,
-          run ~warm_start:false ~cuts:true ~rc_fixing:true,
-          run ~warm_start:true ~cuts:false ~rc_fixing:false )
+          run ~warm_start:false ~cuts:true ~rc_fixing:true (),
+          run ~warm_start:true ~cuts:false ~rc_fixing:false (),
+          run ~presolve:false ~warm_start:true ~cuts:true ~rc_fixing:true () )
       with
-      | Ok warm, Ok cold, Ok plain ->
-          let w = warm.Outcome.mip and c = cold.Outcome.mip and p = plain.Outcome.mip in
+      | Ok warm, Ok cold, Ok plain, Ok unreduced ->
+          let w = warm.Outcome.mip
+          and c = cold.Outcome.mip
+          and p = plain.Outcome.mip
+          and u = unreduced.Outcome.mip in
           let ow = w.Milp.Branch_bound.objective
           and oc = c.Milp.Branch_bound.objective
-          and op = p.Milp.Branch_bound.objective in
+          and op = p.Milp.Branch_bound.objective
+          and ou = u.Milp.Branch_bound.objective in
           let sw = Milp.Status.mip_status_to_string warm.Outcome.status in
           let sc = Milp.Status.mip_status_to_string cold.Outcome.status in
           let sp = Milp.Status.mip_status_to_string plain.Outcome.status in
+          let su = Milp.Status.mip_status_to_string unreduced.Outcome.status in
           Printf.printf
-            "bench-smoke (workers=%d, %s kernel, %s%s): warm %s obj=%g (%d LP iters, \
-             %d/%d/%d warm/cold/fallback, %d cuts, %d rc-fixed, %.3g Mw alloc) | cold %s \
-             obj=%g (%d LP iters) | no-cuts %s obj=%g (%d nodes vs %d)\n"
+            "bench-smoke (workers=%d, %s kernel, %s%s%s): warm %s obj=%g (%d LP iters, \
+             %d/%d/%d warm/cold/fallback, %d cuts, %d rc-fixed, -%d rows -%d cols, %.3g \
+             Mw alloc) | cold %s obj=%g (%d LP iters) | no-cuts %s obj=%g (%d nodes vs \
+             %d) | no-presolve %s obj=%g\n"
             workers
             (if dense_basis then "dense" else "sparse")
             (match pricing with Milp.Simplex.Devex -> "devex" | Milp.Simplex.Dantzig -> "dantzig")
             (if harris then "+harris" else "+classic")
+            (if presolve then "" else ", no-presolve")
             sw ow w.Milp.Branch_bound.lp_iterations w.Milp.Branch_bound.lp_warm
             w.Milp.Branch_bound.lp_cold w.Milp.Branch_bound.lp_fallback
             w.Milp.Branch_bound.cuts_applied w.Milp.Branch_bound.rc_fixed
+            w.Milp.Branch_bound.presolve_rows_removed w.Milp.Branch_bound.presolve_cols_removed
             (default_alloc /. 1e6) sc oc c.Milp.Branch_bound.lp_iterations sp op
-            p.Milp.Branch_bound.nodes w.Milp.Branch_bound.nodes;
+            p.Milp.Branch_bound.nodes w.Milp.Branch_bound.nodes su ou;
           let fail = ref false in
           let check name s o =
             if s <> sw then begin
@@ -109,6 +124,7 @@ let () =
           in
           check "cold-start" sc oc;
           check "no-cuts" sp op;
+          check "no-presolve" su ou;
           (match alloc_guard with
           | Some budget when default_alloc > budget ->
               Printf.eprintf
@@ -121,6 +137,6 @@ let () =
                 budget
           | None -> ());
           if !fail then exit 1
-      | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
           prerr_endline ("bench-smoke: encode error: " ^ e);
           exit 1)

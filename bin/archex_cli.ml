@@ -46,8 +46,8 @@ let num_setting settings key default =
   | Some _ | None -> default
 
 let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
-    no_incremental cold_start dense_basis pricing no_harris no_cuts no_rc_fixing workers
-    seed out_svg out_lp verbose =
+    no_incremental cold_start dense_basis pricing no_harris no_cuts no_rc_fixing
+    no_presolve presolve_passes workers seed out_svg out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -119,6 +119,10 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           |> with_harris (not no_harris)
           |> with_cuts (not no_cuts)
           |> with_rc_fixing (not no_rc_fixing)
+          |> with_presolve (not no_presolve)
+          |> (match presolve_passes with
+             | None -> Fun.id
+             | Some passes -> with_presolve_passes passes)
           |> with_log verbose
           |> with_incremental (not no_incremental)
           |> with_workers workers |> with_seed seed)
@@ -334,6 +338,34 @@ let no_rc_fixing =
     & info [ "no-rc-fixing" ]
         ~doc:"Disable reduced-cost fixing of integer variables in branch and bound (ablation).")
 
+let no_presolve =
+  Arg.(
+    value & flag
+    & info [ "no-presolve" ]
+        ~doc:
+          "Disable the root presolve reduction stack; branch and bound solves the model \
+           verbatim (ablation).")
+
+let presolve_passes =
+  let passes_conv =
+    Arg.conv
+      ( (fun s ->
+          match Milp.Presolve.passes_of_string s with
+          | Ok ps -> Ok ps
+          | Error e -> Error (`Msg e)),
+        fun ppf ps ->
+          Format.pp_print_string ppf
+            (String.concat "," (List.map Milp.Presolve.pass_name ps)) )
+  in
+  Arg.(
+    value
+    & opt (some passes_conv) None
+    & info [ "presolve-passes" ] ~docv:"PASSES"
+        ~doc:
+          "Comma-separated presolve passes to run (default: all).  Known passes: \
+           $(b,propagate), $(b,probe), $(b,parallel), $(b,fix), $(b,empty), $(b,subst), \
+           $(b,strengthen).")
+
 let sweep =
   Arg.(
     value & flag
@@ -377,6 +409,7 @@ let cmd =
     Term.(
       const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
       $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ pricing $ no_harris
-      $ no_cuts $ no_rc_fixing $ workers $ seed $ out_svg $ out_lp $ verbose)
+      $ no_cuts $ no_rc_fixing $ no_presolve $ presolve_passes $ workers $ seed $ out_svg
+      $ out_lp $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,6 +21,14 @@ type t = {
      carry-out. *)
   mutable s_carry : (float array * float) option;
   mutable s_carry_cuts : Milp.Cuts.cut list;
+  (* Template presolve: the reduction trace of the last solve plus the
+     watermark it was taken at, so the next solve re-applies the trace
+     to the row delta instead of presolving the template from scratch. *)
+  mutable s_ps : BB.presolve_state;
+  mutable s_mark : Model.watermark option;
+  (* One simplex workspace for the whole session: LP buffers and the CSC
+     image survive across sweep steps. *)
+  s_ws : Milp.Simplex.workspace;
   (* Encode work done since the last solve, reported by that solve. *)
   mutable s_pending_encode_s : float;
   mutable s_pending_delta : int;
@@ -48,6 +56,9 @@ let start (config : Solver_config.t) inst =
     s_pool_total = 0;
     s_carry = None;
     s_carry_cuts = [];
+    s_ps = BB.create_presolve_state ();
+    s_mark = None;
+    s_ws = Milp.Simplex.create_workspace ();
     s_pending_encode_s = 0.;
     s_pending_delta = 0;
   }
@@ -72,7 +83,10 @@ let build_fresh t (generation : Path_gen.result) =
   Encode_common.set_localization_candidates ctx
     (Path_gen.localization_candidates t.s_inst ~kstar:t.s_loc_kstar);
   Encode_common.finalize ctx;
-  t.s_enc <- Some { e_ctx = ctx; e_routes = routes }
+  t.s_enc <- Some { e_ctx = ctx; e_routes = routes };
+  (* A fresh model invalidates any recorded reduction trace. *)
+  t.s_ps <- BB.create_presolve_state ();
+  t.s_mark <- None
 
 let grow t ~kstar =
   match Path_gen.extend t.s_gen ~kstar with
@@ -143,8 +157,22 @@ let solve t =
               (Some x', cutoff, t.s_carry_cuts)
       in
       let options = { options with BB.cutoff } in
+      (* Template presolve: with a watermark from the previous solve,
+         hand Branch_bound the exact row delta so it replays the stored
+         reduction trace instead of propagating from scratch.  The
+         per-step ablation ([presolve_template = false]) never passes a
+         delta, so every solve reduces from scratch. *)
+      let touched_rows =
+        if incremental t && t.s_config.Solver_config.presolve_template then
+          Option.map (fun mark -> Model.touched_since model mark) t.s_mark
+        else None
+      in
       let t1 = Clock.now () in
-      let mip = BB.solve ~options ~seed_cuts:seeds ?warm_solution:warm model in
+      let mip =
+        BB.solve ~options ~seed_cuts:seeds ?warm_solution:warm ~presolve_state:t.s_ps
+          ?touched_rows ~ws:t.s_ws model
+      in
+      t.s_mark <- Some (Model.mark model);
       let t2 = Clock.now () in
       let solution =
         match mip.BB.solution with

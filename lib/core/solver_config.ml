@@ -6,6 +6,7 @@ type t = {
   strategy : strategy;
   options : BB.options;
   incremental : bool;
+  presolve_template : bool;
   nworkers : int;
   seed : int;
 }
@@ -17,6 +18,7 @@ let default =
     strategy = approx ();
     options = BB.default_options;
     incremental = true;
+    presolve_template = true;
     nworkers = 1;
     seed = 0;
   }
@@ -54,6 +56,13 @@ let with_cutoff cutoff c = { c with options = { c.options with BB.cutoff } }
 let with_warm_start warm_start c = { c with options = { c.options with BB.warm_start } }
 
 let with_cuts cuts c = { c with options = { c.options with BB.cuts } }
+
+let with_presolve presolve c = { c with options = { c.options with BB.presolve } }
+
+let with_presolve_passes presolve_passes c =
+  { c with options = { c.options with BB.presolve_passes } }
+
+let with_presolve_template presolve_template c = { c with presolve_template }
 
 let with_rc_fixing rc_fixing c = { c with options = { c.options with BB.rc_fixing } }
 

@@ -37,6 +37,12 @@ type t = {
   incremental : bool;
       (** Sessions grow the live model and carry incumbent + cuts across
           steps (default); [false] is the rebuild-each-step ablation. *)
+  presolve_template : bool;
+      (** Incremental sessions presolve the template once and re-apply
+          the reduction trace to each K* sweep step's delta (default);
+          [false] presolves every step from scratch — the per-step
+          ablation.  Only meaningful with [incremental] and the
+          presolve option on. *)
   nworkers : int;  (** Worker domains for the tree search (default 1). *)
   seed : int;
       (** Diversification seed for parallel exploration (default 0);
@@ -77,6 +83,16 @@ val with_warm_start : bool -> t -> t
 val with_cuts : bool -> t -> t
 
 val with_rc_fixing : bool -> t -> t
+
+val with_presolve : bool -> t -> t
+(** Root presolve reduction stack (default [true]); [false] is the
+    [--no-presolve] ablation baseline. *)
+
+val with_presolve_passes : Milp.Presolve.pass list -> t -> t
+(** Restrict the reduction stack to the given passes (the
+    [--presolve-passes] ablation). *)
+
+val with_presolve_template : bool -> t -> t
 
 val with_dense_basis : bool -> t -> t
 (** Run every LP on the dense explicit-inverse kernel instead of the

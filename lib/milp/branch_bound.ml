@@ -5,6 +5,7 @@ type options = {
   abs_gap : float;
   int_tol : float;
   presolve : bool;
+  presolve_passes : Presolve.pass list;
   rounding_heuristic : bool;
   cutoff : float;
   warm_start : bool;
@@ -28,6 +29,7 @@ let default_options =
     abs_gap = 1e-9;
     int_tol = 1e-6;
     presolve = true;
+    presolve_passes = Presolve.all_passes;
     rounding_heuristic = true;
     cutoff = nan;
     warm_start = true;
@@ -62,9 +64,21 @@ type result = {
   rc_fixed : int;
   root_lp_bound : float;
   root_cut_bound : float;
+  presolve_time_s : float;
+  presolve_rows_removed : int;
+  presolve_cols_removed : int;
+  presolve_reapplied : bool;
+  presolve_stats : Presolve.pass_stats list;
   live_words : int;
   elapsed : float;
 }
+
+(* Cross-solve presolve memory for an incremental session: the trace of
+   the last reduction, replayed against the next solve's row delta
+   ([touched_rows]) instead of propagating the template from scratch. *)
+type presolve_state = { mutable ps_trace : Presolve.trace option }
+
+let create_presolve_state () = { ps_trace = None }
 
 let gap r =
   match r.solution with
@@ -237,21 +251,25 @@ type worker_stats = {
   mutable ws_rc : int;
 }
 
-let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
+let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolve_state
+    ?touched_rows ?ws model =
   let t0 = Clock.now () in
   let p = Simplex.of_model model in
-  let n = p.Simplex.ncols in
+  let nfull = p.Simplex.ncols in
+  let mfull = Array.length p.Simplex.rows in
   let direction = fst (Model.objective model) in
   let sign = match direction with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
-  let integer = Array.init n (Model.is_integer model) in
-  let root_lb = Array.init n (Model.var_lb model) in
-  let root_ub = Array.init n (Model.var_ub model) in
+  let integer_full = Array.init nfull (Model.is_integer model) in
+  let root_lb = Array.init nfull (Model.var_lb model) in
+  let root_ub = Array.init nfull (Model.var_ub model) in
   let counters = { warm = 0; cold = 0; fallback = 0 } in
   let dense = options.dense_basis in
   let pricing = options.pricing and harris = options.harris in
   (* One workspace for the whole sequential drive (root, cut loop,
-     dives, node re-solves); worker domains get their own below. *)
-  let sws = Simplex.create_workspace () in
+     dives, node re-solves); worker domains get their own below.  An
+     incremental session passes its own so the CSC image and solver
+     buffers persist across the sweep. *)
+  let sws = match ws with Some w -> w | None -> Simplex.create_workspace () in
   (* Live heap words at the moment the incumbent last improved — the
      point where the node pool, basis snapshots and cut pool are all at
      working size.  [Gc.stat] walks the heap, so it is opt-in. *)
@@ -267,8 +285,13 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
   (* Root LP objective before and after the cut loop (min form). *)
   let root_lp_bound = ref nan in
   let root_cut_bound = ref nan in
+  let presolve_time = ref 0. in
+  let ps_reapplied = ref false in
+  let ps_stats = ref [] in
+  let post_ref = ref (Postsolve.identity ~ncols:nfull ~nrows:mfull) in
   let finish status ~objective ~bound ~solution ~nodes ~lp_iterations =
     let separated, applied, evicted = Cuts.stats pool in
+    let post = !post_ref in
     {
       status;
       objective = sign *. objective;
@@ -283,40 +306,101 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       cuts_applied = applied;
       cuts_evicted = evicted;
       cuts_seeded = !cuts_seeded;
-      carry_cuts = List.rev_append !applied_cuts (Cuts.members pool);
+      carry_cuts =
+        List.map (Cuts.lift post) (List.rev_append !applied_cuts (Cuts.members pool));
       bound_pruned = !bound_pruned;
       rc_fixed = !rc_fixed;
       root_lp_bound = sign *. !root_lp_bound;
       root_cut_bound = sign *. !root_cut_bound;
+      presolve_time_s = !presolve_time;
+      presolve_rows_removed = mfull - Array.length !post_ref.Postsolve.row_of_red;
+      presolve_cols_removed = nfull - Array.length !post_ref.Postsolve.col_of_red;
+      presolve_reapplied = !ps_reapplied;
+      presolve_stats = !ps_stats;
       live_words = !live_words;
       elapsed = Clock.now () -. t0;
     }
   in
-  (* Root presolve. *)
-  let presolved =
-    if options.presolve then Presolve.run p ~integer ~lb:root_lb ~ub:root_ub
+  (* Columns referenced by carried-in cuts must survive the reduction
+     (a substituted column cannot be folded back into a cut row). *)
+  let essential =
+    if seed_cuts = [] then None
+    else begin
+      let e = Array.make nfull false in
+      List.iter
+        (fun (c : Cuts.cut) ->
+          Array.iter (fun (j, _) -> if j < nfull then e.(j) <- true) c.Cuts.c_row)
+        seed_cuts;
+      Some e
+    end
+  in
+  (* Root reduction: the full presolve stack, or the identity when
+     disabled.  In an incremental session the previous solve's trace is
+     re-applied against the row delta instead of presolving the template
+     from scratch. *)
+  let ps_t0 = Clock.now () in
+  let reduced =
+    if options.presolve then begin
+      let reuse =
+        match (presolve_state, touched_rows) with
+        | Some st, Some touched -> Option.map (fun tr -> (tr, touched)) st.ps_trace
+        | _ -> None
+      in
+      Presolve.reduce ~passes:options.presolve_passes ?essential ?reuse p
+        ~integer:integer_full ~lb:root_lb ~ub:root_ub
+    end
     else
-      Presolve.Feasible
+      Presolve.Reduced
         {
-          lb = root_lb;
-          ub = root_ub;
-          active = Array.make (Array.length p.Simplex.rows) true;
-          rounds = 0;
+          red_problem = p;
+          red_integer = integer_full;
+          red_lb = root_lb;
+          red_ub = root_ub;
+          red_post = Postsolve.identity ~ncols:nfull ~nrows:mfull;
+          red_trace =
+            {
+              tr_ncols = nfull;
+              tr_nrows = mfull;
+              tr_lb0 = root_lb;
+              tr_ub0 = root_ub;
+              tr_lb = root_lb;
+              tr_ub = root_ub;
+              tr_events = [||];
+              tr_active = Array.make mfull true;
+            };
+          red_stats =
+            List.map
+              (fun pass ->
+                {
+                  Presolve.ps_pass = pass;
+                  ps_rows_removed = 0;
+                  ps_cols_removed = 0;
+                  ps_changes = 0;
+                })
+              Presolve.all_passes;
+          red_reapplied = false;
         }
   in
-  match presolved with
-  | Presolve.Proven_infeasible _ ->
+  presolve_time := Clock.now () -. ps_t0;
+  (match presolve_state with
+  | Some st when options.presolve -> (
+      match reduced with
+      | Presolve.Reduced red -> st.ps_trace <- Some red.Presolve.red_trace
+      | Presolve.Reduce_infeasible _ -> st.ps_trace <- None)
+  | _ -> ());
+  match reduced with
+  | Presolve.Reduce_infeasible _ ->
       finish Status.Mip_infeasible ~objective:infinity ~bound:infinity ~solution:None
         ~nodes:0 ~lp_iterations:0
-  | Presolve.Feasible { lb = plb; ub = pub; active; rounds = _ } ->
-      let p0 = Presolve.reduced_problem p active in
-      (* Root-bound coefficient strengthening: globally valid (every
-         integer point is kept), so the whole tree works on the
-         strengthened rows. *)
-      let p0 =
-        if options.presolve then fst (Presolve.strengthen p0 ~integer ~lb:plb ~ub:pub)
-        else p0
-      in
+  | Presolve.Reduced red ->
+      let p0 = red.Presolve.red_problem in
+      let n = p0.Simplex.ncols in
+      let integer = red.Presolve.red_integer in
+      let plb = red.Presolve.red_lb and pub = red.Presolve.red_ub in
+      let post = red.Presolve.red_post in
+      post_ref := post;
+      ps_reapplied := red.Presolve.red_reapplied;
+      ps_stats := red.Presolve.red_stats;
       let m0 = Array.length p0.Simplex.rows in
       (* Working problem: the base rows plus every applied cut.  Cut
          rows are only ever appended, never removed, so a basis
@@ -362,7 +446,10 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
       let nodes = ref 0 in
       let lp_iters = ref 0 in
       let queue : node Pqueue.t = Pqueue.create () in
-      Pqueue.push queue neg_infinity { nbound = neg_infinity; changes = []; nbasis = None };
+      (* With every row eliminated the "tree" is a box LP solved in
+         closed form below; no root node then. *)
+      if m0 > 0 then
+        Pqueue.push queue neg_infinity { nbound = neg_infinity; changes = []; nbasis = None };
       let feas_tol = 1e-6 in
       let update_incumbent x obj =
         if obj < !incumbent_obj -. 1e-12 then begin
@@ -372,36 +459,49 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
         end
       in
       (* Carried-in incumbent: a solution of the previous (smaller) model
-         zero-extended over the new columns.  Re-validate it against the
-         grown rows/bounds before trusting it — then it both prunes like
-         a cutoff and survives as a real solution when no better one is
-         found. *)
+         zero-extended over the new columns, in original (full) space.
+         Re-validate it against the full rows/bounds, then restrict it
+         through the reduction — [None] means it contradicts a forced
+         fixing, i.e. it cannot actually be feasible, and is dropped.
+         The reduced objective (with its folded constant) equals the
+         objective of the point {!Postsolve.restore} would rebuild, so
+         it prunes exactly like a full-space incumbent. *)
       (match warm_solution with
       | Some x
-        when Array.length x = n
+        when Array.length x = nfull
              && (let ok = ref true in
-                 for j = 0 to n - 1 do
-                   if x.(j) < plb.(j) -. feas_tol || x.(j) > pub.(j) +. feas_tol then
-                     ok := false;
-                   if integer.(j) && Float.abs (x.(j) -. Float.round x.(j)) > feas_tol
+                 for j = 0 to nfull - 1 do
+                   if x.(j) < root_lb.(j) -. feas_tol || x.(j) > root_ub.(j) +. feas_tol
+                   then ok := false;
+                   if
+                     integer_full.(j) && Float.abs (x.(j) -. Float.round x.(j)) > feas_tol
                    then ok := false
                  done;
                  !ok)
-             && rows_feasible p x feas_tol ->
-          let obj = objective_of p x in
-          if obj <= !incumbent_obj +. 1e-9 then begin
-            incumbent := Some (Array.copy x);
-            incumbent_obj := Float.min !incumbent_obj obj
-          end
+             && rows_feasible p x feas_tol -> (
+          match Postsolve.restrict ~tol:feas_tol post x with
+          | Some xr ->
+              let obj = objective_of p0 xr in
+              if obj <= !incumbent_obj +. 1e-9 then begin
+                incumbent := Some xr;
+                incumbent_obj := Float.min !incumbent_obj obj
+              end
+          | None -> ())
       | _ -> ());
-      (* Carried-in cuts: only cover cuts that re-certify against the
-         grown base rows under the new root bounds enter the pool; Gomory
-         cuts and anything uncertifiable are dropped. *)
+      (* Carried-in cuts arrive in original space: map them through the
+         reduction (fixed columns fold into the rhs, cuts touching a
+         substituted column are dropped), then only cover cuts that
+         re-certify against the reduced base rows under the new root
+         bounds enter the pool; Gomory cuts and anything uncertifiable
+         are dropped. *)
       if options.cuts then
         List.iter
           (fun c ->
-            if Cuts.certify_cover p0 ~nrows:m0 ~integer ~lb:plb ~ub:pub c then
-              if Cuts.add pool c ~x:[||] then incr cuts_seeded)
+            match Cuts.restrict post c with
+            | Some c' ->
+                if Cuts.certify_cover p0 ~nrows:m0 ~integer ~lb:plb ~ub:pub c' then
+                  if Cuts.add pool c' ~x:[||] then incr cuts_seeded
+            | None -> ())
           seed_cuts;
       let best_open_bound () =
         match Pqueue.peek_key queue with Some k -> k | None -> infinity
@@ -568,7 +668,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
               lb.(j) <- Float.max lb.(j) l;
               ub.(j) <- Float.min ub.(j) u)
             node.changes;
-          match if node.changes = [] then Some (lb, ub) else propagate p integer lb ub with
+          match if node.changes = [] then Some (lb, ub) else propagate p0 integer lb ub with
           | None -> () (* bound propagation proved the node infeasible *)
           | Some (lb, ub) ->
           let r =
@@ -658,6 +758,35 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
           loop ()
         end
       in
+      (* Degenerate reduction: every row eliminated.  The remaining
+         problem is a box LP whose optimum sits at the objective-
+         preferred bound of each column (integer bounds are already
+         rounded inward), solved here in closed form — the simplex and
+         the tree never run. *)
+      if m0 = 0 then begin
+        let x = Array.make n 0. in
+        let bounded = ref true in
+        (try
+           for j = 0 to n - 1 do
+             let c = p0.Simplex.obj.(j) in
+             let v =
+               if c > 0. then plb.(j)
+               else if c < 0. then pub.(j)
+               else if Float.is_finite plb.(j) then plb.(j)
+               else if Float.is_finite pub.(j) then pub.(j)
+               else 0.
+             in
+             if not (Float.is_finite v) then raise Exit;
+             x.(j) <- v
+           done
+         with Exit -> bounded := false);
+        if !bounded then begin
+          let obj = objective_of p0 x in
+          root_lp_bound := obj;
+          update_incumbent x obj
+        end
+        else if !incumbent = None then unbounded := true
+      end;
       (* The open-tree bound after the drive: sequential reads the one
          heap, parallel also folds in the worker pool (queued plus
          in-flight nodes). *)
@@ -755,7 +884,7 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
                   ub.(j) <- Float.min ub.(j) u)
                 node.changes;
               match
-                if node.changes = [] then Some (lb, ub) else propagate p integer lb ub
+                if node.changes = [] then Some (lb, ub) else propagate p0 integer lb ub
               with
               | None -> ()
               | Some (lb, ub) -> (
@@ -927,7 +1056,10 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution model =
             let status =
               if exhausted || gap_ok then Status.Mip_optimal else Status.Mip_feasible
             in
-            finish status ~objective:!incumbent_obj ~bound:final_bound ~solution:(Some x)
+            (* Incumbents live in reduced space throughout the tree;
+               postsolve back to the original index space only here. *)
+            finish status ~objective:!incumbent_obj ~bound:final_bound
+              ~solution:(Some (Postsolve.restore post x))
               ~nodes:!nodes ~lp_iterations:!lp_iters
         | None ->
             let status =

@@ -31,6 +31,13 @@ type options = {
   abs_gap : float;
   int_tol : float;  (** Integrality tolerance on LP solutions. *)
   presolve : bool;
+      (** Run the root reduction stack ({!Presolve.reduce}) and solve
+          the reduced problem, postsolving incumbents back before
+          reporting (default [true]); [false] solves the model verbatim
+          — the [--no-presolve] ablation baseline. *)
+  presolve_passes : Presolve.pass list;
+      (** Which reduction passes run (default {!Presolve.all_passes});
+          ignored when [presolve = false]. *)
   rounding_heuristic : bool;
   cutoff : float;
       (** Known objective bound in the model's own direction (an
@@ -126,6 +133,14 @@ type result = {
       (** Root objective after the cut loop; with [root_lp_bound] and
           the final incumbent this yields the root gap closed.  [nan]
           when cuts are off or the root LP failed. *)
+  presolve_time_s : float;  (** Wall-clock seconds spent in the root reduction. *)
+  presolve_rows_removed : int;  (** Rows of the model absent from the reduced problem. *)
+  presolve_cols_removed : int;  (** Columns eliminated by the reduction. *)
+  presolve_reapplied : bool;
+      (** [true] when a template trace seeded the reduction instead of a
+          from-scratch propagation (see [presolve_state] on {!solve}). *)
+  presolve_stats : Presolve.pass_stats list;
+      (** Per-pass removal/change counts, one entry per enabled pass. *)
   live_words : int;
       (** [Gc.stat] live heap words when the incumbent last improved;
           [0] unless [options.mem_stats] was set (or no incumbent was
@@ -136,26 +151,53 @@ type result = {
 val gap : result -> float
 (** Relative optimality gap of a result ([infinity] without incumbent). *)
 
+type presolve_state
+(** Cross-solve presolve memory for an incremental session: holds the
+    reduction trace of the last solve so the next one can re-apply it
+    against the row delta instead of presolving the (largely unchanged)
+    template from scratch. *)
+
+val create_presolve_state : unit -> presolve_state
+
 val solve :
   ?options:options ->
   ?seed_cuts:Cuts.cut list ->
   ?warm_solution:float array ->
+  ?presolve_state:presolve_state ->
+  ?touched_rows:int list ->
+  ?ws:Simplex.workspace ->
   Model.t ->
   result
 (** Solve the model.  The model is not mutated.
 
-    [seed_cuts] carries a previous solve's cut pool into this one:
-    each cover cut that re-certifies against the (possibly grown)
-    model's base rows under its root bounds
+    [seed_cuts] carries a previous solve's cut pool into this one, in
+    original variable ids: each cut is first mapped onto the reduced
+    problem ({!Cuts.restrict}; cuts touching a substituted column are
+    dropped), then each cover cut that re-certifies against the
+    (possibly grown) model's base rows under its root bounds
     ({!Cuts.certify_cover}) is pooled before the root cut loop;
     Gomory cuts and uncertifiable rows are silently dropped.
+    [result.carry_cuts] comes back lifted to original ids again.
 
     [warm_solution] carries a previous incumbent (zero-extended over any
     new columns by the caller).  It is re-validated against the new
-    bounds, rows and integrality; when valid and at least as good as any
-    [cutoff], it is installed as the starting incumbent — so it prunes
-    exactly like a cutoff but is returned as a real solution if nothing
-    better is found (instead of [Mip_unknown]). *)
+    bounds, rows and integrality, restricted through the reduction; when
+    valid and at least as good as any [cutoff], it is installed as the
+    starting incumbent — so it prunes exactly like a cutoff but is
+    returned as a real solution if nothing better is found (instead of
+    [Mip_unknown]).
+
+    [presolve_state] (with [touched_rows], the in-place row rewrites
+    since the previous solve on this model — {!Model.touched_since})
+    enables template presolve: the previous reduction's propagation
+    trace is replayed, keeping every tightening whose derivation avoids
+    the delta, and only the delta is re-propagated.  The state is
+    updated with this solve's trace.  Omit [touched_rows] (or pass a
+    fresh state) to presolve from scratch.
+
+    [ws] lends the solver a persistent {!Simplex.workspace} so LP
+    buffers and the CSC image survive across an incremental session's
+    solves. *)
 
 val value : result -> int -> float
 (** [value r v] is the incumbent value of variable [v].

@@ -490,3 +490,34 @@ let certify_cover (p : Simplex.problem) ~nrows ~integer ~lb ~ub c =
              scan 0
            end
          end
+
+(* ------------------------------------------------------------------ *)
+(* Mapping cuts through a presolve reduction                           *)
+(* ------------------------------------------------------------------ *)
+
+let lift (post : Postsolve.t) c =
+  { c with c_row = Array.map (fun (j, a) -> (post.Postsolve.col_of_red.(j), a)) c.c_row }
+
+let restrict (post : Postsolve.t) c =
+  let terms = ref [] and rhs = ref c.c_rhs in
+  let ok = ref true in
+  Array.iter
+    (fun (j, a) ->
+      if !ok then
+        match Postsolve.col_state post j with
+        | Postsolve.Kept red -> terms := (red, a) :: !terms
+        | Postsolve.Fixed f -> rhs := !rhs -. (a *. f.Postsolve.fx_value)
+        | Postsolve.Substituted ->
+            (* The substitution equation could in principle be folded in,
+               but its terms live in original space and may themselves be
+               eliminated; dropping the cut is always sound. *)
+            ok := false)
+    c.c_row;
+  if not !ok then None
+  else
+    match !terms with
+    | [] -> None
+    | ts ->
+        let row = Array.of_list (List.rev ts) in
+        (* Renormalize: folding fixed columns changed the norm. *)
+        normalize row !rhs c.c_origin

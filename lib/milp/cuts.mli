@@ -128,3 +128,19 @@ val certify_cover :
     the new model.  Returns [false] for Gomory cuts (their derivation is
     basis-specific and does not survive new columns) and whenever no row
     certifies: the test is sound but deliberately conservative. *)
+
+(** {1 Mapping cuts through a presolve reduction} *)
+
+val lift : Postsolve.t -> cut -> cut
+(** Re-express a cut separated on the {e reduced} problem over original
+    column ids ([col_of_red] is injective, so validity and normalization
+    are untouched).  Lifted cuts are what {!Branch_bound} reports and
+    carries across solves. *)
+
+val restrict : Postsolve.t -> cut -> cut option
+(** Map an original-space cut onto the reduced columns: kept columns
+    translate, fixed columns fold into the rhs, and a cut touching a
+    substituted column is dropped ([None], also returned when nothing
+    of the support survives).  Sound because every reduced-feasible
+    point restores to an original-feasible one with exactly the folded
+    values. *)

@@ -18,13 +18,17 @@ type t = {
   m_name : string;
   vars : var_info Vec.t;
   cons : constr Vec.t;
+  (* Append-only log of row ids rewritten via [set_row]; watermarks
+     record a position in it so incremental consumers (the template
+     presolve of Session) can ask which existing rows changed. *)
+  set_log : int Vec.t;
   mutable obj_dir : direction;
   mutable obj_expr : Lin.t;
 }
 
 let create ?(name = "model") () =
   { m_name = name; vars = Vec.create (); cons = Vec.create ();
-    obj_dir = Minimize; obj_expr = Lin.zero }
+    set_log = Vec.create (); obj_dir = Minimize; obj_expr = Lin.zero }
 
 let name m = m.m_name
 
@@ -68,6 +72,7 @@ let set_row m row expr sense rhs =
   let old = Vec.get m.cons row in
   let cst = Lin.constant expr in
   let expr = Lin.add_const expr (-.cst) in
+  Vec.add_last m.set_log row;
   Vec.set m.cons row { old with c_expr = expr; c_sense = sense; c_rhs = rhs -. cst }
 
 let add_range m ?name lo expr hi =
@@ -107,9 +112,11 @@ let is_integer m v =
 
 let constr m row = Vec.get m.cons row
 
-type watermark = { w_vars : int; w_constrs : int }
+type watermark = { w_vars : int; w_constrs : int; w_log : int }
 
-let mark m = { w_vars = Vec.length m.vars; w_constrs = Vec.length m.cons }
+let mark m =
+  { w_vars = Vec.length m.vars; w_constrs = Vec.length m.cons;
+    w_log = Vec.length m.set_log }
 
 let vars_since m w =
   let n = Vec.length m.vars in
@@ -120,6 +127,21 @@ let constrs_since m w =
   let n = Vec.length m.cons in
   let rec build i = if i >= n then [] else i :: build (i + 1) in
   build w.w_constrs
+
+let touched_since m w =
+  (* Rows that existed at the watermark and have been rewritten in place
+     since; rows added after the watermark are reported by
+     [constrs_since] instead, so the two lists partition the delta. *)
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  for k = Vec.length m.set_log - 1 downto w.w_log do
+    let row = Vec.get m.set_log k in
+    if row < w.w_constrs && not (Hashtbl.mem seen row) then begin
+      Hashtbl.add seen row ();
+      acc := row :: !acc
+    end
+  done;
+  !acc
 
 let constrs m = Vec.to_array m.cons
 

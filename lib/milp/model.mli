@@ -107,6 +107,13 @@ val constrs_since : t -> watermark -> int list
 (** Indices of constraints added after [mark], in insertion order.
     Rows rewritten in place via {!set_row} are not reported. *)
 
+val touched_since : t -> watermark -> int list
+(** Indices of constraints that existed at [mark] and have since been
+    rewritten in place via {!set_row} (deduplicated).
+    Together with {!constrs_since} this is the exact row delta since the
+    watermark — the input {!Presolve.reduce} needs to re-apply a
+    template reduction trace instead of presolving from scratch. *)
+
 val constrs : t -> constr array
 (** Snapshot of the current constraints in insertion order. *)
 

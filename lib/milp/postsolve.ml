@@ -1,0 +1,92 @@
+type fix = { fx_var : int; fx_value : float; fx_forced : bool }
+
+type subst = {
+  sb_var : int;
+  sb_coef : float;
+  sb_rhs : float;
+  sb_terms : (int * float) array;
+}
+
+type t = {
+  orig_ncols : int;
+  orig_nrows : int;
+  col_of_red : int array;
+  red_of_col : int array;
+  row_of_red : int array;
+  red_of_row : int array;
+  fixes : fix array;
+  substs : subst array;
+}
+
+type col_state = Kept of int | Fixed of fix | Substituted
+
+let inverse_map n fwd =
+  let inv = Array.make n (-1) in
+  Array.iteri (fun red orig -> inv.(orig) <- red) fwd;
+  inv
+
+let make ~ncols ~nrows ~col_of_red ~row_of_red ~fixes ~substs =
+  (* Fixes are mutually independent, so they are stored sorted by
+     variable id to make [col_state] a binary search. *)
+  let fixes = Array.copy fixes in
+  Array.sort (fun a b -> compare a.fx_var b.fx_var) fixes;
+  {
+    orig_ncols = ncols;
+    orig_nrows = nrows;
+    col_of_red;
+    red_of_col = inverse_map ncols col_of_red;
+    row_of_red;
+    red_of_row = inverse_map nrows row_of_red;
+    fixes;
+    substs;
+  }
+
+let identity ~ncols ~nrows =
+  make ~ncols ~nrows ~col_of_red:(Array.init ncols Fun.id)
+    ~row_of_red:(Array.init nrows Fun.id) ~fixes:[||] ~substs:[||]
+
+let col_state t j =
+  let red = t.red_of_col.(j) in
+  if red >= 0 then Kept red
+  else begin
+    (* Eliminated: exactly one fix or subst names it.  [fixes] is sorted
+       by variable id (see [make]), so a binary search decides which. *)
+    let lo = ref 0 and hi = ref (Array.length t.fixes - 1) in
+    let found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let f = t.fixes.(mid) in
+      if f.fx_var = j then found := Some f
+      else if f.fx_var < j then lo := mid + 1
+      else hi := mid - 1
+    done;
+    match !found with Some f -> Fixed f | None -> Substituted
+  end
+
+let restore t xr =
+  let x = Array.make t.orig_ncols 0. in
+  Array.iteri (fun red orig -> x.(orig) <- xr.(red)) t.col_of_red;
+  Array.iter (fun f -> x.(f.fx_var) <- f.fx_value) t.fixes;
+  (* Reverse chronological order: a substitution's terms only mention
+     columns that were still present when it was recorded, i.e. columns
+     restored by a later (already-applied) substitution, a fix, or the
+     reduced solution itself. *)
+  for k = Array.length t.substs - 1 downto 0 do
+    let s = t.substs.(k) in
+    let acc = ref s.sb_rhs in
+    for i = 0 to Array.length s.sb_terms - 1 do
+      let j, a = s.sb_terms.(i) in
+      acc := !acc -. (a *. x.(j))
+    done;
+    x.(s.sb_var) <- !acc /. s.sb_coef
+  done;
+  x
+
+let restrict ?(tol = 1e-6) t x =
+  let ok = ref true in
+  Array.iter
+    (fun f ->
+      if f.fx_forced && Float.abs (x.(f.fx_var) -. f.fx_value) > tol then ok := false)
+    t.fixes;
+  if not !ok then None
+  else Some (Array.map (fun orig -> x.(orig)) t.col_of_red)

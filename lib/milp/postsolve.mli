@@ -1,0 +1,90 @@
+(** Postsolve record of a {!Presolve.reduce} reduction.
+
+    A reduction maps an original problem ([orig_ncols] columns,
+    [orig_nrows] rows) onto a smaller one by dropping rows and
+    eliminating columns.  This record is the exact inverse: index maps
+    in both directions, the value of every eliminated column, and the
+    substitution equations of columns eliminated through an equality
+    row.  With it a solution of the reduced problem maps back to the
+    original space bit-for-bit up to float rounding ({!restore}), a
+    full-space point maps forward ({!restrict}), and cuts separated on
+    the reduced model can be re-expressed on the original
+    ({!Cuts.lift} / {!Cuts.restrict}).
+
+    Dropped-row duals policy: rows are only dropped when redundant
+    under the reduced bounds, duplicated by a kept row, or consumed by
+    a substitution, so a dual vector for the original problem assigns
+    [0.] to every dropped row (the kept-row duals transfer through
+    [row_of_red] unchanged; a duplicate's multiplier folds into the
+    kept copy). *)
+
+type fix = {
+  fx_var : int;  (** Original column id. *)
+  fx_value : float;
+  fx_forced : bool;
+      (** [true] when the value is implied by the constraints (bound
+          propagation, probing): every feasible point agrees with it.
+          [false] for objective-preferred choices on empty columns,
+          which other feasible points may disagree with. *)
+}
+
+type subst = {
+  sb_var : int;  (** Original column id of the eliminated variable. *)
+  sb_coef : float;  (** Its coefficient in the consumed equality row. *)
+  sb_rhs : float;  (** The row's right-hand side. *)
+  sb_terms : (int * float) array;
+      (** Remaining row terms over original column ids:
+          [x_var = (rhs - terms . x) / coef]. *)
+}
+
+type t = private {
+  orig_ncols : int;
+  orig_nrows : int;
+  col_of_red : int array;  (** Reduced column -> original column. *)
+  red_of_col : int array;  (** Original column -> reduced column or -1. *)
+  row_of_red : int array;  (** Reduced row -> original row. *)
+  red_of_row : int array;  (** Original row -> reduced row or -1. *)
+  fixes : fix array;  (** Sorted by [fx_var] (fixes are independent). *)
+  substs : subst array;
+      (** Chronological elimination order; {!restore} applies them in
+          reverse, after the fixes, so each equation only reads values
+          that are already restored. *)
+}
+
+type col_state =
+  | Kept of int  (** Still present, at this reduced index. *)
+  | Fixed of fix
+  | Substituted
+
+val make :
+  ncols:int ->
+  nrows:int ->
+  col_of_red:int array ->
+  row_of_red:int array ->
+  fixes:fix array ->
+  substs:subst array ->
+  t
+(** Build a record from the forward maps; the inverse maps are derived.
+    [col_of_red]/[row_of_red] must be strictly increasing original
+    indices. *)
+
+val identity : ncols:int -> nrows:int -> t
+(** The no-op reduction (presolve disabled). *)
+
+val col_state : t -> int -> col_state
+(** Classification of an original column (O(log #fixes) worst case). *)
+
+val restore : t -> float array -> float array
+(** [restore t xr] maps a reduced-space solution (length = reduced
+    column count) back to original space: kept values are scattered,
+    fixed columns take their recorded value, substituted columns are
+    recomputed from their equality rows. *)
+
+val restrict : ?tol:float -> t -> float array -> float array option
+(** [restrict t x] maps an original-space point onto the reduced
+    columns.  [None] when [x] disagrees with a {e forced} fixing by
+    more than [tol] (default [1e-6]) — such a point cannot be feasible
+    for the original problem.  Choice fixings and substituted columns
+    are simply dropped (restoring swaps them for the recorded /
+    recomputed values, which is feasibility- and
+    objective-compatible). *)

@@ -67,15 +67,23 @@ type kernel =
    signs, which depend on the starting residual, are rewritten in
    place), and a cut-grown problem misses the cache and rebuilds.
 
-   Arrays are exact-sized (reallocated only when the problem shape
-   changes) so snapshots and tableau copies need no slicing. *)
+   Working arrays ([a_*]) are exact-sized (reallocated only when the
+   problem shape changes) so snapshots and tableau copies need no
+   slicing.  The CSC image itself ([coli]/[colv], plus the count/fill
+   scratch) grows monotonically and is reused across rebuilds: every
+   read goes through [colp] offsets, so spare capacity past the live
+   nonzeros is never observed.  With the presolve reduction shrinking
+   and cuts regrowing the row set every few nodes, this turns the
+   rebuild from three fresh allocations per cache miss into in-place
+   refills once high-water capacity is reached. *)
 type workspace = {
   mutable c_rows : (int * float) array array;  (* CSC cache key *)
   mutable c_n : int;
   mutable c_m : int;
-  mutable colp : int array;  (* column start offsets, length ntot+1 *)
+  mutable colp : int array;  (* column start offsets, length >= ntot+1 *)
   mutable coli : int array;  (* row indices *)
   mutable colv : floatarray;  (* values, parallel to [coli] *)
+  mutable c_scratch : int array;  (* counts/fill cursors for rebuilds *)
   mutable a_lb : float array;  (* working bounds, length ntot *)
   mutable a_ub : float array;
   mutable a_cost : float array;
@@ -97,7 +105,7 @@ type workspace = {
 let create_workspace () =
   {
     c_rows = [||]; c_n = -1; c_m = -1;
-    colp = [| 0 |]; coli = [||]; colv = FA.create 0;
+    colp = [| 0 |]; coli = [||]; colv = FA.create 0; c_scratch = [||];
     a_lb = [||]; a_ub = [||]; a_cost = [||]; a_stat = [||];
     a_basis = [||]; a_xb = [||]; a_wy = [||]; a_ww = [||];
     a_wrho = [||]; a_wres = [||]; a_dred = [||]; a_dw = [||];
@@ -117,7 +125,11 @@ let build_csc ws p m =
   let ntot = n + (2 * m) in
   if ws.c_rows == p.rows && ws.c_n = n && ws.c_m = m then ()
   else begin
-    let counts = Array.make ntot 0 in
+    (* Grow-only storage: reuse the previous arrays whenever capacity
+       allows; readers never look past the [colp] offsets. *)
+    if Array.length ws.c_scratch < ntot then ws.c_scratch <- Array.make ntot 0
+    else Array.fill ws.c_scratch 0 ntot 0;
+    let counts = ws.c_scratch in
     Array.iter
       (fun row -> Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) row)
       p.rows;
@@ -125,14 +137,19 @@ let build_csc ws p m =
       counts.(n + i) <- 1;
       counts.(n + m + i) <- 1
     done;
-    let colp = Array.make (ntot + 1) 0 in
+    if Array.length ws.colp < ntot + 1 then ws.colp <- Array.make (ntot + 1) 0;
+    let colp = ws.colp in
+    colp.(0) <- 0;
     for j = 0 to ntot - 1 do
       colp.(j + 1) <- colp.(j) + counts.(j)
     done;
     let nnz = colp.(ntot) in
-    let coli = Array.make nnz 0 in
-    let colv = FA.create nnz in
-    let fill = Array.make n 0 in
+    if Array.length ws.coli < nnz then ws.coli <- Array.make nnz 0;
+    if FA.length ws.colv < nnz then ws.colv <- FA.create nnz;
+    let coli = ws.coli and colv = ws.colv in
+    (* [counts] is consumed; reuse its prefix as per-column fill cursors. *)
+    Array.fill counts 0 n 0;
+    let fill = counts in
     Array.iteri
       (fun i row ->
         Array.iter
@@ -151,10 +168,7 @@ let build_csc ws p m =
     done;
     ws.c_rows <- p.rows;
     ws.c_n <- n;
-    ws.c_m <- m;
-    ws.colp <- colp;
-    ws.coli <- coli;
-    ws.colv <- colv
+    ws.c_m <- m
   end
 
 type state = {

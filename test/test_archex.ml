@@ -1106,12 +1106,12 @@ let par_test_params =
     dc_height = 28.;
   }
 
-let par_solve ?(kstar = 4) ?(dense = false) ~workers inst =
+let par_solve ?(kstar = 4) ?(dense = false) ?(presolve = true) ~workers inst =
   let k = kstar in
   let cfg =
     Solver_config.(
       default |> with_approx ~kstar:k () |> with_time_limit 60. |> with_rel_gap 1e-6
-      |> with_workers workers |> with_dense_basis dense)
+      |> with_workers workers |> with_dense_basis dense |> with_presolve presolve)
   in
   match Solve.run cfg inst with Ok out -> out | Error e -> Alcotest.fail e
 
@@ -1182,6 +1182,67 @@ let test_dense_sparse_kernel_parity () =
       ("energy", Objective.energy);
       ("combined", Objective.combine Objective.dollar Objective.energy);
     ]
+
+let test_presolve_matches_ablation () =
+  (* Reduction-stack parity: solving in the reduced space must land on
+     the same status and objective (to 1e-6) as the --no-presolve
+     ablation on all three Table-1 objectives, sequentially and under
+     the parallel tree search, on both basis kernels. *)
+  List.iter
+    (fun (name, objective) ->
+      match Scenarios.data_collection ~objective par_test_params with
+      | Error e -> Alcotest.fail e
+      | Ok inst ->
+          List.iter
+            (fun (w, dense) ->
+              let tag = Printf.sprintf "%s at %d workers (%s)" name w
+                  (if dense then "dense" else "sparse")
+              in
+              let on = par_solve ~workers:w ~dense inst in
+              let off = par_solve ~workers:w ~dense ~presolve:false inst in
+              Alcotest.(check string) (tag ^ ": status parity")
+                (Milp.Status.mip_status_to_string off.Outcome.status)
+                (Milp.Status.mip_status_to_string on.Outcome.status);
+              match (on.Outcome.solution, off.Outcome.solution) with
+              | Some _, Some _ ->
+                  Alcotest.(check (float 1e-6))
+                    (tag ^ ": objective parity")
+                    off.Outcome.mip.Milp.Branch_bound.objective
+                    on.Outcome.mip.Milp.Branch_bound.objective
+              | None, None -> ()
+              | _ -> Alcotest.fail (tag ^ ": incumbent presence diverged"))
+            [ (1, false); (1, true); (4, false); (4, true) ])
+    [
+      ("dollar", Objective.dollar);
+      ("energy", Objective.energy);
+      ("combined", Objective.combine Objective.dollar Objective.energy);
+    ]
+
+let test_presolve_node_count_regression () =
+  (* Energy scenario, sequential solver: the tree is bit-deterministic,
+     so the node counts with and without the reduction stack are pinned
+     exactly.  A drift here means the root reduction (or the baseline
+     tree) changed behaviour — update the constants only with the PR
+     that intends the change.  The reduced tree happens to be larger on
+     this instance (strengthened rows reshape the LP bounds and the
+     branching order) while winning back far more per node; wall-time
+     and sweep-level wins are measured in bench/BENCH_PR7.json. *)
+  match Scenarios.data_collection ~objective:Objective.energy par_test_params with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      let run presolve = (par_solve ~workers:1 ~presolve inst).Outcome.mip in
+      let on = run true and off = run false in
+      Alcotest.(check int) "node count with presolve" 1143 on.Milp.Branch_bound.nodes;
+      Alcotest.(check int) "node count without presolve" 809 off.Milp.Branch_bound.nodes;
+      Alcotest.(check bool) "reduction removes rows" true
+        (on.Milp.Branch_bound.presolve_rows_removed > 0);
+      Alcotest.(check bool) "reduction removes columns" true
+        (on.Milp.Branch_bound.presolve_cols_removed > 0);
+      Alcotest.(check bool) "ablation removes nothing" true
+        (off.Milp.Branch_bound.presolve_rows_removed = 0
+        && off.Milp.Branch_bound.presolve_cols_removed = 0);
+      Alcotest.(check (float 1e-6)) "objective parity" off.Milp.Branch_bound.objective
+        on.Milp.Branch_bound.objective
 
 let test_sequential_bit_deterministic () =
   (* nworkers = 1 must take the pre-parallelism loop verbatim: two runs
@@ -1329,12 +1390,15 @@ let () =
           Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
           Alcotest.test_case "incremental matches rebuild" `Quick
             test_regression_incremental_matches_rebuild;
+          Alcotest.test_case "presolve node counts on energy" `Quick
+            test_presolve_node_count_regression;
         ] );
       ( "parallel",
         [
           Alcotest.test_case "parity across workers" `Slow test_parallel_matches_sequential;
           Alcotest.test_case "dense vs sparse kernel parity" `Slow
             test_dense_sparse_kernel_parity;
+          Alcotest.test_case "presolve on/off parity" `Slow test_presolve_matches_ablation;
           Alcotest.test_case "workers=1 bit-deterministic" `Quick
             test_sequential_bit_deterministic;
           Alcotest.test_case "seed does not change answer" `Quick

@@ -642,6 +642,364 @@ let prop_presolve_strengthen_preserves_integer_points =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Reduction stack + postsolve                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_reduce ?passes ?essential ?reuse m =
+  let p = Simplex.of_model m in
+  let n = Model.nvars m in
+  Presolve.reduce ?passes ?essential ?reuse p
+    ~integer:(Array.init n (Model.is_integer m))
+    ~lb:(Array.init n (Model.var_lb m))
+    ~ub:(Array.init n (Model.var_ub m))
+
+(* Postsolve roundtrip on LPs: reduce, solve the reduced problem,
+   restore.  The restored point must be feasible for the original model
+   and evaluate the original objective within 1e-9 of the reduced
+   objective (the mapping itself is exact up to rounding; obj_const
+   folds every eliminated column).  Full-vs-reduced solver parity is
+   checked at LP tolerance — two independent simplex runs may stop at
+   alternate vertices up to ~1e-7 apart in objective. *)
+let prop_reduce_roundtrip_lp =
+  QCheck2.Test.make
+    ~name:"reduce: postsolve maps reduced LP optima back exactly (1e-9)" ~count:300
+    random_lp_spec (fun spec ->
+      let m, _ = build_lp spec in
+      let full = Simplex.solve_model m in
+      match run_reduce m with
+      | Presolve.Reduce_infeasible _ -> full.Simplex.status = Status.Lp_infeasible
+      | Presolve.Reduced red -> (
+          let r =
+            Simplex.solve red.Presolve.red_problem ~lb:red.Presolve.red_lb
+              ~ub:red.Presolve.red_ub
+          in
+          match (full.Simplex.status, r.Simplex.status) with
+          | Status.Lp_optimal, Status.Lp_optimal ->
+              let x = Postsolve.restore red.Presolve.red_post r.Simplex.primal in
+              feq ~eps:1e-5 full.Simplex.objective r.Simplex.objective
+              && Result.is_ok (Model.check_feasible ~tol:1e-6 m (fun v -> x.(v)))
+              && feq ~eps:1e-9 r.Simplex.objective
+                   (Lin.eval (fun v -> x.(v)) (snd (Model.objective m)))
+          | Status.Lp_infeasible, Status.Lp_infeasible -> true
+          | _ -> false))
+
+(* Routing-shaped 0-1 programs: exactly-one selector rows (one per
+   group, the shape of the paper's one-path rows) plus nonnegative
+   capacity rows — the structure probing and parallel-row detection are
+   aimed at. *)
+let random_routing_bip =
+  QCheck2.Gen.(
+    let* ngroups = int_range 1 3 in
+    let* per = int_range 2 3 in
+    let nvars = ngroups * per in
+    let* obj = list_size (return nvars) (float_range (-4.) 4.) in
+    let* caps =
+      list_size (int_range 1 4)
+        (let* cs = list_size (return nvars) (float_range 0. 5.) in
+         let* rhs = float_range 1. 10. in
+         return (cs, rhs))
+    in
+    return (ngroups, per, obj, caps))
+
+let build_routing_bip (ngroups, per, obj, caps) =
+  let m = Model.create () in
+  let nvars = ngroups * per in
+  let vars = List.init nvars (fun i -> Model.add_binary m (Printf.sprintf "s%d" i)) in
+  for g = 0 to ngroups - 1 do
+    Model.add_constr m
+      (Lin.of_list (List.init per (fun k -> (1., List.nth vars ((g * per) + k)))))
+      Model.Eq 1.
+  done;
+  List.iter
+    (fun (cs, rhs) ->
+      Model.add_constr m (Lin.of_list (List.map2 (fun c v -> (c, v)) cs vars)) Model.Le rhs)
+    caps;
+  Model.set_objective m Model.Minimize
+    (Lin.of_list (List.map2 (fun c v -> (c, v)) obj vars));
+  (m, nvars)
+
+(* Brute force over the binary columns of a reduced problem; objective
+   values include [obj_const].  Returns the best point with its value. *)
+let brute_force_reduction (red : Presolve.reduction) =
+  let p = red.Presolve.red_problem in
+  let n = p.Simplex.ncols in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> float_of_int ((mask lsr j) land 1)) in
+    let ok = ref true in
+    Array.iteri
+      (fun j v ->
+        if v < red.Presolve.red_lb.(j) -. 1e-9 || v > red.Presolve.red_ub.(j) +. 1e-9 then
+          ok := false)
+      x;
+    if !ok then begin
+      Array.iteri
+        (fun i row ->
+          if !ok then begin
+            let lhs = Array.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. row in
+            let rhs = p.Simplex.rhs.(i) in
+            match p.Simplex.senses.(i) with
+            | Model.Le -> if lhs > rhs +. 1e-9 then ok := false
+            | Model.Ge -> if lhs < rhs -. 1e-9 then ok := false
+            | Model.Eq -> if Float.abs (lhs -. rhs) > 1e-9 then ok := false
+          end)
+        p.Simplex.rows;
+      if !ok then begin
+        let obj = ref p.Simplex.obj_const in
+        Array.iteri (fun j v -> obj := !obj +. (p.Simplex.obj.(j) *. v)) x;
+        match !best with
+        | Some (_, b) when b <= !obj -> ()
+        | _ -> best := Some (x, !obj)
+      end
+    end
+  done;
+  !best
+
+(* The MILP roundtrip with an exact solver on both sides: brute force on
+   the reduced problem, restored through postsolve, must agree with
+   brute force on the original to 1e-9, and the restored optimum must be
+   feasible for the original model. *)
+let prop_reduce_roundtrip_routing_milp =
+  QCheck2.Test.make
+    ~name:"reduce: postsolve(brute(reduce(milp))) = brute(milp) to 1e-9 on routing MILPs"
+    ~count:200 random_routing_bip (fun spec ->
+      let m, nvars = build_routing_bip spec in
+      let direct = brute_force_binary m nvars in
+      match run_reduce m with
+      | Presolve.Reduce_infeasible _ -> direct = None
+      | Presolve.Reduced red -> (
+          match (direct, brute_force_reduction red) with
+          | None, None -> true
+          | Some best, Some (xr, redbest) ->
+              let x = Postsolve.restore red.Presolve.red_post xr in
+              feq ~eps:1e-9 best redbest
+              && Result.is_ok (Model.check_feasible ~tol:1e-6 m (fun v -> x.(v)))
+          | None, Some _ | Some _, None -> false))
+
+let test_strengthen_ge_wide_box () =
+  (* Non-unit integer box through the >= negation path: 5x + y >= 2 with
+     x integer in [0, 2] and y continuous in [0, 1].  On the negated row
+     -5x - y <= -2 the max activity is 0, so d = -2 - 0 + 5 = 3 for x
+     (0 < 3 < 5) and the row strengthens to 2x + y >= 2 — the same
+     integer points (x = 0 remains impossible, x >= 1 remains free) with
+     a tighter LP relaxation. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~kind:Model.Integer ~ub:2. "x" in
+  let y = Model.add_var m ~ub:1. "y" in
+  Model.add_constr m (Lin.of_list [ (5., x); (1., y) ]) Model.Ge 2.;
+  let p = Simplex.of_model m in
+  let p', changed =
+    Presolve.strengthen p ~integer:[| true; false |] ~lb:[| 0.; 0. |] ~ub:[| 2.; 1. |]
+  in
+  Alcotest.(check int) "one coefficient strengthened" 1 changed;
+  check_feq "x coefficient" 2. (snd p'.Simplex.rows.(0).(0));
+  check_feq "y coefficient intact" 1. (snd p'.Simplex.rows.(0).(1));
+  check_feq "rhs" 2. p'.Simplex.rhs.(0);
+  List.iter
+    (fun (vx, vy) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "point (%g, %g) preserved" vx vy)
+        ((5. *. vx) +. vy >= 2.)
+        ((2. *. vx) +. vy >= 2.))
+    [ (0., 0.); (0., 1.); (1., 0.); (1., 1.); (2., 0.); (2., 1.) ]
+
+(* One model exercising every elimination: x fixed by an equality row,
+   e an empty column parked at its objective-preferred bound, z a free
+   column singleton substituted out of z + w = 4, and w/u surviving in a
+   genuine capacity row. *)
+let reduction_fixture () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10. "x" in
+  let e = Model.add_var m ~ub:5. "e" in
+  let z = Model.add_var m ~ub:10. "z" in
+  let w = Model.add_var m ~ub:1. "w" in
+  let u = Model.add_var m ~ub:1. "u" in
+  Model.add_constr m (Lin.var x) Model.Eq 3.;
+  Model.add_constr m (Lin.of_list [ (1., z); (1., w) ]) Model.Eq 4.;
+  Model.add_constr m (Lin.of_list [ (1., w); (1., u) ]) Model.Le 0.8;
+  Model.set_objective m Model.Minimize
+    (Lin.of_list [ (1., x); (2., e); (1., z); (1., u) ]);
+  (m, (x, e, z, w, u))
+
+let test_reduce_postsolve_fixture () =
+  let m, (x, e, z, w, u) = reduction_fixture () in
+  match run_reduce m with
+  | Presolve.Reduce_infeasible err -> Alcotest.fail err
+  | Presolve.Reduced red ->
+      let post = red.Presolve.red_post in
+      Alcotest.(check int) "reduced to two columns" 2 red.Presolve.red_problem.Simplex.ncols;
+      Alcotest.(check int) "reduced to one row" 1
+        (Array.length red.Presolve.red_problem.Simplex.rows);
+      (match Postsolve.col_state post x with
+      | Postsolve.Fixed f ->
+          check_feq "x fixed value" 3. f.Postsolve.fx_value;
+          Alcotest.(check bool) "x fix is forced" true f.Postsolve.fx_forced
+      | _ -> Alcotest.fail "x should be fixed");
+      (match Postsolve.col_state post e with
+      | Postsolve.Fixed f ->
+          check_feq "e parked at lb" 0. f.Postsolve.fx_value;
+          Alcotest.(check bool) "e fix is a choice" false f.Postsolve.fx_forced
+      | _ -> Alcotest.fail "e should be fixed (empty column)");
+      (match Postsolve.col_state post z with
+      | Postsolve.Substituted -> ()
+      | _ -> Alcotest.fail "z should be substituted");
+      (match (Postsolve.col_state post w, Postsolve.col_state post u) with
+      | Postsolve.Kept 0, Postsolve.Kept 1 -> ()
+      | _ -> Alcotest.fail "w/u should be kept in order");
+      Alcotest.(check int) "kept row is the capacity row" 2 post.Postsolve.row_of_red.(0);
+      (* restore scatters kept values and recomputes z = 4 - w *)
+      let full = Postsolve.restore post [| 0.8; 0. |] in
+      Alcotest.(check int) "restore length" 5 (Array.length full);
+      check_feq "restored x" 3. full.(x);
+      check_feq "restored e" 0. full.(e);
+      check_feq "restored z" 3.2 full.(z);
+      check_feq "restored w" 0.8 full.(w);
+      check_feq "restored u" 0. full.(u);
+      (* restrict drops eliminated columns; choice fixes may disagree *)
+      (match Postsolve.restrict post [| 3.; 4.; 3.5; 0.5; 0.1 |] with
+      | Some xr ->
+          check_feq "restricted w" 0.5 xr.(0);
+          check_feq "restricted u" 0.1 xr.(1)
+      | None -> Alcotest.fail "restrict should accept a point matching the forced fix");
+      (match Postsolve.restrict post [| 2.; 0.; 3.5; 0.5; 0.1 |] with
+      | None -> ()
+      | Some _ -> Alcotest.fail "restrict must reject a violated forced fixing");
+      (* objective parity: reduced solve (obj_const folded) = full solve *)
+      let full_r = Simplex.solve_model m in
+      let red_r =
+        Simplex.solve red.Presolve.red_problem ~lb:red.Presolve.red_lb
+          ~ub:red.Presolve.red_ub
+      in
+      Alcotest.check lp_status "full optimal" Status.Lp_optimal full_r.Simplex.status;
+      Alcotest.check lp_status "reduced optimal" Status.Lp_optimal red_r.Simplex.status;
+      check_feq "objective parity" full_r.Simplex.objective red_r.Simplex.objective;
+      check_feq "known optimum" 6.2 red_r.Simplex.objective;
+      (* honest per-pass stats: one entry per pass, removals where due *)
+      Alcotest.(check int) "stats cover every pass" (List.length Presolve.all_passes)
+        (List.length red.Presolve.red_stats);
+      let stat pass =
+        List.find (fun s -> s.Presolve.ps_pass = pass) red.Presolve.red_stats
+      in
+      Alcotest.(check int) "fix removed x" 1 (stat Presolve.Fix_columns).Presolve.ps_cols_removed;
+      Alcotest.(check int) "empty removed e" 1
+        (stat Presolve.Empty_columns).Presolve.ps_cols_removed;
+      Alcotest.(check int) "subst removed z" 1 (stat Presolve.Substitute).Presolve.ps_cols_removed;
+      Alcotest.(check int) "subst consumed its row" 1
+        (stat Presolve.Substitute).Presolve.ps_rows_removed
+
+let test_cuts_lift_restrict () =
+  let m, (x, _e, z, w, _u) = reduction_fixture () in
+  match run_reduce m with
+  | Presolve.Reduce_infeasible err -> Alcotest.fail err
+  | Presolve.Reduced red ->
+      let post = red.Presolve.red_post in
+      (* fixed column folds into the rhs, survivor renormalizes to unit
+         L2: 0.6 x + 0.8 w <= 2 with x = 3 becomes w <= 0.25 *)
+      let c = { Cuts.c_row = [| (x, 0.6); (w, 0.8) |]; c_rhs = 2.; c_origin = Cuts.Cover } in
+      (match Cuts.restrict post c with
+      | Some rc ->
+          Alcotest.(check int) "one term survives" 1 (Array.length rc.Cuts.c_row);
+          Alcotest.(check int) "term is reduced w" 0 (fst rc.Cuts.c_row.(0));
+          check_feq "unit coefficient" 1. (snd rc.Cuts.c_row.(0));
+          check_feq "folded rhs" 0.25 rc.Cuts.c_rhs;
+          (* lift maps the reduced id back to the original column *)
+          let lifted = Cuts.lift post rc in
+          Alcotest.(check int) "lifted to original w" w (fst lifted.Cuts.c_row.(0));
+          check_feq "lifted rhs unchanged" 0.25 lifted.Cuts.c_rhs
+      | None -> Alcotest.fail "cut over kept+fixed columns must survive");
+      (* substituted support drops the cut *)
+      let cz = { Cuts.c_row = [| (z, 1.) |]; c_rhs = 4.; c_origin = Cuts.Cover } in
+      Alcotest.(check bool) "substituted support drops" true (Cuts.restrict post cz = None);
+      (* all-fixed support leaves nothing to cut *)
+      let cx = { Cuts.c_row = [| (x, 1.) |]; c_rhs = 4.; c_origin = Cuts.Cover } in
+      Alcotest.(check bool) "empty survivor drops" true (Cuts.restrict post cx = None)
+
+(* Template re-apply: replaying a recorded trace against a row delta
+   must land on exactly the reduction a from-scratch run reaches — same
+   index maps, same fixpoint bounds, same reduced rows. *)
+let check_same_reduction tag (a : Presolve.reduction) (b : Presolve.reduction) =
+  let pa = a.Presolve.red_post and pb = b.Presolve.red_post in
+  Alcotest.(check (array int))
+    (tag ^ ": column map") pa.Postsolve.col_of_red pb.Postsolve.col_of_red;
+  Alcotest.(check (array int)) (tag ^ ": row map") pa.Postsolve.row_of_red pb.Postsolve.row_of_red;
+  Alcotest.(check int)
+    (tag ^ ": reduced rows")
+    (Array.length a.Presolve.red_problem.Simplex.rows)
+    (Array.length b.Presolve.red_problem.Simplex.rows);
+  Array.iteri
+    (fun j v -> check_feq (Printf.sprintf "%s: lb %d" tag j) v b.Presolve.red_lb.(j))
+    a.Presolve.red_lb;
+  Array.iteri
+    (fun j v -> check_feq (Printf.sprintf "%s: ub %d" tag j) v b.Presolve.red_ub.(j))
+    a.Presolve.red_ub;
+  let ra =
+    Simplex.solve a.Presolve.red_problem ~lb:a.Presolve.red_lb ~ub:a.Presolve.red_ub
+  in
+  let rb =
+    Simplex.solve b.Presolve.red_problem ~lb:b.Presolve.red_lb ~ub:b.Presolve.red_ub
+  in
+  Alcotest.(check bool) (tag ^ ": same LP status") true (ra.Simplex.status = rb.Simplex.status);
+  if ra.Simplex.status = Status.Lp_optimal then
+    check_feq (tag ^ ": same LP objective") ra.Simplex.objective rb.Simplex.objective
+
+let test_reduce_reapply_matches_fresh () =
+  let m = Model.create () in
+  let a = Model.add_binary m "a" in
+  let b = Model.add_binary m "b" in
+  let c = Model.add_binary m "c" in
+  let x = Model.add_var m ~ub:10. "x" in
+  Model.add_constr m (Lin.of_list [ (1., a); (1., b); (1., c) ]) Model.Eq 1.;
+  Model.add_constr m (Lin.of_list [ (2., a); (3., b); (4., c) ]) Model.Le 8.;
+  Model.add_constr m (Lin.of_list [ (1., x); (-2., a) ]) Model.Le 5.;
+  Model.set_objective m Model.Minimize
+    (Lin.of_list [ (3., a); (2., b); (1., c); (1., x) ]);
+  let p1 = Simplex.of_model m in
+  let n = Model.nvars m in
+  let integer = Array.init n (Model.is_integer m) in
+  let lb = Array.init n (Model.var_lb m) and ub = Array.init n (Model.var_ub m) in
+  let trace =
+    match Presolve.reduce p1 ~integer ~lb ~ub with
+    | Presolve.Reduced r -> r.Presolve.red_trace
+    | Presolve.Reduce_infeasible err -> Alcotest.fail err
+  in
+  (* In-place rewrite of the capacity row: rhs 8 -> 2.5 forces b = c = 0
+     and hence a = 1 — the re-apply must taint a, b, c and rediscover
+     the fixings a from-scratch run derives. *)
+  let rhs2 = Array.copy p1.Simplex.rhs in
+  rhs2.(1) <- 2.5;
+  let p2 = { p1 with Simplex.rhs = rhs2 } in
+  let fresh2 =
+    match Presolve.reduce p2 ~integer ~lb ~ub with
+    | Presolve.Reduced r -> r
+    | Presolve.Reduce_infeasible err -> Alcotest.fail err
+  in
+  (match Presolve.reduce ~reuse:(trace, [ 1 ]) p2 ~integer ~lb ~ub with
+  | Presolve.Reduced r ->
+      Alcotest.(check bool) "delta run reports re-apply" true r.Presolve.red_reapplied;
+      Alcotest.(check bool) "fresh run does not" false fresh2.Presolve.red_reapplied;
+      check_same_reduction "rhs delta" fresh2 r
+  | Presolve.Reduce_infeasible err -> Alcotest.fail err);
+  (* Appended rows past the trace are treated as new automatically. *)
+  let p3 =
+    {
+      p1 with
+      Simplex.rows = Array.append p1.Simplex.rows [| [| (b, 1.); (c, 1.) |] |];
+      senses = Array.append p1.Simplex.senses [| Model.Le |];
+      rhs = Array.append p1.Simplex.rhs [| 0.5 |];
+    }
+  in
+  let fresh3 =
+    match Presolve.reduce p3 ~integer ~lb ~ub with
+    | Presolve.Reduced r -> r
+    | Presolve.Reduce_infeasible err -> Alcotest.fail err
+  in
+  match Presolve.reduce ~reuse:(trace, []) p3 ~integer ~lb ~ub with
+  | Presolve.Reduced r ->
+      Alcotest.(check bool) "appended-row run reports re-apply" true r.Presolve.red_reapplied;
+      check_same_reduction "appended row" fresh3 r
+  | Presolve.Reduce_infeasible err -> Alcotest.fail err
+
 (* Separate both cut families at the root LP of a random binary program
    and check that no integer-feasible point (enumerated by brute force)
    violates any of them — the defining property of a valid cut. *)
@@ -1527,6 +1885,19 @@ let () =
           Alcotest.test_case "strengthening on >= rows" `Quick test_presolve_strengthen_ge_row;
           qt test_presolve_no_false_positives;
           qt prop_presolve_strengthen_preserves_integer_points;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "fixture: every elimination + postsolve" `Quick
+            test_reduce_postsolve_fixture;
+          Alcotest.test_case "ge-row strengthening on a wide box" `Quick
+            test_strengthen_ge_wide_box;
+          Alcotest.test_case "cuts lift/restrict through postsolve" `Quick
+            test_cuts_lift_restrict;
+          Alcotest.test_case "trace re-apply matches from-scratch" `Quick
+            test_reduce_reapply_matches_fresh;
+          qt prop_reduce_roundtrip_lp;
+          qt prop_reduce_roundtrip_routing_milp;
         ] );
       ( "cuts",
         [
