@@ -10,7 +10,7 @@
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
    Sections: table1 table2 table3 table4 sweep parallel kernel kernel2
-             presolve figures ablations micro *)
+             presolve figures ablations micro daemon *)
 
 open Archex
 
@@ -1952,6 +1952,207 @@ let micro () =
   hr ()
 
 (* ------------------------------------------------------------------ *)
+(* Daemon throughput: warm session cache vs cold -> BENCH_PR8.json     *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process archexd core on a temp-dir Unix socket, hammered by
+   concurrent client threads with a K*-perturbed stream over the mixed
+   test-scale Table-1 workloads.  Two passes, identical stream: warm
+   (session cache on — repeats reuse path pools, presolve trace, cut
+   carry and incumbent) and cold (capacity 0 — every request encodes
+   and solves from scratch).  Reported: sustained req/s and p50/p99
+   latency per pass. *)
+
+type daemon_run = {
+  dr_mode : string;  (* "warm" | "cold" *)
+  dr_total_s : float;
+  dr_requests : int;
+  dr_errors : int;
+  dr_p50_ms : float;
+  dr_p99_ms : float;
+  dr_req_per_s : float;
+  dr_cache_hits : int;
+  dr_cache_misses : int;
+}
+
+let daemon_log : daemon_run list ref = ref []
+
+let daemon_clients = 2
+let daemon_reqs_per_client = 9
+let daemon_workloads = [ "dc-small-dollar"; "dc-small-energy"; "dc-small-mixed" ]
+let daemon_kstars = [| 3; 4; 5 |]
+
+(* The resolved pool size the daemon will use (satellite of the
+   [--workers 0] auto-detection: 0 resolves on the daemon side). *)
+let daemon_workers_flag = nworkers
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Int.min (n - 1) (int_of_float (Float.of_int n *. p /. 100.)))
+
+let daemon_pass ~mode ~capacity =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archexd-bench-%d-%s.sock" (Unix.getpid ()) mode)
+  in
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.c_socket = socket;
+      c_workers = daemon_workers_flag;
+      c_max_active = daemon_clients;
+      c_max_waiting = 2 * daemon_clients;
+      c_cache_capacity = capacity;
+      c_time_limit = 120.;
+    }
+  in
+  match Server.Daemon.create config with
+  | Error e ->
+      Format.printf "  %s: daemon start failed: %s@." mode e;
+      None
+  | Ok d ->
+      let dthread = Thread.create (fun () -> ignore (Server.Daemon.run d)) () in
+      let lock = Mutex.create () in
+      let latencies = ref [] in
+      let errors = ref 0 in
+      let overrides =
+        { Server.Protocol.no_overrides with Server.Protocol.o_rel_gap = Some 1e-4 }
+      in
+      let client c =
+        match Server.Client.connect socket with
+        | Error e ->
+            Mutex.lock lock;
+            errors := !errors + daemon_reqs_per_client;
+            Mutex.unlock lock;
+            Format.printf "  %s client %d: connect failed: %s@." mode c e
+        | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> Server.Client.disconnect conn)
+              (fun () ->
+                for i = 0 to daemon_reqs_per_client - 1 do
+                  (* Offset clients through the workload cycle so they
+                     mostly touch different templates at any instant;
+                     the K* perturbation cycles independently. *)
+                  let j = c + i in
+                  let name = List.nth daemon_workloads (j mod List.length daemon_workloads) in
+                  let kstar = daemon_kstars.(j mod Array.length daemon_kstars) in
+                  let t0 = Unix.gettimeofday () in
+                  let r =
+                    Server.Client.solve conn
+                      (Server.Protocol.Workload { name; kstar })
+                      overrides
+                  in
+                  let dt = Unix.gettimeofday () -. t0 in
+                  Mutex.lock lock;
+                  (match r with
+                  | Ok (Server.Protocol.Result _) -> latencies := dt :: !latencies
+                  | Ok _ | Error _ -> incr errors);
+                  Mutex.unlock lock
+                done)
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = List.init daemon_clients (fun c -> Thread.create client c) in
+      List.iter Thread.join threads;
+      let total = Unix.gettimeofday () -. t0 in
+      let hits, misses = Server.Daemon.cache_stats d in
+      Server.Daemon.request_shutdown d;
+      Thread.join dthread;
+      let sorted = Array.of_list !latencies in
+      Array.sort compare sorted;
+      let nreq = Array.length sorted in
+      let run =
+        {
+          dr_mode = mode;
+          dr_total_s = total;
+          dr_requests = nreq;
+          dr_errors = !errors;
+          dr_p50_ms = 1000. *. percentile sorted 50.;
+          dr_p99_ms = 1000. *. percentile sorted 99.;
+          dr_req_per_s = float_of_int nreq /. Float.max 1e-9 total;
+          dr_cache_hits = hits;
+          dr_cache_misses = misses;
+        }
+      in
+      daemon_log := !daemon_log @ [ run ];
+      Format.printf
+        "  %-4s: %d requests in %.2f s -> %.2f req/s; p50 %.0f ms, p99 %.0f ms; \
+         cache %d hits / %d misses; %d error(s)@."
+        mode nreq total run.dr_req_per_s run.dr_p50_ms run.dr_p99_ms hits misses
+        !errors;
+      Some run
+
+let daemon_bench () =
+  header "Daemon throughput: warm session cache vs cold (archexd core in-process)";
+  Format.printf
+    "(%d client threads x %d requests, workloads {%s} with K* cycling %s;@."
+    daemon_clients daemon_reqs_per_client
+    (String.concat ", " daemon_workloads)
+    (String.concat "," (Array.to_list (Array.map string_of_int daemon_kstars)));
+  Format.printf
+    " shared scheduler pool of %d domain(s)%s.  warm keeps one session per workload;@."
+    (if daemon_workers_flag = 0 then Domain.recommended_domain_count ()
+     else daemon_workers_flag)
+    (if daemon_workers_flag = 0 then " (auto-detected from --workers=0)" else "");
+  Format.printf " cold re-encodes and re-solves every request from scratch.)@.@.";
+  if Domain.recommended_domain_count () = 1 then
+    Format.printf
+      "  WARNING: single hardware thread — concurrency is time-sliced, not parallel.@.@.";
+  let cold = daemon_pass ~mode:"cold" ~capacity:0 in
+  let warm = daemon_pass ~mode:"warm" ~capacity:(List.length daemon_workloads) in
+  (match (cold, warm) with
+  | Some c, Some w ->
+      Format.printf "  => warm throughput %.2fx cold (%s)@."
+        (w.dr_req_per_s /. Float.max 1e-9 c.dr_req_per_s)
+        (if w.dr_req_per_s > c.dr_req_per_s then "warm WINS" else "cold wins — UNEXPECTED")
+  | _ -> ());
+  hr ()
+
+let write_daemon_json path =
+  let oc = open_out path in
+  let runs = !daemon_log in
+  Printf.fprintf oc
+    "{\n  \"clients\": %d,\n  \"requests_per_client\": %d,\n  \"workloads\": [%s],\n\
+    \  \"kstars\": [%s],\n  \"workers_flag\": %d,\n  \"workers_resolved\": %d,\n\
+    \  \"host_hardware_threads\": %d,\n  \"single_thread_warning\": %b,\n  \"runs\": [\n"
+    daemon_clients daemon_reqs_per_client
+    (String.concat ", " (List.map (Printf.sprintf "%S") daemon_workloads))
+    (String.concat ", " (Array.to_list (Array.map string_of_int daemon_kstars)))
+    daemon_workers_flag
+    (if daemon_workers_flag = 0 then Domain.recommended_domain_count ()
+     else daemon_workers_flag)
+    (Domain.recommended_domain_count ())
+    (Domain.recommended_domain_count () = 1);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"mode\": %S, \"total_s\": %s, \"requests\": %d, \"errors\": %d,\n\
+        \     \"req_per_s\": %s, \"p50_ms\": %s, \"p99_ms\": %s,\n\
+        \     \"cache_hits\": %d, \"cache_misses\": %d}%s\n"
+        r.dr_mode (json_float r.dr_total_s) r.dr_requests r.dr_errors
+        (json_float r.dr_req_per_s) (json_float r.dr_p50_ms) (json_float r.dr_p99_ms)
+        r.dr_cache_hits r.dr_cache_misses
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  let comparison =
+    match
+      ( List.find_opt (fun r -> r.dr_mode = "warm") runs,
+        List.find_opt (fun r -> r.dr_mode = "cold") runs )
+    with
+    | Some w, Some c ->
+        Printf.sprintf
+          "    {\"warm_req_per_s\": %s, \"cold_req_per_s\": %s, \"warm_speedup\": %s, \
+           \"warm_faster\": %b}"
+          (json_float w.dr_req_per_s) (json_float c.dr_req_per_s)
+          (json_float (w.dr_req_per_s /. Float.max 1e-9 c.dr_req_per_s))
+          (w.dr_req_per_s > c.dr_req_per_s)
+    | _ -> ""
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n" comparison;
+  close_out oc;
+  Format.printf "wrote %s (%d daemon runs)@." path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1969,10 +2170,12 @@ let () =
   if section_enabled "figures" then figures dc_solved loc_solved;
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
+  if section_enabled "daemon" then daemon_bench ();
   if !bench_log <> [] then write_bench_json "BENCH_PR2.json";
   if !sweep_log <> [] then write_sweep_json "BENCH_PR3.json";
   if !par_log <> [] then write_par_json "BENCH_PR4.json";
   if !kern_log <> [] then write_kern_json "BENCH_PR5.json";
   if !k2_log <> [] then write_k2_json "BENCH_PR6.json";
   if !ps_log <> [] then write_presolve_json "BENCH_PR7.json";
+  if !daemon_log <> [] then write_daemon_json "BENCH_PR8.json";
   Format.printf "done.@."

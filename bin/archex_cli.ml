@@ -52,6 +52,15 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  (* Ctrl-C / SIGTERM interrupt the search cooperatively: the solver
+     notices the flag at its node boundary and returns the best
+     incumbent and bound it has instead of dying mid-tree. *)
+  let interrupt = Atomic.make false in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set interrupt true))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
   let ( let* ) = Result.bind in
   let result =
     let* ast = Spec.Parser.parse_file spec_file in
@@ -125,7 +134,8 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
              | Some passes -> with_presolve_passes passes)
           |> with_log verbose
           |> with_incremental (not no_incremental)
-          |> with_workers workers |> with_seed seed)
+          |> with_workers workers |> with_seed seed
+          |> with_interrupt interrupt)
       in
       let* out =
         if sweep then begin
@@ -169,6 +179,13 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
       Format.eprintf "error: %s@." e;
       1
   | Ok (inst, out) -> (
+      if Atomic.get interrupt then
+        Format.printf "interrupted: best incumbent %s, bound %.6g@."
+          (match out.Archex.Outcome.solution with
+          | Some _ ->
+              Printf.sprintf "%.6g" out.Archex.Outcome.mip.Milp.Branch_bound.objective
+          | None -> "-")
+          out.Archex.Outcome.mip.Milp.Branch_bound.bound;
       Format.printf "encoding: %d variables, %d constraints (%.2f s)@."
         out.Archex.Outcome.stats.Archex.Outcome.nvars out.Archex.Outcome.stats.Archex.Outcome.nconstrs
         out.Archex.Outcome.stats.Archex.Outcome.encode_time_s;
@@ -390,7 +407,7 @@ let workers =
           "Worker domains for the branch-and-bound tree search.  1 (default) is the \
            deterministic sequential solver; higher values explore the tree in parallel \
            (objectives agree with the sequential solver to optimality tolerances, node \
-           counts vary).")
+           counts vary); $(b,0) auto-detects via Domain.recommended_domain_count.")
 
 let seed =
   Arg.(
@@ -402,14 +419,216 @@ let seed =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress logging.")
 
-let cmd =
-  let doc = "optimized selection of wireless network topologies and components" in
-  Cmd.v
-    (Cmd.info "archex" ~doc)
-    Term.(
-      const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
-      $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ pricing $ no_harris
-      $ no_cuts $ no_rc_fixing $ no_presolve $ presolve_passes $ workers $ seed $ out_svg
-      $ out_lp $ verbose)
+let solve_term =
+  Term.(
+    const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
+    $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ pricing $ no_harris
+    $ no_cuts $ no_rc_fixing $ no_presolve $ presolve_passes $ workers $ seed $ out_svg
+    $ out_lp $ verbose)
 
-let () = exit (Cmd.eval' cmd)
+(* ------------------------------------------------------------------ *)
+(* Client mode: talk to a running archexd over its Unix socket. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "archexd.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+
+let pp_result (r : Server.Protocol.result_info) =
+  Format.printf "%s: objective %.6g, bound %.6g (gap proof)@." r.Server.Protocol.r_status
+    r.Server.Protocol.r_objective r.Server.Protocol.r_bound;
+  Format.printf "%d nodes, %d simplex iterations, %.2f s, %d worker%s, %s@."
+    r.Server.Protocol.r_nodes r.Server.Protocol.r_lp_iterations
+    r.Server.Protocol.r_solve_time_s r.Server.Protocol.r_workers
+    (if r.Server.Protocol.r_workers = 1 then "" else "s")
+    (if r.Server.Protocol.r_cache_hit then "warm session" else "cold session")
+
+let submit_main socket workload lp_file sub_kstar time_limit gap sub_workers
+    sub_seed deadline stream =
+  let payload =
+    match (lp_file, workload) with
+    | Some f, _ -> (
+        match In_channel.with_open_text f In_channel.input_all with
+        | text -> Ok (Server.Protocol.Lp text)
+        | exception Sys_error e -> Error e)
+    | None, Some name -> Ok (Server.Protocol.Workload { name; kstar = sub_kstar })
+    | None, None ->
+        Error
+          (Printf.sprintf "nothing to submit: name a workload (%s) or pass --lp FILE"
+             (String.concat ", " (Server.Workload.names ())))
+  in
+  match payload with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok payload -> (
+      let overrides =
+        {
+          Server.Protocol.o_time_limit = time_limit;
+          o_rel_gap = gap;
+          o_workers = sub_workers;
+          o_seed = sub_seed;
+          o_deadline_s = deadline;
+          o_stream = stream;
+        }
+      in
+      match Server.Client.connect socket with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | Ok conn ->
+          Fun.protect
+            ~finally:(fun () -> Server.Client.disconnect conn)
+            (fun () ->
+              let on_update ~objective ~bound ~elapsed_s =
+                Format.printf "update: objective %.6g, bound %.6g (%.2f s)@."
+                  objective bound elapsed_s
+              in
+              match Server.Client.solve ~on_update conn payload overrides with
+              | Error e ->
+                  Format.eprintf "error: %s@." e;
+                  1
+              | Ok (Server.Protocol.Result r) ->
+                  pp_result r;
+                  0
+              | Ok (Server.Protocol.Interrupted { i_objective; i_bound; i_has_incumbent }) ->
+                  Format.printf "interrupted: best incumbent %s, bound %.6g@."
+                    (if i_has_incumbent then Printf.sprintf "%.6g" i_objective else "-")
+                    i_bound;
+                  3
+              | Ok (Server.Protocol.Rejected msg) ->
+                  Format.eprintf "rejected: %s@." msg;
+                  4
+              | Ok (Server.Protocol.Error_msg msg) ->
+                  Format.eprintf "error: %s@." msg;
+                  1
+              | Ok (Server.Protocol.Pong _ | Server.Protocol.Update _) ->
+                  Format.eprintf "error: unexpected response frame@.";
+                  1))
+
+let submit_cmd =
+  let workload =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Named scenario from the daemon's catalogue (see $(b,archex submit) \
+                with no arguments for the list).")
+  in
+  let lp_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "lp" ] ~docv:"FILE" ~doc:"Submit this LP-format model instead of a workload.")
+  in
+  let sub_kstar =
+    Arg.(value & opt int 6 & info [ "k"; "kstar" ] ~doc:"Candidate paths per route.")
+  in
+  let time_limit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "t"; "time-limit" ] ~doc:"Override the daemon's per-solve time limit.")
+  in
+  let gap = Arg.(value & opt (some float) None & info [ "gap" ] ~doc:"Relative MIP gap.") in
+  let sub_workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "workers" ]
+          ~doc:"Worker domains for this request ($(b,0) = the daemon's pool size).")
+  in
+  let sub_seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Parallel diversification seed.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget from receipt; waiting-room time counts against it.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ] ~doc:"Print incumbent/bound improvements as they happen.")
+  in
+  let doc = "submit a solve request to a running archexd" in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const submit_main $ socket_arg $ workload $ lp_file $ sub_kstar $ time_limit
+      $ gap $ sub_workers $ sub_seed $ deadline $ stream)
+
+let ping_main socket =
+  match Server.Client.connect socket with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.disconnect conn)
+        (fun () ->
+          match Server.Client.ping conn with
+          | Ok (Server.Protocol.Pong { version; workers; sessions }) ->
+              Format.printf "%s: %d worker domain%s, %d cached session%s@." version
+                workers
+                (if workers = 1 then "" else "s")
+                sessions
+                (if sessions = 1 then "" else "s");
+              0
+          | Ok _ ->
+              Format.eprintf "error: unexpected response frame@.";
+              1
+          | Error e ->
+              Format.eprintf "error: %s@." e;
+              1)
+
+let ping_cmd =
+  let doc = "check a running archexd and report its pool and cache" in
+  Cmd.v (Cmd.info "ping" ~doc) Term.(const ping_main $ socket_arg)
+
+let stop_main socket =
+  match Server.Client.connect socket with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.disconnect conn)
+        (fun () ->
+          match Server.Client.shutdown conn with
+          | Ok _ -> 0
+          | Error e ->
+              Format.eprintf "error: %s@." e;
+              1)
+
+let stop_cmd =
+  let doc = "ask a running archexd to drain in-flight solves and exit" in
+  Cmd.v (Cmd.info "stop" ~doc) Term.(const stop_main $ socket_arg)
+
+let doc = "optimized selection of wireless network topologies and components"
+
+let cmd =
+  Cmd.group ~default:solve_term (Cmd.info "archex" ~doc)
+    [
+      Cmd.v (Cmd.info "solve" ~doc:"compile and solve a problem (the default)") solve_term;
+      submit_cmd;
+      ping_cmd;
+      stop_cmd;
+    ]
+
+(* [Cmd.group] reserves the first positional argument for command
+   lookup, which would reject the original `archex my.spec ...`
+   surface; anything that doesn't name a subcommand keeps routing to
+   the plain solve command. *)
+let legacy_cmd = Cmd.v (Cmd.info "archex" ~doc) solve_term
+
+let () =
+  let grouped =
+    Array.length Sys.argv <= 1
+    || List.mem Sys.argv.(1)
+         [ "solve"; "submit"; "ping"; "stop"; "--help"; "-h"; "--version" ]
+  in
+  exit (Cmd.eval' (if grouped then cmd else legacy_cmd))

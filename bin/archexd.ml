@@ -1,0 +1,95 @@
+(* archexd: the persistent solver daemon.  Listens on a Unix-domain
+   socket, keeps a shared worker-domain pool and a cache of warm
+   per-template sessions, and serves solve requests over the framed
+   protocol (see lib/server).  SIGINT/SIGTERM drain: in-flight solves
+   are interrupted and answered with their current incumbents before
+   the process exits. *)
+
+open Cmdliner
+
+let main socket workers max_active max_waiting cache_capacity time_limit
+    drain_timeout verbose =
+  let config =
+    {
+      Server.Daemon.c_socket = socket;
+      c_workers = workers;
+      c_max_active = max_active;
+      c_max_waiting = max_waiting;
+      c_cache_capacity = cache_capacity;
+      c_time_limit = time_limit;
+      c_drain_timeout = drain_timeout;
+      c_verbose = verbose;
+    }
+  in
+  match Server.Daemon.create config with
+  | Error e ->
+      Format.eprintf "archexd: %s@." e;
+      1
+  | Ok d ->
+      let stop _ = Server.Daemon.request_shutdown d in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      (* Exit nonzero when the drain leaks connections or domains so
+         supervisors (and the CI smoke step) notice. *)
+      if Server.Daemon.run d then 0 else 2
+
+let socket =
+  Arg.(
+    value
+    & opt string "archexd.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let workers =
+  Arg.(
+    value & opt int 0
+    & info [ "w"; "workers" ]
+        ~doc:
+          "Worker domains in the shared tree-search pool, multiplexed across \
+           concurrent solves.  $(b,0) (default) auto-detects via \
+           Domain.recommended_domain_count; the resolved count is logged and \
+           reported in Pong frames.")
+
+let max_active =
+  Arg.(
+    value & opt int 2
+    & info [ "max-active" ] ~doc:"Concurrent solve requests admitted.")
+
+let max_waiting =
+  Arg.(
+    value & opt int 4
+    & info [ "max-waiting" ]
+        ~doc:
+          "Bounded waiting room beyond the active lane; requests past both \
+           limits get an explicit $(b,Rejected) frame.")
+
+let cache_capacity =
+  Arg.(
+    value & opt int 4
+    & info [ "cache" ]
+        ~doc:
+          "Warm sessions kept, keyed by workload name.  $(b,0) disables the \
+           cache (every request encodes from scratch).")
+
+let time_limit =
+  Arg.(
+    value & opt float 60.
+    & info [ "t"; "time-limit" ]
+        ~doc:"Default per-solve time limit (seconds) when a request carries none.")
+
+let drain_timeout =
+  Arg.(
+    value & opt float 30.
+    & info [ "drain-timeout" ]
+        ~doc:"Seconds to wait for in-flight work on shutdown before exiting 2.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log to stderr.")
+
+let cmd =
+  let doc = "persistent wireless-topology solver daemon" in
+  Cmd.v
+    (Cmd.info "archexd" ~doc)
+    Term.(
+      const main $ socket $ workers $ max_active $ max_waiting $ cache_capacity
+      $ time_limit $ drain_timeout $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -7,6 +7,7 @@ type stats = {
   kstar : int;
   delta_paths : int;
   pool_size : int;
+  workers : int;
 }
 
 type t = {

@@ -21,6 +21,10 @@ type stats = {
           session (the whole pool on a first solve); 0 for full. *)
   pool_size : int;
       (** Cumulative candidate paths across all routes; 0 for full. *)
+  workers : int;
+      (** Worker domains the tree search actually used — the resolved
+          count after [--workers 0] auto-detection, so logs and bench
+          JSON can report the truth on single-thread hosts. *)
 }
 
 type t = {

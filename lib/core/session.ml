@@ -9,7 +9,7 @@ type enc = {
 
 type t = {
   s_inst : Instance.t;
-  s_config : Solver_config.t;
+  mutable s_config : Solver_config.t;
   s_loc_kstar : int;
   s_gen : Path_gen.state;
   mutable s_generation : Path_gen.result option;
@@ -37,6 +37,21 @@ type t = {
 let incremental t = t.s_config.Solver_config.incremental
 
 let config t = t.s_config
+
+(* Per-request reconfiguration of a warm session (the daemon's cache
+   hands the same session to successive requests with different time
+   limits, gaps, interrupt flags and streaming hooks).  Only knobs that
+   leave the carried state valid may change: the encoding strategy
+   kind, localization depth and incremental mode are structural, so a
+   mismatch is a caller bug. *)
+let reconfigure t config =
+  (match Solver_config.loc_kstar config with
+  | Some l when l = t.s_loc_kstar -> ()
+  | Some _ -> invalid_arg "Session.reconfigure: loc_kstar cannot change mid-session"
+  | None -> invalid_arg "Session.reconfigure: sessions need the approximate strategy");
+  if config.Solver_config.incremental <> incremental t then
+    invalid_arg "Session.reconfigure: incremental mode cannot change mid-session";
+  t.s_config <- config
 
 let start (config : Solver_config.t) inst =
   let loc_kstar =
@@ -170,7 +185,10 @@ let solve t =
       let t1 = Clock.now () in
       let mip =
         BB.solve ~options ~seed_cuts:seeds ?warm_solution:warm ~presolve_state:t.s_ps
-          ?touched_rows ~ws:t.s_ws model
+          ?touched_rows ~ws:t.s_ws
+          ?interrupt:t.s_config.Solver_config.interrupt
+          ?on_incumbent:t.s_config.Solver_config.on_incumbent
+          ?scheduler:t.s_config.Solver_config.scheduler model
       in
       t.s_mark <- Some (Model.mark model);
       let t2 = Clock.now () in
@@ -212,6 +230,7 @@ let solve t =
               kstar = t.s_kstar;
               delta_paths = t.s_pending_delta;
               pool_size = t.s_pool_total;
+              workers = options.BB.nworkers;
             };
         }
       in

@@ -59,3 +59,12 @@ val solve : t -> Outcome.t
 val incremental : t -> bool
 
 val config : t -> Solver_config.t
+
+val reconfigure : t -> Solver_config.t -> unit
+(** Swap the session's config between solves — how the daemon applies
+    per-request overrides (time limit, gap, workers, seed, interrupt
+    flag, streaming hook, shared scheduler) to a warm cached session.
+    Structural knobs must not change: the new config must use the
+    approximate strategy with the same [loc_kstar], and the same
+    [incremental] mode.
+    @raise Invalid_argument on a structural mismatch. *)

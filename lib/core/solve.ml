@@ -41,7 +41,12 @@ let run (config : Solver_config.t) inst =
       let enc = Full_encoding.encode inst in
       let t1 = Clock.now () in
       let model = Encode_common.model enc.Full_encoding.ctx in
-      let mip = Milp.Branch_bound.solve ~options model in
+      let mip =
+        Milp.Branch_bound.solve ~options
+          ?interrupt:config.Solver_config.interrupt
+          ?on_incumbent:config.Solver_config.on_incumbent
+          ?scheduler:config.Solver_config.scheduler model
+      in
       let t2 = Clock.now () in
       let solution =
         match mip.Milp.Branch_bound.solution with
@@ -63,6 +68,7 @@ let run (config : Solver_config.t) inst =
               kstar = 0;
               delta_paths = 0;
               pool_size = 0;
+              workers = options.Milp.Branch_bound.nworkers;
             };
           mip;
           model;

@@ -9,6 +9,9 @@ type t = {
   presolve_template : bool;
   nworkers : int;
   seed : int;
+  interrupt : bool Atomic.t option;
+  on_incumbent : (float -> float -> unit) option;
+  scheduler : Milp.Scheduler.t option;
 }
 
 let approx ?(kstar = 10) ?(loc_kstar = 20) () = Approx { kstar; loc_kstar }
@@ -21,6 +24,9 @@ let default =
     presolve_template = true;
     nworkers = 1;
     seed = 0;
+    interrupt = None;
+    on_incumbent = None;
+    scheduler = None;
   }
 
 let with_strategy strategy c = { c with strategy }
@@ -79,12 +85,22 @@ let with_log log c = { c with options = { c.options with BB.log } }
 let with_incremental incremental c = { c with incremental }
 
 let with_workers nworkers c =
-  if nworkers < 1 then invalid_arg "Solver_config.with_workers: need at least 1 worker";
+  if nworkers < 0 then
+    invalid_arg "Solver_config.with_workers: need a worker count >= 0 (0 = auto-detect)";
   { c with nworkers }
 
 let with_seed seed c = { c with seed }
 
-let bb_options c = { c.options with BB.nworkers = c.nworkers; seed = c.seed }
+let with_interrupt interrupt c = { c with interrupt = Some interrupt }
+
+let with_on_incumbent on_incumbent c = { c with on_incumbent = Some on_incumbent }
+
+let with_scheduler scheduler c = { c with scheduler = Some scheduler }
+
+let effective_workers c =
+  if c.nworkers = 0 then Domain.recommended_domain_count () else c.nworkers
+
+let bb_options c = { c.options with BB.nworkers = effective_workers c; seed = c.seed }
 
 let kstar c = match c.strategy with Approx { kstar; _ } -> Some kstar | Full_enum -> None
 

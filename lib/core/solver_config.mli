@@ -43,10 +43,25 @@ type t = {
           [false] presolves every step from scratch — the per-step
           ablation.  Only meaningful with [incremental] and the
           presolve option on. *)
-  nworkers : int;  (** Worker domains for the tree search (default 1). *)
+  nworkers : int;
+      (** Worker domains for the tree search (default 1); [0] means
+          auto-detect via [Domain.recommended_domain_count] at solve
+          time — {!effective_workers} resolves it. *)
   seed : int;
       (** Diversification seed for parallel exploration (default 0);
           ignored when [nworkers = 1]. *)
+  interrupt : bool Atomic.t option;
+      (** Cooperative cancellation flag threaded into every solve this
+          config drives (see {!Milp.Branch_bound.solve}): set it from a
+          signal handler or another thread and the search returns its
+          current incumbent. *)
+  on_incumbent : (float -> float -> unit) option;
+      (** Streaming hook, fired on each strict incumbent improvement
+          with (objective, best bound) in the model's direction; must be
+          thread-safe when [nworkers > 1]. *)
+  scheduler : Milp.Scheduler.t option;
+      (** Run tree searches on this shared domain pool (the daemon's)
+          instead of domains owned by each solve. *)
 }
 
 val default : t
@@ -115,14 +130,26 @@ val with_log : bool -> t -> t
 val with_incremental : bool -> t -> t
 
 val with_workers : int -> t -> t
-(** @raise Invalid_argument on [n < 1]. *)
+(** [0] = auto-detect at solve time.
+    @raise Invalid_argument on [n < 0]. *)
 
 val with_seed : int -> t -> t
+
+val with_interrupt : bool Atomic.t -> t -> t
+
+val with_on_incumbent : (float -> float -> unit) -> t -> t
+
+val with_scheduler : Milp.Scheduler.t -> t -> t
+
+val effective_workers : t -> int
+(** The worker count solves actually use: [nworkers], or
+    [Domain.recommended_domain_count ()] when [nworkers = 0]. *)
 
 val bb_options : t -> Milp.Branch_bound.options
 (** The options record actually handed to {!Milp.Branch_bound.solve}:
     [t.options] with its [nworkers]/[seed] overridden by the
-    config-level fields. *)
+    config-level fields ([nworkers] resolved via
+    {!effective_workers}). *)
 
 val kstar : t -> int option
 (** [Some k] for the approximate strategy, [None] for [Full_enum]. *)

@@ -252,8 +252,14 @@ type worker_stats = {
 }
 
 let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolve_state
-    ?touched_rows ?ws model =
+    ?touched_rows ?ws ?interrupt ?on_incumbent ?scheduler model =
   let t0 = Clock.now () in
+  (* Cooperative cancellation: checked between nodes, exactly where the
+     deadline is, so an interrupt behaves like a timeout — the search
+     stops with its current incumbent and an honest (non-exhausted)
+     bound.  [None] compiles to a constant [false] check and leaves the
+     pinned sequential trees untouched. *)
+  let stop_requested () = match interrupt with Some a -> Atomic.get a | None -> false in
   let p = Simplex.of_model model in
   let nfull = p.Simplex.ncols in
   let mfull = Array.length p.Simplex.rows in
@@ -451,11 +457,22 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
       if m0 > 0 then
         Pqueue.push queue neg_infinity { nbound = neg_infinity; changes = []; nbasis = None };
       let feas_tol = 1e-6 in
+      (* Streaming hook: fires on every strict incumbent improvement
+         with (objective, best proven bound) in the model's own
+         direction.  In a parallel drive it runs on a worker domain, so
+         callers must pass a thread-safe callback. *)
+      let notify_incumbent obj bound_min =
+        match on_incumbent with
+        | None -> ()
+        | Some f -> f (sign *. obj) (sign *. Float.min bound_min obj)
+      in
       let update_incumbent x obj =
         if obj < !incumbent_obj -. 1e-12 then begin
           incumbent := Some (Array.copy x);
           incumbent_obj := obj;
-          measure_live ()
+          measure_live ();
+          notify_incumbent obj
+            (match Pqueue.peek_key queue with Some k -> k | None -> obj)
         end
       in
       (* Carried-in incumbent: a solution of the previous (smaller) model
@@ -742,10 +759,17 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
               end
         end
       in
-      let rec loop () =
-        if Pqueue.is_empty queue || gap_closed () || !unbounded then ()
-        else if !nodes >= options.node_limit then ()
-        else if Clock.now () -. t0 > options.time_limit then timed_out := true
+      (* One turn of the sequential drive: false = the loop is over.
+         Shared verbatim between the plain recursive loop and the
+         scheduler-chained form below, so both walk the same tree. *)
+      let seq_step () =
+        if Pqueue.is_empty queue || gap_closed () || !unbounded then false
+        else if !nodes >= options.node_limit then false
+        else if Clock.now () -. t0 > options.time_limit then begin
+          timed_out := true;
+          false
+        end
+        else if stop_requested () then false
         else begin
           (match Pqueue.pop queue with
           | Some (_, node) ->
@@ -755,9 +779,10 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
                     f "nodes=%d open=%d incumbent=%g bound=%g" !nodes (Pqueue.length queue)
                       !incumbent_obj (best_open_bound ()))
           | None -> ());
-          loop ()
+          true
         end
       in
+      let rec loop () = if seq_step () then loop () in
       (* Degenerate reduction: every row eliminated.  The remaining
          problem is a box LP whose optimum sits at the objective-
          preferred bound of each column (integer bounds are already
@@ -788,92 +813,139 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
         else if !incumbent = None then unbounded := true
       end;
       (* The open-tree bound after the drive: sequential reads the one
-         heap, parallel also folds in the worker pool (queued plus
+         heap, parallel also folds in the scheduler handle (queued plus
          in-flight nodes). *)
-      let par_pool = ref None in
-      if options.nworkers <= 1 then loop ()
-      else begin
-        let nworkers = options.nworkers in
-        (* Phase 1 — sequential ramp-up: the root node (presolve, root
-           cut loop, first dive) and a few more run on the exact
-           sequential machinery until there is enough frontier to feed
-           every domain.  All cut-pool and working-problem writes happen
-           in this phase; everything workers later read is frozen. *)
-        let ramp_width = 2 * nworkers in
-        let ramp_nodes = 32 in
-        let rec ramp () =
-          if
-            Pqueue.is_empty queue || gap_closed () || !unbounded
-            || !nodes >= options.node_limit
-            || Pqueue.length queue >= ramp_width
-            || !nodes >= ramp_nodes
-          then ()
-          else if Clock.now () -. t0 > options.time_limit then timed_out := true
-          else
-            match Pqueue.pop queue with
-            | Some (_, node) ->
-                process node;
-                ramp ()
-            | None -> ()
+      let par_handle = ref None in
+      (* Sequential drive through a shared scheduler: the solve becomes
+         a chain of one-node tasks over the same local heap.  Exactly
+         one task of this solve exists at any moment (each pushes its
+         successor before retiring), so node order and every tally
+         replay the plain [loop] bit-identically, while the scheduler
+         interleaves the chain with other solves at node granularity.
+         The advisory key is the heap minimum, keeping cross-solve
+         victim selection bound-aware. *)
+      let seq_via sched =
+        let h = Scheduler.submit sched in
+        let rec enqueue () =
+          let key = match Pqueue.peek_key queue with Some k -> k | None -> infinity in
+          Scheduler.push h ~worker:0 key (fun _slot -> if seq_step () then enqueue ())
         in
-        ramp ();
-        if
-          not
-            (Pqueue.is_empty queue || gap_closed () || !unbounded || !timed_out
-            || !nodes >= options.node_limit)
-        then begin
-          (* Phase 2 — freeze the cut-augmented problem and hand the
-             frontier to the worker domains, dealt round-robin so each
-             starts in a different subtree. *)
-          let pw = !pref in
-          let np = Node_pool.create ~nworkers in
-          par_pool := Some np;
-          let dealt = ref 0 in
-          let rec deal () =
-            match Pqueue.pop queue with
-            | Some (k, node) ->
-                Node_pool.push np ~worker:!dealt k node;
-                incr dealt;
-                deal ()
-            | None -> ()
+        if not (Pqueue.is_empty queue) then enqueue ();
+        Scheduler.await h
+      in
+      if options.nworkers <= 1 then (
+        match scheduler with None -> loop () | Some sched -> seq_via sched)
+      else begin
+        let sched, owned_sched =
+          match scheduler with
+          | Some s -> (s, false)
+          | None -> (Scheduler.create ~nworkers:options.nworkers, true)
+        in
+        let run_parallel () =
+          let nslots = Scheduler.nworkers sched in
+          (* Phase 1 — sequential ramp-up: the root node (presolve, root
+             cut loop, first dive) and a few more run on the exact
+             sequential machinery until there is enough frontier to feed
+             every domain.  All cut-pool and working-problem writes
+             happen in this phase; everything workers later read is
+             frozen. *)
+          let ramp_width = 2 * nslots in
+          let ramp_nodes = 32 in
+          let rec ramp () =
+            if
+              Pqueue.is_empty queue || gap_closed () || !unbounded
+              || stop_requested ()
+              || !nodes >= options.node_limit
+              || Pqueue.length queue >= ramp_width
+              || !nodes >= ramp_nodes
+            then ()
+            else if Clock.now () -. t0 > options.time_limit then timed_out := true
+            else
+              match Pqueue.pop queue with
+              | Some (_, node) ->
+                  process node;
+                  ramp ()
+              | None -> ()
           in
-          deal ();
-          let inc =
-            Atomic.make { i_obj = !incumbent_obj; i_sol = Option.map Array.copy !incumbent }
-          in
-          let rec update_inc x obj =
-            let cur = Atomic.get inc in
-            if obj < cur.i_obj -. 1e-12 then
-              if
-                not
-                  (Atomic.compare_and_set inc cur
-                     { i_obj = obj; i_sol = Some (Array.copy x) })
-              then update_inc x obj
-          in
-          let total_nodes = Atomic.make !nodes in
-          let timed_out_a = Atomic.make false in
-          let unbounded_a = Atomic.make false in
-          let lp_cut_short_a = Atomic.make false in
-          let wstats =
-            Array.init nworkers (fun _ ->
-                {
-                  ws_nodes = 0;
-                  ws_lp = ref 0;
-                  ws_counters = { warm = 0; cold = 0; fallback = 0 };
-                  ws_pruned = 0;
-                  ws_rc = 0;
-                })
-          in
-          (* One simplex workspace per worker domain: buffers are reused
-             across that worker's node re-solves and never shared. *)
-          let wss = Array.init nworkers (fun _ -> Simplex.create_workspace ()) in
-          (* Node processing for a worker: same shape as [process] minus
-             anything that writes shared state — no cut separation (the
-             problem is frozen), incumbent via CAS, tallies worker-local.
-             Heuristic gating is offset by worker index and seed so the
-             domains probe different parts of the tree for incumbents
-             instead of duplicating the same dives. *)
-          let wprocess wi st node =
+          ramp ();
+          if
+            not
+              (Pqueue.is_empty queue || gap_closed () || !unbounded || !timed_out
+              || stop_requested ()
+              || !nodes >= options.node_limit)
+          then begin
+            (* Phase 2 — freeze the cut-augmented problem and hand the
+               frontier to the scheduler, dealt round-robin so workers
+               start in different subtrees. *)
+            let pw = !pref in
+            let h = Scheduler.submit sched in
+            par_handle := Some h;
+            let inc =
+              Atomic.make
+                { i_obj = !incumbent_obj; i_sol = Option.map Array.copy !incumbent }
+            in
+            let rec update_inc x obj =
+              let cur = Atomic.get inc in
+              if obj < cur.i_obj -. 1e-12 then
+                if
+                  Atomic.compare_and_set inc cur
+                    { i_obj = obj; i_sol = Some (Array.copy x) }
+                then notify_incumbent obj (Scheduler.best_bound h)
+                else update_inc x obj
+            in
+            let total_nodes = Atomic.make !nodes in
+            let timed_out_a = Atomic.make false in
+            let unbounded_a = Atomic.make false in
+            let lp_cut_short_a = Atomic.make false in
+            let wstats =
+              Array.init nslots (fun _ ->
+                  {
+                    ws_nodes = 0;
+                    ws_lp = ref 0;
+                    ws_counters = { warm = 0; cold = 0; fallback = 0 };
+                    ws_pruned = 0;
+                    ws_rc = 0;
+                  })
+            in
+            (* One simplex workspace per worker slot: a slot runs one
+               task of this solve at a time, so buffers are reused
+               across that slot's node re-solves and never shared. *)
+            let wss = Array.init nslots (fun _ -> Simplex.create_workspace ()) in
+            let gap_closed_now () =
+              let c = Atomic.get inc in
+              c.i_obj < infinity
+              &&
+              let b = Scheduler.best_bound h in
+              c.i_obj -. b <= options.abs_gap
+              || c.i_obj -. b <= options.rel_gap *. Float.max 1e-10 (Float.abs c.i_obj)
+            in
+            (* Node processing for a worker: same shape as [process]
+               minus anything that writes shared state — no cut
+               separation (the problem is frozen), incumbent via CAS,
+               tallies slot-local.  Heuristic gating is offset by slot
+               index and seed so the domains probe different parts of
+               the tree for incumbents instead of duplicating the same
+               dives.  [wtask] wraps it with the per-node deadline /
+               interrupt / node-limit / gap checks the worker loop used
+               to run; the scheduler retires each task after its
+               children are pushed, preserving the exhaustion proof. *)
+            let rec wtask node slot =
+              let st = wstats.(slot) in
+              if Clock.now () -. t0 > options.time_limit then begin
+                Atomic.set timed_out_a true;
+                Scheduler.stop h
+              end
+              else if stop_requested () then Scheduler.stop h
+              else if Atomic.fetch_and_add total_nodes 1 >= options.node_limit then begin
+                Atomic.decr total_nodes;
+                Scheduler.stop h
+              end
+              else begin
+                st.ws_nodes <- st.ws_nodes + 1;
+                wprocess slot st node;
+                if Atomic.get unbounded_a || gap_closed_now () then Scheduler.stop h
+              end
+            and wprocess wi st node =
             if node.nbound >= (Atomic.get inc).i_obj -. options.abs_gap then
               st.ws_pruned <- st.ws_pruned + 1
             else begin
@@ -937,102 +1009,72 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
                           let inherited = List.rev_append fixes node.changes in
                           let v = x.(j) in
                           let nbasis = if options.warm_start then r.Simplex.basis else None in
-                          Node_pool.push np ~worker:wi obj
-                            {
-                              nbound = obj;
-                              changes = (j, neg_infinity, Float.floor v) :: inherited;
-                              nbasis;
-                            };
-                          Node_pool.push np ~worker:wi obj
-                            {
-                              nbound = obj;
-                              changes = (j, Float.ceil v, infinity) :: inherited;
-                              nbasis;
-                            }
+                          Scheduler.push h ~worker:wi obj
+                            (wtask
+                               {
+                                 nbound = obj;
+                                 changes = (j, neg_infinity, Float.floor v) :: inherited;
+                                 nbasis;
+                               });
+                          Scheduler.push h ~worker:wi obj
+                            (wtask
+                               {
+                                 nbound = obj;
+                                 changes = (j, Float.ceil v, infinity) :: inherited;
+                                 nbasis;
+                               })
                         end
                       end)
             end
-          in
-          let gap_closed_now () =
-            let c = Atomic.get inc in
-            c.i_obj < infinity
-            &&
-            let b = Node_pool.best_bound np in
-            c.i_obj -. b <= options.abs_gap
-            || c.i_obj -. b <= options.rel_gap *. Float.max 1e-10 (Float.abs c.i_obj)
-          in
-          let worker wi =
-            let st = wstats.(wi) in
-            let rec go () =
-              match Node_pool.pop np ~worker:wi with
-              | None -> ()
-              | Some (_, node) ->
-                  if Clock.now () -. t0 > options.time_limit then begin
-                    Atomic.set timed_out_a true;
-                    Node_pool.task_done np ~worker:wi;
-                    Node_pool.stop np
-                  end
-                  else if Atomic.fetch_and_add total_nodes 1 >= options.node_limit then begin
-                    Atomic.decr total_nodes;
-                    Node_pool.task_done np ~worker:wi;
-                    Node_pool.stop np
-                  end
-                  else begin
-                    st.ws_nodes <- st.ws_nodes + 1;
-                    wprocess wi st node;
-                    Node_pool.task_done np ~worker:wi;
-                    if Atomic.get unbounded_a || gap_closed_now () then Node_pool.stop np;
-                    go ()
-                  end
             in
-            go ()
-          in
-          (* A worker that dies mid-node would leave [pending] stuck
-             above zero and the others asleep forever; trap, stop the
-             pool so everyone drains out, and re-raise after the join. *)
-          let errors = Array.make nworkers None in
-          let domains =
-            Array.init nworkers (fun wi ->
-                Domain.spawn (fun () ->
-                    try worker wi
-                    with e ->
-                      errors.(wi) <- Some (e, Printexc.get_raw_backtrace ());
-                      Node_pool.stop np))
-          in
-          Array.iter Domain.join domains;
-          Array.iter
-            (function
-              | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-              | None -> ())
-            errors;
-          Array.iter
-            (fun st ->
-              nodes := !nodes + st.ws_nodes;
-              lp_iters := !lp_iters + !(st.ws_lp);
-              counters.warm <- counters.warm + st.ws_counters.warm;
-              counters.cold <- counters.cold + st.ws_counters.cold;
-              counters.fallback <- counters.fallback + st.ws_counters.fallback;
-              bound_pruned := !bound_pruned + st.ws_pruned;
-              rc_fixed := !rc_fixed + st.ws_rc)
-            wstats;
-          let c = Atomic.get inc in
-          incumbent_obj := c.i_obj;
-          (match c.i_sol with
-          | Some x ->
-              incumbent := Some x;
-              measure_live ()
-          | None -> ());
-          if Atomic.get timed_out_a then timed_out := true;
-          if Atomic.get unbounded_a then unbounded := true;
-          if Atomic.get lp_cut_short_a then lp_cut_short := true
-        end
+            (* Deal the frontier round-robin so workers start in
+               different subtrees; the shared pool begins executing as
+               soon as the first node lands.  A task that dies mid-node
+               is trapped by the scheduler, which stops this solve (not
+               its neighbours) and re-raises out of [await]. *)
+            let dealt = ref 0 in
+            let rec deal () =
+              match Pqueue.pop queue with
+              | Some (k, node) ->
+                  Scheduler.push h ~worker:!dealt k (wtask node);
+                  incr dealt;
+                  deal ()
+              | None -> ()
+            in
+            deal ();
+            Scheduler.await h;
+            Array.iter
+              (fun st ->
+                nodes := !nodes + st.ws_nodes;
+                lp_iters := !lp_iters + !(st.ws_lp);
+                counters.warm <- counters.warm + st.ws_counters.warm;
+                counters.cold <- counters.cold + st.ws_counters.cold;
+                counters.fallback <- counters.fallback + st.ws_counters.fallback;
+                bound_pruned := !bound_pruned + st.ws_pruned;
+                rc_fixed := !rc_fixed + st.ws_rc)
+              wstats;
+            let c = Atomic.get inc in
+            incumbent_obj := c.i_obj;
+            (match c.i_sol with
+            | Some x ->
+                incumbent := Some x;
+                measure_live ()
+            | None -> ());
+            if Atomic.get timed_out_a then timed_out := true;
+            if Atomic.get unbounded_a then unbounded := true;
+            if Atomic.get lp_cut_short_a then lp_cut_short := true
+          end
+        in
+        if owned_sched then
+          Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) run_parallel
+        else run_parallel ()
       end;
       let exhausted, open_bound =
-        match !par_pool with
+        match !par_handle with
         | None -> ((not !lp_cut_short) && Pqueue.is_empty queue, best_open_bound ())
-        | Some np ->
-            ( (not !lp_cut_short) && Node_pool.drained np && Pqueue.is_empty queue,
-              Float.min (Node_pool.best_bound np) (best_open_bound ()) )
+        | Some h ->
+            ( (not !lp_cut_short) && Scheduler.drained h && Pqueue.is_empty queue,
+              Float.min (Scheduler.best_bound h) (best_open_bound ()) )
       in
       let gap_ok =
         match !incumbent with

@@ -80,8 +80,9 @@ type options = {
           node order and every tally are bit-identical run to run.  With
           [nworkers > 1] the root phase (presolve, root cut loop, first
           incumbent dive) still runs sequentially, then the frontier is
-          dealt to a work-stealing {!Node_pool} and explored by OCaml 5
-          domains: each worker owns a private simplex workspace, parent
+          dealt to a work-stealing {!Scheduler} solve (an owned one, or
+          the shared pool passed via [?scheduler]) and explored by OCaml
+          5 domains: each worker owns a private simplex workspace, parent
           bases travel with the nodes, the incumbent lives in an
           [Atomic], and no cuts are separated after the handoff (the
           working problem is frozen — see DESIGN.md §5e).  Node counts
@@ -166,9 +167,33 @@ val solve :
   ?presolve_state:presolve_state ->
   ?touched_rows:int list ->
   ?ws:Simplex.workspace ->
+  ?interrupt:bool Atomic.t ->
+  ?on_incumbent:(float -> float -> unit) ->
+  ?scheduler:Scheduler.t ->
   Model.t ->
   result
 (** Solve the model.  The model is not mutated.
+
+    [interrupt] is a cooperative cancellation flag, checked between
+    nodes exactly where the deadline is: once set (from a signal
+    handler or another thread) the search stops like a timeout — the
+    current incumbent is returned with an honest, non-exhausted bound,
+    so the status is [Mip_feasible]/[Mip_unknown], never a false
+    [Mip_optimal]/[Mip_infeasible].
+
+    [on_incumbent] fires on every strict incumbent improvement with
+    (objective, best proven bound) in the model's own direction — the
+    daemon's streaming update hook.  With [nworkers > 1] it runs on a
+    worker domain, so it must be thread-safe.
+
+    [scheduler] runs the tree search on a shared {!Scheduler} (a
+    daemon's resident domain pool) instead of domains owned by this
+    call.  With [options.nworkers <= 1] the search becomes a chain of
+    one-node tasks that replays the sequential tree bit-identically —
+    node order and all tallies are unchanged; with [nworkers > 1] the
+    post-ramp frontier is dealt to the shared pool, sized by the
+    scheduler's worker count, and explored exactly as the owned
+    parallel drive would.
 
     [seed_cuts] carries a previous solve's cut pool into this one, in
     original variable ids: each cut is first mapped onto the reduced

@@ -41,6 +41,13 @@ let to_string m =
     (match dir with Model.Minimize -> "Minimize\n" | Model.Maximize -> "Maximize\n");
   Buffer.add_string buf " obj: ";
   pp_expr buf m obj;
+  (* Constraint rows fold their constants into the rhs at model
+     construction, but the objective can carry one — dropping it here
+     silently shifts every reported objective value on re-read. *)
+  (let c = Lin.constant obj in
+   if c <> 0. then
+     Buffer.add_string buf
+       (Printf.sprintf " %s %.12g" (if c < 0. then "-" else "+") (Float.abs c)));
   Buffer.add_string buf "\nSubject To\n";
   Model.iter_constrs
     (fun i (c : Model.constr) ->

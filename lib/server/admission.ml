@@ -1,0 +1,87 @@
+(* Admission control: a counting semaphore with a bounded waiting room.
+
+   At most [max_active] solves run concurrently; up to [max_waiting]
+   more requests block in FIFO-ish order on the condition variable.
+   Anything beyond that is refused immediately — the daemon answers
+   with an explicit [Rejected] frame instead of queueing unboundedly,
+   so a burst degrades into visible backpressure rather than memory
+   growth and timeout storms. *)
+
+type t = {
+  max_active : int;
+  max_waiting : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable active : int;
+  mutable waiting : int;
+  (* Draining: new arrivals are refused, waiters are flushed out. *)
+  mutable closed : bool;
+}
+
+let create ~max_active ~max_waiting =
+  if max_active < 1 then invalid_arg "Admission.create: max_active must be >= 1";
+  if max_waiting < 0 then invalid_arg "Admission.create: max_waiting must be >= 0";
+  {
+    max_active;
+    max_waiting;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    active = 0;
+    waiting = 0;
+    closed = false;
+  }
+
+let try_acquire t =
+  Mutex.lock t.lock;
+  let verdict =
+    if t.closed then `Closed
+    else if t.active < t.max_active then begin
+      t.active <- t.active + 1;
+      `Go
+    end
+    else if t.waiting >= t.max_waiting then `Busy
+    else begin
+      t.waiting <- t.waiting + 1;
+      while t.active >= t.max_active && not t.closed do
+        Condition.wait t.cond t.lock
+      done;
+      t.waiting <- t.waiting - 1;
+      if t.closed then `Closed
+      else begin
+        t.active <- t.active + 1;
+        `Go
+      end
+    end
+  in
+  Mutex.unlock t.lock;
+  verdict
+
+let release t =
+  Mutex.lock t.lock;
+  t.active <- t.active - 1;
+  if t.active < 0 then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Admission.release: release without acquire"
+  end
+  else begin
+    Condition.signal t.cond;
+    Mutex.unlock t.lock
+  end
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let active t =
+  Mutex.lock t.lock;
+  let v = t.active in
+  Mutex.unlock t.lock;
+  v
+
+let waiting t =
+  Mutex.lock t.lock;
+  let v = t.waiting in
+  Mutex.unlock t.lock;
+  v

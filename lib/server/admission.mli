@@ -1,0 +1,30 @@
+(** Bounded admission for the daemon's solve lane.
+
+    A counting semaphore ([max_active] concurrent holders) with a
+    bounded waiting room ([max_waiting] blocked callers); anything
+    beyond both limits is turned away immediately so the daemon can
+    answer with an explicit backpressure frame instead of queueing
+    without bound. *)
+
+type t
+
+val create : max_active:int -> max_waiting:int -> t
+(** @raise Invalid_argument on [max_active < 1] or [max_waiting < 0]. *)
+
+val try_acquire : t -> [ `Go | `Busy | `Closed ]
+(** [`Go]: a slot is held (pair with {!release}); may have blocked in
+    the waiting room first.  [`Busy]: both the active lane and the
+    waiting room are full — reject the request.  [`Closed]: {!close}
+    was called (daemon draining). *)
+
+val release : t -> unit
+(** Release a held slot, waking one waiter.
+    @raise Invalid_argument on release without acquire. *)
+
+val close : t -> unit
+(** Start draining: future {!try_acquire}s return [`Closed] and every
+    blocked waiter is flushed out with [`Closed]. *)
+
+val active : t -> int
+
+val waiting : t -> int

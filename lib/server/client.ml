@@ -1,0 +1,54 @@
+(* Client side of the archexd protocol. *)
+
+type conn = Unix.file_descr
+
+let connect path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | fd -> (
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        Ok fd
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e)))
+
+let disconnect fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_req fd req =
+  try Ok (Protocol.send fd (Protocol.encode_request req)) with
+  | Protocol.Bad e -> Error e
+  | Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let recv_resp fd =
+  match Protocol.recv fd with
+  | Error e -> Error e
+  | Ok None -> Error "connection closed before a response"
+  | Ok (Some payload) -> Protocol.decode_response payload
+
+let rpc fd req =
+  match send_req fd req with Error e -> Error e | Ok () -> recv_resp fd
+
+let ping fd = rpc fd Protocol.Ping
+
+let shutdown fd = rpc fd Protocol.Shutdown
+
+let solve ?on_update fd payload overrides =
+  match send_req fd (Protocol.Solve { payload; overrides }) with
+  | Error e -> Error e
+  | Ok () ->
+      let rec loop () =
+        match recv_resp fd with
+        | Error e -> Error e
+        | Ok (Protocol.Update { u_objective; u_bound; u_elapsed_s }) ->
+            (match on_update with
+            | Some f ->
+                f ~objective:u_objective ~bound:u_bound ~elapsed_s:u_elapsed_s
+            | None -> ());
+            loop ()
+        | Ok terminal -> Ok terminal
+      in
+      loop ()

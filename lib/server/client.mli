@@ -1,0 +1,26 @@
+(** Client side of the archexd protocol: connect, frame requests,
+    collect streamed updates and the terminal response. *)
+
+type conn
+
+val connect : string -> (conn, string) result
+(** Connect to the daemon's Unix-domain socket. *)
+
+val disconnect : conn -> unit
+
+val ping : conn -> (Protocol.response, string) result
+(** [Ok (Pong _)] from a live daemon. *)
+
+val shutdown : conn -> (Protocol.response, string) result
+(** Ask the daemon to drain and exit; the ack arrives before the drain
+    starts. *)
+
+val solve :
+  ?on_update:(objective:float -> bound:float -> elapsed_s:float -> unit) ->
+  conn ->
+  Protocol.solve_payload ->
+  Protocol.overrides ->
+  (Protocol.response, string) result
+(** Submit a solve and block until its terminal frame ([Result],
+    [Rejected], [Error_msg] or [Interrupted]); any [Update] frames
+    streamed before it are fed to [on_update]. *)

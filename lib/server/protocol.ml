@@ -1,0 +1,328 @@
+(* Length-prefixed binary framing for the archexd socket protocol.
+
+   Wire format: every frame is [u32 BE payload length][payload], and
+   every payload starts with a one-byte tag.  Integers are big-endian;
+   floats travel as their IEEE-754 bit patterns ([Int64.bits_of_float]),
+   so non-finite values (the solver's [infinity] bounds, [nan] cutoffs)
+   round-trip exactly.  Strings are [u32 BE length][bytes].  Optional
+   fields are a presence byte followed by the value.
+
+   The encode/decode pair below works on payload bytes only; {!send}
+   and {!recv} add/strip the length prefix on a file descriptor. *)
+
+let max_frame = 64 * 1024 * 1024
+(* A corrupt length prefix must not make [recv] allocate gigabytes. *)
+
+type solve_payload =
+  | Lp of string  (* an LP-format model, parsed by Lp_reader *)
+  | Workload of { name : string; kstar : int }
+
+type overrides = {
+  o_time_limit : float option;
+  o_rel_gap : float option;
+  o_workers : int option;  (* 0 = auto-detect on the daemon *)
+  o_seed : int option;
+  o_deadline_s : float option;
+      (* wall-clock budget for this request, seconds from receipt,
+         enforced on the daemon's monotonic clock *)
+  o_stream : bool;  (* send Update frames on incumbent improvements *)
+}
+
+let no_overrides =
+  {
+    o_time_limit = None;
+    o_rel_gap = None;
+    o_workers = None;
+    o_seed = None;
+    o_deadline_s = None;
+    o_stream = false;
+  }
+
+type request =
+  | Ping
+  | Solve of { payload : solve_payload; overrides : overrides }
+  | Shutdown
+
+type result_info = {
+  r_status : string;
+  r_objective : float;
+  r_bound : float;
+  r_nodes : int;
+  r_lp_iterations : int;
+  r_solve_time_s : float;
+  r_workers : int;
+  r_cache_hit : bool;
+}
+
+type response =
+  | Pong of { version : string; workers : int; sessions : int }
+  | Result of result_info
+  | Update of { u_objective : float; u_bound : float; u_elapsed_s : float }
+  | Interrupted of { i_objective : float; i_bound : float; i_has_incumbent : bool }
+  | Rejected of string
+  | Error_msg of string
+
+(* ---- encoding ---- *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_opt put b = function
+  | None -> put_u8 b 0
+  | Some v ->
+      put_u8 b 1;
+      put b v
+
+let tag_ping = 0x01
+let tag_solve = 0x02
+let tag_shutdown = 0x03
+let tag_pong = 0x81
+let tag_result = 0x82
+let tag_rejected = 0x83
+let tag_error = 0x84
+let tag_update = 0x85
+let tag_interrupted = 0x86
+
+let put_overrides b o =
+  put_opt put_f64 b o.o_time_limit;
+  put_opt put_f64 b o.o_rel_gap;
+  put_opt (fun b v -> put_u32 b v) b o.o_workers;
+  put_opt (fun b v -> put_u32 b v) b o.o_seed;
+  put_opt put_f64 b o.o_deadline_s;
+  put_bool b o.o_stream
+
+let encode_request r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Ping -> put_u8 b tag_ping
+  | Shutdown -> put_u8 b tag_shutdown
+  | Solve { payload; overrides } ->
+      put_u8 b tag_solve;
+      (match payload with
+      | Lp text ->
+          put_u8 b 0;
+          put_string b text
+      | Workload { name; kstar } ->
+          put_u8 b 1;
+          put_string b name;
+          put_u32 b kstar);
+      put_overrides b overrides);
+  Buffer.to_bytes b
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Pong { version; workers; sessions } ->
+      put_u8 b tag_pong;
+      put_string b version;
+      put_u32 b workers;
+      put_u32 b sessions
+  | Result ri ->
+      put_u8 b tag_result;
+      put_string b ri.r_status;
+      put_f64 b ri.r_objective;
+      put_f64 b ri.r_bound;
+      put_i64 b ri.r_nodes;
+      put_i64 b ri.r_lp_iterations;
+      put_f64 b ri.r_solve_time_s;
+      put_u32 b ri.r_workers;
+      put_bool b ri.r_cache_hit
+  | Update { u_objective; u_bound; u_elapsed_s } ->
+      put_u8 b tag_update;
+      put_f64 b u_objective;
+      put_f64 b u_bound;
+      put_f64 b u_elapsed_s
+  | Interrupted { i_objective; i_bound; i_has_incumbent } ->
+      put_u8 b tag_interrupted;
+      put_f64 b i_objective;
+      put_f64 b i_bound;
+      put_bool b i_has_incumbent
+  | Rejected reason ->
+      put_u8 b tag_rejected;
+      put_string b reason
+  | Error_msg msg ->
+      put_u8 b tag_error;
+      put_string b msg);
+  Buffer.to_bytes b
+
+(* ---- decoding ---- *)
+
+exception Bad of string
+
+type cursor = { buf : Bytes.t; mutable pos : int }
+
+let need c n =
+  if c.pos + n > Bytes.length c.buf then raise (Bad "truncated frame")
+
+let get_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Bad "negative length") else v
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_be c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_be c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_bool c = get_u8 c <> 0
+
+let get_string c =
+  let n = get_u32 c in
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_opt get c = if get_u8 c = 0 then None else Some (get c)
+
+let get_overrides c =
+  let o_time_limit = get_opt get_f64 c in
+  let o_rel_gap = get_opt get_f64 c in
+  let o_workers = get_opt get_u32 c in
+  let o_seed = get_opt get_u32 c in
+  let o_deadline_s = get_opt get_f64 c in
+  let o_stream = get_bool c in
+  { o_time_limit; o_rel_gap; o_workers; o_seed; o_deadline_s; o_stream }
+
+let finish c v =
+  if c.pos <> Bytes.length c.buf then Error "trailing bytes in frame" else Ok v
+
+let decode_request bytes =
+  let c = { buf = bytes; pos = 0 } in
+  try
+    match get_u8 c with
+    | t when t = tag_ping -> finish c Ping
+    | t when t = tag_shutdown -> finish c Shutdown
+    | t when t = tag_solve ->
+        let payload =
+          match get_u8 c with
+          | 0 -> Lp (get_string c)
+          | 1 ->
+              let name = get_string c in
+              let kstar = get_u32 c in
+              Workload { name; kstar }
+          | k -> raise (Bad (Printf.sprintf "unknown solve payload kind %d" k))
+        in
+        let overrides = get_overrides c in
+        finish c (Solve { payload; overrides })
+    | t -> Error (Printf.sprintf "unknown request tag 0x%02x" t)
+  with Bad m -> Error m
+
+let decode_response bytes =
+  let c = { buf = bytes; pos = 0 } in
+  try
+    match get_u8 c with
+    | t when t = tag_pong ->
+        let version = get_string c in
+        let workers = get_u32 c in
+        let sessions = get_u32 c in
+        finish c (Pong { version; workers; sessions })
+    | t when t = tag_result ->
+        let r_status = get_string c in
+        let r_objective = get_f64 c in
+        let r_bound = get_f64 c in
+        let r_nodes = get_i64 c in
+        let r_lp_iterations = get_i64 c in
+        let r_solve_time_s = get_f64 c in
+        let r_workers = get_u32 c in
+        let r_cache_hit = get_bool c in
+        finish c
+          (Result
+             {
+               r_status;
+               r_objective;
+               r_bound;
+               r_nodes;
+               r_lp_iterations;
+               r_solve_time_s;
+               r_workers;
+               r_cache_hit;
+             })
+    | t when t = tag_update ->
+        let u_objective = get_f64 c in
+        let u_bound = get_f64 c in
+        let u_elapsed_s = get_f64 c in
+        finish c (Update { u_objective; u_bound; u_elapsed_s })
+    | t when t = tag_interrupted ->
+        let i_objective = get_f64 c in
+        let i_bound = get_f64 c in
+        let i_has_incumbent = get_bool c in
+        finish c (Interrupted { i_objective; i_bound; i_has_incumbent })
+    | t when t = tag_rejected -> finish c (Rejected (get_string c))
+    | t when t = tag_error -> finish c (Error_msg (get_string c))
+    | t -> Error (Printf.sprintf "unknown response tag 0x%02x" t)
+  with Bad m -> Error m
+
+(* ---- framing on a file descriptor ---- *)
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd bytes !off (n - !off) in
+    if w = 0 then raise (Bad "short write");
+    off := !off + w
+  done
+
+let send fd payload =
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Bytes.length payload));
+  (* One write for header + payload: frames from different threads must
+     not interleave mid-frame (callers still serialize whole frames). *)
+  write_all fd (Bytes.cat hdr payload)
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       let r = Unix.read fd buf !off (n - !off) in
+       if r = 0 then raise Exit;
+       off := !off + r
+     done
+   with Exit -> ());
+  if !off = 0 && n > 0 then None
+  else if !off < n then raise (Bad "truncated frame on socket")
+  else Some buf
+
+let recv fd =
+  match read_exact fd 4 with
+  | None -> Ok None
+  | Some hdr ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        Error (Printf.sprintf "bad frame length %d" len)
+      else (
+        match read_exact fd len with
+        | None -> Error "connection closed mid-frame"
+        | Some payload -> Ok (Some payload))
+
+let recv_exn fd =
+  match recv fd with
+  | Ok v -> v
+  | Error m -> raise (Bad m)

@@ -1,0 +1,68 @@
+(* Named scenario catalogue for daemon requests.
+
+   A [Workload] request addresses an entry here by name; the name is
+   also the session-cache key, so repeated requests for the same entry
+   reuse the warm session (path pools, cut carry, presolve trace,
+   incumbent).  The catalogue mirrors the paper's Table 1 — the
+   data-collection WSN under the three objectives ($, Energy,
+   $+Energy) — at two sizes: the bench scale
+   ({!Archex.Scenarios.default_data_collection}) and the test scale
+   used by the parallel regression suite (3 sensors on a 3x2 relay
+   grid), which keeps CI smoke and throughput benches fast. *)
+
+module Scenarios = Archex.Scenarios
+module Objective = Archex.Objective
+
+type t = {
+  w_name : string;
+  w_descr : string;
+  w_params : Scenarios.data_collection_params;
+  w_objective : Objective.t;
+}
+
+let small_params =
+  {
+    Scenarios.default_data_collection with
+    Scenarios.dc_sensors = 3;
+    dc_relay_grid = (3, 2);
+    dc_width = 45.;
+    dc_height = 28.;
+  }
+
+let objectives =
+  [
+    ("dollar", "$ cost", Objective.dollar);
+    ("energy", "energy", Objective.energy);
+    ("mixed", "$ + energy", Objective.combine Objective.dollar Objective.energy);
+  ]
+
+let catalogue =
+  List.concat_map
+    (fun (suffix, label, objective) ->
+      [
+        {
+          w_name = "dc-" ^ suffix;
+          w_descr = "Table 1 data collection, objective " ^ label;
+          w_params = Scenarios.default_data_collection;
+          w_objective = objective;
+        };
+        {
+          w_name = "dc-small-" ^ suffix;
+          w_descr = "Table 1 data collection (test scale), objective " ^ label;
+          w_params = small_params;
+          w_objective = objective;
+        };
+      ])
+    objectives
+
+let names () = List.map (fun w -> w.w_name) catalogue
+
+let find name =
+  match List.find_opt (fun w -> w.w_name = name) catalogue with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let instance w = Scenarios.data_collection ~objective:w.w_objective w.w_params

@@ -1,0 +1,24 @@
+(** Named scenario catalogue for daemon requests.
+
+    The catalogue mirrors the paper's Table 1 — the data-collection
+    WSN under the three objectives — at two sizes.  Names:
+    [dc-dollar], [dc-energy], [dc-mixed] (bench scale) and
+    [dc-small-dollar], [dc-small-energy], [dc-small-mixed] (the
+    parallel-regression test scale used by CI smoke and the
+    throughput bench).  The workload name doubles as the daemon's
+    session-cache key. *)
+
+type t = {
+  w_name : string;
+  w_descr : string;
+  w_params : Archex.Scenarios.data_collection_params;
+  w_objective : Archex.Objective.t;
+}
+
+val catalogue : t list
+
+val names : unit -> string list
+
+val find : string -> (t, string) result
+
+val instance : t -> (Archex.Instance.t, string) result

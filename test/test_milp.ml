@@ -1296,6 +1296,132 @@ let prop_lp_roundtrip =
               feq ~eps:1e-5 r1.Branch_bound.objective r2.Branch_bound.objective
           | a, b -> a = b))
 
+(* Structural round-trip: the re-read model must agree field by field
+   (direction, objective coefficients and constant, rows, bounds,
+   integrality) — not merely solve to the same optimum.  The reader
+   assigns variable ids by first appearance in the text, so variables
+   are matched through the writer's sanitized labels.  Coefficients are
+   quarters so [%.12g] prints them exactly. *)
+let prop_lp_structural_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let quarter = map (fun k -> float_of_int k /. 4.) (int_range (-40) 40) in
+      let nz_quarter =
+        map (fun k -> float_of_int (if k >= 0 then k + 1 else k) /. 4.) (int_range (-20) 19)
+      in
+      let var_gen =
+        let* kind = int_range 0 2 in
+        let* shape = int_range 0 4 in
+        let* a = quarter in
+        let* b = quarter in
+        let lo = Float.min a b and hi = Float.max a b in
+        let lb, ub =
+          match shape with
+          | 0 -> (0., Float.max hi 0.)
+          | 1 -> (lo, hi)
+          | 2 -> (neg_infinity, hi)
+          | 3 -> (lo, infinity)
+          | _ -> (neg_infinity, infinity)
+        in
+        return (kind, lb, ub)
+      in
+      let* nvars = int_range 1 5 in
+      let* vars = list_size (return nvars) var_gen in
+      let* obj = list_size (return nvars) (option nz_quarter) in
+      let* obj_const = quarter in
+      let* maximize = bool in
+      let* rows =
+        list_size (int_range 0 4)
+          (let* cs = list_size (return nvars) (option nz_quarter) in
+           let* sense = oneofl [ Model.Le; Model.Ge; Model.Eq ] in
+           let* rhs = quarter in
+           return (cs, sense, rhs))
+      in
+      return (vars, obj, obj_const, maximize, rows))
+  in
+  QCheck2.Test.make ~name:"lp: write/read reproduces model structure" ~count:150 gen
+    (fun (vars, obj, obj_const, maximize, rows) ->
+      let m = Model.create () in
+      List.iteri
+        (fun i (kind, lb, ub) ->
+          let name = Printf.sprintf "x%d" i in
+          match kind with
+          | 2 -> ignore (Model.add_binary m name)
+          | 1 -> ignore (Model.add_var m ~lb ~ub ~kind:Model.Integer name)
+          | _ -> ignore (Model.add_var m ~lb ~ub name))
+        vars;
+      let terms coefs =
+        Lin.of_list
+          (List.concat
+             (List.mapi
+                (fun v c -> match c with Some c -> [ (c, v) ] | None -> [])
+                coefs))
+      in
+      List.iter (fun (cs, sense, rhs) -> Model.add_constr m (terms cs) sense rhs) rows;
+      Model.set_objective m
+        (if maximize then Model.Maximize else Model.Minimize)
+        (Lin.add_const (terms obj) obj_const);
+      match Lp_reader.parse (Lp_format.to_string m) with
+      | Error e -> QCheck2.Test.fail_reportf "re-read failed: %s" e
+      | Ok m2 ->
+          let nvars = Model.nvars m in
+          if Model.nvars m2 <> nvars then
+            QCheck2.Test.fail_reportf "nvars %d <> %d" (Model.nvars m2) nvars;
+          (* Map original ids to re-read ids via the writer's labels. *)
+          let lookup = Hashtbl.create 16 in
+          for v2 = 0 to nvars - 1 do
+            Hashtbl.replace lookup (Model.var_name m2 v2) v2
+          done;
+          let remap v =
+            let label = Printf.sprintf "x%d_%d" v v in
+            match Hashtbl.find_opt lookup label with
+            | Some v2 -> v2
+            | None -> QCheck2.Test.fail_reportf "variable %s lost on re-read" label
+          in
+          let beq a b = a = b || Float.abs (a -. b) <= 1e-9 in
+          let check_expr what e e2 =
+            if Lin.nterms e2 <> Lin.nterms e then
+              QCheck2.Test.fail_reportf "%s: %d terms <> %d" what (Lin.nterms e2)
+                (Lin.nterms e);
+            Lin.iter
+              (fun v c ->
+                if not (beq (Lin.coeff e2 (remap v)) c) then
+                  QCheck2.Test.fail_reportf "%s: coeff of x%d %g <> %g" what v
+                    (Lin.coeff e2 (remap v)) c)
+              e
+          in
+          let dir, e = Model.objective m in
+          let dir2, e2 = Model.objective m2 in
+          if dir2 <> dir then QCheck2.Test.fail_reportf "objective direction differs";
+          if not (beq (Lin.constant e2) (Lin.constant e)) then
+            QCheck2.Test.fail_reportf "objective constant %g <> %g" (Lin.constant e2)
+              (Lin.constant e);
+          check_expr "objective" e e2;
+          for v = 0 to nvars - 1 do
+            let v2 = remap v in
+            if Model.var_kind m2 v2 <> Model.var_kind m v then
+              QCheck2.Test.fail_reportf "x%d: kind differs" v;
+            if not (beq (Model.var_lb m2 v2) (Model.var_lb m v)) then
+              QCheck2.Test.fail_reportf "x%d: lb %g <> %g" v (Model.var_lb m2 v2)
+                (Model.var_lb m v);
+            if not (beq (Model.var_ub m2 v2) (Model.var_ub m v)) then
+              QCheck2.Test.fail_reportf "x%d: ub %g <> %g" v (Model.var_ub m2 v2)
+                (Model.var_ub m v)
+          done;
+          if Model.nconstrs m2 <> Model.nconstrs m then
+            QCheck2.Test.fail_reportf "nconstrs %d <> %d" (Model.nconstrs m2)
+              (Model.nconstrs m);
+          for i = 0 to Model.nconstrs m - 1 do
+            let c = Model.constr m i and c2 = Model.constr m2 i in
+            if c2.Model.c_sense <> c.Model.c_sense then
+              QCheck2.Test.fail_reportf "row %d: sense differs" i;
+            if not (beq c2.Model.c_rhs c.Model.c_rhs) then
+              QCheck2.Test.fail_reportf "row %d: rhs %g <> %g" i c2.Model.c_rhs
+                c.Model.c_rhs;
+            check_expr (Printf.sprintf "row %d" i) c.Model.c_expr c2.Model.c_expr
+          done;
+          true)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue / Vec                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1929,6 +2055,7 @@ let () =
           Alcotest.test_case "reader: features" `Quick test_lp_reader_features;
           Alcotest.test_case "reader: errors" `Quick test_lp_reader_errors;
           qt prop_lp_roundtrip;
+          qt prop_lp_structural_roundtrip;
         ] );
       ( "containers",
         [
