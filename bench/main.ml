@@ -10,7 +10,7 @@
    Run with:   dune exec bench/main.exe            (all sections)
                dune exec bench/main.exe -- table3  (one section)
    Sections: table1 table2 table3 table4 sweep parallel kernel kernel2
-             presolve figures ablations micro daemon *)
+             presolve figures ablations micro daemon scenarios *)
 
 open Archex
 
@@ -87,22 +87,27 @@ let mode =
 let section_enabled name = match sections with [] -> true | l -> List.mem name l
 
 (* Every table section funnels through this one constructor, so the
-   ablation flags and worker count apply uniformly. *)
+   ablation flags and worker count apply uniformly.  Each group of
+   toggles is assembled as one record and installed with a single group
+   setter, instead of chaining the deprecated flat aliases. *)
 let config ?(workers = nworkers) ~time_limit ~rel_gap strategy =
   Solver_config.(
     default
     |> with_strategy strategy
     |> with_time_limit time_limit
     |> with_rel_gap rel_gap
-    |> with_warm_start (not cold_start)
-    |> with_cuts (not no_cuts)
-    |> with_rc_fixing (not no_rc_fixing)
-    |> with_dense_basis dense_basis
-    |> with_pricing pricing
-    |> with_harris (not no_harris)
-    |> with_presolve (not no_presolve)
-    |> with_workers workers
-    |> with_seed seed)
+    |> with_kernel
+         {
+           k_warm_start = not cold_start;
+           k_cuts = not no_cuts;
+           k_rc_fixing = not no_rc_fixing;
+           k_dense_basis = dense_basis;
+           k_pricing = pricing;
+           k_harris = not no_harris;
+         }
+    |> with_presolving { default.presolve with ps_enabled = not no_presolve }
+    |> with_parallelism
+         { default.parallel with par_workers = workers; par_seed = seed })
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable per-scenario log -> BENCH_PR2.json                  *)
@@ -1726,10 +1731,7 @@ let node_style (n : Template.node) used =
       { Geometry.Svg.default_style with fill = "none"; stroke = "#999" }
 
 let plan_of inst =
-  match inst.Instance.channel with
-  | Radio.Channel.Multi_wall { plan; _ } -> Some plan
-  | Radio.Channel.Free_space _ | Radio.Channel.Log_distance _
-  | Radio.Channel.Itu_indoor _ | Radio.Channel.Shadowed _ -> None
+  Radio.Channel.floorplan inst.Instance.channel
 
 let scene_of inst =
   let w, h =
@@ -2153,6 +2155,202 @@ let write_daemon_json path =
   Format.printf "wrote %s (%d daemon runs)@." path (List.length runs)
 
 (* ------------------------------------------------------------------ *)
+(* Scenario matrix: tactical instances, plain B&B vs. the tabu         *)
+(* matheuristic -> BENCH_PR9.json                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Deadline-bound tactical instances from the PR9 generator: energy
+   objective plus a lifetime floor pushes the B&B root (LP + cut loop +
+   dive) out to seconds before the first incumbent, which is where the
+   tabu warm start pays.  Each runs twice — [--heuristic off] and
+   [--heuristic tabu] — under the same 30 s deadline, recording
+   time-to-first-feasible (streamed via [on_incumbent]) and the
+   gap at timeout. *)
+
+type mh_entry = {
+  mh_scenario : string;
+  mh_mode : string;  (* "bb" | "tabu+bb" *)
+  mh_wall_s : float;
+  mh_status : string;
+  mh_objective : float;
+  mh_bound : float;
+  mh_gap : float;
+  mh_first_feasible_s : float;
+  mh_heuristic_s : float;
+  mh_nodes : int;
+}
+
+let mh_log : mh_entry list ref = ref []
+let mh_time_limit = 30.
+let mh_tabu_budget_s = 1.5
+
+let mh_specs =
+  [
+    ( "tac-city3-energy",
+      Scenario_gen.city_block ~blocks_x:3 ~blocks_y:3 ~sensors:12
+        ~relay_grid:(12, 10) ~objective:Scenario_gen.O_energy
+        ~min_lifetime_years:2. (),
+      6 );
+    ( "tac-city4-energy",
+      Scenario_gen.city_block ~blocks_x:4 ~blocks_y:4 ~sensors:16
+        ~relay_grid:(16, 12) ~objective:Scenario_gen.O_energy
+        ~min_lifetime_years:2. (),
+      6 );
+    ( "tac-mf3-energy",
+      Scenario_gen.multi_floor ~floors:3 ~sensors:12 ~relay_grid:(14, 6)
+        ~objective:Scenario_gen.O_energy ~min_lifetime_years:3.5 (),
+      6 );
+  ]
+
+let scenarios_bench () =
+  header "Scenario matrix: tactical instances, B&B vs. tabu matheuristic";
+  Format.printf
+    "(energy objective + lifetime floor, %g s deadline, tabu budget %g s;@."
+    mh_time_limit mh_tabu_budget_s;
+  Format.printf
+    " 'first' = wall clock to first streamed incumbent, 'gap' = |obj-bound|/|obj| at exit.)@.@.";
+  Format.printf "%-18s | %-7s | %7s | %9s | %8s | %7s | %7s | %6s@." "Scenario"
+    "Mode" "wall(s)" "objective" "gap" "first" "heur(s)" "nodes";
+  Format.printf
+    "-------------------+---------+---------+-----------+----------+---------+---------+-------@.";
+  List.iter
+    (fun (name, spec, k) ->
+      match Scenario_gen.build spec with
+      | Error e -> Format.printf "%-18s | generator error: %s@." name e
+      | Ok inst ->
+          List.iter
+            (fun heur ->
+              let t0 = Unix.gettimeofday () in
+              let first = ref nan in
+              let cfg =
+                config ~time_limit:mh_time_limit ~rel_gap:1e-6
+                  (Solver_config.approx ~kstar:k ())
+                |> Solver_config.with_on_incumbent (fun _ _ ->
+                       if Float.is_nan !first then
+                         first := Unix.gettimeofday () -. t0)
+                |> Solver_config.with_heuristic
+                     (if heur then Solver_config.tabu ~time_s:mh_tabu_budget_s ()
+                      else Solver_config.no_heuristic)
+              in
+              let mode_name = if heur then "tabu+bb" else "bb" in
+              match time (fun () -> Solve.run cfg inst) with
+              | Error e, _ ->
+                  Format.printf "%-18s | %-7s | solve error: %s@." name mode_name e
+              | Ok out, wall ->
+                  let m = out.Outcome.mip in
+                  let obj = m.Milp.Branch_bound.objective in
+                  let bound = m.Milp.Branch_bound.bound in
+                  let gap =
+                    if
+                      Float.is_finite obj && Float.is_finite bound
+                      && Float.abs obj > 1e-9
+                    then Float.abs (obj -. bound) /. Float.abs obj
+                    else nan
+                  in
+                  mh_log :=
+                    !mh_log
+                    @ [
+                        {
+                          mh_scenario = name;
+                          mh_mode = mode_name;
+                          mh_wall_s = wall;
+                          mh_status = status_str out;
+                          mh_objective = obj;
+                          mh_bound = bound;
+                          mh_gap = gap;
+                          mh_first_feasible_s = !first;
+                          mh_heuristic_s =
+                            out.Outcome.stats.Outcome.heuristic_time_s;
+                          mh_nodes = m.Milp.Branch_bound.nodes;
+                        };
+                      ];
+                  Format.printf
+                    "%-18s | %-7s | %7.1f | %9.4g | %8.4f | %7.2f | %7.2f | %6d@."
+                    name mode_name wall obj gap !first
+                    out.Outcome.stats.Outcome.heuristic_time_s
+                    m.Milp.Branch_bound.nodes)
+            [ false; true ])
+    mh_specs;
+  (* Per-scenario verdicts: the matheuristic should reach a first
+     feasible well sooner and exit with a strictly smaller gap. *)
+  List.iter
+    (fun (name, _, _) ->
+      match
+        ( List.find_opt
+            (fun e -> e.mh_scenario = name && e.mh_mode = "bb")
+            !mh_log,
+          List.find_opt
+            (fun e -> e.mh_scenario = name && e.mh_mode = "tabu+bb")
+            !mh_log )
+      with
+      | Some b, Some t
+        when Float.is_finite b.mh_first_feasible_s
+             && Float.is_finite t.mh_first_feasible_s ->
+          Format.printf
+            "  => %-18s first feasible %.2fx sooner, gap %.4f vs %.4f (%s)@."
+            name
+            (b.mh_first_feasible_s /. Float.max 1e-9 t.mh_first_feasible_s)
+            t.mh_gap b.mh_gap
+            (if t.mh_gap < b.mh_gap then "tabu+bb WINS" else "no gap win")
+      | _ -> ())
+    mh_specs;
+  hr ()
+
+let write_scenarios_json path =
+  let oc = open_out path in
+  let entries = !mh_log in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"time_limit_s\": %s,\n  \"tabu_budget_s\": %s,\n\
+    \  \"runs\": [\n"
+    mode (json_float mh_time_limit) (json_float mh_tabu_budget_s);
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"mode\": %S, \"wall_s\": %s, \"status\": %S,\n\
+        \     \"objective\": %s, \"bound\": %s, \"gap\": %s,\n\
+        \     \"first_feasible_s\": %s, \"heuristic_s\": %s, \"nodes\": %d}%s\n"
+        e.mh_scenario e.mh_mode (json_float e.mh_wall_s) e.mh_status
+        (json_float e.mh_objective) (json_float e.mh_bound) (json_float e.mh_gap)
+        (json_float e.mh_first_feasible_s) (json_float e.mh_heuristic_s)
+        e.mh_nodes
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  let comparisons =
+    List.filter_map
+      (fun (name, _, _) ->
+        match
+          ( List.find_opt
+              (fun e -> e.mh_scenario = name && e.mh_mode = "bb")
+              entries,
+            List.find_opt
+              (fun e -> e.mh_scenario = name && e.mh_mode = "tabu+bb")
+              entries )
+        with
+        | Some b, Some t ->
+            Some
+              (Printf.sprintf
+                 "    {\"scenario\": %S, \"bb_first_s\": %s, \"tabu_first_s\": %s,\n\
+                 \     \"first_feasible_speedup\": %s, \"bb_gap\": %s, \
+                  \"tabu_gap\": %s,\n\
+                 \     \"tabu_gap_strictly_smaller\": %b}"
+                 name
+                 (json_float b.mh_first_feasible_s)
+                 (json_float t.mh_first_feasible_s)
+                 (json_float
+                    (b.mh_first_feasible_s
+                    /. Float.max 1e-9 t.mh_first_feasible_s))
+                 (json_float b.mh_gap) (json_float t.mh_gap)
+                 (Float.is_finite b.mh_gap && Float.is_finite t.mh_gap
+                 && t.mh_gap < b.mh_gap))
+        | _ -> None)
+      mh_specs
+  in
+  Printf.fprintf oc "  ],\n  \"comparisons\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" comparisons);
+  close_out oc;
+  Format.printf "wrote %s (%d matheuristic runs)@." path (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2171,6 +2369,7 @@ let () =
   if section_enabled "ablations" then ablations ();
   if section_enabled "micro" then micro ();
   if section_enabled "daemon" then daemon_bench ();
+  if section_enabled "scenarios" then scenarios_bench ();
   if !bench_log <> [] then write_bench_json "BENCH_PR2.json";
   if !sweep_log <> [] then write_sweep_json "BENCH_PR3.json";
   if !par_log <> [] then write_par_json "BENCH_PR4.json";
@@ -2178,4 +2377,5 @@ let () =
   if !k2_log <> [] then write_k2_json "BENCH_PR6.json";
   if !ps_log <> [] then write_presolve_json "BENCH_PR7.json";
   if !daemon_log <> [] then write_daemon_json "BENCH_PR8.json";
+  if !mh_log <> [] then write_scenarios_json "BENCH_PR9.json";
   Format.printf "done.@."

@@ -1,0 +1,94 @@
+(* Scenario-matrix smoke: build every registered generated scenario,
+   check structural validity (the approximate encoding finds candidate
+   paths), then solve the smallest tactical instance with the heuristic
+   off and on and require objective agreement within tolerance.
+
+   Runs in CI; keep it fast — only the [Test]-scale instance is
+   actually solved. *)
+
+module Scenario = Archex.Scenario
+module Solver_config = Archex.Solver_config
+module Solve = Archex.Solve
+module Outcome = Archex.Outcome
+
+let pr fmt = Format.printf (fmt ^^ "@.")
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  Scenario_gen.register_defaults ();
+  (* Every generated entry must build deterministically and carry a
+     feasible candidate-path structure at K* = 1. *)
+  List.iter
+    (fun (name, _descr, _scale, spec) ->
+      match Scenario.find name with
+      | Error e -> fail "%s: not registered: %s" name e
+      | Ok sc -> (
+          match Scenario.instance sc with
+          | Error e -> fail "%s: build: %s" name e
+          | Ok inst -> (
+              let again =
+                match Scenario_gen.build spec with
+                | Ok i -> i
+                | Error e -> fail "%s: rebuild: %s" name e
+              in
+              let nodes = Archex.Template.nnodes inst.Archex.Instance.template in
+              let edges = Netgraph.Digraph.nedges inst.Archex.Instance.graph in
+              if
+                nodes <> Archex.Template.nnodes again.Archex.Instance.template
+                || edges <> Netgraph.Digraph.nedges again.Archex.Instance.graph
+              then fail "%s: non-deterministic build" name;
+              match Solve.encode_size inst (Solve.approx ~kstar:1 ()) with
+              | Error e -> fail "%s: no feasible path structure: %s" name e
+              | Ok (nvars, nconstrs) ->
+                  pr "%-18s %4d nodes %6d cand. edges %6d vars %6d rows" name
+                    nodes edges nvars nconstrs)))
+    Scenario_gen.defaults;
+  (* Solve the CI-scale instance heuristic-off vs heuristic-on; both
+     must reach the same optimum. *)
+  let inst =
+    match Scenario.find "tac-smoke" with
+    | Ok sc -> (
+        match Scenario.instance sc with
+        | Ok i -> i
+        | Error e -> fail "tac-smoke build: %s" e)
+    | Error e -> fail "tac-smoke: %s" e
+  in
+  let solve cfg label =
+    match Solve.run cfg inst with
+    | Error e -> fail "tac-smoke %s: encode: %s" label e
+    | Ok { Outcome.solution = None; status; _ } ->
+        fail "tac-smoke %s: no solution (%s)" label
+          (Milp.Status.mip_status_to_string status)
+    | Ok ({ Outcome.solution = Some _; _ } as o) -> o
+  in
+  let base =
+    Solver_config.(
+      default |> with_approx ~kstar:3 () |> with_time_limit 60.)
+  in
+  let off = solve base "heuristic-off" in
+  (* The first on_incumbent firing on the heuristic run must be the tabu
+     incumbent, i.e. arrive before any tree-search improvement, with an
+     unproven bound. *)
+  let tabu_incumbent = ref None in
+  let on =
+    solve
+      (Solver_config.(
+         base
+         |> with_heuristic (tabu ~time_s:2. ())
+         |> with_on_incumbent (fun o _ ->
+                if !tabu_incumbent = None then tabu_incumbent := Some o)))
+      "heuristic-on"
+  in
+  let obj o = o.Outcome.mip.Milp.Branch_bound.objective in
+  (match !tabu_incumbent with
+  | None -> fail "tac-smoke heuristic-on: tabu produced no incumbent"
+  | Some o ->
+      pr "tac-smoke tabu incumbent: %.6f" o;
+      if o < obj off -. 1e-6 then
+        fail "tabu incumbent %.9f better than proven optimum %.9f" o (obj off));
+  pr "tac-smoke objective: off %.6f, on %.6f (heuristic %.3fs)" (obj off)
+    (obj on) on.Outcome.stats.Outcome.heuristic_time_s;
+  if Float.abs (obj off -. obj on) > 1e-6 *. Float.max 1. (Float.abs (obj off))
+  then fail "objective mismatch: off %.9f vs on %.9f" (obj off) (obj on);
+  pr "scenario smoke OK"

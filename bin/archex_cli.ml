@@ -47,7 +47,8 @@ let num_setting settings key default =
 
 let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
     no_incremental cold_start dense_basis pricing no_harris no_cuts no_rc_fixing
-    no_presolve presolve_passes workers seed out_svg out_lp verbose =
+    no_presolve presolve_passes heuristic tabu_iters tabu_time tabu_tenure
+    tabu_seed workers seed out_svg out_lp verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -132,6 +133,11 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           |> (match presolve_passes with
              | None -> Fun.id
              | Some passes -> with_presolve_passes passes)
+          |> (if heuristic then
+                with_heuristic
+                  (tabu ~iters:tabu_iters ~time_s:tabu_time ~tenure:tabu_tenure
+                     ~seed:tabu_seed ())
+              else Fun.id)
           |> with_log verbose
           |> with_incremental (not no_incremental)
           |> with_workers workers |> with_seed seed
@@ -228,10 +234,7 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           | Some path ->
               let template = inst.Archex.Instance.template in
               let plan =
-                match inst.Archex.Instance.channel with
-                | Radio.Channel.Multi_wall { plan; _ } -> Some plan
-                | Radio.Channel.Free_space _ | Radio.Channel.Log_distance _
-  | Radio.Channel.Itu_indoor _ | Radio.Channel.Shadowed _ -> None
+                Radio.Channel.floorplan inst.Archex.Instance.channel
               in
               let w = match plan with Some p -> Geometry.Floorplan.width p | None -> 100. in
               let h = match plan with Some p -> Geometry.Floorplan.height p | None -> 100. in
@@ -383,6 +386,39 @@ let presolve_passes =
            $(b,propagate), $(b,probe), $(b,parallel), $(b,fix), $(b,empty), $(b,subst), \
            $(b,strengthen).")
 
+let heuristic =
+  Arg.(
+    value
+    & opt (enum [ ("tabu", true); ("off", false) ]) false
+    & info [ "heuristic" ] ~docv:"MODE"
+        ~doc:
+          "Primal matheuristic mode: $(b,tabu) runs a tabu search over \
+           topology and sizing moves before the tree search and adopts its \
+           best feasible solution as a warm incumbent and cutoff; $(b,off) \
+           (default) goes straight to branch and bound.  The optimality \
+           proof always comes from the exact solver.")
+
+let tabu_iters =
+  Arg.(
+    value & opt int 20000
+    & info [ "tabu-iters" ] ~doc:"Tabu search iteration budget.")
+
+let tabu_time =
+  Arg.(
+    value & opt float 5.
+    & info [ "tabu-time" ] ~docv:"SECONDS" ~doc:"Tabu search wall-clock budget.")
+
+let tabu_tenure =
+  Arg.(
+    value & opt int 0
+    & info [ "tabu-tenure" ]
+        ~doc:"Tabu tenure in iterations; $(b,0) auto-sizes from the instance.")
+
+let tabu_seed =
+  Arg.(
+    value & opt int 0
+    & info [ "tabu-seed" ] ~doc:"Deterministic seed for the tabu search.")
+
 let sweep =
   Arg.(
     value & flag
@@ -423,7 +459,8 @@ let solve_term =
   Term.(
     const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
     $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ pricing $ no_harris
-    $ no_cuts $ no_rc_fixing $ no_presolve $ presolve_passes $ workers $ seed $ out_svg
+    $ no_cuts $ no_rc_fixing $ no_presolve $ presolve_passes $ heuristic $ tabu_iters
+    $ tabu_time $ tabu_tenure $ tabu_seed $ workers $ seed $ out_svg
     $ out_lp $ verbose)
 
 (* ------------------------------------------------------------------ *)
@@ -445,7 +482,7 @@ let pp_result (r : Server.Protocol.result_info) =
     (if r.Server.Protocol.r_cache_hit then "warm session" else "cold session")
 
 let submit_main socket workload lp_file sub_kstar time_limit gap sub_workers
-    sub_seed deadline stream =
+    sub_seed deadline sub_no_presolve sub_heuristic stream =
   let payload =
     match (lp_file, workload) with
     | Some f, _ -> (
@@ -470,6 +507,8 @@ let submit_main socket workload lp_file sub_kstar time_limit gap sub_workers
           o_workers = sub_workers;
           o_seed = sub_seed;
           o_deadline_s = deadline;
+          o_presolve = (if sub_no_presolve then Some false else None);
+          o_heuristic = sub_heuristic;
           o_stream = stream;
         }
       in
@@ -549,6 +588,24 @@ let submit_cmd =
       & info [ "deadline" ] ~docv:"SECONDS"
           ~doc:"Wall-clock budget from receipt; waiting-room time counts against it.")
   in
+  let sub_no_presolve =
+    Arg.(
+      value & flag
+      & info [ "no-presolve" ]
+          ~doc:
+            "Disable the presolve reduction stack for this request only.  A \
+             warm cached session re-reduces from scratch on its next \
+             presolve-on request.")
+  in
+  let sub_heuristic =
+    Arg.(
+      value
+      & opt (some (enum [ ("tabu", "tabu"); ("off", "off") ])) None
+      & info [ "heuristic" ] ~docv:"MODE"
+          ~doc:
+            "Primal matheuristic for this request: $(b,tabu) or $(b,off) \
+             (default: the daemon's setting).")
+  in
   let stream =
     Arg.(
       value & flag
@@ -559,7 +616,8 @@ let submit_cmd =
     (Cmd.info "submit" ~doc)
     Term.(
       const submit_main $ socket_arg $ workload $ lp_file $ sub_kstar $ time_limit
-      $ gap $ sub_workers $ sub_seed $ deadline $ stream)
+      $ gap $ sub_workers $ sub_seed $ deadline $ sub_no_presolve $ sub_heuristic
+      $ stream)
 
 let ping_main socket =
   match Server.Client.connect socket with
@@ -608,6 +666,54 @@ let stop_cmd =
   let doc = "ask a running archexd to drain in-flight solves and exit" in
   Cmd.v (Cmd.info "stop" ~doc) Term.(const stop_main $ socket_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario registry inspection. *)
+
+let scenario_main name_opt =
+  let module Scenario = Archex.Scenario in
+  match name_opt with
+  | None ->
+      List.iter
+        (fun sc ->
+          Format.printf "%-20s %-9s %s@." (Scenario.name sc)
+            (Scenario.scale_name (Scenario.scale sc))
+            (Scenario.descr sc))
+        (Scenario.all ());
+      0
+  | Some n -> (
+      match Scenario.find n with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | Ok sc -> (
+          Format.printf "name:     %s@." (Scenario.name sc);
+          Format.printf "scale:    %s@." (Scenario.scale_name (Scenario.scale sc));
+          Format.printf "descr:    %s@." (Scenario.descr sc);
+          (match Scenario.expected sc with
+          | Some o -> Format.printf "expected: %.6g@." o
+          | None -> ());
+          match Scenario.instance sc with
+          | Error e ->
+              Format.eprintf "error: instance build failed: %s@." e;
+              1
+          | Ok inst ->
+              Format.printf "nodes:    %d@."
+                (Archex.Template.nnodes inst.Archex.Instance.template);
+              Format.printf "links:    %d candidate@."
+                (Netgraph.Digraph.nedges inst.Archex.Instance.graph);
+              0))
+
+let scenario_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Scenario to inspect; omit to list the whole registry.")
+  in
+  let doc = "list registered scenarios or inspect one by name" in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(const scenario_main $ name_arg)
+
 let doc = "optimized selection of wireless network topologies and components"
 
 let cmd =
@@ -617,6 +723,7 @@ let cmd =
       submit_cmd;
       ping_cmd;
       stop_cmd;
+      scenario_cmd;
     ]
 
 (* [Cmd.group] reserves the first positional argument for command
@@ -626,9 +733,13 @@ let cmd =
 let legacy_cmd = Cmd.v (Cmd.info "archex" ~doc) solve_term
 
 let () =
+  (* Generated tactical scenarios join the registry up front so
+     `archex scenario` lists them and `archex submit NAME` can name
+     them (the daemon registers the same set on its side). *)
+  Scenario_gen.register_defaults ();
   let grouped =
     Array.length Sys.argv <= 1
     || List.mem Sys.argv.(1)
-         [ "solve"; "submit"; "ping"; "stop"; "--help"; "-h"; "--version" ]
+         [ "solve"; "submit"; "ping"; "stop"; "scenario"; "--help"; "-h"; "--version" ]
   in
   exit (Cmd.eval' (if grouped then cmd else legacy_cmd))

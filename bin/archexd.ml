@@ -9,6 +9,10 @@ open Cmdliner
 
 let main socket workers max_active max_waiting cache_capacity time_limit
     drain_timeout verbose =
+  (* Generated tactical scenarios join the registry before the daemon
+     starts serving, so they are addressable by name over the protocol
+     exactly like the seed catalogue. *)
+  Scenario_gen.register_defaults ();
   let config =
     {
       Server.Daemon.c_socket = socket;

@@ -54,10 +54,7 @@ let solve_for name objective =
 let draw inst (sol : Archex.Solution.t) =
   let template = inst.Archex.Instance.template in
   let plan =
-    match inst.Archex.Instance.channel with
-    | Radio.Channel.Multi_wall { plan; _ } -> Some plan
-    | Radio.Channel.Free_space _ | Radio.Channel.Log_distance _
-  | Radio.Channel.Itu_indoor _ | Radio.Channel.Shadowed _ -> None
+    Radio.Channel.floorplan inst.Archex.Instance.channel
   in
   let w = Archex.Scenarios.(params.dc_width) and h = Archex.Scenarios.(params.dc_height) in
   let sc = Geometry.Svg.scene ~width:w ~height:h in

@@ -50,10 +50,9 @@ let draw inst (sol : Archex.Solution.t) =
     Geometry.Svg.scene ~width:Archex.Scenarios.(params.loc_width)
       ~height:Archex.Scenarios.(params.loc_height)
   in
-  (match inst.Archex.Instance.channel with
-  | Radio.Channel.Multi_wall { plan; _ } -> Geometry.Svg.add_floorplan sc plan
-  | Radio.Channel.Free_space _ | Radio.Channel.Log_distance _
-  | Radio.Channel.Itu_indoor _ | Radio.Channel.Shadowed _ -> ());
+  (match Radio.Channel.floorplan inst.Archex.Instance.channel with
+  | Some plan -> Geometry.Svg.add_floorplan sc plan
+  | None -> ());
   (* Evaluation points as small crosses (grey), anchors as circles. *)
   (match inst.Archex.Instance.requirements.Archex.Requirements.localization with
   | Some loc ->

@@ -38,6 +38,9 @@ let sizing_vars ctx i = ctx.sizing.(i)
 
 let edge_vars ctx = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.edges []
 
+let product_var ctx i ord ~is_tx =
+  Option.map (fun p -> p.p_var) (Hashtbl.find_opt ctx.products (i, ord, is_tx))
+
 let rss_floor_dbm ctx = ctx.inst.Instance.noise_dbm +. Instance.min_snr_db ctx.inst
 
 (* Net antenna/TX contribution of the device selected at a node. *)

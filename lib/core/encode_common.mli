@@ -32,6 +32,15 @@ val edge_var : t -> int -> int -> int
 val edge_vars : t -> ((int * int) * int) list
 (** All edge binaries created so far. *)
 
+val product_var : t -> int -> int -> is_tx:bool -> int option
+(** [product_var ctx i ord ~is_tx] is the auxiliary energy product
+    variable [w = m * usage] of device ordinal [ord] (the position in
+    {!sizing_vars}) at node [i], for the TX ([is_tx = true]) or RX
+    direction.  [None] when the model has no energy side or the node's
+    usage in that direction is still constant.  Exposed so the
+    matheuristic can read exact per-use objective coefficients and
+    assemble warm vectors. *)
+
 val rss_expr : t -> int -> int -> Milp.Lin.t
 (** Linear RSS expression of link [i -> j] (equation (2a)):
     [-PL_ij + Σ_l m_li (tx_l + g_l) + Σ_l m_lj g_l]. *)

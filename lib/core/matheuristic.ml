@@ -1,0 +1,192 @@
+module Lin = Milp.Lin
+module Model = Milp.Model
+module Tabu = Heuristic.Tabu
+
+(* Bridge between the MILP encoding and the dependency-free tabu
+   search: flatten the approx encoding into a Tabu.problem with EXACT
+   objective coefficients (read off the installed model objective, so
+   any concern mix the encoder supports is priced correctly), run the
+   search, and lift the winning solution back into a model-space warm
+   vector that Branch_bound can adopt as an incumbent/cutoff. *)
+
+type outcome = {
+  mh_warm : (float array * float) option;
+  mh_tabu : Tabu.result;
+}
+
+(* Devices with no admissible component keep a single phantom entry that
+   prices the node out: never selectable in a feasible tabu solution,
+   and such nodes cannot be opened in the MILP either (Σ m = α). *)
+let phantom_cost = 1e12
+
+let phantom_gain = -1e9
+
+let build_problem ctx (selections : Approx_encoding.route_selection list) =
+  let inst = Encode_common.instance ctx in
+  let template = inst.Instance.template in
+  let n = Template.nnodes template in
+  let _, obj = Model.objective (Encode_common.model ctx) in
+  let sizing =
+    Array.init n (fun i -> Array.of_list (Encode_common.sizing_vars ctx i))
+  in
+  let ndevices = Array.init n (fun i -> Int.max 1 (Array.length sizing.(i))) in
+  let table real phantom =
+    Array.init n (fun i ->
+        Array.init ndevices.(i) (fun d ->
+            if d < Array.length sizing.(i) then real i d (fst sizing.(i).(d))
+            else phantom))
+  in
+  let proto = inst.Instance.protocol in
+  let period = proto.Energy.Tdma.report_period_s in
+  let slot = proto.Energy.Tdma.slot_s in
+  let bits = Energy.Tdma.packet_bits proto in
+  let etx = Instance.etx_bound inst in
+  let open Components.Component in
+  let w_coeff is_tx i d =
+    match Encode_common.product_var ctx i d ~is_tx with
+    | Some w -> Lin.coeff obj w
+    | None -> 0.
+  in
+  let airtime (c : t) = float_of_int bits /. (c.bit_rate_kbps *. 1000.) in
+  let sleep_ma (c : t) = c.sleep_ua /. 1000. in
+  (* Opening node [i] with device [d] pays the node-use coefficient
+     (e.g. node-count concerns) plus the sizing binary's own price. *)
+  let node_cost =
+    table
+      (fun i d _ ->
+        Lin.coeff obj (Encode_common.node_use_var ctx i)
+        +. Lin.coeff obj (snd sizing.(i).(d)))
+      phantom_cost
+  in
+  {
+    Tabu.nnodes = n;
+    fixed = Array.init n (fun i -> (Template.node template i).Template.fixed);
+    pools =
+      Array.of_list
+        (List.map
+           (fun (sel : Approx_encoding.route_selection) ->
+             Array.map Array.of_list sel.Approx_encoding.pool)
+           selections);
+    replicas =
+      Array.of_list
+        (List.map
+           (fun (sel : Approx_encoding.route_selection) ->
+             Array.length sel.Approx_encoding.slots)
+           selections);
+    ndevices;
+    pl = inst.Instance.pl;
+    txg = table (fun _ _ c -> c.tx_power_dbm +. c.antenna_gain_dbi) phantom_gain;
+    rxg = table (fun _ _ c -> c.antenna_gain_dbi) phantom_gain;
+    rss_floor_dbm = Encode_common.rss_floor_dbm ctx;
+    node_cost;
+    tx_cost = table (fun i d _ -> w_coeff true i d) 0.;
+    rx_cost = table (fun i d _ -> w_coeff false i d) 0.;
+    charge_base = table (fun _ _ c -> sleep_ma c *. period) 0.;
+    charge_tx =
+      table
+        (fun _ _ c ->
+          (etx *. airtime c *. c.radio_tx_ma)
+          +. (slot *. c.active_ma)
+          -. (slot *. sleep_ma c))
+        0.;
+    charge_rx =
+      table
+        (fun _ _ c ->
+          (etx *. airtime c *. c.radio_rx_ma)
+          +. (slot *. c.active_ma)
+          -. (slot *. sleep_ma c))
+        0.;
+    charge_budget =
+      (match inst.Instance.requirements.Requirements.min_lifetime_years with
+      | None -> infinity
+      | Some years ->
+          inst.Instance.battery.Energy.Lifetime.capacity_mah *. 3600. *. period
+          /. (years *. Energy.Lifetime.seconds_per_year));
+    budget_exempt =
+      Array.init n (fun i ->
+          (Template.node template i).Template.role = Components.Component.Sink);
+  }
+
+(* Lift a tabu solution into model-variable space: selector binaries per
+   slot, node-use and sizing binaries for every node a selected path
+   crosses (plus fixed nodes), edge binaries for crossed links, and the
+   energy products w = m * usage at their tight values. *)
+let warm_of ctx (selections : Approx_encoding.route_selection list)
+    (problem : Tabu.problem) (sol : Tabu.solution) =
+  let model = Encode_common.model ctx in
+  let n = problem.Tabu.nnodes in
+  let x = Array.make (Model.nvars model) 0. in
+  let tx = Array.make n 0 in
+  let rx = Array.make n 0 in
+  let edges_used = Hashtbl.create 64 in
+  List.iteri
+    (fun r (sel : Approx_encoding.route_selection) ->
+      Array.iteri
+        (fun slot c ->
+          x.(sel.Approx_encoding.slots.(slot).(c)) <- 1.;
+          List.iter
+            (fun (u, v) ->
+              tx.(u) <- tx.(u) + 1;
+              rx.(v) <- rx.(v) + 1;
+              Hashtbl.replace edges_used (u, v) ())
+            (Netgraph.Path.edges sel.Approx_encoding.pool.(c)))
+        sol.Tabu.sol_choice.(r))
+    selections;
+  List.iter
+    (fun ((i, j), v) ->
+      if Hashtbl.mem edges_used (i, j) then x.(v) <- 1.)
+    (Encode_common.edge_vars ctx);
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if problem.Tabu.fixed.(i) || tx.(i) + rx.(i) > 0 then begin
+      x.(Encode_common.node_use_var ctx i) <- 1.;
+      let d = sol.Tabu.sol_device.(i) in
+      (match List.nth_opt (Encode_common.sizing_vars ctx i) d with
+      | Some (_, mv) -> x.(mv) <- 1.
+      | None -> ok := false);
+      (match Encode_common.product_var ctx i d ~is_tx:true with
+      | Some w -> x.(w) <- float_of_int tx.(i)
+      | None -> ());
+      match Encode_common.product_var ctx i d ~is_tx:false with
+      | Some w -> x.(w) <- float_of_int rx.(i)
+      | None -> ()
+    end
+  done;
+  if not !ok then None
+  else
+    match Model.check_feasible model (fun v -> x.(v)) with
+    | Error _ -> None
+    | Ok () ->
+        let _, obj = Model.objective model in
+        Some (x, Lin.eval (fun v -> x.(v)) obj)
+
+let attempt ?(now = Milp.Clock.now) (h : Solver_config.heuristic) ctx
+    (selections : Approx_encoding.route_selection list) =
+  match h.Solver_config.h_mode with
+  | Solver_config.H_off -> None
+  | Solver_config.H_tabu ->
+      let inst = Encode_common.instance ctx in
+      if
+        inst.Instance.requirements.Requirements.localization <> None
+        || selections = []
+      then None
+      else begin
+        let problem = build_problem ctx selections in
+        let params =
+          {
+            Tabu.tp_iters = h.Solver_config.h_iters;
+            tp_time_s = h.Solver_config.h_time_s;
+            tp_tenure = h.Solver_config.h_tenure;
+            tp_seed = h.Solver_config.h_seed;
+          }
+        in
+        match Tabu.solve ~now params problem with
+        | Error _ -> None
+        | Ok tabu ->
+            let warm =
+              match tabu.Tabu.r_best with
+              | None -> None
+              | Some sol -> warm_of ctx selections problem sol
+            in
+            Some { mh_warm = warm; mh_tabu = tabu }
+      end

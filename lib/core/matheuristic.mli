@@ -1,0 +1,34 @@
+(** Matheuristic bridge: tabu search as a primal heuristic for the
+    exact solver.
+
+    Flattens the approximate path encoding into a
+    {!Heuristic.Tabu.problem} — candidate pools as node sequences,
+    per-device objective coefficients read off the installed model
+    objective (so any supported concern mix is priced exactly), charge
+    coefficients replicated from the energy linearization — runs the
+    tabu search within the configured budget, and lifts the best
+    feasible solution back into a model-space vector.  {!Session} hands
+    that vector to {!Milp.Branch_bound} as a warm incumbent and
+    direction-aware cutoff, which is what makes the heuristic a
+    matheuristic: the tree search keeps the global optimality proof,
+    the tabu search only accelerates the primal side. *)
+
+type outcome = {
+  mh_warm : (float array * float) option;
+      (** Model-space warm vector and its exact model objective,
+          validated by [Model.check_feasible]; [None] when the search
+          found no feasible solution (or lifting failed). *)
+  mh_tabu : Heuristic.Tabu.result;  (** Raw search result. *)
+}
+
+val attempt :
+  ?now:(unit -> float) ->
+  Solver_config.heuristic ->
+  Encode_common.t ->
+  Approx_encoding.route_selection list ->
+  outcome option
+(** Run the configured heuristic against a finalized encoding.  [None]
+    when the heuristic is off, the instance has localization
+    requirements (reach variables are not in the tabu move space), or
+    there are no routes.  [now] defaults to [Milp.Clock.now] and drives
+    the tabu wall-clock budget. *)

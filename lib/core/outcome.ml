@@ -8,6 +8,7 @@ type stats = {
   delta_paths : int;
   pool_size : int;
   workers : int;
+  heuristic_time_s : float;
 }
 
 type t = {

@@ -25,6 +25,10 @@ type stats = {
       (** Worker domains the tree search actually used — the resolved
           count after [--workers 0] auto-detection, so logs and bench
           JSON can report the truth on single-thread hosts. *)
+  heuristic_time_s : float;
+      (** Wall clock spent in the primal matheuristic (tabu search)
+          before the tree search; 0 when the heuristic is off or was
+          not run for this solve. *)
 }
 
 type t = {

@@ -1,0 +1,96 @@
+type scale = Test | Bench | Tactical
+
+let scale_name = function Test -> "test" | Bench -> "bench" | Tactical -> "tactical"
+
+type t = {
+  sc_name : string;
+  sc_descr : string;
+  sc_scale : scale;
+  sc_expected : float option;
+  sc_build : unit -> (Instance.t, string) result;
+}
+
+(* Registration order is the listing order, so [names] stays stable for
+   CLI output and the daemon protocol; the table makes [find] O(1). *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let order : string list ref = ref []
+
+let register sc =
+  if Hashtbl.mem registry sc.sc_name then
+    invalid_arg (Printf.sprintf "Scenario.register: duplicate name %S" sc.sc_name);
+  if sc.sc_name = "" then invalid_arg "Scenario.register: empty name";
+  Hashtbl.replace registry sc.sc_name sc;
+  order := sc.sc_name :: !order
+
+let names () = List.rev !order
+
+let all () = List.filter_map (Hashtbl.find_opt registry) (names ())
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | Some sc -> Ok sc
+  | None ->
+      Error
+        (Printf.sprintf "unknown scenario %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let instance sc = sc.sc_build ()
+
+let name sc = sc.sc_name
+
+let descr sc = sc.sc_descr
+
+let scale sc = sc.sc_scale
+
+let expected sc = sc.sc_expected
+
+(* ---- Table-1 builtins ----------------------------------------------
+
+   The paper's data-collection WSN under the three objectives, at the
+   bench scale ({!Scenarios.default_data_collection}) and the test
+   scale used by the parallel regression suite (3 sensors on a 3x2
+   relay grid), which keeps CI smoke and throughput benches fast.
+   Registered at module initialisation so every linker of Archex sees
+   the same base catalogue. *)
+
+let test_data_collection_params =
+  {
+    Scenarios.default_data_collection with
+    Scenarios.dc_sensors = 3;
+    dc_relay_grid = (3, 2);
+    dc_width = 45.;
+    dc_height = 28.;
+  }
+
+let () =
+  let objectives =
+    [
+      ("dollar", "$ cost", Objective.dollar);
+      ("energy", "energy", Objective.energy);
+      ("mixed", "$ + energy", Objective.combine Objective.dollar Objective.energy);
+    ]
+  in
+  List.iter
+    (fun (suffix, label, objective) ->
+      register
+        {
+          sc_name = "dc-" ^ suffix;
+          sc_descr = "Table 1 data collection, objective " ^ label;
+          sc_scale = Bench;
+          sc_expected = None;
+          sc_build =
+            (fun () ->
+              Scenarios.data_collection ~objective Scenarios.default_data_collection);
+        };
+      register
+        {
+          sc_name = "dc-small-" ^ suffix;
+          sc_descr = "Table 1 data collection (test scale), objective " ^ label;
+          sc_scale = Test;
+          sc_expected = None;
+          sc_build =
+            (fun () ->
+              Scenarios.data_collection ~objective test_data_collection_params);
+        })
+    objectives

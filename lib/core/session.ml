@@ -43,7 +43,13 @@ let config t = t.s_config
    limits, gaps, interrupt flags and streaming hooks).  Only knobs that
    leave the carried state valid may change: the encoding strategy
    kind, localization depth and incremental mode are structural, so a
-   mismatch is a caller bug. *)
+   mismatch is a caller bug.  A change to the presolve group is legal
+   but invalidates the recorded reduction trace: the watermark advances
+   after every solve while the trace only advances on presolve-on
+   template solves, so after e.g. an off->on toggle the stored trace no
+   longer matches the delta [Model.touched_since] would report — replay
+   against it would adopt stale verdicts.  Reset both so the next solve
+   reduces from scratch and re-records. *)
 let reconfigure t config =
   (match Solver_config.loc_kstar config with
   | Some l when l = t.s_loc_kstar -> ()
@@ -51,6 +57,10 @@ let reconfigure t config =
   | None -> invalid_arg "Session.reconfigure: sessions need the approximate strategy");
   if config.Solver_config.incremental <> incremental t then
     invalid_arg "Session.reconfigure: incremental mode cannot change mid-session";
+  if not (Solver_config.same_presolve t.s_config config) then begin
+    t.s_ps <- BB.create_presolve_state ();
+    t.s_mark <- None
+  end;
   t.s_config <- config
 
 let start (config : Solver_config.t) inst =
@@ -148,6 +158,33 @@ let solve t =
       let options = Solver_config.bb_options t.s_config in
       let model = Encode_common.model enc.e_ctx in
       let direction = fst (Model.objective model) in
+      (* Primal matheuristic: on the first solve (no carried incumbent
+         yet) run the tabu search and adopt its best solution as a warm
+         incumbent + cutoff.  The tree search keeps the optimality
+         proof; the heuristic only accelerates the primal side. *)
+      let heur, heuristic_time_s =
+        if
+          t.s_carry <> None
+          || t.s_config.Solver_config.heuristic.Solver_config.h_mode
+             = Solver_config.H_off
+        then (None, 0.)
+        else begin
+          let t_h0 = Clock.now () in
+          let heur =
+            Matheuristic.attempt t.s_config.Solver_config.heuristic enc.e_ctx
+              (List.map Approx_encoding.selection_of enc.e_routes)
+          in
+          (heur, Clock.now () -. t_h0)
+        end
+      in
+      (match heur with
+      | Some { Matheuristic.mh_warm = Some (hx, hobj); _ } ->
+          (match t.s_config.Solver_config.on_incumbent with
+          | Some f ->
+              f hobj (match direction with Model.Minimize -> neg_infinity | Model.Maximize -> infinity)
+          | None -> ());
+          if incremental t then t.s_carry <- Some (Array.copy hx, hobj)
+      | _ -> ());
       let warm, cutoff, seeds =
         if not (incremental t) then (None, options.BB.cutoff, [])
         else
@@ -171,6 +208,22 @@ let solve t =
               in
               (Some x', cutoff, t.s_carry_cuts)
       in
+      (* Non-incremental sessions never read [s_carry], so hand the
+         heuristic incumbent to this solve directly. *)
+      let warm, cutoff =
+        match heur with
+        | Some { Matheuristic.mh_warm = Some (hx, hobj); _ }
+          when not (incremental t) ->
+            let cutoff =
+              if Float.is_nan cutoff then hobj
+              else
+                match direction with
+                | Model.Minimize -> Float.min cutoff hobj
+                | Model.Maximize -> Float.max cutoff hobj
+            in
+            (Some hx, cutoff)
+        | _ -> (warm, cutoff)
+      in
       let options = { options with BB.cutoff } in
       (* Template presolve: with a watermark from the previous solve,
          hand Branch_bound the exact row delta so it replays the stored
@@ -178,8 +231,10 @@ let solve t =
          per-step ablation ([presolve_template = false]) never passes a
          delta, so every solve reduces from scratch. *)
       let touched_rows =
-        if incremental t && t.s_config.Solver_config.presolve_template then
-          Option.map (fun mark -> Model.touched_since model mark) t.s_mark
+        if
+          incremental t
+          && t.s_config.Solver_config.presolve.Solver_config.ps_template
+        then Option.map (fun mark -> Model.touched_since model mark) t.s_mark
         else None
       in
       let t1 = Clock.now () in
@@ -188,7 +243,7 @@ let solve t =
           ?touched_rows ~ws:t.s_ws
           ?interrupt:t.s_config.Solver_config.interrupt
           ?on_incumbent:t.s_config.Solver_config.on_incumbent
-          ?scheduler:t.s_config.Solver_config.scheduler model
+          ?scheduler:(Solver_config.scheduler t.s_config) model
       in
       t.s_mark <- Some (Model.mark model);
       let t2 = Clock.now () in
@@ -231,6 +286,7 @@ let solve t =
               delta_paths = t.s_pending_delta;
               pool_size = t.s_pool_total;
               workers = options.BB.nworkers;
+              heuristic_time_s;
             };
         }
       in

@@ -45,7 +45,7 @@ let run (config : Solver_config.t) inst =
         Milp.Branch_bound.solve ~options
           ?interrupt:config.Solver_config.interrupt
           ?on_incumbent:config.Solver_config.on_incumbent
-          ?scheduler:config.Solver_config.scheduler model
+          ?scheduler:(Solver_config.scheduler config) model
       in
       let t2 = Clock.now () in
       let solution =
@@ -69,6 +69,7 @@ let run (config : Solver_config.t) inst =
               delta_paths = 0;
               pool_size = 0;
               workers = options.Milp.Branch_bound.nworkers;
+              heuristic_time_s = 0.;
             };
           mip;
           model;

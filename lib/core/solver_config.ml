@@ -2,32 +2,95 @@ module BB = Milp.Branch_bound
 
 type strategy = Full_enum | Approx of { kstar : int; loc_kstar : int }
 
+type kernel = {
+  k_warm_start : bool;
+  k_cuts : bool;
+  k_rc_fixing : bool;
+  k_dense_basis : bool;
+  k_pricing : Milp.Simplex.pricing;
+  k_harris : bool;
+}
+
+type presolve = {
+  ps_enabled : bool;
+  ps_passes : Milp.Presolve.pass list;
+  ps_template : bool;
+}
+
+type parallel = {
+  par_workers : int;
+  par_seed : int;
+  par_scheduler : Milp.Scheduler.t option;
+}
+
+type heuristic_mode = H_off | H_tabu
+
+type heuristic = {
+  h_mode : heuristic_mode;
+  h_iters : int;
+  h_time_s : float;
+  h_tenure : int;
+  h_seed : int;
+}
+
 type t = {
   strategy : strategy;
   options : BB.options;
+  kernel : kernel;
+  presolve : presolve;
+  parallel : parallel;
+  heuristic : heuristic;
   incremental : bool;
-  presolve_template : bool;
-  nworkers : int;
-  seed : int;
   interrupt : bool Atomic.t option;
   on_incumbent : (float -> float -> unit) option;
-  scheduler : Milp.Scheduler.t option;
 }
 
 let approx ?(kstar = 10) ?(loc_kstar = 20) () = Approx { kstar; loc_kstar }
+
+(* The kernel/presolve groups carved out of a full options record, so
+   [with_options] keeps its historical "replace everything" meaning. *)
+let kernel_of_options (o : BB.options) =
+  {
+    k_warm_start = o.BB.warm_start;
+    k_cuts = o.BB.cuts;
+    k_rc_fixing = o.BB.rc_fixing;
+    k_dense_basis = o.BB.dense_basis;
+    k_pricing = o.BB.pricing;
+    k_harris = o.BB.harris;
+  }
+
+let no_heuristic =
+  { h_mode = H_off; h_iters = 20_000; h_time_s = 5.; h_tenure = 0; h_seed = 0 }
+
+let tabu ?(iters = 20_000) ?(time_s = 5.) ?(tenure = 0) ?(seed = 0) () =
+  { h_mode = H_tabu; h_iters = iters; h_time_s = time_s; h_tenure = tenure; h_seed = seed }
+
+let heuristic_mode_name = function H_off -> "off" | H_tabu -> "tabu"
+
+let heuristic_mode_of_string = function
+  | "off" -> Ok H_off
+  | "tabu" -> Ok H_tabu
+  | s -> Error (Printf.sprintf "unknown heuristic %S (known: tabu, off)" s)
 
 let default =
   {
     strategy = approx ();
     options = BB.default_options;
+    kernel = kernel_of_options BB.default_options;
+    presolve =
+      {
+        ps_enabled = BB.default_options.BB.presolve;
+        ps_passes = BB.default_options.BB.presolve_passes;
+        ps_template = true;
+      };
+    parallel = { par_workers = 1; par_seed = 0; par_scheduler = None };
+    heuristic = no_heuristic;
     incremental = true;
-    presolve_template = true;
-    nworkers = 1;
-    seed = 0;
     interrupt = None;
     on_incumbent = None;
-    scheduler = None;
   }
+
+(* ---- group setters (the primary API) ---- *)
 
 let with_strategy strategy c = { c with strategy }
 
@@ -49,7 +112,37 @@ let with_approx ?kstar ?loc_kstar () c =
         };
   }
 
-let with_options options c = { c with options }
+let with_kernel kernel c = { c with kernel }
+
+let with_presolving presolve c = { c with presolve }
+
+let with_parallelism parallel c =
+  if parallel.par_workers < 0 then
+    invalid_arg "Solver_config.with_parallelism: need a worker count >= 0 (0 = auto-detect)";
+  { c with parallel }
+
+let with_heuristic heuristic c = { c with heuristic }
+
+let with_options options c =
+  {
+    c with
+    options;
+    kernel = kernel_of_options options;
+    presolve =
+      {
+        c.presolve with
+        ps_enabled = options.BB.presolve;
+        ps_passes = options.BB.presolve_passes;
+      };
+  }
+
+let with_incremental incremental c = { c with incremental }
+
+let with_interrupt interrupt c = { c with interrupt = Some interrupt }
+
+let with_on_incumbent on_incumbent c = { c with on_incumbent = Some on_incumbent }
+
+(* ---- deprecated flat aliases (kept for one release) ---- *)
 
 let with_time_limit time_limit c = { c with options = { c.options with BB.time_limit } }
 
@@ -59,50 +152,128 @@ let with_rel_gap rel_gap c = { c with options = { c.options with BB.rel_gap } }
 
 let with_cutoff cutoff c = { c with options = { c.options with BB.cutoff } }
 
-let with_warm_start warm_start c = { c with options = { c.options with BB.warm_start } }
-
-let with_cuts cuts c = { c with options = { c.options with BB.cuts } }
-
-let with_presolve presolve c = { c with options = { c.options with BB.presolve } }
-
-let with_presolve_passes presolve_passes c =
-  { c with options = { c.options with BB.presolve_passes } }
-
-let with_presolve_template presolve_template c = { c with presolve_template }
-
-let with_rc_fixing rc_fixing c = { c with options = { c.options with BB.rc_fixing } }
-
-let with_dense_basis dense_basis c = { c with options = { c.options with BB.dense_basis } }
-
-let with_pricing pricing c = { c with options = { c.options with BB.pricing } }
-
-let with_harris harris c = { c with options = { c.options with BB.harris } }
+let with_log log c = { c with options = { c.options with BB.log } }
 
 let with_mem_stats mem_stats c = { c with options = { c.options with BB.mem_stats } }
 
-let with_log log c = { c with options = { c.options with BB.log } }
+let with_warm_start b c = { c with kernel = { c.kernel with k_warm_start = b } }
 
-let with_incremental incremental c = { c with incremental }
+let with_cuts b c = { c with kernel = { c.kernel with k_cuts = b } }
+
+let with_rc_fixing b c = { c with kernel = { c.kernel with k_rc_fixing = b } }
+
+let with_dense_basis b c = { c with kernel = { c.kernel with k_dense_basis = b } }
+
+let with_pricing p c = { c with kernel = { c.kernel with k_pricing = p } }
+
+let with_harris b c = { c with kernel = { c.kernel with k_harris = b } }
+
+let with_presolve b c = { c with presolve = { c.presolve with ps_enabled = b } }
+
+let with_presolve_passes passes c =
+  { c with presolve = { c.presolve with ps_passes = passes } }
+
+let with_presolve_template b c =
+  { c with presolve = { c.presolve with ps_template = b } }
 
 let with_workers nworkers c =
   if nworkers < 0 then
     invalid_arg "Solver_config.with_workers: need a worker count >= 0 (0 = auto-detect)";
-  { c with nworkers }
+  { c with parallel = { c.parallel with par_workers = nworkers } }
 
-let with_seed seed c = { c with seed }
+let with_seed seed c = { c with parallel = { c.parallel with par_seed = seed } }
 
-let with_interrupt interrupt c = { c with interrupt = Some interrupt }
+let with_scheduler s c = { c with parallel = { c.parallel with par_scheduler = Some s } }
 
-let with_on_incumbent on_incumbent c = { c with on_incumbent = Some on_incumbent }
+(* ---- the single override merge ---- *)
 
-let with_scheduler scheduler c = { c with scheduler = Some scheduler }
+type override = {
+  o_strategy : strategy option;
+  o_time_limit : float option;
+  o_rel_gap : float option;
+  o_cutoff : float option;
+  o_kernel : kernel option;
+  o_presolve : presolve option;
+  o_heuristic : heuristic option;
+  o_workers : int option;
+  o_seed : int option;
+  o_scheduler : Milp.Scheduler.t option;
+  o_incremental : bool option;
+  o_interrupt : bool Atomic.t option;
+  o_on_incumbent : (float -> float -> unit) option;
+}
+
+let no_override =
+  {
+    o_strategy = None;
+    o_time_limit = None;
+    o_rel_gap = None;
+    o_cutoff = None;
+    o_kernel = None;
+    o_presolve = None;
+    o_heuristic = None;
+    o_workers = None;
+    o_seed = None;
+    o_scheduler = None;
+    o_incremental = None;
+    o_interrupt = None;
+    o_on_incumbent = None;
+  }
+
+let override o c =
+  let opt v d = Option.value v ~default:d in
+  let c = { c with strategy = opt o.o_strategy c.strategy } in
+  let c =
+    match o.o_time_limit with None -> c | Some tl -> with_time_limit tl c
+  in
+  let c = match o.o_rel_gap with None -> c | Some g -> with_rel_gap g c in
+  let c = match o.o_cutoff with None -> c | Some cu -> with_cutoff cu c in
+  let c = { c with kernel = opt o.o_kernel c.kernel } in
+  let c = { c with presolve = opt o.o_presolve c.presolve } in
+  let c = { c with heuristic = opt o.o_heuristic c.heuristic } in
+  let c = match o.o_workers with None -> c | Some w -> with_workers w c in
+  let c = match o.o_seed with None -> c | Some s -> with_seed s c in
+  let c =
+    match o.o_scheduler with None -> c | Some s -> with_scheduler s c
+  in
+  let c = { c with incremental = opt o.o_incremental c.incremental } in
+  let c =
+    match o.o_interrupt with None -> c | Some i -> with_interrupt i c
+  in
+  match o.o_on_incumbent with None -> c | Some f -> with_on_incumbent f c
+
+(* ---- accessors ---- *)
 
 let effective_workers c =
-  if c.nworkers = 0 then Domain.recommended_domain_count () else c.nworkers
+  if c.parallel.par_workers = 0 then Domain.recommended_domain_count ()
+  else c.parallel.par_workers
 
-let bb_options c = { c.options with BB.nworkers = effective_workers c; seed = c.seed }
+let bb_options c =
+  {
+    c.options with
+    BB.warm_start = c.kernel.k_warm_start;
+    cuts = c.kernel.k_cuts;
+    rc_fixing = c.kernel.k_rc_fixing;
+    dense_basis = c.kernel.k_dense_basis;
+    pricing = c.kernel.k_pricing;
+    harris = c.kernel.k_harris;
+    presolve = c.presolve.ps_enabled;
+    presolve_passes = c.presolve.ps_passes;
+    nworkers = effective_workers c;
+    seed = c.parallel.par_seed;
+  }
+
+let scheduler c = c.parallel.par_scheduler
 
 let kstar c = match c.strategy with Approx { kstar; _ } -> Some kstar | Full_enum -> None
 
 let loc_kstar c =
   match c.strategy with Approx { loc_kstar; _ } -> Some loc_kstar | Full_enum -> None
+
+(* Structural equality of the presolve group; scheduler-free so it can
+   be compared with [=].  Used by {!Session.reconfigure} to decide when
+   a cached reduction trace must be invalidated. *)
+let same_presolve a b =
+  a.presolve.ps_enabled = b.presolve.ps_enabled
+  && a.presolve.ps_passes = b.presolve.ps_passes
+  && a.presolve.ps_template = b.presolve.ps_template

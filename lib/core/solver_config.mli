@@ -1,26 +1,35 @@
 (** One self-contained solver configuration.
 
     Everything that used to be threaded through the driver stack as
-    scattered optional arguments — [?options] (branch & bound),
-    [?kstar]/[?loc_kstar] (encoding strategy), [?incremental] (session
-    mode) — plus the parallel-search knobs ([nworkers], [seed]) lives in
-    a single immutable record.  {!Solve.run}, {!Session.start} /
-    {!Session.create} and {!Kstar.search} take it positionally; build
-    one with {!default} and the [with_*] setters and pass the same value
-    everywhere:
+    scattered optional arguments lives in a single immutable record,
+    now organised as nested sub-records:
+
+    - {!kernel} — simplex/B&B kernel toggles (warm starts, cuts,
+      reduced-cost fixing, basis representation, pricing, ratio tests);
+    - {!presolve} — the reduction stack (on/off, pass list, template
+      trace reuse);
+    - {!parallel} — worker domains, diversification seed, shared
+      scheduler;
+    - {!heuristic} — the primal matheuristic (tabu search) budget.
+
+    Remaining scalar knobs (time/node limits, gaps, logging) stay in
+    the raw {!Milp.Branch_bound.options} record under [options].
+
+    Build a config with {!default}, the group setters and [|>]:
 
     {[
       let cfg =
         Solver_config.(
           default |> with_approx ~kstar:6 () |> with_time_limit 30.
-          |> with_workers 4)
+          |> with_parallelism { default.parallel with par_workers = 4 }
+          |> with_heuristic (tabu ~time_s:2. ()))
       in
       Solve.run cfg inst
     ]}
 
-    The record is also what a worker domain needs to be spun up
-    self-contained, which is why the parallel tree search forced this
-    consolidation. *)
+    Per-request deltas against a base config (the daemon's cached
+    sessions) go through the single {!override} merge instead of ad-hoc
+    setter chains. *)
 
 type strategy =
   | Full_enum  (** Exhaustive encoding (paper §2). *)
@@ -28,49 +37,94 @@ type strategy =
       (** Algorithm 1 with [K*] route candidates and [loc_kstar]
           localization candidates per test point. *)
 
+(** Kernel toggles for the LP/B&B engine.  Defaults mirror
+    {!Milp.Branch_bound.default_options}. *)
+type kernel = {
+  k_warm_start : bool;  (** Warm-started dual simplex re-solves. *)
+  k_cuts : bool;  (** Root GMI + cover cut loop. *)
+  k_rc_fixing : bool;  (** Reduced-cost variable fixing. *)
+  k_dense_basis : bool;  (** Dense explicit-inverse kernel ablation. *)
+  k_pricing : Milp.Simplex.pricing;  (** Entering-column rule. *)
+  k_harris : bool;  (** Harris/bound-flip ratio tests. *)
+}
+
+(** The presolve reduction stack. *)
+type presolve = {
+  ps_enabled : bool;  (** Root presolve (default [true]). *)
+  ps_passes : Milp.Presolve.pass list;  (** Pass restriction. *)
+  ps_template : bool;
+      (** Incremental sessions presolve the template once and re-apply
+          the reduction trace to each K* sweep step's delta (default);
+          [false] presolves every step from scratch. *)
+}
+
+(** Parallel tree search. *)
+type parallel = {
+  par_workers : int;
+      (** Worker domains (default 1); [0] = auto-detect via
+          [Domain.recommended_domain_count] at solve time. *)
+  par_seed : int;  (** Diversification seed; ignored at 1 worker. *)
+  par_scheduler : Milp.Scheduler.t option;
+      (** Run tree searches on this shared domain pool (the daemon's)
+          instead of domains owned by each solve. *)
+}
+
+type heuristic_mode = H_off | H_tabu
+
+(** Primal matheuristic budget.  With [h_mode = H_tabu], {!Session}
+    runs a tabu search over topology+sizing moves before the first
+    B&B solve and installs its incumbent as warm solution + cutoff. *)
+type heuristic = {
+  h_mode : heuristic_mode;
+  h_iters : int;  (** Tabu iteration budget (default 20000). *)
+  h_time_s : float;  (** Tabu wall-clock budget in seconds (default 5). *)
+  h_tenure : int;  (** Tabu tenure; [0] = auto-size from the instance. *)
+  h_seed : int;  (** Deterministic restart/diversification seed. *)
+}
+
 type t = {
   strategy : strategy;
   options : Milp.Branch_bound.options;
-      (** Branch & bound options.  The [nworkers]/[seed] fields inside
-          are ignored in favour of the config-level ones below —
-          {!bb_options} resolves the authoritative merge. *)
+      (** Scalar limits (time/node/gap/log/mem_stats...).  Fields that
+          belong to a group below ([warm_start], [presolve], [nworkers],
+          ...) are shadowed by the groups — {!bb_options} resolves the
+          authoritative merge. *)
+  kernel : kernel;
+  presolve : presolve;
+  parallel : parallel;
+  heuristic : heuristic;
   incremental : bool;
       (** Sessions grow the live model and carry incumbent + cuts across
           steps (default); [false] is the rebuild-each-step ablation. *)
-  presolve_template : bool;
-      (** Incremental sessions presolve the template once and re-apply
-          the reduction trace to each K* sweep step's delta (default);
-          [false] presolves every step from scratch — the per-step
-          ablation.  Only meaningful with [incremental] and the
-          presolve option on. *)
-  nworkers : int;
-      (** Worker domains for the tree search (default 1); [0] means
-          auto-detect via [Domain.recommended_domain_count] at solve
-          time — {!effective_workers} resolves it. *)
-  seed : int;
-      (** Diversification seed for parallel exploration (default 0);
-          ignored when [nworkers = 1]. *)
   interrupt : bool Atomic.t option;
       (** Cooperative cancellation flag threaded into every solve this
-          config drives (see {!Milp.Branch_bound.solve}): set it from a
-          signal handler or another thread and the search returns its
-          current incumbent. *)
+          config drives: set it from a signal handler or another thread
+          and the search returns its current incumbent. *)
   on_incumbent : (float -> float -> unit) option;
       (** Streaming hook, fired on each strict incumbent improvement
           with (objective, best bound) in the model's direction; must be
-          thread-safe when [nworkers > 1]. *)
-  scheduler : Milp.Scheduler.t option;
-      (** Run tree searches on this shared domain pool (the daemon's)
-          instead of domains owned by each solve. *)
+          thread-safe when running parallel. *)
 }
 
 val default : t
 (** [Approx { kstar = 10; loc_kstar = 20 }],
     {!Milp.Branch_bound.default_options}, incremental, one worker,
-    seed 0. *)
+    seed 0, heuristic off. *)
 
 val approx : ?kstar:int -> ?loc_kstar:int -> unit -> strategy
 (** [Approx] with defaults [kstar = 10], [loc_kstar = 20]. *)
+
+val no_heuristic : heuristic
+(** [H_off] with default budget knobs. *)
+
+val tabu :
+  ?iters:int -> ?time_s:float -> ?tenure:int -> ?seed:int -> unit -> heuristic
+(** A tabu-search heuristic group with the given budget. *)
+
+val heuristic_mode_name : heuristic_mode -> string
+(** ["off"] / ["tabu"] — the [--heuristic] CLI spelling. *)
+
+val heuristic_mode_of_string : string -> (heuristic_mode, string) result
 
 (** Setters take the config {e last} so they chain with [|>]. *)
 
@@ -83,7 +137,22 @@ val with_approx : ?kstar:int -> ?loc_kstar:int -> unit -> t -> t
     keeps its current value when the strategy already is [Approx], else
     the {!approx} default. *)
 
+val with_kernel : kernel -> t -> t
+
+val with_presolving : presolve -> t -> t
+
+val with_parallelism : parallel -> t -> t
+(** @raise Invalid_argument on [par_workers < 0]. *)
+
+val with_heuristic : heuristic -> t -> t
+(** Select the primal matheuristic, e.g.
+    [with_heuristic (tabu ~time_s:2. ())] or
+    [with_heuristic no_heuristic]. *)
+
 val with_options : Milp.Branch_bound.options -> t -> t
+(** Replace the raw options record wholesale; the {!kernel} and
+    {!presolve} groups are re-synchronised from its fields so the
+    historical "replace everything" meaning is preserved. *)
 
 val with_time_limit : float -> t -> t
 
@@ -93,41 +162,42 @@ val with_rel_gap : float -> t -> t
 
 val with_cutoff : float -> t -> t
 
+val with_mem_stats : bool -> t -> t
+
+val with_log : bool -> t -> t
+
+val with_incremental : bool -> t -> t
+
+val with_interrupt : bool Atomic.t -> t -> t
+
+val with_on_incumbent : (float -> float -> unit) -> t -> t
+
+(** {2 Deprecated flat aliases}
+
+    One-field setters from before the group split, kept for one release
+    so out-of-tree callers keep compiling.  Each writes into the
+    corresponding group; prefer {!with_kernel} / {!with_presolving} /
+    {!with_parallelism}. *)
+
 val with_warm_start : bool -> t -> t
 
 val with_cuts : bool -> t -> t
 
 val with_rc_fixing : bool -> t -> t
 
+val with_dense_basis : bool -> t -> t
+
+val with_pricing : Milp.Simplex.pricing -> t -> t
+
+val with_harris : bool -> t -> t
+
 val with_presolve : bool -> t -> t
 (** Root presolve reduction stack (default [true]); [false] is the
     [--no-presolve] ablation baseline. *)
 
 val with_presolve_passes : Milp.Presolve.pass list -> t -> t
-(** Restrict the reduction stack to the given passes (the
-    [--presolve-passes] ablation). *)
 
 val with_presolve_template : bool -> t -> t
-
-val with_dense_basis : bool -> t -> t
-(** Run every LP on the dense explicit-inverse kernel instead of the
-    sparse LU one — the [--dense-basis] ablation baseline. *)
-
-val with_pricing : Milp.Simplex.pricing -> t -> t
-(** Simplex entering-column rule (default [Devex]); [Dantzig] is the
-    [--pricing dantzig] ablation baseline. *)
-
-val with_harris : bool -> t -> t
-(** Harris two-pass primal ratio test + bound-flipping dual ratio test
-    (default [true]); [false] is the [--no-harris] ablation baseline. *)
-
-val with_mem_stats : bool -> t -> t
-(** Record live heap words at each incumbent improvement
-    ({!Milp.Branch_bound.result.live_words}). *)
-
-val with_log : bool -> t -> t
-
-val with_incremental : bool -> t -> t
 
 val with_workers : int -> t -> t
 (** [0] = auto-detect at solve time.
@@ -135,23 +205,57 @@ val with_workers : int -> t -> t
 
 val with_seed : int -> t -> t
 
-val with_interrupt : bool Atomic.t -> t -> t
-
-val with_on_incumbent : (float -> float -> unit) -> t -> t
-
 val with_scheduler : Milp.Scheduler.t -> t -> t
 
+(** {2 Per-request overrides}
+
+    A sparse delta merged onto a base config in one step — what
+    {!Session.reconfigure} and the daemon's per-request knobs use
+    instead of rebuilding a config from scratch. *)
+
+type override = {
+  o_strategy : strategy option;
+  o_time_limit : float option;
+  o_rel_gap : float option;
+  o_cutoff : float option;
+  o_kernel : kernel option;
+  o_presolve : presolve option;
+  o_heuristic : heuristic option;
+  o_workers : int option;
+  o_seed : int option;
+  o_scheduler : Milp.Scheduler.t option;
+  o_incremental : bool option;
+  o_interrupt : bool Atomic.t option;
+  o_on_incumbent : (float -> float -> unit) option;
+}
+
+val no_override : override
+(** All fields [None] — [override no_override c = c]. *)
+
+val override : override -> t -> t
+(** [override o c] applies every [Some] field of [o] onto [c], group by
+    group, in one merge. *)
+
+(** {2 Accessors} *)
+
 val effective_workers : t -> int
-(** The worker count solves actually use: [nworkers], or
-    [Domain.recommended_domain_count ()] when [nworkers = 0]. *)
+(** The worker count solves actually use: [parallel.par_workers], or
+    [Domain.recommended_domain_count ()] when it is [0]. *)
 
 val bb_options : t -> Milp.Branch_bound.options
 (** The options record actually handed to {!Milp.Branch_bound.solve}:
-    [t.options] with its [nworkers]/[seed] overridden by the
-    config-level fields ([nworkers] resolved via
+    [t.options] with the {!kernel}, {!presolve} and {!parallel} group
+    fields layered on top ([par_workers] resolved via
     {!effective_workers}). *)
+
+val scheduler : t -> Milp.Scheduler.t option
 
 val kstar : t -> int option
 (** [Some k] for the approximate strategy, [None] for [Full_enum]. *)
 
 val loc_kstar : t -> int option
+
+val same_presolve : t -> t -> bool
+(** Whether two configs agree on the whole {!presolve} group —
+    {!Session.reconfigure} uses this to decide when a cached reduction
+    trace must be invalidated. *)

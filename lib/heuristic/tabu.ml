@@ -1,0 +1,612 @@
+(* Tabu search over topology + sizing moves for the wireless design
+   problem, after the tactical-design tabu literature: reroute a path
+   slot, swap a node's device, close a node (compound reroute around
+   it).  Adaptive penalties stand in for the feasibility-repair move
+   set: infeasible solutions are explorable but increasingly expensive,
+   and the incumbent only ever accepts penalty-free solutions.
+
+   The module is deliberately dependency-free: the caller flattens the
+   instance into the numeric tables of {!problem} (see
+   [Archex.Matheuristic]) and interprets the winning {!solution} back
+   into model space. *)
+
+type problem = {
+  nnodes : int;
+  fixed : bool array;
+  pools : int array array array;
+  replicas : int array;
+  ndevices : int array;
+  pl : float array array;
+  txg : float array array;
+  rxg : float array array;
+  rss_floor_dbm : float;
+  node_cost : float array array;
+  tx_cost : float array array;
+  rx_cost : float array array;
+  charge_base : float array array;
+  charge_tx : float array array;
+  charge_rx : float array array;
+  charge_budget : float;
+  budget_exempt : bool array;
+}
+
+type solution = { sol_choice : int array array; sol_device : int array }
+
+type params = {
+  tp_iters : int;
+  tp_time_s : float;
+  tp_tenure : int;  (* 0 = auto *)
+  tp_seed : int;
+}
+
+let default_params = { tp_iters = 20_000; tp_time_s = 5.; tp_tenure = 0; tp_seed = 0 }
+
+type result = {
+  r_best : solution option;
+  r_obj : float;
+  r_iters : int;
+  r_improvements : (int * float) list;
+      (* (iteration, objective) per strict incumbent improvement, in
+         chronological order: strictly decreasing objectives. *)
+  r_first_feasible_s : float;
+  r_time_s : float;
+}
+
+(* Deterministic PRNG (same LCG family as the generators).  Draw from
+   the high bits: with a power-of-two modulus the low bits have tiny
+   periods (bit 0 alternates every step), so [state mod 2] at a fixed
+   position in a fixed-length call sequence would be constant — which
+   would make small-menu device swaps unreachable moves. *)
+let lcg seed =
+  let state = ref ((seed lxor 0x2545F49) land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    if bound <= 1 then 0 else (!state lsr 15) mod bound
+
+let validate p =
+  let nroutes = Array.length p.pools in
+  if Array.length p.replicas <> nroutes then Error "replicas/pools length mismatch"
+  else
+    let rec check r =
+      if r = nroutes then Ok ()
+      else if p.replicas.(r) < 1 then Error (Printf.sprintf "route %d: replicas < 1" r)
+      else if Array.length p.pools.(r) < p.replicas.(r) then
+        Error
+          (Printf.sprintf "route %d: pool %d smaller than replicas %d" r
+             (Array.length p.pools.(r))
+             p.replicas.(r))
+      else check (r + 1)
+    in
+    check 0
+
+(* ---- derived per-problem tables ---- *)
+
+type tables = {
+  t_edges : (int * int) array array array;  (* route -> cand -> directed edges *)
+  t_nodes_of : int array array array;  (* route -> cand -> nodes on path *)
+  t_disj : bool array array array;  (* route -> c1 -> c2 edge-disjoint *)
+}
+
+let build_tables p =
+  let edge_key (u, v) = (u * p.nnodes) + v in
+  let t_edges =
+    Array.map
+      (Array.map (fun path ->
+           Array.init
+             (Array.length path - 1)
+             (fun k -> (path.(k), path.(k + 1)))))
+      p.pools
+  in
+  let t_nodes_of = Array.map (Array.map Array.copy) p.pools in
+  let t_disj =
+    Array.map
+      (fun cands ->
+        let n = Array.length cands in
+        let sets =
+          Array.map
+            (fun edges ->
+              let keys = Array.map edge_key edges in
+              Array.sort compare keys;
+              keys)
+            cands
+        in
+        let disjoint a b =
+          let i = ref 0 and j = ref 0 and ok = ref true in
+          while !ok && !i < Array.length a && !j < Array.length b do
+            let c = compare a.(!i) b.(!j) in
+            if c = 0 then ok := false
+            else if c < 0 then incr i
+            else incr j
+          done;
+          !ok
+        in
+        Array.init n (fun c1 -> Array.init n (fun c2 -> disjoint sets.(c1) sets.(c2))))
+      t_edges
+  in
+  { t_edges; t_nodes_of; t_disj }
+
+(* ---- evaluation ---- *)
+
+type eval = { e_obj : float; e_lq : float; e_life : float; e_disj : int }
+
+let feasible e = e.e_lq <= 1e-9 && e.e_life <= 1e-9 && e.e_disj = 0
+
+type scratch = { tx_uses : int array; rx_uses : int array }
+
+let evaluate p tb scratch choice device =
+  let { tx_uses; rx_uses } = scratch in
+  Array.fill tx_uses 0 p.nnodes 0;
+  Array.fill rx_uses 0 p.nnodes 0;
+  let lq = ref 0. in
+  let nroutes = Array.length p.pools in
+  for r = 0 to nroutes - 1 do
+    Array.iter
+      (fun c ->
+        Array.iter
+          (fun (u, v) ->
+            tx_uses.(u) <- tx_uses.(u) + 1;
+            rx_uses.(v) <- rx_uses.(v) + 1)
+          tb.t_edges.(r).(c))
+      choice.(r)
+  done;
+  (* Link quality needs devices resolved, after usage is known. *)
+  for r = 0 to nroutes - 1 do
+    Array.iter
+      (fun c ->
+        Array.iter
+          (fun (u, v) ->
+            let rss =
+              -.p.pl.(u).(v) +. p.txg.(u).(device.(u)) +. p.rxg.(v).(device.(v))
+            in
+            if rss < p.rss_floor_dbm then lq := !lq +. (p.rss_floor_dbm -. rss))
+          tb.t_edges.(r).(c))
+      choice.(r)
+  done;
+  let obj = ref 0. and life = ref 0. in
+  for i = 0 to p.nnodes - 1 do
+    let tx = tx_uses.(i) and rx = rx_uses.(i) in
+    if p.fixed.(i) || tx + rx > 0 then begin
+      let d = device.(i) in
+      obj :=
+        !obj
+        +. p.node_cost.(i).(d)
+        +. (float_of_int tx *. p.tx_cost.(i).(d))
+        +. (float_of_int rx *. p.rx_cost.(i).(d));
+      if (not p.budget_exempt.(i)) && p.charge_budget < infinity then begin
+        let charge =
+          p.charge_base.(i).(d)
+          +. (float_of_int tx *. p.charge_tx.(i).(d))
+          +. (float_of_int rx *. p.charge_rx.(i).(d))
+        in
+        if charge > p.charge_budget then
+          life := !life +. ((charge -. p.charge_budget) /. p.charge_budget)
+      end
+    end
+  done;
+  let disj = ref 0 in
+  for r = 0 to nroutes - 1 do
+    let ch = choice.(r) in
+    let k = Array.length ch in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        if not tb.t_disj.(r).(ch.(a)).(ch.(b)) then incr disj
+      done
+    done
+  done;
+  { e_obj = !obj; e_lq = !lq; e_life = !life; e_disj = !disj }
+
+(* ---- public validator (used by tests and the warm-vector builder) ---- *)
+
+let check p sol =
+  match validate p with
+  | Error e -> Error e
+  | Ok () ->
+      let nroutes = Array.length p.pools in
+      if Array.length sol.sol_choice <> nroutes then Error "choice arity mismatch"
+      else if Array.length sol.sol_device <> p.nnodes then Error "device arity mismatch"
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun r ch ->
+            if !bad = None then begin
+              if Array.length ch <> p.replicas.(r) then
+                bad := Some (Printf.sprintf "route %d: wrong slot count" r);
+              Array.iteri
+                (fun k c ->
+                  if !bad = None then begin
+                    if c < 0 || c >= Array.length p.pools.(r) then
+                      bad := Some (Printf.sprintf "route %d: candidate %d out of range" r c);
+                    if !bad = None && k > 0 && ch.(k - 1) >= c then
+                      bad :=
+                        Some (Printf.sprintf "route %d: candidates not strictly ascending" r)
+                  end)
+                ch
+            end)
+          sol.sol_choice;
+        Array.iteri
+          (fun i d ->
+            if !bad = None && (d < 0 || d >= p.ndevices.(i)) then
+              bad := Some (Printf.sprintf "node %d: device %d out of range" i d))
+          sol.sol_device;
+        match !bad with
+        | Some e -> Error e
+        | None ->
+            let tb = build_tables p in
+            let scratch =
+              { tx_uses = Array.make p.nnodes 0; rx_uses = Array.make p.nnodes 0 }
+            in
+            let e = evaluate p tb scratch sol.sol_choice sol.sol_device in
+            if e.e_disj > 0 then Error "disjointness violated"
+            else if e.e_lq > 1e-9 then
+              Error (Printf.sprintf "link quality violated by %.3f dB" e.e_lq)
+            else if e.e_life > 1e-9 then
+              Error (Printf.sprintf "lifetime budget violated by %.1f%%" (100. *. e.e_life))
+            else Ok e.e_obj
+      end
+
+(* ---- initial solution ---- *)
+
+(* Greedy: per route walk the pool in (Yen) order keeping pairwise
+   disjoint candidates; pad with the first unused ones when short.
+   Devices: cheapest per node, then one repair sweep upgrading the
+   device wherever a selected link misses the RSS floor. *)
+let initial p tb =
+  let nroutes = Array.length p.pools in
+  let choice =
+    Array.init nroutes (fun r ->
+        let npool = Array.length p.pools.(r) in
+        let want = p.replicas.(r) in
+        let picked = ref [] in
+        let npicked = ref 0 in
+        let c = ref 0 in
+        while !npicked < want && !c < npool do
+          if List.for_all (fun o -> tb.t_disj.(r).(o).(!c)) !picked then begin
+            picked := !c :: !picked;
+            incr npicked
+          end;
+          incr c
+        done;
+        let c = ref 0 in
+        while !npicked < want do
+          if not (List.mem !c !picked) then begin
+            picked := !c :: !picked;
+            incr npicked
+          end;
+          incr c
+        done;
+        let arr = Array.of_list !picked in
+        Array.sort compare arr;
+        arr)
+  in
+  let device =
+    Array.init p.nnodes (fun i ->
+        let best = ref 0 in
+        for d = 1 to p.ndevices.(i) - 1 do
+          if p.node_cost.(i).(d) < p.node_cost.(i).(!best) then best := d
+        done;
+        !best)
+  in
+  (* LQ repair sweep: upgrade the transmitter (then receiver) to the
+     cheapest device closing the gap on each violated selected edge. *)
+  for r = 0 to nroutes - 1 do
+    Array.iter
+      (fun c ->
+        Array.iter
+          (fun (u, v) ->
+            let rss () =
+              -.p.pl.(u).(v) +. p.txg.(u).(device.(u)) +. p.rxg.(v).(device.(v))
+            in
+            if rss () < p.rss_floor_dbm then begin
+              let upgrade i =
+                let best = ref (-1) in
+                for d = 0 to p.ndevices.(i) - 1 do
+                  let gain_ok =
+                    if i = u then
+                      -.p.pl.(u).(v) +. p.txg.(u).(d) +. p.rxg.(v).(device.(v))
+                      >= p.rss_floor_dbm
+                    else
+                      -.p.pl.(u).(v) +. p.txg.(u).(device.(u)) +. p.rxg.(v).(d)
+                      >= p.rss_floor_dbm
+                  in
+                  if
+                    gain_ok
+                    && (!best < 0 || p.node_cost.(i).(d) < p.node_cost.(i).(!best))
+                  then best := d
+                done;
+                if !best >= 0 then device.(i) <- !best
+              in
+              upgrade u;
+              if rss () < p.rss_floor_dbm then upgrade v
+            end)
+          tb.t_edges.(r).(c))
+      choice.(r)
+  done;
+  (choice, device)
+
+(* ---- the search ---- *)
+
+type move =
+  | Reroute of int * int * int  (* route, slot index, new candidate *)
+  | Swap of int * int  (* node, new device *)
+  | Close of int  (* node *)
+
+let copy_choice choice = Array.map Array.copy choice
+
+let solve ?(now = fun () -> 0.) (params : params) p =
+  match validate p with
+  | Error e -> Error e
+  | Ok () ->
+      let tb = build_tables p in
+      let nroutes = Array.length p.pools in
+      let scratch =
+        { tx_uses = Array.make p.nnodes 0; rx_uses = Array.make p.nnodes 0 }
+      in
+      let rand = lcg params.tp_seed in
+      let t_start = now () in
+      let ncands = Array.fold_left (fun a c -> a + Array.length c) 0 p.pools in
+      let tenure =
+        if params.tp_tenure > 0 then params.tp_tenure
+        else 7 + int_of_float (Float.sqrt (float_of_int (ncands + p.nnodes)))
+      in
+      let choice, device = initial p tb in
+      let choice = ref choice in
+      (* Tabu attributes: re-adding candidate c to route r / re-selecting
+         device d at node i is forbidden until the stored iteration. *)
+      let tabu_add = Array.map (fun c -> Array.make (Array.length c) (-1)) p.pools in
+      let tabu_dev = Array.init p.nnodes (fun i -> Array.make p.ndevices.(i) (-1)) in
+      let freq = Array.map (fun c -> Array.make (Array.length c) 0) p.pools in
+      (* Adaptive penalty weights. *)
+      let lam_lq = ref 10. and lam_life = ref 100. and lam_disj = ref 50. in
+      let penal e =
+        e.e_obj
+        +. (!lam_lq *. e.e_lq)
+        +. (!lam_life *. e.e_life)
+        +. (!lam_disj *. float_of_int e.e_disj)
+      in
+      let eval () = evaluate p tb scratch !choice device in
+      let best_sol = ref None and best_obj = ref infinity in
+      let best_any = ref infinity in
+      let improvements = ref [] in
+      let first_feasible_s = ref nan in
+      let record_if_incumbent iter e =
+        if feasible e && e.e_obj < !best_obj -. 1e-9 then begin
+          if !best_sol = None then first_feasible_s := now () -. t_start;
+          best_sol :=
+            Some { sol_choice = copy_choice !choice; sol_device = Array.copy device };
+          best_obj := e.e_obj;
+          improvements := (iter, e.e_obj) :: !improvements
+        end
+      in
+      let e0 = eval () in
+      record_if_incumbent 0 e0;
+      best_any := penal e0;
+      (* Apply/revert machinery.  [apply] returns an undo closure; moves
+         that turn out impossible return None. *)
+      let slot_of r c =
+        let ch = !choice.(r) in
+        let n = Array.length ch in
+        let rec go k = if k = n then -1 else if ch.(k) = c then k else go (k + 1) in
+        go 0
+      in
+      let apply = function
+        | Reroute (r, slot, c) ->
+            let ch = !choice.(r) in
+            if slot_of r c >= 0 then None
+            else begin
+              let old = ch.(slot) in
+              ch.(slot) <- c;
+              Array.sort compare ch;
+              Some (fun () ->
+                  let k = slot_of r c in
+                  ch.(k) <- old;
+                  Array.sort compare ch)
+            end
+        | Swap (i, d) ->
+            if device.(i) = d then None
+            else begin
+              let old = device.(i) in
+              device.(i) <- d;
+              Some (fun () -> device.(i) <- old)
+            end
+        | Close i ->
+            if p.fixed.(i) then None
+            else begin
+              (* Replace every selected candidate whose path visits i
+                 with the first pool candidate avoiding i that is not
+                 already selected. *)
+              let undos = ref [] in
+              let ok = ref true in
+              for r = 0 to nroutes - 1 do
+                if !ok then
+                  Array.iteri
+                    (fun slot c ->
+                      if
+                        !ok
+                        && Array.exists (fun v -> v = i) tb.t_nodes_of.(r).(c)
+                      then begin
+                        let npool = Array.length p.pools.(r) in
+                        let pick = ref (-1) in
+                        let k = ref 0 in
+                        while !pick < 0 && !k < npool do
+                          if
+                            slot_of r !k < 0
+                            && not
+                                 (Array.exists (fun v -> v = i)
+                                    tb.t_nodes_of.(r).(!k))
+                          then pick := !k;
+                          incr k
+                        done;
+                        match !pick with
+                        | -1 -> ok := false
+                        | c' ->
+                            let ch = !choice.(r) in
+                            let old = ch.(slot) in
+                            ch.(slot) <- c';
+                            Array.sort compare ch;
+                            undos :=
+                              (fun () ->
+                                let k = slot_of r c' in
+                                ch.(k) <- old;
+                                Array.sort compare ch)
+                              :: !undos
+                      end)
+                    !choice.(r)
+              done;
+              let undo_all () = List.iter (fun f -> f ()) !undos in
+              if !ok && !undos <> [] then Some undo_all
+              else begin
+                undo_all ();
+                None
+              end
+            end
+      in
+      let is_tabu iter = function
+        | Reroute (r, _, c) -> tabu_add.(r).(c) > iter
+        | Swap (i, d) -> tabu_dev.(i).(d) > iter
+        | Close _ -> false
+      in
+      let mark_tabu iter = function
+        | Reroute (r, slot_c, _) ->
+            (* slot_c here carries the REMOVED candidate (see caller). *)
+            tabu_add.(r).(slot_c) <- iter + tenure
+        | Swap (i, old_d) -> tabu_dev.(i).(old_d) <- iter + tenure
+        | Close _ -> ()
+      in
+      (* Sampled neighbourhood. *)
+      let sample_moves () =
+        let moves = ref [] in
+        let n_reroute = 48 and n_swap = 24 and n_close = 4 in
+        for _ = 1 to n_reroute do
+          let r = rand nroutes in
+          let npool = Array.length p.pools.(r) in
+          let slot = rand (Array.length !choice.(r)) in
+          let c = rand npool in
+          moves := Reroute (r, slot, c) :: !moves
+        done;
+        (* Swaps biased to nodes in use. *)
+        let used = ref [] in
+        for i = 0 to p.nnodes - 1 do
+          if p.fixed.(i) || scratch.tx_uses.(i) + scratch.rx_uses.(i) > 0 then
+            used := i :: !used
+        done;
+        let used = Array.of_list !used in
+        if Array.length used > 0 then
+          for _ = 1 to n_swap do
+            let i = used.(rand (Array.length used)) in
+            if p.ndevices.(i) > 1 then moves := Swap (i, rand p.ndevices.(i)) :: !moves
+          done;
+        for _ = 1 to n_close do
+          if Array.length used > 0 then begin
+            let i = used.(rand (Array.length used)) in
+            if not p.fixed.(i) then moves := Close i :: !moves
+          end
+        done;
+        !moves
+      in
+      let stall = ref 0 in
+      let stall_limit = 600 in
+      let diversify iter =
+        (* Frequency-based kick: in every route, swap the most-selected
+           candidate for the least-selected compatible one, and clear
+           the tabu state. *)
+        for r = 0 to nroutes - 1 do
+          let ch = !choice.(r) in
+          if Array.length ch > 0 then begin
+            let hot = ref 0 in
+            Array.iteri
+              (fun k c -> if freq.(r).(c) > freq.(r).(ch.(!hot)) then hot := k)
+              ch;
+            let npool = Array.length p.pools.(r) in
+            let cold = ref (-1) in
+            for c = 0 to npool - 1 do
+              if
+                slot_of r c < 0
+                && (!cold < 0 || freq.(r).(c) < freq.(r).(!cold))
+              then cold := c
+            done;
+            if !cold >= 0 then begin
+              ch.(!hot) <- !cold;
+              Array.sort compare ch
+            end
+          end
+        done;
+        Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) tabu_add;
+        Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) tabu_dev;
+        ignore iter;
+        stall := 0
+      in
+      let iter = ref 0 in
+      let out_of_time () =
+        params.tp_time_s > 0. && now () -. t_start > params.tp_time_s
+      in
+      while !iter < params.tp_iters && not (out_of_time ()) do
+        incr iter;
+        let iter = !iter in
+        (* Evaluate the sampled neighbourhood. *)
+        let cur = eval () in
+        ignore cur;
+        let best_move = ref None in
+        let consider m =
+          match apply m with
+          | None -> ()
+          | Some undo ->
+              let e = eval () in
+              let pen = penal e in
+              let admissible =
+                (not (is_tabu iter m))
+                || pen < !best_any -. 1e-12
+                || (feasible e && e.e_obj < !best_obj -. 1e-9)
+              in
+              (match !best_move with
+              | _ when not admissible -> ()
+              | None -> best_move := Some (m, pen, e)
+              | Some (_, bp, _) -> if pen < bp then best_move := Some (m, pen, e));
+              undo ()
+        in
+        List.iter consider (sample_moves ());
+        (match !best_move with
+        | None -> incr stall
+        | Some (m, pen, e) ->
+            (* Record what the move removes before re-applying it, for
+               the tabu attribute. *)
+            let removed_attr =
+              match m with
+              | Reroute (r, slot, _) -> Some (Reroute (r, !choice.(r).(slot), 0))
+              | Swap (i, _) -> Some (Swap (i, device.(i)))
+              | Close _ -> None
+            in
+            (match apply m with Some _ -> () | None -> ());
+            (match removed_attr with
+            | Some (Reroute (r, removed, _)) -> mark_tabu iter (Reroute (r, removed, 0))
+            | Some (Swap (i, old_d)) -> mark_tabu iter (Swap (i, old_d))
+            | _ -> ());
+            (* Frequency update on the selected candidates. *)
+            for r = 0 to nroutes - 1 do
+              Array.iter (fun c -> freq.(r).(c) <- freq.(r).(c) + 1) !choice.(r)
+            done;
+            if pen < !best_any -. 1e-12 then begin
+              best_any := pen;
+              stall := 0
+            end
+            else incr stall;
+            record_if_incumbent iter e;
+            (* Adaptive penalties: tighten on violation, relax when
+               clean, within fixed bounds. *)
+            let adapt lam viol =
+              if viol then lam := Float.min 1e6 (!lam *. 1.05)
+              else lam := Float.max 1. (!lam *. 0.99)
+            in
+            adapt lam_lq (e.e_lq > 1e-9);
+            adapt lam_life (e.e_life > 1e-9);
+            adapt lam_disj (e.e_disj > 0));
+        if !stall > stall_limit then diversify iter
+      done;
+      Ok
+        {
+          r_best = !best_sol;
+          r_obj = !best_obj;
+          r_iters = !iter;
+          r_improvements = List.rev !improvements;
+          r_first_feasible_s = !first_feasible_s;
+          r_time_s = now () -. t_start;
+        }

@@ -1,0 +1,89 @@
+(** Tabu search over topology and sizing moves.
+
+    The search operates on a flattened, dependency-free view of the
+    wireless design problem: per-route candidate path pools (node index
+    sequences), per-node device menus with exact linear objective and
+    charge coefficients, and a pairwise path-loss table.  The caller
+    (see [Archex.Matheuristic]) builds a {!problem} from the MILP
+    encoding and maps the winning {!solution} back onto model
+    variables.
+
+    Moves: reroute one path slot to another pool candidate, swap a
+    node's device, or close a node (compound reroute of every path
+    through it).  Tabu attributes forbid re-adding a just-removed
+    candidate or re-selecting a just-dropped device for [tenure]
+    iterations, with the standard aspiration override when a move beats
+    the best solution seen.  Constraint violations (link-quality floor,
+    lifetime budget, replica disjointness) are explorable under
+    adaptive penalty weights, but only penalty-free solutions become
+    incumbents, so the incumbent objective trace is strictly
+    decreasing.  A frequency-based kick diversifies after a stall.  All
+    randomness comes from a seeded LCG: same problem, params and clock
+    behaviour gives the same result. *)
+
+type problem = {
+  nnodes : int;  (** candidate nodes, indexed [0 .. nnodes-1] *)
+  fixed : bool array;
+      (** nodes that are always deployed (pay node cost even unused) *)
+  pools : int array array array;
+      (** [pools.(r).(c)] is candidate path [c] of route [r] as a node
+          index sequence including source and destination *)
+  replicas : int array;  (** disjoint replicas required per route *)
+  ndevices : int array;  (** device menu size per node (>= 1) *)
+  pl : float array array;  (** [pl.(u).(v)]: path loss u->v in dB *)
+  txg : float array array;
+      (** [txg.(i).(d)]: tx power + antenna gain of device [d] at [i] *)
+  rxg : float array array;  (** receive antenna gain per node, device *)
+  rss_floor_dbm : float;  (** minimum RSS on every selected edge *)
+  node_cost : float array array;  (** objective cost of opening node with device *)
+  tx_cost : float array array;  (** objective cost per transmitting path use *)
+  rx_cost : float array array;  (** objective cost per receiving path use *)
+  charge_base : float array array;  (** idle charge per period (mAs) *)
+  charge_tx : float array array;  (** charge per transmitting path use *)
+  charge_rx : float array array;  (** charge per receiving path use *)
+  charge_budget : float;
+      (** lifetime budget in the same unit; [infinity] disables the
+          constraint *)
+  budget_exempt : bool array;  (** nodes exempt from the budget (sinks) *)
+}
+
+type solution = {
+  sol_choice : int array array;
+      (** selected pool candidates per route, strictly ascending (the
+          MILP's slot symmetry rows require sorted slot selections) *)
+  sol_device : int array;  (** device ordinal per node *)
+}
+
+type params = {
+  tp_iters : int;  (** iteration cap *)
+  tp_time_s : float;  (** wall-clock cap; [0.] disables *)
+  tp_tenure : int;  (** tabu tenure; [0] = auto from problem size *)
+  tp_seed : int;  (** PRNG seed *)
+}
+
+val default_params : params
+(** 20k iterations, 5 s, auto tenure, seed 0. *)
+
+type result = {
+  r_best : solution option;  (** best feasible solution found, if any *)
+  r_obj : float;  (** its objective; [infinity] when [r_best = None] *)
+  r_iters : int;  (** iterations performed *)
+  r_improvements : (int * float) list;
+      (** (iteration, objective) per strict incumbent improvement,
+          chronological, objectives strictly decreasing *)
+  r_first_feasible_s : float;
+      (** clock time of the first incumbent; [nan] if none *)
+  r_time_s : float;  (** total wall clock spent *)
+}
+
+val solve : ?now:(unit -> float) -> params -> problem -> (result, string) Stdlib.result
+(** Run the search.  [now] supplies wall-clock time (defaults to a
+    constant, i.e. no time limit in effect); pass [Milp.Clock.now] for
+    real timing.  [Error _] reports a malformed problem (pool smaller
+    than the replica count, arity mismatches). *)
+
+val check : problem -> solution -> (float, string) Stdlib.result
+(** Validate a solution against the problem: arities, ascending slot
+    choices, device ranges, disjointness, link-quality floor and
+    lifetime budget.  Returns the exact objective on success.  Used by
+    tests and by the warm-vector builder as a safety gate. *)

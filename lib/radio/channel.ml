@@ -1,9 +1,16 @@
+type zone_shape =
+  | Zone_rect of { x0 : float; y0 : float; x1 : float; y1 : float }
+  | Zone_disc of { center : Geometry.Point.t; radius : float }
+
+type zone = { z_shape : zone_shape; z_extra_db : float; z_label : string }
+
 type t =
   | Free_space of { freq_mhz : float }
   | Log_distance of { pl0 : float; exponent : float; d0 : float }
   | Multi_wall of { pl0 : float; exponent : float; d0 : float; plan : Geometry.Floorplan.t }
   | Itu_indoor of { freq_mhz : float; power_coeff : float; floors : int }
   | Shadowed of { base : t; sigma_db : float; seed : int }
+  | Zoned of { base : t; zones : zone list }
 
 let log_distance_2_4ghz = Log_distance { pl0 = 40.0; exponent = 3.0; d0 = 1.0 }
 
@@ -14,9 +21,69 @@ let itu_indoor_2_4ghz = Itu_indoor { freq_mhz = 2400.; power_coeff = 30.; floors
 let with_shadowing ?(sigma_db = 4.) ?(seed = 1) base =
   (match base with
   | Shadowed _ -> invalid_arg "Channel.with_shadowing: model already shadowed"
-  | Free_space _ | Log_distance _ | Multi_wall _ | Itu_indoor _ -> ());
+  | Free_space _ | Log_distance _ | Multi_wall _ | Itu_indoor _ | Zoned _ -> ());
   if sigma_db < 0. then invalid_arg "Channel.with_shadowing: negative sigma";
   Shadowed { base; sigma_db; seed }
+
+let zone_rect ?(label = "") ~x0 ~y0 ~x1 ~y1 extra_db =
+  if not (Float.is_finite extra_db) || extra_db < 0. then
+    invalid_arg "Channel.zone_rect: attenuation must be finite and >= 0";
+  let x0, x1 = (Float.min x0 x1, Float.max x0 x1) in
+  let y0, y1 = (Float.min y0 y1, Float.max y0 y1) in
+  { z_shape = Zone_rect { x0; y0; x1; y1 }; z_extra_db = extra_db; z_label = label }
+
+let zone_disc ?(label = "") ~center ~radius extra_db =
+  if not (Float.is_finite extra_db) || extra_db < 0. then
+    invalid_arg "Channel.zone_disc: attenuation must be finite and >= 0";
+  if not (Float.is_finite radius) || radius <= 0. then
+    invalid_arg "Channel.zone_disc: radius must be finite and > 0";
+  { z_shape = Zone_disc { center; radius }; z_extra_db = extra_db; z_label = label }
+
+(* Zones only ever add loss (their constructors reject negative
+   attenuation), so a zoned model is a strict tightening of its base —
+   the property the tactical variants rely on.  Wrapping an
+   already-zoned model stacks the zone lists, so jamming and corridor
+   variants compose. *)
+let with_zones zones base =
+  match base with
+  | Zoned { base; zones = old } -> Zoned { base; zones = old @ zones }
+  | Free_space _ | Log_distance _ | Multi_wall _ | Itu_indoor _ | Shadowed _ ->
+      Zoned { base; zones }
+
+(* Does the open segment p-q touch the zone?  Rectangles: either
+   endpoint inside, or the segment crosses one of the four edges.
+   Discs: point-to-segment distance from the centre within the
+   radius. *)
+let zone_crossed zone (p : Geometry.Point.t) (q : Geometry.Point.t) =
+  match zone.z_shape with
+  | Zone_rect { x0; y0; x1; y1 } ->
+      let inside (r : Geometry.Point.t) =
+        r.Geometry.Point.x >= x0 && r.Geometry.Point.x <= x1
+        && r.Geometry.Point.y >= y0 && r.Geometry.Point.y <= y1
+      in
+      inside p || inside q
+      ||
+      let seg = Geometry.Segment.make p q in
+      let edge ax ay bx by =
+        Geometry.Segment.intersects seg (Geometry.Segment.of_coords ax ay bx by)
+      in
+      edge x0 y0 x1 y0 || edge x1 y0 x1 y1 || edge x1 y1 x0 y1 || edge x0 y1 x0 y0
+  | Zone_disc { center; radius } ->
+      let d = Geometry.Point.sub q p in
+      let len2 = Geometry.Point.dot d d in
+      let t =
+        if len2 <= 0. then 0.
+        else
+          Float.max 0.
+            (Float.min 1. (Geometry.Point.dot (Geometry.Point.sub center p) d /. len2))
+      in
+      let closest = Geometry.Point.add p (Geometry.Point.scale t d) in
+      Geometry.Point.dist closest center <= radius
+
+let zone_attenuation zones p q =
+  List.fold_left
+    (fun acc z -> if zone_crossed z p q then acc +. z.z_extra_db else acc)
+    0. zones
 
 (* Deterministic per-link standard-normal draw: hash the endpoints and
    the seed, then Box-Muller on two uniforms derived from the hash. *)
@@ -51,6 +118,12 @@ let rec path_loss model p q =
          total gain relative to the base model minus 2 sigma. *)
       let shift = sigma_db *. link_normal seed p q in
       Float.max 1. (path_loss base p q +. shift)
+  | Zoned { base; zones } -> path_loss base p q +. zone_attenuation zones p q
+
+let rec floorplan = function
+  | Multi_wall { plan; _ } -> Some plan
+  | Shadowed { base; _ } | Zoned { base; _ } -> floorplan base
+  | Free_space _ | Log_distance _ | Itu_indoor _ -> None
 
 let path_loss_matrix model locs =
   let n = Array.length locs in
@@ -62,7 +135,7 @@ let max_range model ~tx_dbm ~gains_dbi ~sensitivity_dbm =
   let rec pl_at model d =
     match model with
     | Multi_wall { pl0; exponent; d0; plan = _ } -> log_dist ~pl0 ~exponent ~d0 d
-    | Shadowed { base; _ } -> pl_at base d
+    | Shadowed { base; _ } | Zoned { base; _ } -> pl_at base d
     | (Free_space _ | Log_distance _ | Itu_indoor _) as other ->
         path_loss other Geometry.Point.zero (Geometry.Point.make d 0.)
   in

@@ -6,6 +6,18 @@
     its experiments.  Path-loss values are positive dB figures to be
     subtracted from the link budget. *)
 
+type zone_shape =
+  | Zone_rect of { x0 : float; y0 : float; x1 : float; y1 : float }
+      (** Axis-aligned rectangle (normalised so [x0 <= x1], [y0 <= y1]). *)
+  | Zone_disc of { center : Geometry.Point.t; radius : float }
+
+(** A tactical interference/attenuation zone: any link whose straight
+    segment touches the shape pays [z_extra_db] additional loss.  The
+    sensitivity-analysis literature's jammed areas, degraded urban
+    blocks and heavy-wall sectors are all zones with different sizes and
+    attenuations. *)
+type zone = { z_shape : zone_shape; z_extra_db : float; z_label : string }
+
 type t =
   | Free_space of { freq_mhz : float }
       (** Friis: [PL = 20 log10 d + 20 log10 f + 32.44] (d km, f MHz). *)
@@ -28,6 +40,10 @@ type t =
           Gaussian offset with standard deviation [sigma_db], hashed
           from the endpoint pair so the same link always sees the same
           shadowing (required for reproducible optimization). *)
+  | Zoned of { base : t; zones : zone list }
+      (** [base] plus per-zone extra loss on every link crossing a zone.
+          Zone attenuations are non-negative by construction, so a zoned
+          model strictly tightens its base. *)
 
 val log_distance_2_4ghz : t
 (** Indoor defaults at 2.4 GHz: [pl0 = 40] dB at [d0 = 1] m,
@@ -43,6 +59,25 @@ val with_shadowing : ?sigma_db:float -> ?seed:int -> t -> t
 (** Wrap a model with log-normal shadowing (default sigma 4 dB).
     @raise Invalid_argument when wrapping an already-shadowed model or
     with a negative sigma. *)
+
+val zone_rect :
+  ?label:string -> x0:float -> y0:float -> x1:float -> y1:float -> float -> zone
+
+val zone_disc : ?label:string -> center:Geometry.Point.t -> radius:float -> float -> zone
+(** Build zones.  The trailing float is the extra attenuation in dB.
+    @raise Invalid_argument on negative/non-finite attenuation or a
+    non-positive disc radius. *)
+
+val with_zones : zone list -> t -> t
+(** Wrap a model with tactical zones; wrapping an already-zoned model
+    appends to its zone list (so variants compose). *)
+
+val zone_crossed : zone -> Geometry.Point.t -> Geometry.Point.t -> bool
+(** Whether the straight segment between two points touches the zone. *)
+
+val floorplan : t -> Geometry.Floorplan.t option
+(** The floor plan of the underlying multi-wall model, if any (recurses
+    through [Shadowed]/[Zoned] wrappers) — for rendering. *)
 
 val path_loss : t -> Geometry.Point.t -> Geometry.Point.t -> float
 (** Path loss in dB between two locations.  Distances below 0.1 m are

@@ -1,0 +1,461 @@
+module Point = Geometry.Point
+module Segment = Geometry.Segment
+module Floorplan = Geometry.Floorplan
+module Building = Geometry.Building
+module Channel = Radio.Channel
+module Comp = Components.Component
+module Library = Components.Library
+module Template = Archex.Template
+module Requirements = Archex.Requirements
+module Instance = Archex.Instance
+module Objective = Archex.Objective
+module Scenario = Archex.Scenario
+
+type variant = Baseline | Jammed | Attenuated | Corridor
+
+let variant_name = function
+  | Baseline -> "baseline"
+  | Jammed -> "jammed"
+  | Attenuated -> "attenuated"
+  | Corridor -> "corridor"
+
+type kind =
+  | Multi_floor of {
+      floors : int;
+      floor_w : float;
+      floor_h : float;
+      rooms_x : int;
+      rooms_y : int;
+    }
+  | City_block of {
+      blocks_x : int;
+      blocks_y : int;
+      block_w : float;
+      block_h : float;
+      street_w : float;
+    }
+
+type objective_kind = O_dollar | O_energy | O_mixed
+
+type spec = {
+  g_kind : kind;
+  g_sensors : int;
+  g_relay_grid : int * int;
+  g_replicas : int;
+  g_min_snr_db : float;
+  g_min_lifetime_years : float;
+  g_variant : variant;
+  g_objective : objective_kind;
+  g_seed : int;
+}
+
+let multi_floor ?(floors = 2) ?(floor_w = 40.) ?(floor_h = 25.) ?(rooms_x = 3)
+    ?(rooms_y = 2) ?(sensors = 8) ?(relay_grid = (10, 5)) ?(replicas = 2)
+    ?(min_snr_db = 20.) ?(min_lifetime_years = 0.) ?(variant = Baseline)
+    ?(objective = O_dollar) ?(seed = 42) () =
+  {
+    g_kind = Multi_floor { floors; floor_w; floor_h; rooms_x; rooms_y };
+    g_sensors = sensors;
+    g_relay_grid = relay_grid;
+    g_replicas = replicas;
+    g_min_snr_db = min_snr_db;
+    g_min_lifetime_years = min_lifetime_years;
+    g_variant = variant;
+    g_objective = objective;
+    g_seed = seed;
+  }
+
+let city_block ?(blocks_x = 2) ?(blocks_y = 2) ?(block_w = 22.) ?(block_h = 16.)
+    ?(street_w = 8.) ?(sensors = 8) ?(relay_grid = (10, 8)) ?(replicas = 2)
+    ?(min_snr_db = 20.) ?(min_lifetime_years = 0.) ?(variant = Baseline)
+    ?(objective = O_dollar) ?(seed = 42) () =
+  {
+    g_kind = City_block { blocks_x; blocks_y; block_w; block_h; street_w };
+    g_sensors = sensors;
+    g_relay_grid = relay_grid;
+    g_replicas = replicas;
+    g_min_snr_db = min_snr_db;
+    g_min_lifetime_years = min_lifetime_years;
+    g_variant = variant;
+    g_objective = objective;
+    g_seed = seed;
+  }
+
+let objective_of = function
+  | O_dollar -> Objective.dollar
+  | O_energy -> Objective.energy
+  | O_mixed -> Objective.combine Objective.dollar Objective.energy
+
+(* Same deterministic LCG as {!Archex.Scenarios} so the two generator
+   families jitter identically for identical seeds. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+(* ---- heterogeneous tactical component library ---------------------- *)
+
+(* The builtin Zigbee-class parts plus ruggedized tactical radios:
+   higher TX power and antenna gain at much higher cost and current
+   draw, so sizing genuinely trades hardware against topology. *)
+let tactical_library =
+  let mk = Comp.make in
+  Library.of_list_exn
+    (Library.components Library.builtin
+    @ [
+        mk ~name:"sensor-tac" ~role:Comp.Sensor ~cost:12. ~tx_power_dbm:8.
+          ~antenna_gain_dbi:2. ~radio_tx_ma:70. ();
+        mk ~name:"relay-tac" ~role:Comp.Relay ~cost:55. ~tx_power_dbm:10.
+          ~antenna_gain_dbi:5. ~radio_tx_ma:95. ~sensitivity_dbm:(-101.) ();
+        mk ~name:"relay-tac-lp" ~role:Comp.Relay ~cost:70. ~tx_power_dbm:7.
+          ~antenna_gain_dbi:3. ~radio_tx_ma:60. ~radio_rx_ma:20. ~active_ma:4.
+          ~sleep_ua:0.5 ~sensitivity_dbm:(-98.) ();
+        mk ~name:"sink-tac" ~role:Comp.Sink ~cost:150. ~tx_power_dbm:10.
+          ~antenna_gain_dbi:6. ~radio_tx_ma:95. ~sensitivity_dbm:(-101.) ();
+      ])
+
+(* ---- floor plans ---------------------------------------------------- *)
+
+let translate_walls dx dy walls =
+  List.map
+    (fun { Floorplan.seg; material } ->
+      {
+        Floorplan.seg =
+          Segment.make
+            (Point.make (seg.Segment.a.Point.x +. dx) (seg.Segment.a.Point.y +. dy))
+            (Point.make (seg.Segment.b.Point.x +. dx) (seg.Segment.b.Point.y +. dy));
+        material;
+      })
+    walls
+
+let slab = Floorplan.Custom ("slab", 25.)
+
+(* [floors] office floors laid side by side in one plan, separated by
+   heavy "slab" dividers, each carrying a stairwell gap that alternates
+   between the south and north end — the only cheap crossing between
+   adjacent floors, as in a staircase-linked building laid flat. *)
+let multi_floor_plan ~seed ~floors ~floor_w ~floor_h ~rooms_x ~rooms_y =
+  if floors < 1 then invalid_arg "Scenario_gen: need at least one floor";
+  let stair_w = 2.4 in
+  let walls = ref [] in
+  for f = 0 to floors - 1 do
+    let office =
+      Building.office ~seed:(seed + f) ~width:floor_w ~height:floor_h ~rooms_x
+        ~rooms_y ()
+    in
+    let dx = float_of_int f *. floor_w in
+    (* Drop the office's own concrete shell: the combined plan gets one
+       shell and explicit dividers, so interior partitions are the only
+       walls we keep.  The shell of [Building.office] is exactly the
+       four boundary segments, recognisable by their endpoints. *)
+    let interior =
+      List.filter
+        (fun { Floorplan.seg; _ } ->
+          let on_boundary v lo hi = v = lo || v = hi in
+          let a = seg.Segment.a and b = seg.Segment.b in
+          not
+            ((on_boundary a.Point.x 0. floor_w && a.Point.x = b.Point.x)
+            || (on_boundary a.Point.y 0. floor_h && a.Point.y = b.Point.y)))
+        (Floorplan.walls office)
+    in
+    walls := translate_walls dx 0. interior @ !walls;
+    if f > 0 then begin
+      (* Divider at x = dx with a stairwell gap alternating ends. *)
+      let gap_lo, gap_hi =
+        if f mod 2 = 1 then (1., 1. +. stair_w)
+        else (floor_h -. 1. -. stair_w, floor_h -. 1.)
+      in
+      walls :=
+        { Floorplan.seg = Segment.of_coords dx 0. dx gap_lo; material = slab }
+        :: { Floorplan.seg = Segment.of_coords dx gap_hi dx floor_h; material = slab }
+        :: !walls
+    end
+  done;
+  let w = float_of_int floors *. floor_w in
+  let shell =
+    [
+      { Floorplan.seg = Segment.of_coords 0. 0. w 0.; material = Floorplan.Concrete };
+      { Floorplan.seg = Segment.of_coords w 0. w floor_h; material = Floorplan.Concrete };
+      { Floorplan.seg = Segment.of_coords w floor_h 0. floor_h; material = Floorplan.Concrete };
+      { Floorplan.seg = Segment.of_coords 0. floor_h 0. 0.; material = Floorplan.Concrete };
+    ]
+  in
+  Floorplan.create ~width:w ~height:floor_h (shell @ !walls)
+
+(* A [blocks_x] x [blocks_y] grid of brick buildings separated by open
+   streets.  Each building has a door gap in the middle of its south
+   wall and one interior cross partition. *)
+let city_block_plan ~seed ~blocks_x ~blocks_y ~block_w ~block_h ~street_w =
+  if blocks_x < 1 || blocks_y < 1 then
+    invalid_arg "Scenario_gen: need at least one block";
+  let rand = lcg seed in
+  let door_w = 1.6 in
+  let w = (float_of_int blocks_x *. (block_w +. street_w)) +. street_w in
+  let h = (float_of_int blocks_y *. (block_h +. street_w)) +. street_w in
+  let walls = ref [] in
+  for bx = 0 to blocks_x - 1 do
+    for by = 0 to blocks_y - 1 do
+      let x0 = street_w +. (float_of_int bx *. (block_w +. street_w)) in
+      let y0 = street_w +. (float_of_int by *. (block_h +. street_w)) in
+      let x1 = x0 +. block_w and y1 = y0 +. block_h in
+      (* Door position along the south wall, jittered per block. *)
+      let dcenter = x0 +. (block_w *. (0.3 +. (0.4 *. rand ()))) in
+      let dlo = dcenter -. (door_w /. 2.) and dhi = dcenter +. (door_w /. 2.) in
+      let brick seg = { Floorplan.seg; material = Floorplan.Brick } in
+      walls :=
+        brick (Segment.of_coords x0 y0 dlo y0)
+        :: brick (Segment.of_coords dhi y0 x1 y0)
+        :: brick (Segment.of_coords x1 y0 x1 y1)
+        :: brick (Segment.of_coords x1 y1 x0 y1)
+        :: brick (Segment.of_coords x0 y1 x0 y0)
+        :: {
+             Floorplan.seg =
+               Segment.of_coords x0 (y0 +. (block_h /. 2.)) (x0 +. (block_w /. 2.))
+                 (y0 +. (block_h /. 2.));
+             material = Floorplan.Drywall;
+           }
+        :: !walls
+    done
+  done;
+  Floorplan.create ~width:w ~height:h (List.rev !walls)
+
+let plan_of_spec spec =
+  match spec.g_kind with
+  | Multi_floor { floors; floor_w; floor_h; rooms_x; rooms_y } ->
+      multi_floor_plan ~seed:spec.g_seed ~floors ~floor_w ~floor_h ~rooms_x ~rooms_y
+  | City_block { blocks_x; blocks_y; block_w; block_h; street_w } ->
+      city_block_plan ~seed:spec.g_seed ~blocks_x ~blocks_y ~block_w ~block_h
+        ~street_w
+
+(* ---- node placement ------------------------------------------------- *)
+
+(* Sensor anchors: room centres (multi-floor) or building centres (city
+   blocks), round-robin, jittered deterministically. *)
+let sensor_anchor_points spec =
+  match spec.g_kind with
+  | Multi_floor { floors; floor_w; floor_h; rooms_x; rooms_y } ->
+      List.concat
+        (List.init floors (fun f ->
+             let dx = float_of_int f *. floor_w in
+             List.map
+               (fun (p : Point.t) -> Point.make (p.Point.x +. dx) p.Point.y)
+               (Building.room_centers ~width:floor_w ~height:floor_h ~rooms_x
+                  ~rooms_y)))
+  | City_block { blocks_x; blocks_y; block_w; block_h; street_w } ->
+      List.concat
+        (List.init blocks_x (fun bx ->
+             List.init blocks_y (fun by ->
+                 Point.make
+                   (street_w
+                   +. (float_of_int bx *. (block_w +. street_w))
+                   +. (block_w /. 2.))
+                   (street_w
+                   +. (float_of_int by *. (block_h +. street_w))
+                   +. (block_h /. 2.)))))
+
+let sink_point spec plan =
+  match spec.g_kind with
+  | Multi_floor { floor_w; floor_h; _ } ->
+      (* West end of the ground floor: every other floor must route
+         through the stairwells. *)
+      Point.make (floor_w /. 2.) (floor_h /. 2.)
+  | City_block _ ->
+      Point.make (Floorplan.width plan /. 2.) (Floorplan.height plan /. 2.)
+
+(* ---- tactical variants ---------------------------------------------- *)
+
+let variant_zones spec plan ~sink ~sensors =
+  let w = Floorplan.width plan and h = Floorplan.height plan in
+  let rand = lcg (spec.g_seed lxor 0x5bd1e) in
+  match spec.g_variant with
+  | Baseline -> []
+  | Jammed ->
+      (* A handful of jammer discs scattered over the area; links
+         through them pay 30 dB.  Discs are rejection-sampled away from
+         the fixed nodes so a jammed scenario stresses routing without
+         stranding a sensor outright. *)
+      let njam = 2 + (spec.g_sensors / 6) in
+      let radius = 0.14 *. Float.min w h in
+      let clear_of (c : Point.t) =
+        Point.dist c sink > radius +. 3.
+        && List.for_all (fun s -> Point.dist c s > radius +. 3.) sensors
+      in
+      List.init njam (fun i ->
+          let center = ref (Point.make (w /. 2.) (h /. 2.)) in
+          (try
+             for _ = 1 to 30 do
+               let c =
+                 Point.make
+                   (w *. (0.12 +. (0.76 *. rand ())))
+                   (h *. (0.12 +. (0.76 *. rand ())))
+               in
+               center := c;
+               if clear_of c then raise Exit
+             done
+           with Exit -> ());
+          Channel.zone_disc
+            ~label:(Printf.sprintf "jam%d" i)
+            ~center:!center ~radius 30.)
+  | Attenuated ->
+      (* Hardened sectors: alternating vertical strips whose walls are
+         effectively much heavier (per-zone wall attenuation). *)
+      let strips = 4 in
+      List.filter_map
+        (fun i ->
+          if i mod 2 = 1 then
+            Some
+              (Channel.zone_rect
+                 ~label:(Printf.sprintf "hard%d" i)
+                 ~x0:(w *. float_of_int i /. float_of_int strips)
+                 ~y0:0.
+                 ~x1:(w *. float_of_int (i + 1) /. float_of_int strips)
+                 ~y1:h 12.)
+          else None)
+        (List.init strips Fun.id)
+  | Corridor ->
+      (* A mandatory relay corridor: a horizontal band through the sink
+         stays clean, everything north/south of it pays 22 dB — routes
+         must collapse onto the corridor. *)
+      let band = 0.18 *. h in
+      let lo = clamp 0. h (sink.Point.y -. band) in
+      let hi = clamp 0. h (sink.Point.y +. band) in
+      [
+        Channel.zone_rect ~label:"south-denied" ~x0:0. ~y0:0. ~x1:w ~y1:lo 22.;
+        Channel.zone_rect ~label:"north-denied" ~x0:0. ~y0:hi ~x1:w ~y1:h 22.;
+      ]
+
+(* ---- instance build ------------------------------------------------- *)
+
+let build spec =
+  if spec.g_sensors < 1 then Error "Scenario_gen.build: need at least one sensor"
+  else begin
+    let plan = plan_of_spec spec in
+    let w = Floorplan.width plan and h = Floorplan.height plan in
+    let rand = lcg spec.g_seed in
+    let anchors = Array.of_list (sensor_anchor_points spec) in
+    if Array.length anchors = 0 then Error "Scenario_gen.build: no sensor anchors"
+    else begin
+      let sensors =
+        List.init spec.g_sensors (fun i ->
+            let c = anchors.(i mod Array.length anchors) in
+            let jx = (rand () -. 0.5) *. 3. and jy = (rand () -. 0.5) *. 3. in
+            Point.make
+              (clamp 1. (w -. 1.) (c.Point.x +. jx))
+              (clamp 1. (h -. 1.) (c.Point.y +. jy)))
+      in
+      let sink = sink_point spec plan in
+      let gx, gy = spec.g_relay_grid in
+      let relays = Building.candidate_grid plan ~nx:gx ~ny:gy in
+      let nodes =
+        List.mapi
+          (fun i loc ->
+            { Template.name = Printf.sprintf "s%d" i; role = Comp.Sensor; loc; fixed = true })
+          sensors
+        @ [ { Template.name = "sink"; role = Comp.Sink; loc = sink; fixed = true } ]
+        @ List.mapi
+            (fun i loc ->
+              { Template.name = Printf.sprintf "r%d" i; role = Comp.Relay; loc; fixed = false })
+            relays
+      in
+      let template = Template.create nodes in
+      let sink_idx = Option.get (Template.index_of template "sink") in
+      let requirements =
+        List.fold_left
+          (fun acc i ->
+            let src = Option.get (Template.index_of template (Printf.sprintf "s%d" i)) in
+            Requirements.add_route ~replicas:spec.g_replicas acc ~src ~dst:sink_idx)
+          Requirements.empty
+          (List.init spec.g_sensors Fun.id)
+      in
+      let requirements =
+        {
+          requirements with
+          Requirements.min_snr_db = Some spec.g_min_snr_db;
+          min_lifetime_years =
+            (if spec.g_min_lifetime_years > 0. then Some spec.g_min_lifetime_years
+             else None);
+        }
+      in
+      let channel =
+        let base = Channel.multi_wall_2_4ghz plan in
+        match variant_zones spec plan ~sink ~sensors with
+        | [] -> base
+        | zones -> Channel.with_zones zones base
+      in
+      Instance.create ~template ~library:tactical_library ~channel ~requirements
+        ~objective:(objective_of spec.g_objective) ()
+    end
+  end
+
+(* ---- registry defaults ---------------------------------------------- *)
+
+let defaults : (string * string * Scenario.scale * spec) list =
+  let mf = multi_floor and cb = city_block in
+  [
+    ( "tac-smoke",
+      "2-floor tactical smoke instance (CI scale)",
+      Scenario.Test,
+      mf ~floors:2 ~floor_w:28. ~floor_h:18. ~rooms_x:2 ~rooms_y:2 ~sensors:3
+        ~relay_grid:(6, 3) ~replicas:1 () );
+    ( "tac-mf2",
+      "2-floor building, 8 routed sensors, 50 relay candidates",
+      Scenario.Tactical,
+      mf () );
+    ( "tac-mf2-jam",
+      "tac-mf2 under jammer discs",
+      Scenario.Tactical,
+      mf ~variant:Jammed () );
+    ( "tac-mf2-atten",
+      "tac-mf2 with hardened (extra-attenuation) sectors",
+      Scenario.Tactical,
+      mf ~variant:Attenuated () );
+    ( "tac-mf2-corridor",
+      "tac-mf2 with a mandatory relay corridor",
+      Scenario.Tactical,
+      mf ~variant:Corridor () );
+    ( "tac-mf3",
+      "3-floor building, 12 routed sensors, 84 relay candidates",
+      Scenario.Tactical,
+      mf ~floors:3 ~sensors:12 ~relay_grid:(14, 6) () );
+    ( "tac-city2",
+      "2x2 city blocks, 8 routed sensors, 80 relay candidates",
+      Scenario.Tactical,
+      cb () );
+    ( "tac-city2-jam",
+      "tac-city2 under jammer discs",
+      Scenario.Tactical,
+      cb ~variant:Jammed () );
+    ( "tac-city2-corridor",
+      "tac-city2 with a mandatory relay corridor",
+      Scenario.Tactical,
+      cb ~variant:Corridor () );
+    ( "tac-city3",
+      "3x3 city blocks, 12 routed sensors, 120 relay candidates",
+      Scenario.Tactical,
+      cb ~blocks_x:3 ~blocks_y:3 ~sensors:12 ~relay_grid:(12, 10) () );
+    ( "tac-city4",
+      "4x4 city blocks, 16 routed sensors, 192 relay candidates",
+      Scenario.Tactical,
+      cb ~blocks_x:4 ~blocks_y:4 ~sensors:16 ~relay_grid:(16, 12) () );
+  ]
+
+let registered = ref false
+
+let register_defaults () =
+  if not !registered then begin
+    registered := true;
+    List.iter
+      (fun (name, descr, scale, spec) ->
+        Scenario.register
+          {
+            Scenario.sc_name = name;
+            sc_descr = descr;
+            sc_scale = scale;
+            sc_expected = None;
+            sc_build = (fun () -> build spec);
+          })
+      defaults
+  end

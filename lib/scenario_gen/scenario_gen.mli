@@ -1,0 +1,116 @@
+(** Seeded tactical-scale scenario generator.
+
+    Generates deterministic multi-floor and city-block deployment
+    templates with up to hundreds of candidate nodes, a heterogeneous
+    (builtin + ruggedized tactical) component library, and the
+    constraint variants of the tactical wireless design literature:
+    jammed areas, hardened (extra-attenuation) sectors, and mandatory
+    relay corridors — all expressed as {!Radio.Channel.Zoned} zones, so
+    each variant strictly tightens the baseline feasible set.
+
+    Everything is driven by the seed in the {!spec}: building the same
+    spec twice yields identical instances (all jitter comes from the
+    same LCG used by {!Archex.Scenarios}). *)
+
+type variant =
+  | Baseline
+  | Jammed  (** Jammer discs: +30 dB on links through them. *)
+  | Attenuated  (** Hardened sectors: +12 dB vertical strips. *)
+  | Corridor
+      (** Mandatory relay corridor: +22 dB everywhere except a band
+          through the sink. *)
+
+val variant_name : variant -> string
+
+type kind =
+  | Multi_floor of {
+      floors : int;
+      floor_w : float;
+      floor_h : float;
+      rooms_x : int;
+      rooms_y : int;
+    }
+      (** [floors] office floors laid side by side, separated by heavy
+          slab dividers pierced only by alternating stairwell gaps; the
+          sink sits on the ground floor so upper floors route through
+          the stairwells. *)
+  | City_block of {
+      blocks_x : int;
+      blocks_y : int;
+      block_w : float;
+      block_h : float;
+      street_w : float;
+    }
+      (** A street grid of brick buildings; the sink sits at the central
+          intersection. *)
+
+type objective_kind = O_dollar | O_energy | O_mixed
+
+type spec = {
+  g_kind : kind;
+  g_sensors : int;  (** Routed end devices (fixed, one per room/block, round-robin). *)
+  g_relay_grid : int * int;  (** Relay candidate grid over the whole area. *)
+  g_replicas : int;  (** Disjoint routes per sensor. *)
+  g_min_snr_db : float;
+  g_min_lifetime_years : float;  (** [<= 0.] disables the lifetime bound. *)
+  g_variant : variant;
+  g_objective : objective_kind;
+  g_seed : int;
+}
+
+val multi_floor :
+  ?floors:int ->
+  ?floor_w:float ->
+  ?floor_h:float ->
+  ?rooms_x:int ->
+  ?rooms_y:int ->
+  ?sensors:int ->
+  ?relay_grid:int * int ->
+  ?replicas:int ->
+  ?min_snr_db:float ->
+  ?min_lifetime_years:float ->
+  ?variant:variant ->
+  ?objective:objective_kind ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Defaults: 2 floors of 40 m x 25 m with 3x2 rooms, 8 sensors, a
+    10x5 relay grid, 2 disjoint routes, SNR >= 20 dB, no lifetime
+    bound, baseline variant, dollar objective, seed 42. *)
+
+val city_block :
+  ?blocks_x:int ->
+  ?blocks_y:int ->
+  ?block_w:float ->
+  ?block_h:float ->
+  ?street_w:float ->
+  ?sensors:int ->
+  ?relay_grid:int * int ->
+  ?replicas:int ->
+  ?min_snr_db:float ->
+  ?min_lifetime_years:float ->
+  ?variant:variant ->
+  ?objective:objective_kind ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Defaults: 2x2 blocks of 22 m x 16 m on 8 m streets, 8 sensors, a
+    10x8 relay grid, 2 disjoint routes, SNR >= 20 dB, baseline,
+    dollar, seed 42. *)
+
+val tactical_library : Components.Library.t
+(** {!Components.Library.builtin} plus ruggedized tactical parts
+    ([sensor-tac], [relay-tac], [relay-tac-lp], [sink-tac]): more TX
+    power and antenna gain at higher cost and current draw. *)
+
+val build : spec -> (Archex.Instance.t, string) result
+(** Deterministically build the instance: same spec, same instance. *)
+
+val defaults : (string * string * Archex.Scenario.scale * spec) list
+(** The named entries {!register_defaults} installs:
+    [(name, description, scale, spec)]. *)
+
+val register_defaults : unit -> unit
+(** Register {!defaults} into the {!Archex.Scenario} registry
+    (idempotent).  Call before serving or listing scenarios — e.g. at
+    daemon/CLI/bench start-up. *)

@@ -148,28 +148,38 @@ let unregister_inflight t a =
   t.d_inflight <- List.filter (fun x -> x != a) t.d_inflight;
   Mutex.unlock t.d_lock
 
-(* Per-request solver config from the daemon defaults + overrides.
-   [budget] already folds the request deadline into the time limit. *)
+(* Per-request solver config: daemon defaults + the request's sparse
+   override, merged in one [Solver_config.override] step.  [budget]
+   already folds the request deadline into the time limit. *)
 let request_config t ~kstar:k ~budget ~(o : Protocol.overrides) ~interrupt
     ~on_incumbent =
   let open Solver_config in
-  let cfg = default |> with_approx ~kstar:k () |> with_time_limit budget in
-  let cfg =
-    match o.Protocol.o_rel_gap with Some g -> with_rel_gap g cfg | None -> cfg
-  in
-  let cfg =
-    match o.Protocol.o_seed with Some s -> with_seed s cfg | None -> cfg
-  in
+  let base = default |> with_approx ~kstar:k () in
   let nworkers =
     match o.Protocol.o_workers with
     | None | Some 0 -> t.d_workers (* daemon's resolved pool size *)
     | Some n -> n
   in
-  let cfg =
-    cfg |> with_workers nworkers |> with_interrupt interrupt
-    |> with_scheduler t.d_sched
-  in
-  match on_incumbent with Some f -> with_on_incumbent f cfg | None -> cfg
+  override
+    {
+      no_override with
+      o_time_limit = Some budget;
+      o_rel_gap = o.Protocol.o_rel_gap;
+      o_seed = o.Protocol.o_seed;
+      o_workers = Some nworkers;
+      o_presolve =
+        Option.map
+          (fun on -> { base.presolve with ps_enabled = on })
+          o.Protocol.o_presolve;
+      o_heuristic =
+        Option.map
+          (function "tabu" -> tabu () | _ -> no_heuristic)
+          o.Protocol.o_heuristic;
+      o_scheduler = Some t.d_sched;
+      o_interrupt = Some interrupt;
+      o_on_incumbent = on_incumbent;
+    }
+    base
 
 let result_frame ~(mip : Milp.Branch_bound.result) ~solve_time ~workers
     ~cache_hit ~interrupted =
@@ -307,12 +317,18 @@ let handle_solve t conn payload (o : Protocol.overrides) =
               in
               let resp =
                 try
+                  match o.Protocol.o_heuristic with
+                  | Some h when h <> "tabu" && h <> "off" ->
+                      Protocol.Error_msg
+                        (Printf.sprintf
+                           "unknown heuristic %S (expected \"tabu\" or \"off\")" h)
+                  | _ -> (
                   match payload with
                   | Protocol.Lp text ->
                       solve_lp t ~text ~o ~budget ~interrupt ~on_incumbent
                   | Protocol.Workload { name; kstar } ->
                       solve_workload t ~name ~kstar ~o ~budget ~interrupt
-                        ~on_incumbent
+                        ~on_incumbent)
                 with
                 | Failure e -> Protocol.Error_msg e
                 | Invalid_argument e -> Protocol.Error_msg ("bad request: " ^ e)

@@ -25,6 +25,8 @@ type overrides = {
   o_deadline_s : float option;
       (* wall-clock budget for this request, seconds from receipt,
          enforced on the daemon's monotonic clock *)
+  o_presolve : bool option;  (* toggle the presolve reduction stack *)
+  o_heuristic : string option;  (* primal matheuristic: "tabu" | "off" *)
   o_stream : bool;  (* send Update frames on incumbent improvements *)
 }
 
@@ -35,6 +37,8 @@ let no_overrides =
     o_workers = None;
     o_seed = None;
     o_deadline_s = None;
+    o_presolve = None;
+    o_heuristic = None;
     o_stream = false;
   }
 
@@ -100,6 +104,8 @@ let put_overrides b o =
   put_opt (fun b v -> put_u32 b v) b o.o_workers;
   put_opt (fun b v -> put_u32 b v) b o.o_seed;
   put_opt put_f64 b o.o_deadline_s;
+  put_opt put_bool b o.o_presolve;
+  put_opt put_string b o.o_heuristic;
   put_bool b o.o_stream
 
 let encode_request r =
@@ -206,8 +212,19 @@ let get_overrides c =
   let o_workers = get_opt get_u32 c in
   let o_seed = get_opt get_u32 c in
   let o_deadline_s = get_opt get_f64 c in
+  let o_presolve = get_opt get_bool c in
+  let o_heuristic = get_opt get_string c in
   let o_stream = get_bool c in
-  { o_time_limit; o_rel_gap; o_workers; o_seed; o_deadline_s; o_stream }
+  {
+    o_time_limit;
+    o_rel_gap;
+    o_workers;
+    o_seed;
+    o_deadline_s;
+    o_presolve;
+    o_heuristic;
+    o_stream;
+  }
 
 let finish c v =
   if c.pos <> Bytes.length c.buf then Error "trailing bytes in frame" else Ok v

@@ -41,6 +41,14 @@ type overrides = {
   o_deadline_s : float option;
       (** Wall-clock budget for this request, in seconds from receipt,
           enforced on the daemon's monotonic {!Milp.Clock}. *)
+  o_presolve : bool option;
+      (** Toggle the presolve reduction stack for this request; [None]
+          keeps the daemon default.  A warm cached session whose
+          presolve setting changes resets its recorded reduction trace
+          ({!Archex.Session.reconfigure}). *)
+  o_heuristic : string option;
+      (** Primal matheuristic mode for this request: ["tabu"] or
+          ["off"]; [None] keeps the daemon default. *)
   o_stream : bool;  (** Request [Update] frames. *)
 }
 

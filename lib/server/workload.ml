@@ -1,68 +1,23 @@
-(* Named scenario catalogue for daemon requests.
+(* Thin view over the process-global scenario registry
+   ({!Archex.Scenario}).
 
-   A [Workload] request addresses an entry here by name; the name is
+   A [Workload] request addresses a registry entry by name; the name is
    also the session-cache key, so repeated requests for the same entry
    reuse the warm session (path pools, cut carry, presolve trace,
-   incumbent).  The catalogue mirrors the paper's Table 1 — the
-   data-collection WSN under the three objectives ($, Energy,
-   $+Energy) — at two sizes: the bench scale
-   ({!Archex.Scenarios.default_data_collection}) and the test scale
-   used by the parallel regression suite (3 sensors on a 3x2 relay
-   grid), which keeps CI smoke and throughput benches fast. *)
+   incumbent).  The registry always holds the Table-1 catalogue
+   (registered by [Archex.Scenario] at module init); daemons that want
+   the generated tactical families call
+   [Scenario_gen.register_defaults] before [Daemon.run] — no server
+   code changes needed to serve new scenarios. *)
 
-module Scenarios = Archex.Scenarios
-module Objective = Archex.Objective
+type t = Archex.Scenario.t
 
-type t = {
-  w_name : string;
-  w_descr : string;
-  w_params : Scenarios.data_collection_params;
-  w_objective : Objective.t;
-}
+let names = Archex.Scenario.names
 
-let small_params =
-  {
-    Scenarios.default_data_collection with
-    Scenarios.dc_sensors = 3;
-    dc_relay_grid = (3, 2);
-    dc_width = 45.;
-    dc_height = 28.;
-  }
+let find = Archex.Scenario.find
 
-let objectives =
-  [
-    ("dollar", "$ cost", Objective.dollar);
-    ("energy", "energy", Objective.energy);
-    ("mixed", "$ + energy", Objective.combine Objective.dollar Objective.energy);
-  ]
+let instance = Archex.Scenario.instance
 
-let catalogue =
-  List.concat_map
-    (fun (suffix, label, objective) ->
-      [
-        {
-          w_name = "dc-" ^ suffix;
-          w_descr = "Table 1 data collection, objective " ^ label;
-          w_params = Scenarios.default_data_collection;
-          w_objective = objective;
-        };
-        {
-          w_name = "dc-small-" ^ suffix;
-          w_descr = "Table 1 data collection (test scale), objective " ^ label;
-          w_params = small_params;
-          w_objective = objective;
-        };
-      ])
-    objectives
+let name = Archex.Scenario.name
 
-let names () = List.map (fun w -> w.w_name) catalogue
-
-let find name =
-  match List.find_opt (fun w -> w.w_name = name) catalogue with
-  | Some w -> Ok w
-  | None ->
-      Error
-        (Printf.sprintf "unknown workload %S (known: %s)" name
-           (String.concat ", " (names ())))
-
-let instance w = Scenarios.data_collection ~objective:w.w_objective w.w_params
+let descr = Archex.Scenario.descr

@@ -33,6 +33,8 @@ let gen_overrides =
     let* o_workers = option (int_range 0 64) in
     let* o_seed = option (int_range 0 1_000_000) in
     let* o_deadline_s = option gen_wire_float in
+    let* o_presolve = option bool in
+    let* o_heuristic = option (oneofl [ "tabu"; "off"; "" ]) in
     let* o_stream = bool in
     return
       {
@@ -41,6 +43,8 @@ let gen_overrides =
         o_workers;
         o_seed;
         o_deadline_s;
+        o_presolve;
+        o_heuristic;
         o_stream;
       })
 
