@@ -46,7 +46,8 @@ let num_setting settings key default =
   | Some _ | None -> default
 
 let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sweep
-    no_incremental cold_start dense_basis pricing no_harris no_cuts no_rc_fixing
+    no_incremental cold_start dense_basis pricing no_harris no_cuts cuts
+    cut_max_applied cut_max_age cut_pool_size cut_min_violation no_rc_fixing
     no_presolve presolve_passes heuristic tabu_iters tabu_time tabu_tenure
     tabu_seed workers seed out_svg out_lp verbose =
   if verbose then begin
@@ -128,6 +129,13 @@ let main spec_file library_file plan_file kstar loc_kstar full time_limit gap sw
           |> with_pricing pricing
           |> with_harris (not no_harris)
           |> with_cuts (not no_cuts)
+          |> (match cuts with None -> Fun.id | Some fs -> with_cut_families fs)
+          |> (match cut_max_applied with None -> Fun.id | Some n -> with_max_applied_cuts n)
+          |> (match cut_max_age with None -> Fun.id | Some n -> with_cut_max_age n)
+          |> (match cut_pool_size with None -> Fun.id | Some n -> with_cut_pool_size n)
+          |> (match cut_min_violation with
+             | None -> Fun.id
+             | Some v -> with_cut_min_violation v)
           |> with_rc_fixing (not no_rc_fixing)
           |> with_presolve (not no_presolve)
           |> (match presolve_passes with
@@ -349,8 +357,56 @@ let no_cuts =
   Arg.(
     value & flag
     & info [ "no-cuts" ]
-        ~doc:"Disable cutting-plane separation (Gomory + cover cuts) in branch and bound \
-              (ablation).")
+        ~doc:"Deprecated alias for $(b,--cuts) $(b,none): disable cutting-plane separation \
+              in branch and bound (ablation).")
+
+let families_conv =
+  Arg.conv
+    ( (fun s ->
+        match Milp.Cuts.families_of_string s with
+        | Ok fs -> Ok fs
+        | Error e -> Error (`Msg e)),
+      fun ppf fs -> Format.pp_print_string ppf (Milp.Cuts.families_to_string fs) )
+
+let cuts =
+  Arg.(
+    value
+    & opt (some families_conv) None
+    & info [ "cuts" ] ~docv:"FAMILIES"
+        ~doc:
+          "Comma-separated cut families to separate (default: all).  Known families: \
+           $(b,gmi), $(b,cover), $(b,clique), $(b,negcycle), $(b,power); $(b,all) and \
+           $(b,none) are recognized.")
+
+let cut_max_applied =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cut-max-applied" ] ~docv:"N"
+        ~doc:"Cut rows appended to the LP per separation round (default 32).")
+
+let cut_max_age =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cut-max-age" ] ~docv:"N"
+        ~doc:"Rounds a pooled cut may stay inactive before eviction (default 5).")
+
+let cut_pool_size =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cut-pool-size" ] ~docv:"N"
+        ~doc:"Managed cut pool capacity (default 500).")
+
+let cut_min_violation =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "cut-min-violation" ] ~docv:"EPS"
+        ~doc:
+          "Minimum violation for a pooled cut to be applied at the root (default 1e-5); \
+           node separation uses 10x this.")
 
 let no_rc_fixing =
   Arg.(
@@ -459,7 +515,8 @@ let solve_term =
   Term.(
     const main $ spec_file $ library_file $ plan_file $ kstar $ loc_kstar $ full $ time_limit
     $ gap $ sweep $ no_incremental $ cold_start $ dense_basis $ pricing $ no_harris
-    $ no_cuts $ no_rc_fixing $ no_presolve $ presolve_passes $ heuristic $ tabu_iters
+    $ no_cuts $ cuts $ cut_max_applied $ cut_max_age $ cut_pool_size $ cut_min_violation
+    $ no_rc_fixing $ no_presolve $ presolve_passes $ heuristic $ tabu_iters
     $ tabu_time $ tabu_tenure $ tabu_seed $ workers $ seed $ out_svg
     $ out_lp $ verbose)
 
@@ -482,7 +539,8 @@ let pp_result (r : Server.Protocol.result_info) =
     (if r.Server.Protocol.r_cache_hit then "warm session" else "cold session")
 
 let submit_main socket workload lp_file sub_kstar time_limit gap sub_workers
-    sub_seed deadline sub_no_presolve sub_heuristic stream =
+    sub_seed deadline sub_no_presolve sub_heuristic sub_cuts sub_cut_max_applied
+    sub_cut_max_age sub_cut_pool_size sub_cut_min_violation stream =
   let payload =
     match (lp_file, workload) with
     | Some f, _ -> (
@@ -509,6 +567,11 @@ let submit_main socket workload lp_file sub_kstar time_limit gap sub_workers
           o_deadline_s = deadline;
           o_presolve = (if sub_no_presolve then Some false else None);
           o_heuristic = sub_heuristic;
+          o_cuts = Option.map Milp.Cuts.families_to_string sub_cuts;
+          o_cut_max_applied = sub_cut_max_applied;
+          o_cut_max_age = sub_cut_max_age;
+          o_cut_pool_size = sub_cut_pool_size;
+          o_cut_min_violation = sub_cut_min_violation;
           o_stream = stream;
         }
       in
@@ -606,6 +669,44 @@ let submit_cmd =
             "Primal matheuristic for this request: $(b,tabu) or $(b,off) \
              (default: the daemon's setting).")
   in
+  let sub_cuts =
+    Arg.(
+      value
+      & opt (some families_conv) None
+      & info [ "cuts" ] ~docv:"FAMILIES"
+          ~doc:
+            "Cut families to separate for this request ($(b,gmi), $(b,cover), \
+             $(b,clique), $(b,negcycle), $(b,power), $(b,all), $(b,none); \
+             default: the daemon's setting).")
+  in
+  let sub_cut_max_applied =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cut-max-applied" ] ~docv:"N"
+          ~doc:"Cut rows appended per separation round for this request.")
+  in
+  let sub_cut_max_age =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cut-max-age" ] ~docv:"N"
+          ~doc:"Pool eviction age for this request, in rounds.")
+  in
+  let sub_cut_pool_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cut-pool-size" ] ~docv:"N"
+          ~doc:"Managed cut pool capacity for this request.")
+  in
+  let sub_cut_min_violation =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cut-min-violation" ] ~docv:"EPS"
+          ~doc:"Root cut application threshold for this request.")
+  in
   let stream =
     Arg.(
       value & flag
@@ -617,7 +718,8 @@ let submit_cmd =
     Term.(
       const submit_main $ socket_arg $ workload $ lp_file $ sub_kstar $ time_limit
       $ gap $ sub_workers $ sub_seed $ deadline $ sub_no_presolve $ sub_heuristic
-      $ stream)
+      $ sub_cuts $ sub_cut_max_applied $ sub_cut_max_age $ sub_cut_pool_size
+      $ sub_cut_min_violation $ stream)
 
 let ping_main socket =
   match Server.Client.connect socket with

@@ -186,20 +186,36 @@ let needs_energy ctx =
   ctx.inst.Instance.requirements.Requirements.min_lifetime_years <> None
   || List.exists (fun (_, c) -> c = Objective.Energy) ctx.inst.Instance.objective
 
+(* Traffic-proportional charge coefficient of one device in one
+   direction: radio + awake-slot active draw minus the sleep current the
+   awake time displaces, per TX/RX event.  Shared between the objective
+   assembly below and the structural energy cuts ({!Struct_cuts}), so
+   the separator can never drift from the installed objective. *)
+let traffic_coef ctx (c : Components.Component.t) ~is_tx =
+  let proto = ctx.inst.Instance.protocol in
+  let slot = proto.Energy.Tdma.slot_s in
+  let bits = Energy.Tdma.packet_bits proto in
+  let etx = Instance.etx_bound ctx.inst in
+  let airtime = float_of_int bits /. (c.Components.Component.bit_rate_kbps *. 1000.) in
+  let sleep_ma = c.Components.Component.sleep_ua /. 1000. in
+  let radio =
+    if is_tx then c.Components.Component.radio_tx_ma
+    else c.Components.Component.radio_rx_ma
+  in
+  (etx *. airtime *. radio)
+  +. (slot *. c.Components.Component.active_ma)
+  -. (slot *. sleep_ma)
+
 (* Per-node charge expression (mA·s per reporting period), linear in the
    auxiliary products w = m * usage (see DESIGN.md, linearization). *)
 let node_charge_expr ctx i =
   let inst = ctx.inst in
   let proto = inst.Instance.protocol in
   let period = proto.Energy.Tdma.report_period_s in
-  let slot = proto.Energy.Tdma.slot_s in
-  let bits = Energy.Tdma.packet_bits proto in
-  let etx = Instance.etx_bound inst in
   let route_cap = float_of_int (Int.max 1 (Requirements.total_path_count inst.Instance.requirements)) in
   let charge = ref Lin.zero in
   List.iteri
     (fun ord ((c : Components.Component.t), mv) ->
-      let airtime = float_of_int bits /. (c.Components.Component.bit_rate_kbps *. 1000.) in
       let sleep_ma = c.Components.Component.sleep_ua /. 1000. in
       (* Auxiliary products w = m_li * usage_i, one per direction.  The
          two usage-coupled rows are remembered so they can be rewritten
@@ -238,18 +254,8 @@ let node_charge_expr ctx i =
       in
       let wtx = product true "tx" ctx.tx_usage.(i) in
       let wrx = product false "rx" ctx.rx_usage.(i) in
-      (* Radio + awake-slot active draw minus the sleep current the
-         awake time displaces, per TX/RX event… *)
-      let tx_coef =
-        (etx *. airtime *. c.Components.Component.radio_tx_ma)
-        +. (slot *. c.Components.Component.active_ma)
-        -. (slot *. sleep_ma)
-      in
-      let rx_coef =
-        (etx *. airtime *. c.Components.Component.radio_rx_ma)
-        +. (slot *. c.Components.Component.active_ma)
-        -. (slot *. sleep_ma)
-      in
+      let tx_coef = traffic_coef ctx c ~is_tx:true in
+      let rx_coef = traffic_coef ctx c ~is_tx:false in
       (* …plus baseline sleep for the whole period when this device is
          the one deployed. *)
       charge :=
@@ -258,6 +264,44 @@ let node_charge_expr ctx i =
              [ Lin.scale tx_coef wtx; Lin.scale rx_coef wrx; Lin.term (sleep_ma *. period) mv ]))
     ctx.sizing.(i);
   !charge
+
+(* One (node, direction) group of the energy linearization, for the
+   structural energy cuts: the usage expression and the full device
+   menu's (traffic coefficient, sizing var, product var) triples.  Only
+   groups whose every device has a live product variable are returned —
+   the aggregated strengthening sums over the whole menu, so a partial
+   menu (usage still constant at encode time) has no valid cut. *)
+let energy_traffic_groups ctx =
+  if not (needs_energy ctx) then []
+  else begin
+    let out = ref [] in
+    Array.iteri
+      (fun i _ ->
+        List.iter
+          (fun is_tx ->
+            let usage = if is_tx then ctx.tx_usage.(i) else ctx.rx_usage.(i) in
+            let menu = ctx.sizing.(i) in
+            if (not (Lin.is_constant usage)) && menu <> [] then begin
+              let all_live =
+                List.for_all
+                  (fun ord -> Hashtbl.mem ctx.products (i, ord, is_tx))
+                  (List.init (List.length menu) Fun.id)
+              in
+              if all_live then begin
+                let devs =
+                  List.mapi
+                    (fun ord (c, mv) ->
+                      let p = Hashtbl.find ctx.products (i, ord, is_tx) in
+                      (traffic_coef ctx c ~is_tx, mv, p.p_var))
+                    menu
+                in
+                out := (usage, devs) :: !out
+              end
+            end)
+          [ true; false ])
+      ctx.tx_usage;
+    !out
+  end
 
 (* Charge budget per reporting period implied by the lifetime
    requirement, when there is one. *)

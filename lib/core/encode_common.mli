@@ -41,6 +41,17 @@ val product_var : t -> int -> int -> is_tx:bool -> int option
     matheuristic can read exact per-use objective coefficients and
     assemble warm vectors. *)
 
+val energy_traffic_groups :
+  t -> (Milp.Lin.t * (float * int * int) list) list
+(** One entry per (node, direction) of the energy linearization whose
+    usage is non-constant and whose full device menu has live product
+    variables: the usage expression and, per menu device, its
+    (traffic-proportional objective coefficient, sizing var, product
+    var).  The coefficients are computed by the same code that installs
+    the objective, so {!Struct_cuts}'s aggregated energy strengthening
+    can never drift from the model.  Empty before {!finalize} or when
+    the model has no energy side. *)
+
 val rss_expr : t -> int -> int -> Milp.Lin.t
 (** Linear RSS expression of link [i -> j] (equation (2a)):
     [-PL_ij + Σ_l m_li (tx_l + g_l) + Σ_l m_lj g_l]. *)
@@ -48,6 +59,12 @@ val rss_expr : t -> int -> int -> Milp.Lin.t
 val rss_floor_dbm : t -> float
 (** The RSS threshold every used link must meet:
     [noise + Instance.min_snr_db]. *)
+
+val eval_path_loss : t -> int -> Geometry.Point.t -> float
+(** [eval_path_loss ctx anchor pt]: channel path loss from template
+    node [anchor] to an arbitrary point — what the localization rows
+    (4a) use for anchor-to-test-point reach, and what the structural
+    cut separator ({!Struct_cuts}) re-evaluates. *)
 
 val add_edge_usage : t -> int -> int -> Milp.Lin.t -> unit
 (** [add_edge_usage ctx i j expr] declares that [expr] (a 0/1-or-more

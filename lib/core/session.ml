@@ -239,7 +239,9 @@ let solve t =
       in
       let t1 = Clock.now () in
       let mip =
-        BB.solve ~options ~seed_cuts:seeds ?warm_solution:warm ~presolve_state:t.s_ps
+        BB.solve ~options ~seed_cuts:seeds
+          ~separators:(Struct_cuts.separators enc.e_ctx)
+          ?warm_solution:warm ~presolve_state:t.s_ps
           ?touched_rows ~ws:t.s_ws
           ?interrupt:t.s_config.Solver_config.interrupt
           ?on_incumbent:t.s_config.Solver_config.on_incumbent

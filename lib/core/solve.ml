@@ -43,6 +43,7 @@ let run (config : Solver_config.t) inst =
       let model = Encode_common.model enc.Full_encoding.ctx in
       let mip =
         Milp.Branch_bound.solve ~options
+          ~separators:(Struct_cuts.separators enc.Full_encoding.ctx)
           ?interrupt:config.Solver_config.interrupt
           ?on_incumbent:config.Solver_config.on_incumbent
           ?scheduler:(Solver_config.scheduler config) model

@@ -5,6 +5,11 @@ type strategy = Full_enum | Approx of { kstar : int; loc_kstar : int }
 type kernel = {
   k_warm_start : bool;
   k_cuts : bool;
+  k_cut_families : Milp.Cuts.family list;
+  k_max_applied_cuts : int;
+  k_cut_max_age : int;
+  k_cut_pool_size : int;
+  k_cut_min_violation : float;
   k_rc_fixing : bool;
   k_dense_basis : bool;
   k_pricing : Milp.Simplex.pricing;
@@ -53,6 +58,11 @@ let kernel_of_options (o : BB.options) =
   {
     k_warm_start = o.BB.warm_start;
     k_cuts = o.BB.cuts;
+    k_cut_families = o.BB.cut_families;
+    k_max_applied_cuts = o.BB.max_applied_cuts;
+    k_cut_max_age = o.BB.cut_max_age;
+    k_cut_pool_size = o.BB.cut_pool_size;
+    k_cut_min_violation = o.BB.cut_min_violation;
     k_rc_fixing = o.BB.rc_fixing;
     k_dense_basis = o.BB.dense_basis;
     k_pricing = o.BB.pricing;
@@ -160,6 +170,31 @@ let with_warm_start b c = { c with kernel = { c.kernel with k_warm_start = b } }
 
 let with_cuts b c = { c with kernel = { c.kernel with k_cuts = b } }
 
+let with_cut_families fs c =
+  {
+    c with
+    kernel = { c.kernel with k_cuts = fs <> []; k_cut_families = fs };
+  }
+
+let with_max_applied_cuts n c =
+  if n < 1 then
+    invalid_arg "Solver_config.with_max_applied_cuts: need a cap >= 1";
+  { c with kernel = { c.kernel with k_max_applied_cuts = n } }
+
+let with_cut_max_age n c =
+  if n < 1 then invalid_arg "Solver_config.with_cut_max_age: need an age >= 1";
+  { c with kernel = { c.kernel with k_cut_max_age = n } }
+
+let with_cut_pool_size n c =
+  if n < 1 then
+    invalid_arg "Solver_config.with_cut_pool_size: need a pool size >= 1";
+  { c with kernel = { c.kernel with k_cut_pool_size = n } }
+
+let with_cut_min_violation v c =
+  if not (v > 0.) then
+    invalid_arg "Solver_config.with_cut_min_violation: need a threshold > 0";
+  { c with kernel = { c.kernel with k_cut_min_violation = v } }
+
 let with_rc_fixing b c = { c with kernel = { c.kernel with k_rc_fixing = b } }
 
 let with_dense_basis b c = { c with kernel = { c.kernel with k_dense_basis = b } }
@@ -253,6 +288,11 @@ let bb_options c =
     c.options with
     BB.warm_start = c.kernel.k_warm_start;
     cuts = c.kernel.k_cuts;
+    cut_families = c.kernel.k_cut_families;
+    max_applied_cuts = c.kernel.k_max_applied_cuts;
+    cut_max_age = c.kernel.k_cut_max_age;
+    cut_pool_size = c.kernel.k_cut_pool_size;
+    cut_min_violation = c.kernel.k_cut_min_violation;
     rc_fixing = c.kernel.k_rc_fixing;
     dense_basis = c.kernel.k_dense_basis;
     pricing = c.kernel.k_pricing;

@@ -41,7 +41,17 @@ type strategy =
     {!Milp.Branch_bound.default_options}. *)
 type kernel = {
   k_warm_start : bool;  (** Warm-started dual simplex re-solves. *)
-  k_cuts : bool;  (** Root GMI + cover cut loop. *)
+  k_cuts : bool;  (** Master switch for the separation loop. *)
+  k_cut_families : Milp.Cuts.family list;
+      (** Which separators run ([Milp.Cuts.all_families] by default):
+          GMI, cover, clique, negative-cycle and power/RSS cuts. *)
+  k_max_applied_cuts : int;  (** Rows appended per round (default 32). *)
+  k_cut_max_age : int;
+      (** Pool evictions: rounds a cut may stay inactive (default 5). *)
+  k_cut_pool_size : int;  (** Managed pool capacity (default 500). *)
+  k_cut_min_violation : float;
+      (** Minimum violation for a pooled cut to be applied at the root
+          (default 1e-5); node separation uses 10x this. *)
   k_rc_fixing : bool;  (** Reduced-cost variable fixing. *)
   k_dense_basis : bool;  (** Dense explicit-inverse kernel ablation. *)
   k_pricing : Milp.Simplex.pricing;  (** Entering-column rule. *)
@@ -182,6 +192,23 @@ val with_on_incumbent : (float -> float -> unit) -> t -> t
 val with_warm_start : bool -> t -> t
 
 val with_cuts : bool -> t -> t
+
+val with_cut_families : Milp.Cuts.family list -> t -> t
+(** Restrict separation to the given families.  Also flips the master
+    [k_cuts] switch: a non-empty list enables separation, [[]] disables
+    it (the [--cuts none] spelling). *)
+
+val with_max_applied_cuts : int -> t -> t
+(** @raise Invalid_argument on a cap < 1. *)
+
+val with_cut_max_age : int -> t -> t
+(** @raise Invalid_argument on an age < 1. *)
+
+val with_cut_pool_size : int -> t -> t
+(** @raise Invalid_argument on a size < 1. *)
+
+val with_cut_min_violation : float -> t -> t
+(** @raise Invalid_argument on a threshold <= 0. *)
 
 val with_rc_fixing : bool -> t -> t
 

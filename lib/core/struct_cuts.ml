@@ -1,0 +1,182 @@
+module Cuts = Milp.Cuts
+module Component = Components.Component
+
+(* Strictness margin on dBm comparisons: a device is "underpowered" for
+   a link only when it misses the threshold by more than this, so FP
+   noise in the path-loss table can never flip a cut's validity. *)
+let dbm_tol = 1e-6
+
+let min_violation = 1e-4
+
+let power_cuts ctx x =
+  let inst = Encode_common.instance ctx in
+  let nx = Array.length x in
+  let xv v = if v < nx then Float.max 0. (Float.min 1. x.(v)) else 0. in
+  let out = ref [] in
+  (* Candidate cut [lhs_vars <= rhs]: keep it when violated. *)
+  let emit vars rhs =
+    let lhs = List.fold_left (fun acc v -> acc +. xv v) 0. vars in
+    if lhs > rhs +. min_violation then begin
+      let row = Array.of_list (List.map (fun v -> (v, 1.0)) vars) in
+      match Cuts.make row rhs Cuts.Power with
+      | Some c -> out := (lhs -. rhs, c) :: !out
+      | None -> ()
+    end
+  in
+  (* General-coefficient variant: violation is measured geometrically
+     (L2-normalized) because these rows mix unit binaries with
+     route_cap-scaled product terms. *)
+  let value v = if v < nx then x.(v) else 0. in
+  let emit_general terms rhs =
+    let lhs = List.fold_left (fun acc (v, c) -> acc +. (c *. value v)) 0. terms in
+    let norm = sqrt (List.fold_left (fun acc (_, c) -> acc +. (c *. c)) 0. terms) in
+    if norm > 1e-12 && (lhs -. rhs) /. norm > min_violation then begin
+      match Cuts.make (Array.of_list terms) rhs Cuts.Power with
+      | Some c -> out := ((lhs -. rhs) /. norm, c) :: !out
+      | None -> ()
+    end
+  in
+  let tx_plus_gain (c : Component.t) =
+    c.Component.tx_power_dbm +. c.Component.antenna_gain_dbi
+  in
+  (* ---- link-quality strengthening, per created edge ---- *)
+  let floor = Encode_common.rss_floor_dbm ctx in
+  List.iter
+    (fun ((i, j), e) ->
+      let di = Encode_common.sizing_vars ctx i in
+      let dj = Encode_common.sizing_vars ctx j in
+      if di <> [] && dj <> [] then begin
+        let need = floor +. inst.Instance.pl.(i).(j) in
+        let gmax_j =
+          List.fold_left
+            (fun acc (c, _) -> Float.max acc c.Component.antenna_gain_dbi)
+            neg_infinity dj
+        in
+        let tmax_i =
+          List.fold_left (fun acc (c, _) -> Float.max acc (tx_plus_gain c)) neg_infinity di
+        in
+        (* Transmit side: devices at i that miss the threshold even
+           against the best receive gain can never carry the link. *)
+        let weak_i =
+          List.filter_map
+            (fun (c, v) ->
+              if tx_plus_gain c +. gmax_j < need -. dbm_tol then Some v else None)
+            di
+        in
+        if weak_i <> [] then emit (e :: weak_i) 1.;
+        (* Receive side, against the strongest transmitter. *)
+        let weak_j =
+          List.filter_map
+            (fun (c, v) ->
+              if tmax_i +. c.Component.antenna_gain_dbi < need -. dbm_tol then Some v
+              else None)
+            dj
+        in
+        if weak_j <> [] then emit (e :: weak_j) 1.;
+        (* Pairwise lifting: fixing the receiving device d' tightens the
+           incompatible transmit set.  e + m_d'j + sum_{Inc(d')} m_di <= 2
+           (with e = 1 and d' selected, every incompatible d is off; all
+           other corners are bounded by the sizing exactly-one rows). *)
+        List.iter
+          (fun ((c' : Component.t), v') ->
+            let inc =
+              List.filter_map
+                (fun (c, v) ->
+                  if tx_plus_gain c +. c'.Component.antenna_gain_dbi < need -. dbm_tol
+                  then Some v
+                  else None)
+                di
+            in
+            (* Only worth emitting when it forbids a pair the one-sided
+               cut does not already kill (Inc ⊆ D_i is dominated). *)
+            if List.exists (fun v -> not (List.mem v weak_i)) inc then
+              emit (e :: v' :: inc) 2.)
+          dj
+      end)
+    (Encode_common.edge_vars ctx);
+  (* ---- localization reach strengthening ---- *)
+  (match inst.Instance.requirements.Requirements.localization with
+  | None -> ()
+  | Some loc ->
+      List.iter
+        (fun ((i, j), r) ->
+          let di = Encode_common.sizing_vars ctx i in
+          if di <> [] && j < Array.length loc.Requirements.eval_points then begin
+            let pl =
+              Encode_common.eval_path_loss ctx i loc.Requirements.eval_points.(j)
+            in
+            let need = loc.Requirements.loc_min_rss_dbm +. pl in
+            let weak =
+              List.filter_map
+                (fun (c, v) ->
+                  if tx_plus_gain c < need -. dbm_tol then Some v else None)
+                di
+            in
+            if weak <> [] then emit (r :: weak) 1.
+          end)
+        (Encode_common.reach_vars ctx));
+  (* ---- aggregated energy-product strengthening ---- *)
+  (* The energy objective is linear in products w_d = m_d * usage; each
+     w_d's own lower-bound row [w_d >= U - R (1 - m_d)] collapses when
+     the device menu is fractionally split, so the LP routes traffic
+     while paying nothing for it.  Aggregating over the whole menu with
+     the cheapest traffic rate c_min stays valid and closes that hole:
+
+        sum_d c_d w_d  >=  c_min (U - R (1 - sum_d m_d))
+
+     With device d* selected (sum m = 1) the products collapse to
+     w_d* = U and the inequality reads c_d* U >= c_min U; with no
+     device, U <= R makes the right side nonpositive.  R is the usage
+     expression's upper bound under the original model bounds, so the
+     cut is globally valid and pool-eligible for the whole tree. *)
+  let model = Encode_common.model ctx in
+  List.iter
+    (fun (usage, devs) ->
+      let c_min =
+        List.fold_left (fun acc (c, _, _) -> Float.min acc c) infinity devs
+      in
+      if c_min > 0. then begin
+        let u0 = Milp.Lin.constant usage in
+        let r =
+          Milp.Lin.fold
+            (fun v a acc ->
+              let b =
+                if a > 0. then Milp.Model.var_ub model v
+                else Milp.Model.var_lb model v
+              in
+              acc +. (a *. b))
+            usage u0
+        in
+        if Float.is_finite r && r > u0 +. 1e-9 then begin
+          let tbl = Hashtbl.create 16 in
+          let add v c =
+            Hashtbl.replace tbl v
+              (c +. Option.value ~default:0. (Hashtbl.find_opt tbl v))
+          in
+          Milp.Lin.iter (fun v a -> add v (c_min *. a)) usage;
+          List.iter
+            (fun (c, mv, wv) ->
+              add mv (c_min *. r);
+              add wv (-.c))
+            devs;
+          let row =
+            Hashtbl.fold
+              (fun v c acc -> if Float.abs c > 1e-12 then (v, c) :: acc else acc)
+              tbl []
+          in
+          emit_general row (c_min *. (r -. u0))
+        end
+      end)
+    (Encode_common.energy_traffic_groups ctx);
+  !out
+  |> List.sort (fun (a, _) (b, _) -> compare (b : float) a)
+  |> List.filteri (fun i _ -> i < 16)
+  |> List.map snd
+
+let separators ctx =
+  if
+    Encode_common.edge_vars ctx = []
+    && Encode_common.reach_vars ctx = []
+    && Encode_common.energy_traffic_groups ctx = []
+  then []
+  else [ power_cuts ctx ]

@@ -1,0 +1,52 @@
+(** Problem-structure cut separation from the instance data.
+
+    The paper's link-quality rows (2b) and localization-quality rows
+    (4a) are big-M activations: with [e_ij = 0] (or [r_ij = 0]) the RSS
+    requirement is switched off by a constant large enough for the
+    worst sizing.  Their LP relaxations are notoriously weak — a
+    fractional [e] buys a proportional slice of M.  But the instance
+    data says exactly {e which} device choices can ever support an
+    active link, and that knowledge linearizes into big-M-free valid
+    inequalities in the style of Avella–Calamita–Palagi:
+
+    - {b Link/device incompatibility}: for link [i -> j] needing
+      [RSS >= floor], every device [d] at [i] whose
+      [tx_d + gain_d + max-gain at j] still misses the threshold can
+      never carry the link, so [e_ij + sum_{d in D_i} m_di <= 1]
+      (and symmetrically for the receive side).
+    - {b Pairwise lifting}: fixing the receiving device [d'] tightens
+      the transmit set to [Inc(d') = {d : tx_d + gain_d + gain_d' <
+      floor + PL}], giving [e_ij + m_d'j + sum_{Inc(d')} m_di <= 2].
+    - {b Localization reach}: a reach binary [r_ij] (anchor [i] covers
+      test point [j]) needs [tx_d + gain_d >= loc floor + PL(i, pt_j)];
+      underpowered devices give [r_ij + sum_D m_di <= 1].
+
+    A fourth family attacks the energy side.  The objective is linear
+    in products [w_d = m_d * usage], each bounded below only by
+    [w_d >= U - R (1 - m_d)] — a row that collapses whenever the LP
+    splits the device menu fractionally, letting it route traffic while
+    paying nothing for it.  Aggregating over the whole menu with the
+    cheapest traffic rate [c_min] restores the coupling:
+
+    {v sum_d c_d w_d  >=  c_min (U - R (1 - sum_d m_d)) v}
+
+    where [R] is the usage expression's upper bound under the original
+    model bounds and the [c_d] are read from the same code that installs
+    the objective ({!Encode_common.energy_traffic_groups}).
+
+    All four families are globally valid for every integer point of the
+    model (they only restate the big-M / product rows at integrality),
+    carry the {!Milp.Cuts.Power} origin, and are separated against the
+    fractional point by direct evaluation.  They enter
+    {!Milp.Branch_bound.solve} as {!Milp.Cuts.separator} closures via
+    [~separators]. *)
+
+val power_cuts : Encode_common.t -> float array -> Milp.Cuts.cut list
+(** Separate the violated power/RSS/energy strengthening cuts (all
+    families above) at the given full-space fractional point; at most
+    16, most violated first, each violated (geometrically, rows
+    L2-normalized) by more than 1e-4. *)
+
+val separators : Encode_common.t -> Milp.Cuts.separator list
+(** The separator closures to pass to {!Milp.Branch_bound.solve}.
+    Empty when the encoding has no edge or reach variables yet. *)

@@ -10,7 +10,12 @@ type options = {
   cutoff : float;
   warm_start : bool;
   cuts : bool;
+  cut_families : Cuts.family list;
   cut_rounds : int;
+  max_applied_cuts : int;
+  cut_max_age : int;
+  cut_pool_size : int;
+  cut_min_violation : float;
   rc_fixing : bool;
   dense_basis : bool;
   pricing : Simplex.pricing;
@@ -34,7 +39,12 @@ let default_options =
     cutoff = nan;
     warm_start = true;
     cuts = true;
+    cut_families = Cuts.all_families;
     cut_rounds = 20;
+    max_applied_cuts = 32;
+    cut_max_age = 5;
+    cut_pool_size = 500;
+    cut_min_violation = 1e-5;
     rc_fixing = true;
     dense_basis = false;
     pricing = Simplex.Devex;
@@ -251,8 +261,9 @@ type worker_stats = {
   mutable ws_rc : int;
 }
 
-let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolve_state
-    ?touched_rows ?ws ?interrupt ?on_incumbent ?scheduler model =
+let solve ?(options = default_options) ?(seed_cuts = []) ?(separators = [])
+    ?warm_solution ?presolve_state ?touched_rows ?ws ?interrupt ?on_incumbent
+    ?scheduler model =
   let t0 = Clock.now () in
   (* Cooperative cancellation: checked between nodes, exactly where the
      deadline is, so an interrupt behaves like a timeout — the search
@@ -281,7 +292,12 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
      working size.  [Gc.stat] walks the heap, so it is opt-in. *)
   let live_words = ref 0 in
   let measure_live () = if options.mem_stats then live_words := (Gc.stat ()).Gc.live_words in
-  let pool = Cuts.create_pool () in
+  let pool =
+    Cuts.create_pool ~max_age:options.cut_max_age ~max_size:options.cut_pool_size ()
+  in
+  (* Which separation families may run: the master [cuts] switch gates
+     them all, the family list is the per-family ablation axis. *)
+  let fam f = options.cuts && List.mem f options.cut_families in
   let rc_fixed = ref 0 in
   let cuts_seeded = ref 0 in
   let bound_pruned = ref 0 in
@@ -507,18 +523,19 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
       | _ -> ());
       (* Carried-in cuts arrive in original space: map them through the
          reduction (fixed columns fold into the rhs, cuts touching a
-         substituted column are dropped), then only cover cuts that
-         re-certify against the reduced base rows under the new root
-         bounds enter the pool; Gomory cuts and anything uncertifiable
-         are dropped. *)
+         substituted column are dropped), then only literal-form cuts
+         that re-certify against the reduced base rows under the new
+         root bounds enter the pool; Gomory cuts, cuts of a disabled
+         family, and anything uncertifiable are dropped. *)
       if options.cuts then
         List.iter
-          (fun c ->
-            match Cuts.restrict post c with
-            | Some c' ->
-                if Cuts.certify_cover p0 ~nrows:m0 ~integer ~lb:plb ~ub:pub c' then
-                  if Cuts.add pool c' ~x:[||] then incr cuts_seeded
-            | None -> ())
+          (fun (c : Cuts.cut) ->
+            if fam (Cuts.family_of_origin c.Cuts.c_origin) then
+              match Cuts.restrict post c with
+              | Some c' ->
+                  if Cuts.certify_cover p0 ~nrows:m0 ~integer ~lb:plb ~ub:pub c' then
+                    if Cuts.add pool c' ~x:[||] then incr cuts_seeded
+              | None -> ())
           seed_cuts;
       let best_open_bound () =
         match Pqueue.peek_key queue with Some k -> k | None -> infinity
@@ -558,13 +575,35 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
       (* Total cap on applied cuts: every applied cut permanently grows
          m, taxing each subsequent O(m^2) warm restore, so past a point
          more cuts cost more than the nodes they prune. *)
-      let max_applied_cuts = 32 in
-      (* Root cut loop: separate (GMI from the tableau + covers from the
-         base rows), pool, apply the most violated, re-solve by riding
-         the warm dual simplex on the grown basis; repeat until nothing
+      let max_applied_cuts = options.max_applied_cuts in
+      (* The conflict table over the reduced base rows under root
+         bounds, shared by the clique and odd-cycle separators.  Built
+         once, on first demand (both families read the same 0-1
+         structure, which never changes during the tree). *)
+      let conflict_tbl =
+        lazy (Conflicts.build p0 ~nrows:m0 ~integer ~lb:plb ~ub:pub)
+      in
+      (* Problem-structure separators (power/RSS strengthening and the
+         like) speak original variable ids: hand them the postsolved
+         point, then map their cuts back onto the reduced columns.
+         Cuts touching an eliminated column are dropped — sound, they
+         are merely missed. *)
+      let separate_external x =
+        if separators = [] then []
+        else begin
+          let xfull = Postsolve.restore post x in
+          List.concat_map (fun sep -> sep xfull) separators
+          |> List.filter_map (Cuts.restrict post)
+        end
+      in
+      (* Root cut loop: separate (GMI from the tableau, covers / cliques
+         / odd cycles / structural cuts from the base rows and conflict
+         table), pool, apply the most violated, re-solve by riding the
+         warm dual simplex on the grown basis; repeat until nothing
          separates, the bound tails off, or the round budget is spent.
-         GMI derivation uses the root bounds, so the cuts are valid for
-         every integer-feasible point and may stay for the whole tree. *)
+         Every family derives from the root bounds, so the cuts are
+         valid for every integer-feasible point and may stay for the
+         whole tree. *)
       let root_cut_loop r ~lb ~ub =
         let rounds = ref 0 and tail = ref 0 and go = ref true in
         while
@@ -576,14 +615,34 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
           match (!r.Simplex.status, !r.Simplex.basis) with
           | Status.Lp_optimal, Some basis when pick_branch_var !r.Simplex.primal >= 0 ->
               let x = !r.Simplex.primal in
-              let gmi = Cuts.gomory ~dense !pref ~integer ~lb:plb ~ub:pub basis ~max_cuts:16 in
-              let cov =
-                Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:16
+              let gmi =
+                if fam Cuts.F_gmi then
+                  Cuts.gomory ~dense !pref ~integer ~lb:plb ~ub:pub basis ~max_cuts:16
+                else []
               in
-              List.iter (fun c -> ignore (Cuts.add pool c ~x)) (gmi @ cov);
+              let cov =
+                if fam Cuts.F_cover then
+                  Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:16
+                else []
+              in
+              let clq =
+                if fam Cuts.F_clique then
+                  Cuts.cliques (Lazy.force conflict_tbl) ~x ~max_cuts:8
+                else []
+              in
+              let cyc =
+                if fam Cuts.F_negcycle then
+                  Cuts.odd_cycles (Lazy.force conflict_tbl) ~x ~max_cuts:8
+                else []
+              in
+              let ext = if fam Cuts.F_power then separate_external x else [] in
+              List.iter
+                (fun c -> ignore (Cuts.add pool c ~x))
+                (List.concat [ gmi; cov; clq; cyc; ext ]);
               let room = max_applied_cuts - Array.length !cut_index in
               let selected =
-                Cuts.select pool ~x ~max_cuts:(min 8 room) ~min_violation:1e-5
+                Cuts.select pool ~x ~max_cuts:(min 8 room)
+                  ~min_violation:options.cut_min_violation
               in
               if selected = [] then go := false
               else begin
@@ -611,16 +670,29 @@ let solve ?(options = default_options) ?(seed_cuts = []) ?warm_solution ?presolv
           | _ -> go := false
         done
       in
-      (* One cover-separation round at a shallow node.  Covers come from
-         the base rows under the root bounds, so they are globally valid
-         no matter where they were separated. *)
+      (* One combinatorial separation round at a shallow node: covers
+         and cliques (both cheap — no tableau).  They come from the base
+         rows / conflict table under the root bounds, so they are
+         globally valid no matter where they were separated. *)
       let node_separation r ~lb ~ub =
         match (!r.Simplex.status, !r.Simplex.basis) with
         | Status.Lp_optimal, Some basis ->
             let x = !r.Simplex.primal in
-            let cov = Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:8 in
-            List.iter (fun c -> ignore (Cuts.add pool c ~x)) cov;
-            let selected = Cuts.select pool ~x ~max_cuts:2 ~min_violation:1e-4 in
+            let cov =
+              if fam Cuts.F_cover then
+                Cuts.covers !pref ~nrows:m0 ~integer ~lb:plb ~ub:pub ~x ~max_cuts:8
+              else []
+            in
+            let clq =
+              if fam Cuts.F_clique then
+                Cuts.cliques (Lazy.force conflict_tbl) ~x ~max_cuts:4
+              else []
+            in
+            List.iter (fun c -> ignore (Cuts.add pool c ~x)) (cov @ clq);
+            let selected =
+              Cuts.select pool ~x ~max_cuts:2
+                ~min_violation:(10. *. options.cut_min_violation)
+            in
             if selected <> [] then begin
               node_cut_budget := !node_cut_budget - List.length selected;
               append_cuts selected;

@@ -49,10 +49,30 @@ type options = {
           simplex (default [true]); [false] forces cold two-phase
           solves everywhere — the ablation baseline. *)
   cuts : bool;
-      (** Separate cutting planes (default [true]): a root cut loop of
-          Gomory mixed-integer + knapsack cover rounds, plus periodic
-          cover separation at shallow nodes. *)
+      (** Separate cutting planes (default [true]): a root cut loop
+          over the enabled families, plus periodic cover/clique
+          separation at shallow nodes.  The master switch — [false]
+          disables every family and the [separators] closures. *)
+  cut_families : Cuts.family list;
+      (** Which separation families run (default {!Cuts.all_families}):
+          Gomory mixed-integer, knapsack cover, conflict-clique,
+          odd-cycle (negative-cycle search), and the caller-supplied
+          structural [separators] (gated by {!Cuts.F_power}).  The
+          per-family ablation axis ([--cuts gmi,cover,...]). *)
   cut_rounds : int;  (** Root cut-loop round budget (default 20). *)
+  max_applied_cuts : int;
+      (** Total cap on cuts promoted to problem rows (default 32):
+          every applied cut permanently grows the row set, taxing each
+          subsequent O(m²) warm restore. *)
+  cut_max_age : int;
+      (** Pool eviction age (default 5): selection rounds a pooled cut
+          may go unviolated before eviction ({!Cuts.create_pool}). *)
+  cut_pool_size : int;
+      (** Pool size cap (default 500); overflow evicts the least
+          violated members first. *)
+  cut_min_violation : float;
+      (** Minimum violation for a pooled cut to be applied at the root
+          (default 1e-5); node separation uses 10× this value. *)
   rc_fixing : bool;
       (** Reduced-cost fixing of integer variables at nodes once an
           incumbent exists (default [true]). *)
@@ -96,9 +116,10 @@ type options = {
 
 val default_options : options
 (** 60 s, 200_000 nodes, [rel_gap = 1e-6], [abs_gap = 1e-9],
-    [int_tol = 1e-6], presolve, rounding, warm starts, cuts (20 rounds)
-    and reduced-cost fixing on, devex pricing with Harris ratio tests,
-    log off, [nworkers = 1], [seed = 0]. *)
+    [int_tol = 1e-6], presolve, rounding, warm starts, cuts (all
+    families, 20 rounds, 32 applied, pool age 5 / size 500, min
+    violation 1e-5) and reduced-cost fixing on, devex pricing with
+    Harris ratio tests, log off, [nworkers = 1], [seed = 0]. *)
 
 type result = {
   status : Status.mip_status;
@@ -163,6 +184,7 @@ val create_presolve_state : unit -> presolve_state
 val solve :
   ?options:options ->
   ?seed_cuts:Cuts.cut list ->
+  ?separators:Cuts.separator list ->
   ?warm_solution:float array ->
   ?presolve_state:presolve_state ->
   ?touched_rows:int list ->
@@ -198,11 +220,21 @@ val solve :
     [seed_cuts] carries a previous solve's cut pool into this one, in
     original variable ids: each cut is first mapped onto the reduced
     problem ({!Cuts.restrict}; cuts touching a substituted column are
-    dropped), then each cover cut that re-certifies against the
+    dropped), then each literal-form cut that re-certifies against the
     (possibly grown) model's base rows under its root bounds
     ({!Cuts.certify_cover}) is pooled before the root cut loop;
-    Gomory cuts and uncertifiable rows are silently dropped.
+    Gomory cuts, cuts of a disabled family, and uncertifiable rows
+    (structural power cuts usually — their validity spans several rows,
+    so they are re-separated fresh instead) are silently dropped.
     [result.carry_cuts] comes back lifted to original ids again.
+
+    [separators] are problem-structure separation oracles
+    ({!Cuts.separator}, e.g. the power/RSS strengthening built from the
+    instance data): called during the root cut loop with the postsolved
+    (original-space) fractional point, their cuts are mapped onto the
+    reduced columns and pooled like any other family.  Gated by
+    [options.cuts] and {!Cuts.F_power} membership in
+    [options.cut_families].
 
     [warm_solution] carries a previous incumbent (zero-extended over any
     new columns by the caller).  It is re-validated against the new

@@ -1,0 +1,106 @@
+type t = {
+  nvars : int;
+  pairs : (int * int, unit) Hashtbl.t;
+  adj : (int, int list) Hashtbl.t;
+  impl : (int, int list) Hashtbl.t;
+  cliques : (int * int array) list;
+}
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let nvars t = t.nvars
+
+let npairs t = Hashtbl.length t.pairs
+
+let conflict t a b = Hashtbl.mem t.pairs (key a b)
+
+let neighbors t j = Option.value ~default:[] (Hashtbl.find_opt t.adj j)
+
+let implied t j = Option.value ~default:[] (Hashtbl.find_opt t.impl j)
+
+let vertices t =
+  Hashtbl.fold (fun j _ acc -> j :: acc) t.adj [] |> List.sort compare
+
+let cliques t = t.cliques
+
+let build ?(max_row_len = 64) ?(tol = 1e-9) ?rows (p : Simplex.problem) ~nrows
+    ~integer ~lb ~ub =
+  let feas = 100. *. tol and islack = 1000. *. tol in
+  let active i = match rows with None -> true | Some m -> m.(i) in
+  let is_binary j = integer.(j) && lb.(j) >= -.islack && ub.(j) <= 1. +. islack in
+  let pairs = Hashtbl.create 256 in
+  let adj = Hashtbl.create 256 in
+  let impl = Hashtbl.create 64 in
+  let cliques = ref [] in
+  let add_conflict a b =
+    let k = key a b in
+    if not (Hashtbl.mem pairs k) then begin
+      Hashtbl.add pairs k ();
+      let push v w =
+        Hashtbl.replace adj v (w :: Option.value ~default:[] (Hashtbl.find_opt adj v))
+      in
+      push a b;
+      push b a
+    end
+  in
+  let add_impl a b =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt impl a) in
+    if not (List.mem b cur) then Hashtbl.replace impl a (b :: cur)
+  in
+  for i = 0 to nrows - 1 do
+    if active i then begin
+      let row = p.Simplex.rows.(i) and rhs = p.Simplex.rhs.(i) in
+      let sense = p.Simplex.senses.(i) in
+      let len = Array.length row in
+      (* All-positive binary support: the pairwise min-activity test and
+         the exactly-one recognizer both need it. *)
+      let all_pos_bin = ref (len >= 2 && len <= max_row_len) in
+      for k = 0 to len - 1 do
+        let j, a = Array.unsafe_get row k in
+        if not (a > 0. && is_binary j && lb.(j) >= -.islack) then all_pos_bin := false
+      done;
+      if !all_pos_bin then begin
+        (match sense with
+        | Model.Le | Model.Eq ->
+            let amin = ref 0. in
+            for k = 0 to len - 1 do
+              let j, a = Array.unsafe_get row k in
+              amin := !amin +. (a *. lb.(j))
+            done;
+            let amin = !amin in
+            for a_k = 0 to len - 1 do
+              let j1, c1 = Array.unsafe_get row a_k in
+              for b_k = a_k + 1 to len - 1 do
+                let j2, c2 = Array.unsafe_get row b_k in
+                let base = amin -. (c1 *. lb.(j1)) -. (c2 *. lb.(j2)) in
+                if base +. c1 +. c2 > rhs +. feas then add_conflict j1 j2
+              done
+            done
+        | Model.Ge -> ());
+        if
+          sense = Model.Eq
+          && Float.abs (rhs -. 1.) <= islack
+          && Array.for_all (fun (_, a) -> Float.abs (a -. 1.) <= islack) row
+        then cliques := (i, Array.map fst row) :: !cliques
+      end
+      (* Two-variable rows over (possibly mixed-sign) binaries: check
+         each 0/1 corner against the row; a forbidden (1,1) corner is a
+         conflict, a forbidden (1,0) / (0,1) corner an implication. *)
+      else if len = 2 then begin
+        let j1, c1 = row.(0) and j2, c2 = row.(1) in
+        if is_binary j1 && is_binary j2 && j1 <> j2 then begin
+          let violates v1 v2 =
+            let lhs = (c1 *. v1) +. (c2 *. v2) in
+            match sense with
+            | Model.Le -> lhs > rhs +. feas
+            | Model.Ge -> lhs < rhs -. feas
+            | Model.Eq -> Float.abs (lhs -. rhs) > feas
+          in
+          if violates 1. 1. then add_conflict j1 j2;
+          if violates 1. 0. then add_impl j1 j2;
+          if violates 0. 1. then add_impl j2 j1
+        end
+      end
+    end
+  done;
+  { nvars = p.Simplex.ncols; pairs; adj; impl; cliques = List.rev !cliques }

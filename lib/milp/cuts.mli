@@ -1,6 +1,6 @@
 (** Cutting-plane separation with a managed cut pool.
 
-    Two families of globally valid cuts for the paper's MILPs (binary
+    Five families of globally valid cuts for the paper's MILPs (binary
     edge/path routing rows 1a–1e, covering-style localization rows
     4a–4b):
 
@@ -13,6 +13,16 @@
       anchor-covering rows): a cover [C] with [sum a_j > rhs] yields
       [sum_{j in C} x_j <= |C| - 1], extended by every variable at
       least as heavy as the heaviest cover member.
+    - {b Clique cuts} from the mined conflict table ({!Conflicts}):
+      pairwise-conflicting sets give [sum_{j in Q} x_j <= 1], separated
+      by greedy extension from high-value vertices.
+    - {b Odd-cycle cuts} on the same conflict graph: an odd cycle [C]
+      of conflicts gives [sum_{j in C} x_j <= (|C|-1)/2], separated
+      {e exactly} by Bellman–Ford negative-cycle search
+      ({!Netgraph.Negcycle}) on a reweighted parity double cover.
+    - {b Structural power/RSS/energy cuts} built outside this module
+      (from the instance data, see the core library) and injected
+      through {!separator} closures; they carry the {!Power} origin.
 
     Every separated cut passes through a {b pool} that scores violation
     (geometric distance, rows are L2-normalized), filters duplicates and
@@ -23,7 +33,7 @@
     ({!Basis.append_row}), so a separation round costs a handful of dual
     pivots instead of a cold solve. *)
 
-type origin = Gomory | Cover
+type origin = Gomory | Cover | Clique | Cycle | Power
 
 type cut = {
   c_row : (int * float) array;
@@ -31,6 +41,38 @@ type cut = {
   c_rhs : float;
   c_origin : origin;
 }
+
+(** {1 Families} *)
+
+type family = F_gmi | F_cover | F_clique | F_negcycle | F_power
+(** The ablation axis: which separation families may run.  [F_negcycle]
+    produces {!Cycle}-origin cuts, the others match their name. *)
+
+val all_families : family list
+
+val family_name : family -> string
+(** ["gmi"], ["cover"], ["clique"], ["negcycle"], ["power"]. *)
+
+val family_of_string : string -> (family, string) result
+
+val families_of_string : string -> (family list, string) result
+(** Parse a comma-separated family list; ["all"] and ["none"]/[""] are
+    recognized.  Duplicates collapse, order is preserved. *)
+
+val families_to_string : family list -> string
+
+val family_of_origin : origin -> family
+
+type separator = float array -> cut list
+(** A problem-structure separation oracle: given the {e original-space}
+    fractional point (after {!Postsolve.restore}), return violated cuts
+    over original column ids.  {!Branch_bound.solve} maps them onto the
+    reduced space with {!restrict} before pooling. *)
+
+val make : (int * float) array -> float -> origin -> cut option
+(** [make row rhs origin] builds a cut from a ≤-row: sorts the support,
+    L2-normalizes, and rejects near-empty rows ([None]).  The public
+    constructor for external separators. *)
 
 val violation : cut -> float array -> float
 (** [violation c x] = [a·x - rhs]; positive means [x] violates the cut.
@@ -77,6 +119,24 @@ val covers :
     coefficients are complemented, fixed variables folded into the rhs.
     Returns the [max_cuts] most violated cuts. *)
 
+val cliques : Conflicts.t -> x:float array -> max_cuts:int -> cut list
+(** Separate clique inequalities [sum_{j in Q} x_j <= 1] from the
+    conflict table against the fractional point [x].  Greedy clique
+    extension (by decreasing LP value) seeded from the highest-value
+    conflict vertices; only cliques violated by more than 1e-4 are
+    returned, most violated first. *)
+
+val odd_cycles : Conflicts.t -> x:float array -> max_cuts:int -> cut list
+(** Separate odd-cycle inequalities [sum_{j in C} x_j <= (|C|-1)/2]
+    ([C] an odd cycle of the conflict graph) against [x].  Exact
+    separation per source vertex: on the parity double cover of the
+    conflict graph with arc weights [max(eps, 1 - x_u - x_v)] and a
+    [-1] return arc, a violated odd cycle through the source is
+    precisely a negative cycle, found by Bellman–Ford
+    ({!Netgraph.Negcycle}).  Sources are the most fractional conflict
+    vertices; extracted cycles are simplified to simple odd cycles and
+    re-checked for violation before emission. *)
+
 (** {1 Pool} *)
 
 type pool
@@ -95,9 +155,12 @@ val add : pool -> cut -> x:float array -> bool
     separated. *)
 
 val select : pool -> x:float array -> max_cuts:int -> min_violation:float -> cut list
-(** One selection round: return up to [max_cuts] pool members most
-    violated at [x] (violation above [min_violation]), removing them
-    from the pool (they become problem rows and count as applied).
+(** One selection round: return up to [max_cuts] pool members violated
+    at [x] (violation above [min_violation]), removing them from the
+    pool (they become problem rows and count as applied).  Selection is
+    {e origin-fair}: a round-robin across the origins present, each
+    origin's queue ordered by decreasing violation, so one prolific
+    family cannot crowd every other out of the applied-cuts cap.
     Members not violated this round age by one and are evicted past
     [max_age]; violated-but-unselected members stay young. *)
 
@@ -117,17 +180,21 @@ val certify_cover :
   ub:float array ->
   cut -> bool
 (** [certify_cover p ~nrows ~integer ~lb ~ub c] re-proves a pooled
-    {!Cover} cut against the first [nrows] (base) rows of a {e grown}
-    problem under its root bounds, without reference to the model the
-    cut was separated from.  The cut is decoded back to literal form
-    [sum_l y_l <= d] ([y_l] a binary variable or its complement) and
-    accepted iff some base row, relaxed over the box to a valid
-    inequality [sum_l w_l y_l <= b] with [w_l >= 0], has its [d+1]
-    smallest literal weights already exceeding [b] — which makes more
-    than [d] literals at 1 impossible, so the cut is globally valid for
-    the new model.  Returns [false] for Gomory cuts (their derivation is
-    basis-specific and does not survive new columns) and whenever no row
-    certifies: the test is sound but deliberately conservative. *)
+    literal-form cut ({!Cover}, {!Clique}, {!Cycle}, or {!Power} —
+    anything of the shape [sum_l y_l <= d] with [y_l] a binary variable
+    or its complement) against the first [nrows] (base) rows of a
+    {e grown} problem under its root bounds, without reference to the
+    model the cut was separated from.  The cut is decoded back to
+    literal form and accepted iff some base row, relaxed over the box
+    to a valid inequality [sum_l w_l y_l <= b] with [w_l >= 0], has its
+    [d+1] smallest literal weights already exceeding [b] — which makes
+    more than [d] literals at 1 impossible, so the cut is globally
+    valid for the new model.  Cliques mined from exactly-one rows
+    certify from those same rows; power cuts usually do {e not} certify
+    (their validity needs several rows at once) and are re-separated
+    fresh instead.  Returns [false] for Gomory cuts (their derivation
+    is basis-specific and does not survive new columns) and whenever no
+    row certifies: the test is sound but deliberately conservative. *)
 
 (** {1 Mapping cuts through a presolve reduction} *)
 

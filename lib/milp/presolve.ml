@@ -547,84 +547,37 @@ let reduce ?(max_rounds = 16) ?(tol = 1e-9) ?(passes = all_passes) ?essential ?r
       while !again && !rounds < 3 do
         incr rounds;
         again := false;
-        let conflicts = Hashtbl.create 256 in
-        let conflict_of = Hashtbl.create 256 in
-        let add_conflict a b =
-          let key = if a < b then (a, b) else (b, a) in
-          if not (Hashtbl.mem conflicts key) then begin
-            Hashtbl.add conflicts key ();
-            let push v w =
-              Hashtbl.replace conflict_of v
-                (w :: Option.value ~default:[] (Hashtbl.find_opt conflict_of v))
-            in
-            push a b;
-            push b a
-          end
+        (* The shared conflict/clique table (also the substrate of the
+           clique and odd-cycle cut separators) mined under the current
+           working bounds; its slacks derive from the same [tol]. *)
+        let tbl =
+          Conflicts.build ~tol ~rows:active p ~nrows:m ~integer ~lb:wlb
+            ~ub:wub
         in
-        let exactly_one = ref [] in
-        for i = 0 to m - 1 do
-          if active.(i) then begin
-            let row = p.Simplex.rows.(i) and rhs = p.Simplex.rhs.(i) in
-            let len = Array.length row in
-            let all_pos_bin = ref (len >= 2 && len <= 64) in
-            for k = 0 to len - 1 do
-              let j, a = Array.unsafe_get row k in
-              if not (a > 0. && is_binary j && wlb.(j) >= -.islack) then
-                all_pos_bin := false
-            done;
-            if !all_pos_bin then begin
-              (match p.Simplex.senses.(i) with
-              | Model.Le | Model.Eq ->
-                  (* Pairwise conflicts: j and k cannot both be 1 when
-                     even the rest at minimum activity overflows rhs. *)
-                  let amin, _ = activity row wlb wub in
-                  for a_k = 0 to len - 1 do
-                    let j1, c1 = Array.unsafe_get row a_k in
-                    for b_k = a_k + 1 to len - 1 do
-                      let j2, c2 = Array.unsafe_get row b_k in
-                      let base =
-                        amin
-                        -. (c1 *. wlb.(j1))
-                        -. (c2 *. wlb.(j2))
-                      in
-                      if base +. c1 +. c2 > rhs +. feas then add_conflict j1 j2
-                    done
-                  done
-              | Model.Ge -> ());
-              (* Exactly-one sets: unit-coefficient Eq rows with rhs 1. *)
-              if
-                p.Simplex.senses.(i) = Model.Eq
-                && Float.abs (rhs -. 1.) <= islack
-                && Array.for_all (fun (_, a) -> Float.abs (a -. 1.) <= islack) row
-              then exactly_one := (i, row) :: !exactly_one
-            end
-          end
-        done;
-        let has_conflict a b =
-          let key = if a < b then (a, b) else (b, a) in
-          Hashtbl.mem conflicts key
-        in
+        (* Exactly-one sets in descending row order (as the inline miner
+           visited them): a binary conflicting with every free member of
+           a set can never be 1. *)
         List.iter
           (fun (_, row) ->
             (* Free members of the exactly-one set; skip sets already
                decided (a member at 1, or all but one at 0). *)
-            let free = ref [] in
-            Array.iter
-              (fun (j, _) -> if wub.(j) > 0.5 && wlb.(j) < 0.5 then free := j :: !free)
-              row;
-            match !free with
+            let free =
+              Array.fold_left
+                (fun acc j ->
+                  if wub.(j) > 0.5 && wlb.(j) < 0.5 then j :: acc else acc)
+                [] row
+            in
+            match free with
             | [] -> ()
-            | pivot :: _ ->
-                let members = !free in
-                let candidates =
-                  Option.value ~default:[] (Hashtbl.find_opt conflict_of pivot)
-                in
+            | pivot :: _ as members ->
                 List.iter
                   (fun v ->
                     if
                       is_binary v && wub.(v) > 0.5 && wlb.(v) < 0.5
                       && (not (List.mem v members))
-                      && List.for_all (fun u -> u = v || has_conflict v u) members
+                      && List.for_all
+                           (fun u -> u = v || Conflicts.conflict tbl v u)
+                           members
                     then begin
                       (* Some free member is 1 in every feasible point,
                          and v conflicts with each of them. *)
@@ -636,8 +589,8 @@ let reduce ?(max_rounds = 16) ?(tol = 1e-9) ?(passes = all_passes) ?essential ?r
                       again := true;
                       enqueue_var v
                     end)
-                  candidates)
-          !exactly_one;
+                  (Conflicts.neighbors tbl pivot))
+          (List.rev (Conflicts.cliques tbl));
         if !again && enabled Propagate then drain ()
       done
     end;

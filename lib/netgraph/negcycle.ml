@@ -1,0 +1,109 @@
+type result = {
+  dist : float array;
+  pred : int array;
+  cycle : int list option;
+}
+
+(* Walk predecessor pointers from a node whose label still improved
+   after n relaxation rounds.  After n hops the walk must have entered a
+   cycle of the predecessor graph; every such cycle has negative total
+   weight (each pred arc was a strict improvement when installed).
+   Extract it by marking visit order and cutting at the first repeat. *)
+let extract_cycle pred start =
+  let n = Array.length pred in
+  let v = ref start in
+  (* Land inside the cycle: n pred-hops from any improving node. *)
+  for _ = 1 to n do
+    if !v >= 0 then v := pred.(!v)
+  done;
+  if !v < 0 then None
+  else begin
+    let seen = Array.make n (-1) in
+    let order = ref [] in
+    let rec go u k =
+      if seen.(u) >= 0 then begin
+        (* [order] holds nodes most recent first.  A pred walk runs arcs
+           backwards (visiting v then pred v means the arc pred v -> v),
+           so most-recent-first is already forward arc order; the cycle
+           is the prefix down to the first occurrence of [u], closed by
+           the arc [u -> head]. *)
+        let rec take acc = function
+          | [] -> None
+          | w :: tl ->
+              if w = u then Some (List.rev (w :: acc)) else take (w :: acc) tl
+        in
+        take [] !order
+      end
+      else begin
+        seen.(u) <- k;
+        order := u :: !order;
+        if pred.(u) < 0 then None else go pred.(u) (k + 1)
+      end
+    in
+    (* The pred walk runs arcs backwards, so the extracted list already
+       reads in forward arc order (oldest-to-newest reversal). *)
+    go !v 0
+  end
+
+let run ?sources g =
+  let n = Digraph.nnodes g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let srcs = match sources with Some l -> l | None -> List.init n Fun.id in
+  let q = Queue.create () in
+  let inq = Array.make n false in
+  (* Relaxation count per node: a node relaxed more than n times sits on
+     or behind a negative cycle. *)
+  let relaxed = Array.make n 0 in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Negcycle.run: source out of range";
+      dist.(s) <- 0.;
+      if not inq.(s) then begin
+        Queue.add s q;
+        inq.(s) <- true
+      end)
+    srcs;
+  let cycle = ref None in
+  (* Hard cap on total relaxations: guarantees termination even if a
+     negative cycle keeps resisting extraction (pred pointers mid-update
+     can transiently miss it); giving up is merely conservative. *)
+  let budget = ref ((4 * n * Int.max 1 (Digraph.nedges g)) + 64) in
+  (try
+     while not (Queue.is_empty q) do
+       let u = Queue.pop q in
+       inq.(u) <- false;
+       let du = dist.(u) in
+       List.iter
+         (fun (v, w) ->
+           if du +. w < dist.(v) -. 1e-12 then begin
+             decr budget;
+             if !budget < 0 then raise Exit;
+             dist.(v) <- du +. w;
+             pred.(v) <- u;
+             relaxed.(v) <- relaxed.(v) + 1;
+             if relaxed.(v) > n then begin
+               cycle := extract_cycle pred v;
+               if !cycle <> None then raise Exit
+             end;
+             if not inq.(v) then begin
+               Queue.add v q;
+               inq.(v) <- true
+             end
+           end)
+         (Digraph.succ g u)
+     done
+   with Exit -> ());
+  { dist; pred; cycle = !cycle }
+
+let negative_cycle g = (run g).cycle
+
+let cycle_weight g = function
+  | [] -> 0.
+  | first :: _ as vs ->
+      let rec go acc = function
+        | [ last ] -> acc +. Digraph.weight g last first
+        | a :: (b :: _ as tl) -> go (acc +. Digraph.weight g a b) tl
+        | [] -> acc
+      in
+      go 0. vs

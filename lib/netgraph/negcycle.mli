@@ -1,0 +1,41 @@
+(** Bellman–Ford shortest paths and negative-cycle extraction.
+
+    The cut-separation companion to {!Dijkstra}: where Dijkstra needs
+    non-negative weights, Bellman–Ford tolerates negative arcs and —
+    the property separation actually uses — certifies the {e absence}
+    of negative cycles or returns one.  Negative-cycle separation for
+    wireless design (D'Andreagiovanni–Mannino–Sassano) reduces "is
+    there a violated cycle inequality through this vertex?" to "does
+    this reweighted graph contain a negative cycle?", so the search is
+    exactly this module.
+
+    Works on the same {!Digraph.t} adjacency representation as
+    {!Dijkstra} and {!Yen}; graphs are small (the conflict structure of
+    one LP relaxation), so the plain O(V·E) label-correcting loop with
+    a FIFO worklist (SPFA) is used. *)
+
+type result = {
+  dist : float array;
+      (** Shortest-walk distance from the source set; [infinity] for
+          unreached nodes.  Meaningless for nodes on or downstream of a
+          negative cycle (the walk can be shortened forever). *)
+  pred : int array;  (** Predecessor on the shortest walk, or -1. *)
+  cycle : int list option;
+      (** [Some vs] when relaxation still improved after [n] rounds:
+          [vs] is a simple directed cycle [v0 -> v1 -> ... -> v0]
+          (first node not repeated at the end) of strictly negative
+          total weight.  [None] when all labels converged. *)
+}
+
+val run : ?sources:int list -> Digraph.t -> result
+(** Bellman–Ford from [sources] (default: every node, i.e. a virtual
+    super-source at distance 0 to all — the standard setup for pure
+    negative-cycle detection).  O(V·E) worst case. *)
+
+val negative_cycle : Digraph.t -> int list option
+(** [negative_cycle g] is [(run g).cycle]: a simple directed cycle of
+    negative total weight, or [None] when none exists. *)
+
+val cycle_weight : Digraph.t -> int list -> float
+(** Total weight of the closed walk [v0 -> v1 -> ... -> v0] described
+    by the node list.  @raise Not_found on a missing arc. *)

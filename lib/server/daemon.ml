@@ -160,6 +160,9 @@ let request_config t ~kstar:k ~budget ~(o : Protocol.overrides) ~interrupt
     | None | Some 0 -> t.d_workers (* daemon's resolved pool size *)
     | Some n -> n
   in
+  (* Sparse per-request knob application; the group setters validate
+     (Invalid_argument surfaces as a "bad request" Error_msg frame). *)
+  let app f v cfg = match v with None -> cfg | Some x -> f x cfg in
   override
     {
       no_override with
@@ -180,6 +183,16 @@ let request_config t ~kstar:k ~budget ~(o : Protocol.overrides) ~interrupt
       o_on_incumbent = on_incumbent;
     }
     base
+  |> app
+       (fun s cfg ->
+         match Milp.Cuts.families_of_string s with
+         | Ok fs -> with_cut_families fs cfg
+         | Error e -> invalid_arg e)
+       o.Protocol.o_cuts
+  |> app with_max_applied_cuts o.Protocol.o_cut_max_applied
+  |> app with_cut_max_age o.Protocol.o_cut_max_age
+  |> app with_cut_pool_size o.Protocol.o_cut_pool_size
+  |> app with_cut_min_violation o.Protocol.o_cut_min_violation
 
 let result_frame ~(mip : Milp.Branch_bound.result) ~solve_time ~workers
     ~cache_hit ~interrupted =

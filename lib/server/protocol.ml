@@ -27,6 +27,13 @@ type overrides = {
          enforced on the daemon's monotonic clock *)
   o_presolve : bool option;  (* toggle the presolve reduction stack *)
   o_heuristic : string option;  (* primal matheuristic: "tabu" | "off" *)
+  o_cuts : string option;
+      (* cut family list, [Milp.Cuts.families_of_string] spelling
+         ("all" / "none" / "gmi,cover,..."); parsed on the daemon *)
+  o_cut_max_applied : int option;
+  o_cut_max_age : int option;
+  o_cut_pool_size : int option;
+  o_cut_min_violation : float option;
   o_stream : bool;  (* send Update frames on incumbent improvements *)
 }
 
@@ -39,6 +46,11 @@ let no_overrides =
     o_deadline_s = None;
     o_presolve = None;
     o_heuristic = None;
+    o_cuts = None;
+    o_cut_max_applied = None;
+    o_cut_max_age = None;
+    o_cut_pool_size = None;
+    o_cut_min_violation = None;
     o_stream = false;
   }
 
@@ -106,6 +118,11 @@ let put_overrides b o =
   put_opt put_f64 b o.o_deadline_s;
   put_opt put_bool b o.o_presolve;
   put_opt put_string b o.o_heuristic;
+  put_opt put_string b o.o_cuts;
+  put_opt (fun b v -> put_u32 b v) b o.o_cut_max_applied;
+  put_opt (fun b v -> put_u32 b v) b o.o_cut_max_age;
+  put_opt (fun b v -> put_u32 b v) b o.o_cut_pool_size;
+  put_opt put_f64 b o.o_cut_min_violation;
   put_bool b o.o_stream
 
 let encode_request r =
@@ -214,6 +231,11 @@ let get_overrides c =
   let o_deadline_s = get_opt get_f64 c in
   let o_presolve = get_opt get_bool c in
   let o_heuristic = get_opt get_string c in
+  let o_cuts = get_opt get_string c in
+  let o_cut_max_applied = get_opt get_u32 c in
+  let o_cut_max_age = get_opt get_u32 c in
+  let o_cut_pool_size = get_opt get_u32 c in
+  let o_cut_min_violation = get_opt get_f64 c in
   let o_stream = get_bool c in
   {
     o_time_limit;
@@ -223,6 +245,11 @@ let get_overrides c =
     o_deadline_s;
     o_presolve;
     o_heuristic;
+    o_cuts;
+    o_cut_max_applied;
+    o_cut_max_age;
+    o_cut_pool_size;
+    o_cut_min_violation;
     o_stream;
   }
 

@@ -49,6 +49,16 @@ type overrides = {
   o_heuristic : string option;
       (** Primal matheuristic mode for this request: ["tabu"] or
           ["off"]; [None] keeps the daemon default. *)
+  o_cuts : string option;
+      (** Cut families to separate, in the
+          {!Milp.Cuts.families_of_string} spelling (["all"], ["none"],
+          ["gmi,cover,..."]); parsed on the daemon, a bad list rejects
+          the request.  [None] keeps the daemon default. *)
+  o_cut_max_applied : int option;  (** Cut rows appended per round. *)
+  o_cut_max_age : int option;  (** Pool eviction age, in rounds. *)
+  o_cut_pool_size : int option;  (** Managed pool capacity. *)
+  o_cut_min_violation : float option;
+      (** Root application threshold; node separation uses 10x this. *)
   o_stream : bool;  (** Request [Update] frames. *)
 }
 

@@ -1018,6 +1018,79 @@ let test_regression_cuts_unchanged () =
       | None, None -> ()
       | _ -> Alcotest.fail "one mode found a solution, the other did not")
 
+let test_regression_cut_families_parity () =
+  (* Per-family ablation: restricting separation to any single family
+     must leave the proven optimum unchanged — each separator is only
+     allowed to tighten the relaxation, never to cut off the answer. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+      let solve fams =
+        let cfg =
+          Solver_config.(
+            default
+            |> with_approx ~kstar:4 ()
+            |> with_time_limit 60. |> with_rel_gap 1e-6
+            |> with_cut_families fams)
+        in
+        match Solve.run cfg inst with
+        | Ok out -> out
+        | Error e -> Alcotest.fail e
+      in
+      let base_obj =
+        match (solve Milp.Cuts.all_families).Outcome.solution with
+        | Some s -> s.Solution.dollar_cost
+        | None -> Alcotest.fail "no baseline solution"
+      in
+      List.iter
+        (fun fam ->
+          match (solve [ fam ]).Outcome.solution with
+          | Some s ->
+              Alcotest.(check (float 1e-5))
+                (Milp.Cuts.family_name fam ^ " alone: objective unchanged")
+                base_obj s.Solution.dollar_cost
+          | None -> Alcotest.fail (Milp.Cuts.family_name fam ^ ": no solution"))
+        Milp.Cuts.all_families
+
+let test_power_cuts_valid_at_optimum () =
+  (* The structural separator reads instance data (path loss, device
+     powers); its cuts must be satisfied by the true MILP optimum no
+     matter how aggressive the fractional point they were separated at.
+     The all-ones point turns every weak-device inequality maximally
+     violated, so it exercises every cut shape the instance supports. *)
+  match Scenarios.scaled_data_collection ~total_nodes:16 ~end_devices:5 () with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+      match Approx_encoding.encode ~kstar:4 ~loc_kstar:8 inst with
+      | Error e -> Alcotest.fail e
+      | Ok enc -> (
+          let ctx = enc.Approx_encoding.ctx in
+          let model = Encode_common.model ctx in
+          let n = Milp.Model.nvars model in
+          let ones = Array.make n 1. in
+          let cuts = Struct_cuts.power_cuts ctx ones in
+          Alcotest.(check bool) "separator fires on the all-ones point" true
+            (cuts <> []);
+          let options =
+            {
+              Milp.Branch_bound.default_options with
+              Milp.Branch_bound.time_limit = 60.;
+              rel_gap = 1e-6;
+            }
+          in
+          let mip =
+            Milp.Branch_bound.solve ~options
+              ~separators:(Struct_cuts.separators ctx) model
+          in
+          match mip.Milp.Branch_bound.solution with
+          | None -> Alcotest.fail "no MILP optimum to validate against"
+          | Some x ->
+              List.iter
+                (fun c ->
+                  Alcotest.(check bool) "cut keeps the optimum" true
+                    (Milp.Cuts.satisfied c x))
+                cuts))
+
 let test_regression_approx_much_smaller_on_defaults () =
   (* The headline size reduction on the shipped Table-1 scenario. *)
   match Scenarios.data_collection Scenarios.default_data_collection with
@@ -1232,8 +1305,8 @@ let test_presolve_node_count_regression () =
   | Ok inst ->
       let run presolve = (par_solve ~workers:1 ~presolve inst).Outcome.mip in
       let on = run true and off = run false in
-      Alcotest.(check int) "node count with presolve" 1143 on.Milp.Branch_bound.nodes;
-      Alcotest.(check int) "node count without presolve" 809 off.Milp.Branch_bound.nodes;
+      Alcotest.(check int) "node count with presolve" 575 on.Milp.Branch_bound.nodes;
+      Alcotest.(check int) "node count without presolve" 606 off.Milp.Branch_bound.nodes;
       Alcotest.(check bool) "reduction removes rows" true
         (on.Milp.Branch_bound.presolve_rows_removed > 0);
       Alcotest.(check bool) "reduction removes columns" true
@@ -1387,6 +1460,10 @@ let () =
           Alcotest.test_case "warm starts preserve results" `Quick
             test_regression_warm_start_unchanged;
           Alcotest.test_case "cuts preserve results" `Quick test_regression_cuts_unchanged;
+          Alcotest.test_case "per-family cut ablation parity" `Quick
+            test_regression_cut_families_parity;
+          Alcotest.test_case "power cuts keep the optimum" `Quick
+            test_power_cuts_valid_at_optimum;
           Alcotest.test_case "kstar cutoff monotone" `Quick test_regression_kstar_cutoff_monotone;
           Alcotest.test_case "incremental matches rebuild" `Quick
             test_regression_incremental_matches_rebuild;

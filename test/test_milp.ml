@@ -1000,9 +1000,11 @@ let test_reduce_reapply_matches_fresh () =
       check_same_reduction "appended row" fresh3 r
   | Presolve.Reduce_infeasible err -> Alcotest.fail err
 
-(* Separate both cut families at the root LP of a random binary program
-   and check that no integer-feasible point (enumerated by brute force)
-   violates any of them — the defining property of a valid cut. *)
+(* Separate every in-library cut family at the root LP of a random
+   binary program and check that no integer-feasible point (enumerated
+   by brute force) violates any of them — the defining property of a
+   valid cut.  Clique and odd-cycle cuts come from the conflict table
+   mined off the same rows, so this also exercises the miner. *)
 let prop_cuts_never_cut_integer_points =
   QCheck2.Test.make ~name:"cuts: no separated cut excludes an integer-feasible point"
     ~count:300 random_bip (fun ((nvars, _, _) as spec) ->
@@ -1014,11 +1016,13 @@ let prop_cuts_never_cut_integer_points =
       let r = Simplex.solve p ~lb ~ub in
       match (r.Simplex.status, r.Simplex.basis) with
       | Status.Lp_optimal, Some basis ->
+          let nrows = Array.length p.Simplex.rows in
+          let tbl = Conflicts.build p ~nrows ~integer ~lb ~ub in
           let cuts =
             Cuts.gomory p ~integer ~lb ~ub basis ~max_cuts:16
-            @ Cuts.covers p
-                ~nrows:(Array.length p.Simplex.rows)
-                ~integer ~lb ~ub ~x:r.Simplex.primal ~max_cuts:16
+            @ Cuts.covers p ~nrows ~integer ~lb ~ub ~x:r.Simplex.primal ~max_cuts:16
+            @ Cuts.cliques tbl ~x:r.Simplex.primal ~max_cuts:8
+            @ Cuts.odd_cycles tbl ~x:r.Simplex.primal ~max_cuts:8
           in
           let ok = ref true in
           for mask = 0 to (1 lsl nvars) - 1 do

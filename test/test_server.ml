@@ -35,6 +35,11 @@ let gen_overrides =
     let* o_deadline_s = option gen_wire_float in
     let* o_presolve = option bool in
     let* o_heuristic = option (oneofl [ "tabu"; "off"; "" ]) in
+    let* o_cuts = option (oneofl [ "all"; "none"; "gmi,cover"; "power,clique,negcycle" ]) in
+    let* o_cut_max_applied = option (int_range 1 256) in
+    let* o_cut_max_age = option (int_range 1 50) in
+    let* o_cut_pool_size = option (int_range 1 2000) in
+    let* o_cut_min_violation = option gen_wire_float in
     let* o_stream = bool in
     return
       {
@@ -45,6 +50,11 @@ let gen_overrides =
         o_deadline_s;
         o_presolve;
         o_heuristic;
+        o_cuts;
+        o_cut_max_applied;
+        o_cut_max_age;
+        o_cut_pool_size;
+        o_cut_min_violation;
         o_stream;
       })
 
@@ -470,7 +480,7 @@ let test_bb_sequential_via_scheduler_replay () =
             let cfg = Archex.Solver_config.with_scheduler s (base_cfg ~workers:1) in
             (solve_cfg cfg inst).Archex.Outcome.mip)
       in
-      Alcotest.(check int) "pinned energy node count" 1143 via.Branch_bound.nodes;
+      Alcotest.(check int) "pinned energy node count" 575 via.Branch_bound.nodes;
       Alcotest.(check int) "node parity" plain.Branch_bound.nodes
         via.Branch_bound.nodes;
       Alcotest.(check int) "lp iteration parity" plain.Branch_bound.lp_iterations
@@ -632,6 +642,27 @@ let test_daemon_end_to_end () =
               | Ok (Server.Protocol.Error_msg _) -> ()
               | Ok _ -> Alcotest.fail "unknown workload: expected Error_msg"
               | Error e -> Alcotest.fail ("unknown workload: " ^ e));
+              (* Per-request cut overrides: a restricted family list
+                 still proves the same optimum; a bogus list is a bad
+                 request, not a crash. *)
+              let r3 =
+                expect_result "cuts override"
+                  (Server.Client.solve conn
+                     (Server.Protocol.Workload
+                        { name = "dc-small-dollar"; kstar = 4 })
+                     { small_overrides with Server.Protocol.o_cuts = Some "gmi,cover" })
+              in
+              Alcotest.(check (float 1e-6)) "restricted-cuts objective unchanged"
+                r.Server.Protocol.r_objective r3.Server.Protocol.r_objective;
+              (match
+                 Server.Client.solve conn
+                   (Server.Protocol.Workload
+                      { name = "dc-small-dollar"; kstar = 4 })
+                   { small_overrides with Server.Protocol.o_cuts = Some "bogus" }
+               with
+              | Ok (Server.Protocol.Error_msg _) -> ()
+              | Ok _ -> Alcotest.fail "bad cut list: expected Error_msg"
+              | Error e -> Alcotest.fail ("bad cut list: " ^ e));
               (* A raw LP model takes the cacheless MILP path. *)
               let m = Model.create () in
               let x = Model.add_var m ~lb:0. ~ub:5. ~kind:Model.Integer "x" in
